@@ -1,0 +1,69 @@
+//! Annulus query vs linear scan (Theorem 6.1's raison d'être), and the
+//! ablation from DESIGN.md: the threshold-tuned unimodal family of
+//! Theorem 6.2 versus the generic powering route
+//! `(1-t)^k1 t^k2` on embedded points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsh_core::combinators::{Concat, Power};
+use dsh_core::points::{BitVector, DenseVector};
+use dsh_core::{AnalyticCpf, BoxedDshFamily};
+use dsh_data::{hamming_data, sphere_data};
+use dsh_hamming::{AntiBitSampling, BitSampling};
+use dsh_index::annulus::{AnnulusIndex, Measure};
+use dsh_index::linear_scan::LinearScan;
+use dsh_math::rng::seeded;
+use dsh_sphere::unimodal::{annulus_interval, UnimodalFilterDsh};
+use std::hint::black_box;
+
+fn bench_sphere_annulus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("annulus_sphere_n2000");
+    group.sample_size(20);
+    let d = 48;
+    let n = 2000;
+    let alpha_max = 0.6;
+    let fam = UnimodalFilterDsh::new(d, alpha_max, 1.9);
+    let l = (1.5 / fam.cpf(alpha_max)).ceil() as usize;
+    let (lo, hi) = annulus_interval(alpha_max, 3.0);
+
+    let mut rng = seeded(0xBE3);
+    let inst = sphere_data::planted_sphere_instance(&mut rng, n, d, alpha_max);
+    let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
+    let idx = AnnulusIndex::build(&fam, measure, (lo, hi), inst.points.clone(), l, &mut rng);
+    let scan = LinearScan::new(inst.points, Box::new(|x: &DenseVector, y: &DenseVector| x.dot(y)));
+
+    group.bench_function("dsh_index", |b| {
+        b.iter(|| black_box(idx.query(black_box(&inst.query))))
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| black_box(scan.find_in_interval(black_box(&inst.query), lo, hi)))
+    });
+    group.finish();
+}
+
+fn bench_hamming_powering_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("annulus_hamming_powering");
+    group.sample_size(20);
+    let d = 256;
+    let n = 2000;
+    let (k1, k2) = (9usize, 3usize);
+    let fam = Concat::new(vec![
+        Box::new(Power::new(BitSampling::new(d), k1)) as BoxedDshFamily<BitVector>,
+        Box::new(Power::new(AntiBitSampling::new(d), k2)),
+    ]);
+    let peak = 0.25f64;
+    let f_peak = (1.0 - peak).powi(k1 as i32) * peak.powi(k2 as i32);
+    let l = (1.5 / f_peak).ceil() as usize;
+
+    let mut rng = seeded(0xBE4);
+    let inst = hamming_data::planted_hamming_instance(&mut rng, n, d, 64);
+    let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+    let idx = AnnulusIndex::build(&fam, measure, (0.15, 0.35), inst.points, l, &mut rng);
+
+    group.bench_function("powered_bitsampling_query", |b| {
+        b.iter(|| black_box(idx.query(black_box(&inst.query))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sphere_annulus, bench_hamming_powering_ablation);
+criterion_main!(benches);

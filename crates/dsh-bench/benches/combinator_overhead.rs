@@ -1,0 +1,56 @@
+//! Combinator costs: powering depth, mixture dispatch, and the DESIGN.md
+//! ablation comparing the generic `affine` mixture against the
+//! direct-coded scaled bit-sampling with the same CPF.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsh_core::combinators::{affine, Power};
+use dsh_core::family::DshFamily;
+use dsh_core::points::BitVector;
+use dsh_hamming::{BitSampling, ScaledBitSampling};
+use dsh_math::rng::seeded;
+use std::hint::black_box;
+
+fn bench_power_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_eval_depth");
+    let d = 128;
+    let mut rng = seeded(0xBE5);
+    let x = BitVector::random(&mut rng, d);
+    for &k in &[1usize, 4, 16, 64] {
+        let pair = Power::new(BitSampling::new(d), k).sample(&mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(pair.data.hash(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_affine_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaled_bitsampling_ablation");
+    let d = 128;
+    let alpha = 0.4;
+    let mut rng = seeded(0xBE6);
+    let x = BitVector::random(&mut rng, d);
+
+    // Direct implementation: CPF 1 - alpha t.
+    let direct = ScaledBitSampling::new(d, alpha);
+    // Generic combinator with identical CPF:
+    // alpha * (1-t) + (1-alpha) * 1.
+    let generic = affine(Box::new(BitSampling::new(d)), alpha, 1.0 - alpha);
+
+    group.bench_function("direct_sample+eval", |b| {
+        b.iter(|| {
+            let p = direct.sample(&mut rng);
+            black_box(p.data.hash(black_box(&x)))
+        })
+    });
+    group.bench_function("generic_mixture_sample+eval", |b| {
+        b.iter(|| {
+            let p = generic.sample(&mut rng);
+            black_box(p.data.hash(black_box(&x)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_power_depth, bench_affine_vs_direct);
+criterion_main!(benches);

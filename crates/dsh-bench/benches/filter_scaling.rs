@@ -1,0 +1,27 @@
+//! The `O(d t^4 e^{t^2/2})` evaluation-cost claim of Theorem 1.2: filter
+//! hash evaluation cost as the threshold `t` grows. Expected scanned caps
+//! are `~1/Pr[Z >= t]`, so the measured time should track `e^{t^2/2} t`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsh_core::family::DshFamily;
+use dsh_core::points::DenseVector;
+use dsh_math::rng::seeded;
+use dsh_sphere::FilterDshMinus;
+use std::hint::black_box;
+
+fn bench_filter_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_eval_vs_t");
+    let d = 32;
+    let mut rng = seeded(0xBE2);
+    let x = DenseVector::random_unit(&mut rng, d);
+    for &t in &[1.0f64, 1.5, 2.0, 2.5] {
+        let pair = FilterDshMinus::new(d, t).sample(&mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| black_box(pair.data.hash(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_scaling);
+criterion_main!(benches);

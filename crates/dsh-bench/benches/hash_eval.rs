@@ -1,0 +1,66 @@
+//! Hash evaluation cost per family: the per-point price of one `(h, g)`
+//! evaluation across every construction in the library.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsh_core::family::DshFamily;
+use dsh_core::points::{BitVector, DenseVector};
+use dsh_euclidean::ShiftedEuclideanDsh;
+use dsh_hamming::{AntiBitSampling, BitSampling, PolynomialHammingDsh};
+use dsh_math::rng::seeded;
+use dsh_math::Polynomial;
+use dsh_sphere::{CrossPolytopeAnti, FilterDshMinus, SimHash};
+use std::hint::black_box;
+
+fn bench_hash_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_eval");
+    let d = 64;
+    let mut rng = seeded(0xBE1);
+
+    let bits = BitVector::random(&mut rng, d);
+    let unit = DenseVector::random_unit(&mut rng, d);
+
+    let bs_pair = BitSampling::new(d).sample(&mut rng);
+    group.bench_function("bit_sampling", |b| {
+        b.iter(|| black_box(bs_pair.data.hash(black_box(&bits))))
+    });
+
+    let anti_pair = AntiBitSampling::new(d).sample(&mut rng);
+    group.bench_function("anti_bit_sampling", |b| {
+        b.iter(|| black_box(anti_pair.query.hash(black_box(&bits))))
+    });
+
+    let poly = PolynomialHammingDsh::from_polynomial(
+        d,
+        &Polynomial::new(vec![0.0, 1.0, -1.0]),
+    )
+    .unwrap();
+    let poly_pair = poly.sample(&mut rng);
+    group.bench_function("poly_dsh_t(1-t)", |b| {
+        b.iter(|| black_box(poly_pair.data.hash(black_box(&bits))))
+    });
+
+    let sim_pair = SimHash::new(d).sample(&mut rng);
+    group.bench_function("simhash", |b| {
+        b.iter(|| black_box(sim_pair.data.hash(black_box(&unit))))
+    });
+
+    let cp_pair = CrossPolytopeAnti::new(d).sample(&mut rng);
+    group.bench_function("cross_polytope_anti", |b| {
+        b.iter(|| black_box(cp_pair.query.hash(black_box(&unit))))
+    });
+
+    let filter_pair = FilterDshMinus::new(d, 1.5).sample(&mut rng);
+    group.bench_function("filter_minus_t1.5", |b| {
+        b.iter(|| black_box(filter_pair.data.hash(black_box(&unit))))
+    });
+
+    let e2_pair = ShiftedEuclideanDsh::new(d, 3, 1.0).sample(&mut rng);
+    group.bench_function("shifted_euclidean", |b| {
+        b.iter(|| black_box(e2_pair.data.hash(black_box(&unit))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_eval);
+criterion_main!(benches);

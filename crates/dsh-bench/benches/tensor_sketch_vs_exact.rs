@@ -1,0 +1,38 @@
+//! The kernel-approximation remark after Theorem 5.1: hashing through the
+//! exact `O(d^k)` Valiant embedding versus the `O(k(d + m log m))`
+//! TensorSketch approximation, as the input dimension grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsh_core::family::DshFamily;
+use dsh_core::points::DenseVector;
+use dsh_math::rng::seeded;
+use dsh_math::Polynomial;
+use dsh_sphere::tensor_sketch::SketchedPolynomialSphereDsh;
+use dsh_sphere::PolynomialSphereDsh;
+use std::hint::black_box;
+
+fn bench_exact_vs_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("valiant_vs_tensorsketch_t3");
+    group.sample_size(20);
+    let p = Polynomial::new(vec![0.0, 0.0, 0.0, 1.0]); // t^3: D = d^3
+    for &d in &[8usize, 16, 32] {
+        let mut rng = seeded(0xBE7);
+        let x = DenseVector::random_unit(&mut rng, d);
+
+        let exact = PolynomialSphereDsh::new(d, &p);
+        let exact_pair = exact.sample(&mut rng);
+        group.bench_with_input(BenchmarkId::new("exact", d), &d, |b, _| {
+            b.iter(|| black_box(exact_pair.data.hash(black_box(&x))))
+        });
+
+        let sketched = SketchedPolynomialSphereDsh::new(d, &p, 1024);
+        let sketch_pair = sketched.sample(&mut rng);
+        group.bench_with_input(BenchmarkId::new("tensorsketch_m1024", d), &d, |b, _| {
+            b.iter(|| black_box(sketch_pair.data.hash(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_sketch);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 3: the annuli `[alpha_-, alpha_+]` of Theorem 6.2 as a function
+//! of the peak inner product `alpha_max`, for `s = 2, 3, 4`.
+
+use dsh_bench::{fmt, Report};
+use dsh_sphere::unimodal::annulus_interval;
+
+fn main() {
+    let mut report = Report::new(
+        "Figure 3 — annulus boundaries vs alpha_max for s = 2, 3, 4",
+        &[
+            "alpha_max",
+            "lo(s=2)",
+            "hi(s=2)",
+            "lo(s=3)",
+            "hi(s=3)",
+            "lo(s=4)",
+            "hi(s=4)",
+        ],
+    );
+    for i in 0..=38 {
+        let alpha_max = -0.95 + 0.05 * i as f64;
+        let mut row = vec![fmt(alpha_max, 2)];
+        for s in [2.0, 3.0, 4.0] {
+            let (lo, hi) = annulus_interval(alpha_max, s);
+            row.push(fmt(lo, 3));
+            row.push(fmt(hi, 3));
+        }
+        report.row(row);
+    }
+    report.note("each annulus contains alpha_max; width grows with s and shrinks toward the poles");
+    report.emit("fig3_annuli");
+}

@@ -1,0 +1,67 @@
+//! Experiment T11 — the classical `(r1, r2)`-near-neighbor baseline
+//! (§1.2 "rho-values"): verifies the `L ~ n^rho` scaling of the standard
+//! LSH structure that the paper's DSH applications are measured against.
+
+use dsh_bench::{fmt, Report};
+use dsh_core::points::BitVector;
+use dsh_data::hamming_data;
+use dsh_hamming::BitSampling;
+use dsh_index::ann::{ann_params, NearNeighborIndex};
+use dsh_index::annulus::Measure;
+use dsh_math::rng::seeded;
+
+fn main() {
+    let d = 512;
+    let r1_rel = 0.05;
+    let r2_rel = 0.25;
+    let p1 = 1.0 - r1_rel;
+    let p2 = 1.0 - r2_rel;
+
+    let mut report = Report::new(
+        "T11 — (r1, r2)-near neighbor: L ~ n^rho scaling and recall",
+        &["n", "k", "L", "rho", "n^rho", "success", "avg candidates"],
+    );
+    for &n in &[250usize, 1000, 4000] {
+        let params = ann_params(n, p1, p2, 2.0);
+        let runs = 15;
+        let mut hits = 0;
+        let mut cands = 0usize;
+        for run in 0..runs {
+            let mut rng = seeded(0x7AB111 + run as u64);
+            let inst = hamming_data::planted_hamming_instance(
+                &mut rng,
+                n,
+                d,
+                (r1_rel * d as f64) as usize,
+            );
+            let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+            let idx = NearNeighborIndex::build(
+                &BitSampling::new(d),
+                measure,
+                r2_rel,
+                inst.points,
+                p1,
+                p2,
+                2.0,
+                &mut rng,
+            );
+            let (hit, stats) = idx.query(&inst.query);
+            if hit.is_some() {
+                hits += 1;
+            }
+            cands += stats.candidates_retrieved;
+        }
+        report.row(vec![
+            n.to_string(),
+            params.k.to_string(),
+            params.l.to_string(),
+            fmt(params.rho, 3),
+            fmt((n as f64).powf(params.rho), 1),
+            format!("{hits}/{runs}"),
+            fmt(cands as f64 / runs as f64, 1),
+        ]);
+    }
+    report.note("L tracks n^rho (the Indyk–Motwani exponent) and recall stays high");
+    report.note("rho here = ln(1-r1/d)/ln(1-r2/d), the bit-sampling value the paper's §4.1 calls optimal for rho_plus");
+    report.emit("tab11_near_neighbor");
+}

@@ -1,0 +1,69 @@
+//! Experiment T1 — cross-polytope DSH (Theorem 2.1 / Corollary 2.2).
+//!
+//! Measures `ln(1/f(alpha))` of the anti-LSH family `CP-` across dimensions
+//! and compares against the leading term `((1+alpha)/(1-alpha)) ln d`. The
+//! theorem predicts the measured exponent to exceed the leading term by
+//! only `O_alpha(ln ln d)`, and the ratio to 1 should improve with `d`.
+
+use dsh_bench::{fmt, Report};
+use dsh_core::estimate::CpfEstimator;
+use dsh_math::rng::seeded;
+use dsh_sphere::cross_polytope::{CrossPolytopeAnti, CrossPolytopeLsh};
+use dsh_sphere::geometry::pair_with_inner_product;
+
+fn main() {
+    let alphas = [-0.3, 0.0, 0.3];
+    let dims = [8usize, 16, 32, 64];
+
+    let mut report = Report::new(
+        "T1 — CP- exponent ln(1/f(alpha)) vs ((1+a)/(1-a)) ln d (Cor. 2.2)",
+        &[
+            "d",
+            "alpha",
+            "measured ln(1/f)",
+            "lead term",
+            "excess",
+            "excess/lnln d",
+        ],
+    );
+
+    for &d in &dims {
+        let fam = CrossPolytopeAnti::new(d);
+        let trials = if d <= 32 { 60_000 } else { 30_000 };
+        let mut rng = seeded(0x7AB11);
+        let pairs: Vec<_> = alphas
+            .iter()
+            .map(|&a| pair_with_inner_product(&mut rng, d, a))
+            .collect();
+        let ests = CpfEstimator::new(trials, 0x7AB12).estimate_curve(&fam, &pairs);
+        for (est, &alpha) in ests.iter().zip(&alphas) {
+            if est.successes == 0 {
+                continue;
+            }
+            let measured = -(est.estimate.ln());
+            let lead = CrossPolytopeAnti::theoretical_ln_inv_cpf(d, alpha);
+            let lnln = (d as f64).ln().ln();
+            report.row(vec![
+                d.to_string(),
+                fmt(alpha, 1),
+                fmt(measured, 3),
+                fmt(lead, 3),
+                fmt(measured - lead, 3),
+                fmt((measured - lead) / lnln, 3),
+            ]);
+        }
+    }
+    report.note("excess = measured - leading term; bounded by O(ln ln d) per the theorem");
+
+    // Sanity row: CP+ at alpha = 0 must sit at f = 1/(2d).
+    let d = 16;
+    let mut rng = seeded(0x7AB13);
+    let (x, y) = pair_with_inner_product(&mut rng, d, 0.0);
+    let est = CpfEstimator::new(60_000, 0x7AB14).estimate_pair(&CrossPolytopeLsh::new(d), &x, &y);
+    report.note(format!(
+        "CP+ check at alpha=0, d=16: measured f = {:.5}, expected 1/(2d) = {:.5}",
+        est.estimate,
+        1.0 / (2.0 * d as f64)
+    ));
+    report.emit("tab1_cross_polytope");
+}

@@ -1,0 +1,66 @@
+//! Experiment T2 — the Gaussian filter family `D-` (Theorem 1.2,
+//! Lemma A.5).
+//!
+//! For each threshold `t` and inner product `alpha`: the exact CPF (from
+//! bivariate orthant probabilities), the Lemma A.5 closed-form envelope,
+//! the Theorem 1.2 leading exponent, and a Monte-Carlo spot check at the
+//! smallest `t`.
+
+use dsh_bench::{fmt, fmt_sci, Report};
+use dsh_core::estimate::CpfEstimator;
+use dsh_core::AnalyticCpf;
+use dsh_math::rng::seeded;
+use dsh_sphere::filter::FilterDshMinus;
+use dsh_sphere::geometry::pair_with_inner_product;
+
+fn main() {
+    let mut report = Report::new(
+        "T2 — filter family D-: exact CPF vs Lemma A.5 envelope vs Theorem 1.2 exponent",
+        &[
+            "t", "m", "alpha", "exact f", "A.5 lower", "A.5 upper", "ln(1/f)",
+            "lead", "excess/ln t",
+        ],
+    );
+    for &t in &[1.5f64, 2.0, 2.5, 3.0] {
+        let fam = FilterDshMinus::new(16, t);
+        for &alpha in &[-0.6f64, -0.3, 0.0, 0.3, 0.6] {
+            if alpha.abs() >= 1.0 - 1.0 / t {
+                continue; // outside the theorem's validity window
+            }
+            let exact = fam.cpf(alpha);
+            let lead = FilterDshMinus::theoretical_ln_inv_cpf(t, alpha);
+            let exponent = -exact.ln();
+            report.row(vec![
+                fmt(t, 1),
+                fam.filter_count().to_string(),
+                fmt(alpha, 1),
+                fmt_sci(exact),
+                fmt_sci(fam.cpf_lower_bound(alpha)),
+                fmt_sci(fam.cpf_upper_bound(alpha)),
+                fmt(exponent, 3),
+                fmt(lead, 3),
+                fmt((exponent - lead) / t.ln(), 2),
+            ]);
+        }
+    }
+    report.note("exact f always inside the [A.5 lower, A.5 upper] envelope");
+    report.note("excess/ln t bounded: ln(1/f) = lead + Theta(log t) (Theorem 1.2)");
+
+    // Monte-Carlo spot check at t = 1.5.
+    let d = 16;
+    let t = 1.5;
+    let fam = FilterDshMinus::new(d, t);
+    let mut rng = seeded(0x7AB21);
+    for &alpha in &[-0.3, 0.3] {
+        let (x, y) = pair_with_inner_product(&mut rng, d, alpha);
+        let est = CpfEstimator::new(8000, 0x7AB22).estimate_pair(&fam, &x, &y);
+        report.note(format!(
+            "MC check t=1.5 alpha={alpha}: measured {:.4} in [{:.4}, {:.4}], exact {:.4}",
+            est.estimate,
+            est.lo,
+            est.hi,
+            fam.cpf(alpha)
+        ));
+    }
+    report.emit("tab2_filter_cpf");
+}

@@ -1,0 +1,239 @@
+//! Analytic collision probability functions and ρ-exponents.
+//!
+//! The paper measures the quality of a monotone CPF by its ρ-value
+//! (§1.2 "ρ-values"):
+//!
+//! * `rho_plus  = ln f(r1) / ln f(r2)` for `r1 < r2` with a *decreasing*
+//!   CPF — governs near-neighbor search;
+//! * `rho_minus = ln f(r) / ln f(r/c)` with an *increasing* CPF — governs
+//!   "anti" search, the gap between collision probabilities at a target
+//!   distance and at too-small distances.
+//!
+//! Constructions that have closed-form CPFs implement [`AnalyticCpf`] so
+//! tests and benchmarks can compare Monte-Carlo estimates against theory.
+
+/// A family whose CPF has a closed form (or a numerically exact evaluation).
+///
+/// The meaning of the argument is construction-specific and documented by
+/// each implementor: inner product `alpha` for sphere families, relative
+/// Hamming distance `t` for Hamming families, Euclidean distance for
+/// `R^d` families.
+pub trait AnalyticCpf {
+    /// Evaluate the collision probability at the given
+    /// distance/similarity argument.
+    fn cpf(&self, arg: f64) -> f64;
+}
+
+/// `rho_plus = ln f(r_near) / ln f(r_far)` for a decreasing CPF: the LSH
+/// exponent controlling `(r_near, r_far)`-near-neighbor search. `None` when
+/// either probability is degenerate.
+pub fn rho_plus(f: &dyn AnalyticCpf, r_near: f64, r_far: f64) -> Option<f64> {
+    dsh_math::stats::rho(f.cpf(r_near), f.cpf(r_far))
+}
+
+/// `rho_minus = ln f(r) / ln f(r_small)` for an increasing CPF: the
+/// "anti-LSH" exponent of §4.1, controlling how well the family separates
+/// the target distance `r` from too-small distances `r_small < r`.
+pub fn rho_minus(f: &dyn AnalyticCpf, r: f64, r_small: f64) -> Option<f64> {
+    dsh_math::stats::rho(f.cpf(r), f.cpf(r_small))
+}
+
+/// Evaluate a CPF on a uniform grid (used by figure-regeneration binaries).
+pub fn sample_curve(f: &dyn AnalyticCpf, lo: f64, hi: f64, steps: usize) -> Vec<(f64, f64)> {
+    assert!(steps >= 1);
+    (0..=steps)
+        .map(|i| {
+            let x = lo + (hi - lo) * i as f64 / steps as f64;
+            (x, f.cpf(x))
+        })
+        .collect()
+}
+
+/// Locate the argmax of a unimodal CPF by grid search plus ternary
+/// refinement. Used to verify "peaks inside `[r-, r+]`" premises of
+/// Theorem 6.1.
+pub fn peak_of(f: &dyn AnalyticCpf, lo: f64, hi: f64) -> (f64, f64) {
+    // Coarse grid to get near the mode, then ternary search (valid locally
+    // for unimodal functions).
+    let mut best_x = lo;
+    let mut best_v = f.cpf(lo);
+    let grid = 512;
+    for i in 0..=grid {
+        let x = lo + (hi - lo) * i as f64 / grid as f64;
+        let v = f.cpf(x);
+        if v > best_v {
+            best_v = v;
+            best_x = x;
+        }
+    }
+    let w = (hi - lo) / grid as f64;
+    let (mut a, mut b) = ((best_x - w).max(lo), (best_x + w).min(hi));
+    for _ in 0..100 {
+        let m1 = a + (b - a) / 3.0;
+        let m2 = b - (b - a) / 3.0;
+        if f.cpf(m1) < f.cpf(m2) {
+            a = m1;
+        } else {
+            b = m2;
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f.cpf(x))
+}
+
+/// The Theorem 1.3 feasibility bound for probabilistic CPFs on
+/// alpha-correlated points: no family can have
+/// `f^(alpha) < f^(0)^((1+alpha)/(1-alpha))`.
+///
+/// ```
+/// # use dsh_core::cpf::theorem_1_3_lower_bound;
+/// let f0 = 0.1;
+/// // At alpha = 1/3 the exponent is (1+1/3)/(1-1/3) = 2:
+/// assert!((theorem_1_3_lower_bound(f0, 1.0 / 3.0) - 0.01).abs() < 1e-12);
+/// ```
+pub fn theorem_1_3_lower_bound(f_at_zero: f64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&f_at_zero));
+    assert!((0.0..1.0).contains(&alpha));
+    f_at_zero.powf((1.0 + alpha) / (1.0 - alpha))
+}
+
+/// The Lemma 3.10 mirror bound: `f^(alpha) <= f^(0)^((1-alpha)/(1+alpha))`
+/// — the asymmetric extension of classical LSH upper bounds.
+pub fn lemma_3_10_upper_bound(f_at_zero: f64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&f_at_zero));
+    assert!((0.0..1.0).contains(&alpha));
+    f_at_zero.powf((1.0 - alpha) / (1.0 + alpha))
+}
+
+/// The Theorem 3.8 lower bound on the rho-value of any
+/// `(r, cr, p, q)`-increasingly-sensitive family under Hamming distance:
+///
+/// ```text
+/// rho = log(1/p) / log(1/q) >= 1/(2c - 1) - O(sqrt((c/r) log(1/q)))
+/// ```
+///
+/// Returns the bound with the paper's error term instantiated at constant
+/// `K` (the proof's universal constant; callers compare measured rho
+/// values against this). `r` is the absolute distance.
+pub fn theorem_3_8_rho_lower_bound(c: f64, r: f64, q: f64, k_const: f64) -> f64 {
+    assert!(c > 1.0 && r > 0.0);
+    assert!(q > 0.0 && q < 1.0);
+    (1.0 / (2.0 * c - 1.0) - k_const * ((c / r) * (1.0 / q).ln()).sqrt()).max(0.0)
+}
+
+/// An [`AnalyticCpf`] backed by a closure — convenient for combinator
+/// CPFs (products, mixtures) assembled on the fly.
+///
+/// ```
+/// # use dsh_core::cpf::{FnCpf, rho_plus};
+/// let f = FnCpf(|r: f64| (-r).exp());
+/// assert!((rho_plus(&f, 1.0, 2.0).unwrap() - 0.5).abs() < 1e-12);
+/// ```
+pub struct FnCpf<F: Fn(f64) -> f64>(pub F);
+
+impl<F: Fn(f64) -> f64> AnalyticCpf for FnCpf<F> {
+    fn cpf(&self, arg: f64) -> f64 {
+        (self.0)(arg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_plus_of_power_cpf() {
+        // f(r) = exp(-r): rho_plus(r, cr) = r / (cr) = 1/c.
+        let f = FnCpf(|r: f64| (-r).exp());
+        let got = rho_plus(&f, 1.0, 2.0).unwrap();
+        assert!((got - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_minus_of_increasing_cpf() {
+        // f(t) = t on [0,1]: rho_minus(r, r/c) = ln r / ln(r/c).
+        let f = FnCpf(|t: f64| t);
+        let r: f64 = 0.1;
+        let c: f64 = 2.0;
+        let got = rho_minus(&f, r, r / c).unwrap();
+        assert!((got - r.ln() / (r / c).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_probabilities_give_none() {
+        let f = FnCpf(|t: f64| t); // f(0) = 0, f(1) = 1
+        assert!(rho_minus(&f, 0.5, 0.0).is_none());
+        assert!(rho_plus(&f, 1.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn sample_curve_grid() {
+        let f = FnCpf(|x: f64| x * x);
+        let pts = sample_curve(&f, 0.0, 1.0, 4);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], (0.0, 0.0));
+        assert_eq!(pts[4], (1.0, 1.0));
+        assert!((pts[2].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_of_unimodal() {
+        // Tent peaking at 0.3.
+        let f = FnCpf(|x: f64| 1.0 - (x - 0.3).abs());
+        let (x, v) = peak_of(&f, 0.0, 1.0);
+        assert!((x - 0.3).abs() < 1e-6, "peak at {x}");
+        assert!((v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_of_monotone_is_at_boundary() {
+        let f = FnCpf(|x: f64| x);
+        let (x, _) = peak_of(&f, 0.0, 2.0);
+        assert!((x - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feasibility_bounds_bracket() {
+        for alpha in [0.1, 0.4, 0.8] {
+            let f0 = 0.2;
+            let lo = theorem_1_3_lower_bound(f0, alpha);
+            let hi = lemma_3_10_upper_bound(f0, alpha);
+            assert!(lo < f0 && f0 < hi, "bounds must bracket f(0)");
+            assert!(lo > 0.0 && hi < 1.0);
+        }
+        // alpha = 0: both collapse to f(0).
+        assert_eq!(theorem_1_3_lower_bound(0.3, 0.0), 0.3);
+        assert_eq!(lemma_3_10_upper_bound(0.3, 0.0), 0.3);
+    }
+
+    #[test]
+    fn theorem_3_8_bound_behaviour() {
+        // With a negligible error term the bound is 1/(2c-1).
+        let b = theorem_3_8_rho_lower_bound(2.0, 1e12, 0.5, 1.0);
+        assert!((b - 1.0 / 3.0).abs() < 1e-3);
+        // Error term can make it vacuous (clamped at 0).
+        assert_eq!(theorem_3_8_rho_lower_bound(2.0, 1.0, 0.01, 1.0), 0.0);
+        // Larger c weakens the bound.
+        assert!(
+            theorem_3_8_rho_lower_bound(4.0, 1e12, 0.5, 1.0)
+                < theorem_3_8_rho_lower_bound(2.0, 1e12, 0.5, 1.0)
+        );
+    }
+
+    #[test]
+    fn anti_bit_sampling_exceeds_theorem_3_8_bound() {
+        // CPF f(t) = t (anti bit-sampling): p = r/d, q = cr/d... in the
+        // increasing-sensitivity direction p = f(r), q = f(cr), rho =
+        // ln(1/q)/ln(1/p)? The theorem bounds log(1/p)/log(1/q) for
+        // (r, cr, p, q)-increasingly sensitive families: p at r, q at cr,
+        // p < q. For f(t) = t with d = 1e6, r = 1000, c = 2:
+        let d: f64 = 1e6;
+        let r: f64 = 1000.0;
+        let c: f64 = 2.0;
+        let p = r / d;
+        let q = c * r / d;
+        let rho = (1.0 / p).ln() / (1.0 / q).ln();
+        let bound = theorem_3_8_rho_lower_bound(c, r, q, 1.0);
+        assert!(rho >= bound, "{rho} < {bound}");
+    }
+}

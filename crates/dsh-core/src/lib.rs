@@ -1,0 +1,46 @@
+//! Core framework for distance-sensitive hashing (DSH).
+//!
+//! A *distance-sensitive hashing scheme* for a space `(X, dist)` is a
+//! distribution `D` over **pairs** of functions `h, g : X -> R` with
+//! *collision probability function* (CPF) `f : R -> [0, 1]` if for every
+//! pair of points `x, y` and `(h, g) ~ D`:
+//!
+//! ```text
+//! Pr[h(x) = g(y)] = f(dist(x, y))          (paper Definition 1.1)
+//! ```
+//!
+//! Classical LSH is the symmetric special case `h = g` with decreasing `f`.
+//! The asymmetry is what buys increasing, unimodal, step and polynomial
+//! CPFs — the subject of the paper.
+//!
+//! This crate provides:
+//!
+//! * [`family::DshFamily`] — the distribution over `(h, g)` pairs, sampled
+//!   with an explicit RNG so everything is reproducible;
+//! * [`points`] — packed [`points::BitVector`] for Hamming space and
+//!   [`points::DenseVector`] for `R^d`;
+//! * [`distance`] — the distance/similarity measures used throughout the
+//!   paper, including the `simH` similarity of §3;
+//! * [`combinators`] — Lemma 1.4: concatenation/powering (CPF product) and
+//!   mixtures (CPF convex combination), plus constant families from which
+//!   scaling and biasing are derived;
+//! * [`estimate`] — Monte-Carlo CPF estimation with Wilson confidence
+//!   intervals, used by every experiment;
+//! * [`cpf`] — the [`cpf::AnalyticCpf`] trait and ρ-exponent helpers.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod combinators;
+pub mod cpf;
+pub mod distance;
+pub mod estimate;
+pub mod family;
+pub mod hash;
+pub mod minhash;
+pub mod points;
+
+pub use cpf::AnalyticCpf;
+pub use family::{BoxedDshFamily, DshFamily, HasherPair, PointHasher};
+pub use minhash::{MinHash, TokenSet};
+pub use points::{BitVector, DenseVector};

@@ -1,0 +1,232 @@
+//! Min-wise hashing over token sets (Broder [15, 16] in the paper's
+//! bibliography) — the classical symmetric LSH for Jaccard similarity,
+//! and the mechanism §1.2 cites for converting locality-sensitive *maps*
+//! into asymmetric LSH families ([21, Theorem 1.4]).
+//!
+//! Included in the core crate both as a stock symmetric family for the
+//! combinator algebra (its CPF `J(x, y)` composes with Lemma 1.4 like any
+//! other) and as the substrate for the filter-set transform implemented
+//! in `dsh-sphere::filter_minhash`.
+
+use crate::family::{DshFamily, HasherPair};
+use crate::hash::mix64;
+use rand::Rng;
+
+/// A set of 64-bit tokens (e.g. shingle fingerprints of a document),
+/// stored sorted and deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TokenSet {
+    tokens: Vec<u64>,
+}
+
+impl TokenSet {
+    /// Build from arbitrary tokens (sorted + deduplicated internally).
+    pub fn new(mut tokens: Vec<u64>) -> Self {
+        tokens.sort_unstable();
+        tokens.dedup();
+        TokenSet { tokens }
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Sorted token view.
+    pub fn tokens(&self) -> &[u64] {
+        &self.tokens
+    }
+
+    /// Intersection size with another set (linear merge).
+    pub fn intersection_size(&self, other: &TokenSet) -> usize {
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        while i < self.tokens.len() && j < other.tokens.len() {
+            match self.tokens[i].cmp(&other.tokens[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Jaccard similarity `|x ∩ y| / |x ∪ y|` (1 for two empty sets).
+    pub fn jaccard(&self, other: &TokenSet) -> f64 {
+        let inter = self.intersection_size(other);
+        let union = self.len() + other.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Character `w`-shingles of a string, fingerprinted to tokens — the
+    /// document model of Broder's resemblance work.
+    pub fn shingles(text: &str, w: usize) -> Self {
+        assert!(w >= 1);
+        let chars: Vec<char> = text.chars().collect();
+        if chars.len() < w {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for c in &chars {
+                h = mix64(h ^ *c as u64);
+            }
+            return TokenSet::new(if chars.is_empty() { vec![] } else { vec![h] });
+        }
+        let tokens = chars
+            .windows(w)
+            .map(|win| {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for c in win {
+                    h = mix64(h ^ *c as u64);
+                }
+                h
+            })
+            .collect();
+        TokenSet::new(tokens)
+    }
+}
+
+/// Min-wise hashing: a random priority function over tokens; a set hashes
+/// to its minimum-priority token. Symmetric CPF = Jaccard similarity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinHash;
+
+impl MinHash {
+    /// The family (stateless; all randomness is drawn at sampling time).
+    pub fn new() -> Self {
+        MinHash
+    }
+}
+
+impl DshFamily<TokenSet> for MinHash {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<TokenSet> {
+        let seed = rng.next_u64();
+        HasherPair::symmetric(crate::family::FnHasher(move |x: &TokenSet| {
+            x.tokens()
+                .iter()
+                .map(|&t| mix64(t ^ seed))
+                .min()
+                .unwrap_or(u64::MAX) // empty set: a fixed sentinel
+        }))
+    }
+
+    fn name(&self) -> String {
+        "MinHash".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinators::Power;
+    use crate::estimate::CpfEstimator;
+    use dsh_math::rng::seeded;
+
+    fn set(v: &[u64]) -> TokenSet {
+        TokenSet::new(v.to_vec())
+    }
+
+    #[test]
+    fn token_set_basics() {
+        let s = TokenSet::new(vec![3, 1, 2, 3, 1]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.tokens(), &[1, 2, 3]);
+        assert!(!s.is_empty());
+        assert!(TokenSet::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[3, 4, 5, 6]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert!((a.jaccard(&b) - 2.0 / 6.0).abs() < 1e-15);
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert_eq!(set(&[]).jaccard(&set(&[])), 1.0);
+        assert_eq!(set(&[1]).jaccard(&set(&[2])), 0.0);
+    }
+
+    #[test]
+    fn minhash_cpf_is_jaccard() {
+        let a = set(&[1, 2, 3, 4, 5, 6]);
+        let b = set(&[4, 5, 6, 7, 8, 9]);
+        let want = a.jaccard(&b); // 3/9 = 1/3
+        let est = CpfEstimator::new(60_000, 0x111).estimate_pair(&MinHash::new(), &a, &b);
+        assert!(est.contains(want), "want {want}, got {}", est.estimate);
+    }
+
+    #[test]
+    fn minhash_powers_compose() {
+        // Lemma 1.4(a): MinHash^2 has CPF J^2.
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[2, 3, 4, 5]);
+        let want = a.jaccard(&b).powi(2); // (3/5)^2
+        let fam = Power::new(MinHash::new(), 2);
+        let est = CpfEstimator::new(60_000, 0x112).estimate_pair(&fam, &a, &b);
+        assert!(est.contains(want), "want {want}, got {}", est.estimate);
+    }
+
+    #[test]
+    fn shingles_similarity_tracks_text_overlap() {
+        let doc1 = TokenSet::shingles("the quick brown fox jumps over the lazy dog", 4);
+        let doc2 = TokenSet::shingles("the quick brown fox leaps over the lazy dog", 4);
+        let doc3 = TokenSet::shingles("completely unrelated text about databases", 4);
+        assert!(doc1.jaccard(&doc2) > 0.5, "{}", doc1.jaccard(&doc2));
+        assert!(doc1.jaccard(&doc3) < 0.1, "{}", doc1.jaccard(&doc3));
+        // Short strings degrade gracefully.
+        assert_eq!(TokenSet::shingles("ab", 4).len(), 1);
+        assert!(TokenSet::shingles("", 4).is_empty());
+    }
+
+    #[test]
+    fn empty_sets_collide_with_each_other() {
+        let fam = MinHash::new();
+        let mut rng = seeded(0x113);
+        let e1 = TokenSet::new(vec![]);
+        let e2 = TokenSet::new(vec![]);
+        let pair = fam.sample(&mut rng);
+        assert!(pair.collides(&e1, &e2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn jaccard_is_symmetric_and_bounded(
+            a in proptest::collection::vec(0u64..50, 0..30),
+            b in proptest::collection::vec(0u64..50, 0..30),
+        ) {
+            let x = TokenSet::new(a);
+            let y = TokenSet::new(b);
+            let j = x.jaccard(&y);
+            prop_assert!((0.0..=1.0).contains(&j));
+            prop_assert!((j - y.jaccard(&x)).abs() < 1e-15);
+            prop_assert_eq!(x.jaccard(&x), 1.0);
+        }
+
+        #[test]
+        fn intersection_bounded_by_sizes(
+            a in proptest::collection::vec(any::<u64>(), 0..30),
+            b in proptest::collection::vec(any::<u64>(), 0..30),
+        ) {
+            let x = TokenSet::new(a);
+            let y = TokenSet::new(b);
+            let i = x.intersection_size(&y);
+            prop_assert!(i <= x.len().min(y.len()));
+        }
+    }
+}

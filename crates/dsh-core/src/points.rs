@@ -1,0 +1,451 @@
+//! Point types: packed bit vectors for Hamming space `{0,1}^d` and dense
+//! vectors for `R^d` / the unit sphere `S^{d-1}`.
+
+use rand::{Rng, RngExt};
+
+/// A point of `{0,1}^d`, bit-packed into 64-bit blocks.
+///
+/// ```
+/// use dsh_core::points::BitVector;
+/// let mut x = BitVector::zeros(100);
+/// x.set(3, true);
+/// x.flip(99);
+/// let y = BitVector::zeros(100);
+/// assert_eq!(x.hamming(&y), 2);
+/// assert!((x.relative_hamming(&y) - 0.02).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVector {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitVector {
+    /// The all-zeros vector of dimension `d`.
+    pub fn zeros(d: usize) -> Self {
+        BitVector {
+            blocks: vec![0; d.div_ceil(64)],
+            len: d,
+        }
+    }
+
+    /// The all-ones vector of dimension `d`.
+    pub fn ones(d: usize) -> Self {
+        let mut v = BitVector::zeros(d);
+        for i in 0..d {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Build from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVector::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// A uniformly random point of `{0,1}^d`.
+    pub fn random(rng: &mut dyn Rng, d: usize) -> Self {
+        let mut blocks = vec![0u64; d.div_ceil(64)];
+        for b in blocks.iter_mut() {
+            *b = rng.next_u64();
+        }
+        let mut v = BitVector { blocks, len: d };
+        v.mask_tail();
+        v
+    }
+
+    /// Dimension `d`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff `d == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Get bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (d = {})", self.len);
+        (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range (d = {})", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.blocks[i / 64] |= mask;
+        } else {
+            self.blocks[i / 64] &= !mask;
+        }
+    }
+
+    /// Flip bit `i`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range (d = {})", self.len);
+        self.blocks[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> u64 {
+        self.blocks.iter().map(|b| b.count_ones() as u64).sum()
+    }
+
+    /// Hamming distance `||x - y||_1` to another vector of equal dimension.
+    pub fn hamming(&self, other: &BitVector) -> u64 {
+        assert_eq!(self.len, other.len, "dimension mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a ^ b).count_ones() as u64)
+            .sum()
+    }
+
+    /// Relative Hamming distance `||x - y||_1 / d` in `[0, 1]`.
+    pub fn relative_hamming(&self, other: &BitVector) -> f64 {
+        assert!(self.len > 0, "relative distance undefined in dimension 0");
+        self.hamming(other) as f64 / self.len as f64
+    }
+
+    /// Componentwise complement.
+    pub fn complement(&self) -> BitVector {
+        let mut v = BitVector {
+            blocks: self.blocks.iter().map(|b| !b).collect(),
+            len: self.len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Map to a scaled hypercube corner on the unit sphere:
+    /// bit `b_i` becomes `(2 b_i - 1) / sqrt(d)`. This is the standard
+    /// embedding the paper uses to transfer Hamming results to `S^{d-1}`
+    /// (§1.1.1: "unit vectors up to a scaling factor sqrt(d)").
+    pub fn to_unit_vector(&self) -> DenseVector {
+        assert!(self.len > 0);
+        let s = 1.0 / (self.len as f64).sqrt();
+        DenseVector::new(
+            (0..self.len)
+                .map(|i| if self.get(i) { s } else { -s })
+                .collect(),
+        )
+    }
+
+    /// Zero out bits beyond `len` in the last block (keeps equality and
+    /// popcount honest after complement/random fills).
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+/// A point of `R^d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseVector {
+    components: Vec<f64>,
+}
+
+impl DenseVector {
+    /// Build from components.
+    pub fn new(components: Vec<f64>) -> Self {
+        DenseVector { components }
+    }
+
+    /// The zero vector of dimension `d`.
+    pub fn zeros(d: usize) -> Self {
+        DenseVector {
+            components: vec![0.0; d],
+        }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Component access.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.components
+    }
+
+    /// Inner product with another vector of equal dimension.
+    pub fn dot(&self, other: &DenseVector) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.components
+            .iter()
+            .zip(&other.components)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Euclidean distance to another vector.
+    pub fn euclidean(&self, other: &DenseVector) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.components
+            .iter()
+            .zip(&other.components)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scale by a constant.
+    pub fn scaled(&self, s: f64) -> DenseVector {
+        DenseVector::new(self.components.iter().map(|c| c * s).collect())
+    }
+
+    /// Negation (the paper's "negate the query point" trick).
+    pub fn negated(&self) -> DenseVector {
+        self.scaled(-1.0)
+    }
+
+    /// Vector sum.
+    pub fn add(&self, other: &DenseVector) -> DenseVector {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        DenseVector::new(
+            self.components
+                .iter()
+                .zip(&other.components)
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+
+    /// Vector difference `self - other`.
+    pub fn sub(&self, other: &DenseVector) -> DenseVector {
+        self.add(&other.negated())
+    }
+
+    /// Normalize onto the unit sphere. Panics on the zero vector.
+    pub fn normalized(&self) -> DenseVector {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        self.scaled(1.0 / n)
+    }
+
+    /// A vector of `d` i.i.d. standard Gaussians.
+    pub fn gaussian(rng: &mut dyn Rng, d: usize) -> Self {
+        DenseVector::new((0..d).map(|_| dsh_math::normal::sample(rng)).collect())
+    }
+
+    /// A uniformly random point on `S^{d-1}` (normalized Gaussian).
+    pub fn random_unit(rng: &mut dyn Rng, d: usize) -> Self {
+        loop {
+            let v = DenseVector::gaussian(rng, d);
+            if v.norm() > 1e-12 {
+                return v.normalized();
+            }
+        }
+    }
+
+    /// A uniformly random point in `{-1/sqrt(d), +1/sqrt(d)}^d` (scaled
+    /// hypercube corner on the sphere).
+    pub fn random_hypercube_corner(rng: &mut dyn Rng, d: usize) -> Self {
+        let s = 1.0 / (d as f64).sqrt();
+        DenseVector::new(
+            (0..d)
+                .map(|_| if rng.random_bool(0.5) { s } else { -s })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_math::rng::seeded;
+
+    #[test]
+    fn bitvector_get_set_flip() {
+        let mut v = BitVector::zeros(130);
+        assert_eq!(v.count_ones(), 0);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 3);
+        v.flip(129);
+        assert!(!v.get(129));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn bitvector_hamming() {
+        let mut a = BitVector::zeros(100);
+        let mut b = BitVector::zeros(100);
+        assert_eq!(a.hamming(&b), 0);
+        a.set(3, true);
+        b.set(99, true);
+        assert_eq!(a.hamming(&b), 2);
+        b.set(3, true);
+        assert_eq!(a.hamming(&b), 1);
+        assert!((a.relative_hamming(&b) - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bitvector_complement_distance() {
+        let v = BitVector::random(&mut seeded(11), 77);
+        let c = v.complement();
+        assert_eq!(v.hamming(&c), 77);
+        assert_eq!(v.count_ones() + c.count_ones(), 77);
+    }
+
+    #[test]
+    fn bitvector_ones_and_from_bools() {
+        let o = BitVector::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        let v = BitVector::from_bools(&[true, false, true]);
+        assert!(v.get(0) && !v.get(1) && v.get(2));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn bitvector_random_is_balanced() {
+        let mut rng = seeded(42);
+        let mut total = 0u64;
+        for _ in 0..100 {
+            total += BitVector::random(&mut rng, 256).count_ones();
+        }
+        let frac = total as f64 / (100.0 * 256.0);
+        assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn bitvector_to_unit_vector() {
+        let mut v = BitVector::zeros(4);
+        v.set(0, true);
+        let u = v.to_unit_vector();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert!((u.as_slice()[0] - 0.5).abs() < 1e-12);
+        assert!((u.as_slice()[1] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_inner_product_correspondence() {
+        // For hypercube corners, <u_x, u_y> = 1 - 2 dist_H(x,y)/d = simH.
+        let mut rng = seeded(5);
+        let x = BitVector::random(&mut rng, 128);
+        let y = BitVector::random(&mut rng, 128);
+        let alpha = x.to_unit_vector().dot(&y.to_unit_vector());
+        let sim = 1.0 - 2.0 * x.relative_hamming(&y);
+        assert!((alpha - sim).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn hamming_dimension_mismatch_panics() {
+        let a = BitVector::zeros(3);
+        let b = BitVector::zeros(4);
+        let _ = a.hamming(&b);
+    }
+
+    #[test]
+    fn dense_vector_ops() {
+        let a = DenseVector::new(vec![1.0, 2.0, 2.0]);
+        let b = DenseVector::new(vec![0.0, 1.0, 0.0]);
+        assert_eq!(a.dot(&b), 2.0);
+        assert_eq!(a.norm(), 3.0);
+        assert_eq!(a.euclidean(&b), (1.0f64 + 1.0 + 4.0).sqrt());
+        assert_eq!(a.sub(&b).as_slice(), &[1.0, 1.0, 2.0]);
+        assert_eq!(a.negated().as_slice(), &[-1.0, -2.0, -2.0]);
+        assert!((a.normalized().norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_unit_is_unit() {
+        let mut rng = seeded(1);
+        for _ in 0..10 {
+            let v = DenseVector::random_unit(&mut rng, 25);
+            assert!((v.norm() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn random_units_nearly_orthogonal_in_high_dim() {
+        let mut rng = seeded(2);
+        let a = DenseVector::random_unit(&mut rng, 2000);
+        let b = DenseVector::random_unit(&mut rng, 2000);
+        assert!(a.dot(&b).abs() < 0.1);
+    }
+
+    #[test]
+    fn hypercube_corner_on_sphere() {
+        let mut rng = seeded(3);
+        let v = DenseVector::random_hypercube_corner(&mut rng, 64);
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot normalize")]
+    fn normalize_zero_panics() {
+        let _ = DenseVector::zeros(3).normalized();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn hamming_is_a_metric(
+            a in proptest::collection::vec(any::<bool>(), 1..200),
+            b in proptest::collection::vec(any::<bool>(), 1..200),
+            c in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let n = a.len().min(b.len()).min(c.len());
+            let x = BitVector::from_bools(&a[..n]);
+            let y = BitVector::from_bools(&b[..n]);
+            let z = BitVector::from_bools(&c[..n]);
+            // Symmetry, identity, triangle inequality.
+            prop_assert_eq!(x.hamming(&y), y.hamming(&x));
+            prop_assert_eq!(x.hamming(&x), 0);
+            prop_assert!(x.hamming(&z) <= x.hamming(&y) + y.hamming(&z));
+        }
+
+        #[test]
+        fn complement_involution(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+            let v = BitVector::from_bools(&bits);
+            prop_assert_eq!(v.complement().complement(), v);
+        }
+
+        #[test]
+        fn dense_cauchy_schwarz(
+            a in proptest::collection::vec(-10.0f64..10.0, 1..20),
+            b in proptest::collection::vec(-10.0f64..10.0, 1..20),
+        ) {
+            let n = a.len().min(b.len());
+            let x = DenseVector::new(a[..n].to_vec());
+            let y = DenseVector::new(b[..n].to_vec());
+            prop_assert!(x.dot(&y).abs() <= x.norm() * y.norm() + 1e-9);
+        }
+
+        #[test]
+        fn dense_triangle_inequality(
+            a in proptest::collection::vec(-10.0f64..10.0, 3..10),
+            b in proptest::collection::vec(-10.0f64..10.0, 3..10),
+        ) {
+            let n = a.len().min(b.len());
+            let x = DenseVector::new(a[..n].to_vec());
+            let y = DenseVector::new(b[..n].to_vec());
+            let z = DenseVector::zeros(n);
+            prop_assert!(x.euclidean(&y) <= x.euclidean(&z) + z.euclidean(&y) + 1e-9);
+        }
+    }
+}

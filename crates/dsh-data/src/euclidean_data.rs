@@ -1,0 +1,101 @@
+//! Euclidean datasets: Gaussian clouds and planted fixed-distance
+//! instances for the §4.2 experiments.
+
+use dsh_core::points::DenseVector;
+use rand::Rng;
+
+/// `n` points from a standard Gaussian cloud in `R^d`, scaled by `sigma`.
+pub fn gaussian_cloud(rng: &mut dyn Rng, n: usize, d: usize, sigma: f64) -> Vec<DenseVector> {
+    assert!(sigma > 0.0);
+    (0..n)
+        .map(|_| DenseVector::gaussian(rng, d).scaled(sigma))
+        .collect()
+}
+
+/// A point at Euclidean distance exactly `delta` from `x`, in a uniformly
+/// random direction.
+pub fn point_at_distance(rng: &mut dyn Rng, x: &DenseVector, delta: f64) -> DenseVector {
+    assert!(delta >= 0.0);
+    let dir = DenseVector::random_unit(rng, x.dim());
+    x.add(&dir.scaled(delta))
+}
+
+/// A planted Euclidean instance: query `q`, one planted point at distance
+/// exactly `r`, and `n - 1` background points at distances at least
+/// `far_min` (re-sampled from a Gaussian cloud until far enough).
+pub struct PlantedEuclideanInstance {
+    /// The query point.
+    pub query: DenseVector,
+    /// Data points; `planted_index` is the planted one.
+    pub points: Vec<DenseVector>,
+    /// Index of the planted point.
+    pub planted_index: usize,
+}
+
+/// Build a planted Euclidean instance.
+pub fn planted_euclidean_instance(
+    rng: &mut dyn Rng,
+    n: usize,
+    d: usize,
+    r: f64,
+    far_min: f64,
+) -> PlantedEuclideanInstance {
+    assert!(n >= 1 && far_min >= 0.0);
+    let query = DenseVector::gaussian(rng, d);
+    let planted = point_at_distance(rng, &query, r);
+    let mut points = Vec::with_capacity(n);
+    while points.len() < n - 1 {
+        let p = DenseVector::gaussian(rng, d).scaled(2.0 * far_min / (d as f64).sqrt() + 1.0);
+        if query.euclidean(&p) >= far_min {
+            points.push(p);
+        }
+    }
+    let planted_index = dsh_math::rng::index(rng, n);
+    points.insert(planted_index, planted);
+    PlantedEuclideanInstance {
+        query,
+        points,
+        planted_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_math::rng::seeded;
+
+    #[test]
+    fn cloud_has_requested_scale() {
+        let mut rng = seeded(221);
+        let pts = gaussian_cloud(&mut rng, 200, 10, 2.0);
+        let mean_sq: f64 =
+            pts.iter().map(|p| p.norm().powi(2)).sum::<f64>() / pts.len() as f64;
+        // E||x||^2 = sigma^2 d = 40.
+        assert!((mean_sq - 40.0).abs() < 4.0, "mean sq {mean_sq}");
+    }
+
+    #[test]
+    fn point_at_exact_distance() {
+        let mut rng = seeded(222);
+        let x = DenseVector::gaussian(&mut rng, 12);
+        for &delta in &[0.0, 0.5, 3.0] {
+            let y = point_at_distance(&mut rng, &x, delta);
+            assert!((x.euclidean(&y) - delta).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn planted_instance_separation() {
+        let mut rng = seeded(223);
+        let inst = planted_euclidean_instance(&mut rng, 25, 16, 1.0, 4.0);
+        assert_eq!(inst.points.len(), 25);
+        assert!(
+            (inst.query.euclidean(&inst.points[inst.planted_index]) - 1.0).abs() < 1e-10
+        );
+        for (i, p) in inst.points.iter().enumerate() {
+            if i != inst.planted_index {
+                assert!(inst.query.euclidean(p) >= 4.0);
+            }
+        }
+    }
+}

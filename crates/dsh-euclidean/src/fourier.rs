@@ -1,0 +1,262 @@
+//! Random Fourier features: transporting sphere DSH constructions to
+//! `l_s` spaces (the §2 remark citing Rahimi–Recht's embedding version of
+//! Bochner's theorem applied to characteristic functions of `s`-stable
+//! distributions).
+//!
+//! The map
+//!
+//! ```text
+//! phi(x) = sqrt(2/D) * (cos(<w_1, x> + b_1), ..., cos(<w_D, x> + b_D)),
+//! w_i  ~  (gamma * standard s-stable)^{x d},   b_i ~ U[0, 2 pi)
+//! ```
+//!
+//! satisfies `E[<phi(x), phi(y)>] = exp(-(gamma ||x - y||_s)^s)` and
+//! `||phi(x)|| ~ 1`, so after renormalization it carries points of
+//! `(R^d, l_s)` onto the unit sphere with the inner product a fixed
+//! decreasing function of the `l_s` distance. Composing with *any* sphere
+//! family — e.g. the anti-LSH filter family `D-` — yields DSH families for
+//! `l_s` with the corresponding (increasing, unimodal, ...) CPF shape in
+//! the `l_s` distance.
+
+use dsh_core::combinators::MapPoints;
+use dsh_core::family::DshFamily;
+use dsh_core::points::DenseVector;
+use dsh_math::{rng as drng, stable};
+use rand::Rng;
+use std::sync::Arc;
+
+/// A sampled random-feature embedding `R^d -> S^{D-1}` for the `l_s`
+/// kernel `exp(-(gamma delta)^s)`.
+#[derive(Debug, Clone)]
+pub struct FourierEmbedding {
+    projections: Arc<Vec<(DenseVector, f64)>>,
+    d: usize,
+}
+
+impl FourierEmbedding {
+    /// Sample an embedding with `features` output dimensions, stability
+    /// index `s` in `(0, 2]`, and bandwidth `gamma > 0`.
+    pub fn sample(rng: &mut dyn Rng, d: usize, features: usize, s: f64, gamma: f64) -> Self {
+        assert!(d > 0 && features > 0);
+        assert!(gamma > 0.0);
+        let projections = (0..features)
+            .map(|_| {
+                let w = DenseVector::new(
+                    (0..d)
+                        .map(|_| gamma * stable::sample_stable(rng, s))
+                        .collect(),
+                );
+                let b = drng::uniform(rng, 2.0 * std::f64::consts::PI);
+                (w, b)
+            })
+            .collect();
+        FourierEmbedding {
+            projections: Arc::new(projections),
+            d,
+        }
+    }
+
+    /// Number of output features `D`.
+    pub fn features(&self) -> usize {
+        self.projections.len()
+    }
+
+    /// Apply the embedding (normalized onto the unit sphere).
+    pub fn embed(&self, x: &DenseVector) -> DenseVector {
+        assert_eq!(x.dim(), self.d, "dimension mismatch");
+        let scale = (2.0 / self.projections.len() as f64).sqrt();
+        let raw = DenseVector::new(
+            self.projections
+                .iter()
+                .map(|(w, b)| scale * (w.dot(x) + b).cos())
+                .collect(),
+        );
+        raw.normalized()
+    }
+
+    /// The kernel the embedding realizes in expectation:
+    /// `k(delta) = exp(-(gamma * delta)^s)` as a function of the `l_s`
+    /// distance `delta` (for the sampled `s`, `gamma`).
+    pub fn kernel(gamma: f64, s: f64, delta: f64) -> f64 {
+        assert!(delta >= 0.0);
+        (-(gamma * delta).powf(s)).exp()
+    }
+}
+
+/// Compose a sphere DSH family with a freshly sampled Fourier embedding at
+/// every `sample()` call: the result is a DSH family over `(R^d, l_s)`
+/// whose CPF is the sphere family's CPF evaluated at
+/// `alpha ~ exp(-(gamma delta)^s)` (up to the `O(1/sqrt(D))` feature
+/// noise).
+pub struct KernelizedFamily<F> {
+    inner: F,
+    d: usize,
+    features: usize,
+    s: f64,
+    gamma: f64,
+}
+
+impl<F> KernelizedFamily<F> {
+    /// Wrap a sphere family (over `features`-dimensional unit vectors).
+    pub fn new(inner: F, d: usize, features: usize, s: f64, gamma: f64) -> Self {
+        assert!(s > 0.0 && s <= 2.0);
+        assert!(gamma > 0.0);
+        KernelizedFamily {
+            inner,
+            d,
+            features,
+            s,
+            gamma,
+        }
+    }
+
+    /// The kernel value at `l_s` distance `delta`.
+    pub fn kernel(&self, delta: f64) -> f64 {
+        FourierEmbedding::kernel(self.gamma, self.s, delta)
+    }
+}
+
+impl<F: DshFamily<DenseVector> + Clone + 'static> DshFamily<DenseVector>
+    for KernelizedFamily<F>
+{
+    fn sample(&self, rng: &mut dyn Rng) -> dsh_core::family::HasherPair<DenseVector> {
+        let embedding = FourierEmbedding::sample(rng, self.d, self.features, self.s, self.gamma);
+        let mapped = MapPoints::new("fourier", self.inner.clone(), move |x: &DenseVector| {
+            embedding.embed(x)
+        });
+        mapped.sample(rng)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Kernelized[s={}, gamma={}]({})",
+            self.s,
+            self.gamma,
+            self.inner.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::estimate::CpfEstimator;
+    use dsh_math::rng::seeded;
+    use dsh_math::stats::mean;
+
+    fn pair_at_distance(
+        rng: &mut impl rand::Rng,
+        d: usize,
+        delta: f64,
+    ) -> (DenseVector, DenseVector) {
+        let x = DenseVector::gaussian(rng, d);
+        let dir = DenseVector::random_unit(rng, d);
+        (x.clone(), x.add(&dir.scaled(delta)))
+    }
+
+    #[test]
+    fn embedding_realizes_gaussian_kernel() {
+        // s = 2: <phi(x), phi(y)> ~ exp(-(gamma delta)^2) — the l2 case.
+        let d = 8;
+        let gamma = 0.5;
+        let mut rng = seeded(0xF0_1);
+        for &delta in &[0.5f64, 1.0, 2.0] {
+            let (x, y) = pair_at_distance(&mut rng, d, delta);
+            let samples: Vec<f64> = (0..300)
+                .map(|_| {
+                    let e = FourierEmbedding::sample(&mut rng, d, 256, 2.0, gamma);
+                    e.embed(&x).dot(&e.embed(&y))
+                })
+                .collect();
+            let want = FourierEmbedding::kernel(gamma, 2.0, delta);
+            let got = mean(&samples);
+            assert!((got - want).abs() < 0.03, "delta {delta}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn embedding_realizes_l1_kernel() {
+        // s = 1 (Cauchy projections): kernel exp(-gamma ||x-y||_1).
+        let d = 6;
+        let gamma = 0.3;
+        let mut rng = seeded(0xF0_2);
+        let x = DenseVector::new(vec![0.5, -1.0, 0.0, 2.0, 0.3, -0.7]);
+        let y = DenseVector::new(vec![0.0, -1.0, 1.0, 2.0, 0.3, 0.3]);
+        let l1: f64 = x
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let samples: Vec<f64> = (0..400)
+            .map(|_| {
+                let e = FourierEmbedding::sample(&mut rng, d, 256, 1.0, gamma);
+                e.embed(&x).dot(&e.embed(&y))
+            })
+            .collect();
+        let want = FourierEmbedding::kernel(gamma, 1.0, l1);
+        let got = mean(&samples);
+        assert!((got - want).abs() < 0.03, "{got} vs {want}");
+    }
+
+    #[test]
+    fn embedded_vectors_are_unit() {
+        let mut rng = seeded(0xF0_3);
+        let e = FourierEmbedding::sample(&mut rng, 5, 128, 1.5, 1.0);
+        let x = DenseVector::gaussian(&mut rng, 5);
+        assert!((e.embed(&x).norm() - 1.0).abs() < 1e-10);
+        assert_eq!(e.features(), 128);
+    }
+
+    #[test]
+    fn kernelized_simhash_cpf_tracks_kernel() {
+        // SimHash over the embedding: CPF ~ sim(exp(-(gamma delta)^2)).
+        use dsh_sphere::SimHash;
+        let d = 6;
+        let features = 512;
+        let gamma = 0.4;
+        let fam = KernelizedFamily::new(SimHash::new(features), d, features, 2.0, gamma);
+        let mut rng = seeded(0xF0_4);
+        for &delta in &[0.5f64, 1.5, 3.0] {
+            let (x, y) = pair_at_distance(&mut rng, d, delta);
+            let est = CpfEstimator::new(3000, 0xF0_5).estimate_pair(&fam, &x, &y);
+            let want = dsh_sphere::SimHash::sim(fam.kernel(delta));
+            assert!(
+                (est.estimate - want).abs() < 0.04,
+                "delta {delta}: {} vs {want}",
+                est.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn kernelized_anti_lsh_gives_increasing_euclidean_cpf() {
+        // The §2 remark's payoff: the anti-LSH filter family D- composed
+        // with the embedding yields an INCREASING CPF in l2 distance —
+        // the "collide more when far" behaviour, now in Euclidean space
+        // without the negation trick (which is impossible there).
+        use dsh_sphere::FilterDshMinus;
+        let d = 6;
+        let features = 256;
+        let fam = KernelizedFamily::new(
+            FilterDshMinus::new(features, 1.0),
+            d,
+            features,
+            2.0,
+            0.4,
+        );
+        let mut rng = seeded(0xF0_6);
+        let mut prev = -1.0;
+        for &delta in &[0.3f64, 1.5, 4.0] {
+            let (x, y) = pair_at_distance(&mut rng, d, delta);
+            let est = CpfEstimator::new(2500, 0xF0_7).estimate_pair(&fam, &x, &y);
+            assert!(
+                est.estimate >= prev - 0.02,
+                "CPF should increase with distance: {} after {prev} at delta {delta}",
+                est.estimate
+            );
+            prev = est.estimate;
+        }
+        assert!(prev > 0.03, "far points should collide noticeably, got {prev}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Euclidean-space distance-sensitive hashing (paper §4.2).
+//!
+//! The "negate the query" trick fails in unbounded `R^d`, but asymmetry
+//! still helps: shifting the query's bucket index in the classical
+//! Datar–Immorlica–Indyk–Mirrokni projection family yields a *unimodal*
+//! CPF peaking near distance `k w` (Figure 1), and with `w = w(c)` chosen
+//! per Theorem 4.1 its `rho_minus` approaches the optimal `1/c^2`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod e2lsh;
+pub mod fourier;
+pub mod shifted;
+
+pub use e2lsh::EuclideanLsh;
+pub use fourier::{FourierEmbedding, KernelizedFamily};
+pub use shifted::ShiftedEuclideanDsh;

@@ -1,0 +1,372 @@
+//! The asymmetric shifted projection family of §4.2 (equation (2)).
+//!
+//! ```text
+//! h(x) = floor((<a, x> + b) / w),      g(y) = floor((<a, y> + b) / w) + k
+//! ```
+//!
+//! with `a ~ N(0, I_d)`, `b` uniform in `[0, w]`. A collision requires the
+//! projected difference `t = <a, x - y> ~ N(0, Delta^2)` to land in
+//! `[(k-1)w, (k+1)w]`, where the offset `b` then collides with tent-shaped
+//! probability — giving the *unimodal* CPF of Figure 1:
+//!
+//! ```text
+//! f(Delta) = int tent_k(t) phi(t/Delta)/Delta dt,
+//! tent_k(t) = max(0, 1 - |t/w - k|)
+//! ```
+//!
+//! evaluated here in closed form via `Phi` and `phi`. Theorem 4.1: with
+//! `w <= sqrt(2 pi)/(2c)`, `rho_minus = ln(1/f(r)) / ln(1/f(r/c))
+//! = (1/c^2)(1 + O(1/k))` — asymptotically optimal, matching the sphere
+//! constructions, even though the underlying symmetric family is not an
+//! optimal Euclidean LSH.
+
+use dsh_core::cpf::AnalyticCpf;
+use dsh_core::family::{DshFamily, HasherPair};
+use dsh_core::points::DenseVector;
+use dsh_math::{normal, rng};
+use rand::Rng;
+
+/// The equation-(2) family with bucket width `w` and shift `k`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftedEuclideanDsh {
+    d: usize,
+    k: u32,
+    w: f64,
+}
+
+impl ShiftedEuclideanDsh {
+    /// Family over `R^d` with bucket width `w` and bucket shift `k >= 1`.
+    pub fn new(d: usize, k: u32, w: f64) -> Self {
+        assert!(d > 0 && w > 0.0);
+        assert!(k >= 1, "the shift must be positive (k = 0 is EuclideanLsh)");
+        ShiftedEuclideanDsh { d, k, w }
+    }
+
+    /// Bucket width `w`.
+    pub fn width(&self) -> f64 {
+        self.w
+    }
+
+    /// Bucket shift `k`.
+    pub fn shift(&self) -> u32 {
+        self.k
+    }
+
+    /// The Theorem 4.1 width rule: `w(c) = sqrt(2 pi) / (2 c)`.
+    pub fn suggested_width(c: f64) -> f64 {
+        assert!(c > 1.0);
+        (2.0 * std::f64::consts::PI).sqrt() / (2.0 * c)
+    }
+
+    /// The measured exponent `rho_minus = ln(1/f(r)) / ln(1/f(r/c))`
+    /// computed in the log domain (the collision probabilities at play in
+    /// Theorem 4.1 routinely underflow `f64`).
+    pub fn rho_minus(&self, r: f64, c: f64) -> f64 {
+        assert!(r > 0.0 && c > 1.0);
+        self.ln_cpf(r) / self.ln_cpf(r / c)
+    }
+
+    /// `ln f(Delta)`, stable arbitrarily deep in the tail.
+    ///
+    /// Writing `t = (k-1)w + s` and factoring the Gaussian at the left
+    /// tent edge `a = (k-1)w/Delta`:
+    ///
+    /// ```text
+    /// f = (phi(a)/Delta) * int_0^{2w} tent(s) e^{-(2(k-1)w s + s^2)/(2 Delta^2)} ds
+    /// ```
+    ///
+    /// The remaining integral is well-scaled and computed by adaptive
+    /// quadrature, so `ln f = -a^2/2 - ln(sqrt(2 pi) Delta) + ln J` never
+    /// underflows.
+    pub fn ln_cpf(&self, delta: f64) -> f64 {
+        assert!(delta > 0.0);
+        let w = self.w;
+        let k = self.k as f64;
+        let a = (k - 1.0) * w / delta;
+        let rate = (k - 1.0) * w / (delta * delta);
+        // Substitute u = rate * s so the exponential decays on an O(1)
+        // scale regardless of how sharp the boundary layer is; truncate
+        // the range where e^{-u} is beyond double precision.
+        let (j, ln_scale) = if rate > 1.0 {
+            let u_max = (2.0 * w * rate).min(80.0);
+            let integrand = |u: f64| {
+                let s = u / rate;
+                let tent = (1.0 - (s / w - 1.0).abs()).max(0.0);
+                tent * (-(u + s * s / (2.0 * delta * delta))).exp()
+            };
+            let rough =
+                dsh_math::integrate::adaptive_simpson(integrand, 0.0, u_max, 1e-14);
+            let tol = (rough * 1e-11).max(1e-300);
+            (
+                dsh_math::integrate::adaptive_simpson(integrand, 0.0, u_max, tol),
+                -(rate.ln()),
+            )
+        } else {
+            let integrand = |s: f64| {
+                let tent = (1.0 - (s / w - 1.0).abs()).max(0.0);
+                tent * (-(rate * s + s * s / (2.0 * delta * delta))).exp()
+            };
+            let rough =
+                dsh_math::integrate::adaptive_simpson(integrand, 0.0, 2.0 * w, 1e-14);
+            let tol = (rough * 1e-11).max(1e-300);
+            (
+                dsh_math::integrate::adaptive_simpson(integrand, 0.0, 2.0 * w, tol),
+                0.0,
+            )
+        };
+        assert!(j > 0.0, "tent integral vanished numerically");
+        -a * a / 2.0 - ((2.0 * std::f64::consts::PI).sqrt() * delta).ln() + ln_scale + j.ln()
+    }
+}
+
+impl DshFamily<DenseVector> for ShiftedEuclideanDsh {
+    fn sample(&self, rng_in: &mut dyn Rng) -> HasherPair<DenseVector> {
+        let a = DenseVector::gaussian(rng_in, self.d);
+        let b = rng::uniform(rng_in, self.w);
+        let w = self.w;
+        let k = self.k as i64;
+        let a2 = a.clone();
+        HasherPair::from_fns(
+            move |x: &DenseVector| ((a.dot(x) + b) / w).floor() as i64 as u64,
+            move |y: &DenseVector| (((a2.dot(y) + b) / w).floor() as i64).wrapping_add(k) as u64,
+        )
+    }
+
+    fn name(&self) -> String {
+        format!("ShiftedE2(k={}, w={:.2})", self.k, self.w)
+    }
+}
+
+impl AnalyticCpf for ShiftedEuclideanDsh {
+    /// `arg` is the Euclidean distance `Delta >= 0`; closed-form tent
+    /// integral.
+    fn cpf(&self, delta: f64) -> f64 {
+        assert!(delta >= 0.0);
+        if delta == 0.0 {
+            return 0.0; // identical points never collide for k >= 1
+        }
+        let w = self.w;
+        let k = self.k as f64;
+        let s = |u: f64| u * w / delta; // standardized boundary
+        // piece1: t in [(k-1)w, kw], weight t/w - (k-1).
+        let p1 = delta / w * (normal::pdf(s(k - 1.0)) - normal::pdf(s(k)))
+            - (k - 1.0) * (normal::cdf(s(k)) - normal::cdf(s(k - 1.0)));
+        // piece2: t in [kw, (k+1)w], weight (k+1) - t/w.
+        let p2 = (k + 1.0) * (normal::cdf(s(k + 1.0)) - normal::cdf(s(k)))
+            - delta / w * (normal::pdf(s(k)) - normal::pdf(s(k + 1.0)));
+        (p1 + p2).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::cpf::peak_of;
+    use dsh_core::estimate::CpfEstimator;
+    use dsh_math::integrate::adaptive_simpson;
+    use dsh_math::rng::seeded;
+
+    fn pair_at_distance(
+        rng: &mut impl rand::Rng,
+        d: usize,
+        delta: f64,
+    ) -> (DenseVector, DenseVector) {
+        let x = DenseVector::gaussian(rng, d);
+        let dir = DenseVector::random_unit(rng, d);
+        let y = x.add(&dir.scaled(delta));
+        (x, y)
+    }
+
+    #[test]
+    fn closed_form_matches_tent_integral() {
+        let fam = ShiftedEuclideanDsh::new(4, 3, 1.0);
+        for &delta in &[0.5, 1.0, 2.5, 6.0] {
+            let w = 1.0;
+            let k = 3.0;
+            let num = adaptive_simpson(
+                |t| {
+                    (1.0 - (t / w - k).abs()).max(0.0) * normal::pdf(t / delta) / delta
+                },
+                (k - 1.0) * w,
+                (k + 1.0) * w,
+                1e-13,
+            );
+            assert!(
+                (num - fam.cpf(delta)).abs() < 1e-10,
+                "delta {delta}: {num} vs {}",
+                fam.cpf(delta)
+            );
+        }
+    }
+
+    #[test]
+    fn cpf_matches_monte_carlo() {
+        let d = 6;
+        let fam = ShiftedEuclideanDsh::new(d, 3, 1.0);
+        let mut rng = seeded(161);
+        for &delta in &[1.0, 2.0, 3.0, 6.0] {
+            let (x, y) = pair_at_distance(&mut rng, d, delta);
+            let est = CpfEstimator::new(60_000, 162).estimate_pair(&fam, &x, &y);
+            assert!(
+                est.contains(fam.cpf(delta)),
+                "delta {delta}: want {}, got {} [{}, {}]",
+                fam.cpf(delta),
+                est.estimate,
+                est.lo,
+                est.hi
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_shape() {
+        // Figure 1 plots k = 3, w = 1: unimodal with peak value ~0.08 at
+        // distance between 2 and 4, collision probability ~0 at 0 and a
+        // slowly decaying right tail.
+        let fam = ShiftedEuclideanDsh::new(4, 3, 1.0);
+        let (peak_x, peak_v) = peak_of(&fam, 0.05, 10.0);
+        assert!(
+            (2.0..4.0).contains(&peak_x),
+            "peak at {peak_x} (value {peak_v})"
+        );
+        assert!((0.05..0.10).contains(&peak_v), "peak value {peak_v}");
+        assert!(fam.cpf(0.0) == 0.0);
+        // Steep left flank, shallow right flank (the figure's asymmetry):
+        let left = fam.cpf(peak_x * 0.5);
+        let right = fam.cpf(peak_x * 1.5);
+        assert!(left < right, "left {left} should be below right {right}");
+    }
+
+    #[test]
+    fn unimodal_in_distance() {
+        let fam = ShiftedEuclideanDsh::new(4, 2, 0.8);
+        let vals: Vec<f64> = (1..=100).map(|i| fam.cpf(0.08 * i as f64)).collect();
+        let peak = vals
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        for wpair in vals[..=peak].windows(2) {
+            assert!(wpair[0] <= wpair[1] + 1e-12);
+        }
+        for wpair in vals[peak..].windows(2) {
+            assert!(wpair[0] >= wpair[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn theorem_4_1_rho_approaches_inverse_c_squared() {
+        let c = 2.0;
+        let w = ShiftedEuclideanDsh::suggested_width(c);
+        let mut prev_err = f64::INFINITY;
+        for &k in &[2u32, 4, 8, 16, 32] {
+            let fam = ShiftedEuclideanDsh::new(4, k, w);
+            let rho = fam.rho_minus(1.0, c);
+            let err = (rho * c * c - 1.0).abs();
+            assert!(
+                err <= prev_err + 0.05,
+                "k={k}: error {err} grew from {prev_err}"
+            );
+            prev_err = err;
+        }
+        // At k = 32 the product rho * c^2 is within ~20% of 1.
+        let fam = ShiftedEuclideanDsh::new(4, 32, w);
+        let rho = fam.rho_minus(1.0, c);
+        assert!(
+            (rho * c * c - 1.0).abs() < 0.2,
+            "rho c^2 = {}",
+            rho * c * c
+        );
+    }
+
+    #[test]
+    fn identical_points_never_collide() {
+        let d = 5;
+        let fam = ShiftedEuclideanDsh::new(d, 2, 1.0);
+        let mut rng = seeded(163);
+        let x = DenseVector::gaussian(&mut rng, d);
+        for _ in 0..100 {
+            assert!(!fam.sample(&mut rng).collides(&x, &x));
+        }
+    }
+
+    #[test]
+    fn ln_cpf_agrees_with_closed_form_in_moderate_regime() {
+        let fam = ShiftedEuclideanDsh::new(4, 3, 1.0);
+        for &delta in &[0.8, 1.5, 3.0, 6.0] {
+            let direct = fam.cpf(delta).ln();
+            let stable = fam.ln_cpf(delta);
+            assert!(
+                (direct - stable).abs() < 1e-6 * direct.abs().max(1.0),
+                "delta {delta}: {direct} vs {stable}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_cpf_finite_in_deep_tail() {
+        // k = 32, w ~ 0.63, delta = 0.5: f ~ e^{-753}, far below f64.
+        let w = ShiftedEuclideanDsh::suggested_width(2.0);
+        let fam = ShiftedEuclideanDsh::new(4, 32, w);
+        let v = fam.ln_cpf(0.5);
+        assert!(v.is_finite());
+        assert!(v < -500.0, "got {v}");
+    }
+
+    #[test]
+    fn suggested_width_formula() {
+        let w = ShiftedEuclideanDsh::suggested_width(2.0);
+        assert!((w - (2.0 * std::f64::consts::PI).sqrt() / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shift must be positive")]
+    fn zero_shift_rejected() {
+        let _ = ShiftedEuclideanDsh::new(4, 0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn cpf_is_a_probability(
+            k in 1u32..8,
+            w in 0.1f64..4.0,
+            delta in 0.0f64..50.0,
+        ) {
+            let fam = ShiftedEuclideanDsh::new(4, k, w);
+            let f = fam.cpf(delta);
+            prop_assert!((0.0..=1.0).contains(&f), "f({delta}) = {f}");
+        }
+
+        #[test]
+        fn ln_cpf_consistent_with_cpf(
+            k in 1u32..6,
+            w in 0.5f64..2.0,
+            delta in 0.5f64..20.0,
+        ) {
+            let fam = ShiftedEuclideanDsh::new(4, k, w);
+            let f = fam.cpf(delta);
+            prop_assume!(f > 1e-12);
+            let lf = fam.ln_cpf(delta);
+            prop_assert!((lf - f.ln()).abs() < 1e-5 * f.ln().abs().max(1.0),
+                "k={k} w={w} delta={delta}: {lf} vs {}", f.ln());
+        }
+
+        #[test]
+        fn rho_minus_is_below_one(
+            k in 2u32..10,
+            c in 1.2f64..4.0,
+        ) {
+            let w = ShiftedEuclideanDsh::suggested_width(c);
+            let fam = ShiftedEuclideanDsh::new(4, k, w);
+            let rho = fam.rho_minus(1.0, c);
+            prop_assert!(rho > 0.0 && rho < 1.0, "rho = {rho}");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Bit-sampling and anti bit-sampling (paper §4.1).
+//!
+//! Bit-sampling [Indyk–Motwani] picks a uniformly random coordinate `i`
+//! and hashes `x` to `x_i`; its CPF is `1 - t` where `t` is the relative
+//! Hamming distance. It is the optimal LSH for Hamming space in terms of
+//! `rho_plus` for small `r`.
+//!
+//! Anti bit-sampling is the paper's simplest asymmetric family: the pair
+//! `(x -> x_i, y -> 1 - y_i)`. A collision `h(x) = g(y)` means `x_i != y_i`,
+//! which happens with probability exactly `t` — a monotonically
+//! *increasing* CPF, impossible symmetrically (a symmetric family always
+//! has `f(0) = 1`).
+//!
+//! §4.1 also observes that anti bit-sampling is *not* optimal: its
+//! `rho_minus = ln f(r) / ln f(r/c)` is `Omega(1 / ln c)` for small `r`,
+//! while routing through the unit sphere achieves `O(1/c)`. Experiment T9
+//! measures this.
+
+use dsh_core::cpf::AnalyticCpf;
+use dsh_core::family::{DshFamily, HasherPair};
+use dsh_core::points::BitVector;
+use rand::{Rng, RngExt};
+
+/// Classical bit-sampling LSH; CPF `f(t) = 1 - t` in relative Hamming
+/// distance.
+#[derive(Debug, Clone, Copy)]
+pub struct BitSampling {
+    d: usize,
+}
+
+impl BitSampling {
+    /// Family over `{0,1}^d`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        BitSampling { d }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+}
+
+impl DshFamily<BitVector> for BitSampling {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+        let i = rng.random_range(0..self.d);
+        HasherPair::from_fns(
+            move |x: &BitVector| x.get(i) as u64,
+            move |y: &BitVector| y.get(i) as u64,
+        )
+    }
+
+    fn name(&self) -> String {
+        format!("BitSampling(d={})", self.d)
+    }
+}
+
+impl AnalyticCpf for BitSampling {
+    /// `arg` is the relative Hamming distance `t in [0, 1]`.
+    fn cpf(&self, t: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&t));
+        1.0 - t
+    }
+}
+
+/// Anti bit-sampling (paper §4.1): `h(x) = x_i`, `g(y) = 1 - y_i`; CPF
+/// `f(t) = t` in relative Hamming distance.
+#[derive(Debug, Clone, Copy)]
+pub struct AntiBitSampling {
+    d: usize,
+}
+
+impl AntiBitSampling {
+    /// Family over `{0,1}^d`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        AntiBitSampling { d }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The `rho_minus` value of anti bit-sampling at relative distance `r`
+    /// with gap `c`: `ln f(r) / ln f(r/c) = ln r / ln(r/c)` (§4.1). This is
+    /// `Theta(1 / ln c)` for fixed small `r` — the suboptimality the sphere
+    /// route beats.
+    pub fn rho_minus(r: f64, c: f64) -> f64 {
+        assert!(r > 0.0 && r < 1.0 && c > 1.0);
+        r.ln() / (r / c).ln()
+    }
+}
+
+impl DshFamily<BitVector> for AntiBitSampling {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+        let i = rng.random_range(0..self.d);
+        HasherPair::from_fns(
+            move |x: &BitVector| x.get(i) as u64,
+            move |y: &BitVector| !y.get(i) as u64,
+        )
+    }
+
+    fn name(&self) -> String {
+        format!("AntiBitSampling(d={})", self.d)
+    }
+}
+
+impl AnalyticCpf for AntiBitSampling {
+    /// `arg` is the relative Hamming distance `t in [0, 1]`.
+    fn cpf(&self, t: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&t));
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::combinators::{Concat, Power};
+    use dsh_core::estimate::CpfEstimator;
+    use dsh_math::rng::seeded;
+
+    fn points_at_distance(d: usize, k: usize) -> (BitVector, BitVector) {
+        let x = BitVector::random(&mut seeded(17), d);
+        let mut y = x.clone();
+        for i in 0..k {
+            y.flip(i);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn bit_sampling_cpf_matches() {
+        let d = 200;
+        let fam = BitSampling::new(d);
+        for &k in &[0usize, 20, 100, 200] {
+            let (x, y) = points_at_distance(d, k);
+            let t = k as f64 / d as f64;
+            let est = CpfEstimator::new(30_000, 1).estimate_pair(&fam, &x, &y);
+            assert!(
+                est.contains(fam.cpf(t)),
+                "t={t}: est {} not in [{}, {}]",
+                est.estimate,
+                est.lo,
+                est.hi
+            );
+        }
+    }
+
+    #[test]
+    fn anti_bit_sampling_cpf_matches() {
+        let d = 200;
+        let fam = AntiBitSampling::new(d);
+        for &k in &[0usize, 20, 100, 200] {
+            let (x, y) = points_at_distance(d, k);
+            let t = k as f64 / d as f64;
+            let est = CpfEstimator::new(30_000, 2).estimate_pair(&fam, &x, &y);
+            assert!(est.contains(fam.cpf(t)), "t={t}: est {}", est.estimate);
+        }
+    }
+
+    #[test]
+    fn anti_bit_sampling_zero_at_equal_points() {
+        // The asymmetric trick: identical points NEVER collide.
+        let d = 64;
+        let fam = AntiBitSampling::new(d);
+        let x = BitVector::random(&mut seeded(3), d);
+        let mut rng = seeded(4);
+        for _ in 0..100 {
+            let pair = fam.sample(&mut rng);
+            assert!(!pair.collides(&x, &x));
+        }
+    }
+
+    #[test]
+    fn anti_bit_sampling_always_collides_at_max_distance() {
+        let d = 64;
+        let fam = AntiBitSampling::new(d);
+        let x = BitVector::random(&mut seeded(5), d);
+        let y = x.complement();
+        let mut rng = seeded(6);
+        for _ in 0..100 {
+            let pair = fam.sample(&mut rng);
+            assert!(pair.collides(&x, &y));
+        }
+    }
+
+    #[test]
+    fn annulus_shaped_cpf_from_concat() {
+        // (1-t)^k1 * t^k2 peaks at t = k2/(k1+k2) (§6.1 discussion).
+        let d = 100;
+        let k1 = 3usize;
+        let k2 = 3usize;
+        let fam = Concat::new(vec![
+            Box::new(Power::new(BitSampling::new(d), k1)) as dsh_core::BoxedDshFamily<BitVector>,
+            Box::new(Power::new(AntiBitSampling::new(d), k2)),
+        ]);
+        // CPF at t: (1-t)^3 t^3; peak value at t=0.5 is (1/2)^6.
+        let (x_mid, y_mid) = points_at_distance(d, 50);
+        let est = CpfEstimator::new(60_000, 7).estimate_pair(&fam, &x_mid, &y_mid);
+        assert!(est.contains(0.5f64.powi(6)), "got {}", est.estimate);
+        // Near-zero and near-max distance: tiny collision probability.
+        let (x0, y0) = points_at_distance(d, 5);
+        let est0 = CpfEstimator::new(60_000, 8).estimate_pair(&fam, &x0, &y0);
+        let expect0 = 0.95f64.powi(3) * 0.05f64.powi(3);
+        assert!(est0.contains(expect0), "got {} want {}", est0.estimate, expect0);
+    }
+
+    #[test]
+    fn rho_minus_grows_like_inverse_log_c() {
+        let r = 0.01;
+        // rho_minus(c) * ln(c) should be roughly constant (= -ln r ... ratio).
+        let v2 = AntiBitSampling::rho_minus(r, 2.0);
+        let v8 = AntiBitSampling::rho_minus(r, 8.0);
+        // Exact values: ln(0.01)/ln(0.005), ln(0.01)/ln(0.00125).
+        assert!((v2 - (0.01f64.ln() / 0.005f64.ln())).abs() < 1e-12);
+        assert!(v8 < v2, "rho_minus must shrink with c");
+        // Inverse-log shape: v(c) ~ 1 / (1 + ln c / ln(1/r)).
+        let predict =
+            |c: f64| 1.0 / (1.0 + c.ln() / (1.0 / r).ln());
+        assert!((v2 - predict(2.0)).abs() < 1e-9);
+        assert!((v8 - predict(8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpf_trait_bounds() {
+        let f = BitSampling::new(10);
+        assert_eq!(f.cpf(0.0), 1.0);
+        assert_eq!(f.cpf(1.0), 0.0);
+        let g = AntiBitSampling::new(10);
+        assert_eq!(g.cpf(0.0), 0.0);
+        assert_eq!(g.cpf(1.0), 1.0);
+        assert_eq!(f.dim(), 10);
+        assert_eq!(g.dim(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = BitSampling::new(0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Hamming-space distance-sensitive hashing constructions (paper §4.1, §5).
+//!
+//! * [`bit_sampling::BitSampling`] — the classical Indyk–Motwani LSH with
+//!   CPF `1 - t` (relative Hamming distance `t`);
+//! * [`bit_sampling::AntiBitSampling`] — the paper's asymmetric "negated
+//!   bit" family with *increasing* CPF `t` (§4.1);
+//! * [`scaled`] — the scaled/biased variants `1 - alpha t` and
+//!   `beta/2 + alpha t / 2` used as building blocks by Theorem 5.2;
+//! * [`poly_dsh`] — Theorem 5.2 end-to-end: given a polynomial `P` with no
+//!   roots of real part in `(0, 1)`, a DSH family with CPF `P(t) / Delta`,
+//!   with the scaling factor `Delta = |a_k| 2^psi prod_{|z|>1} |z|`
+//!   computed from the factorization.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod bit_sampling;
+pub mod multiprobe;
+pub mod padded;
+pub mod poly_dsh;
+pub mod scaled;
+
+pub use bit_sampling::{AntiBitSampling, BitSampling};
+pub use multiprobe::MultiProbeBitSampling;
+pub use padded::PaddedFamily;
+pub use poly_dsh::{PolyDshError, PolynomialHammingDsh};
+pub use scaled::{ScaledBiasedAntiBitSampling, ScaledBitSampling};

@@ -1,0 +1,147 @@
+//! The padding reduction from the proof of Theorem 3.8 (§3.1).
+//!
+//! Given a family `A` over `{0,1}^d`, the proof defines a family over the
+//! smaller cube `{0,1}^dhat` by `hhat(x) = h(x ∘ 1)` — append the all-ones
+//! vector before hashing. The padded coordinates never differ between two
+//! padded points, so absolute Hamming distances are preserved while the
+//! *relative* distance is amplified by `d/dhat` — the mechanism that lets
+//! the proof tune the correlation `alpha` of random inputs to hit a target
+//! distance scale.
+
+use dsh_core::family::{DshFamily, HasherPair};
+use dsh_core::points::BitVector;
+use rand::Rng;
+
+/// Family over `{0,1}^dhat` obtained by padding points with ones to
+/// dimension `d` and applying an inner family over `{0,1}^d`.
+pub struct PaddedFamily<F> {
+    inner: F,
+    d_inner: usize,
+    d_outer: usize,
+}
+
+impl<F> PaddedFamily<F> {
+    /// Wrap `inner` (a family over `{0,1}^d_inner`), exposing a family
+    /// over `{0,1}^d_outer` with `d_outer <= d_inner`.
+    pub fn new(inner: F, d_inner: usize, d_outer: usize) -> Self {
+        assert!(d_outer >= 1 && d_outer <= d_inner, "need 1 <= d_outer <= d_inner");
+        PaddedFamily {
+            inner,
+            d_inner,
+            d_outer,
+        }
+    }
+
+    /// The inner (padded-to) dimension.
+    pub fn inner_dim(&self) -> usize {
+        self.d_inner
+    }
+
+    /// The outer (actual point) dimension.
+    pub fn outer_dim(&self) -> usize {
+        self.d_outer
+    }
+}
+
+impl<F: DshFamily<BitVector>> DshFamily<BitVector> for PaddedFamily<F> {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+        let pair = self.inner.sample(rng);
+        let (h, g) = (pair.data, pair.query);
+        let this_h = PadSpec {
+            d_inner: self.d_inner,
+            d_outer: self.d_outer,
+        };
+        let this_g = this_h;
+        HasherPair::from_fns(
+            move |x: &BitVector| h.hash(&this_h.pad(x)),
+            move |y: &BitVector| g.hash(&this_g.pad(y)),
+        )
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Padded[{} -> {}]({})",
+            self.d_outer,
+            self.d_inner,
+            self.inner.name()
+        )
+    }
+}
+
+/// Copyable padding spec so the sampled closures don't borrow `self`.
+#[derive(Clone, Copy)]
+struct PadSpec {
+    d_inner: usize,
+    d_outer: usize,
+}
+
+impl PadSpec {
+    fn pad(&self, x: &BitVector) -> BitVector {
+        assert_eq!(x.len(), self.d_outer, "point dimension mismatch");
+        let mut out = BitVector::ones(self.d_inner);
+        for i in 0..self.d_outer {
+            out.set(i, x.get(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AntiBitSampling, BitSampling};
+    use dsh_core::estimate::CpfEstimator;
+    use dsh_math::rng::seeded;
+
+    #[test]
+    fn padding_preserves_absolute_distance_scaling() {
+        // Bit-sampling over d = 400 applied to padded d_outer = 100
+        // points: CPF = 1 - (absolute distance)/400 = 1 - t_outer/4.
+        let d_inner = 400;
+        let d_outer = 100;
+        let fam = PaddedFamily::new(BitSampling::new(d_inner), d_inner, d_outer);
+        let mut rng = seeded(0xAD5E);
+        let x = BitVector::random(&mut rng, d_outer);
+        let mut y = x.clone();
+        for i in 0..60 {
+            y.flip(i);
+        }
+        // absolute distance 60 over inner 400: CPF 1 - 60/400 = 0.85.
+        let est = CpfEstimator::new(50_000, 1).estimate_pair(&fam, &x, &y);
+        assert!(est.contains(0.85), "got {}", est.estimate);
+    }
+
+    #[test]
+    fn padded_anti_family_scales_increasing_cpf() {
+        let d_inner = 200;
+        let d_outer = 50;
+        let fam = PaddedFamily::new(AntiBitSampling::new(d_inner), d_inner, d_outer);
+        let mut rng = seeded(7);
+        let x = BitVector::random(&mut rng, d_outer);
+        let y = x.complement(); // absolute distance 50 -> CPF 50/200 = 0.25
+        let est = CpfEstimator::new(50_000, 2).estimate_pair(&fam, &x, &y);
+        assert!(est.contains(0.25), "got {}", est.estimate);
+    }
+
+    #[test]
+    fn identity_padding_is_transparent() {
+        let d = 64;
+        let fam = PaddedFamily::new(BitSampling::new(d), d, d);
+        let mut rng = seeded(9);
+        let x = BitVector::random(&mut rng, d);
+        let pair = fam.sample(&mut rng);
+        assert!(pair.collides(&x, &x));
+        assert_eq!(fam.inner_dim(), d);
+        assert_eq!(fam.outer_dim(), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "point dimension mismatch")]
+    fn wrong_dimension_points_rejected() {
+        let fam = PaddedFamily::new(BitSampling::new(100), 100, 50);
+        let mut rng = seeded(11);
+        let pair = fam.sample(&mut rng);
+        let wrong = BitVector::zeros(100);
+        let _ = pair.data.hash(&wrong);
+    }
+}

@@ -1,0 +1,607 @@
+//! Polynomial CPFs in Hamming space — Theorem 5.2.
+//!
+//! Given a polynomial `P` with no roots whose real part lies in `(0, 1)`,
+//! the paper constructs a DSH family with CPF `P(t) / Delta`, where `t` is
+//! the relative Hamming distance and the scaling factor
+//! `Delta = |a_k| 2^psi prod_{|z| > 1} |z|` depends only on the roots
+//! (`psi` = number of roots with non-positive... strictly negative real
+//! part; purely imaginary roots are handled by the same "middle" case and
+//! counted with it).
+//!
+//! The construction factorizes `P(t) = a_k prod_z (t - z)` (we find the
+//! roots with the Aberth–Ehrlich iteration from `dsh-math`) and realizes
+//! one sub-family per real root / conjugate pair, following the case
+//! analysis of Appendix C.3:
+//!
+//! | root(s)                         | factor rewritten as           | sub-family |
+//! |---------------------------------|-------------------------------|------------|
+//! | `z = 0` (multiplicity `l`)      | `t^l`                         | `l` anti bit-samplings |
+//! | real `z < 0`                    | `2 max(1,|z|) * (|z| + t)/(2 max(1,|z|))` | scaled+biased anti bit-sampling |
+//! | real `z >= 1`                   | `z * (1 - t/z)`               | scaled bit-sampling |
+//! | pair, `Re z < -1`               | `4|z|^2 * S4(t)`              | mixture: const-1/4 + squared anti |
+//! | pair, `Re z >= 1`               | `|z|^2 * S5(t)`               | mixture: const-1 + squared scaled bit-sampling |
+//! | pair, `-1 <= Re z <= 0`         | `4 max(1,|z|^2) * S6/S7(t)`   | monomial mixture |
+//!
+//! Every sub-family CPF is a polynomial with nonnegative coefficients
+//! summing to at most 1, so it is realizable by Lemma 1.4(b) as a mixture
+//! of powers of anti bit-sampling (CPF `t^i`) with `Always`/`Never`
+//! padding; concatenating the sub-families multiplies the CPFs
+//! (Lemma 1.4(a)), producing exactly `P(t) / Delta`.
+
+use dsh_core::combinators::{scaled, AlwaysCollide, Concat, Mixture, NeverCollide, Power};
+use dsh_core::cpf::AnalyticCpf;
+use dsh_core::family::{BoxedDshFamily, DshFamily, HasherPair};
+use dsh_core::points::BitVector;
+use dsh_math::roots::{find_roots, group_roots};
+use dsh_math::{Complex, Polynomial};
+use rand::Rng;
+
+use crate::bit_sampling::AntiBitSampling;
+use crate::scaled::{ScaledBiasedAntiBitSampling, ScaledBitSampling};
+
+/// Why a polynomial cannot be turned into a Hamming DSH family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolyDshError {
+    /// The zero polynomial or a constant polynomial has no usable roots.
+    DegenerateDegree,
+    /// A root's real part lies in the open interval `(0, 1)` — excluded by
+    /// Theorem 5.2's hypothesis.
+    RootInUnitInterval(Complex),
+    /// The scaled polynomial is not a valid CPF on `[0, 1]` (negative
+    /// somewhere, so `P` was not nonnegative on the interval).
+    NotAProbability {
+        /// Where the violation was detected.
+        t: f64,
+        /// The offending value `P(t) / Delta`.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for PolyDshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolyDshError::DegenerateDegree => {
+                write!(f, "polynomial must have degree at least 1")
+            }
+            PolyDshError::RootInUnitInterval(z) => write!(
+                f,
+                "root {z:?} has real part in (0,1), excluded by Theorem 5.2"
+            ),
+            PolyDshError::NotAProbability { t, value } => {
+                write!(f, "P(t)/Delta = {value} at t = {t} is not a probability")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyDshError {}
+
+/// A Hamming-space DSH family with CPF `P(t) / Delta` (Theorem 5.2).
+pub struct PolynomialHammingDsh {
+    d: usize,
+    poly: Polynomial,
+    scaled_poly: Polynomial,
+    delta: f64,
+    family: Concat<BitVector>,
+    piece_names: Vec<String>,
+}
+
+/// One per-root sub-family together with its exact CPF polynomial and its
+/// contribution to `Delta`.
+struct Piece {
+    family: BoxedDshFamily<BitVector>,
+    cpf_poly: Polynomial,
+    delta: f64,
+    name: String,
+}
+
+impl PolynomialHammingDsh {
+    /// Build the Theorem 5.2 family over `{0,1}^d` for polynomial `p`.
+    pub fn from_polynomial(d: usize, p: &Polynomial) -> Result<Self, PolyDshError> {
+        assert!(d > 0, "dimension must be positive");
+        let deg = p.degree().ok_or(PolyDshError::DegenerateDegree)?;
+        if deg == 0 {
+            return Err(PolyDshError::DegenerateDegree);
+        }
+
+        let all_roots = find_roots(p);
+        // Hypothesis check: no root with real part in (0, 1). Zero roots
+        // (real part exactly 0) are fine.
+        for &z in &all_roots {
+            // Forbidden strip: real part strictly inside (0, 1). Roots at 0
+            // (monomial factors) and at 1 sit on the boundary and are fine.
+            if z.re > 1e-9 && z.re < 1.0 - 1e-12 {
+                return Err(PolyDshError::RootInUnitInterval(z));
+            }
+        }
+        let grouped = group_roots(&all_roots);
+
+        let mut pieces: Vec<Piece> = Vec::new();
+        for &z in &grouped.real {
+            pieces.push(real_root_piece(d, z)?);
+        }
+        for &z in &grouped.complex_pairs {
+            pieces.push(complex_pair_piece(d, z)?);
+        }
+        assert!(!pieces.is_empty(), "degree >= 1 polynomial yields pieces");
+
+        // Assemble the product CPF symbolically and recover Delta from
+        // P = Delta * Q (they agree up to the leading scalar).
+        let mut q_total = Polynomial::constant(1.0);
+        for piece in &pieces {
+            q_total = q_total.mul(&piece.cpf_poly);
+        }
+        let delta = {
+            // Use the largest coefficient of Q for a well-conditioned ratio.
+            let (j, qj) = q_total
+                .coeffs()
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+                .expect("nonzero polynomial");
+            p.coeff(j) / qj
+        };
+        if !(delta.is_finite() && delta > 0.0) {
+            return Err(PolyDshError::NotAProbability {
+                t: 0.0,
+                value: delta,
+            });
+        }
+        // The per-piece contributions multiply to the global scaling factor
+        // (this is exactly the paper's Delta decomposition).
+        let piece_delta_product: f64 =
+            p.leading().abs() * pieces.iter().map(|pc| pc.delta).product::<f64>();
+        debug_assert!(
+            (piece_delta_product - delta).abs() <= 1e-6 * delta,
+            "piece deltas {piece_delta_product} disagree with global delta {delta}"
+        );
+        // Internal consistency: P must equal Delta * Q coefficient-wise.
+        let scale = p.abs_coeff_sum().max(1.0);
+        for i in 0..=deg {
+            let diff = (p.coeff(i) - delta * q_total.coeff(i)).abs();
+            assert!(
+                diff <= 1e-5 * scale * delta.max(1.0),
+                "factorization mismatch at coefficient {i}: {} vs {}",
+                p.coeff(i),
+                delta * q_total.coeff(i)
+            );
+        }
+        // Validate the CPF is a probability on [0, 1].
+        for i in 0..=400 {
+            let t = i as f64 / 400.0;
+            let v = q_total.eval(t);
+            if !(-1e-9..=1.0 + 1e-9).contains(&v) {
+                return Err(PolyDshError::NotAProbability { t, value: v });
+            }
+        }
+
+        let piece_names = pieces.iter().map(|p| p.name.clone()).collect();
+        let family = Concat::new(pieces.into_iter().map(|p| p.family).collect());
+        Ok(PolynomialHammingDsh {
+            d,
+            poly: p.clone(),
+            scaled_poly: q_total,
+            delta,
+            family,
+            piece_names,
+        })
+    }
+
+    /// Lemma 1.4(b) route (§5): for a polynomial with **nonnegative**
+    /// coefficients summing to at most 1, realize the CPF `P(t)` exactly
+    /// (no scaling factor) as a mixture of powers of anti bit-sampling.
+    pub fn from_nonnegative_coefficients(
+        d: usize,
+        p: &Polynomial,
+    ) -> Result<Mixture<BitVector>, PolyDshError> {
+        if p.degree().is_none() {
+            return Err(PolyDshError::DegenerateDegree);
+        }
+        if p.coeffs().iter().any(|&c| c < 0.0) || p.abs_coeff_sum() > 1.0 + 1e-12 {
+            return Err(PolyDshError::NotAProbability {
+                t: f64::NAN,
+                value: p.abs_coeff_sum(),
+            });
+        }
+        Ok(monomial_mixture(d, p.coeffs()))
+    }
+
+    /// The scaling factor `Delta >= 1/|a_k| ... ` of Theorem 5.2 such that
+    /// the CPF is exactly `P(t) / Delta`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The target polynomial `P`.
+    pub fn polynomial(&self) -> &Polynomial {
+        &self.poly
+    }
+
+    /// Dimension of the Hamming space.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Descriptions of the per-root sub-families (for reports).
+    pub fn piece_names(&self) -> &[String] {
+        &self.piece_names
+    }
+
+    /// The paper's closed-form scaling factor
+    /// `|a_k| * 2^psi * prod_{|z| > 1} |z|`, computed directly from the
+    /// roots. Agrees with [`Self::delta`] up to floating point error.
+    pub fn paper_delta(p: &Polynomial) -> Option<f64> {
+        let deg = p.degree()?;
+        if deg == 0 {
+            return None;
+        }
+        let roots = find_roots(p);
+        let mut delta = p.leading().abs();
+        for z in roots {
+            if z.re < 0.0 || (z.im != 0.0 && z.re <= 0.0) {
+                delta *= 2.0;
+            }
+            let m = z.abs();
+            if m > 1.0 {
+                delta *= m;
+            }
+        }
+        Some(delta)
+    }
+}
+
+impl std::fmt::Debug for PolynomialHammingDsh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolynomialHammingDsh")
+            .field("d", &self.d)
+            .field("poly", &self.poly)
+            .field("delta", &self.delta)
+            .field("pieces", &self.piece_names)
+            .finish()
+    }
+}
+
+impl DshFamily<BitVector> for PolynomialHammingDsh {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+        self.family.sample(rng)
+    }
+
+    fn name(&self) -> String {
+        format!("PolyDsh[{}]/{:.4}", self.poly, self.delta)
+    }
+}
+
+impl AnalyticCpf for PolynomialHammingDsh {
+    /// `arg` is the relative Hamming distance `t in [0, 1]`; returns
+    /// `P(t) / Delta`.
+    fn cpf(&self, t: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&t));
+        self.scaled_poly.eval(t).clamp(0.0, 1.0)
+    }
+}
+
+/// Realize a polynomial CPF with nonnegative coefficients summing to <= 1
+/// as a mixture of `Always` (for `t^0`) and powers of anti bit-sampling
+/// (CPF `t^i`), padded with `Never`.
+fn monomial_mixture(d: usize, coeffs: &[f64]) -> Mixture<BitVector> {
+    let mut items: Vec<(f64, BoxedDshFamily<BitVector>)> = Vec::new();
+    let mut total = 0.0;
+    for (i, &c) in coeffs.iter().enumerate() {
+        assert!(c >= -1e-12, "monomial mixture needs nonnegative coefficients");
+        let c = c.max(0.0);
+        if c == 0.0 {
+            continue;
+        }
+        total += c;
+        let fam: BoxedDshFamily<BitVector> = if i == 0 {
+            Box::new(AlwaysCollide)
+        } else {
+            Box::new(Power::new(AntiBitSampling::new(d), i))
+        };
+        items.push((c, fam));
+    }
+    assert!(total <= 1.0 + 1e-9, "coefficients sum to {total} > 1");
+    let pad = (1.0 - total).max(0.0);
+    items.push((pad, Box::new(NeverCollide)));
+    // Renormalize away accumulated float error so Mixture's sum check holds.
+    let s: f64 = items.iter().map(|(p, _)| p).sum();
+    for (p, _) in items.iter_mut() {
+        *p /= s;
+    }
+    Mixture::new(items)
+}
+
+/// Piece for a real root `z` (with `z` outside `(0, 1)`).
+fn real_root_piece(d: usize, z: f64) -> Result<Piece, PolyDshError> {
+    if z.abs() <= 1e-9 {
+        // Root at 0: factor t, plain anti bit-sampling.
+        return Ok(Piece {
+            family: Box::new(AntiBitSampling::new(d)),
+            cpf_poly: Polynomial::new(vec![0.0, 1.0]),
+            delta: 1.0,
+            name: "anti-bit-sampling (root 0)".into(),
+        });
+    }
+    if z < 0.0 {
+        // Factor (t + |z|) = 2m * ((|z| + t) / (2m)), m = max(1, |z|):
+        // scaled+biased anti bit-sampling with alpha = 1/m, beta = |z|/m.
+        let m = z.abs().max(1.0);
+        let alpha = 1.0 / m;
+        let beta = z.abs() / m;
+        let fam = ScaledBiasedAntiBitSampling::new(d, alpha, beta);
+        return Ok(Piece {
+            family: Box::new(fam),
+            cpf_poly: Polynomial::new(vec![0.5 * beta, 0.5 * alpha]),
+            delta: 2.0 * m,
+            name: format!("scaled+biased anti (root {z:.4})"),
+        });
+    }
+    if z >= 1.0 - 1e-12 {
+        // Factor (z - t) = z (1 - t/z): scaled bit-sampling, alpha = 1/z.
+        let z = z.max(1.0);
+        let alpha = 1.0 / z;
+        let fam = ScaledBitSampling::new(d, alpha);
+        return Ok(Piece {
+            family: Box::new(fam),
+            cpf_poly: Polynomial::new(vec![1.0, -alpha]),
+            delta: z,
+            name: format!("scaled bit-sampling (root {z:.4})"),
+        });
+    }
+    Err(PolyDshError::RootInUnitInterval(Complex::from_real(z)))
+}
+
+/// Piece for a conjugate pair `z = a + bi`, `b > 0`: realizes the factor
+/// `t^2 - 2 a t + a^2 + b^2` up to the stated scaling.
+fn complex_pair_piece(d: usize, z: Complex) -> Result<Piece, PolyDshError> {
+    let (a, b) = (z.re, z.im);
+    assert!(b > 0.0, "representative of a conjugate pair must have im > 0");
+    let n = a * a + b * b;
+    if a < -1.0 {
+        // S4: factor = 4n * [ b^2/(4n) + (a^2/n) ((t/(2|a|) + 1/2))^2 ].
+        // Sub-family: mixture of a constant-1/4 scheme (weight b^2/n) and
+        // the square of scaled+biased anti bit-sampling with alpha = 1/|a|,
+        // beta = 1 (weight a^2/n).
+        let abs_a = a.abs();
+        let inner = ScaledBiasedAntiBitSampling::new(d, 1.0 / abs_a, 1.0);
+        let fam = Mixture::new(vec![
+            (
+                b * b / n,
+                Box::new(scaled(Box::new(AlwaysCollide), 0.25)) as BoxedDshFamily<BitVector>,
+            ),
+            (a * a / n, Box::new(Power::new(inner, 2))),
+        ]);
+        // CPF polynomial: b^2/(4n) + (a^2/n) (1/2 + t/(2|a|))^2.
+        let lin = Polynomial::new(vec![0.5, 0.5 / abs_a]);
+        let cpf = Polynomial::constant(b * b / (4.0 * n)).add(&lin.mul(&lin).scale(a * a / n));
+        return Ok(Piece {
+            family: Box::new(fam),
+            cpf_poly: cpf,
+            delta: 4.0 * n,
+            name: format!("complex pair Re<-1 ({a:.3} +- {b:.3}i)"),
+        });
+    }
+    if a >= 1.0 {
+        // S5: factor = n * [ b^2/n + (a^2/n) (1 - t/a)^2 ].
+        let inner = ScaledBitSampling::new(d, 1.0 / a);
+        let fam = Mixture::new(vec![
+            (b * b / n, Box::new(AlwaysCollide) as BoxedDshFamily<BitVector>),
+            (a * a / n, Box::new(Power::new(inner, 2))),
+        ]);
+        let lin = Polynomial::new(vec![1.0, -1.0 / a]);
+        let cpf = Polynomial::constant(b * b / n).add(&lin.mul(&lin).scale(a * a / n));
+        return Ok(Piece {
+            family: Box::new(fam),
+            cpf_poly: cpf,
+            delta: n,
+            name: format!("complex pair Re>=1 ({a:.3} +- {b:.3}i)"),
+        });
+    }
+    if a <= 1e-9 {
+        // -1 <= Re(z) <= 0 (S6/S7): the factor t^2 + 2|a| t + n has
+        // nonnegative coefficients; divide by 4 max(1, n) so they sum to
+        // <= 1 and realize as a monomial mixture.
+        let m = n.max(1.0);
+        let delta = 4.0 * m;
+        let coeffs = vec![n / delta, 2.0 * a.abs() / delta, 1.0 / delta];
+        let cpf = Polynomial::new(coeffs.clone());
+        let fam = monomial_mixture(d, &coeffs);
+        return Ok(Piece {
+            family: Box::new(fam),
+            cpf_poly: cpf,
+            delta,
+            name: format!("complex pair mid ({a:.3} +- {b:.3}i)"),
+        });
+    }
+    Err(PolyDshError::RootInUnitInterval(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::estimate::CpfEstimator;
+    use dsh_math::rng::seeded;
+
+    fn points_at_distance(d: usize, k: usize) -> (BitVector, BitVector) {
+        let x = BitVector::random(&mut seeded(41), d);
+        let mut y = x.clone();
+        for i in 0..k {
+            y.flip(i);
+        }
+        (x, y)
+    }
+
+    fn check_cpf_matches(fam: &PolynomialHammingDsh, d: usize, seed: u64) {
+        for &k in &[0usize, d / 4, d / 2, 3 * d / 4, d] {
+            let (x, y) = points_at_distance(d, k);
+            let t = k as f64 / d as f64;
+            let want = fam.cpf(t);
+            let est = CpfEstimator::new(50_000, seed + k as u64).estimate_pair(fam, &x, &y);
+            assert!(
+                est.contains(want),
+                "t={t}: want {want}, got {} in [{}, {}]",
+                est.estimate,
+                est.lo,
+                est.hi
+            );
+        }
+    }
+
+    #[test]
+    fn unimodal_t_times_one_minus_t() {
+        // P(t) = t (1 - t) = t - t^2; roots 0 and 1; Delta = 1.
+        let p = Polynomial::new(vec![0.0, 1.0, -1.0]);
+        let fam = PolynomialHammingDsh::from_polynomial(100, &p).unwrap();
+        assert!((fam.delta() - 1.0).abs() < 1e-9, "delta {}", fam.delta());
+        assert!((fam.cpf(0.5) - 0.25).abs() < 1e-9);
+        check_cpf_matches(&fam, 100, 1000);
+    }
+
+    #[test]
+    fn one_minus_t_squared_needs_delta_two() {
+        // P(t) = 1 - t^2 = (1 - t)(1 + t); the paper's own example of why
+        // Delta is unavoidable: Delta = 2.
+        let p = Polynomial::new(vec![1.0, 0.0, -1.0]);
+        let fam = PolynomialHammingDsh::from_polynomial(100, &p).unwrap();
+        assert!((fam.delta() - 2.0).abs() < 1e-9, "delta {}", fam.delta());
+        assert!((fam.cpf(0.0) - 0.5).abs() < 1e-9);
+        assert!((fam.cpf(1.0) - 0.0).abs() < 1e-9);
+        check_cpf_matches(&fam, 100, 2000);
+    }
+
+    #[test]
+    fn purely_imaginary_roots() {
+        // P(t) = t^2 + 1; roots +-i (middle case, |z| = 1); Delta = 4.
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0]);
+        let fam = PolynomialHammingDsh::from_polynomial(80, &p).unwrap();
+        assert!((fam.delta() - 4.0).abs() < 1e-6, "delta {}", fam.delta());
+        assert!((fam.cpf(0.0) - 0.25).abs() < 1e-9);
+        assert!((fam.cpf(1.0) - 0.5).abs() < 1e-9);
+        check_cpf_matches(&fam, 80, 3000);
+    }
+
+    #[test]
+    fn complex_pair_left_of_minus_one() {
+        // P(t) = t^2 + 4t + 5; roots -2 +- i; n = 5, Delta = 20.
+        let p = Polynomial::new(vec![5.0, 4.0, 1.0]);
+        let fam = PolynomialHammingDsh::from_polynomial(80, &p).unwrap();
+        assert!((fam.delta() - 20.0).abs() < 1e-6, "delta {}", fam.delta());
+        assert!((fam.cpf(0.0) - 0.25).abs() < 1e-9);
+        assert!((fam.cpf(1.0) - 0.5).abs() < 1e-9);
+        check_cpf_matches(&fam, 80, 4000);
+    }
+
+    #[test]
+    fn complex_pair_right_of_one() {
+        // P(t) = t^2 - 4t + 5; roots 2 +- i; n = 5, Delta = 5.
+        let p = Polynomial::new(vec![5.0, -4.0, 1.0]);
+        let fam = PolynomialHammingDsh::from_polynomial(80, &p).unwrap();
+        assert!((fam.delta() - 5.0).abs() < 1e-6, "delta {}", fam.delta());
+        assert!((fam.cpf(0.0) - 1.0).abs() < 1e-9);
+        assert!((fam.cpf(1.0) - 0.4).abs() < 1e-9);
+        check_cpf_matches(&fam, 80, 5000);
+    }
+
+    #[test]
+    fn mixed_roots_cubic() {
+        // P(t) = t (1 - t) (t + 2) = -t^3 - t^2 + 2t:
+        // roots 0, 1, -2; Delta = 2 * max(1,2) * 1 = 4.
+        let p = Polynomial::new(vec![0.0, 2.0, -1.0, -1.0]);
+        let fam = PolynomialHammingDsh::from_polynomial(100, &p).unwrap();
+        assert!((fam.delta() - 4.0).abs() < 1e-6, "delta {}", fam.delta());
+        assert_eq!(fam.piece_names().len(), 3);
+        check_cpf_matches(&fam, 100, 6000);
+    }
+
+    #[test]
+    fn paper_delta_formula_agrees() {
+        for coeffs in [
+            vec![1.0, 0.0, -1.0],       // (1-t)(1+t)
+            vec![5.0, 4.0, 1.0],        // -2 +- i
+            vec![5.0, -4.0, 1.0],       // 2 +- i
+            vec![0.0, 2.0, -1.0, -1.0], // 0, 1, -2
+        ] {
+            let p = Polynomial::new(coeffs);
+            let fam = PolynomialHammingDsh::from_polynomial(50, &p).unwrap();
+            let paper = PolynomialHammingDsh::paper_delta(&p).unwrap();
+            assert!(
+                (fam.delta() - paper).abs() < 1e-6 * paper,
+                "{}: construction {} vs formula {}",
+                p,
+                fam.delta(),
+                paper
+            );
+        }
+    }
+
+    #[test]
+    fn root_in_unit_interval_rejected() {
+        // P(t) = t - 0.5.
+        let p = Polynomial::new(vec![-0.5, 1.0]);
+        match PolynomialHammingDsh::from_polynomial(50, &p) {
+            Err(PolyDshError::RootInUnitInterval(z)) => {
+                assert!((z.re - 0.5).abs() < 1e-9);
+            }
+            other => panic!("expected RootInUnitInterval, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_polynomials_rejected() {
+        assert_eq!(
+            PolynomialHammingDsh::from_polynomial(10, &Polynomial::constant(0.5)).unwrap_err(),
+            PolyDshError::DegenerateDegree
+        );
+        assert_eq!(
+            PolynomialHammingDsh::from_polynomial(10, &Polynomial::zero()).unwrap_err(),
+            PolyDshError::DegenerateDegree
+        );
+    }
+
+    #[test]
+    fn nonnegative_route_matches_exactly() {
+        // P(t) = 0.3 + 0.5 t + 0.2 t^3: CPF realized with NO scaling.
+        let p = Polynomial::new(vec![0.3, 0.5, 0.0, 0.2]);
+        let fam = PolynomialHammingDsh::from_nonnegative_coefficients(100, &p).unwrap();
+        let d = 100;
+        for &k in &[0usize, 50, 100] {
+            let (x, y) = points_at_distance(d, k);
+            let t = k as f64 / d as f64;
+            let est = CpfEstimator::new(50_000, 7000 + k as u64).estimate_pair(&fam, &x, &y);
+            assert!(
+                est.contains(p.eval(t)),
+                "t={t}: want {}, got {}",
+                p.eval(t),
+                est.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn nonnegative_route_rejects_bad_inputs() {
+        let neg = Polynomial::new(vec![0.5, -0.1]);
+        assert!(PolynomialHammingDsh::from_nonnegative_coefficients(10, &neg).is_err());
+        let too_big = Polynomial::new(vec![0.9, 0.9]);
+        assert!(PolynomialHammingDsh::from_nonnegative_coefficients(10, &too_big).is_err());
+    }
+
+    #[test]
+    fn taylor_truncation_example() {
+        // §5 closing remark: approximate a smooth function by a truncated
+        // Taylor series and apply the construction. Degree-4 truncation of
+        // cos(t): 1 - t^2/2 + t^4/24, whose four real roots (~ +-1.59,
+        // +-3.08) all lie outside [0, 1].
+        let p = Polynomial::new(vec![1.0, 0.0, -0.5, 0.0, 1.0 / 24.0]);
+        let fam = PolynomialHammingDsh::from_polynomial(60, &p).unwrap();
+        // Two roots have negative real part (psi = 2) and all four have
+        // magnitude > 1 with product |a_0 / a_4| = 24, so
+        // Delta = (1/24) * 2^2 * 24 = 4.
+        assert!((fam.delta() - 4.0).abs() < 1e-6, "delta {}", fam.delta());
+        for &t in &[0.0, 0.5, 1.0] {
+            let want = p.eval(t) / fam.delta();
+            assert!((fam.cpf(t) - want).abs() < 1e-9);
+        }
+        // And the truncation is close to cos(t) itself.
+        assert!((fam.cpf(1.0) * fam.delta() - 1.0f64.cos()).abs() < 0.01);
+    }
+}

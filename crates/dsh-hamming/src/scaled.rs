@@ -1,0 +1,232 @@
+//! Scaled and biased bit-sampling variations (proof of Theorem 5.2).
+//!
+//! The paper's Appendix C.3 introduces two parameterized families used as
+//! per-root building blocks of the polynomial construction:
+//!
+//! * *bit-sampling with scaling factor `alpha`*: the sampled bit is zeroed
+//!   with probability `1 - alpha` on both sides; CPF `1 - alpha t`;
+//! * *anti bit-sampling with scaling factor `alpha` and bias `beta`*: with
+//!   probability 1/2 a constant scheme colliding with probability `beta`,
+//!   otherwise anti bit-sampling with the bit zeroed with probability
+//!   `1 - alpha`; CPF `beta/2 + alpha t / 2`.
+
+use dsh_core::cpf::AnalyticCpf;
+use dsh_core::family::{DshFamily, HasherPair};
+use dsh_core::points::BitVector;
+use rand::{Rng, RngExt};
+
+/// Bit-sampling with scaling factor `alpha in [0, 1]`; CPF
+/// `f(t) = 1 - alpha t` in relative Hamming distance.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledBitSampling {
+    d: usize,
+    alpha: f64,
+}
+
+impl ScaledBitSampling {
+    /// Family over `{0,1}^d` with scaling factor `alpha`.
+    pub fn new(d: usize, alpha: f64) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        ScaledBitSampling { d, alpha }
+    }
+
+    /// The scaling factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl DshFamily<BitVector> for ScaledBitSampling {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+        let keep = rng.random_bool(self.alpha);
+        let i = rng.random_range(0..self.d);
+        if keep {
+            HasherPair::from_fns(
+                move |x: &BitVector| x.get(i) as u64,
+                move |y: &BitVector| y.get(i) as u64,
+            )
+        } else {
+            // Bit zeroed on both sides: everything collides.
+            HasherPair::from_fns(|_x: &BitVector| 0, |_y: &BitVector| 0)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ScaledBitSampling(alpha={:.3})", self.alpha)
+    }
+}
+
+impl AnalyticCpf for ScaledBitSampling {
+    /// `arg` is the relative Hamming distance `t in [0, 1]`.
+    fn cpf(&self, t: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&t));
+        1.0 - self.alpha * t
+    }
+}
+
+/// Anti bit-sampling with scaling factor `alpha in [0, 1]` and bias
+/// `beta in [0, 1]`; CPF `f(t) = beta/2 + alpha t / 2`.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledBiasedAntiBitSampling {
+    d: usize,
+    alpha: f64,
+    beta: f64,
+}
+
+impl ScaledBiasedAntiBitSampling {
+    /// Family over `{0,1}^d` with scaling factor `alpha` and bias `beta`.
+    pub fn new(d: usize, alpha: f64, beta: f64) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+        ScaledBiasedAntiBitSampling { d, alpha, beta }
+    }
+
+    /// The scaling factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The bias.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl DshFamily<BitVector> for ScaledBiasedAntiBitSampling {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+        if rng.random_bool(0.5) {
+            // Constant scheme colliding with probability beta: data point
+            // maps to 0; query maps to 0 with probability beta, else 1.
+            let collide = rng.random_bool(self.beta);
+            HasherPair::from_fns(
+                |_x: &BitVector| 0,
+                move |_y: &BitVector| !collide as u64,
+            )
+        } else {
+            let keep = rng.random_bool(self.alpha);
+            let i = rng.random_range(0..self.d);
+            if keep {
+                HasherPair::from_fns(
+                    move |x: &BitVector| x.get(i) as u64,
+                    move |y: &BitVector| !y.get(i) as u64,
+                )
+            } else {
+                // Bit zeroed on both sides: h = 0, g = 1 - 0 = 1, never
+                // collides.
+                HasherPair::from_fns(|_x: &BitVector| 0, |_y: &BitVector| 1)
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "ScaledBiasedAntiBitSampling(alpha={:.3}, beta={:.3})",
+            self.alpha, self.beta
+        )
+    }
+}
+
+impl AnalyticCpf for ScaledBiasedAntiBitSampling {
+    /// `arg` is the relative Hamming distance `t in [0, 1]`.
+    fn cpf(&self, t: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&t));
+        0.5 * self.beta + 0.5 * self.alpha * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::estimate::CpfEstimator;
+    use dsh_math::rng::seeded;
+
+    fn points_at_distance(d: usize, k: usize) -> (BitVector, BitVector) {
+        let x = BitVector::random(&mut seeded(23), d);
+        let mut y = x.clone();
+        for i in 0..k {
+            y.flip(i);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn scaled_bit_sampling_cpf() {
+        let d = 100;
+        let fam = ScaledBitSampling::new(d, 0.4);
+        for &k in &[0usize, 25, 50, 100] {
+            let (x, y) = points_at_distance(d, k);
+            let t = k as f64 / d as f64;
+            let est = CpfEstimator::new(40_000, 31).estimate_pair(&fam, &x, &y);
+            assert!(
+                est.contains(fam.cpf(t)),
+                "t={t}: {} not in [{}, {}]",
+                est.estimate,
+                est.lo,
+                est.hi
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_alpha_zero_always_collides() {
+        let d = 32;
+        let fam = ScaledBitSampling::new(d, 0.0);
+        let (x, y) = points_at_distance(d, 32);
+        let mut rng = seeded(1);
+        for _ in 0..50 {
+            assert!(fam.sample(&mut rng).collides(&x, &y));
+        }
+    }
+
+    #[test]
+    fn scaled_alpha_one_is_plain_bit_sampling() {
+        let fam = ScaledBitSampling::new(10, 1.0);
+        assert_eq!(fam.cpf(0.3), 0.7);
+        assert_eq!(fam.alpha(), 1.0);
+    }
+
+    #[test]
+    fn scaled_biased_anti_cpf() {
+        let d = 100;
+        let fam = ScaledBiasedAntiBitSampling::new(d, 0.6, 0.3);
+        for &k in &[0usize, 30, 70, 100] {
+            let (x, y) = points_at_distance(d, k);
+            let t = k as f64 / d as f64;
+            let est = CpfEstimator::new(40_000, 37).estimate_pair(&fam, &x, &y);
+            assert!(
+                est.contains(fam.cpf(t)),
+                "t={t}: {} not in [{}, {}]",
+                est.estimate,
+                est.lo,
+                est.hi
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_biased_anti_extreme_params() {
+        // beta = 1, alpha = 1: CPF (1 + t)/2.
+        let fam = ScaledBiasedAntiBitSampling::new(10, 1.0, 1.0);
+        assert_eq!(fam.cpf(0.0), 0.5);
+        assert_eq!(fam.cpf(1.0), 1.0);
+        // beta = 0, alpha = 0: CPF identically 0.
+        let z = ScaledBiasedAntiBitSampling::new(10, 0.0, 0.0);
+        assert_eq!(z.cpf(0.5), 0.0);
+        assert_eq!(z.alpha(), 0.0);
+        assert_eq!(z.beta(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1]")]
+    fn invalid_alpha_rejected() {
+        let _ = ScaledBitSampling::new(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in [0,1]")]
+    fn invalid_beta_rejected() {
+        let _ = ScaledBiasedAntiBitSampling::new(10, 0.5, -0.1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Classic `(r1, r2)`-approximate near neighbor search — the baseline
+//! application of *decreasing* CPFs (Indyk–Motwani via Har-Peled et al.,
+//! paper §1.2 "ρ-values").
+//!
+//! Given a family with CPF `f`, `p1 = f(r1)`, `p2 = f(r2)`: concatenate
+//! `k = ceil(ln n / ln(1/p2))` functions so far points collide with
+//! probability `<= 1/n`, and repeat `L ~ p1^{-k...}`-ish, concretely
+//! `L = ceil(factor / p1^k)`, so near points are found with constant
+//! probability. The exponent is `rho_plus = ln p1 / ln p2`: `L ~ n^rho`.
+//!
+//! This structure exists in the library both as the standard point of
+//! comparison for the DSH applications (§6) and to exercise the same
+//! `HashTableIndex` substrate with a symmetric family.
+
+use crate::annulus::Measure;
+use crate::table::{HashTableIndex, QueryStats};
+use dsh_core::combinators::Power;
+use dsh_core::family::DshFamily;
+use rand::Rng;
+
+/// Parameters derived from the CPF values at the two radii.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnParams {
+    /// Concatenation width `k`.
+    pub k: usize,
+    /// Repetition count `L`.
+    pub l: usize,
+    /// The exponent `rho_plus = ln p1 / ln p2`.
+    pub rho: f64,
+}
+
+/// Compute `(k, L, rho)` for dataset size `n` from `p1 = f(r1)`,
+/// `p2 = f(r2)` and a success factor (>= 1 boosts the success probability).
+pub fn ann_params(n: usize, p1: f64, p2: f64, factor: f64) -> AnnParams {
+    assert!(n >= 2);
+    assert!(0.0 < p2 && p2 < p1 && p1 < 1.0, "need 0 < p2 < p1 < 1");
+    assert!(factor >= 1.0);
+    let k = ((n as f64).ln() / (1.0 / p2).ln()).ceil().max(1.0) as usize;
+    let l = (factor / p1.powi(k as i32)).ceil() as usize;
+    AnnParams {
+        k,
+        l,
+        rho: p1.ln() / p2.ln(),
+    }
+}
+
+/// `(r1, r2)`-near-neighbor index: if some point is within `r1` of the
+/// query, returns (w.c.p.) a point within `r2`.
+pub struct NearNeighborIndex<P> {
+    index: HashTableIndex<P>,
+    measure: Measure<P>,
+    r2: f64,
+    params: AnnParams,
+}
+
+impl<P: 'static> NearNeighborIndex<P> {
+    /// Build over `points` with the base (width-1) family `family` and the
+    /// CPF values `p1 >= f(r1)`, `p2 <= f(r2)` at the target radii.
+    #[allow(clippy::too_many_arguments)] // mirrors the theorem's parameter list
+    pub fn build(
+        family: &(impl DshFamily<P> + ?Sized),
+        measure: Measure<P>,
+        r2: f64,
+        points: Vec<P>,
+        p1: f64,
+        p2: f64,
+        factor: f64,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        let params = ann_params(points.len().max(2), p1, p2, factor);
+        let powered = Power::new(family, params.k);
+        NearNeighborIndex {
+            index: HashTableIndex::build(&powered, points, params.l, rng),
+            measure,
+            r2,
+            params,
+        }
+    }
+
+    /// The derived `(k, L, rho)`.
+    pub fn params(&self) -> AnnParams {
+        self.params
+    }
+
+    /// Return the first retrieved candidate within distance `r2`, stopping
+    /// early after `3L` retrieved entries (the standard Markov cutoff).
+    pub fn query(&self, q: &P) -> (Option<usize>, QueryStats) {
+        let limit = 3 * self.index.repetitions();
+        let (cands, mut stats) = self.index.candidates(q, Some(limit));
+        for i in cands {
+            stats.distance_computations += 1;
+            if (self.measure)(self.index.point(i), q) <= self.r2 {
+                return (Some(i), stats);
+            }
+        }
+        (None, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::points::BitVector;
+    use dsh_data::hamming_data;
+    use dsh_hamming::BitSampling;
+    use dsh_math::rng::seeded;
+
+    #[test]
+    fn params_formulae() {
+        let p = ann_params(1024, 0.9, 0.5, 1.0);
+        assert_eq!(p.k, 10); // ln 1024 / ln 2
+        assert_eq!(p.l, (1.0f64 / 0.9f64.powi(10)).ceil() as usize);
+        assert!((p.rho - 0.9f64.ln() / 0.5f64.ln()).abs() < 1e-12);
+        // rho < 1: sublinear.
+        assert!(p.rho < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < p2 < p1 < 1")]
+    fn params_reject_bad_probabilities() {
+        let _ = ann_params(100, 0.5, 0.9, 1.0);
+    }
+
+    #[test]
+    fn finds_planted_near_neighbor() {
+        let d = 256;
+        let r1_rel = 0.05;
+        let r2_rel = 0.25;
+        let p1 = 1.0 - r1_rel;
+        let p2 = 1.0 - r2_rel;
+        let mut hits = 0;
+        let runs = 20;
+        for run in 0..runs {
+            let mut rng = seeded(0xA221 + run);
+            let inst = hamming_data::planted_hamming_instance(
+                &mut rng,
+                300,
+                d,
+                (r1_rel * d as f64) as usize,
+            );
+            let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+            let idx = NearNeighborIndex::build(
+                &BitSampling::new(d),
+                measure,
+                r2_rel,
+                inst.points,
+                p1,
+                p2,
+                2.0,
+                &mut rng,
+            );
+            if let (Some(i), _) = idx.query(&inst.query) {
+                assert!(idx.index.point(i).relative_hamming(&inst.query) <= r2_rel);
+                hits += 1;
+            }
+        }
+        assert!(hits * 4 >= runs * 3, "hit rate {hits}/{runs} too low");
+    }
+
+    #[test]
+    fn query_respects_early_termination() {
+        let d = 32;
+        // Degenerate data: all identical points far from the query.
+        let mut rng = seeded(0xA229);
+        let points: Vec<BitVector> = (0..500).map(|_| BitVector::zeros(d)).collect();
+        let q = BitVector::ones(d);
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let idx = NearNeighborIndex::build(
+            &BitSampling::new(d),
+            measure,
+            0.1,
+            points,
+            0.9,
+            0.5,
+            1.0,
+            &mut rng,
+        );
+        let (hit, stats) = idx.query(&q);
+        assert!(hit.is_none());
+        assert!(stats.candidates_retrieved <= 3 * idx.params().l);
+    }
+}

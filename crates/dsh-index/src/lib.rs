@@ -1,0 +1,33 @@
+//! Search data structures built on distance-sensitive hash families
+//! (paper §6.1–§6.3).
+//!
+//! * [`table`] — the `L`-repetition asymmetric hash table underlying
+//!   every structure: points inserted under `h`, queries probed under `g`;
+//! * [`annulus`] — the Theorem 6.1 data structure for approximate annulus
+//!   search with any unimodal CPF, including the `8L` early-termination
+//!   rule from its proof;
+//! * [`hyperplane`] — hyperplane queries (§6.1) as annulus search around
+//!   inner product 0;
+//! * [`range_reporting`] — approximate spherical range reporting with
+//!   step-function CPFs (Theorem 6.5) and output-sensitivity accounting;
+//! * [`linear_scan`] — the exact baseline every experiment compares
+//!   against.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod ann;
+pub mod annulus;
+pub mod hyperplane;
+pub mod linear_scan;
+pub mod range_reporting;
+pub mod sphere_annulus;
+pub mod table;
+
+pub use ann::NearNeighborIndex;
+pub use annulus::AnnulusIndex;
+pub use hyperplane::HyperplaneIndex;
+pub use linear_scan::LinearScan;
+pub use range_reporting::RangeReportingIndex;
+pub use sphere_annulus::{AnnulusSpec, SphereAnnulusIndex};
+pub use table::{HashTableIndex, QueryStats};

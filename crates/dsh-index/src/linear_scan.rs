@@ -1,0 +1,125 @@
+//! Exact linear-scan baseline.
+//!
+//! Every experiment compares the DSH structures against the trivial
+//! solution: scan all `n` points, computing the measure exactly. The scan
+//! counts its distance computations so query-time comparisons are
+//! apples-to-apples (the paper's structures win when `n^rho << n`).
+
+use crate::annulus::Measure;
+
+/// Exact scan over an owned point set.
+pub struct LinearScan<P> {
+    points: Vec<P>,
+    measure: Measure<P>,
+}
+
+impl<P> LinearScan<P> {
+    /// Build from points and a measure.
+    pub fn new(points: Vec<P>, measure: Measure<P>) -> Self {
+        LinearScan { points, measure }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// First point whose measure to `q` lies in `[lo, hi]`, with the
+    /// number of measure evaluations performed.
+    pub fn find_in_interval(&self, q: &P, lo: f64, hi: f64) -> (Option<usize>, usize) {
+        for (i, p) in self.points.iter().enumerate() {
+            let v = (self.measure)(p, q);
+            if v >= lo && v <= hi {
+                return (Some(i), i + 1);
+            }
+        }
+        (None, self.points.len())
+    }
+
+    /// All points whose measure lies in `[lo, hi]` (always `n` measure
+    /// evaluations).
+    pub fn all_in_interval(&self, q: &P, lo: f64, hi: f64) -> (Vec<usize>, usize) {
+        let out = self
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                let v = (self.measure)(p, q);
+                v >= lo && v <= hi
+            })
+            .map(|(i, _)| i)
+            .collect();
+        (out, self.points.len())
+    }
+
+    /// The point minimizing the measure (e.g. nearest neighbor for a
+    /// distance measure).
+    pub fn argmin(&self, q: &P) -> Option<(usize, f64)> {
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, (self.measure)(p, q)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::points::BitVector;
+    use dsh_data::hamming_data;
+    use dsh_math::rng::seeded;
+
+    fn scan(seed: u64, n: usize, d: usize) -> (LinearScan<BitVector>, BitVector) {
+        let mut rng = seeded(seed);
+        let points = hamming_data::uniform_hamming(&mut rng, n, d);
+        let q = BitVector::random(&mut rng, d);
+        (
+            LinearScan::new(points, Box::new(|x, y| x.relative_hamming(y))),
+            q,
+        )
+    }
+
+    #[test]
+    fn finds_interval_members() {
+        let (scan, q) = scan(341, 100, 128);
+        let (all, evals) = scan.all_in_interval(&q, 0.4, 0.6);
+        assert_eq!(evals, 100);
+        // Uniform points concentrate around 0.5: most should be inside.
+        assert!(all.len() > 80, "{} inside", all.len());
+        let (first, early_evals) = scan.find_in_interval(&q, 0.4, 0.6);
+        assert!(first.is_some());
+        assert!(early_evals <= 100);
+    }
+
+    #[test]
+    fn empty_interval() {
+        let (scan, q) = scan(342, 50, 128);
+        let (none, evals) = scan.find_in_interval(&q, 0.0, 0.01);
+        assert!(none.is_none());
+        assert_eq!(evals, 50);
+    }
+
+    #[test]
+    fn argmin_is_true_nearest() {
+        let (scan, q) = scan(343, 60, 64);
+        let (i, v) = scan.argmin(&q).unwrap();
+        let (all, _) = scan.all_in_interval(&q, 0.0, v);
+        assert!(all.contains(&i));
+        // No point is strictly closer.
+        let (closer, _) = scan.all_in_interval(&q, 0.0, v - 1e-9);
+        assert!(closer.is_empty());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let (scan, _) = scan(344, 10, 32);
+        assert_eq!(scan.len(), 10);
+        assert!(!scan.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Approximate spherical range reporting (Theorem 6.5).
+//!
+//! Report (a superset-free approximation of) all points within distance
+//! `r` of the query. A plain LSH index is wasteful here: very close points
+//! collide in almost every repetition and are retrieved over and over.
+//! A *step-function* CPF — flat on `[0, r]`, rapidly decaying after —
+//! bounds the duplication factor by `f_max / f_min` over the flat region
+//! (Theorem 6.5's `O(d n^rho + d |S| f_max / f_min)` query time).
+
+use crate::annulus::Measure;
+use crate::table::{HashTableIndex, QueryStats};
+use dsh_core::family::DshFamily;
+use rand::Rng;
+
+/// Range-reporting index: returns points with `dist <= r_plus`, and each
+/// point with `dist <= r` is reported with probability at least
+/// `1 - (1 - f_min)^L` (>= 1/2 for `L >= 1/f_min`).
+pub struct RangeReportingIndex<P> {
+    index: HashTableIndex<P>,
+    measure: Measure<P>,
+    r: f64,
+    r_plus: f64,
+}
+
+impl<P: 'static> RangeReportingIndex<P> {
+    /// Build with `l` repetitions; `measure` must be the *distance* the
+    /// radii refer to.
+    pub fn build(
+        family: &(impl DshFamily<P> + ?Sized),
+        measure: Measure<P>,
+        r: f64,
+        r_plus: f64,
+        points: Vec<P>,
+        l: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(r <= r_plus, "need r <= r_plus");
+        RangeReportingIndex {
+            index: HashTableIndex::build(family, points, l, rng),
+            measure,
+            r,
+            r_plus,
+        }
+    }
+
+    /// Inner radius `r` (the recall target).
+    pub fn radius(&self) -> f64 {
+        self.r
+    }
+
+    /// Outer radius `r_plus` (the reporting slack).
+    pub fn outer_radius(&self) -> f64 {
+        self.r_plus
+    }
+
+    /// Number of repetitions.
+    pub fn repetitions(&self) -> usize {
+        self.index.repetitions()
+    }
+
+    /// Report all retrieved candidates within `r_plus`. The stats expose
+    /// the duplicate count, whose ratio to the output size is the
+    /// output-sensitivity overhead bounded by `f_max / f_min`.
+    pub fn query(&self, q: &P) -> (Vec<usize>, QueryStats) {
+        let (cands, mut stats) = self.index.candidates(q, None);
+        let mut out = Vec::new();
+        for i in cands {
+            stats.distance_computations += 1;
+            if (self.measure)(self.index.point(i), q) <= self.r_plus {
+                out.push(i);
+            }
+        }
+        (out, stats)
+    }
+
+    /// Recall against a ground-truth set of indices within distance `r`
+    /// (fraction of them reported).
+    pub fn recall(&self, q: &P, truth: &[usize]) -> f64 {
+        if truth.is_empty() {
+            return 1.0;
+        }
+        let (found, _) = self.query(q);
+        let hits = truth.iter().filter(|i| found.contains(i)).count();
+        hits as f64 / truth.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::combinators::{Concat, Power};
+    use dsh_core::points::BitVector;
+    use dsh_core::BoxedDshFamily;
+    use dsh_data::hamming_data;
+    use dsh_hamming::{AntiBitSampling, BitSampling};
+    use dsh_math::rng::seeded;
+
+    /// A dataset with `close` points at relative distance ~0.05 and
+    /// `far` points near 0.5.
+    fn instance(
+        seed: u64,
+        d: usize,
+        close: usize,
+        far: usize,
+    ) -> (BitVector, Vec<BitVector>, Vec<usize>) {
+        let mut rng = seeded(seed);
+        let q = BitVector::random(&mut rng, d);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..close {
+            points.push(hamming_data::point_at_distance(&mut rng, &q, d / 20));
+            truth.push(i);
+        }
+        points.extend(hamming_data::uniform_hamming(&mut rng, far, d));
+        (q, points, truth)
+    }
+
+    #[test]
+    fn reports_close_points_with_high_recall() {
+        let d = 200;
+        let (q, points, truth) = instance(331, d, 20, 200);
+        // Step-ish CPF: bit-sampling powered to push far points below 1/n
+        // while close points stay likely.
+        let k = 12usize;
+        let fam = Power::new(BitSampling::new(d), k);
+        let f_close = 0.95f64.powi(k as i32);
+        let l = (3.0 / f_close).ceil() as usize;
+        let mut rng = seeded(332);
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let idx = RangeReportingIndex::build(&fam, measure, 0.05, 0.2, points, l, &mut rng);
+        let rec = idx.recall(&q, &truth);
+        assert!(rec > 0.9, "recall {rec}");
+        // Nothing reported beyond r_plus.
+        let (found, _) = idx.query(&q);
+        for i in found {
+            assert!(idx.index.point(i).relative_hamming(&q) <= 0.2);
+        }
+    }
+
+    #[test]
+    fn step_cpf_reduces_duplicates() {
+        // Compare duplicate ratios: plain powered bit-sampling (CPF ~ 1
+        // at distance 0 -> every repetition re-finds very close points)
+        // versus a flattened step-like CPF built by mixing in anti
+        // bit-sampling, which caps f_max.
+        let d = 200;
+        let (q, points, _) = instance(333, d, 30, 100);
+
+        let k = 10usize;
+        let plain = Power::new(BitSampling::new(d), k);
+        let f_r_plain = 0.95f64.powi(k as i32);
+        let l_plain = (2.0 / f_r_plain).ceil() as usize;
+
+        // Step-ish: concatenate with one anti bit-sampling; CPF
+        // (1-t)^k * t has f(0) = 0 yet f(0.05) comparable — flat-ish over
+        // the close range relative to its max.
+        let step = Concat::new(vec![
+            Box::new(Power::new(BitSampling::new(d), k)) as BoxedDshFamily<BitVector>,
+            Box::new(AntiBitSampling::new(d)),
+        ]);
+        let f_r_step = 0.95f64.powi(k as i32) * 0.05;
+        let l_step = (2.0 / f_r_step).ceil() as usize;
+
+        let mut rng = seeded(334);
+        let m1: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let m2: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let idx_plain =
+            RangeReportingIndex::build(&plain, m1, 0.05, 0.2, points.clone(), l_plain, &mut rng);
+        let idx_step =
+            RangeReportingIndex::build(&step, m2, 0.05, 0.2, points, l_step, &mut rng);
+
+        let (out_p, st_p) = idx_plain.query(&q);
+        let (out_s, st_s) = idx_step.query(&q);
+        assert!(!out_p.is_empty() && !out_s.is_empty());
+        // Duplicates per reported point: for the plain family the closest
+        // points collide in ~every one of the L_plain tables. Normalize by
+        // L to compare fairly across different repetition counts.
+        let dup_rate_plain =
+            st_p.duplicates as f64 / (out_p.len() as f64 * idx_plain.repetitions() as f64);
+        let dup_rate_step =
+            st_s.duplicates as f64 / (out_s.len() as f64 * idx_step.repetitions() as f64);
+        assert!(
+            dup_rate_step < dup_rate_plain,
+            "step {dup_rate_step} !< plain {dup_rate_plain}"
+        );
+    }
+
+    #[test]
+    fn empty_truth_recall_is_one() {
+        let d = 64;
+        let mut rng = seeded(335);
+        let points = hamming_data::uniform_hamming(&mut rng, 20, d);
+        let q = BitVector::random(&mut rng, d);
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let idx = RangeReportingIndex::build(
+            &BitSampling::new(d),
+            measure,
+            0.01,
+            0.05,
+            points,
+            5,
+            &mut rng,
+        );
+        assert_eq!(idx.recall(&q, &[]), 1.0);
+        assert_eq!(idx.radius(), 0.01);
+        assert_eq!(idx.outer_radius(), 0.05);
+    }
+}

@@ -1,0 +1,208 @@
+//! The `L`-repetition asymmetric hash table (the "straightforward
+//! adaptation of the near neighbor data structure using LSH" from the
+//! proof of Theorem 6.1).
+//!
+//! `L` pairs `(h_j, g_j)` are sampled from a distance-sensitive family.
+//! Every data point `x` is stored in table `j` under key `h_j(x)`; a query
+//! `q` probes table `j` under `g_j(q)`. With a symmetric family this is the
+//! classical LSH index; with an asymmetric family the probed bucket differs
+//! from the stored one — which is the entire point.
+
+use dsh_core::family::{DshFamily, PointHasher};
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters describing the work a query performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Number of hash tables probed.
+    pub tables_probed: usize,
+    /// Total bucket entries retrieved (including duplicates across tables).
+    pub candidates_retrieved: usize,
+    /// Distinct points retrieved.
+    pub distinct_candidates: usize,
+    /// Retrieved entries that were duplicates of already-seen points — the
+    /// quantity Theorem 6.5's output-sensitivity analysis controls.
+    pub duplicates: usize,
+    /// Number of exact distance/similarity evaluations performed.
+    pub distance_computations: usize,
+}
+
+/// One hash table: the sampled data/query hashers and the bucket map.
+struct Table<P: ?Sized> {
+    data_fn: Arc<dyn PointHasher<P>>,
+    query_fn: Arc<dyn PointHasher<P>>,
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+/// An `L`-repetition DSH hash table over owned points.
+pub struct HashTableIndex<P> {
+    tables: Vec<Table<P>>,
+    points: Vec<P>,
+}
+
+impl<P: 'static> HashTableIndex<P> {
+    /// Build with `l` independently sampled `(h, g)` pairs.
+    pub fn build(
+        family: &(impl DshFamily<P> + ?Sized),
+        points: Vec<P>,
+        l: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(l >= 1, "need at least one repetition");
+        assert!(
+            points.len() < u32::MAX as usize,
+            "point count exceeds index capacity"
+        );
+        let tables = (0..l)
+            .map(|_| {
+                let pair = family.sample(rng);
+                let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+                for (i, p) in points.iter().enumerate() {
+                    buckets
+                        .entry(pair.data.hash(p))
+                        .or_default()
+                        .push(i as u32);
+                }
+                Table {
+                    data_fn: pair.data,
+                    query_fn: pair.query,
+                    buckets,
+                }
+            })
+            .collect();
+        HashTableIndex { tables, points }
+    }
+
+    /// Number of repetitions `L`.
+    pub fn repetitions(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Access an indexed point.
+    pub fn point(&self, i: usize) -> &P {
+        &self.points[i]
+    }
+
+    /// Retrieve query candidates table-by-table, stopping once
+    /// `retrieval_limit` raw entries have been pulled (the `8L`
+    /// early-termination device from the proof of Theorem 6.1).
+    /// Returns distinct candidate indices in retrieval order.
+    pub fn candidates(&self, q: &P, retrieval_limit: Option<usize>) -> (Vec<usize>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut seen = vec![false; self.points.len()];
+        let mut out = Vec::new();
+        'tables: for table in &self.tables {
+            stats.tables_probed += 1;
+            let key = table.query_fn.hash(q);
+            if let Some(bucket) = table.buckets.get(&key) {
+                for &i in bucket {
+                    stats.candidates_retrieved += 1;
+                    let i = i as usize;
+                    if seen[i] {
+                        stats.duplicates += 1;
+                    } else {
+                        seen[i] = true;
+                        out.push(i);
+                    }
+                    if let Some(limit) = retrieval_limit {
+                        if stats.candidates_retrieved >= limit {
+                            break 'tables;
+                        }
+                    }
+                }
+            }
+        }
+        stats.distinct_candidates = out.len();
+        (out, stats)
+    }
+
+    /// Whether data point `i` and the query collide in table `j`
+    /// (diagnostic helper for tests).
+    pub fn collides_in_table(&self, j: usize, i: usize, q: &P) -> bool {
+        let t = &self.tables[j];
+        t.data_fn.hash(&self.points[i]) == t.query_fn.hash(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::points::BitVector;
+    use dsh_hamming::{AntiBitSampling, BitSampling};
+    use dsh_math::rng::seeded;
+
+    fn dataset(d: usize, n: usize) -> Vec<BitVector> {
+        let mut rng = seeded(301);
+        (0..n).map(|_| BitVector::random(&mut rng, d)).collect()
+    }
+
+    #[test]
+    fn symmetric_family_finds_identical_point() {
+        let d = 64;
+        let points = dataset(d, 50);
+        let q = points[17].clone();
+        let mut rng = seeded(302);
+        let idx = HashTableIndex::build(&BitSampling::new(d), points, 8, &mut rng);
+        let (cands, stats) = idx.candidates(&q, None);
+        assert!(cands.contains(&17), "identical point must collide somewhere");
+        assert_eq!(stats.tables_probed, 8);
+        assert_eq!(
+            stats.distinct_candidates + stats.duplicates,
+            stats.candidates_retrieved
+        );
+    }
+
+    #[test]
+    fn asymmetric_family_excludes_identical_point() {
+        // With anti bit-sampling, h(x) != g(x) always: the identical point
+        // can never be retrieved.
+        let d = 64;
+        let points = dataset(d, 50);
+        let q = points[3].clone();
+        let mut rng = seeded(303);
+        let idx = HashTableIndex::build(&AntiBitSampling::new(d), points, 16, &mut rng);
+        let (cands, _) = idx.candidates(&q, None);
+        assert!(!cands.contains(&3), "anti family must not retrieve the query itself");
+    }
+
+    #[test]
+    fn retrieval_limit_stops_early() {
+        let d = 16;
+        // All points identical => every bucket contains everything.
+        let points: Vec<BitVector> = (0..100).map(|_| BitVector::zeros(d)).collect();
+        let q = BitVector::zeros(d);
+        let mut rng = seeded(304);
+        let idx = HashTableIndex::build(&BitSampling::new(d), points, 10, &mut rng);
+        let (_, stats) = idx.candidates(&q, Some(42));
+        assert_eq!(stats.candidates_retrieved, 42);
+        let (_, unlimited) = idx.candidates(&q, None);
+        assert_eq!(unlimited.candidates_retrieved, 1000);
+        assert_eq!(unlimited.distinct_candidates, 100);
+        assert_eq!(unlimited.duplicates, 900);
+    }
+
+    #[test]
+    fn accessors() {
+        let d = 8;
+        let points = dataset(d, 5);
+        let p0 = points[0].clone();
+        let mut rng = seeded(305);
+        let idx = HashTableIndex::build(&BitSampling::new(d), points, 3, &mut rng);
+        assert_eq!(idx.repetitions(), 3);
+        assert_eq!(idx.len(), 5);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.point(0), &p0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Bivariate standard normal orthant probabilities and the Savage (1962)
+//! tail bounds used by the paper (Lemma A.3 / Corollary A.4).
+//!
+//! The collision probability of the Gaussian filter families of §2.2 is a
+//! ratio of bivariate orthant probabilities:
+//!
+//! ```text
+//! f(alpha) = Pr[X >= t, Y >= t] / Pr[X >= t or Y >= t]
+//! ```
+//!
+//! where `(X, Y)` are standard normals with correlation `alpha`. This module
+//! provides the exact probability (Plackett/Drezner–Wesolowsky identity,
+//! integrated adaptively) along with the closed-form Savage bracket that the
+//! paper's analysis relies on.
+
+use crate::integrate::integrate_to_infinity;
+use crate::normal;
+
+/// `Pr[X >= h, Y >= k]` for standard bivariate normals with correlation
+/// `rho` in `(-1, 1)` (endpoints handled exactly).
+///
+/// Uses the Plackett identity
+/// `d/d rho Pr[X>=h, Y>=k] = bivariate_density(h, k; rho)`, integrating the
+/// density from the independent case `rho = 0`.
+pub fn orthant(h: f64, k: f64, rho: f64) -> f64 {
+    assert!((-1.0..=1.0).contains(&rho), "rho must be in [-1,1], got {rho}");
+    if rho == 1.0 {
+        // Comonotone: X = Y.
+        return normal::tail(h.max(k));
+    }
+    if rho == -1.0 {
+        // Antithetic: Y = -X; need X >= h and X <= -k.
+        return (normal::cdf(-k) - normal::cdf(h)).max(0.0);
+    }
+    if h == 0.0 && k == 0.0 {
+        // Sheppard / arcsine law, exact.
+        return 0.25 + rho.asin() / (2.0 * std::f64::consts::PI);
+    }
+    if rho == 0.0 {
+        return normal::tail(h) * normal::tail(k);
+    }
+    // Reduce to nonnegative thresholds using reflections (X -> -X flips the
+    // sign of rho). With h, k >= 0 the conditional representation below is a
+    // positive integral with no cancellation, so even orthant probabilities
+    // of order 1e-18 come out with full relative precision.
+    if h < 0.0 {
+        return (normal::tail(k) - orthant(-h, k, -rho)).clamp(0.0, 1.0);
+    }
+    if k < 0.0 {
+        return (normal::tail(h) - orthant(h, -k, -rho)).clamp(0.0, 1.0);
+    }
+    // Condition on X = h + s, s >= 0, and factor out phi(h):
+    //   Pr[X>=h, Y>=k] = phi(h) * int_0^inf e^{-hs - s^2/2}
+    //                      * Pr[Z >= (k - rho (h+s)) / sqrt(1-rho^2)] ds.
+    let s1 = (1.0 - rho * rho).sqrt();
+    let integrand =
+        |s: f64| (-h * s - 0.5 * s * s).exp() * normal::tail((k - rho * (h + s)) / s1);
+    // Two-stage tolerance so the result is accurate *relative* to its own
+    // (possibly tiny) magnitude.
+    let rough = integrate_to_infinity(integrand, 0.0, 1e-15);
+    let integral = if rough > 0.0 {
+        integrate_to_infinity(integrand, 0.0, (rough * 1e-11).max(1e-300))
+    } else {
+        0.0
+    };
+    (normal::pdf(h) * integral).clamp(0.0, 1.0)
+}
+
+/// `Pr[X >= t, Y >= t]` with correlation `alpha` — the quantity bounded by
+/// Savage's inequalities (paper Lemma A.3).
+pub fn same_orthant(t: f64, alpha: f64) -> f64 {
+    orthant(t, t, alpha)
+}
+
+/// `Pr[X >= t, Y <= -t]` with correlation `alpha` (paper Corollary A.4):
+/// equals [`same_orthant`] with `-alpha` by symmetry of the normal.
+pub fn opposite_orthant(t: f64, alpha: f64) -> f64 {
+    same_orthant(t, -alpha)
+}
+
+/// `Pr[X >= t or Y >= t]` with correlation `alpha` — the denominator of the
+/// filter family CPF (Appendix A.1).
+pub fn union_tail(t: f64, alpha: f64) -> f64 {
+    2.0 * normal::tail(t) - same_orthant(t, alpha)
+}
+
+/// Savage upper bound (paper Lemma A.3):
+/// `Pr[X1 >= t, X2 >= t] < (1/(2 pi t^2)) ((1+a)^2 / sqrt(1-a^2)) exp(-t^2/(1+a))`.
+pub fn savage_upper(t: f64, alpha: f64) -> f64 {
+    assert!(t > 0.0 && alpha > -1.0 && alpha < 1.0);
+    let a = alpha;
+    (1.0 + a).powi(2) / (1.0 - a * a).sqrt() / (2.0 * std::f64::consts::PI * t * t)
+        * (-t * t / (1.0 + a)).exp()
+}
+
+/// Savage lower bound (paper Lemma A.3): the upper bound scaled by
+/// `1 - (2-a)(1+a)/(1-a) * 1/t^2` (may be negative for small `t`, in which
+/// case the bound is vacuous and clamped to 0).
+pub fn savage_lower(t: f64, alpha: f64) -> f64 {
+    let a = alpha;
+    let correction = 1.0 - (2.0 - a) * (1.0 + a) / (1.0 - a) / (t * t);
+    (correction * savage_upper(t, alpha)).max(0.0)
+}
+
+/// Natural log of the Savage upper bound, stable for large `t`.
+pub fn ln_savage_upper(t: f64, alpha: f64) -> f64 {
+    let a = alpha;
+    2.0 * (1.0 + a).ln() - 0.5 * (1.0 - a * a).ln()
+        - (2.0 * std::f64::consts::PI * t * t).ln()
+        - t * t / (1.0 + a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::{sample_correlated_pair, tail};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_correlation_is_product() {
+        for &t in &[0.0, 0.5, 1.5, 3.0] {
+            let v = same_orthant(t, 0.0);
+            let p = tail(t) * tail(t);
+            assert!((v - p).abs() < 1e-14, "t={t}: {v} vs {p}");
+        }
+    }
+
+    #[test]
+    fn zero_thresholds_arcsine_law() {
+        // Pr[X>=0, Y>=0] = 1/4 + arcsin(rho)/(2 pi).
+        for &rho in &[-0.9, -0.4, 0.0, 0.3, 0.8] {
+            let v = orthant(0.0, 0.0, rho);
+            let expect = 0.25 + rho.asin() / (2.0 * std::f64::consts::PI);
+            assert!((v - expect).abs() < 1e-10, "rho={rho}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn comonotone_and_antithetic_limits() {
+        assert!((orthant(1.0, 0.5, 1.0) - tail(1.0)).abs() < 1e-14);
+        // rho = -1: Pr[X >= 1, -X >= 1] = 0.
+        assert_eq!(orthant(1.0, 1.0, -1.0), 0.0);
+        // rho = -1, h = -2, k = -2: Pr[-2 <= X <= 2].
+        let v = orthant(-2.0, -2.0, -1.0);
+        let expect = normal::cdf(2.0) - normal::cdf(-2.0);
+        assert!((v - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_rho() {
+        // For fixed thresholds, orthant probability increases with rho.
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let rho = -0.95 + 0.0949999 * i as f64 * 2.0 / 2.0; // -0.95..=0.95
+            let v = same_orthant(1.2, rho);
+            assert!(v >= prev - 1e-12, "not monotone at rho={rho}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn savage_brackets_exact_value() {
+        for &alpha in &[-0.8, -0.3, 0.0, 0.4, 0.8] {
+            for &t in &[2.5, 4.0, 6.0] {
+                let exact = same_orthant(t, alpha);
+                let hi = savage_upper(t, alpha);
+                let lo = savage_lower(t, alpha);
+                assert!(exact < hi * (1.0 + 1e-9), "alpha={alpha} t={t}: {exact} !< {hi}");
+                assert!(exact >= lo * (1.0 - 1e-9), "alpha={alpha} t={t}: {exact} !>= {lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn ln_savage_upper_matches_direct() {
+        for &alpha in &[-0.5, 0.0, 0.5] {
+            for &t in &[2.0, 5.0] {
+                let direct = savage_upper(t, alpha).ln();
+                let stable = ln_savage_upper(t, alpha);
+                assert!((direct - stable).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_orthant_symmetry() {
+        for &alpha in &[-0.6, 0.0, 0.6] {
+            let v = opposite_orthant(1.5, alpha);
+            let w = same_orthant(1.5, -alpha);
+            assert!((v - w).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn union_tail_inclusion_exclusion() {
+        let t = 1.0;
+        let alpha = 0.5;
+        let u = union_tail(t, alpha);
+        assert!(u >= tail(t) && u <= 2.0 * tail(t));
+    }
+
+    #[test]
+    fn orthant_matches_monte_carlo() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let alpha = 0.55;
+        let t = 0.8;
+        let n = 400_000;
+        let mut hits = 0u64;
+        for _ in 0..n {
+            let (x, y) = sample_correlated_pair(&mut rng, alpha);
+            if x >= t && y >= t {
+                hits += 1;
+            }
+        }
+        let emp = hits as f64 / n as f64;
+        let exact = same_orthant(t, alpha);
+        assert!((emp - exact).abs() < 0.003, "emp {emp} vs exact {exact}");
+    }
+}

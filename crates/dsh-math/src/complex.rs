@@ -1,0 +1,194 @@
+//! Minimal complex arithmetic (no complex-number crate in the offline set).
+//!
+//! Only what the polynomial machinery of Theorem 5.2 needs: field
+//! operations, magnitude, conjugation, and exponentials for FFT twiddles.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Construct from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Construct a purely real complex number.
+    pub fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Magnitude `|z|` (hypot, overflow-safe).
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|^2`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Argument (angle) in `(-pi, pi]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// `e^{i theta}` on the unit circle.
+    pub fn cis(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn inv(self) -> Self {
+        let n = self.norm_sqr();
+        assert!(n > 0.0, "division by complex zero");
+        Complex::new(self.re / n, -self.im / n)
+    }
+
+    /// True if both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    // Division via multiplication by the inverse is intentional.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, o: Complex) -> Complex {
+        self * o.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        *self = *self + o;
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, o: Complex) {
+        *self = *self - o;
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, o: Complex) {
+        *self = *self * o;
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) {
+        assert!((a - b).abs() < 1e-12, "{a:?} != {b:?}");
+    }
+
+    #[test]
+    fn field_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        close(a + b, Complex::new(-2.0, 2.5));
+        close(a - b, Complex::new(4.0, 1.5));
+        close(a * b, Complex::new(-3.0 - 1.0, 0.5 - 6.0));
+        close((a / b) * b, a);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        close(Complex::I * Complex::I, Complex::from_real(-1.0));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let z = Complex::new(3.0, -4.0);
+        close(z * z.inv(), Complex::ONE);
+        assert!((z.abs() - 5.0).abs() < 1e-14);
+        assert!((z.norm_sqr() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let z = Complex::cis(std::f64::consts::FRAC_PI_2);
+        close(z, Complex::I);
+        assert!((Complex::cis(1.234).abs() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Complex::new(2.0, 7.0);
+        close(z * z.conj(), Complex::from_real(z.norm_sqr()));
+        assert!((z.conj().arg() + z.arg()).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by complex zero")]
+    fn zero_inverse_panics() {
+        let _ = Complex::ZERO.inv();
+    }
+}

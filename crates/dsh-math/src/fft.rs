@@ -1,0 +1,164 @@
+//! Radix-2 complex FFT and convolution.
+//!
+//! Substrate for the TensorSketch kernel-approximation extension (the
+//! paper's remark after Theorem 5.1 cites Pham–Pagh explicit feature maps,
+//! which combine count sketches via FFT-based circular convolution).
+
+use crate::complex::Complex;
+
+/// In-place iterative radix-2 FFT. `data.len()` must be a power of two.
+/// `inverse` selects the inverse transform (including the `1/n` scaling).
+pub fn fft(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Danielson-Lanczos.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = *z * scale;
+        }
+    }
+}
+
+/// Circular convolution of two equal-length real sequences whose length is
+/// a power of two, via FFT. This is the combining step of TensorSketch.
+pub fn circular_convolution(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sequences must have equal length");
+    let n = a.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::from_real(x)).collect();
+    let mut fb: Vec<Complex> = b.iter().map(|&x| Complex::from_real(x)).collect();
+    fft(&mut fa, false);
+    fft(&mut fb, false);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    fft(&mut fa, true);
+    fa.into_iter().map(|z| z.re).collect()
+}
+
+/// Pointwise product in the frequency domain for several sequences at once:
+/// returns the circular convolution of all of `seqs`.
+pub fn circular_convolution_many(seqs: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!seqs.is_empty());
+    let n = seqs[0].len();
+    assert!(n.is_power_of_two());
+    let mut acc: Vec<Complex> = vec![Complex::ONE; n];
+    for s in seqs {
+        assert_eq!(s.len(), n);
+        let mut f: Vec<Complex> = s.iter().map(|&x| Complex::from_real(x)).collect();
+        fft(&mut f, false);
+        for (a, b) in acc.iter_mut().zip(&f) {
+            *a *= *b;
+        }
+    }
+    fft(&mut acc, true);
+    acc.into_iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_roundtrip() {
+        let orig: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, (i as f64).sin()))
+            .collect();
+        let mut data = orig.clone();
+        fft(&mut data, false);
+        fft(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft(&mut data, false);
+        for z in &data {
+            assert!((*z - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_parseval() {
+        let mut data: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).cos(), 0.0))
+            .collect();
+        let time_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        fft(&mut data, false);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_matches_naive() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [0.5, -1.0, 0.0, 2.0];
+        let got = circular_convolution(&a, &b);
+        let n = a.len();
+        for k in 0..n {
+            let mut want = 0.0;
+            for i in 0..n {
+                want += a[i] * b[(k + n - i) % n];
+            }
+            assert!((got[k] - want).abs() < 1e-12, "k={k}: {} vs {want}", got[k]);
+        }
+    }
+
+    #[test]
+    fn convolution_many_is_associative() {
+        let a = vec![1.0, 0.0, 2.0, 0.0];
+        let b = vec![0.0, 1.0, 0.0, 0.0];
+        let c = vec![3.0, 0.0, 0.0, 1.0];
+        let pairwise = circular_convolution(&circular_convolution(&a, &b), &c);
+        let many = circular_convolution_many(&[a, b, c]);
+        for (x, y) in pairwise.iter().zip(&many) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Complex::ZERO; 6];
+        fft(&mut data, false);
+    }
+}

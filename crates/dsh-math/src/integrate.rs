@@ -1,0 +1,110 @@
+//! Adaptive Simpson quadrature.
+//!
+//! Used to cross-check the closed-form collision probability functions
+//! (Euclidean tent-kernel integral of §4.2, orthant probabilities of
+//! Appendix A) against direct numerical integration.
+
+/// Integrate `f` over `[a, b]` with adaptive Simpson's rule to absolute
+/// tolerance `tol`.
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(a.is_finite() && b.is_finite(), "bounds must be finite");
+    assert!(tol > 0.0);
+    if a == b {
+        return 0.0;
+    }
+    let (a, b, sign) = if a < b { (a, b, 1.0) } else { (b, a, -1.0) };
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson(a, b, fa, fm, fb);
+    sign * recurse(&f, a, b, fa, fm, fb, whole, tol, 50)
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        recurse(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+            + recurse(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    }
+}
+
+/// Integrate a smooth integrand over `[a, +inf)` by mapping onto `[0, 1)`
+/// with the substitution `x = a + t/(1-t)`.
+pub fn integrate_to_infinity<F: Fn(f64) -> f64>(f: F, a: f64, tol: f64) -> f64 {
+    adaptive_simpson(
+        |t| {
+            let one_minus = 1.0 - t;
+            if one_minus <= 1e-12 {
+                return 0.0;
+            }
+            let x = a + t / one_minus;
+            f(x) / (one_minus * one_minus)
+        },
+        0.0,
+        1.0 - 1e-12,
+        tol,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        // Simpson is exact on cubics.
+        let v = adaptive_simpson(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 1e-12);
+        assert!((v - (4.0 - 4.0 + 2.0)).abs() < 1e-10, "got {v}");
+    }
+
+    #[test]
+    fn integrates_sine() {
+        let v = adaptive_simpson(f64::sin, 0.0, std::f64::consts::PI, 1e-12);
+        assert!((v - 2.0).abs() < 1e-10, "got {v}");
+    }
+
+    #[test]
+    fn reversed_bounds_negate() {
+        let v1 = adaptive_simpson(f64::exp, 0.0, 1.0, 1e-12);
+        let v2 = adaptive_simpson(f64::exp, 1.0, 0.0, 1e-12);
+        assert!((v1 + v2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_integral_to_infinity() {
+        // int_0^inf e^{-x^2/2} dx = sqrt(pi/2)
+        let v = integrate_to_infinity(|x| (-0.5 * x * x).exp(), 0.0, 1e-12);
+        let expect = (std::f64::consts::PI / 2.0).sqrt();
+        assert!((v - expect).abs() < 1e-8, "got {v}, expected {expect}");
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        assert_eq!(adaptive_simpson(|x| x, 3.0, 3.0, 1e-9), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Numerics substrate for the `dsh` workspace.
+//!
+//! The paper "Distance-Sensitive Hashing" (Aumüller, Christiani, Pagh,
+//! Silvestri; PODS 2018) leans on a handful of classical numerical tools:
+//!
+//! * standard normal pdf/cdf and tail bounds (Szarek–Werner, Lemma A.2),
+//! * bivariate normal orthant probabilities and the Savage bounds
+//!   (Lemma A.3) used to analyze the Gaussian filter families of §2.2,
+//! * polynomial factorization over ℂ for the Hamming-space polynomial
+//!   CPF construction of Theorem 5.2,
+//! * Chernoff-style concentration and confidence intervals for the
+//!   Monte-Carlo validation harness.
+//!
+//! None of these are available from the offline dependency set, so this crate
+//! implements them from scratch: error functions via incomplete-gamma
+//! series/continued fractions (near machine precision), inverse normal cdf
+//! (Acklam + Halley refinement), Drezner–Wesolowsky orthant probabilities,
+//! an Aberth–Ehrlich complex root finder, adaptive Simpson quadrature, a
+//! radix-2 FFT (for the TensorSketch kernel-approximation extension), and a
+//! small statistics toolbox.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod bivariate;
+pub mod complex;
+pub mod fft;
+pub mod integrate;
+pub mod normal;
+pub mod poly;
+pub mod rng;
+pub mod roots;
+pub mod special;
+pub mod stable;
+pub mod stats;
+
+pub use complex::Complex;
+pub use poly::Polynomial;

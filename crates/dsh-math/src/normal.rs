@@ -1,0 +1,241 @@
+//! Standard normal distribution: density, cdf, inverse cdf, tail bounds,
+//! and Gaussian sampling.
+//!
+//! The tail bounds are the Szarek–Werner inequalities reproduced as
+//! Lemma A.2 of the paper; they bracket `Pr[Z >= t]` between
+//! `phi(t) / (t + 1)` and `phi(t) / t` and are used both in the analysis of
+//! the filter families (§2.2) and to size the number of filters
+//! `m = ceil(2 t^3 / p')`.
+
+use crate::special::{erfc, ln_erfc};
+use rand::{Rng, RngExt};
+
+/// `1 / sqrt(2 pi)`.
+pub const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// Standard normal density `phi(x)`.
+pub fn pdf(x: f64) -> f64 {
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Standard normal cdf `Phi(x) = Pr[Z <= x]`.
+pub fn cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Upper tail `Pr[Z >= x] = 1 - Phi(x)`, computed without cancellation.
+pub fn tail(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Natural log of the upper tail, stable for large `x` (works beyond the
+/// underflow point of [`tail`]).
+pub fn ln_tail(x: f64) -> f64 {
+    if x <= 0.0 {
+        return tail(x).ln();
+    }
+    ln_erfc(x / std::f64::consts::SQRT_2) + (0.5f64).ln()
+}
+
+/// Szarek–Werner lower bound on the tail (paper Lemma A.2):
+/// `Pr[Z >= t] >= phi(t) / (t + 1)` for `t >= 0`.
+pub fn tail_lower_bound(t: f64) -> f64 {
+    assert!(t >= 0.0);
+    pdf(t) / (t + 1.0)
+}
+
+/// Szarek–Werner upper bound on the tail (paper Lemma A.2):
+/// `Pr[Z >= t] <= phi(t) / t` for `t > 0`.
+pub fn tail_upper_bound(t: f64) -> f64 {
+    assert!(t > 0.0);
+    pdf(t) / t
+}
+
+/// Inverse standard normal cdf (quantile function).
+///
+/// Peter Acklam's rational approximation (relative error ~1.15e-9) refined
+/// with one step of Halley's method against the accurate [`cdf`], giving
+/// close to machine precision across `(0, 1)`.
+pub fn inv_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inv_cdf requires p in (0,1), got {p}"
+    );
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step.
+    let e = cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+/// Draw a standard normal variate using the Marsaglia polar method.
+///
+/// `rand_distr` is not in the offline dependency set, so Gaussian sampling is
+/// implemented here. The polar method is exact (not an approximation).
+pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = 2.0 * rng.random::<f64>() - 1.0;
+        let v: f64 = 2.0 * rng.random::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Fill a vector with `n` i.i.d. standard normal variates.
+pub fn sample_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| sample(rng)).collect()
+}
+
+/// Draw a pair `(X, Y)` of standard normals with correlation `alpha`,
+/// using the representation `X = Z1`, `Y = alpha Z1 + sqrt(1-alpha^2) Z2`
+/// (exactly the construction in the proof of Lemma A.1).
+pub fn sample_correlated_pair<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> (f64, f64) {
+    assert!((-1.0..=1.0).contains(&alpha));
+    let z1 = sample(rng);
+    let z2 = sample(rng);
+    (z1, alpha * z1 + (1.0 - alpha * alpha).sqrt() * z2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        close(cdf(0.0), 0.5, 1e-15);
+        close(cdf(1.0), 0.841_344_746_068_542_9, 1e-12);
+        close(cdf(-1.96), 0.024_997_895_148_220_43, 1e-12);
+        close(cdf(3.0), 0.998_650_101_968_369_9, 1e-12);
+    }
+
+    #[test]
+    fn tail_is_complement_of_cdf() {
+        for &x in &[-2.5, -0.3, 0.0, 0.7, 1.9, 4.0] {
+            close(tail(x), 1.0 - cdf(x), 1e-14);
+        }
+    }
+
+    #[test]
+    fn ln_tail_deep() {
+        // Pr[Z >= 40] has log ~ -804.6; direct tail() underflows around 38.5.
+        let v = ln_tail(40.0);
+        assert!(v.is_finite());
+        // Asymptotics: ln tail ~ -t^2/2 - ln(t sqrt(2 pi))
+        let approx = -0.5 * 1600.0 - (40.0 * (2.0 * std::f64::consts::PI).sqrt()).ln();
+        assert!((v - approx).abs() < 0.01, "got {v}, approx {approx}");
+    }
+
+    #[test]
+    fn szarek_werner_brackets_tail() {
+        for &t in &[0.1, 0.5, 1.0, 2.0, 3.5, 6.0] {
+            let exact = tail(t);
+            assert!(tail_lower_bound(t) <= exact + 1e-15, "lb fails at {t}");
+            assert!(tail_upper_bound(t) >= exact - 1e-15, "ub fails at {t}");
+        }
+    }
+
+    #[test]
+    fn inv_cdf_roundtrip() {
+        for &p in &[1e-10, 1e-4, 0.01, 0.3, 0.5, 0.77, 0.999, 1.0 - 1e-9] {
+            let x = inv_cdf(p);
+            close(cdf(x), p, 1e-12 * (1.0 + 1.0 / p.min(1.0 - p)));
+        }
+    }
+
+    #[test]
+    fn inv_cdf_symmetry() {
+        for &p in &[0.01, 0.2, 0.4] {
+            close(inv_cdf(p), -inv_cdf(1.0 - p), 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let xs = sample_vec(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn correlated_pair_empirical_correlation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let alpha = 0.6;
+        let n = 200_000;
+        let mut sxy = 0.0;
+        let mut sx2 = 0.0;
+        let mut sy2 = 0.0;
+        for _ in 0..n {
+            let (x, y) = sample_correlated_pair(&mut rng, alpha);
+            sxy += x * y;
+            sx2 += x * x;
+            sy2 += y * y;
+        }
+        let corr = sxy / (sx2.sqrt() * sy2.sqrt());
+        assert!((corr - alpha).abs() < 0.01, "corr {corr}");
+    }
+
+    #[test]
+    fn correlated_pair_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = sample_correlated_pair(&mut rng, 1.0);
+        assert!((x - y).abs() < 1e-12);
+        let (x, y) = sample_correlated_pair(&mut rng, -1.0);
+        assert!((x + y).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,370 @@
+//! Real-coefficient polynomials.
+//!
+//! Theorem 5.2 of the paper factorizes a target collision probability
+//! polynomial `P(t)` into linear factors over ℂ and builds one hashing
+//! scheme per root; Theorem 5.1 needs coefficient-wise manipulation for the
+//! Valiant embedding. This module provides the polynomial algebra both use.
+
+use crate::complex::Complex;
+
+/// A polynomial with real coefficients, stored lowest-degree first:
+/// `coeffs[i]` is the coefficient of `t^i`. The representation is kept
+/// normalized (no trailing zero other than for the zero polynomial).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Build from coefficients, lowest degree first. Trailing zeros are
+    /// trimmed; the empty list denotes the zero polynomial.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: vec![] }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Polynomial::new(vec![c])
+    }
+
+    /// The monomial `c * t^k`.
+    pub fn monomial(c: f64, k: usize) -> Self {
+        let mut coeffs = vec![0.0; k + 1];
+        coeffs[k] = c;
+        Polynomial::new(coeffs)
+    }
+
+    /// Reconstruct a real polynomial `lead * prod (t - z_i)` from its
+    /// (closed-under-conjugation) complex roots. The imaginary residue from
+    /// floating point noise is discarded after verifying it is tiny.
+    pub fn from_roots(lead: f64, roots: &[Complex]) -> Self {
+        let mut coeffs = vec![Complex::from_real(lead)];
+        for &r in roots {
+            // Multiply by (t - r).
+            let mut next = vec![Complex::ZERO; coeffs.len() + 1];
+            for (i, &c) in coeffs.iter().enumerate() {
+                next[i + 1] += c;
+                next[i] -= c * r;
+            }
+            coeffs = next;
+        }
+        let max_abs = coeffs.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
+        let real: Vec<f64> = coeffs
+            .iter()
+            .map(|c| {
+                debug_assert!(
+                    c.im.abs() <= 1e-8 * (1.0 + max_abs),
+                    "roots not closed under conjugation (im residue {})",
+                    c.im
+                );
+                c.re
+            })
+            .collect();
+        Polynomial::new(real)
+    }
+
+    fn normalize(&mut self) {
+        while self.coeffs.last().is_some_and(|&c| c == 0.0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Coefficient of `t^i` (0 beyond the degree).
+    pub fn coeff(&self, i: usize) -> f64 {
+        self.coeffs.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// All coefficients, lowest degree first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Leading coefficient (0 for the zero polynomial).
+    pub fn leading(&self) -> f64 {
+        self.coeffs.last().copied().unwrap_or(0.0)
+    }
+
+    /// Sum of absolute coefficient values `sum_i |a_i|` — the normalization
+    /// required by Theorem 5.1.
+    pub fn abs_coeff_sum(&self) -> f64 {
+        self.coeffs.iter().map(|c| c.abs()).sum()
+    }
+
+    /// Evaluate at a real point (Horner).
+    pub fn eval(&self, t: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * t + c)
+    }
+
+    /// Evaluate at a complex point (Horner).
+    pub fn eval_complex(&self, z: Complex) -> Complex {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * z + Complex::from_real(c))
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, &c)| c * i as f64)
+                .collect(),
+        )
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        Polynomial::new((0..n).map(|i| self.coeff(i) + other.coeff(i)).collect())
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.coeffs.is_empty() || other.coeffs.is_empty() {
+            return Polynomial::zero();
+        }
+        let mut out = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Polynomial::new(out)
+    }
+
+    /// Scale every coefficient by `s`.
+    pub fn scale(&self, s: f64) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Divide out the largest power of `t`: returns `(l, Q)` with
+    /// `P(t) = t^l * Q(t)` and `Q(0) != 0`. Used by Theorem 5.2 to peel off
+    /// roots at zero before factorization.
+    pub fn factor_out_zero_roots(&self) -> (usize, Polynomial) {
+        if self.coeffs.is_empty() {
+            return (0, Polynomial::zero());
+        }
+        let l = self
+            .coeffs
+            .iter()
+            .position(|&c| c != 0.0)
+            .expect("normalized nonzero polynomial has a nonzero coefficient");
+        (l, Polynomial::new(self.coeffs[l..].to_vec()))
+    }
+
+    /// Maximum of `|P(t)|` over a uniform grid on `[lo, hi]` (used by tests
+    /// and by CPF validity checks).
+    pub fn max_abs_on(&self, lo: f64, hi: f64, steps: usize) -> f64 {
+        assert!(steps >= 1);
+        (0..=steps)
+            .map(|i| {
+                let t = lo + (hi - lo) * i as f64 / steps as f64;
+                self.eval(t).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.coeffs.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c < 0.0 { "-" } else { "+" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            let a = c.abs();
+            match i {
+                0 => write!(f, "{a}")?,
+                1 => {
+                    if a == 1.0 {
+                        write!(f, "t")?
+                    } else {
+                        write!(f, "{a}t")?
+                    }
+                }
+                _ => {
+                    if a == 1.0 {
+                        write!(f, "t^{i}")?
+                    } else {
+                        write!(f, "{a}t^{i}")?
+                    }
+                }
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_horner() {
+        // P(t) = 1 - 2t + 3t^2
+        let p = Polynomial::new(vec![1.0, -2.0, 3.0]);
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 2.0);
+        assert_eq!(p.eval(2.0), 1.0 - 4.0 + 12.0);
+        assert_eq!(p.degree(), Some(2));
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Polynomial::new(vec![1.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), Some(0));
+        let z = Polynomial::new(vec![0.0, 0.0]);
+        assert_eq!(z.degree(), None);
+        assert_eq!(z, Polynomial::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let p = Polynomial::new(vec![1.0, 1.0]); // 1 + t
+        let q = Polynomial::new(vec![-1.0, 1.0]); // -1 + t
+        let prod = p.mul(&q); // t^2 - 1
+        assert_eq!(prod.coeffs(), &[-1.0, 0.0, 1.0]);
+        let sum = p.add(&q); // 2t
+        assert_eq!(sum.coeffs(), &[0.0, 2.0]);
+        assert_eq!(p.scale(3.0).coeffs(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = Polynomial::new(vec![5.0, 0.0, 1.0, 2.0]); // 5 + t^2 + 2t^3
+        let d = p.derivative(); // 2t + 6t^2
+        assert_eq!(d.coeffs(), &[0.0, 2.0, 6.0]);
+        assert_eq!(Polynomial::constant(4.0).derivative(), Polynomial::zero());
+    }
+
+    #[test]
+    fn from_roots_real() {
+        // (t-1)(t-2) = t^2 - 3t + 2
+        let p = Polynomial::from_roots(
+            1.0,
+            &[Complex::from_real(1.0), Complex::from_real(2.0)],
+        );
+        assert_eq!(p.coeffs(), &[2.0, -3.0, 1.0]);
+    }
+
+    #[test]
+    fn from_roots_conjugate_pair() {
+        // (t - (1+i))(t - (1-i)) = t^2 - 2t + 2
+        let p = Polynomial::from_roots(
+            2.0,
+            &[Complex::new(1.0, 1.0), Complex::new(1.0, -1.0)],
+        );
+        assert_eq!(p.coeffs(), &[4.0, -4.0, 2.0]);
+    }
+
+    #[test]
+    fn complex_eval_matches_real_on_axis() {
+        let p = Polynomial::new(vec![0.5, -1.0, 0.25, 2.0]);
+        for &t in &[-2.0, 0.0, 0.7, 3.0] {
+            let z = p.eval_complex(Complex::from_real(t));
+            assert!((z.re - p.eval(t)).abs() < 1e-12);
+            assert!(z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn factor_out_zero_roots() {
+        // t^2 (3 - t)
+        let p = Polynomial::new(vec![0.0, 0.0, 3.0, -1.0]);
+        let (l, q) = p.factor_out_zero_roots();
+        assert_eq!(l, 2);
+        assert_eq!(q.coeffs(), &[3.0, -1.0]);
+        // No zero roots.
+        let (l2, q2) = q.factor_out_zero_roots();
+        assert_eq!(l2, 0);
+        assert_eq!(q2, q);
+    }
+
+    #[test]
+    fn abs_coeff_sum() {
+        let p = Polynomial::new(vec![-0.25, 0.5, -0.25]);
+        assert!((p.abs_coeff_sum() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_formatting() {
+        let p = Polynomial::new(vec![2.0, 0.0, -1.0]);
+        assert_eq!(format!("{p}"), "-t^2 + 2");
+        assert_eq!(format!("{}", Polynomial::zero()), "0");
+    }
+
+    #[test]
+    fn max_abs_on_grid() {
+        let p = Polynomial::new(vec![0.0, 1.0]); // t
+        assert_eq!(p.max_abs_on(0.0, 1.0, 10), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_poly() -> impl Strategy<Value = Polynomial> {
+        proptest::collection::vec(-10.0f64..10.0, 0..6).prop_map(Polynomial::new)
+    }
+
+    proptest! {
+        #[test]
+        fn mul_is_commutative(p in small_poly(), q in small_poly()) {
+            let pq = p.mul(&q);
+            let qp = q.mul(&p);
+            prop_assert_eq!(pq.coeffs().len(), qp.coeffs().len());
+            for (a, b) in pq.coeffs().iter().zip(qp.coeffs()) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn eval_is_ring_homomorphism(p in small_poly(), q in small_poly(), t in -3.0f64..3.0) {
+            let lhs = p.mul(&q).eval(t);
+            let rhs = p.eval(t) * q.eval(t);
+            prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+            let lhs2 = p.add(&q).eval(t);
+            let rhs2 = p.eval(t) + q.eval(t);
+            prop_assert!((lhs2 - rhs2).abs() < 1e-8 * (1.0 + rhs2.abs()));
+        }
+
+        #[test]
+        fn derivative_of_product_leibniz(p in small_poly(), q in small_poly(), t in -2.0f64..2.0) {
+            let lhs = p.mul(&q).derivative().eval(t);
+            let rhs = p.derivative().mul(&q).eval(t) + p.mul(&q.derivative()).eval(t);
+            prop_assert!((lhs - rhs).abs() < 1e-5 * (1.0 + rhs.abs()));
+        }
+    }
+}

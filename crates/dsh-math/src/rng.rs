@@ -1,0 +1,205 @@
+//! Seeded RNG construction helpers.
+//!
+//! Everything in the workspace is deterministic given a seed: constructions
+//! sample hash functions from an explicit RNG, and experiments derive
+//! per-repetition RNGs from a master seed so that results are reproducible
+//! run-to-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Create a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a master seed and a stream index using
+/// SplitMix64 — so experiment repetitions get independent, reproducible
+/// streams.
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Create the `stream`-th child RNG of a master seed.
+pub fn child(master: u64, stream: u64) -> StdRng {
+    seeded(derive_seed(master, stream))
+}
+
+/// Sample a uniform f64 in `[0, w)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, w: f64) -> f64 {
+    assert!(w > 0.0);
+    rng.random::<f64>() * w
+}
+
+/// Draw a uniformly random index in `[0, n)` from a dynamically typed RNG.
+pub fn index(rng: &mut dyn Rng, n: usize) -> usize {
+    assert!(n > 0);
+    rng.random_range(0..n)
+}
+
+/// A minimal SplitMix64 generator for *hot inner loops* that re-derive a
+/// stream per item (e.g. one Gaussian cap per filter index). `StdRng`
+/// (ChaCha12) costs a full key setup per instantiation; SplitMix64 is a
+/// three-multiply state transition. Statistical quality is ample for
+/// Monte-Carlo geometry (it passes BigCrush as a 64-bit mixer), and it is
+/// NOT used where cryptographic-grade randomness could matter.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of precision).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A stream of i.i.d. standard Gaussians over SplitMix64 (Marsaglia polar
+/// method with spare caching) — the fast path for lazily generated filter
+/// caps.
+#[derive(Debug, Clone)]
+pub struct GaussianStream {
+    rng: SplitMix64,
+    spare: Option<f64>,
+}
+
+impl GaussianStream {
+    /// Seed the stream.
+    pub fn new(seed: u64) -> Self {
+        GaussianStream {
+            rng: SplitMix64::new(seed),
+            spare: None,
+        }
+    }
+
+    /// Next standard normal variate.
+    // Not an Iterator: the stream is infinite and `Option` would be noise
+    // on the hot path.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn next(&mut self) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        loop {
+            let u = 2.0 * self.rng.next_f64() - 1.0;
+            let v = 2.0 * self.rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let scale = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * scale);
+                return u * scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(123);
+        let mut b = seeded(123);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn derive_seed_spreads_streams() {
+        let s: Vec<u64> = (0..100).map(|i| derive_seed(42, i)).collect();
+        let mut uniq = s.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 100);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = seeded(7);
+        for _ in 0..1000 {
+            let x = uniform(&mut rng, 3.5);
+            assert!((0.0..3.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn splitmix_uniform_f64_in_range() {
+        let mut s = SplitMix64::new(5);
+        let mut sum = 0.0;
+        for _ in 0..100_000 {
+            let x = s.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 100_000.0 - 0.5).abs() < 0.005);
+    }
+
+    #[test]
+    fn gaussian_stream_moments() {
+        let mut g = GaussianStream::new(77);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| g.next()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+        // Tail mass beyond 2 sigma ~ 4.55%.
+        let tail = xs.iter().filter(|x| x.abs() > 2.0).count() as f64 / n as f64;
+        assert!((tail - 0.0455).abs() < 0.005, "tail {tail}");
+    }
+
+    #[test]
+    fn gaussian_stream_deterministic() {
+        let a: Vec<f64> = {
+            let mut g = GaussianStream::new(3);
+            (0..10).map(|_| g.next()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut g = GaussianStream::new(3);
+            (0..10).map(|_| g.next()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn index_in_range() {
+        let mut rng = seeded(9);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let i = index(&mut rng, 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all indices should be hit");
+    }
+}

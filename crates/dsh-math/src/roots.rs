@@ -1,0 +1,332 @@
+//! Polynomial root finding: Aberth–Ehrlich simultaneous iteration.
+//!
+//! Theorem 5.2 factorizes the target CPF polynomial `P(t)` over ℂ and
+//! classifies each root by sign of its real part and magnitude. The paper
+//! treats factorization as given; we implement it. Aberth–Ehrlich converges
+//! cubically for simple roots and is robust for the modest degrees
+//! (`k <= ~30`) that arise for CPF polynomials.
+
+use crate::complex::Complex;
+use crate::poly::Polynomial;
+
+/// All complex roots of `p`, each appearing according to multiplicity.
+///
+/// Near-real roots are snapped onto the real axis, and complex roots are
+/// adjusted into exactly conjugate pairs so that downstream consumers
+/// (Theorem 5.2's case analysis) can rely on closure under conjugation.
+///
+/// # Panics
+/// Panics if `p` is constant (no roots to find) or zero, or if the
+/// iteration fails to converge (which does not happen for the well-scaled
+/// polynomials the library produces; degree is asserted `<= 64`).
+pub fn find_roots(p: &Polynomial) -> Vec<Complex> {
+    let deg = p.degree().expect("zero polynomial has every number as root");
+    assert!(deg >= 1, "constant polynomial has no roots");
+    assert!(deg <= 64, "root finder intended for moderate degrees");
+
+    // Peel off exact zero roots first: they are common (monomial factors)
+    // and slow the iteration down.
+    let (zeros, q) = p.factor_out_zero_roots();
+    let mut roots = vec![Complex::ZERO; zeros];
+    if let Some(qdeg) = q.degree() {
+        if qdeg >= 1 {
+            roots.extend(aberth(&q));
+        }
+    }
+    canonicalize(&mut roots);
+    roots
+}
+
+/// Aberth–Ehrlich iteration on a polynomial with nonzero constant term.
+fn aberth(p: &Polynomial) -> Vec<Complex> {
+    let deg = p.degree().unwrap();
+    let dp = p.derivative();
+
+    // Initial guesses: points on a circle of radius given by the Cauchy
+    // bound, slightly perturbed off symmetric configurations.
+    let lead = p.leading().abs();
+    let radius = 1.0
+        + p.coeffs()
+            .iter()
+            .take(deg)
+            .map(|c| (c / lead).abs())
+            .fold(0.0f64, f64::max);
+    let mut z: Vec<Complex> = (0..deg)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / deg as f64 + 0.4;
+            Complex::cis(theta) * (radius * 0.8)
+        })
+        .collect();
+
+    let scale = p.coeffs().iter().map(|c| c.abs()).fold(0.0f64, f64::max);
+    for _iter in 0..200 {
+        let mut max_step = 0.0f64;
+        for i in 0..deg {
+            let pz = p.eval_complex(z[i]);
+            if pz.abs() <= 1e-300 {
+                continue;
+            }
+            let dpz = dp.eval_complex(z[i]);
+            let newton = if dpz.abs() > 0.0 { pz / dpz } else { Complex::new(1e-6, 1e-6) };
+            let mut repulsion = Complex::ZERO;
+            for (j, &zj) in z.iter().enumerate() {
+                if j != i {
+                    let diff = z[i] - zj;
+                    if diff.abs() > 1e-30 {
+                        repulsion += diff.inv();
+                    } else {
+                        // Coincident iterates: nudge apart.
+                        repulsion += Complex::new(1e6, 1e6);
+                    }
+                }
+            }
+            let denom = Complex::ONE - newton * repulsion;
+            let step = if denom.abs() > 1e-30 { newton / denom } else { newton };
+            z[i] -= step;
+            max_step = max_step.max(step.abs());
+        }
+        if max_step < 1e-14 * (1.0 + radius) {
+            break;
+        }
+    }
+
+    // Verify convergence: |P(z_i)| should be tiny relative to the
+    // coefficient scale (multiple roots converge linearly, so allow slack).
+    for &zi in &z {
+        let residual = p.eval_complex(zi).abs();
+        assert!(
+            residual <= 1e-6 * scale * (1.0 + zi.abs().powi(deg as i32)),
+            "Aberth iteration failed to converge: residual {residual} at {zi:?}"
+        );
+    }
+    z
+}
+
+/// Snap near-real roots to the real axis and pair complex roots into exact
+/// conjugate pairs.
+fn canonicalize(roots: &mut [Complex]) {
+    let scale = 1.0 + roots.iter().map(|r| r.abs()).fold(0.0f64, f64::max);
+    for r in roots.iter_mut() {
+        if r.im.abs() <= 1e-9 * scale {
+            r.im = 0.0;
+        }
+    }
+    // Greedy conjugate pairing among the complex roots.
+    let mut used = vec![false; roots.len()];
+    for i in 0..roots.len() {
+        if used[i] || roots[i].im == 0.0 {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for j in (i + 1)..roots.len() {
+            if used[j] || roots[j].im == 0.0 || roots[j].im.signum() == roots[i].im.signum() {
+                continue;
+            }
+            let d = (roots[j] - roots[i].conj()).abs();
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((j, d));
+            }
+        }
+        if let Some((j, d)) = best {
+            assert!(
+                d <= 1e-6 * scale,
+                "complex roots not closed under conjugation (gap {d})"
+            );
+            let avg_re = 0.5 * (roots[i].re + roots[j].re);
+            let avg_im = 0.5 * (roots[i].im.abs() + roots[j].im.abs());
+            let sign = roots[i].im.signum();
+            roots[i] = Complex::new(avg_re, sign * avg_im);
+            roots[j] = roots[i].conj();
+            used[i] = true;
+            used[j] = true;
+        } else {
+            panic!("unpaired complex root {:?}", roots[i]);
+        }
+    }
+    // Deterministic order: by real part, then imaginary part.
+    roots.sort_by(|a, b| {
+        a.re.partial_cmp(&b.re)
+            .unwrap()
+            .then(a.im.partial_cmp(&b.im).unwrap())
+    });
+}
+
+/// Roots grouped the way Theorem 5.2's case analysis consumes them:
+/// real roots individually, complex roots as conjugate pairs (the
+/// representative has positive imaginary part).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedRoots {
+    /// Real roots (with multiplicity).
+    pub real: Vec<f64>,
+    /// One representative per conjugate pair, `im > 0`.
+    pub complex_pairs: Vec<Complex>,
+}
+
+/// Group [`find_roots`] output into real roots and conjugate pairs.
+pub fn group_roots(roots: &[Complex]) -> GroupedRoots {
+    let mut real = Vec::new();
+    let mut complex_pairs = Vec::new();
+    for &r in roots {
+        if r.im == 0.0 {
+            real.push(r.re);
+        } else if r.im > 0.0 {
+            complex_pairs.push(r);
+        }
+    }
+    GroupedRoots { real, complex_pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roots_of(coeffs: Vec<f64>) -> Vec<Complex> {
+        find_roots(&Polynomial::new(coeffs))
+    }
+
+    fn assert_contains_root(roots: &[Complex], want: Complex) {
+        assert!(
+            roots.iter().any(|r| (*r - want).abs() < 1e-7),
+            "roots {roots:?} missing {want:?}"
+        );
+    }
+
+    #[test]
+    fn linear() {
+        let r = roots_of(vec![-3.0, 1.5]); // 1.5t - 3 => t = 2
+        assert_eq!(r.len(), 1);
+        assert_contains_root(&r, Complex::from_real(2.0));
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        let r = roots_of(vec![2.0, -3.0, 1.0]); // (t-1)(t-2)
+        assert_eq!(r.len(), 2);
+        assert_contains_root(&r, Complex::from_real(1.0));
+        assert_contains_root(&r, Complex::from_real(2.0));
+        assert!(r.iter().all(|z| z.im == 0.0));
+    }
+
+    #[test]
+    fn quadratic_complex_roots() {
+        let r = roots_of(vec![2.0, -2.0, 1.0]); // t^2 - 2t + 2 => 1 +- i
+        assert_eq!(r.len(), 2);
+        assert_contains_root(&r, Complex::new(1.0, 1.0));
+        assert_contains_root(&r, Complex::new(1.0, -1.0));
+        // Exact conjugates after canonicalization.
+        assert_eq!(r[0].re, r[1].re);
+        assert_eq!(r[0].im, -r[1].im);
+    }
+
+    #[test]
+    fn zero_roots_peeled() {
+        // t^2 (t - 5)
+        let r = roots_of(vec![0.0, 0.0, -5.0, 1.0]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().filter(|z| z.abs() < 1e-12).count(), 2);
+        assert_contains_root(&r, Complex::from_real(5.0));
+    }
+
+    #[test]
+    fn chebyshev_like_degree_five() {
+        // 16t^5 - 20t^3 + 5t: roots are sin(k pi / 10)-style values; known
+        // roots: 0, +-cos(pi/10)... Actually these are the roots of the
+        // Chebyshev T5(t): cos((2k+1)pi/10).
+        let r = roots_of(vec![0.0, 5.0, 0.0, -20.0, 0.0, 16.0]);
+        assert_eq!(r.len(), 5);
+        for k in 0..5 {
+            let want = ((2 * k + 1) as f64 * std::f64::consts::PI / 10.0).cos();
+            assert_contains_root(&r, Complex::from_real(want));
+        }
+    }
+
+    #[test]
+    fn reconstruction_roundtrip() {
+        let p = Polynomial::new(vec![0.7, -1.3, 0.2, 2.0, 1.0]);
+        let roots = find_roots(&p);
+        let q = Polynomial::from_roots(p.leading(), &roots);
+        for (a, b) in p.coeffs().iter().zip(q.coeffs()) {
+            assert!((a - b).abs() < 1e-6, "{:?} vs {:?}", p.coeffs(), q.coeffs());
+        }
+    }
+
+    #[test]
+    fn multiple_root() {
+        // (t-1)^3 = t^3 - 3t^2 + 3t - 1: triple root at 1; linear
+        // convergence, looser tolerance.
+        let r = roots_of(vec![-1.0, 3.0, -3.0, 1.0]);
+        assert_eq!(r.len(), 3);
+        for z in &r {
+            assert!((*z - Complex::ONE).abs() < 1e-3, "root {z:?}");
+        }
+    }
+
+    #[test]
+    fn grouping() {
+        let r = roots_of(vec![2.0, -2.0, 1.0]); // 1 +- i
+        let g = group_roots(&r);
+        assert!(g.real.is_empty());
+        assert_eq!(g.complex_pairs.len(), 1);
+        assert!(g.complex_pairs[0].im > 0.0);
+
+        let r2 = roots_of(vec![2.0, -3.0, 1.0]); // 1, 2
+        let g2 = group_roots(&r2);
+        assert_eq!(g2.real.len(), 2);
+        assert!(g2.complex_pairs.is_empty());
+    }
+
+    #[test]
+    fn negative_real_part_pair() {
+        // t^2 + 2t + 5 => -1 +- 2i
+        let r = roots_of(vec![5.0, 2.0, 1.0]);
+        assert_contains_root(&r, Complex::new(-1.0, 2.0));
+        assert_contains_root(&r, Complex::new(-1.0, -2.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn roots_reconstruct_polynomial(
+            coeffs in proptest::collection::vec(-5.0f64..5.0, 2..7)
+                .prop_filter("leading nonzero", |c| c.last().map(|&l| l.abs() > 0.1).unwrap_or(false))
+        ) {
+            let p = Polynomial::new(coeffs);
+            prop_assume!(p.degree().map(|d| d >= 1).unwrap_or(false));
+            let roots = find_roots(&p);
+            prop_assert_eq!(roots.len(), p.degree().unwrap());
+            let q = Polynomial::from_roots(p.leading(), &roots);
+            let scale = p.abs_coeff_sum();
+            for i in 0..p.coeffs().len() {
+                prop_assert!((p.coeff(i) - q.coeff(i)).abs() < 1e-4 * (1.0 + scale),
+                    "coeff {} mismatch: {} vs {}", i, p.coeff(i), q.coeff(i));
+            }
+        }
+
+        #[test]
+        fn real_polys_from_random_roots(
+            reals in proptest::collection::vec(-3.0f64..3.0, 0..3),
+            pairs in proptest::collection::vec((-2.0f64..2.0, 0.1f64..2.0), 0..2),
+        ) {
+            prop_assume!(reals.len() + 2 * pairs.len() >= 1);
+            let mut roots: Vec<Complex> = reals.iter().map(|&r| Complex::from_real(r)).collect();
+            for &(re, im) in &pairs {
+                roots.push(Complex::new(re, im));
+                roots.push(Complex::new(re, -im));
+            }
+            let p = Polynomial::from_roots(1.0, &roots);
+            let found = find_roots(&p);
+            prop_assert_eq!(found.len(), roots.len());
+            // Every constructed root is rediscovered.
+            for want in &roots {
+                prop_assert!(found.iter().any(|f| (*f - *want).abs() < 1e-4),
+                    "missing root {:?} in {:?}", want, found);
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Statistics toolbox: summary statistics, binomial confidence intervals,
+//! Chernoff bounds, and log-ratio (rho) estimation.
+//!
+//! The experimental harness validates collision probability functions by
+//! Monte-Carlo estimation; Wilson intervals give calibrated error bars even
+//! for probabilities near 0 or 1 (which CPFs routinely are). The Chernoff
+//! helpers mirror the concentration arguments of §3.1 of the paper.
+
+use crate::normal;
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance.
+pub fn variance(xs: &[f64]) -> f64 {
+    assert!(xs.len() >= 2, "variance needs at least two samples");
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// A binomial proportion estimate with a Wilson score interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proportion {
+    /// Number of successes.
+    pub successes: u64,
+    /// Number of trials.
+    pub trials: u64,
+    /// Point estimate `successes / trials`.
+    pub estimate: f64,
+    /// Lower end of the Wilson interval.
+    pub lo: f64,
+    /// Upper end of the Wilson interval.
+    pub hi: f64,
+}
+
+impl Proportion {
+    /// Wilson score interval at confidence level `confidence`
+    /// (e.g. 0.99 for 99%).
+    pub fn wilson(successes: u64, trials: u64, confidence: f64) -> Self {
+        assert!(trials > 0, "no trials");
+        assert!(successes <= trials);
+        assert!((0.0..1.0).contains(&confidence) && confidence > 0.0);
+        let z = normal::inv_cdf(0.5 + confidence / 2.0);
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        // At the boundary counts the Wilson endpoints are exactly 0 / 1
+        // algebraically; avoid float roundoff excluding the true value.
+        let lo = if successes == 0 { 0.0 } else { (center - half).max(0.0) };
+        let hi = if successes == trials {
+            1.0
+        } else {
+            (center + half).min(1.0)
+        };
+        Proportion {
+            successes,
+            trials,
+            estimate: p,
+            lo,
+            hi,
+        }
+    }
+
+    /// Whether `value` lies within the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// Interval half-width.
+    pub fn half_width(&self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+}
+
+/// Multiplicative Chernoff bound used in §3.1:
+/// `Pr[X >= (1+eps) mu] <= exp(-eps^2 mu / 3)` for a sum of independent
+/// 0/1 variables with mean `mu` and `0 < eps <= 1`.
+pub fn chernoff_upper_tail(mu: f64, eps: f64) -> f64 {
+    assert!(mu >= 0.0 && eps > 0.0 && eps <= 1.0);
+    (-eps * eps * mu / 3.0).exp()
+}
+
+/// Lower-tail Chernoff bound `Pr[X <= (1-eps) mu] <= exp(-eps^2 mu / 2)`.
+pub fn chernoff_lower_tail(mu: f64, eps: f64) -> f64 {
+    assert!(mu >= 0.0 && eps > 0.0 && eps <= 1.0);
+    (-eps * eps * mu / 2.0).exp()
+}
+
+/// The `rho` exponent `ln(1/p) / ln(1/q)` comparing two collision
+/// probabilities `p > q` (paper §1.2 "ρ-values"). Returns `None` when either
+/// probability is degenerate (0 or 1) and the ratio is undefined.
+pub fn rho(p: f64, q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&p) || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    if p <= 0.0 || p >= 1.0 || q <= 0.0 || q >= 1.0 {
+        return None;
+    }
+    Some(p.ln() / q.ln())
+}
+
+/// Geometric mean of strictly positive values.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    assert!(xs.iter().all(|&x| x > 0.0), "geometric mean needs positives");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Percentile (nearest-rank) of a sample; `q` in `[0, 1]`.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+    v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_contains_truth_mostly() {
+        // Basic sanity: for p-hat = 0.5 with many trials the interval is
+        // narrow and centered.
+        let p = Proportion::wilson(5000, 10000, 0.95);
+        assert!((p.estimate - 0.5).abs() < 1e-12);
+        assert!(p.contains(0.5));
+        assert!(p.half_width() < 0.011);
+    }
+
+    #[test]
+    fn wilson_extreme_counts() {
+        let p0 = Proportion::wilson(0, 100, 0.99);
+        assert_eq!(p0.estimate, 0.0);
+        assert_eq!(p0.lo, 0.0);
+        assert!(p0.hi > 0.0 && p0.hi < 0.1);
+        let p1 = Proportion::wilson(100, 100, 0.99);
+        assert_eq!(p1.hi, 1.0);
+        assert!(p1.lo > 0.9);
+    }
+
+    #[test]
+    fn wilson_wider_at_higher_confidence() {
+        let lo = Proportion::wilson(30, 100, 0.90);
+        let hi = Proportion::wilson(30, 100, 0.999);
+        assert!(hi.half_width() > lo.half_width());
+    }
+
+    #[test]
+    fn chernoff_monotone_in_mu() {
+        assert!(chernoff_upper_tail(100.0, 0.5) < chernoff_upper_tail(10.0, 0.5));
+        assert!(chernoff_lower_tail(100.0, 0.5) < chernoff_lower_tail(10.0, 0.5));
+        assert!(chernoff_upper_tail(10.0, 1.0) < chernoff_upper_tail(10.0, 0.1));
+    }
+
+    #[test]
+    fn rho_basic() {
+        // p = q^rho.
+        let q: f64 = 0.01;
+        let p = q.powf(0.5);
+        let r = rho(p, q).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+        assert_eq!(rho(0.0, 0.5), None);
+        assert_eq!(rho(0.5, 1.0), None);
+        assert_eq!(rho(1.5, 0.5), None);
+    }
+
+    #[test]
+    fn geometric_mean_log_identity() {
+        let xs = [1.0, 4.0, 16.0];
+        assert!((geometric_mean(&xs) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no trials")]
+    fn wilson_zero_trials_panics() {
+        let _ = Proportion::wilson(0, 0, 0.95);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn wilson_interval_ordered_and_contains_estimate(
+            s in 0u64..1000, extra in 0u64..1000
+        ) {
+            let n = s + extra;
+            prop_assume!(n > 0);
+            let p = Proportion::wilson(s, n, 0.95);
+            prop_assert!(p.lo <= p.estimate + 1e-12);
+            prop_assert!(p.estimate <= p.hi + 1e-12);
+            prop_assert!(p.lo >= 0.0 && p.hi <= 1.0);
+        }
+
+        #[test]
+        fn rho_inverts_powf(q in 1e-6f64..0.9, r in 0.05f64..0.95) {
+            let p = q.powf(r);
+            let got = rho(p, q).unwrap();
+            prop_assert!((got - r).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The triangulation attack of Riazi et al. [45] and the flat-CPF defence
+//! (§6.4's closing discussion).
+//!
+//! An adversary who sees the PSI transcript learns the intersection size.
+//! Under a standard LSH the expected intersection is `N f(dist)` with `f`
+//! steeply decreasing, so the count is a high-resolution proximity signal
+//! (close to a distance oracle — which is what enables triangulation).
+//! A step-function CPF makes the signal (nearly) constant over the whole
+//! sensitive range `[0, r]`.
+//!
+//! This module quantifies the leak: it simulates transcripts at a set of
+//! distances and reports how well a maximum-likelihood adversary can
+//! distinguish them from the intersection size alone.
+
+use crate::protocol::DistanceEstimationProtocol;
+use rand::Rng;
+
+/// Empirical distribution of intersection sizes at one distance.
+#[derive(Debug, Clone)]
+pub struct SignalProfile {
+    /// The distances profiled.
+    pub distances: Vec<f64>,
+    /// Mean intersection size at each distance.
+    pub mean_sizes: Vec<f64>,
+    /// Total-variation-style distinguishability of adjacent distances:
+    /// `|mean_i - mean_{i+1}| / sqrt(max(mean_i, mean_{i+1}, 1))` — the
+    /// per-transcript signal-to-noise of the count (Poisson-scale noise).
+    pub adjacent_snr: Vec<f64>,
+}
+
+impl SignalProfile {
+    /// The largest adjacent signal-to-noise ratio: > ~1 means a single
+    /// transcript reveals which of two adjacent distances is at play.
+    pub fn worst_snr(&self) -> f64 {
+        self.adjacent_snr.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Profile the intersection-size signal of a protocol across distances.
+///
+/// `make_pair(rng, dist)` must produce an `(x, q)` pair at the requested
+/// distance; `runs` transcripts are simulated per distance.
+pub fn profile_signal<P, G>(
+    protocol: &DistanceEstimationProtocol<P>,
+    distances: &[f64],
+    runs: usize,
+    rng: &mut dyn Rng,
+    mut make_pair: G,
+) -> SignalProfile
+where
+    G: FnMut(&mut dyn Rng, f64) -> (P, P),
+{
+    assert!(!distances.is_empty() && runs > 0);
+    let mut mean_sizes = Vec::with_capacity(distances.len());
+    for &dist in distances {
+        let mut total = 0usize;
+        for _ in 0..runs {
+            let (x, q) = make_pair(rng, dist);
+            total += protocol.run(&x, &q).intersection_size;
+        }
+        mean_sizes.push(total as f64 / runs as f64);
+    }
+    let adjacent_snr = mean_sizes
+        .windows(2)
+        .map(|w| (w[0] - w[1]).abs() / w[0].max(w[1]).max(1.0).sqrt())
+        .collect();
+    SignalProfile {
+        distances: distances.to_vec(),
+        mean_sizes,
+        adjacent_snr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::combinators::{Concat, Power};
+    use dsh_core::points::BitVector;
+    use dsh_core::BoxedDshFamily;
+    use dsh_data::hamming_data::point_at_distance;
+    use dsh_hamming::{AntiBitSampling, BitSampling};
+    use dsh_math::rng::seeded;
+
+    fn pair_at(rng: &mut dyn rand::Rng, d: usize, dist: f64) -> (BitVector, BitVector) {
+        let x = BitVector::random(rng, d);
+        let q = point_at_distance(rng, &x, dist.round() as usize);
+        (x, q)
+    }
+
+    #[test]
+    fn plain_lsh_signal_is_strong_step_signal_is_weak() {
+        let d = 256;
+        let k = 12usize;
+        let n_hashes = 1500;
+        let mut rng = seeded(0xA71);
+
+        let plain = Power::new(BitSampling::new(d), k);
+        let proto_plain = DistanceEstimationProtocol::new(&plain, n_hashes, 16, &mut rng);
+
+        let step: Concat<BitVector> = Concat::new(vec![
+            Box::new(Power::new(BitSampling::new(d), k)) as BoxedDshFamily<BitVector>,
+            Box::new(AntiBitSampling::new(d)),
+        ]);
+        let proto_step = DistanceEstimationProtocol::new(&step, n_hashes, 16, &mut rng);
+
+        // Distances within the sensitive range [0, 0.1 d].
+        let distances = [0.0, 6.0, 13.0, 26.0];
+        let runs = 40;
+        let plain_profile =
+            profile_signal(&proto_plain, &distances, runs, &mut rng, |r, dist| {
+                pair_at(r, d, dist)
+            });
+        let step_profile =
+            profile_signal(&proto_step, &distances, runs, &mut rng, |r, dist| {
+                pair_at(r, d, dist)
+            });
+
+        // The plain LSH signal collapses steeply: dist 0 vs dist 26 is
+        // many noise standard deviations apart.
+        assert!(
+            plain_profile.worst_snr() > 3.0,
+            "plain LSH should be distinguishable, snr {}",
+            plain_profile.worst_snr()
+        );
+        // The step family's in-range signal (excluding the designed zero
+        // at distance 0) is much flatter.
+        let step_inner: f64 = step_profile.adjacent_snr[1..]
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        assert!(
+            step_inner < plain_profile.worst_snr() / 2.0,
+            "step family should at least halve the in-range signal: {} vs {}",
+            step_inner,
+            plain_profile.worst_snr()
+        );
+    }
+
+    #[test]
+    fn profile_reports_shapes() {
+        let d = 64;
+        let fam = BitSampling::new(d);
+        let mut rng = seeded(0xA72);
+        let proto = DistanceEstimationProtocol::new(&fam, 100, 8, &mut rng);
+        let profile = profile_signal(&proto, &[0.0, 32.0], 20, &mut rng, |r, dist| {
+            pair_at(r, d, dist)
+        });
+        assert_eq!(profile.mean_sizes.len(), 2);
+        assert_eq!(profile.adjacent_snr.len(), 1);
+        // Identical points collide everywhere; half-distance points in
+        // roughly half the positions.
+        assert!((profile.mean_sizes[0] - 100.0).abs() < 1e-9);
+        assert!((profile.mean_sizes[1] - 50.0).abs() < 10.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Privacy-preserving distance estimation (paper §6.4).
+//!
+//! Reduces "is `dist(q, x) <= r`?" to private set intersection on vectors
+//! of distance-sensitive hash values with a step-function CPF: collisions
+//! are (almost) equally likely anywhere inside `[0, r]` — so, unlike a
+//! standard LSH, the intersection does not reveal *how* close the points
+//! are — and polynomially less likely beyond `c r`.
+//!
+//! * [`psi`] — a simulated PSI functionality (an honest dealer revealing
+//!   only the component-wise intersection) plus digest truncation to
+//!   `O(log t)` bits;
+//! * [`protocol`] — parameter selection `t ~ (1/delta)^{rho/(1-rho)}`,
+//!   the Yes/No decision rule, and leakage accounting in bits.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod attack;
+pub mod protocol;
+pub mod psi;
+
+pub use attack::{profile_signal, SignalProfile};
+pub use protocol::{DistanceEstimationProtocol, ProtocolOutcome};
+pub use psi::{intersection_positions, PsiTranscript};

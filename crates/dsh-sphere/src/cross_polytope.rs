@@ -1,0 +1,235 @@
+//! Cross-polytope LSH and its negated-query DSH variant (paper §2.1).
+//!
+//! `CP+` (Andoni, Indyk, Laarhoven, Razenshteyn, Schmidt): apply a random
+//! Gaussian matrix `A` and hash `x` to the closest signed standard basis
+//! vector of `A x` — i.e. the coordinate of maximum absolute value,
+//! together with its sign. Theorem 2.1 (reproduced from [8]):
+//!
+//! ```text
+//! ln(1/f(alpha)) = ((1 - alpha)/(1 + alpha)) ln d + O_alpha(ln ln d).
+//! ```
+//!
+//! `CP-` negates the query point before hashing (Corollary 2.2), flipping
+//! the exponent to `((1 + alpha)/(1 - alpha)) ln d` — a *decreasing* CPF in
+//! the similarity, i.e. an anti-LSH. This matches the Theorem 1.2 filter
+//! construction with `t = sqrt(2 ln d)`.
+
+use crate::geometry::GaussianMatrix;
+use dsh_core::family::{DshFamily, HasherPair};
+use dsh_core::points::DenseVector;
+use rand::Rng;
+
+/// Hash a rotated vector to its closest signed basis vector:
+/// `2 * argmax_i |v_i| + [v_i < 0]`.
+fn closest_polytope_vertex(v: &[f64]) -> u64 {
+    let mut best = 0usize;
+    let mut best_abs = -1.0f64;
+    for (i, &c) in v.iter().enumerate() {
+        if c.abs() > best_abs {
+            best_abs = c.abs();
+            best = i;
+        }
+    }
+    2 * best as u64 + (v[best] < 0.0) as u64
+}
+
+/// Symmetric cross-polytope LSH `CP+`; CPF increasing in the inner product.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossPolytopeLsh {
+    d: usize,
+}
+
+impl CrossPolytopeLsh {
+    /// Family over unit vectors in `R^d`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        CrossPolytopeLsh { d }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Leading-order theoretical value of `ln(1/f(alpha))` from
+    /// Theorem 2.1: `((1 - alpha)/(1 + alpha)) ln d`.
+    pub fn theoretical_ln_inv_cpf(d: usize, alpha: f64) -> f64 {
+        assert!(alpha > -1.0 && alpha < 1.0);
+        (1.0 - alpha) / (1.0 + alpha) * (d as f64).ln()
+    }
+}
+
+impl DshFamily<DenseVector> for CrossPolytopeLsh {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<DenseVector> {
+        let a = GaussianMatrix::sample(rng, self.d, self.d);
+        let b = a.clone();
+        HasherPair::from_fns(
+            move |x: &DenseVector| closest_polytope_vertex(&a.apply(x)),
+            move |y: &DenseVector| closest_polytope_vertex(&b.apply(y)),
+        )
+    }
+
+    fn name(&self) -> String {
+        format!("CrossPolytope+(d={})", self.d)
+    }
+}
+
+/// Anti-LSH cross-polytope family `CP-` (§2.1): the query point is negated
+/// before hashing, so the CPF *decreases* in the inner product
+/// (Corollary 2.2). Identical points almost never collide; antipodal points
+/// always do.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossPolytopeAnti {
+    d: usize,
+}
+
+impl CrossPolytopeAnti {
+    /// Family over unit vectors in `R^d`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        CrossPolytopeAnti { d }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Leading-order theoretical value of `ln(1/f(alpha))` from
+    /// Corollary 2.2: `((1 + alpha)/(1 - alpha)) ln d`.
+    pub fn theoretical_ln_inv_cpf(d: usize, alpha: f64) -> f64 {
+        assert!(alpha > -1.0 && alpha < 1.0);
+        (1.0 + alpha) / (1.0 - alpha) * (d as f64).ln()
+    }
+}
+
+impl DshFamily<DenseVector> for CrossPolytopeAnti {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<DenseVector> {
+        let a = GaussianMatrix::sample(rng, self.d, self.d);
+        let b = a.clone();
+        HasherPair::from_fns(
+            move |x: &DenseVector| closest_polytope_vertex(&a.apply(x)),
+            move |y: &DenseVector| closest_polytope_vertex(&b.apply(&y.negated())),
+        )
+    }
+
+    fn name(&self) -> String {
+        format!("CrossPolytope-(d={})", self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::pair_with_inner_product;
+    use dsh_core::estimate::CpfEstimator;
+    use dsh_math::rng::seeded;
+
+    #[test]
+    fn vertex_encoding() {
+        assert_eq!(closest_polytope_vertex(&[3.0, -1.0, 2.0]), 0);
+        assert_eq!(closest_polytope_vertex(&[-3.0, -1.0, 2.0]), 1);
+        assert_eq!(closest_polytope_vertex(&[0.5, -1.0, 0.2]), 3);
+        assert_eq!(closest_polytope_vertex(&[0.0, 0.0, 0.1]), 4);
+    }
+
+    #[test]
+    fn identical_points_always_collide_in_cp_plus() {
+        let fam = CrossPolytopeLsh::new(12);
+        let mut rng = seeded(91);
+        let x = DenseVector::random_unit(&mut rng, 12);
+        for _ in 0..30 {
+            assert!(fam.sample(&mut rng).collides(&x, &x));
+        }
+    }
+
+    #[test]
+    fn antipodal_points_always_collide_in_cp_minus() {
+        let fam = CrossPolytopeAnti::new(12);
+        let mut rng = seeded(92);
+        let x = DenseVector::random_unit(&mut rng, 12);
+        let neg = x.negated();
+        for _ in 0..30 {
+            assert!(fam.sample(&mut rng).collides(&x, &neg));
+        }
+    }
+
+    #[test]
+    fn identical_points_rarely_collide_in_cp_minus() {
+        let fam = CrossPolytopeAnti::new(16);
+        let mut rng = seeded(93);
+        let x = DenseVector::random_unit(&mut rng, 16);
+        let est = CpfEstimator::new(3000, 94).estimate_pair(&fam, &x, &x);
+        // f(1) = 0 in the limit; with d = 16 it should be very small.
+        assert!(est.estimate < 0.01, "got {}", est.estimate);
+    }
+
+    #[test]
+    fn random_points_collide_with_probability_one_over_2d() {
+        // At alpha = 0 the two rotated vectors are independent, so the
+        // query lands on each of the 2d vertices with equal probability.
+        let d = 8;
+        let fam = CrossPolytopeLsh::new(d);
+        let mut rng = seeded(95);
+        let (x, y) = pair_with_inner_product(&mut rng, d, 0.0);
+        let est = CpfEstimator::new(40_000, 96).estimate_pair(&fam, &x, &y);
+        assert!(
+            est.contains(1.0 / (2.0 * d as f64)),
+            "got {} want {}",
+            est.estimate,
+            1.0 / (2.0 * d as f64)
+        );
+    }
+
+    #[test]
+    fn cp_minus_mirrors_cp_plus() {
+        // f_-(alpha) = f_+(-alpha): estimate both at alpha = 0.5.
+        let d = 8;
+        let mut rng = seeded(97);
+        let (x, y) = pair_with_inner_product(&mut rng, d, 0.5);
+        let (u, v) = pair_with_inner_product(&mut rng, d, -0.5);
+        let plus = CpfEstimator::new(40_000, 98).estimate_pair(&CrossPolytopeLsh::new(d), &u, &v);
+        let minus =
+            CpfEstimator::new(40_000, 99).estimate_pair(&CrossPolytopeAnti::new(d), &x, &y);
+        // Same distribution: intervals overlap generously.
+        assert!(
+            minus.lo <= plus.hi + 0.01 && plus.lo <= minus.hi + 0.01,
+            "plus {} vs minus {}",
+            plus.estimate,
+            minus.estimate
+        );
+    }
+
+    #[test]
+    fn cpf_monotone_decreasing_for_anti() {
+        let d = 8;
+        let fam = CrossPolytopeAnti::new(d);
+        let mut rng = seeded(100);
+        let pairs: Vec<_> = [-0.7, 0.0, 0.7]
+            .iter()
+            .map(|&a| pair_with_inner_product(&mut rng, d, a))
+            .collect();
+        let ests = CpfEstimator::new(30_000, 101).estimate_curve(&fam, &pairs);
+        assert!(
+            ests[0].estimate > ests[1].estimate && ests[1].estimate > ests[2].estimate,
+            "{} > {} > {} expected",
+            ests[0].estimate,
+            ests[1].estimate,
+            ests[2].estimate
+        );
+    }
+
+    #[test]
+    fn theoretical_exponents_are_mirror_images() {
+        let d = 256;
+        for &alpha in &[-0.5, 0.0, 0.5] {
+            let plus = CrossPolytopeLsh::theoretical_ln_inv_cpf(d, alpha);
+            let minus = CrossPolytopeAnti::theoretical_ln_inv_cpf(d, -alpha);
+            assert!((plus - minus).abs() < 1e-12);
+        }
+        // At alpha = 0 both are ln d.
+        assert!(
+            (CrossPolytopeLsh::theoretical_ln_inv_cpf(d, 0.0) - (d as f64).ln()).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Unit-sphere geometry helpers: controlled-inner-product pairs,
+//! alpha-correlated hypercube corners, Gaussian projections.
+
+use dsh_core::points::DenseVector;
+use rand::{Rng, RngExt};
+
+/// Produce a pair of unit vectors with inner product exactly `alpha`
+/// (up to float error): `x` uniform on the sphere, `y = alpha x +
+/// sqrt(1 - alpha^2) w` with `w` a unit vector orthogonal to `x`.
+pub fn pair_with_inner_product(
+    rng: &mut dyn Rng,
+    d: usize,
+    alpha: f64,
+) -> (DenseVector, DenseVector) {
+    assert!(d >= 2, "need d >= 2 to control the inner product");
+    assert!((-1.0..=1.0).contains(&alpha));
+    let x = DenseVector::random_unit(rng, d);
+    // Random direction, orthogonalized against x (Gram-Schmidt).
+    let w = loop {
+        let g = DenseVector::gaussian(rng, d);
+        let proj = g.dot(&x);
+        let orth = g.sub(&x.scaled(proj));
+        if orth.norm() > 1e-9 {
+            break orth.normalized();
+        }
+    };
+    let y = x.scaled(alpha).add(&w.scaled((1.0 - alpha * alpha).sqrt()));
+    (x, y)
+}
+
+/// Randomly alpha-correlated hypercube corners (Definition 3.1 pushed onto
+/// the sphere): `x` uniform in `{-1/sqrt(d), +1/sqrt(d)}^d`, and each
+/// component of `y` equals the corresponding component of `x` with
+/// probability `(1 + alpha)/2`, independently. For large `d` the inner
+/// product `<x, y>` concentrates around `alpha`.
+pub fn correlated_corner_pair(
+    rng: &mut dyn Rng,
+    d: usize,
+    alpha: f64,
+) -> (DenseVector, DenseVector) {
+    assert!(d >= 1);
+    assert!((-1.0..=1.0).contains(&alpha));
+    let s = 1.0 / (d as f64).sqrt();
+    let keep = (1.0 + alpha) / 2.0;
+    let mut xs = Vec::with_capacity(d);
+    let mut ys = Vec::with_capacity(d);
+    for _ in 0..d {
+        let xv = if rng.random_bool(0.5) { s } else { -s };
+        let yv = if rng.random_bool(keep) { xv } else { -xv };
+        xs.push(xv);
+        ys.push(yv);
+    }
+    (DenseVector::new(xs), DenseVector::new(ys))
+}
+
+/// A set of `m` i.i.d. Gaussian projection vectors (rows), as used by the
+/// filter families and cross-polytope rotations.
+#[derive(Debug, Clone)]
+pub struct GaussianMatrix {
+    rows: Vec<DenseVector>,
+}
+
+impl GaussianMatrix {
+    /// Sample an `m x d` matrix with i.i.d. `N(0,1)` entries.
+    pub fn sample(rng: &mut dyn Rng, m: usize, d: usize) -> Self {
+        GaussianMatrix {
+            rows: (0..m).map(|_| DenseVector::gaussian(rng, d)).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Apply to a vector: returns the `m` projections `<z_i, x>`.
+    pub fn apply(&self, x: &DenseVector) -> Vec<f64> {
+        self.rows.iter().map(|r| r.dot(x)).collect()
+    }
+
+    /// Row access.
+    pub fn row(&self, i: usize) -> &DenseVector {
+        &self.rows[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_math::rng::seeded;
+
+    #[test]
+    fn pair_has_requested_inner_product() {
+        let mut rng = seeded(71);
+        for &alpha in &[-0.99, -0.5, 0.0, 0.3, 0.97, 1.0] {
+            let (x, y) = pair_with_inner_product(&mut rng, 24, alpha);
+            assert!((x.norm() - 1.0).abs() < 1e-10);
+            assert!((y.norm() - 1.0).abs() < 1e-10);
+            assert!(
+                (x.dot(&y) - alpha).abs() < 1e-10,
+                "alpha {alpha}: got {}",
+                x.dot(&y)
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_corners_concentrate() {
+        let mut rng = seeded(72);
+        let d = 20_000;
+        for &alpha in &[-0.6, 0.0, 0.8] {
+            let (x, y) = correlated_corner_pair(&mut rng, d, alpha);
+            assert!((x.norm() - 1.0).abs() < 1e-10);
+            assert!((x.dot(&y) - alpha).abs() < 0.03, "got {}", x.dot(&y));
+        }
+    }
+
+    #[test]
+    fn correlated_corners_extremes() {
+        let mut rng = seeded(73);
+        let (x, y) = correlated_corner_pair(&mut rng, 100, 1.0);
+        assert_eq!(x, y);
+        let (x, y) = correlated_corner_pair(&mut rng, 100, -1.0);
+        assert!((x.dot(&y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_matrix_shape_and_projection() {
+        let mut rng = seeded(74);
+        let m = GaussianMatrix::sample(&mut rng, 5, 8);
+        assert_eq!(m.rows(), 5);
+        let x = DenseVector::random_unit(&mut rng, 8);
+        let p = m.apply(&x);
+        assert_eq!(p.len(), 5);
+        assert!((p[2] - m.row(2).dot(&x)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gaussian_projection_of_unit_vector_is_standard_normal() {
+        // <z, x> ~ N(0,1) for unit x: check variance empirically.
+        let mut rng = seeded(75);
+        let x = DenseVector::random_unit(&mut rng, 16);
+        let m = GaussianMatrix::sample(&mut rng, 20_000, 16);
+        let p = m.apply(&x);
+        let var = p.iter().map(|v| v * v).sum::<f64>() / p.len() as f64;
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use dsh_math::rng::seeded;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn constructed_pairs_hit_alpha_exactly(
+            seed in 0u64..1000,
+            alpha in -0.999f64..0.999,
+            d in 2usize..30,
+        ) {
+            let mut rng = seeded(seed);
+            let (x, y) = pair_with_inner_product(&mut rng, d, alpha);
+            prop_assert!((x.norm() - 1.0).abs() < 1e-9);
+            prop_assert!((y.norm() - 1.0).abs() < 1e-9);
+            prop_assert!((x.dot(&y) - alpha).abs() < 1e-9);
+        }
+
+        #[test]
+        fn correlated_corners_are_unit_and_in_range(
+            seed in 0u64..1000,
+            alpha in -1.0f64..1.0,
+        ) {
+            let mut rng = seeded(seed);
+            let (x, y) = correlated_corner_pair(&mut rng, 64, alpha);
+            prop_assert!((x.norm() - 1.0).abs() < 1e-9);
+            prop_assert!((y.norm() - 1.0).abs() < 1e-9);
+            let ip = x.dot(&y);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ip));
+        }
+    }
+}

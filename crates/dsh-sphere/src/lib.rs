@@ -1,0 +1,40 @@
+//! Unit-sphere distance-sensitive hashing constructions (paper §2, §5, §6.2).
+//!
+//! Results are stated in terms of the inner product `alpha = <x, y>` between
+//! unit vectors (equivalent to cosine similarity; in 1-1 correspondence with
+//! angular and Euclidean distance on `S^{d-1}`).
+//!
+//! * [`simhash::SimHash`] — Charikar's hyperplane LSH, CPF
+//!   `1 - arccos(alpha)/pi`; the "LSHable angular similarity function" used
+//!   by Theorem 5.1;
+//! * [`cross_polytope`] — Andoni et al.'s cross-polytope LSH `CP+` and the
+//!   paper's negated-query variant `CP-` (§2.1, Theorem 2.1 /
+//!   Corollary 2.2);
+//! * [`filter`] — the Gaussian filter families `D+` / `D-` of §2.2 with
+//!   threshold parameter `t`, exact CPFs via bivariate orthant
+//!   probabilities, and the Theorem 1.2 asymptotics;
+//! * [`unimodal`] — the combined unimodal family of Theorem 6.2 and the
+//!   annulus exponent arithmetic of Theorem 6.4;
+//! * [`valiant`] — Valiant's asymmetric polynomial embeddings realizing
+//!   CPF `sim(P(alpha))` (Theorem 5.1);
+//! * [`tensor_sketch`] — TensorSketch approximation of those embeddings
+//!   (the paper's kernel-approximation remark, after Pham–Pagh).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cross_polytope;
+pub mod filter;
+pub mod filter_minhash;
+pub mod geometry;
+pub mod simhash;
+pub mod tensor_sketch;
+pub mod unimodal;
+pub mod valiant;
+
+pub use cross_polytope::{CrossPolytopeAnti, CrossPolytopeLsh};
+pub use filter::{FilterDshMinus, FilterDshPlus};
+pub use filter_minhash::FilterMinHashDsh;
+pub use simhash::SimHash;
+pub use unimodal::UnimodalFilterDsh;
+pub use valiant::PolynomialSphereDsh;

@@ -1,0 +1,116 @@
+//! SimHash (Charikar's hyperplane rounding LSH).
+//!
+//! Symmetric family on `S^{d-1}` with CPF `sim(alpha) = 1 - arccos(alpha)/pi`
+//! — the canonical "LSHable angular similarity function" that Theorem 5.1
+//! composes with Valiant's polynomial embeddings.
+
+use dsh_core::cpf::AnalyticCpf;
+use dsh_core::family::{DshFamily, HasherPair};
+use dsh_core::points::DenseVector;
+use rand::Rng;
+
+/// SimHash on `S^{d-1}`: sample `a ~ N(0, I_d)` and hash to the sign of
+/// `<a, x>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SimHash {
+    d: usize,
+}
+
+impl SimHash {
+    /// Family over unit vectors in `R^d`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        SimHash { d }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The angular similarity function `sim(alpha) = 1 - arccos(alpha)/pi`.
+    pub fn sim(alpha: f64) -> f64 {
+        1.0 - alpha.clamp(-1.0, 1.0).acos() / std::f64::consts::PI
+    }
+}
+
+impl DshFamily<DenseVector> for SimHash {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<DenseVector> {
+        let a = DenseVector::gaussian(rng, self.d);
+        let b = a.clone();
+        HasherPair::from_fns(
+            move |x: &DenseVector| (a.dot(x) >= 0.0) as u64,
+            move |y: &DenseVector| (b.dot(y) >= 0.0) as u64,
+        )
+    }
+
+    fn name(&self) -> String {
+        format!("SimHash(d={})", self.d)
+    }
+}
+
+impl AnalyticCpf for SimHash {
+    /// `arg` is the inner product `alpha in [-1, 1]`.
+    fn cpf(&self, alpha: f64) -> f64 {
+        SimHash::sim(alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::pair_with_inner_product;
+    use dsh_core::estimate::CpfEstimator;
+    use dsh_math::rng::seeded;
+
+    #[test]
+    fn sim_endpoint_values() {
+        assert!((SimHash::sim(1.0) - 1.0).abs() < 1e-12);
+        assert!((SimHash::sim(-1.0) - 0.0).abs() < 1e-12);
+        assert!((SimHash::sim(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpf_matches_estimate_across_alpha() {
+        let d = 16;
+        let fam = SimHash::new(d);
+        let mut rng = seeded(81);
+        let pairs: Vec<(DenseVector, DenseVector)> = [-0.8, -0.3, 0.0, 0.5, 0.9]
+            .iter()
+            .map(|&a| pair_with_inner_product(&mut rng, d, a))
+            .collect();
+        let ests = CpfEstimator::new(60_000, 82).estimate_curve(&fam, &pairs);
+        for (est, &alpha) in ests.iter().zip(&[-0.8, -0.3, 0.0, 0.5, 0.9]) {
+            let want = SimHash::sim(alpha);
+            assert!(
+                est.contains(want),
+                "alpha {alpha}: want {want}, got {} [{}, {}]",
+                est.estimate,
+                est.lo,
+                est.hi
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_family_self_collides() {
+        let fam = SimHash::new(8);
+        let mut rng = seeded(83);
+        let x = DenseVector::random_unit(&mut rng, 8);
+        for _ in 0..50 {
+            assert!(fam.sample(&mut rng).collides(&x, &x));
+        }
+    }
+
+    #[test]
+    fn cpf_is_monotone_increasing_in_alpha() {
+        let fam = SimHash::new(4);
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let alpha = -1.0 + 0.1 * i as f64;
+            let v = fam.cpf(alpha);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

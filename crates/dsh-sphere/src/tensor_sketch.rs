@@ -1,0 +1,279 @@
+//! TensorSketch approximation of the Valiant embeddings.
+//!
+//! The paper remarks (after Theorem 5.1) that the `O(d^k)` cost of the
+//! explicit embedding can be avoided with kernel approximation methods
+//! [Pham–Pagh, KDD'13]: sketch `x^{(k)}` as the FFT-based circular
+//! convolution of `k` independent CountSketches of `x`, so that
+//! `<TS_k(x), TS_k(y)> ~= <x, y>^k` in time `O(k (d + m log m))` and
+//! dimension `m` instead of `d^k`.
+
+use dsh_core::cpf::AnalyticCpf;
+use dsh_core::family::{DshFamily, HasherPair};
+use dsh_core::points::DenseVector;
+use dsh_math::fft::circular_convolution_many;
+use dsh_math::Polynomial;
+use rand::{Rng, RngExt};
+
+use crate::simhash::SimHash;
+
+/// A CountSketch: a random 2-wise style hash `h : [d] -> [m]` and signs
+/// `s : [d] -> {-1, +1}` (materialized as tables; we sample them truly
+/// randomly, which is stronger than 2-wise).
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    buckets: Vec<usize>,
+    signs: Vec<f64>,
+    m: usize,
+}
+
+impl CountSketch {
+    /// Sample a CountSketch from `R^d` to `R^m` (`m` a power of two so the
+    /// FFT combination applies).
+    pub fn sample(rng: &mut dyn Rng, d: usize, m: usize) -> Self {
+        assert!(m.is_power_of_two(), "sketch size must be a power of two");
+        CountSketch {
+            buckets: (0..d).map(|_| rng.random_range(0..m)).collect(),
+            signs: (0..d)
+                .map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 })
+                .collect(),
+            m,
+        }
+    }
+
+    /// Apply to a vector.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.buckets.len(), "dimension mismatch");
+        let mut out = vec![0.0; self.m];
+        for (j, &v) in x.iter().enumerate() {
+            out[self.buckets[j]] += self.signs[j] * v;
+        }
+        out
+    }
+}
+
+/// A sampled TensorSketch of fixed degree `k`: `k` independent
+/// CountSketches combined by circular convolution.
+#[derive(Debug, Clone)]
+pub struct TensorSketch {
+    sketches: Vec<CountSketch>,
+    m: usize,
+}
+
+impl TensorSketch {
+    /// Sample a degree-`k` TensorSketch from `R^d` to `R^m`.
+    pub fn sample(rng: &mut dyn Rng, d: usize, k: usize, m: usize) -> Self {
+        assert!(k >= 1);
+        TensorSketch {
+            sketches: (0..k).map(|_| CountSketch::sample(rng, d, m)).collect(),
+            m,
+        }
+    }
+
+    /// Degree `k`.
+    pub fn degree(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Sketch a vector: approximates the flattened tensor power `x^{(k)}`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        if self.sketches.len() == 1 {
+            return self.sketches[0].apply(x);
+        }
+        let parts: Vec<Vec<f64>> = self.sketches.iter().map(|cs| cs.apply(x)).collect();
+        circular_convolution_many(&parts)
+    }
+
+    /// Sketch dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+}
+
+/// A sketched version of the Theorem 5.1 family: SimHash applied to
+/// CountSketch/TensorSketch approximations of Valiant's `phi_1, phi_2`.
+///
+/// The CPF approaches `sim(P(alpha))` as the sketch size `m` grows; the
+/// approximation error contributes `O(1/sqrt(m))` noise to the inner
+/// product before the `sim` map.
+pub struct SketchedPolynomialSphereDsh {
+    poly: Polynomial,
+    d: usize,
+    m: usize,
+    sketch_dim: usize,
+}
+
+impl SketchedPolynomialSphereDsh {
+    /// Build for unit vectors in `R^d`, polynomial `p` with
+    /// `sum |a_i| = 1`, and per-monomial sketch size `m` (power of two).
+    pub fn new(d: usize, p: &Polynomial, m: usize) -> Self {
+        assert!((p.abs_coeff_sum() - 1.0).abs() < 1e-9, "need sum |a_i| = 1");
+        assert!(m.is_power_of_two());
+        let active: usize = p.coeffs().iter().skip(1).filter(|&&c| c != 0.0).count();
+        let constant = if p.coeff(0) != 0.0 { 1 } else { 0 };
+        SketchedPolynomialSphereDsh {
+            poly: p.clone(),
+            d,
+            m,
+            sketch_dim: constant + active * m,
+        }
+    }
+
+    /// Total sketched embedding dimension.
+    pub fn sketch_dim(&self) -> usize {
+        self.sketch_dim
+    }
+}
+
+impl DshFamily<DenseVector> for SketchedPolynomialSphereDsh {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<DenseVector> {
+        // One TensorSketch per active monomial degree (shared between the
+        // two sides so that inner products are preserved).
+        let mut sketches: Vec<(usize, f64, TensorSketch)> = Vec::new();
+        let mut constant: Option<f64> = None;
+        for (i, &a) in self.poly.coeffs().iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            if i == 0 {
+                constant = Some(a);
+            } else {
+                sketches.push((i, a, TensorSketch::sample(rng, self.d, i, self.m)));
+            }
+        }
+        let sim = SimHash::new(self.sketch_dim);
+        let pair = sim.sample(rng);
+        let (s_data, s_query) = (pair.data, pair.query);
+        let sketches = std::sync::Arc::new(sketches);
+        let sk1 = sketches.clone();
+        let sk2 = sketches;
+        let (c1, c2) = (constant, constant);
+        HasherPair::from_fns(
+            move |x: &DenseVector| {
+                let mut v = Vec::new();
+                if let Some(a) = c1 {
+                    v.push(a.abs().sqrt());
+                }
+                for (_, a, ts) in sk1.iter() {
+                    let w = a.abs().sqrt();
+                    v.extend(ts.apply(x.as_slice()).into_iter().map(|u| u * w));
+                }
+                s_data.hash(&DenseVector::new(v))
+            },
+            move |y: &DenseVector| {
+                let mut v = Vec::new();
+                if let Some(a) = c2 {
+                    v.push(a / a.abs().sqrt());
+                }
+                for (_, a, ts) in sk2.iter() {
+                    let w = a / a.abs().sqrt();
+                    v.extend(ts.apply(y.as_slice()).into_iter().map(|u| u * w));
+                }
+                s_query.hash(&DenseVector::new(v))
+            },
+        )
+    }
+
+    fn name(&self) -> String {
+        format!("SketchedValiant[{}; m={}]", self.poly, self.m)
+    }
+}
+
+impl AnalyticCpf for SketchedPolynomialSphereDsh {
+    /// The *target* CPF `sim(P(alpha))`; the realized CPF deviates by the
+    /// sketching error `O(1/sqrt(m))` inside the `sim` map.
+    fn cpf(&self, alpha: f64) -> f64 {
+        SimHash::sim(self.poly.eval(alpha))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::pair_with_inner_product;
+    use dsh_core::estimate::CpfEstimator;
+    use dsh_math::rng::seeded;
+    use dsh_math::stats::mean;
+
+    #[test]
+    fn count_sketch_preserves_inner_products_in_expectation() {
+        let mut rng = seeded(141);
+        let d = 30;
+        let x = DenseVector::random_unit(&mut rng, d);
+        let y = DenseVector::random_unit(&mut rng, d);
+        let want = x.dot(&y);
+        let samples: Vec<f64> = (0..300)
+            .map(|_| {
+                let cs = CountSketch::sample(&mut rng, d, 64);
+                DenseVector::new(cs.apply(x.as_slice()))
+                    .dot(&DenseVector::new(cs.apply(y.as_slice())))
+            })
+            .collect();
+        assert!((mean(&samples) - want).abs() < 0.05, "{} vs {want}", mean(&samples));
+    }
+
+    #[test]
+    fn tensor_sketch_approximates_powered_inner_products() {
+        let mut rng = seeded(142);
+        let d = 20;
+        let (x, y) = pair_with_inner_product(&mut rng, d, 0.6);
+        for k in 2..=3usize {
+            let want = 0.6f64.powi(k as i32);
+            let samples: Vec<f64> = (0..200)
+                .map(|_| {
+                    let ts = TensorSketch::sample(&mut rng, d, k, 256);
+                    DenseVector::new(ts.apply(x.as_slice()))
+                        .dot(&DenseVector::new(ts.apply(y.as_slice())))
+                })
+                .collect();
+            let m = mean(&samples);
+            assert!((m - want).abs() < 0.05, "k={k}: {m} vs {want}");
+        }
+    }
+
+    #[test]
+    fn tensor_sketch_norm_is_approximately_preserved() {
+        let mut rng = seeded(143);
+        let d = 16;
+        let x = DenseVector::random_unit(&mut rng, d);
+        let samples: Vec<f64> = (0..200)
+            .map(|_| {
+                let ts = TensorSketch::sample(&mut rng, d, 2, 256);
+                DenseVector::new(ts.apply(x.as_slice())).norm().powi(2)
+            })
+            .collect();
+        assert!((mean(&samples) - 1.0).abs() < 0.05, "{}", mean(&samples));
+    }
+
+    #[test]
+    fn sketched_cpf_close_to_exact() {
+        // Compare the sketched family's measured CPF to the target
+        // sim(P(alpha)) — they agree up to sketching noise.
+        let d = 10;
+        let p = Polynomial::new(vec![0.0, 0.0, 1.0]); // t^2
+        let fam = SketchedPolynomialSphereDsh::new(d, &p, 512);
+        let mut rng = seeded(144);
+        let (x, y) = pair_with_inner_product(&mut rng, d, 0.7);
+        let est = CpfEstimator::new(4000, 145).estimate_pair(&fam, &x, &y);
+        let want = fam.cpf(0.7);
+        assert!(
+            (est.estimate - want).abs() < 0.03,
+            "sketched {} vs exact {want}",
+            est.estimate
+        );
+    }
+
+    #[test]
+    fn sketch_dim_accounting() {
+        let p = Polynomial::new(vec![-1.0 / 3.0, 0.0, 2.0 / 3.0]);
+        let fam = SketchedPolynomialSphereDsh::new(8, &p, 128);
+        // constant (1) + one active monomial (t^2) * 128.
+        assert_eq!(fam.sketch_dim(), 129);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sketch_rejected() {
+        let mut rng = seeded(146);
+        let _ = CountSketch::sample(&mut rng, 10, 48);
+    }
+}

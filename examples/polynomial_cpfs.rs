@@ -1,0 +1,75 @@
+//! Designing collision probability functions from polynomials
+//! (Theorems 5.1 and 5.2).
+//!
+//! ```sh
+//! cargo run --release --example polynomial_cpfs
+//! ```
+//!
+//! Two routes:
+//! * on the unit sphere, any normalized polynomial `P` gives CPF
+//!   `sim(P(alpha))` through Valiant's asymmetric embeddings;
+//! * in Hamming space, any polynomial with no roots of real part in (0,1)
+//!   gives CPF `P(t)/Delta` through root-by-root factorization.
+
+use dsh_core::estimate::CpfEstimator;
+use dsh_core::points::BitVector;
+use dsh_core::AnalyticCpf;
+use dsh_hamming::PolynomialHammingDsh;
+use dsh_math::rng::seeded;
+use dsh_math::Polynomial;
+use dsh_sphere::geometry::pair_with_inner_product;
+use dsh_sphere::PolynomialSphereDsh;
+
+fn main() {
+    // --- Sphere route (Theorem 5.1): CPF peaked at orthogonality. ---
+    let d = 6;
+    let p = Polynomial::new(vec![0.0, 0.0, -1.0]); // -t^2, normalized
+    let fam = PolynomialSphereDsh::new(d, &p);
+    println!("sphere family with P(t) = -t^2  =>  CPF sim(-alpha^2):");
+    let mut rng = seeded(11);
+    for &alpha in &[-0.9, -0.5, 0.0, 0.5, 0.9] {
+        let (x, y) = pair_with_inner_product(&mut rng, d, alpha);
+        let est = CpfEstimator::new(20_000, 12).estimate_pair(&fam, &x, &y);
+        println!(
+            "  alpha = {alpha:+.1}: predicted {:.3}, measured {:.3}",
+            fam.cpf(alpha),
+            est.estimate
+        );
+    }
+    println!("  (maximal at alpha = 0: this is the hyperplane-query CPF)\n");
+
+    // --- Hamming route (Theorem 5.2): the paper's 1 - t^2 example. ---
+    let d = 200;
+    let p = Polynomial::new(vec![1.0, 0.0, -1.0]); // 1 - t^2
+    let fam = PolynomialHammingDsh::from_polynomial(d, &p).unwrap();
+    println!(
+        "Hamming family with P(t) = 1 - t^2: Delta = {} (the paper's example of why Delta is needed)",
+        fam.delta()
+    );
+    println!("sub-families: {:?}", fam.piece_names());
+    let mut rng = seeded(13);
+    let x = BitVector::random(&mut rng, d);
+    for &k in &[0usize, 50, 100, 150, 200] {
+        let mut y = x.clone();
+        for i in 0..k {
+            y.flip(i);
+        }
+        let t = k as f64 / d as f64;
+        let est = CpfEstimator::new(20_000, 14 + k as u64).estimate_pair(&fam, &x, &y);
+        println!(
+            "  t = {t:.2}: target P(t)/Delta = {:.3}, measured {:.3}",
+            fam.cpf(t),
+            est.estimate
+        );
+    }
+
+    // Taylor-series remark: approximate cos(t) by its degree-4 truncation.
+    let p = Polynomial::new(vec![1.0, 0.0, -0.5, 0.0, 1.0 / 24.0]);
+    let fam = PolynomialHammingDsh::from_polynomial(200, &p).unwrap();
+    println!(
+        "\ncos(t) via Taylor truncation: CPF = P(t)/{:.1}; P(1)/Delta = {:.4} vs cos(1)/Delta = {:.4}",
+        fam.delta(),
+        fam.cpf(1.0),
+        1.0f64.cos() / fam.delta()
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: what a distance-sensitive hash family is and how to use one.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! A DSH family (paper Definition 1.1) is a distribution over *pairs* of
+//! functions `(h, g)` with `Pr[h(x) = g(y)] = f(dist(x, y))`. This example
+//! samples a few families, estimates their CPFs empirically, and shows the
+//! shapes symmetric LSH cannot have: increasing, unimodal.
+
+use dsh::prelude::*;
+use dsh_core::AnalyticCpf;
+use dsh_hamming::{AntiBitSampling, BitSampling};
+use dsh_math::rng::seeded;
+
+fn main() {
+    let d = 256;
+    let mut rng = seeded(7);
+
+    // Two points at relative Hamming distance 0.25.
+    let x = BitVector::random(&mut rng, d);
+    let mut y = x.clone();
+    for i in 0..d / 4 {
+        y.flip(i);
+    }
+    let t = x.relative_hamming(&y);
+    println!("relative Hamming distance t = {t}\n");
+
+    // 1. Classical LSH: bit-sampling, decreasing CPF f(t) = 1 - t.
+    let lsh = BitSampling::new(d);
+    let est = estimate_collision_probability(&lsh, &x, &y, 50_000, 1);
+    println!(
+        "bit-sampling      (LSH, f = 1 - t): predicted {:.3}, measured {:.3}",
+        lsh.cpf(t),
+        est.estimate
+    );
+
+    // 2. The paper's asymmetric twist: anti bit-sampling, INCREASING CPF
+    //    f(t) = t. h(x) = x_i but g(y) = 1 - y_i. Identical points never
+    //    collide — impossible for any symmetric family.
+    let anti = AntiBitSampling::new(d);
+    let est = estimate_collision_probability(&anti, &x, &y, 50_000, 2);
+    println!(
+        "anti bit-sampling (DSH, f = t)    : predicted {:.3}, measured {:.3}",
+        anti.cpf(t),
+        est.estimate
+    );
+    let self_est = estimate_collision_probability(&anti, &x, &x, 10_000, 3);
+    println!(
+        "anti bit-sampling at distance 0   : measured {:.3} (the 'too close' filter)",
+        self_est.estimate
+    );
+
+    // 3. Combinators (Lemma 1.4): (1-t)^3 * t^3 is a *unimodal* CPF
+    //    peaking at t = 1/2 — the building block for annulus search.
+    let unimodal = Concat::new(vec![
+        Box::new(Power::new(BitSampling::new(d), 3)) as BoxedDshFamily<BitVector>,
+        Box::new(Power::new(AntiBitSampling::new(d), 3)),
+    ]);
+    println!("\nunimodal CPF (1-t)^3 t^3 across distances:");
+    for k in [0, d / 8, d / 4, d / 2, 3 * d / 4, d] {
+        let mut z = x.clone();
+        for i in 0..k {
+            z.flip(i);
+        }
+        let tt = k as f64 / d as f64;
+        let est = estimate_collision_probability(&unimodal, &x, &z, 50_000, 4 + k as u64);
+        let predicted = (1.0 - tt).powi(3) * tt.powi(3);
+        println!(
+            "  t = {tt:.3}: predicted {predicted:.4}, measured {:.4}",
+            est.estimate
+        );
+    }
+    println!("\npeak at t = 1/2: the family prefers points 'close, but not too close'.");
+}

@@ -1,0 +1,107 @@
+//! Integration test: CPF algebra across crates — Lemma 1.4 combinators
+//! composed with constructions from different spaces, including point-space
+//! transfer through `MapPoints` (the hypercube-corner embedding of §4.1).
+
+use dsh::prelude::*;
+use dsh_core::combinators::{MapPoints, Mixture};
+use dsh_core::AnalyticCpf;
+use dsh_euclidean::ShiftedEuclideanDsh;
+use dsh_hamming::{AntiBitSampling, BitSampling};
+use dsh_math::rng::seeded;
+use dsh_sphere::SimHash;
+
+#[test]
+fn hamming_points_through_sphere_family() {
+    // Embed {0,1}^d on the sphere and run SimHash: the CPF must be
+    // sim(1 - 2t) where t is the relative Hamming distance.
+    let d = 128;
+    let fam = MapPoints::new(
+        "simhash-on-hypercube",
+        SimHash::new(d),
+        |x: &BitVector| x.to_unit_vector(),
+    );
+    let mut rng = seeded(0x1E5750);
+    let x = BitVector::random(&mut rng, d);
+    for k in [0usize, 32, 64, 96, 128] {
+        let mut y = x.clone();
+        for i in 0..k {
+            y.flip(i);
+        }
+        let t = k as f64 / d as f64;
+        let want = SimHash::sim(1.0 - 2.0 * t);
+        let est = CpfEstimator::new(30_000, 0x1E5751 + k as u64).estimate_pair(&fam, &x, &y);
+        assert!(
+            est.contains(want),
+            "t={t}: want {want}, got {} [{}, {}]",
+            est.estimate,
+            est.lo,
+            est.hi
+        );
+    }
+}
+
+#[test]
+fn concat_across_different_construction_crates() {
+    // Concat a Hamming family with a sphere family (via embedding): the
+    // CPF is the product (1 - t) * sim(1 - 2t).
+    let d = 128;
+    let sphere_part = MapPoints::new(
+        "simhash-on-hypercube",
+        SimHash::new(d),
+        |x: &BitVector| x.to_unit_vector(),
+    );
+    let fam = Concat::new(vec![
+        Box::new(BitSampling::new(d)) as BoxedDshFamily<BitVector>,
+        Box::new(sphere_part),
+    ]);
+    let mut rng = seeded(0x1E5760);
+    let x = BitVector::random(&mut rng, d);
+    let mut y = x.clone();
+    for i in 0..48 {
+        y.flip(i);
+    }
+    let t = 48.0 / 128.0;
+    let want = (1.0 - t) * SimHash::sim(1.0 - 2.0 * t);
+    let est = CpfEstimator::new(40_000, 0x1E5761).estimate_pair(&fam, &x, &y);
+    assert!(est.contains(want), "want {want}, got {}", est.estimate);
+}
+
+#[test]
+fn mixture_of_shifted_euclidean_is_average_of_cpfs() {
+    let d = 5;
+    let c1 = ShiftedEuclideanDsh::new(d, 1, 1.5);
+    let c2 = ShiftedEuclideanDsh::new(d, 3, 1.5);
+    let fam = Mixture::new(vec![
+        (0.25, Box::new(c1) as BoxedDshFamily<DenseVector>),
+        (0.75, Box::new(c2)),
+    ]);
+    let mut rng = seeded(0x1E5770);
+    let x = DenseVector::gaussian(&mut rng, d);
+    let dir = DenseVector::random_unit(&mut rng, d);
+    for delta in [1.0, 3.0, 6.0] {
+        let y = x.add(&dir.scaled(delta));
+        let want = 0.25 * c1.cpf(delta) + 0.75 * c2.cpf(delta);
+        let est = CpfEstimator::new(50_000, 0x1E5771).estimate_pair(&fam, &x, &y);
+        assert!(
+            est.contains(want),
+            "delta {delta}: want {want}, got {}",
+            est.estimate
+        );
+    }
+}
+
+#[test]
+fn anti_bit_sampling_power_matches_polynomial() {
+    // (anti)^3 has CPF t^3 — cross-check the combinator against the
+    // Theorem 5.2 machinery's monomial semantics.
+    let d = 100;
+    let fam = Power::new(AntiBitSampling::new(d), 3);
+    let mut rng = seeded(0x1E5780);
+    let x = BitVector::random(&mut rng, d);
+    let mut y = x.clone();
+    for i in 0..60 {
+        y.flip(i);
+    }
+    let est = CpfEstimator::new(50_000, 0x1E5781).estimate_pair(&fam, &x, &y);
+    assert!(est.contains(0.6f64.powi(3)), "got {}", est.estimate);
+}

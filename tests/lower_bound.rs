@@ -1,0 +1,80 @@
+//! Integration test: Theorem 1.3 / Lemma 3.5 and Lemma 3.10.
+//!
+//! For randomly alpha-correlated points, every DSH family must satisfy
+//!
+//! ```text
+//! f^(0)^((1+a)/(1-a)) <= f^(a) <= f^(0)^((1-a)/(1+a))
+//! ```
+//!
+//! We verify it across families from every construction crate — the
+//! feasibility side of the paper's tightness story.
+
+use dsh::prelude::*;
+use dsh_data::hamming_data::correlated_pair;
+use dsh_hamming::{AntiBitSampling, BitSampling, PolynomialHammingDsh, ScaledBitSampling};
+use dsh_math::Polynomial;
+
+fn assert_bound<F: DshFamily<BitVector>>(family: &F, d: usize, alphas: &[f64], slack: f64) {
+    let est = CpfEstimator::new(40_000, 0x1E571);
+    let f0 = est
+        .estimate_probabilistic(family, |rng| correlated_pair(rng, d, 0.0))
+        .estimate;
+    assert!(f0 > 0.0 && f0 < 1.0, "degenerate f^(0) = {f0} for {}", family.name());
+    for &alpha in alphas {
+        let fa = est
+            .estimate_probabilistic(family, |rng| correlated_pair(rng, d, alpha))
+            .estimate;
+        let lower = f0.powf((1.0 + alpha) / (1.0 - alpha));
+        let upper = f0.powf((1.0 - alpha) / (1.0 + alpha));
+        assert!(
+            fa >= lower * (1.0 - slack),
+            "{}: f^({alpha}) = {fa} below Thm 1.3 bound {lower}",
+            family.name()
+        );
+        assert!(
+            fa <= upper * (1.0 + slack),
+            "{}: f^({alpha}) = {fa} above Lemma 3.10 bound {upper}",
+            family.name()
+        );
+    }
+}
+
+#[test]
+fn bit_sampling_families_respect_theorem_1_3() {
+    let d = 512;
+    let alphas = [0.2, 0.5, 0.8];
+    assert_bound(&BitSampling::new(d), d, &alphas, 0.15);
+    assert_bound(&AntiBitSampling::new(d), d, &alphas, 0.15);
+    assert_bound(&ScaledBitSampling::new(d, 0.5), d, &alphas, 0.15);
+}
+
+#[test]
+fn polynomial_family_respects_theorem_1_3() {
+    let d = 256;
+    // Unimodal CPF t(1-t).
+    let fam =
+        PolynomialHammingDsh::from_polynomial(d, &Polynomial::new(vec![0.0, 1.0, -1.0]))
+            .unwrap();
+    assert_bound(&fam, d, &[0.2, 0.5], 0.15);
+}
+
+#[test]
+fn powered_families_respect_theorem_1_3() {
+    let d = 512;
+    let fam = Power::new(BitSampling::new(d), 4);
+    assert_bound(&fam, d, &[0.2, 0.5], 0.15);
+}
+
+#[test]
+fn analytic_cpfs_respect_the_bound_exactly() {
+    // The analytic probabilistic CPFs (exact, no Monte-Carlo noise):
+    // bit-sampling f^(a) = (1+a)/2, anti f^(a) = (1-a)/2.
+    for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let f0: f64 = 0.5;
+        let bound = f0.powf((1.0 + alpha) / (1.0 - alpha));
+        let bs = (1.0 + alpha) / 2.0;
+        let anti = (1.0 - alpha) / 2.0;
+        assert!(bs >= bound);
+        assert!(anti >= bound, "alpha {alpha}: {anti} < {bound}");
+    }
+}

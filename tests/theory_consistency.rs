@@ -1,0 +1,85 @@
+//! Integration test: numerical consistency between the analytic machinery
+//! in `dsh-math` and the constructions built on it — the cross-crate
+//! contracts the experiment suite relies on.
+
+use dsh::prelude::*;
+use dsh_core::cpf::peak_of;
+use dsh_core::AnalyticCpf;
+use dsh_euclidean::{EuclideanLsh, ShiftedEuclideanDsh};
+use dsh_math::rng::seeded;
+use dsh_sphere::filter::{FilterDshMinus, FilterDshPlus};
+use dsh_sphere::unimodal::{annulus_interval, UnimodalFilterDsh};
+
+#[test]
+fn filter_cpf_is_consistent_between_plus_minus_and_unimodal() {
+    let d = 16;
+    let uni = UnimodalFilterDsh::new(d, 0.3, 2.0);
+    for alpha in [-0.5, 0.0, 0.3, 0.7] {
+        let product = uni.plus().cpf(alpha) * uni.minus().cpf(alpha);
+        assert!((uni.cpf(alpha) - product).abs() < 1e-14);
+    }
+}
+
+#[test]
+fn unimodal_peak_location_tracks_parameterization() {
+    for alpha_max in [-0.2, 0.1, 0.5] {
+        let fam = UnimodalFilterDsh::new(8, alpha_max, 2.2);
+        let (peak, _) = peak_of(&fam, -0.9, 0.9);
+        assert!((peak - alpha_max).abs() < 0.08, "{alpha_max} vs {peak}");
+    }
+}
+
+#[test]
+fn theorem_6_2_annulus_contrast_is_symmetric_in_exponent() {
+    // ln(1/f) at the two annulus endpoints should be approximately equal
+    // (the construction balances them by design).
+    let fam = UnimodalFilterDsh::new(8, 0.2, 2.5);
+    let (lo, hi) = annulus_interval(0.2, 2.0);
+    let e_lo = -fam.cpf(lo).ln();
+    let e_hi = -fam.cpf(hi).ln();
+    assert!(
+        (e_lo - e_hi).abs() < 0.35 * e_lo.max(e_hi),
+        "endpoint exponents unbalanced: {e_lo} vs {e_hi}"
+    );
+}
+
+#[test]
+fn shifted_family_interpolates_to_e2lsh_shape() {
+    // The k >= 1 family's *right* tail at large distance approaches the
+    // symmetric family's CPF at the same distance (both are dominated by
+    // the tent mass near the origin relative to a wide Gaussian).
+    let w = 1.0;
+    let shifted = ShiftedEuclideanDsh::new(4, 1, w);
+    let symmetric = EuclideanLsh::new(4, w);
+    let big = 60.0;
+    let ratio = shifted.cpf(big) / symmetric.cpf(big);
+    assert!((ratio - 1.0).abs() < 0.05, "tail ratio {ratio}");
+}
+
+#[test]
+fn plus_and_minus_filters_cross_at_alpha_zero() {
+    let plus = FilterDshPlus::new(8, 1.8);
+    let minus = FilterDshMinus::new(8, 1.8);
+    assert!((plus.cpf(0.0) - minus.cpf(0.0)).abs() < 1e-12);
+    assert!(plus.cpf(0.5) > minus.cpf(0.5));
+    assert!(plus.cpf(-0.5) < minus.cpf(-0.5));
+}
+
+#[test]
+fn monte_carlo_agrees_with_analytic_across_the_stack() {
+    // One randomized smoke check per space, tight confidence.
+    let mut rng = seeded(0x1E5799);
+
+    // Sphere: filter family.
+    let fam = FilterDshMinus::new(10, 1.3);
+    let (x, y) = dsh_sphere::geometry::pair_with_inner_product(&mut rng, 10, 0.4);
+    let est = CpfEstimator::new(6000, 1).estimate_pair(&fam, &x, &y);
+    assert!(est.contains(fam.cpf(0.4)), "filter: {} vs {}", est.estimate, fam.cpf(0.4));
+
+    // Euclidean: shifted family.
+    let fam = ShiftedEuclideanDsh::new(5, 2, 1.0);
+    let p = DenseVector::gaussian(&mut rng, 5);
+    let q = p.add(&DenseVector::random_unit(&mut rng, 5).scaled(2.0));
+    let est = CpfEstimator::new(40_000, 2).estimate_pair(&fam, &p, &q);
+    assert!(est.contains(fam.cpf(2.0)), "shifted: {} vs {}", est.estimate, fam.cpf(2.0));
+}
