@@ -15,7 +15,7 @@
 
 use crate::family::{BoxedDshFamily, DshFamily, HasherPair};
 use crate::hash::{combine, combine_all};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Concatenation (Lemma 1.4(a)): collides iff all parts collide, so the
 /// CPF is the product of the parts' CPFs.

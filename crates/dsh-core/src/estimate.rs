@@ -125,7 +125,7 @@ pub fn grid_seed(master: u64, k: usize) -> u64 {
 mod tests {
     use super::*;
     use crate::family::{HasherPair, SymmetricFamily};
-    use rand::RngExt;
+    use rand::Rng;
 
     /// Family over `f64` points that collides with probability exactly `p`,
     /// independent of the points: a Bernoulli CPF.

@@ -182,7 +182,7 @@ where
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     struct ParityHasher;
     impl PointHasher<u64> for ParityHasher {

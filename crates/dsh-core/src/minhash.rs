@@ -199,34 +199,41 @@ mod tests {
     }
 }
 
+// Property-style tests over randomized inputs (seeded, so deterministic).
+// These replace `proptest!` blocks: the crate is built offline and
+// proptest is not in the dependency set.
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use dsh_math::rng::seeded;
+    use rand::rngs::StdRng;
 
-    proptest! {
-        #[test]
-        fn jaccard_is_symmetric_and_bounded(
-            a in proptest::collection::vec(0u64..50, 0..30),
-            b in proptest::collection::vec(0u64..50, 0..30),
-        ) {
-            let x = TokenSet::new(a);
-            let y = TokenSet::new(b);
+    fn random_tokens(rng: &mut StdRng, max_token: u64, max_len: usize) -> Vec<u64> {
+        let len = rng.random_range(0..max_len);
+        (0..len).map(|_| rng.random_range(0..max_token)).collect()
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded() {
+        let mut rng = seeded(0x3AC);
+        for _ in 0..256 {
+            let x = TokenSet::new(random_tokens(&mut rng, 50, 30));
+            let y = TokenSet::new(random_tokens(&mut rng, 50, 30));
             let j = x.jaccard(&y);
-            prop_assert!((0.0..=1.0).contains(&j));
-            prop_assert!((j - y.jaccard(&x)).abs() < 1e-15);
-            prop_assert_eq!(x.jaccard(&x), 1.0);
+            assert!((0.0..=1.0).contains(&j));
+            assert!((j - y.jaccard(&x)).abs() < 1e-15);
+            assert_eq!(x.jaccard(&x), 1.0);
         }
+    }
 
-        #[test]
-        fn intersection_bounded_by_sizes(
-            a in proptest::collection::vec(any::<u64>(), 0..30),
-            b in proptest::collection::vec(any::<u64>(), 0..30),
-        ) {
-            let x = TokenSet::new(a);
-            let y = TokenSet::new(b);
+    #[test]
+    fn intersection_bounded_by_sizes() {
+        let mut rng = seeded(0x3AD);
+        for _ in 0..256 {
+            let x = TokenSet::new(random_tokens(&mut rng, u64::MAX, 30));
+            let y = TokenSet::new(random_tokens(&mut rng, u64::MAX, 30));
             let i = x.intersection_size(&y);
-            prop_assert!(i <= x.len().min(y.len()));
+            assert!(i <= x.len().min(y.len()));
         }
     }
 }

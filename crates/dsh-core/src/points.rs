@@ -1,7 +1,7 @@
 //! Point types: packed bit vectors for Hamming space `{0,1}^d` and dense
 //! vectors for `R^d` / the unit sphere `S^{d-1}`.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A point of `{0,1}^d`, bit-packed into 64-bit blocks.
 ///
@@ -397,55 +397,77 @@ mod tests {
     }
 }
 
+// Property-style tests over randomized inputs (seeded, so deterministic).
+// These replace `proptest!` blocks: the crate is built offline and
+// proptest is not in the dependency set.
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use dsh_math::rng::seeded;
+    use rand::rngs::StdRng;
 
-    proptest! {
-        #[test]
-        fn hamming_is_a_metric(
-            a in proptest::collection::vec(any::<bool>(), 1..200),
-            b in proptest::collection::vec(any::<bool>(), 1..200),
-            c in proptest::collection::vec(any::<bool>(), 1..200),
-        ) {
+    fn random_bools(rng: &mut StdRng, min_len: usize, max_len: usize) -> Vec<bool> {
+        let len = rng.random_range(min_len..max_len);
+        (0..len).map(|_| rng.random_bool(0.5)).collect()
+    }
+
+    fn random_coords(rng: &mut StdRng, min_len: usize, max_len: usize) -> Vec<f64> {
+        let len = rng.random_range(min_len..max_len);
+        (0..len).map(|_| rng.random_range(-10.0f64..10.0)).collect()
+    }
+
+    #[test]
+    fn hamming_is_a_metric() {
+        let mut rng = seeded(0xB17);
+        for _ in 0..256 {
+            let a = random_bools(&mut rng, 1, 200);
+            let b = random_bools(&mut rng, 1, 200);
+            let c = random_bools(&mut rng, 1, 200);
             let n = a.len().min(b.len()).min(c.len());
             let x = BitVector::from_bools(&a[..n]);
             let y = BitVector::from_bools(&b[..n]);
             let z = BitVector::from_bools(&c[..n]);
             // Symmetry, identity, triangle inequality.
-            prop_assert_eq!(x.hamming(&y), y.hamming(&x));
-            prop_assert_eq!(x.hamming(&x), 0);
-            prop_assert!(x.hamming(&z) <= x.hamming(&y) + y.hamming(&z));
+            assert_eq!(x.hamming(&y), y.hamming(&x));
+            assert_eq!(x.hamming(&x), 0);
+            assert!(x.hamming(&z) <= x.hamming(&y) + y.hamming(&z));
         }
+    }
 
-        #[test]
-        fn complement_involution(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+    #[test]
+    fn complement_involution() {
+        let mut rng = seeded(0xB18);
+        for _ in 0..256 {
+            let bits = random_bools(&mut rng, 1, 200);
             let v = BitVector::from_bools(&bits);
-            prop_assert_eq!(v.complement().complement(), v);
+            assert_eq!(v.complement().complement(), v);
         }
+    }
 
-        #[test]
-        fn dense_cauchy_schwarz(
-            a in proptest::collection::vec(-10.0f64..10.0, 1..20),
-            b in proptest::collection::vec(-10.0f64..10.0, 1..20),
-        ) {
+    #[test]
+    fn dense_cauchy_schwarz() {
+        let mut rng = seeded(0xB19);
+        for _ in 0..256 {
+            let a = random_coords(&mut rng, 1, 20);
+            let b = random_coords(&mut rng, 1, 20);
             let n = a.len().min(b.len());
             let x = DenseVector::new(a[..n].to_vec());
             let y = DenseVector::new(b[..n].to_vec());
-            prop_assert!(x.dot(&y).abs() <= x.norm() * y.norm() + 1e-9);
+            assert!(x.dot(&y).abs() <= x.norm() * y.norm() + 1e-9);
         }
+    }
 
-        #[test]
-        fn dense_triangle_inequality(
-            a in proptest::collection::vec(-10.0f64..10.0, 3..10),
-            b in proptest::collection::vec(-10.0f64..10.0, 3..10),
-        ) {
+    #[test]
+    fn dense_triangle_inequality() {
+        let mut rng = seeded(0xB1A);
+        for _ in 0..256 {
+            let a = random_coords(&mut rng, 3, 10);
+            let b = random_coords(&mut rng, 3, 10);
             let n = a.len().min(b.len());
             let x = DenseVector::new(a[..n].to_vec());
             let y = DenseVector::new(b[..n].to_vec());
             let z = DenseVector::zeros(n);
-            prop_assert!(x.euclidean(&y) <= x.euclidean(&z) + z.euclidean(&y) + 1e-9);
+            assert!(x.euclidean(&y) <= x.euclidean(&z) + z.euclidean(&y) + 1e-9);
         }
     }
 }

@@ -2,7 +2,7 @@
 //! (Definition 3.1), and planted fixed-distance instances.
 
 use dsh_core::points::BitVector;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// `n` uniformly random points of `{0,1}^d`.
 pub fn uniform_hamming(rng: &mut dyn Rng, n: usize, d: usize) -> Vec<BitVector> {

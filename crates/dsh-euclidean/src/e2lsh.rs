@@ -72,7 +72,7 @@ mod tests {
     use dsh_core::estimate::CpfEstimator;
     use dsh_math::rng::seeded;
 
-    fn pair_at_distance(rng: &mut impl rand::Rng, d: usize, delta: f64) -> (DenseVector, DenseVector) {
+    fn pair_at_distance(rng: &mut dyn rand::Rng, d: usize, delta: f64) -> (DenseVector, DenseVector) {
         let x = DenseVector::gaussian(rng, d);
         let dir = DenseVector::random_unit(rng, d);
         let y = x.add(&dir.scaled(delta));

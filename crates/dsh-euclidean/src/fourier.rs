@@ -145,7 +145,7 @@ mod tests {
     use dsh_math::stats::mean;
 
     fn pair_at_distance(
-        rng: &mut impl rand::Rng,
+        rng: &mut dyn rand::Rng,
         d: usize,
         delta: f64,
     ) -> (DenseVector, DenseVector) {

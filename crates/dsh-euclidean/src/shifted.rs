@@ -167,7 +167,7 @@ mod tests {
     use dsh_math::rng::seeded;
 
     fn pair_at_distance(
-        rng: &mut impl rand::Rng,
+        rng: &mut dyn rand::Rng,
         d: usize,
         delta: f64,
     ) -> (DenseVector, DenseVector) {
@@ -327,46 +327,58 @@ mod tests {
     }
 }
 
+// Property-style tests over randomized parameter sweeps (seeded, so
+// deterministic). These replace `proptest!` blocks: the crate is built
+// offline and proptest is not in the dependency set.
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use dsh_math::rng::seeded;
 
-    proptest! {
-        #[test]
-        fn cpf_is_a_probability(
-            k in 1u32..8,
-            w in 0.1f64..4.0,
-            delta in 0.0f64..50.0,
-        ) {
+    #[test]
+    fn cpf_is_a_probability() {
+        let mut rng = seeded(0x5E1F);
+        for _ in 0..256 {
+            let k = rng.random_range(1u32..8);
+            let w = rng.random_range(0.1f64..4.0);
+            let delta = rng.random_range(0.0f64..50.0);
             let fam = ShiftedEuclideanDsh::new(4, k, w);
             let f = fam.cpf(delta);
-            prop_assert!((0.0..=1.0).contains(&f), "f({delta}) = {f}");
+            assert!((0.0..=1.0).contains(&f), "k={k} w={w}: f({delta}) = {f}");
         }
+    }
 
-        #[test]
-        fn ln_cpf_consistent_with_cpf(
-            k in 1u32..6,
-            w in 0.5f64..2.0,
-            delta in 0.5f64..20.0,
-        ) {
+    #[test]
+    fn ln_cpf_consistent_with_cpf() {
+        let mut rng = seeded(0x5E20);
+        for _ in 0..256 {
+            let k = rng.random_range(1u32..6);
+            let w = rng.random_range(0.5f64..2.0);
+            let delta = rng.random_range(0.5f64..20.0);
             let fam = ShiftedEuclideanDsh::new(4, k, w);
             let f = fam.cpf(delta);
-            prop_assume!(f > 1e-12);
+            if f <= 1e-12 {
+                continue;
+            }
             let lf = fam.ln_cpf(delta);
-            prop_assert!((lf - f.ln()).abs() < 1e-5 * f.ln().abs().max(1.0),
-                "k={k} w={w} delta={delta}: {lf} vs {}", f.ln());
+            assert!(
+                (lf - f.ln()).abs() < 1e-5 * f.ln().abs().max(1.0),
+                "k={k} w={w} delta={delta}: {lf} vs {}",
+                f.ln()
+            );
         }
+    }
 
-        #[test]
-        fn rho_minus_is_below_one(
-            k in 2u32..10,
-            c in 1.2f64..4.0,
-        ) {
+    #[test]
+    fn rho_minus_is_below_one() {
+        let mut rng = seeded(0x5E21);
+        for _ in 0..256 {
+            let k = rng.random_range(2u32..10);
+            let c = rng.random_range(1.2f64..4.0);
             let w = ShiftedEuclideanDsh::suggested_width(c);
             let fam = ShiftedEuclideanDsh::new(4, k, w);
             let rho = fam.rho_minus(1.0, c);
-            prop_assert!(rho > 0.0 && rho < 1.0, "rho = {rho}");
+            assert!(rho > 0.0 && rho < 1.0, "k={k} c={c}: rho = {rho}");
         }
     }
 }

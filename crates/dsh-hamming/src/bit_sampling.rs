@@ -19,7 +19,7 @@
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{DshFamily, HasherPair};
 use dsh_core::points::BitVector;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Classical bit-sampling LSH; CPF `f(t) = 1 - t` in relative Hamming
 /// distance.

@@ -13,7 +13,7 @@
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{DshFamily, HasherPair};
 use dsh_core::points::BitVector;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Bit-sampling with scaling factor `alpha in [0, 1]`; CPF
 /// `f(t) = 1 - alpha t` in relative Hamming distance.

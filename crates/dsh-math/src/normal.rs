@@ -8,7 +8,7 @@
 //! `m = ceil(2 t^3 / p')`.
 
 use crate::special::{erfc, ln_erfc};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// `1 / sqrt(2 pi)`.
 pub const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
@@ -116,7 +116,7 @@ pub fn inv_cdf(p: f64) -> f64 {
 ///
 /// `rand_distr` is not in the offline dependency set, so Gaussian sampling is
 /// implemented here. The polar method is exact (not an approximation).
-pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn sample(rng: &mut dyn Rng) -> f64 {
     loop {
         let u: f64 = 2.0 * rng.random::<f64>() - 1.0;
         let v: f64 = 2.0 * rng.random::<f64>() - 1.0;
@@ -128,14 +128,14 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 }
 
 /// Fill a vector with `n` i.i.d. standard normal variates.
-pub fn sample_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+pub fn sample_vec(rng: &mut dyn Rng, n: usize) -> Vec<f64> {
     (0..n).map(|_| sample(rng)).collect()
 }
 
 /// Draw a pair `(X, Y)` of standard normals with correlation `alpha`,
 /// using the representation `X = Z1`, `Y = alpha Z1 + sqrt(1-alpha^2) Z2`
 /// (exactly the construction in the proof of Lemma A.1).
-pub fn sample_correlated_pair<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> (f64, f64) {
+pub fn sample_correlated_pair(rng: &mut dyn Rng, alpha: f64) -> (f64, f64) {
     assert!((-1.0..=1.0).contains(&alpha));
     let z1 = sample(rng);
     let z2 = sample(rng);

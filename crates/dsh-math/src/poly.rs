@@ -330,41 +330,61 @@ mod tests {
     }
 }
 
+// Property-style tests over randomized inputs (seeded, so deterministic).
+// These replace `proptest!` blocks: the crate is built offline and
+// proptest is not in the dependency set.
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::seeded;
+    use rand::rngs::StdRng;
 
-    fn small_poly() -> impl Strategy<Value = Polynomial> {
-        proptest::collection::vec(-10.0f64..10.0, 0..6).prop_map(Polynomial::new)
+    fn small_poly(rng: &mut StdRng) -> Polynomial {
+        let len = rng.random_range(0usize..6);
+        Polynomial::new((0..len).map(|_| rng.random_range(-10.0f64..10.0)).collect())
     }
 
-    proptest! {
-        #[test]
-        fn mul_is_commutative(p in small_poly(), q in small_poly()) {
+    #[test]
+    fn mul_is_commutative() {
+        let mut rng = seeded(0x901);
+        for _ in 0..256 {
+            let p = small_poly(&mut rng);
+            let q = small_poly(&mut rng);
             let pq = p.mul(&q);
             let qp = q.mul(&p);
-            prop_assert_eq!(pq.coeffs().len(), qp.coeffs().len());
+            assert_eq!(pq.coeffs().len(), qp.coeffs().len());
             for (a, b) in pq.coeffs().iter().zip(qp.coeffs()) {
-                prop_assert!((a - b).abs() < 1e-9);
+                assert!((a - b).abs() < 1e-9);
             }
         }
+    }
 
-        #[test]
-        fn eval_is_ring_homomorphism(p in small_poly(), q in small_poly(), t in -3.0f64..3.0) {
+    #[test]
+    fn eval_is_ring_homomorphism() {
+        let mut rng = seeded(0x902);
+        for _ in 0..256 {
+            let p = small_poly(&mut rng);
+            let q = small_poly(&mut rng);
+            let t = rng.random_range(-3.0f64..3.0);
             let lhs = p.mul(&q).eval(t);
             let rhs = p.eval(t) * q.eval(t);
-            prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+            assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
             let lhs2 = p.add(&q).eval(t);
             let rhs2 = p.eval(t) + q.eval(t);
-            prop_assert!((lhs2 - rhs2).abs() < 1e-8 * (1.0 + rhs2.abs()));
+            assert!((lhs2 - rhs2).abs() < 1e-8 * (1.0 + rhs2.abs()));
         }
+    }
 
-        #[test]
-        fn derivative_of_product_leibniz(p in small_poly(), q in small_poly(), t in -2.0f64..2.0) {
+    #[test]
+    fn derivative_of_product_leibniz() {
+        let mut rng = seeded(0x903);
+        for _ in 0..256 {
+            let p = small_poly(&mut rng);
+            let q = small_poly(&mut rng);
+            let t = rng.random_range(-2.0f64..2.0);
             let lhs = p.mul(&q).derivative().eval(t);
             let rhs = p.derivative().mul(&q).eval(t) + p.mul(&q.derivative()).eval(t);
-            prop_assert!((lhs - rhs).abs() < 1e-5 * (1.0 + rhs.abs()));
+            assert!((lhs - rhs).abs() < 1e-5 * (1.0 + rhs.abs()));
         }
     }
 }

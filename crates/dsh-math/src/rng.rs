@@ -6,7 +6,7 @@
 //! run-to-run.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Create a deterministic RNG from a 64-bit seed.
 pub fn seeded(seed: u64) -> StdRng {
@@ -30,7 +30,7 @@ pub fn child(master: u64, stream: u64) -> StdRng {
 }
 
 /// Sample a uniform f64 in `[0, w)`.
-pub fn uniform<R: Rng + ?Sized>(rng: &mut R, w: f64) -> f64 {
+pub fn uniform(rng: &mut dyn Rng, w: f64) -> f64 {
     assert!(w > 0.0);
     rng.random::<f64>() * w
 }
@@ -133,6 +133,63 @@ mod tests {
         let mut a = seeded(1);
         let mut b = seeded(2);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    // Every experiment binary and integration test keys its
+    // reproducibility off `seeded`, so pin the contract down hard: same
+    // seed ⇒ identical streams through every sampling surface; different
+    // seeds ⇒ streams that actually diverge.
+    #[test]
+    fn seeded_streams_identical_across_all_sampling_surfaces() {
+        let mut a = seeded(0xD5E_u64);
+        let mut b = seeded(0xD5E_u64);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.random::<f64>(), b.random::<f64>());
+            assert_eq!(a.random_range(0..1000usize), b.random_range(0..1000usize));
+            assert_eq!(a.random_bool(0.3), b.random_bool(0.3));
+        }
+    }
+
+    #[test]
+    fn different_seeds_produce_disjoint_long_streams() {
+        let stream = |seed: u64| -> Vec<u64> {
+            let mut rng = seeded(seed);
+            (0..64).map(|_| rng.next_u64()).collect()
+        };
+        let seeds = [0u64, 1, 2, u64::MAX, 0xDEAD_BEEF];
+        let streams: Vec<Vec<u64>> = seeds.iter().map(|&s| stream(s)).collect();
+        for i in 0..streams.len() {
+            for j in (i + 1)..streams.len() {
+                assert_ne!(
+                    streams[i], streams[j],
+                    "seeds {} and {} collide",
+                    seeds[i], seeds[j]
+                );
+            }
+        }
+        // And re-derivation reproduces each stream exactly.
+        for (&s, st) in seeds.iter().zip(&streams) {
+            assert_eq!(&stream(s), st);
+        }
+    }
+
+    #[test]
+    fn child_streams_are_independent_and_reproducible() {
+        // Children of the same master at different stream indices differ...
+        let take = |mut r: rand::rngs::StdRng| -> Vec<u64> {
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c0 = take(child(42, 0));
+        let c1 = take(child(42, 1));
+        assert_ne!(c0, c1);
+        // ...none of them equals the master's own stream...
+        let master = take(seeded(42));
+        assert_ne!(c0, master);
+        assert_ne!(c1, master);
+        // ...and each child is reproducible.
+        assert_eq!(take(child(42, 0)), c0);
+        assert_eq!(take(child(42, 1)), c1);
     }
 
     #[test]

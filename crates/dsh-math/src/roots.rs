@@ -284,48 +284,77 @@ mod tests {
     }
 }
 
+// Property-style tests over randomized inputs (seeded, so deterministic).
+// These replace `proptest!` blocks: the crate is built offline and
+// proptest is not in the dependency set.
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::seeded;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn roots_reconstruct_polynomial(
-            coeffs in proptest::collection::vec(-5.0f64..5.0, 2..7)
-                .prop_filter("leading nonzero", |c| c.last().map(|&l| l.abs() > 0.1).unwrap_or(false))
-        ) {
+    #[test]
+    fn roots_reconstruct_polynomial() {
+        let mut rng = seeded(0x2007);
+        let mut cases = 0;
+        while cases < 64 {
+            let len = rng.random_range(2usize..7);
+            let coeffs: Vec<f64> =
+                (0..len).map(|_| rng.random_range(-5.0f64..5.0)).collect();
+            // proptest's prop_filter: leading coefficient bounded away
+            // from zero so deflation is well-conditioned.
+            if coeffs.last().map(|&l| l.abs() > 0.1) != Some(true) {
+                continue;
+            }
             let p = Polynomial::new(coeffs);
-            prop_assume!(p.degree().map(|d| d >= 1).unwrap_or(false));
+            if p.degree().map(|d| d >= 1) != Some(true) {
+                continue;
+            }
+            cases += 1;
             let roots = find_roots(&p);
-            prop_assert_eq!(roots.len(), p.degree().unwrap());
+            assert_eq!(roots.len(), p.degree().unwrap());
             let q = Polynomial::from_roots(p.leading(), &roots);
             let scale = p.abs_coeff_sum();
             for i in 0..p.coeffs().len() {
-                prop_assert!((p.coeff(i) - q.coeff(i)).abs() < 1e-4 * (1.0 + scale),
-                    "coeff {} mismatch: {} vs {}", i, p.coeff(i), q.coeff(i));
+                assert!(
+                    (p.coeff(i) - q.coeff(i)).abs() < 1e-4 * (1.0 + scale),
+                    "coeff {} mismatch: {} vs {}",
+                    i,
+                    p.coeff(i),
+                    q.coeff(i)
+                );
             }
         }
+    }
 
-        #[test]
-        fn real_polys_from_random_roots(
-            reals in proptest::collection::vec(-3.0f64..3.0, 0..3),
-            pairs in proptest::collection::vec((-2.0f64..2.0, 0.1f64..2.0), 0..2),
-        ) {
-            prop_assume!(reals.len() + 2 * pairs.len() >= 1);
-            let mut roots: Vec<Complex> = reals.iter().map(|&r| Complex::from_real(r)).collect();
-            for &(re, im) in &pairs {
+    #[test]
+    fn real_polys_from_random_roots() {
+        let mut rng = seeded(0x2008);
+        let mut cases = 0;
+        while cases < 64 {
+            let n_reals = rng.random_range(0usize..3);
+            let n_pairs = rng.random_range(0usize..2);
+            if n_reals + 2 * n_pairs == 0 {
+                continue;
+            }
+            cases += 1;
+            let mut roots: Vec<Complex> = (0..n_reals)
+                .map(|_| Complex::from_real(rng.random_range(-3.0f64..3.0)))
+                .collect();
+            for _ in 0..n_pairs {
+                let re = rng.random_range(-2.0f64..2.0);
+                let im = rng.random_range(0.1f64..2.0);
                 roots.push(Complex::new(re, im));
                 roots.push(Complex::new(re, -im));
             }
             let p = Polynomial::from_roots(1.0, &roots);
             let found = find_roots(&p);
-            prop_assert_eq!(found.len(), roots.len());
+            assert_eq!(found.len(), roots.len());
             // Every constructed root is rediscovered.
             for want in &roots {
-                prop_assert!(found.iter().any(|f| (*f - *want).abs() < 1e-4),
-                    "missing root {:?} in {:?}", want, found);
+                assert!(
+                    found.iter().any(|f| (*f - *want).abs() < 1e-4),
+                    "missing root {want:?} in {found:?}"
+                );
             }
         }
     }

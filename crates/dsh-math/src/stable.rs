@@ -10,13 +10,13 @@
 //! is `E[e^{i w u}] = e^{-|u|^s}`, which is what makes the random-feature
 //! inner products depend on `||x - y||_s` only.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Draw one standard symmetric `s`-stable variate (`0 < s <= 2`).
 ///
 /// For `s = 2` this is `sqrt(2) *` standard normal (characteristic
 /// function `e^{-u^2}`); for `s = 1` it is standard Cauchy.
-pub fn sample_stable<R: Rng + ?Sized>(rng: &mut R, s: f64) -> f64 {
+pub fn sample_stable(rng: &mut dyn Rng, s: f64) -> f64 {
     assert!(s > 0.0 && s <= 2.0, "stability index must be in (0, 2]");
     // Uniform angle in (-pi/2, pi/2) and standard exponential.
     let theta = (rng.random::<f64>() - 0.5) * std::f64::consts::PI;
@@ -38,7 +38,7 @@ pub fn sample_stable<R: Rng + ?Sized>(rng: &mut R, s: f64) -> f64 {
 }
 
 /// Fill a vector with i.i.d. standard symmetric `s`-stable variates.
-pub fn sample_stable_vec<R: Rng + ?Sized>(rng: &mut R, s: f64, n: usize) -> Vec<f64> {
+pub fn sample_stable_vec(rng: &mut dyn Rng, s: f64, n: usize) -> Vec<f64> {
     (0..n).map(|_| sample_stable(rng, s)).collect()
 }
 

@@ -207,29 +207,40 @@ mod tests {
     }
 }
 
+// Property-style tests over randomized parameter sweeps (seeded, so
+// deterministic). These replace `proptest!` blocks: the crate is built
+// offline and proptest is not in the dependency set.
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::seeded;
 
-    proptest! {
-        #[test]
-        fn wilson_interval_ordered_and_contains_estimate(
-            s in 0u64..1000, extra in 0u64..1000
-        ) {
+    #[test]
+    fn wilson_interval_ordered_and_contains_estimate() {
+        let mut rng = seeded(0x571);
+        for _ in 0..256 {
+            let s = rng.random_range(0u64..1000);
+            let extra = rng.random_range(0u64..1000);
             let n = s + extra;
-            prop_assume!(n > 0);
+            if n == 0 {
+                continue;
+            }
             let p = Proportion::wilson(s, n, 0.95);
-            prop_assert!(p.lo <= p.estimate + 1e-12);
-            prop_assert!(p.estimate <= p.hi + 1e-12);
-            prop_assert!(p.lo >= 0.0 && p.hi <= 1.0);
+            assert!(p.lo <= p.estimate + 1e-12, "s={s} n={n}");
+            assert!(p.estimate <= p.hi + 1e-12, "s={s} n={n}");
+            assert!(p.lo >= 0.0 && p.hi <= 1.0, "s={s} n={n}");
         }
+    }
 
-        #[test]
-        fn rho_inverts_powf(q in 1e-6f64..0.9, r in 0.05f64..0.95) {
+    #[test]
+    fn rho_inverts_powf() {
+        let mut rng = seeded(0x572);
+        for _ in 0..256 {
+            let q = rng.random_range(1e-6f64..0.9);
+            let r = rng.random_range(0.05f64..0.95);
             let p = q.powf(r);
             let got = rho(p, q).unwrap();
-            prop_assert!((got - r).abs() < 1e-9);
+            assert!((got - r).abs() < 1e-9, "q={q} r={r}: got {got}");
         }
     }
 }

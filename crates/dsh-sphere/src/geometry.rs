@@ -2,7 +2,7 @@
 //! alpha-correlated hypercube corners, Gaussian projections.
 
 use dsh_core::points::DenseVector;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Produce a pair of unit vectors with inner product exactly `alpha`
 /// (up to float error): `x` uniform on the sphere, `y = alpha x +
@@ -147,38 +147,47 @@ mod tests {
     }
 }
 
+// Property-style tests over randomized parameter sweeps (seeded, so
+// deterministic). These replace `proptest!` blocks: the crate is built
+// offline and proptest is not in the dependency set.
 #[cfg(test)]
 mod proptests {
     use super::*;
     use dsh_math::rng::seeded;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn constructed_pairs_hit_alpha_exactly(
-            seed in 0u64..1000,
-            alpha in -0.999f64..0.999,
-            d in 2usize..30,
-        ) {
+    #[test]
+    fn constructed_pairs_hit_alpha_exactly() {
+        let mut params = seeded(0x6E0);
+        for _ in 0..64 {
+            let seed = params.random_range(0u64..1000);
+            let alpha = params.random_range(-0.999f64..0.999);
+            let d = params.random_range(2usize..30);
             let mut rng = seeded(seed);
             let (x, y) = pair_with_inner_product(&mut rng, d, alpha);
-            prop_assert!((x.norm() - 1.0).abs() < 1e-9);
-            prop_assert!((y.norm() - 1.0).abs() < 1e-9);
-            prop_assert!((x.dot(&y) - alpha).abs() < 1e-9);
+            assert!((x.norm() - 1.0).abs() < 1e-9, "seed={seed} d={d}");
+            assert!((y.norm() - 1.0).abs() < 1e-9, "seed={seed} d={d}");
+            assert!(
+                (x.dot(&y) - alpha).abs() < 1e-9,
+                "seed={seed} d={d} alpha={alpha}"
+            );
         }
+    }
 
-        #[test]
-        fn correlated_corners_are_unit_and_in_range(
-            seed in 0u64..1000,
-            alpha in -1.0f64..1.0,
-        ) {
+    #[test]
+    fn correlated_corners_are_unit_and_in_range() {
+        let mut params = seeded(0x6E1);
+        for _ in 0..64 {
+            let seed = params.random_range(0u64..1000);
+            let alpha = params.random_range(-1.0f64..1.0);
             let mut rng = seeded(seed);
             let (x, y) = correlated_corner_pair(&mut rng, 64, alpha);
-            prop_assert!((x.norm() - 1.0).abs() < 1e-9);
-            prop_assert!((y.norm() - 1.0).abs() < 1e-9);
+            assert!((x.norm() - 1.0).abs() < 1e-9, "seed={seed} alpha={alpha}");
+            assert!((y.norm() - 1.0).abs() < 1e-9, "seed={seed} alpha={alpha}");
             let ip = x.dot(&y);
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ip));
+            assert!(
+                (-1.0 - 1e-9..=1.0 + 1e-9).contains(&ip),
+                "seed={seed} alpha={alpha} ip={ip}"
+            );
         }
     }
 }

@@ -12,7 +12,7 @@ use dsh_core::family::{DshFamily, HasherPair};
 use dsh_core::points::DenseVector;
 use dsh_math::fft::circular_convolution_many;
 use dsh_math::Polynomial;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::simhash::SimHash;
 

@@ -244,7 +244,7 @@ mod tests {
                 );
             }
         }
-        fn rngless_alpha(rng: &mut impl rand::RngExt) -> f64 {
+        fn rngless_alpha(rng: &mut dyn rand::Rng) -> f64 {
             rng.random::<f64>() * 1.8 - 0.9
         }
     }

@@ -1,0 +1,276 @@
+//! Offline shim implementing the subset of the `criterion` 0.5 API the
+//! workspace's benches use: `criterion_group!` / `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and
+//! [`Bencher::iter`].
+//!
+//! Unlike the real crate there is no statistical analysis, HTML report, or
+//! CLI filtering — each benchmark runs a short warmup followed by timed
+//! batches and prints the mean time per iteration. That keeps `cargo bench`
+//! functional (and `cargo check --benches` meaningful) in an environment
+//! where the real crate cannot be fetched. Swap the `path` dependency in
+//! the root `[workspace.dependencies]` for `criterion = "0.5"` to get the
+//! full harness; no bench source changes.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so `use criterion::black_box` keeps working alongside
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark. Deliberately short: these
+/// benches exist to track relative regressions, not publishable numbers.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// The top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into_benchmark_id().0, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed time budget makes
+    /// an explicit sample count moot.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (no-op in the shim).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&full, &mut f);
+        self
+    }
+
+    /// Benchmark a closure that also receives a borrowed input value.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (purely cosmetic in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: either a bare function name or a
+/// `function/parameter` pair.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Identifier carrying only a parameter value (the group supplies the
+    /// function name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `&str`, `String`, and
+/// `BenchmarkId` are all accepted where the real crate accepts them.
+pub trait IntoBenchmarkId {
+    /// Convert.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    /// Total time spent in measured iterations.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`: short warmup, then timed batches until the
+    /// measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup, also calibrating a batch size that keeps timer overhead
+        // out of the measurement.
+        let mut batch: u64 = 1;
+        let warmup_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if warmup_start.elapsed() >= WARMUP_TARGET {
+                if dt < Duration::from_micros(50) && batch < u64::MAX / 2 {
+                    batch *= 2;
+                }
+                break;
+            }
+            if dt < Duration::from_micros(50) && batch < u64::MAX / 2 {
+                batch *= 2;
+            }
+        }
+
+        // Measurement.
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_TARGET {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t.elapsed();
+            self.iters += batch;
+        }
+    }
+}
+
+fn run_benchmark(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{name: <50} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    println!("{name: <50} {:>12}/iter ({} iters)", format_ns(ns), bencher.iters);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring the real
+/// macro's simple form: `criterion_group!(benches, bench_a, bench_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running one or more groups:
+/// `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+        });
+        assert!(b.iters > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,188 @@
+//! Distribution plumbing behind [`Rng::random`] and [`Rng::random_range`].
+
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Types samplable with their "standard" uniform distribution:
+/// `[0, 1)` for floats, the full value range for integers, a fair coin
+/// for `bool`.
+pub trait StandardUniform: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+impl StandardUniform for u128 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardUniform for i128 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+/// Draw a uniform value in `[0, n)` without modulo bias (rejection
+/// sampling on the top of the 64-bit range).
+#[inline]
+fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    // Largest multiple of n that fits in u64, minus one.
+    let zone = u64::MAX - (u64::MAX % n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+/// Range types [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from `self`. Panics on an empty range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty as $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let off = uniform_u64_below(rng, span);
+                ((self.start as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "random_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    // Full 64-bit domain: every draw is valid.
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_u64_below(rng, span + 1);
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_int!(
+    u8 as u64, u16 as u64, u32 as u64, u64 as u64, usize as u64,
+    i8 as i64, i16 as i64, i32 as i64, i64 as i64, isize as i64,
+);
+
+macro_rules! impl_range_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let u = <$t as StandardUniform>::sample_standard(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "random_range: empty range");
+                let u = <$t as StandardUniform>::sample_standard(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn signed_range_spans_zero() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..1000 {
+            let v = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos);
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..1000 {
+            let v = rng.random_range(2.0f64..3.5);
+            assert!((2.0..3.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn power_of_two_range_masks() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

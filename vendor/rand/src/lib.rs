@@ -1,0 +1,293 @@
+//! Offline shim implementing the subset of the `rand` 0.9 API this
+//! workspace uses.
+//!
+//! The build environment has no network access and an empty registry, so
+//! the real `rand` crate cannot be fetched. This crate provides the same
+//! *call-site surface* the workspace compiles against:
+//!
+//! - [`Rng`], an object-safe generator trait (`next_u32` / `next_u64` /
+//!   `fill_bytes`) — the workspace passes `&mut dyn Rng` pervasively, so
+//!   unlike the real crate's `Rng` this trait must stay dyn-compatible;
+//! - the conveniences `random`, `random_range`, `random_bool` as
+//!   *inherent* methods on both `dyn Rng` and [`rngs::StdRng`]. Inherent
+//!   methods resolve for trait objects and concrete receivers alike with
+//!   no extra imports and no `Self: Sized` escape hatches, which is the
+//!   only shape that serves every receiver the workspace uses (a generic
+//!   method on the trait is either un-callable through `&mut dyn Rng` or
+//!   makes the trait not dyn-compatible);
+//! - [`SeedableRng`] with `seed_from_u64` / `from_seed` / `from_rng`;
+//! - [`rngs::StdRng`], a deterministic, portable generator (xoshiro256++
+//!   seeded by SplitMix64 — *not* stream-compatible with the real
+//!   `StdRng`, which is ChaCha12, but equally deterministic per seed);
+//! - [`distr`] with the `StandardUniform`/`SampleRange` plumbing behind
+//!   the conveniences.
+//!
+//! Consequence for callers: functions that want the conveniences on a
+//! borrowed generator take `&mut dyn Rng` (every `&mut StdRng` coerces);
+//! functions that only need raw bits may stay generic over `R: Rng +
+//! ?Sized`.
+//!
+//! Statistical quality: xoshiro256++ passes BigCrush; integer ranges use
+//! unbiased rejection sampling; `f64` uses the standard 53-bit-mantissa
+//! construction in `[0, 1)`. Nothing here is cryptographically secure,
+//! which matches how the workspace uses randomness (Monte-Carlo geometry
+//! and hash-function sampling).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod distr;
+pub mod rngs;
+
+use distr::{SampleRange, StandardUniform};
+
+/// A source of uniformly random bits.
+///
+/// Deliberately minimal and object-safe: the sampling conveniences
+/// (`random`, `random_range`, `random_bool`) are inherent methods on
+/// `dyn Rng` and on [`rngs::StdRng`], not trait methods — see the crate
+/// docs for why.
+pub trait Rng {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Defines the sampling conveniences as inherent methods on a receiver
+/// type (`dyn Rng` and `StdRng` get identical surfaces).
+macro_rules! sampling_conveniences {
+    () => {
+        /// Sample a value with the standard uniform distribution for its
+        /// type (`[0, 1)` for floats, full range for integers, fair coin
+        /// for bool).
+        #[inline]
+        pub fn random<T: StandardUniform>(&mut self) -> T {
+            T::sample_standard(self)
+        }
+
+        /// Sample uniformly from a range (`a..b` or `a..=b`).
+        ///
+        /// Panics if the range is empty. Integer ranges are unbiased
+        /// (rejection sampling).
+        #[inline]
+        pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            range.sample_single(self)
+        }
+
+        /// Return `true` with probability `p`.
+        ///
+        /// Panics unless `0.0 <= p <= 1.0`.
+        #[inline]
+        pub fn random_bool(&mut self, p: f64) -> bool {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "random_bool: p = {p} not in [0, 1]"
+            );
+            self.random::<f64>() < p
+        }
+    };
+}
+
+impl<'a> dyn Rng + 'a {
+    sampling_conveniences!();
+}
+
+impl rngs::StdRng {
+    sampling_conveniences!();
+}
+
+/// A generator that can be constructed from a seed, deterministically.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array for every generator here).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a 64-bit seed, expanded with SplitMix64 (the
+    /// expansion recommended by the xoshiro authors). Same seed, same
+    /// stream — forever.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let z = splitmix64(&mut state);
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Construct by drawing a seed from another generator.
+    fn from_rng(rng: &mut impl Rng) -> Self {
+        let mut seed = Self::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+/// One SplitMix64 step: advance `state` and return the mixed output.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn f64_unit_interval_and_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn range_unbiased_coverage() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.random_range(0..7usize)] += 1;
+        }
+        for &c in &counts {
+            // each bucket expects 10_000; 4-sigma ~ 380
+            assert!((c as i64 - 10_000).abs() < 500, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1000 {
+            match rng.random_range(0..=3u32) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn bool_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let heads = (0..n).filter(|_| rng.random_bool(0.25)).count();
+        assert!((heads as f64 / n as f64 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn dyn_rng_has_full_surface() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn Rng = &mut rng;
+        let x: f64 = dyn_rng.random();
+        assert!((0.0..1.0).contains(&x));
+        let i = dyn_rng.random_range(0..10usize);
+        assert!(i < 10);
+        assert!([true, false].contains(&dyn_rng.random_bool(0.5)));
+        let _ = dyn_rng.next_u64();
+    }
+
+    #[test]
+    fn dyn_and_concrete_streams_agree() {
+        let mut a = StdRng::seed_from_u64(17);
+        let mut b = StdRng::seed_from_u64(17);
+        let a_dyn: &mut dyn Rng = &mut a;
+        let xs: Vec<f64> = (0..8).map(|_| a_dyn.random::<f64>()).collect();
+        let ys: Vec<f64> = (0..8).map(|_| b.random::<f64>()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
