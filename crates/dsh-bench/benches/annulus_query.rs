@@ -38,6 +38,32 @@ fn bench_sphere_annulus(c: &mut Criterion) {
         b.iter(|| black_box(scan.find_in_interval(black_box(&inst.query), lo, hi)))
     });
     group.finish();
+
+    // Batched serving: 64 queries answered one-at-a-time vs through the
+    // scratch-reusing, thread-fanning batch path.
+    let mut rng = seeded(0xBE5);
+    let queries: Vec<DenseVector> = (0..64)
+        .map(|_| DenseVector::random_unit(&mut rng, d))
+        .collect();
+    let mut group = c.benchmark_group("annulus_sphere_batch64");
+    group.sample_size(20);
+    group.bench_function("query_loop", |b| {
+        b.iter(|| {
+            let hits = queries.iter().filter(|q| idx.query(q).0.is_some()).count();
+            black_box(hits)
+        })
+    });
+    group.bench_function("query_batch", |b| {
+        b.iter(|| {
+            let hits = idx
+                .query_batch(&queries)
+                .iter()
+                .filter(|(hit, _)| hit.is_some())
+                .count();
+            black_box(hits)
+        })
+    });
+    group.finish();
 }
 
 fn bench_hamming_powering_ablation(c: &mut Criterion) {

@@ -1,0 +1,191 @@
+//! CSR vs HashMap bucket layouts for the `L`-repetition table — the
+//! measurement behind the PR 2 substrate rewrite.
+//!
+//! The baseline reimplements the seed's exact layout and query loop
+//! inline: one `HashMap<u64, Vec<u32>>` per table built with the entry
+//! API, sequential table construction, and a fresh `vec![false; n]`
+//! `seen` buffer allocated per query. The contender is the library's
+//! `HashTableIndex`: flat CSR buckets, parallel build, and the batched
+//! query path with generation-stamped scratch reuse. Both sides sample
+//! their hash functions from identically seeded RNGs, so they index the
+//! same data under the same functions and retrieve the same candidates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsh_core::combinators::Power;
+use dsh_core::family::{DshFamily, PointHasher};
+use dsh_core::points::BitVector;
+use dsh_hamming::BitSampling;
+use dsh_index::HashTableIndex;
+use dsh_math::rng::seeded;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+// Concatenation widths follow the theory (`k = ceil(ln n / ln 2)` for
+// p2 = 1/2), which keeps buckets short the way a tuned index would.
+const D: usize = 128;
+
+// Build workload: moderate n so a whole build fits a bench iteration.
+const BUILD_N: usize = 40_000;
+const BUILD_L: usize = 24;
+const BUILD_K: usize = 16;
+
+// Query workload: production-scale n, built once outside the timer. At
+// this size the seed's per-query `vec![false; n]` is a 500 KB
+// allocate-zero-free cycle per query — the pathology the CSR scratch
+// removes.
+const QUERY_N: usize = 500_000;
+const QUERY_L: usize = 16;
+const QUERY_K: usize = 19;
+const N_QUERIES: usize = 256;
+
+/// One seed-layout table: the query hasher and its HashMap buckets.
+type HashMapTable = (Arc<dyn PointHasher<BitVector>>, HashMap<u64, Vec<u32>>);
+
+/// The seed's table layout, verbatim: HashMap buckets, sequential build.
+struct HashMapIndex {
+    tables: Vec<HashMapTable>,
+    n: usize,
+}
+
+impl HashMapIndex {
+    /// Same owned-`Vec` contract as the seed's `HashTableIndex::build`, so
+    /// both sides of the build benchmark pay the identical clone cost.
+    fn build(
+        family: &impl DshFamily<BitVector>,
+        points: Vec<BitVector>,
+        l: usize,
+        rng: &mut dyn rand::Rng,
+    ) -> Self {
+        let tables = (0..l)
+            .map(|_| {
+                let pair = family.sample(rng);
+                let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+                for (i, p) in points.iter().enumerate() {
+                    buckets.entry(pair.data.hash(p)).or_default().push(i as u32);
+                }
+                (pair.query, buckets)
+            })
+            .collect();
+        HashMapIndex {
+            tables,
+            n: points.len(),
+        }
+    }
+
+    /// The seed's query loop, verbatim: fresh O(n) `seen` allocation plus
+    /// per-entry stats/limit bookkeeping, exactly as the seed's
+    /// `HashTableIndex::candidates` did it.
+    fn candidates(&self, q: &BitVector, retrieval_limit: Option<usize>) -> (Vec<usize>, usize) {
+        let mut retrieved = 0usize;
+        let mut duplicates = 0usize;
+        let mut seen = vec![false; self.n];
+        let mut out = Vec::new();
+        'tables: for (query_fn, buckets) in &self.tables {
+            let key = query_fn.hash(q);
+            if let Some(bucket) = buckets.get(&key) {
+                for &i in bucket {
+                    retrieved += 1;
+                    let i = i as usize;
+                    if seen[i] {
+                        duplicates += 1;
+                    } else {
+                        seen[i] = true;
+                        out.push(i);
+                    }
+                    if let Some(limit) = retrieval_limit {
+                        if retrieved >= limit {
+                            break 'tables;
+                        }
+                    }
+                }
+            }
+        }
+        let _ = duplicates;
+        (out, retrieved)
+    }
+}
+
+fn workload(n: usize, k: usize) -> (Vec<BitVector>, Vec<BitVector>, Power<BitSampling>) {
+    let mut rng = seeded(0x1D7);
+    let points: Vec<BitVector> = (0..n).map(|_| BitVector::random(&mut rng, D)).collect();
+    // Half in-dataset queries (duplicate-heavy buckets), half fresh.
+    let queries: Vec<BitVector> = points[..N_QUERIES / 2]
+        .iter()
+        .cloned()
+        .chain((0..N_QUERIES / 2).map(|_| BitVector::random(&mut rng, D)))
+        .collect();
+    (points, queries, Power::new(BitSampling::new(D), k))
+}
+
+fn bench_index_layouts(c: &mut Criterion) {
+    // --- Build throughput -------------------------------------------------
+    let (points, queries, fam) = workload(BUILD_N, BUILD_K);
+
+    // Sanity: identically seeded builds retrieve identical candidates.
+    {
+        let baseline = HashMapIndex::build(&fam, points.clone(), BUILD_L, &mut seeded(0x1D8));
+        let csr = HashTableIndex::build(&fam, points.clone(), BUILD_L, &mut seeded(0x1D8));
+        for q in &queries {
+            let (cands, retrieved) = baseline.candidates(q, None);
+            let (csr_cands, csr_stats) = csr.candidates(q, None);
+            assert_eq!(cands, csr_cands);
+            assert_eq!(retrieved, csr_stats.candidates_retrieved);
+        }
+    }
+
+    let mut group = c.benchmark_group(format!("index_build_n{BUILD_N}"));
+    group.bench_function("hashmap_seq", |b| {
+        b.iter(|| {
+            black_box(HashMapIndex::build(
+                &fam,
+                points.clone(),
+                BUILD_L,
+                &mut seeded(0x1D9),
+            ))
+        })
+    });
+    group.bench_function("csr_parallel", |b| {
+        b.iter(|| {
+            black_box(HashTableIndex::build(
+                &fam,
+                points.clone(),
+                BUILD_L,
+                &mut seeded(0x1D9),
+            ))
+        })
+    });
+    group.finish();
+    drop(points);
+
+    // --- Batched query throughput ----------------------------------------
+    let (points, queries, fam) = workload(QUERY_N, QUERY_K);
+    let baseline = HashMapIndex::build(&fam, points.clone(), QUERY_L, &mut seeded(0x1DA));
+    let csr = HashTableIndex::build(&fam, points, QUERY_L, &mut seeded(0x1DA));
+    for q in queries.iter().take(8) {
+        assert_eq!(baseline.candidates(q, None).0, csr.candidates(q, None).0);
+    }
+
+    let mut group = c.benchmark_group(format!("index_query_n{QUERY_N}_batch{N_QUERIES}"));
+    // Both sides serve the whole batch and hold all its results, as a
+    // batch-serving caller would.
+    group.bench_function("hashmap_per_query_alloc", |b| {
+        b.iter(|| {
+            let results: Vec<(Vec<usize>, usize)> = queries
+                .iter()
+                .map(|q| baseline.candidates(q, None))
+                .collect();
+            black_box(results.iter().map(|(cands, _)| cands.len()).sum::<usize>())
+        })
+    });
+    group.bench_function("csr_batched", |b| {
+        b.iter(|| {
+            let results = csr.candidates_batch(&queries, None);
+            black_box(results.iter().map(|(cands, _)| cands.len()).sum::<usize>())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_layouts);
+criterion_main!(benches);

@@ -14,7 +14,7 @@
 //!   proof introduces for bit-sampling.
 
 use crate::family::{BoxedDshFamily, DshFamily, HasherPair};
-use crate::hash::{combine, combine_all};
+use crate::hash::{combine, combine_iter};
 use rand::Rng;
 
 /// Concatenation (Lemma 1.4(a)): collides iff all parts collide, so the
@@ -55,10 +55,8 @@ impl<P: ?Sized + 'static> DshFamily<P> for Concat<P> {
         let data_parts: Vec<_> = pairs.iter().map(|p| p.data.clone()).collect();
         let query_parts: Vec<_> = pairs.iter().map(|p| p.query.clone()).collect();
         HasherPair::from_fns(
-            move |x: &P| combine_all(&data_parts.iter().map(|h| h.hash(x)).collect::<Vec<_>>()),
-            move |y: &P| {
-                combine_all(&query_parts.iter().map(|g| g.hash(y)).collect::<Vec<_>>())
-            },
+            move |x: &P| combine_iter(data_parts.iter().map(|h| h.hash(x))),
+            move |y: &P| combine_iter(query_parts.iter().map(|g| g.hash(y))),
         )
     }
 
@@ -99,10 +97,8 @@ impl<P: ?Sized + 'static, F: DshFamily<P>> DshFamily<P> for Power<F> {
         let data_parts: Vec<_> = pairs.iter().map(|p| p.data.clone()).collect();
         let query_parts: Vec<_> = pairs.iter().map(|p| p.query.clone()).collect();
         HasherPair::from_fns(
-            move |x: &P| combine_all(&data_parts.iter().map(|h| h.hash(x)).collect::<Vec<_>>()),
-            move |y: &P| {
-                combine_all(&query_parts.iter().map(|g| g.hash(y)).collect::<Vec<_>>())
-            },
+            move |x: &P| combine_iter(data_parts.iter().map(|h| h.hash(x))),
+            move |y: &P| combine_iter(query_parts.iter().map(|g| g.hash(y))),
         )
     }
 

@@ -29,12 +29,15 @@ impl BitVector {
         }
     }
 
-    /// The all-ones vector of dimension `d`.
+    /// The all-ones vector of dimension `d`: whole blocks filled with
+    /// `!0`, tail bits beyond `d` masked back to zero (the invariant
+    /// `Eq`/`Hash`/[`BitVector::hamming`] rely on).
     pub fn ones(d: usize) -> Self {
-        let mut v = BitVector::zeros(d);
-        for i in 0..d {
-            v.set(i, true);
-        }
+        let mut v = BitVector {
+            blocks: vec![!0u64; d.div_ceil(64)],
+            len: d,
+        };
+        v.mask_tail();
         v
     }
 
@@ -312,6 +315,38 @@ mod tests {
         let v = BitVector::from_bools(&[true, false, true]);
         assert!(v.get(0) && !v.get(1) && v.get(2));
         assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn constructors_keep_tail_bits_zero() {
+        // Tail bits beyond `len` must stay zero in every constructor, or
+        // Eq / Hash / hamming silently diverge between equal vectors.
+        use std::hash::{BuildHasher, RandomState};
+        let hasher = RandomState::new();
+        let mut rng = seeded(77);
+        for d in [1usize, 7, 63, 64, 65, 70, 127, 128, 130] {
+            let rem = d % 64;
+            let tail = |v: &BitVector| {
+                if rem == 0 {
+                    0
+                } else {
+                    v.blocks.last().unwrap() >> rem
+                }
+            };
+            let o = BitVector::ones(d);
+            assert_eq!(tail(&o), 0, "ones({d}) leaked tail bits");
+            assert_eq!(o.count_ones(), d as u64);
+            assert_eq!(tail(&BitVector::zeros(d)), 0);
+            assert_eq!(tail(&BitVector::random(&mut rng, d)), 0);
+            assert_eq!(tail(&o.complement()), 0);
+            assert_eq!(tail(&BitVector::from_bools(&vec![true; d])), 0);
+            // The Eq/Hash/hamming invariants the masking protects.
+            let bitwise = BitVector::from_bools(&vec![true; d]);
+            assert_eq!(o, bitwise, "d = {d}");
+            assert_eq!(hasher.hash_one(&o), hasher.hash_one(&bitwise), "d = {d}");
+            assert_eq!(o.hamming(&bitwise), 0);
+            assert_eq!(o.complement(), BitVector::zeros(d));
+        }
     }
 
     #[test]

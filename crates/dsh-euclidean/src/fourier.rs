@@ -159,7 +159,7 @@ mod tests {
         // s = 2: <phi(x), phi(y)> ~ exp(-(gamma delta)^2) — the l2 case.
         let d = 8;
         let gamma = 0.5;
-        let mut rng = seeded(0xF0_1);
+        let mut rng = seeded(0xF01);
         for &delta in &[0.5f64, 1.0, 2.0] {
             let (x, y) = pair_at_distance(&mut rng, d, delta);
             let samples: Vec<f64> = (0..300)
@@ -179,7 +179,7 @@ mod tests {
         // s = 1 (Cauchy projections): kernel exp(-gamma ||x-y||_1).
         let d = 6;
         let gamma = 0.3;
-        let mut rng = seeded(0xF0_2);
+        let mut rng = seeded(0xF02);
         let x = DenseVector::new(vec![0.5, -1.0, 0.0, 2.0, 0.3, -0.7]);
         let y = DenseVector::new(vec![0.0, -1.0, 1.0, 2.0, 0.3, 0.3]);
         let l1: f64 = x
@@ -201,7 +201,7 @@ mod tests {
 
     #[test]
     fn embedded_vectors_are_unit() {
-        let mut rng = seeded(0xF0_3);
+        let mut rng = seeded(0xF03);
         let e = FourierEmbedding::sample(&mut rng, 5, 128, 1.5, 1.0);
         let x = DenseVector::gaussian(&mut rng, 5);
         assert!((e.embed(&x).norm() - 1.0).abs() < 1e-10);
@@ -216,10 +216,10 @@ mod tests {
         let features = 512;
         let gamma = 0.4;
         let fam = KernelizedFamily::new(SimHash::new(features), d, features, 2.0, gamma);
-        let mut rng = seeded(0xF0_4);
+        let mut rng = seeded(0xF04);
         for &delta in &[0.5f64, 1.5, 3.0] {
             let (x, y) = pair_at_distance(&mut rng, d, delta);
-            let est = CpfEstimator::new(3000, 0xF0_5).estimate_pair(&fam, &x, &y);
+            let est = CpfEstimator::new(3000, 0xF05).estimate_pair(&fam, &x, &y);
             let want = dsh_sphere::SimHash::sim(fam.kernel(delta));
             assert!(
                 (est.estimate - want).abs() < 0.04,
@@ -245,11 +245,11 @@ mod tests {
             2.0,
             0.4,
         );
-        let mut rng = seeded(0xF0_6);
+        let mut rng = seeded(0xF06);
         let mut prev = -1.0;
         for &delta in &[0.3f64, 1.5, 4.0] {
             let (x, y) = pair_at_distance(&mut rng, d, delta);
-            let est = CpfEstimator::new(2500, 0xF0_7).estimate_pair(&fam, &x, &y);
+            let est = CpfEstimator::new(2500, 0xF07).estimate_pair(&fam, &x, &y);
             assert!(
                 est.estimate >= prev - 0.02,
                 "CPF should increase with distance: {} after {prev} at delta {delta}",

@@ -13,10 +13,47 @@
 //! `HashTableIndex` substrate with a symmetric family.
 
 use crate::annulus::Measure;
+use crate::parallel;
 use crate::table::{HashTableIndex, QueryStats};
 use dsh_core::combinators::Power;
 use dsh_core::family::DshFamily;
 use rand::Rng;
+
+/// Hard ceiling on the repetition count `L` any parameter derivation in
+/// this crate may request.
+///
+/// The repetition formulae all have the shape `L = ceil(factor / p^k)`;
+/// for tiny `p` (or large `k`) the true value can exceed every realistic
+/// memory budget — and the naive floating-point evaluation can even
+/// underflow `p^k` to `0` and saturate the cast. Rather than let a
+/// pathological parameter choice request `usize::MAX` tables, every
+/// derivation clamps to this bound (2^22 ≈ 4.2M repetitions: already far
+/// past anything buildable, but finite and allocation-safe).
+pub const MAX_REPETITIONS: usize = 1 << 22;
+
+/// Repetition count `ceil(factor / p^k)`, clamped to
+/// [`MAX_REPETITIONS`] and computed without intermediate underflow.
+///
+/// `p.powi(k)` underflows to `0.0` once `k * ln(1/p)` passes ~745, which
+/// used to turn the division into `inf` and the cast into a saturated,
+/// nonsensical `usize::MAX`. When the direct power leaves the normal
+/// range this falls back to log-space (`exp(ln factor - k ln p)`), and
+/// any non-finite or over-budget result clamps to the ceiling.
+pub(crate) fn repetition_count(factor: f64, p: f64, k: usize) -> usize {
+    debug_assert!(0.0 < p && p <= 1.0, "collision probability p = {p}");
+    debug_assert!(factor > 0.0, "repetition factor = {factor}");
+    let pk = p.powi(k as i32);
+    let l = if pk.is_normal() {
+        (factor / pk).ceil()
+    } else {
+        (factor.ln() - k as f64 * p.ln()).exp().ceil()
+    };
+    if l.is_finite() && l < MAX_REPETITIONS as f64 {
+        (l as usize).max(1)
+    } else {
+        MAX_REPETITIONS
+    }
+}
 
 /// Parameters derived from the CPF values at the two radii.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,16 +67,17 @@ pub struct AnnParams {
 }
 
 /// Compute `(k, L, rho)` for dataset size `n` from `p1 = f(r1)`,
-/// `p2 = f(r2)` and a success factor (>= 1 boosts the success probability).
+/// `p2 = f(r2)` and a success factor (>= 1 boosts the success
+/// probability). `L` is computed in log-space when `p1^k` underflows and
+/// is clamped to [`MAX_REPETITIONS`].
 pub fn ann_params(n: usize, p1: f64, p2: f64, factor: f64) -> AnnParams {
     assert!(n >= 2);
     assert!(0.0 < p2 && p2 < p1 && p1 < 1.0, "need 0 < p2 < p1 < 1");
     assert!(factor >= 1.0);
     let k = ((n as f64).ln() / (1.0 / p2).ln()).ceil().max(1.0) as usize;
-    let l = (factor / p1.powi(k as i32)).ceil() as usize;
     AnnParams {
         k,
-        l,
+        l: repetition_count(factor, p1, k),
         rho: p1.ln() / p2.ln(),
     }
 }
@@ -53,7 +91,7 @@ pub struct NearNeighborIndex<P> {
     params: AnnParams,
 }
 
-impl<P: 'static> NearNeighborIndex<P> {
+impl<P: Sync + 'static> NearNeighborIndex<P> {
     /// Build over `points` with the base (width-1) family `family` and the
     /// CPF values `p1 >= f(r1)`, `p2 <= f(r2)` at the target radii.
     #[allow(clippy::too_many_arguments)] // mirrors the theorem's parameter list
@@ -67,6 +105,14 @@ impl<P: 'static> NearNeighborIndex<P> {
         factor: f64,
         rng: &mut dyn Rng,
     ) -> Self {
+        assert!(
+            !points.is_empty(),
+            "NearNeighborIndex: cannot build over an empty point set"
+        );
+        assert!(
+            r2.is_finite() && r2 >= 0.0,
+            "NearNeighborIndex: target radius r2 = {r2} must be finite and non-negative"
+        );
         let params = ann_params(points.len().max(2), p1, p2, factor);
         let powered = Power::new(family, params.k);
         NearNeighborIndex {
@@ -85,15 +131,55 @@ impl<P: 'static> NearNeighborIndex<P> {
     /// Return the first retrieved candidate within distance `r2`, stopping
     /// early after `3L` retrieved entries (the standard Markov cutoff).
     pub fn query(&self, q: &P) -> (Option<usize>, QueryStats) {
-        let limit = 3 * self.index.repetitions();
-        let (cands, mut stats) = self.index.candidates(q, Some(limit));
+        let (cands, mut stats) = self.index.candidates(q, Some(self.retrieval_limit()));
+        let hit = self.verify(cands, q, &mut stats);
+        (hit, stats)
+    }
+
+    /// Run [`NearNeighborIndex::query`] for a batch of queries, fanned out
+    /// across worker threads with scratch reuse. Results line up with
+    /// `queries` and are identical to a query-at-a-time loop.
+    pub fn query_batch(&self, queries: &[P]) -> Vec<(Option<usize>, QueryStats)> {
+        self.query_batch_with_threads(queries, parallel::available_threads())
+    }
+
+    /// [`NearNeighborIndex::query_batch`] with an explicit worker-thread
+    /// count (the output does not depend on it; the count is capped so
+    /// each worker serves several queries per scratch buffer).
+    pub fn query_batch_with_threads(
+        &self,
+        queries: &[P],
+        threads: usize,
+    ) -> Vec<(Option<usize>, QueryStats)> {
+        let limit = self.retrieval_limit();
+        let threads =
+            parallel::capped_threads(queries.len(), threads, crate::table::MIN_QUERIES_PER_WORKER);
+        parallel::map_chunks(queries, threads, |_, chunk| {
+            let mut scratch = self.index.new_scratch();
+            chunk
+                .iter()
+                .map(|q| {
+                    let (cands, mut stats) =
+                        self.index.candidates_with(q, Some(limit), &mut scratch);
+                    let hit = self.verify(cands, q, &mut stats);
+                    (hit, stats)
+                })
+                .collect()
+        })
+    }
+
+    fn retrieval_limit(&self) -> usize {
+        3 * self.index.repetitions()
+    }
+
+    fn verify(&self, cands: Vec<usize>, q: &P, stats: &mut QueryStats) -> Option<usize> {
         for i in cands {
             stats.distance_computations += 1;
             if (self.measure)(self.index.point(i), q) <= self.r2 {
-                return (Some(i), stats);
+                return Some(i);
             }
         }
-        (None, stats)
+        None
     }
 }
 
@@ -119,6 +205,44 @@ mod tests {
     #[should_panic(expected = "need 0 < p2 < p1 < 1")]
     fn params_reject_bad_probabilities() {
         let _ = ann_params(100, 0.5, 0.9, 1.0);
+    }
+
+    #[test]
+    fn repetition_count_matches_direct_formula_in_normal_range() {
+        assert_eq!(repetition_count(1.0, 0.9, 10), 3); // 1/0.9^10 ~ 2.87
+        assert_eq!(repetition_count(2.0, 0.5, 4), 32); // 2 * 2^4
+        assert_eq!(repetition_count(1.0, 1.0, 7), 1);
+        assert_eq!(
+            repetition_count(1.5, 0.25, 3),
+            (1.5 / 0.25f64.powi(3)).ceil() as usize
+        );
+    }
+
+    #[test]
+    fn repetition_count_survives_underflowing_power() {
+        // 0.05^300 underflows f64 to 0: the seed code computed
+        // factor / 0 = inf and saturated the cast. Now: clamped ceiling.
+        assert_eq!(repetition_count(1.0, 0.05, 300), MAX_REPETITIONS);
+        // Finite but astronomically large: also clamped, never usize::MAX.
+        assert_eq!(repetition_count(1.0, 0.5, 200), MAX_REPETITIONS);
+        // Subnormal power (0.5^1060 ~ 1e-320): log-space fallback, clamped.
+        assert_eq!(repetition_count(1.0, 0.5, 1060), MAX_REPETITIONS);
+    }
+
+    #[test]
+    fn repetition_count_is_at_least_one() {
+        assert_eq!(repetition_count(1.0, 0.999_999, 0), 1);
+        assert!(repetition_count(1.0, 0.9, 1) >= 1);
+    }
+
+    #[test]
+    fn ann_params_clamps_pathological_inputs() {
+        // Tiny p1 with k = 1: L = factor / p1 is finite but ~1e200; the
+        // seed code saturated `as usize`. The clamp keeps it allocatable.
+        let p = ann_params(1_000_000, 1e-200, 1e-220, 1.0);
+        assert_eq!(p.k, 1);
+        assert_eq!(p.l, MAX_REPETITIONS);
+        assert!(p.rho < 1.0);
     }
 
     #[test]
@@ -178,5 +302,64 @@ mod tests {
         let (hit, stats) = idx.query(&q);
         assert!(hit.is_none());
         assert!(stats.candidates_retrieved <= 3 * idx.params().l);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let d = 128;
+        let mut rng = seeded(0xA230);
+        let inst = hamming_data::planted_hamming_instance(&mut rng, 200, d, 6);
+        let queries: Vec<BitVector> = (0..12).map(|_| BitVector::random(&mut rng, d)).collect();
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let idx = NearNeighborIndex::build(
+            &BitSampling::new(d),
+            measure,
+            0.25,
+            inst.points,
+            0.95,
+            0.75,
+            2.0,
+            &mut rng,
+        );
+        let sequential: Vec<_> = queries.iter().map(|q| idx.query(q)).collect();
+        for threads in [1usize, 2, 5] {
+            assert_eq!(
+                sequential,
+                idx.query_batch_with_threads(&queries, threads),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn build_rejects_empty_points() {
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let _ = NearNeighborIndex::build(
+            &BitSampling::new(8),
+            measure,
+            0.1,
+            Vec::new(),
+            0.9,
+            0.5,
+            1.0,
+            &mut seeded(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn build_rejects_non_finite_radius() {
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let _ = NearNeighborIndex::build(
+            &BitSampling::new(8),
+            measure,
+            f64::NAN,
+            vec![BitVector::zeros(8)],
+            0.9,
+            0.5,
+            1.0,
+            &mut seeded(2),
+        );
     }
 }

@@ -8,6 +8,8 @@
 //! this adds at most 1/8 failure probability while capping the work at
 //! `O(L)` regardless of how adversarial the data is.
 
+use crate::ann::repetition_count;
+use crate::parallel;
 use crate::table::{HashTableIndex, QueryStats};
 use dsh_core::family::DshFamily;
 use rand::Rng;
@@ -35,10 +37,13 @@ pub struct AnnulusMatch {
     pub value: f64,
 }
 
-impl<P: 'static> AnnulusIndex<P> {
+impl<P: Sync + 'static> AnnulusIndex<P> {
     /// Build with `l` repetitions of `family`. Per Theorem 6.1,
     /// `l ~ 1/f(r)` repetitions recover a point at the peak measure `r`
     /// with constant probability.
+    ///
+    /// Validates its inputs up front: `l >= 1`, a non-empty point set, and
+    /// a finite, non-empty reporting interval.
     pub fn build(
         family: &(impl DshFamily<P> + ?Sized),
         measure: Measure<P>,
@@ -47,6 +52,17 @@ impl<P: 'static> AnnulusIndex<P> {
         l: usize,
         rng: &mut dyn Rng,
     ) -> Self {
+        assert!(l >= 1, "AnnulusIndex: need at least one repetition (l >= 1)");
+        assert!(
+            !points.is_empty(),
+            "AnnulusIndex: cannot build over an empty point set"
+        );
+        assert!(
+            report_interval.0.is_finite() && report_interval.1.is_finite(),
+            "AnnulusIndex: reporting interval ({}, {}) must be finite",
+            report_interval.0,
+            report_interval.1
+        );
         assert!(
             report_interval.0 <= report_interval.1,
             "empty reporting interval"
@@ -68,29 +84,72 @@ impl<P: 'static> AnnulusIndex<P> {
     /// the reporting interval, giving up after `8L` retrieved entries
     /// (the Theorem 6.1 termination rule).
     pub fn query(&self, q: &P) -> (Option<AnnulusMatch>, QueryStats) {
-        let limit = 8 * self.index.repetitions();
-        let (cands, mut stats) = self.index.candidates(q, Some(limit));
-        for i in cands {
-            stats.distance_computations += 1;
-            let v = (self.measure)(self.index.point(i), q);
-            if v >= self.report_lo && v <= self.report_hi {
-                return (Some(AnnulusMatch { index: i, value: v }), stats);
-            }
-        }
-        (None, stats)
+        let (cands, mut stats) = self.index.candidates(q, Some(self.retrieval_limit()));
+        let hit = self.verify(cands, q, &mut stats);
+        (hit, stats)
+    }
+
+    /// Run [`AnnulusIndex::query`] for a batch of queries, fanned out
+    /// across worker threads with one reusable scratch buffer per worker.
+    /// Results line up with `queries` and are identical to a
+    /// query-at-a-time loop.
+    pub fn query_batch(&self, queries: &[P]) -> Vec<(Option<AnnulusMatch>, QueryStats)> {
+        self.query_batch_with_threads(queries, parallel::available_threads())
+    }
+
+    /// [`AnnulusIndex::query_batch`] with an explicit worker-thread count
+    /// (the output does not depend on it; the count is capped so each
+    /// worker serves several queries per scratch buffer).
+    pub fn query_batch_with_threads(
+        &self,
+        queries: &[P],
+        threads: usize,
+    ) -> Vec<(Option<AnnulusMatch>, QueryStats)> {
+        let limit = self.retrieval_limit();
+        let threads =
+            parallel::capped_threads(queries.len(), threads, crate::table::MIN_QUERIES_PER_WORKER);
+        parallel::map_chunks(queries, threads, |_, chunk| {
+            let mut scratch = self.index.new_scratch();
+            chunk
+                .iter()
+                .map(|q| {
+                    let (cands, mut stats) =
+                        self.index.candidates_with(q, Some(limit), &mut scratch);
+                    let hit = self.verify(cands, q, &mut stats);
+                    (hit, stats)
+                })
+                .collect()
+        })
     }
 
     /// Run `reps` independent queries (the structure itself is fixed;
     /// repetition here means retrying the probabilistic query), returning
     /// the success count — used by the experiments to measure the success
-    /// probability guarantee (>= 1/2 in Theorem 6.1).
+    /// probability guarantee (>= 1/2 in Theorem 6.1). Runs the batched
+    /// query path under the hood.
     pub fn success_rate(&self, queries: &[P]) -> f64 {
         assert!(!queries.is_empty());
-        let hits = queries
+        let hits = self
+            .query_batch(queries)
             .iter()
-            .filter(|q| self.query(q).0.is_some())
+            .filter(|(hit, _)| hit.is_some())
             .count();
         hits as f64 / queries.len() as f64
+    }
+
+    fn retrieval_limit(&self) -> usize {
+        8 * self.index.repetitions()
+    }
+
+    fn verify(&self, cands: Vec<usize>, q: &P, stats: &mut QueryStats) -> Option<AnnulusMatch> {
+        for i in cands {
+            stats.distance_computations += 1;
+            let v = (self.measure)(self.index.point(i), q);
+            if v >= self.report_lo && v <= self.report_hi {
+                return Some(AnnulusMatch { index: i, value: v });
+            }
+        }
+        None
     }
 }
 
@@ -100,7 +159,8 @@ impl<P: 'static> AnnulusIndex<P> {
 /// `f_out` at the worst point outside the reporting interval and the CPF
 /// value `f_peak` at the target, return `(k, L)`: the powering exponent
 /// pushing `f_out^k <= 1/n` and the matching repetition count
-/// `L = ceil(factor / f_peak^k)`.
+/// `L = ceil(factor / f_peak^k)`, computed underflow-safely and clamped
+/// to [`crate::MAX_REPETITIONS`].
 pub fn powering_parameters(n: usize, f_peak: f64, f_out: f64, factor: f64) -> (usize, usize) {
     assert!(n >= 2);
     assert!(0.0 < f_out && f_out < f_peak && f_peak <= 1.0);
@@ -110,8 +170,8 @@ pub fn powering_parameters(n: usize, f_peak: f64, f_out: f64, factor: f64) -> (u
     } else {
         ((n as f64).ln() / (1.0 / f_out).ln()).ceil() as usize
     };
-    let l = (factor / f_peak.powi(k as i32)).ceil() as usize;
-    (k.max(1), l)
+    let k = k.max(1);
+    (k, repetition_count(factor, f_peak, k))
 }
 
 #[cfg(test)]
@@ -249,6 +309,86 @@ mod tests {
     #[should_panic]
     fn powering_rejects_inverted_cpf_values() {
         let _ = powering_parameters(100, 0.1, 0.5, 1.0);
+    }
+
+    #[test]
+    fn powering_parameters_clamp_instead_of_saturating() {
+        // f_peak tiny: L = factor / f_peak^k used to saturate `as usize`.
+        let (k, l) = powering_parameters(1000, 1e-300, 1e-307, 1.0);
+        assert_eq!(k, 1);
+        assert_eq!(l, crate::MAX_REPETITIONS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn build_rejects_zero_repetitions() {
+        let d = 16;
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let _ = AnnulusIndex::build(
+            &BitSampling::new(d),
+            measure,
+            (0.0, 0.5),
+            vec![BitVector::zeros(d)],
+            0,
+            &mut seeded(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn build_rejects_empty_points() {
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let _ = AnnulusIndex::build(
+            &BitSampling::new(16),
+            measure,
+            (0.0, 0.5),
+            Vec::new(),
+            4,
+            &mut seeded(2),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn build_rejects_non_finite_interval() {
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let _ = AnnulusIndex::build(
+            &BitSampling::new(16),
+            measure,
+            (0.0, f64::INFINITY),
+            vec![BitVector::zeros(16)],
+            4,
+            &mut seeded(3),
+        );
+    }
+
+    #[test]
+    fn batch_matches_sequential_queries() {
+        let d = 128;
+        let mut rng = seeded(316);
+        let points = hamming_data::uniform_hamming(&mut rng, 120, d);
+        let queries: Vec<BitVector> = points[..30].to_vec();
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let idx = AnnulusIndex::build(&fam_for_batch(d), measure, (0.0, 0.2), points, 12, &mut rng);
+        let sequential: Vec<_> = queries.iter().map(|q| idx.query(q)).collect();
+        for threads in [1usize, 2, 7] {
+            assert_eq!(
+                sequential,
+                idx.query_batch_with_threads(&queries, threads),
+                "threads = {threads}"
+            );
+        }
+        // Stats accounting holds on every batched result.
+        for (_, stats) in idx.query_batch(&queries) {
+            assert_eq!(
+                stats.distinct_candidates + stats.duplicates,
+                stats.candidates_retrieved
+            );
+        }
+    }
+
+    fn fam_for_batch(d: usize) -> Power<BitSampling> {
+        Power::new(BitSampling::new(d), 2)
     }
 
     #[test]

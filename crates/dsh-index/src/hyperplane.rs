@@ -7,6 +7,7 @@
 //! `rho = (1 - alpha^2) / (1 + alpha^2)` for reporting guarantee
 //! `|<x, q>| <= alpha` (§6.1's discussion of hyperplane queries).
 
+use crate::ann::repetition_count;
 use crate::annulus::{AnnulusIndex, AnnulusMatch, Measure};
 use crate::table::QueryStats;
 use dsh_core::points::DenseVector;
@@ -35,10 +36,14 @@ impl HyperplaneIndex {
     ) -> Self {
         assert!(alpha_report > 0.0 && alpha_report < 1.0);
         assert!(repetition_factor > 0.0);
+        assert!(
+            !points.is_empty(),
+            "HyperplaneIndex: cannot build over an empty point set"
+        );
         let family = UnimodalFilterDsh::new(d, 0.0, t);
         let f0 = family.cpf(0.0);
         assert!(f0 > 0.0, "degenerate CPF at the peak");
-        let l = (repetition_factor / f0).ceil() as usize;
+        let l = repetition_count(repetition_factor, f0.min(1.0), 1);
         let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
         let inner = AnnulusIndex::build(
             &family,
@@ -68,6 +73,12 @@ impl HyperplaneIndex {
     /// one.
     pub fn query(&self, q: &DenseVector) -> (Option<AnnulusMatch>, QueryStats) {
         self.inner.query(q)
+    }
+
+    /// Batched [`HyperplaneIndex::query`]: fans queries out across worker
+    /// threads with scratch reuse; identical to a query-at-a-time loop.
+    pub fn query_batch(&self, queries: &[DenseVector]) -> Vec<(Option<AnnulusMatch>, QueryStats)> {
+        self.inner.query_batch(queries)
     }
 
     /// The §6.1 query exponent for guarantee `alpha`:

@@ -11,7 +11,15 @@
 //! * [`range_reporting`] — approximate spherical range reporting with
 //!   step-function CPFs (Theorem 6.5) and output-sensitivity accounting;
 //! * [`linear_scan`] — the exact baseline every experiment compares
-//!   against.
+//!   against;
+//! * [`parallel`] — the scoped-thread fan-out used for parallel table
+//!   builds and batched queries.
+//!
+//! Every structure stores its buckets in a flat CSR layout (see [`table`]),
+//! builds its `L` repetitions across worker threads, and offers a
+//! `query_batch` variant that amortizes scratch buffers and fans queries
+//! out across threads. Batched results are always identical to a
+//! query-at-a-time loop, for every thread count.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -20,14 +28,15 @@ pub mod ann;
 pub mod annulus;
 pub mod hyperplane;
 pub mod linear_scan;
+pub mod parallel;
 pub mod range_reporting;
 pub mod sphere_annulus;
 pub mod table;
 
-pub use ann::NearNeighborIndex;
+pub use ann::{ann_params, AnnParams, NearNeighborIndex, MAX_REPETITIONS};
 pub use annulus::AnnulusIndex;
 pub use hyperplane::HyperplaneIndex;
 pub use linear_scan::LinearScan;
 pub use range_reporting::RangeReportingIndex;
 pub use sphere_annulus::{AnnulusSpec, SphereAnnulusIndex};
-pub use table::{HashTableIndex, QueryStats};
+pub use table::{HashTableIndex, QueryScratch, QueryStats};

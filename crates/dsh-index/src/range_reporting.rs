@@ -8,6 +8,7 @@
 //! (Theorem 6.5's `O(d n^rho + d |S| f_max / f_min)` query time).
 
 use crate::annulus::Measure;
+use crate::parallel;
 use crate::table::{HashTableIndex, QueryStats};
 use dsh_core::family::DshFamily;
 use rand::Rng;
@@ -22,9 +23,12 @@ pub struct RangeReportingIndex<P> {
     r_plus: f64,
 }
 
-impl<P: 'static> RangeReportingIndex<P> {
+impl<P: Sync + 'static> RangeReportingIndex<P> {
     /// Build with `l` repetitions; `measure` must be the *distance* the
     /// radii refer to.
+    ///
+    /// Validates its inputs up front: `l >= 1`, a non-empty point set, and
+    /// finite, ordered, non-negative radii.
     pub fn build(
         family: &(impl DshFamily<P> + ?Sized),
         measure: Measure<P>,
@@ -34,6 +38,18 @@ impl<P: 'static> RangeReportingIndex<P> {
         l: usize,
         rng: &mut dyn Rng,
     ) -> Self {
+        assert!(
+            l >= 1,
+            "RangeReportingIndex: need at least one repetition (l >= 1)"
+        );
+        assert!(
+            !points.is_empty(),
+            "RangeReportingIndex: cannot build over an empty point set"
+        );
+        assert!(
+            r.is_finite() && r_plus.is_finite() && r >= 0.0,
+            "RangeReportingIndex: radii r = {r}, r_plus = {r_plus} must be finite and non-negative"
+        );
         assert!(r <= r_plus, "need r <= r_plus");
         RangeReportingIndex {
             index: HashTableIndex::build(family, points, l, rng),
@@ -63,6 +79,42 @@ impl<P: 'static> RangeReportingIndex<P> {
     /// output-sensitivity overhead bounded by `f_max / f_min`.
     pub fn query(&self, q: &P) -> (Vec<usize>, QueryStats) {
         let (cands, mut stats) = self.index.candidates(q, None);
+        let out = self.verify(cands, q, &mut stats);
+        (out, stats)
+    }
+
+    /// Run [`RangeReportingIndex::query`] for a batch of queries, fanned
+    /// out across worker threads with one reusable scratch buffer per
+    /// worker. Results line up with `queries` and are identical to a
+    /// query-at-a-time loop.
+    pub fn query_batch(&self, queries: &[P]) -> Vec<(Vec<usize>, QueryStats)> {
+        self.query_batch_with_threads(queries, parallel::available_threads())
+    }
+
+    /// [`RangeReportingIndex::query_batch`] with an explicit worker-thread
+    /// count (the output does not depend on it; the count is capped so
+    /// each worker serves several queries per scratch buffer).
+    pub fn query_batch_with_threads(
+        &self,
+        queries: &[P],
+        threads: usize,
+    ) -> Vec<(Vec<usize>, QueryStats)> {
+        let threads =
+            parallel::capped_threads(queries.len(), threads, crate::table::MIN_QUERIES_PER_WORKER);
+        parallel::map_chunks(queries, threads, |_, chunk| {
+            let mut scratch = self.index.new_scratch();
+            chunk
+                .iter()
+                .map(|q| {
+                    let (cands, mut stats) = self.index.candidates_with(q, None, &mut scratch);
+                    let out = self.verify(cands, q, &mut stats);
+                    (out, stats)
+                })
+                .collect()
+        })
+    }
+
+    fn verify(&self, cands: Vec<usize>, q: &P, stats: &mut QueryStats) -> Vec<usize> {
         let mut out = Vec::new();
         for i in cands {
             stats.distance_computations += 1;
@@ -70,7 +122,7 @@ impl<P: 'static> RangeReportingIndex<P> {
                 out.push(i);
             }
         }
-        (out, stats)
+        out
     }
 
     /// Recall against a ground-truth set of indices within distance `r`
@@ -182,6 +234,76 @@ mod tests {
         assert!(
             dup_rate_step < dup_rate_plain,
             "step {dup_rate_step} !< plain {dup_rate_plain}"
+        );
+    }
+
+    #[test]
+    fn batch_matches_sequential_queries() {
+        let d = 128;
+        let mut rng = seeded(336);
+        let q = BitVector::random(&mut rng, d);
+        let mut points: Vec<BitVector> = (0..15)
+            .map(|_| hamming_data::point_at_distance(&mut rng, &q, 5))
+            .collect();
+        points.extend(hamming_data::uniform_hamming(&mut rng, 100, d));
+        let queries: Vec<BitVector> = std::iter::once(q)
+            .chain((0..15).map(|_| BitVector::random(&mut rng, d)))
+            .collect();
+        let fam = Power::new(BitSampling::new(d), 8);
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let idx = RangeReportingIndex::build(&fam, measure, 0.05, 0.2, points, 40, &mut rng);
+        let sequential: Vec<_> = queries.iter().map(|q| idx.query(q)).collect();
+        for threads in [1usize, 4, 9] {
+            assert_eq!(
+                sequential,
+                idx.query_batch_with_threads(&queries, threads),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn build_rejects_zero_repetitions() {
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let _ = RangeReportingIndex::build(
+            &BitSampling::new(16),
+            measure,
+            0.1,
+            0.2,
+            vec![BitVector::zeros(16)],
+            0,
+            &mut seeded(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn build_rejects_empty_points() {
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let _ = RangeReportingIndex::build(
+            &BitSampling::new(16),
+            measure,
+            0.1,
+            0.2,
+            Vec::new(),
+            4,
+            &mut seeded(2),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn build_rejects_non_finite_radius() {
+        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let _ = RangeReportingIndex::build(
+            &BitSampling::new(16),
+            measure,
+            0.1,
+            f64::INFINITY,
+            vec![BitVector::zeros(16)],
+            4,
+            &mut seeded(3),
         );
     }
 

@@ -10,6 +10,7 @@
 //! rho = (c_alpha + 1/c_alpha) / (c_beta + 1/c_beta)
 //! ```
 
+use crate::ann::repetition_count;
 use crate::annulus::{AnnulusIndex, AnnulusMatch, Measure};
 use crate::table::QueryStats;
 use dsh_core::distance::{alpha_from_ratio, alpha_ratio};
@@ -74,11 +75,15 @@ impl SphereAnnulusIndex {
         rng: &mut dyn Rng,
     ) -> Self {
         assert!(repetition_factor >= 1.0);
+        assert!(
+            !points.is_empty(),
+            "SphereAnnulusIndex: cannot build over an empty point set"
+        );
         let family = UnimodalFilterDsh::new(d, spec.peak(), t);
         // Worst promise-interval collision probability governs L.
         let f_promise = family.cpf(spec.alpha.0).min(family.cpf(spec.alpha.1));
         assert!(f_promise > 0.0, "degenerate CPF over the promise interval");
-        let l = (repetition_factor / f_promise).ceil() as usize;
+        let l = repetition_count(repetition_factor, f_promise.min(1.0), 1);
         let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
         SphereAnnulusIndex {
             inner: AnnulusIndex::build(&family, measure, spec.beta, points, l, rng),
@@ -101,6 +106,13 @@ impl SphereAnnulusIndex {
     /// `[alpha_-, alpha_+]` exists (success probability >= 1/2).
     pub fn query(&self, q: &DenseVector) -> (Option<AnnulusMatch>, QueryStats) {
         self.inner.query(q)
+    }
+
+    /// Batched [`SphereAnnulusIndex::query`]: fans queries out across
+    /// worker threads with scratch reuse; identical to a query-at-a-time
+    /// loop.
+    pub fn query_batch(&self, queries: &[DenseVector]) -> Vec<(Option<AnnulusMatch>, QueryStats)> {
+        self.inner.query_batch(queries)
     }
 }
 

@@ -7,10 +7,32 @@
 //! `q` probes table `j` under `g_j(q)`. With a symmetric family this is the
 //! classical LSH index; with an asymmetric family the probed bucket differs
 //! from the stored one — which is the entire point.
+//!
+//! # Storage layout
+//!
+//! Each table stores its buckets in a flat CSR-style layout instead of a
+//! `HashMap<u64, Vec<u32>>`: a sorted directory of the distinct keys, an
+//! offsets array, and one contiguous `Vec<u32>` of point ids grouped by
+//! key (increasing id within each bucket — the same order the seed's
+//! per-bucket `Vec` push produced). Three dense arrays per table instead
+//! of one heap allocation per non-empty bucket: builds touch memory
+//! sequentially and probes read one contiguous id range.
+//!
+//! # Concurrency
+//!
+//! Table construction fans the `L` repetitions out across
+//! [`crate::parallel`] worker threads. All `L` `(h, g)` pairs are sampled
+//! *sequentially* from the caller's RNG before any worker starts, so the
+//! randomness stream — and therefore the built index — is identical for
+//! every thread count. Queries come in two flavors: the classic one-shot
+//! [`HashTableIndex::candidates`], and the batched
+//! [`HashTableIndex::candidates_batch`] that fans queries out across
+//! threads while reusing one generation-stamped [`QueryScratch`] per
+//! worker instead of allocating an O(n) `seen` vector per query.
 
-use dsh_core::family::{DshFamily, PointHasher};
+use crate::parallel;
+use dsh_core::family::{DshFamily, HasherPair, PointHasher};
 use rand::Rng;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Counters describing the work a query performed.
@@ -29,11 +51,151 @@ pub struct QueryStats {
     pub distance_computations: usize,
 }
 
-/// One hash table: the sampled data/query hashers and the bucket map.
+/// Flat CSR bucket storage for one table: a sorted `(key, offset)`
+/// directory plus one contiguous `Vec<u32>` of point ids grouped by key
+/// (increasing within a bucket). Bucket `b` spans
+/// `ids[dir[b].1 .. dir[b + 1].1]`; the directory ends with a
+/// `(u64::MAX, ids.len())` sentinel so every bucket's end is its
+/// successor's start. Fusing key and offset into one entry means a probe
+/// that finds its key already holds the bucket bounds — no second array
+/// to miss on.
+///
+/// Lookups are accelerated by a radix prefix table over the top
+/// `prefix_bits` bits of the (well-mixed) keys: `prefix_starts[p]` is the
+/// number of directory keys with prefix `< p`, so a probe binary-searches
+/// only the handful of directory entries sharing the query key's prefix
+/// instead of the whole directory.
+struct CsrBuckets {
+    /// Sorted `(key, ids-offset)` pairs, terminated by the sentinel.
+    dir: Vec<(u64, u32)>,
+    ids: Vec<u32>,
+    /// `2^prefix_bits + 1` running counts into the real (non-sentinel)
+    /// directory entries.
+    prefix_starts: Vec<u32>,
+    prefix_bits: u32,
+}
+
+/// Cap on the prefix-table size (2^16 entries = 256 KiB of `u32` per
+/// table at most, and only when the directory itself is that large).
+const MAX_PREFIX_BITS: u32 = 16;
+
+/// Minimum queries per worker in the batched query paths: a worker costs
+/// a thread spawn plus one O(n) scratch allocation, which a single cheap
+/// query does not amortize.
+pub(crate) const MIN_QUERIES_PER_WORKER: usize = 8;
+
+impl CsrBuckets {
+    /// Construction from per-point hash keys in one sort-and-sweep pass:
+    /// sort `(key, id)` pairs (ids ascending within equal keys — the same
+    /// per-bucket order the seed's `HashMap` push produced), then sweep
+    /// once to emit the directory, grouped ids, and the prefix counts.
+    fn build(hashes: &[u64]) -> Self {
+        debug_assert!(hashes.len() < u32::MAX as usize);
+        let mut order: Vec<(u64, u32)> = hashes
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (h, i as u32))
+            .collect();
+        order.sort_unstable();
+
+        let mut dir: Vec<(u64, u32)> = Vec::new();
+        let mut ids = Vec::with_capacity(order.len());
+        for &(h, i) in &order {
+            if dir.last().map(|e| e.0) != Some(h) {
+                dir.push((h, ids.len() as u32));
+            }
+            ids.push(i);
+        }
+        let distinct = dir.len();
+        dir.push((u64::MAX, ids.len() as u32)); // sentinel
+
+        // Size the prefix table to roughly one directory entry per slot.
+        let prefix_bits = (usize::BITS - distinct.leading_zeros()).min(MAX_PREFIX_BITS);
+        let mut prefix_starts = vec![0u32; (1usize << prefix_bits) + 1];
+        for (b, &(k, _)) in dir[..distinct].iter().enumerate() {
+            // Keys are sorted, so the last key of each prefix run wins:
+            // prefix_starts[p + 1] = count of directory keys with prefix <= p.
+            let p = (Self::prefix_of(k, prefix_bits) + 1) as usize;
+            prefix_starts[p] = (b + 1) as u32;
+        }
+        // Fill prefixes with no keys: running maximum turns the per-run
+        // end positions into a complete monotone count array.
+        for p in 1..prefix_starts.len() {
+            prefix_starts[p] = prefix_starts[p].max(prefix_starts[p - 1]);
+        }
+
+        CsrBuckets {
+            dir,
+            ids,
+            prefix_starts,
+            prefix_bits,
+        }
+    }
+
+    #[inline]
+    fn prefix_of(key: u64, bits: u32) -> u64 {
+        if bits == 0 {
+            0
+        } else {
+            key >> (64 - bits)
+        }
+    }
+
+    /// The bucket for `key` (empty slice when no data point hashed to it).
+    #[inline]
+    fn bucket(&self, key: u64) -> &[u32] {
+        let p = Self::prefix_of(key, self.prefix_bits) as usize;
+        let lo = self.prefix_starts[p] as usize;
+        let hi = self.prefix_starts[p + 1] as usize;
+        // The sentinel is never inside [lo, hi): prefix counts cover only
+        // real entries, so dir[b + 1] is always a valid end marker.
+        match self.dir[lo..hi].binary_search_by(|e| e.0.cmp(&key)) {
+            Ok(b) => {
+                let b = lo + b;
+                &self.ids[self.dir[b].1 as usize..self.dir[b + 1].1 as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+}
+
+/// One hash table: the sampled data/query hashers and the CSR buckets.
 struct Table<P: ?Sized> {
     data_fn: Arc<dyn PointHasher<P>>,
     query_fn: Arc<dyn PointHasher<P>>,
-    buckets: HashMap<u64, Vec<u32>>,
+    buckets: CsrBuckets,
+}
+
+/// Reusable per-worker query state: a generation-stamped `seen` array.
+///
+/// Marking a point visited writes the current generation into its stamp
+/// slot; starting a new query just bumps the generation, so the O(n)
+/// clearing cost of a fresh `vec![false; n]` per query is paid once per
+/// 255 queries instead of once per query. Stamps are a single byte so
+/// the array is no larger (hence no colder) than the seed's `Vec<bool>`.
+pub struct QueryScratch {
+    stamps: Vec<u8>,
+    generation: u8,
+}
+
+impl QueryScratch {
+    fn new(n: usize) -> Self {
+        QueryScratch {
+            stamps: vec![0; n],
+            generation: 0,
+        }
+    }
+
+    /// Start a new query: bump the generation, resetting the stamps on the
+    /// (once per 255 queries) wrap-around.
+    fn begin(&mut self) -> u8 {
+        if self.generation == u8::MAX {
+            self.stamps.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.generation
+    }
 }
 
 /// An `L`-repetition DSH hash table over owned points.
@@ -42,39 +204,7 @@ pub struct HashTableIndex<P> {
     points: Vec<P>,
 }
 
-impl<P: 'static> HashTableIndex<P> {
-    /// Build with `l` independently sampled `(h, g)` pairs.
-    pub fn build(
-        family: &(impl DshFamily<P> + ?Sized),
-        points: Vec<P>,
-        l: usize,
-        rng: &mut dyn Rng,
-    ) -> Self {
-        assert!(l >= 1, "need at least one repetition");
-        assert!(
-            points.len() < u32::MAX as usize,
-            "point count exceeds index capacity"
-        );
-        let tables = (0..l)
-            .map(|_| {
-                let pair = family.sample(rng);
-                let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-                for (i, p) in points.iter().enumerate() {
-                    buckets
-                        .entry(pair.data.hash(p))
-                        .or_default()
-                        .push(i as u32);
-                }
-                Table {
-                    data_fn: pair.data,
-                    query_fn: pair.query,
-                    buckets,
-                }
-            })
-            .collect();
-        HashTableIndex { tables, points }
-    }
-
+impl<P> HashTableIndex<P> {
     /// Number of repetitions `L`.
     pub fn repetitions(&self) -> usize {
         self.tables.len()
@@ -95,37 +225,139 @@ impl<P: 'static> HashTableIndex<P> {
         &self.points[i]
     }
 
+    /// A query scratch buffer sized for this index, for use with
+    /// [`HashTableIndex::candidates_with`].
+    pub fn new_scratch(&self) -> QueryScratch {
+        QueryScratch::new(self.points.len())
+    }
+}
+
+impl<P: Sync + 'static> HashTableIndex<P> {
+    /// Build with `l` independently sampled `(h, g)` pairs, fanning table
+    /// construction out over [`parallel::available_threads`] workers.
+    pub fn build(
+        family: &(impl DshFamily<P> + ?Sized),
+        points: Vec<P>,
+        l: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        Self::build_with_threads(family, points, l, rng, parallel::available_threads())
+    }
+
+    /// Build with an explicit worker-thread count.
+    ///
+    /// Deterministic in `threads`: all `l` pairs are sampled sequentially
+    /// from `rng` before any worker starts, and workers only evaluate the
+    /// already-sampled hash functions, so the same `rng` stream yields the
+    /// same index on every machine.
+    pub fn build_with_threads(
+        family: &(impl DshFamily<P> + ?Sized),
+        points: Vec<P>,
+        l: usize,
+        rng: &mut dyn Rng,
+        threads: usize,
+    ) -> Self {
+        assert!(l >= 1, "need at least one repetition");
+        assert!(
+            points.len() < u32::MAX as usize,
+            "point count exceeds index capacity"
+        );
+        let pairs: Vec<HasherPair<P>> = (0..l).map(|_| family.sample(rng)).collect();
+        let points_ref = &points;
+        let tables = parallel::map_items(&pairs, threads, |_, pair| {
+            let hashes: Vec<u64> = points_ref.iter().map(|p| pair.data.hash(p)).collect();
+            Table {
+                data_fn: Arc::clone(&pair.data),
+                query_fn: Arc::clone(&pair.query),
+                buckets: CsrBuckets::build(&hashes),
+            }
+        });
+        HashTableIndex { tables, points }
+    }
+
     /// Retrieve query candidates table-by-table, stopping once
     /// `retrieval_limit` raw entries have been pulled (the `8L`
     /// early-termination device from the proof of Theorem 6.1).
     /// Returns distinct candidate indices in retrieval order.
     pub fn candidates(&self, q: &P, retrieval_limit: Option<usize>) -> (Vec<usize>, QueryStats) {
+        self.candidates_with(q, retrieval_limit, &mut self.new_scratch())
+    }
+
+    /// [`HashTableIndex::candidates`] against a caller-provided scratch
+    /// buffer, letting tight query loops skip the per-query O(n)
+    /// allocation. The scratch must come from this index's
+    /// [`HashTableIndex::new_scratch`] (or one of identical size).
+    pub fn candidates_with(
+        &self,
+        q: &P,
+        retrieval_limit: Option<usize>,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<usize>, QueryStats) {
+        assert_eq!(
+            scratch.stamps.len(),
+            self.points.len(),
+            "scratch buffer sized for a different index"
+        );
+        let generation = scratch.begin();
+        let limit = retrieval_limit.unwrap_or(usize::MAX);
         let mut stats = QueryStats::default();
-        let mut seen = vec![false; self.points.len()];
         let mut out = Vec::new();
-        'tables: for table in &self.tables {
+        for table in &self.tables {
             stats.tables_probed += 1;
             let key = table.query_fn.hash(q);
-            if let Some(bucket) = table.buckets.get(&key) {
-                for &i in bucket {
-                    stats.candidates_retrieved += 1;
-                    let i = i as usize;
-                    if seen[i] {
-                        stats.duplicates += 1;
-                    } else {
-                        seen[i] = true;
-                        out.push(i);
-                    }
-                    if let Some(limit) = retrieval_limit {
-                        if stats.candidates_retrieved >= limit {
-                            break 'tables;
-                        }
-                    }
+            let bucket = table.buckets.bucket(key);
+            // Truncate to the retrieval budget up front so the hot loop
+            // carries no per-entry limit branch.
+            let take = bucket.len().min(limit - stats.candidates_retrieved);
+            for &i in &bucket[..take] {
+                let i = i as usize;
+                if scratch.stamps[i] == generation {
+                    stats.duplicates += 1;
+                } else {
+                    scratch.stamps[i] = generation;
+                    out.push(i);
                 }
+            }
+            stats.candidates_retrieved += take;
+            if stats.candidates_retrieved >= limit {
+                break;
             }
         }
         stats.distinct_candidates = out.len();
         (out, stats)
+    }
+
+    /// Run [`HashTableIndex::candidates`] for a batch of queries, fanned
+    /// out across [`parallel::available_threads`] workers with one scratch
+    /// buffer per worker. Results line up with `queries` and are identical
+    /// to a query-at-a-time loop.
+    pub fn candidates_batch(
+        &self,
+        queries: &[P],
+        retrieval_limit: Option<usize>,
+    ) -> Vec<(Vec<usize>, QueryStats)> {
+        self.candidates_batch_with_threads(queries, retrieval_limit, parallel::available_threads())
+    }
+
+    /// [`HashTableIndex::candidates_batch`] with an explicit worker-thread
+    /// count (the output does not depend on it). The count is capped so
+    /// every worker serves at least a handful of queries — one worker per
+    /// query would pay a thread spawn and an O(n) scratch allocation per
+    /// single query.
+    pub fn candidates_batch_with_threads(
+        &self,
+        queries: &[P],
+        retrieval_limit: Option<usize>,
+        threads: usize,
+    ) -> Vec<(Vec<usize>, QueryStats)> {
+        let threads = parallel::capped_threads(queries.len(), threads, MIN_QUERIES_PER_WORKER);
+        parallel::map_chunks(queries, threads, |_, chunk| {
+            let mut scratch = self.new_scratch();
+            chunk
+                .iter()
+                .map(|q| self.candidates_with(q, retrieval_limit, &mut scratch))
+                .collect()
+        })
     }
 
     /// Whether data point `i` and the query collide in table `j`
@@ -204,5 +436,135 @@ mod tests {
         assert_eq!(idx.len(), 5);
         assert!(!idx.is_empty());
         assert_eq!(idx.point(0), &p0);
+    }
+
+    #[test]
+    fn csr_buckets_group_ids_by_key_in_insertion_order() {
+        let hashes = [7u64, 3, 7, 7, 3, 11, 3];
+        let csr = CsrBuckets::build(&hashes);
+        assert_eq!(csr.dir, vec![(3, 0), (7, 3), (11, 6), (u64::MAX, 7)]);
+        assert_eq!(csr.bucket(3), &[1, 4, 6]);
+        assert_eq!(csr.bucket(7), &[0, 2, 3]);
+        assert_eq!(csr.bucket(11), &[5]);
+        assert_eq!(csr.bucket(5), &[] as &[u32]);
+        assert_eq!(csr.ids.len(), hashes.len());
+    }
+
+    #[test]
+    fn csr_buckets_empty_input() {
+        let csr = CsrBuckets::build(&[]);
+        assert_eq!(csr.dir, vec![(u64::MAX, 0)]);
+        assert_eq!(csr.bucket(0), &[] as &[u32]);
+        assert_eq!(csr.bucket(u64::MAX), &[] as &[u32]);
+    }
+
+    #[test]
+    fn csr_buckets_max_key_is_not_shadowed_by_sentinel() {
+        // A real u64::MAX key must stay distinguishable from the sentinel.
+        let hashes = [u64::MAX, 0, u64::MAX];
+        let csr = CsrBuckets::build(&hashes);
+        assert_eq!(csr.bucket(u64::MAX), &[0, 2]);
+        assert_eq!(csr.bucket(0), &[1]);
+        assert_eq!(csr.bucket(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn build_is_deterministic_in_thread_count() {
+        let d = 64;
+        let points = dataset(d, 120);
+        let queries = dataset(d, 10);
+        let mut built = Vec::new();
+        for threads in [1usize, 2, 4, 16] {
+            let mut rng = seeded(306);
+            let idx = HashTableIndex::build_with_threads(
+                &BitSampling::new(d),
+                points.clone(),
+                12,
+                &mut rng,
+                threads,
+            );
+            let answers: Vec<_> = queries.iter().map(|q| idx.candidates(q, None)).collect();
+            built.push(answers);
+        }
+        for other in &built[1..] {
+            assert_eq!(&built[0], other, "thread count changed the built index");
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_queries() {
+        let d = 64;
+        let points = dataset(d, 150);
+        let queries = dataset(d, 23);
+        let mut rng = seeded(307);
+        let idx = HashTableIndex::build(&BitSampling::new(d), points, 10, &mut rng);
+        for limit in [None, Some(17)] {
+            let sequential: Vec<_> = queries.iter().map(|q| idx.candidates(q, limit)).collect();
+            for threads in [1usize, 3, 8] {
+                let batched = idx.candidates_batch_with_threads(&queries, limit, threads);
+                assert_eq!(sequential, batched, "threads = {threads}, limit = {limit:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_preserves_stats_accounting() {
+        let d = 32;
+        let points = dataset(d, 80);
+        let queries = dataset(d, 40);
+        let mut rng = seeded(308);
+        let idx = HashTableIndex::build(&BitSampling::new(d), points, 6, &mut rng);
+        let mut scratch = idx.new_scratch();
+        for q in &queries {
+            let (cands, stats) = idx.candidates_with(q, None, &mut scratch);
+            assert_eq!(stats.distinct_candidates, cands.len());
+            assert_eq!(
+                stats.distinct_candidates + stats.duplicates,
+                stats.candidates_retrieved
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_generation_wraparound_resets() {
+        let mut scratch = QueryScratch::new(4);
+        scratch.generation = u8::MAX - 1;
+        scratch.stamps = vec![u8::MAX - 1; 4];
+        let g = scratch.begin(); // reaches u8::MAX
+        assert_eq!(g, u8::MAX);
+        let g = scratch.begin(); // wraps: stamps reset, generation restarts
+        assert_eq!(g, 1);
+        assert!(scratch.stamps.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn scratch_reuse_correct_across_generation_wrap() {
+        // Run far more queries than the u8 generation space on one scratch
+        // and check answers stay identical to fresh-scratch queries.
+        let d = 32;
+        let points = dataset(d, 60);
+        let queries = dataset(d, 16);
+        let mut rng = seeded(310);
+        let idx = HashTableIndex::build(&BitSampling::new(d), points, 4, &mut rng);
+        let mut scratch = idx.new_scratch();
+        for round in 0..40 {
+            for q in &queries {
+                let with_reuse = idx.candidates_with(q, None, &mut scratch);
+                let fresh = idx.candidates(q, None);
+                assert_eq!(with_reuse, fresh, "round {round} diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for a different index")]
+    fn mismatched_scratch_rejected() {
+        let d = 16;
+        let points = dataset(d, 10);
+        let q = points[0].clone();
+        let mut rng = seeded(309);
+        let idx = HashTableIndex::build(&BitSampling::new(d), points, 2, &mut rng);
+        let mut wrong = QueryScratch::new(3);
+        let _ = idx.candidates_with(&q, None, &mut wrong);
     }
 }

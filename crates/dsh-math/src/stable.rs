@@ -59,7 +59,7 @@ mod tests {
         // s = 1: E[cos(uX)] = e^{-|u|}.
         for &u in &[0.3, 1.0, 2.0] {
             let emp = empirical_cf(1.0, u, 300_000, 0x57AB1E);
-            let want = (-u as f64).exp();
+            let want = (-u).exp();
             assert!((emp - want).abs() < 0.01, "u={u}: {emp} vs {want}");
         }
     }

@@ -57,4 +57,23 @@ fn main() {
         "duplicates per reported point: {:.1} (Theorem 6.5 bounds this by L * f_max/f_min-type factors)",
         stats.duplicates as f64 / reported.len().max(1) as f64
     );
+
+    // Batched reporting: answer several range queries in one call. The
+    // batch path fans out across worker threads with per-worker scratch
+    // reuse and returns exactly what a query-at-a-time loop would.
+    let batch: Vec<BitVector> = std::iter::once(q.clone())
+        .chain((0..7).map(|_| BitVector::random(&mut rng, d)))
+        .collect();
+    let answers = index.query_batch(&batch);
+    let total_reported: usize = answers.iter().map(|(out, _)| out.len()).sum();
+    let total_work: usize = answers
+        .iter()
+        .map(|(_, s)| s.candidates_retrieved)
+        .sum();
+    println!(
+        "\nbatched: {} queries -> {} points reported, {} candidates retrieved total",
+        batch.len(),
+        total_reported,
+        total_work
+    );
 }

@@ -75,6 +75,28 @@ fn main() {
         }
     }
 
+    // Heavy traffic: serve a whole batch of user contexts in one call.
+    // `query_batch` fans the queries out across worker threads and reuses
+    // one scratch buffer per worker — results are identical to calling
+    // `query` in a loop.
+    let users: Vec<DenseVector> = std::iter::once(query.clone())
+        .chain((0..31).map(|_| DenseVector::random_unit(&mut rng, d)))
+        .collect();
+    let answers = index.query_batch(&users);
+    let served = answers.iter().filter(|(hit, _)| hit.is_some()).count();
+    let retrieved: usize = answers
+        .iter()
+        .map(|(_, stats)| stats.candidates_retrieved)
+        .sum();
+    println!(
+        "\nbatched serving: {} of {} user queries answered in one call \
+         ({} candidates retrieved total, avg {:.1}/query)",
+        served,
+        users.len(),
+        retrieved,
+        retrieved as f64 / users.len() as f64
+    );
+
     // Baseline: what the naive nearest-neighbor recommender would return.
     let scan = LinearScan::new(
         corpus,

@@ -1,0 +1,171 @@
+//! Integration tests for the CSR + batched index substrate: batched
+//! queries must be bit-identical to query-at-a-time loops, builds and
+//! batches must be deterministic in the worker-thread count, and the
+//! `QueryStats` accounting invariant must hold across the whole surface.
+
+use dsh_core::points::{BitVector, DenseVector};
+use dsh_data::{hamming_data, sphere_data};
+use dsh_hamming::BitSampling;
+use dsh_index::annulus::Measure;
+use dsh_index::{AnnulusIndex, HashTableIndex, NearNeighborIndex, RangeReportingIndex};
+use dsh_index::{AnnulusSpec, SphereAnnulusIndex};
+use dsh_math::rng::seeded;
+
+fn hamming_workload(seed: u64, n: usize, nq: usize, d: usize) -> (Vec<BitVector>, Vec<BitVector>) {
+    let mut rng = seeded(seed);
+    let points = hamming_data::uniform_hamming(&mut rng, n, d);
+    // Mix of in-dataset queries (duplicate-heavy) and fresh queries.
+    let queries: Vec<BitVector> = points[..nq / 2]
+        .iter()
+        .cloned()
+        .chain((0..nq - nq / 2).map(|_| BitVector::random(&mut rng, d)))
+        .collect();
+    (points, queries)
+}
+
+#[test]
+fn substrate_batch_parity_and_thread_determinism() {
+    let d = 128;
+    let (points, queries) = hamming_workload(0x5B57, 400, 32, d);
+    // Two identically seeded builds with different thread counts must be
+    // indistinguishable through every query.
+    let reference = {
+        let mut rng = seeded(0x5B58);
+        HashTableIndex::build_with_threads(&BitSampling::new(d), points.clone(), 16, &mut rng, 1)
+    };
+    let sequential: Vec<_> = queries
+        .iter()
+        .map(|q| reference.candidates(q, None))
+        .collect();
+    for threads in [2usize, 4, 32] {
+        let mut rng = seeded(0x5B58);
+        let idx = HashTableIndex::build_with_threads(
+            &BitSampling::new(d),
+            points.clone(),
+            16,
+            &mut rng,
+            threads,
+        );
+        let answers: Vec<_> = queries.iter().map(|q| idx.candidates(q, None)).collect();
+        assert_eq!(sequential, answers, "build with {threads} threads diverged");
+        // Batched queries equal the sequential loop, per thread count.
+        for qthreads in [1usize, 3, 8] {
+            assert_eq!(
+                sequential,
+                idx.candidates_batch_with_threads(&queries, None, qthreads),
+                "batch with {qthreads} threads diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn substrate_stats_accounting_invariant() {
+    let d = 96;
+    let (points, queries) = hamming_workload(0x5B59, 300, 48, d);
+    let mut rng = seeded(0x5B5A);
+    let idx = HashTableIndex::build(&BitSampling::new(d), points, 12, &mut rng);
+    for limit in [None, Some(5), Some(64)] {
+        for (cands, stats) in idx.candidates_batch(&queries, limit) {
+            assert_eq!(stats.distinct_candidates, cands.len());
+            assert_eq!(
+                stats.distinct_candidates + stats.duplicates,
+                stats.candidates_retrieved,
+                "accounting broken at limit {limit:?}"
+            );
+            assert!(stats.tables_probed <= idx.repetitions());
+            if let Some(limit) = limit {
+                assert!(stats.candidates_retrieved <= limit);
+            }
+        }
+    }
+}
+
+#[test]
+fn annulus_front_end_batch_parity() {
+    let d = 128;
+    let (points, queries) = hamming_workload(0x5B5B, 250, 20, d);
+    let mut rng = seeded(0x5B5C);
+    let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+    let idx = AnnulusIndex::build(
+        &BitSampling::new(d),
+        measure,
+        (0.0, 0.3),
+        points,
+        10,
+        &mut rng,
+    );
+    let sequential: Vec<_> = queries.iter().map(|q| idx.query(q)).collect();
+    for threads in [1usize, 2, 6] {
+        assert_eq!(sequential, idx.query_batch_with_threads(&queries, threads));
+    }
+}
+
+#[test]
+fn near_neighbor_front_end_batch_parity() {
+    let d = 256;
+    let mut rng = seeded(0x5B5D);
+    let inst = hamming_data::planted_hamming_instance(&mut rng, 300, d, 12);
+    let queries: Vec<BitVector> = std::iter::once(inst.query.clone())
+        .chain((0..15).map(|_| BitVector::random(&mut rng, d)))
+        .collect();
+    let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+    let idx = NearNeighborIndex::build(
+        &BitSampling::new(d),
+        measure,
+        0.25,
+        inst.points,
+        0.95,
+        0.75,
+        2.0,
+        &mut rng,
+    );
+    let sequential: Vec<_> = queries.iter().map(|q| idx.query(q)).collect();
+    for threads in [1usize, 4] {
+        assert_eq!(sequential, idx.query_batch_with_threads(&queries, threads));
+    }
+}
+
+#[test]
+fn range_reporting_front_end_batch_parity() {
+    let d = 128;
+    let mut rng = seeded(0x5B5E);
+    let q = BitVector::random(&mut rng, d);
+    let mut points: Vec<BitVector> = (0..20)
+        .map(|_| hamming_data::point_at_distance(&mut rng, &q, 6))
+        .collect();
+    points.extend(hamming_data::uniform_hamming(&mut rng, 150, d));
+    let queries: Vec<BitVector> = std::iter::once(q)
+        .chain((0..11).map(|_| BitVector::random(&mut rng, d)))
+        .collect();
+    let fam = dsh_core::combinators::Power::new(BitSampling::new(d), 8);
+    let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+    let idx = RangeReportingIndex::build(&fam, measure, 0.05, 0.2, points, 30, &mut rng);
+    let sequential: Vec<_> = queries.iter().map(|q| idx.query(q)).collect();
+    for threads in [1usize, 3, 5] {
+        assert_eq!(sequential, idx.query_batch_with_threads(&queries, threads));
+    }
+    // Accounting invariant survives the front-end verification pass.
+    for (out, stats) in sequential {
+        assert!(out.len() <= stats.distinct_candidates);
+        assert_eq!(
+            stats.distinct_candidates + stats.duplicates,
+            stats.candidates_retrieved
+        );
+        assert_eq!(stats.distance_computations, stats.distinct_candidates);
+    }
+}
+
+#[test]
+fn sphere_front_end_batch_parity() {
+    let d = 48;
+    let spec = AnnulusSpec::widened(0.55, 0.65, 2.5);
+    let mut rng = seeded(0x5B5F);
+    let inst = sphere_data::planted_sphere_instance(&mut rng, 200, d, 0.6);
+    let queries: Vec<DenseVector> = std::iter::once(inst.query.clone())
+        .chain((0..7).map(|_| DenseVector::random_unit(&mut rng, d)))
+        .collect();
+    let idx = SphereAnnulusIndex::build(inst.points, d, spec, 1.4, 1.5, &mut rng);
+    let sequential: Vec<_> = queries.iter().map(|q| idx.query(q)).collect();
+    assert_eq!(sequential, idx.query_batch(&queries));
+}

@@ -28,14 +28,9 @@ const MEASURE_TARGET: Duration = Duration::from_millis(200);
 const WARMUP_TARGET: Duration = Duration::from_millis(50);
 
 /// The top-level benchmark driver handed to each `criterion_group!` target.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
