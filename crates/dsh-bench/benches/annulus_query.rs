@@ -5,11 +5,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dsh_core::combinators::{Concat, Power};
-use dsh_core::points::{BitVector, DenseVector};
+use dsh_core::points::DenseVector;
 use dsh_core::{AnalyticCpf, BoxedDshFamily};
 use dsh_data::{hamming_data, sphere_data};
 use dsh_hamming::{AntiBitSampling, BitSampling};
-use dsh_index::annulus::{AnnulusIndex, Measure};
+use dsh_index::annulus::AnnulusIndex;
 use dsh_index::linear_scan::LinearScan;
 use dsh_math::rng::seeded;
 use dsh_sphere::unimodal::{annulus_interval, UnimodalFilterDsh};
@@ -27,9 +27,9 @@ fn bench_sphere_annulus(c: &mut Criterion) {
 
     let mut rng = seeded(0xBE3);
     let inst = sphere_data::planted_sphere_instance(&mut rng, n, d, alpha_max);
-    let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
+    let measure = dsh_index::measures::inner_product();
     let idx = AnnulusIndex::build(&fam, measure, (lo, hi), inst.points.clone(), l, &mut rng);
-    let scan = LinearScan::new(inst.points, Box::new(|x: &DenseVector, y: &DenseVector| x.dot(y)));
+    let scan = LinearScan::new(inst.points, dsh_index::measures::inner_product());
 
     group.bench_function("dsh_index", |b| {
         b.iter(|| black_box(idx.query(black_box(&inst.query))))
@@ -49,7 +49,7 @@ fn bench_sphere_annulus(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("query_loop", |b| {
         b.iter(|| {
-            let hits = queries.iter().filter(|q| idx.query(q).0.is_some()).count();
+            let hits = queries.iter().filter(|&q| idx.query(q).0.is_some()).count();
             black_box(hits)
         })
     });
@@ -73,7 +73,7 @@ fn bench_hamming_powering_ablation(c: &mut Criterion) {
     let n = 2000;
     let (k1, k2) = (9usize, 3usize);
     let fam = Concat::new(vec![
-        Box::new(Power::new(BitSampling::new(d), k1)) as BoxedDshFamily<BitVector>,
+        Box::new(Power::new(BitSampling::new(d), k1)) as BoxedDshFamily<[u64]>,
         Box::new(Power::new(AntiBitSampling::new(d), k2)),
     ]);
     let peak = 0.25f64;
@@ -82,7 +82,7 @@ fn bench_hamming_powering_ablation(c: &mut Criterion) {
 
     let mut rng = seeded(0xBE4);
     let inst = hamming_data::planted_hamming_instance(&mut rng, n, d, 64);
-    let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+    let measure = dsh_index::measures::relative_hamming(d);
     let idx = AnnulusIndex::build(&fam, measure, (0.15, 0.35), inst.points, l, &mut rng);
 
     group.bench_function("powered_bitsampling_query", |b| {
@@ -91,5 +91,9 @@ fn bench_hamming_powering_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sphere_annulus, bench_hamming_powering_ablation);
+criterion_group!(
+    benches,
+    bench_sphere_annulus,
+    bench_hamming_powering_ablation
+);
 criterion_main!(benches);

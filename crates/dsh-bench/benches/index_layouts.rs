@@ -40,7 +40,7 @@ const QUERY_K: usize = 19;
 const N_QUERIES: usize = 256;
 
 /// One seed-layout table: the query hasher and its HashMap buckets.
-type HashMapTable = (Arc<dyn PointHasher<BitVector>>, HashMap<u64, Vec<u32>>);
+type HashMapTable = (Arc<dyn PointHasher<[u64]>>, HashMap<u64, Vec<u32>>);
 
 /// The seed's table layout, verbatim: HashMap buckets, sequential build.
 struct HashMapIndex {
@@ -52,7 +52,7 @@ impl HashMapIndex {
     /// Same owned-`Vec` contract as the seed's `HashTableIndex::build`, so
     /// both sides of the build benchmark pay the identical clone cost.
     fn build(
-        family: &impl DshFamily<BitVector>,
+        family: &impl DshFamily<[u64]>,
         points: Vec<BitVector>,
         l: usize,
         rng: &mut dyn rand::Rng,
@@ -62,7 +62,10 @@ impl HashMapIndex {
                 let pair = family.sample(rng);
                 let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
                 for (i, p) in points.iter().enumerate() {
-                    buckets.entry(pair.data.hash(p)).or_default().push(i as u32);
+                    buckets
+                        .entry(pair.data.hash(p.as_blocks()))
+                        .or_default()
+                        .push(i as u32);
                 }
                 (pair.query, buckets)
             })
@@ -82,7 +85,7 @@ impl HashMapIndex {
         let mut seen = vec![false; self.n];
         let mut out = Vec::new();
         'tables: for (query_fn, buckets) in &self.tables {
-            let key = query_fn.hash(q);
+            let key = query_fn.hash(q.as_blocks());
             if let Some(bucket) = buckets.get(&key) {
                 for &i in bucket {
                     retrieved += 1;

@@ -1,0 +1,157 @@
+//! Flat point stores vs `Vec`-of-owned-points — the measurement behind
+//! the PR 3 storage rewrite.
+//!
+//! The baseline reproduces the seed's verification loop verbatim: a
+//! `Vec<DenseVector>` / `Vec<BitVector>` (one heap allocation per point),
+//! a boxed per-pair measure closure, and the seed's sequential-fold dot
+//! product. The contender verifies the same candidate list through the
+//! flat stores' blocked batch kernels (`DenseStore::dot_many`,
+//! `BitStore::hamming_many`): contiguous rows, no per-candidate pointer
+//! chase, four-accumulator kernels. A build group additionally compares
+//! `HashTableIndex` construction over both backends (identically seeded,
+//! so the indexes are query-for-query identical — asserted below).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsh_core::points::{BitStore, BitVector, DenseStore, DenseVector};
+use dsh_hamming::BitSampling;
+use dsh_index::HashTableIndex;
+use dsh_math::rng::seeded;
+use std::hint::black_box;
+
+/// The seed's per-pair verification shape: a boxed measure over owned
+/// points.
+type OwnedMeasure<P> = Box<dyn Fn(&P, &P) -> f64>;
+
+/// Verification workload: `n >= 100k` points, candidate lists of the size
+/// a batched query pass hands to the verifier.
+const VERIFY_N: usize = 200_000;
+const DENSE_D: usize = 64;
+const BIT_D: usize = 128;
+const N_CANDIDATES: usize = 50_000;
+
+/// Build workload: moderate `n` so a whole build fits a bench iteration.
+const BUILD_N: usize = 40_000;
+const BUILD_L: usize = 16;
+
+/// The seed's `DenseVector::dot`: one sequential floating-point fold (a
+/// single dependency chain), kept here verbatim as the baseline kernel.
+fn seed_dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn candidate_ids(rng: &mut dyn rand::Rng, n: usize, count: usize) -> Vec<usize> {
+    (0..count).map(|_| rng.random_range(0..n)).collect()
+}
+
+fn bench_dense_verification(c: &mut Criterion) {
+    let mut rng = seeded(0x57B1);
+    let points: Vec<DenseVector> = (0..VERIFY_N)
+        .map(|_| DenseVector::random_unit(&mut rng, DENSE_D))
+        .collect();
+    let store = DenseStore::from(points.clone());
+    let q = DenseVector::random_unit(&mut rng, DENSE_D);
+    let ids = candidate_ids(&mut rng, VERIFY_N, N_CANDIDATES);
+    let measure: OwnedMeasure<DenseVector> = Box::new(|x, y| seed_dot(x.as_slice(), y.as_slice()));
+
+    let mut group = c.benchmark_group(format!("dense_verify_n{VERIFY_N}_c{N_CANDIDATES}"));
+    group.bench_function("vec_per_point", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &i in &ids {
+                acc += measure(&points[i], &q);
+            }
+            black_box(acc)
+        })
+    });
+    let mut out = Vec::with_capacity(ids.len());
+    group.bench_function("store_batched", |b| {
+        b.iter(|| {
+            store.dot_many(&ids, q.as_slice(), &mut out);
+            black_box(out.iter().sum::<f64>())
+        })
+    });
+    group.finish();
+}
+
+fn bench_bit_verification(c: &mut Criterion) {
+    let mut rng = seeded(0x57B2);
+    let points: Vec<BitVector> = (0..VERIFY_N)
+        .map(|_| BitVector::random(&mut rng, BIT_D))
+        .collect();
+    let store = BitStore::from(points.clone());
+    let q = BitVector::random(&mut rng, BIT_D);
+    let ids = candidate_ids(&mut rng, VERIFY_N, N_CANDIDATES);
+    let measure: OwnedMeasure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+
+    let mut group = c.benchmark_group(format!("bit_verify_n{VERIFY_N}_c{N_CANDIDATES}"));
+    group.bench_function("vec_per_point", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &i in &ids {
+                acc += measure(&points[i], &q);
+            }
+            black_box(acc)
+        })
+    });
+    let mut out = Vec::with_capacity(ids.len());
+    group.bench_function("store_batched", |b| {
+        b.iter(|| {
+            store.hamming_many(&ids, q.as_blocks(), &mut out);
+            black_box(out.iter().sum::<u64>() as f64 / BIT_D as f64)
+        })
+    });
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut rng = seeded(0x57B3);
+    let points: Vec<BitVector> = (0..BUILD_N)
+        .map(|_| BitVector::random(&mut rng, BIT_D))
+        .collect();
+    let store = BitStore::from(points.clone());
+    let queries: Vec<BitVector> = (0..32)
+        .map(|_| BitVector::random(&mut rng, BIT_D))
+        .collect();
+    let fam = dsh_core::combinators::Power::new(BitSampling::new(BIT_D), 16);
+
+    // Sanity: identically seeded builds over either backend answer every
+    // query identically (the parity half of the acceptance criterion).
+    {
+        let vec_idx = HashTableIndex::build(&fam, points.clone(), BUILD_L, &mut seeded(0x57B4));
+        let store_idx = HashTableIndex::build(&fam, store.clone(), BUILD_L, &mut seeded(0x57B4));
+        for q in &queries {
+            assert_eq!(vec_idx.candidates(q, None), store_idx.candidates(q, None));
+        }
+    }
+
+    let mut group = c.benchmark_group(format!("store_index_build_n{BUILD_N}_l{BUILD_L}"));
+    group.bench_function("from_vec", |b| {
+        b.iter(|| {
+            black_box(HashTableIndex::build(
+                &fam,
+                points.clone(),
+                BUILD_L,
+                &mut seeded(0x57B5),
+            ))
+        })
+    });
+    group.bench_function("from_bit_store", |b| {
+        b.iter(|| {
+            black_box(HashTableIndex::build(
+                &fam,
+                store.clone(),
+                BUILD_L,
+                &mut seeded(0x57B5),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dense_verification,
+    bench_bit_verification,
+    bench_index_build
+);
+criterion_main!(benches);

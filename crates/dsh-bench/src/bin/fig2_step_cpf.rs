@@ -28,12 +28,11 @@ fn main() {
     let mixture = Mixture::new(
         components
             .iter()
-            .map(|c| (weight, Box::new(*c) as BoxedDshFamily<DenseVector>))
+            .map(|c| (weight, Box::new(*c) as BoxedDshFamily<[f64]>))
             .collect(),
     );
-    let mix_cpf = |delta: f64| -> f64 {
-        components.iter().map(|c| c.cpf(delta)).sum::<f64>() * weight
-    };
+    let mix_cpf =
+        |delta: f64| -> f64 { components.iter().map(|c| c.cpf(delta)).sum::<f64>() * weight };
 
     let mut rng = seeded(0xF1621);
     let distances: Vec<f64> = (1..=60).map(|i| 0.33 * i as f64).collect();

@@ -15,7 +15,14 @@ fn main() {
 
     let mut report = Report::new(
         "Figure 4 — CPFs sim(P(alpha)) from Theorem 5.1 (SimHash over Valiant embeddings)",
-        &["polynomial", "alpha", "analytic", "monte-carlo", "ci_lo", "ci_hi"],
+        &[
+            "polynomial",
+            "alpha",
+            "analytic",
+            "monte-carlo",
+            "ci_lo",
+            "ci_hi",
+        ],
     );
 
     for (name, p) in figure4_polynomials() {

@@ -13,7 +13,6 @@ use dsh_core::points::BitVector;
 use dsh_core::AnalyticCpf;
 use dsh_data::hamming_data;
 use dsh_hamming::MultiProbeBitSampling;
-use dsh_index::annulus::Measure;
 use dsh_index::RangeReportingIndex;
 use dsh_math::rng::seeded;
 
@@ -34,8 +33,7 @@ fn main() {
                 y.flip(i);
             }
             let t = dist as f64 / d as f64;
-            let est =
-                CpfEstimator::new(60_000, 0x7AB102 + dist as u64).estimate_pair(&fam, &x, &y);
+            let est = CpfEstimator::new(60_000, 0x7AB102 + dist as u64).estimate_pair(&fam, &x, &y);
             report.row(vec![
                 k.to_string(),
                 w.to_string(),
@@ -70,7 +68,7 @@ fn main() {
             truth.push(i);
         }
         points.extend(hamming_data::uniform_hamming(&mut rng, 400, d));
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = dsh_index::measures::relative_hamming(d);
         let idx = RangeReportingIndex::build(&fam, measure, 0.05, 0.2, points, l, &mut rng);
         let recall = idx.recall(&q, &truth);
         let (out, stats) = idx.query(&q);

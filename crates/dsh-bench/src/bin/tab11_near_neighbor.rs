@@ -3,11 +3,9 @@
 //! LSH structure that the paper's DSH applications are measured against.
 
 use dsh_bench::{fmt, Report};
-use dsh_core::points::BitVector;
 use dsh_data::hamming_data;
 use dsh_hamming::BitSampling;
 use dsh_index::ann::{ann_params, NearNeighborIndex};
-use dsh_index::annulus::Measure;
 use dsh_math::rng::seeded;
 
 fn main() {
@@ -34,7 +32,7 @@ fn main() {
                 d,
                 (r1_rel * d as f64) as usize,
             );
-            let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+            let measure = dsh_index::measures::relative_hamming(d);
             let idx = NearNeighborIndex::build(
                 &BitSampling::new(d),
                 measure,

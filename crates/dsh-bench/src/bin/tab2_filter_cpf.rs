@@ -17,8 +17,15 @@ fn main() {
     let mut report = Report::new(
         "T2 — filter family D-: exact CPF vs Lemma A.5 envelope vs Theorem 1.2 exponent",
         &[
-            "t", "m", "alpha", "exact f", "A.5 lower", "A.5 upper", "ln(1/f)",
-            "lead", "excess/ln t",
+            "t",
+            "m",
+            "alpha",
+            "exact f",
+            "A.5 lower",
+            "A.5 upper",
+            "ln(1/f)",
+            "lead",
+            "excess/ln t",
         ],
     );
     for &t in &[1.5f64, 2.0, 2.5, 3.0] {

@@ -12,17 +12,16 @@
 use dsh_bench::{fmt, fmt_sci, Report};
 use dsh_core::estimate::CpfEstimator;
 use dsh_core::family::DshFamily;
-use dsh_core::points::BitVector;
+use dsh_core::AnalyticCpf;
 use dsh_data::hamming_data::correlated_pair;
 use dsh_hamming::{AntiBitSampling, BitSampling};
-use dsh_core::AnalyticCpf;
 use dsh_sphere::filter::FilterDshMinus;
 use dsh_sphere::geometry::correlated_corner_pair;
 
 fn check_family_hamming(
     report: &mut Report,
     name: &str,
-    fam: &(impl DshFamily<BitVector> + ?Sized),
+    fam: &(impl DshFamily<[u64]> + ?Sized),
     d: usize,
     alphas: &[f64],
 ) {
@@ -50,7 +49,14 @@ fn check_family_hamming(
 fn main() {
     let mut report = Report::new(
         "T3 — Theorem 1.3: f^(a) >= f^(0)^((1+a)/(1-a)) (and the Lemma 3.10 mirror)",
-        &["family", "alpha", "f^(alpha)", "lower bd", "upper bd", "within"],
+        &[
+            "family",
+            "alpha",
+            "f^(alpha)",
+            "lower bd",
+            "upper bd",
+            "within",
+        ],
     );
     let d = 512;
     let alphas = [0.2, 0.5, 0.8];

@@ -31,7 +31,16 @@ fn main() {
     let d = 120;
     let mut report = Report::new(
         "T5 — Theorem 5.2: measured CPF vs P(t)/Delta",
-        &["P(t)", "Delta", "paperDelta", "t", "target", "measured", "ci_lo", "ci_hi"],
+        &[
+            "P(t)",
+            "Delta",
+            "paperDelta",
+            "t",
+            "target",
+            "measured",
+            "ci_lo",
+            "ci_hi",
+        ],
     );
 
     for (name, p) in cases {

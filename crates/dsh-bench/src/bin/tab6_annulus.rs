@@ -11,9 +11,8 @@
 use dsh_bench::{fmt, Report};
 use dsh_core::AnalyticCpf;
 use dsh_data::sphere_data::planted_sphere_instance;
-use dsh_index::annulus::{AnnulusIndex, Measure};
+use dsh_index::annulus::AnnulusIndex;
 use dsh_index::linear_scan::LinearScan;
-use dsh_core::points::DenseVector;
 use dsh_math::rng::seeded;
 use dsh_sphere::unimodal::{annulus_interval, annulus_rho, UnimodalFilterDsh};
 
@@ -28,7 +27,13 @@ fn main() {
     let mut report = Report::new(
         "T6 — sphere annulus search (Thm 6.2/6.4): success >= 1/2, sublinear candidate work",
         &[
-            "n", "t", "L", "success", "avg retrieved", "avg dist comps", "scan cost",
+            "n",
+            "t",
+            "L",
+            "success",
+            "avg retrieved",
+            "avg dist comps",
+            "scan cost",
             "work ratio",
         ],
     );
@@ -49,7 +54,7 @@ fn main() {
         for run in 0..runs {
             let mut rng = seeded(0x7AB61 + run as u64);
             let inst = planted_sphere_instance(&mut rng, n, d, alpha_max);
-            let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
+            let measure = dsh_index::measures::inner_product();
             let idx = AnnulusIndex::build(&fam, measure, (lo, hi), inst.points, l, &mut rng);
             let (hit, stats) = idx.query(&inst.query);
             if hit.is_some() {
@@ -62,7 +67,7 @@ fn main() {
             // Average linear-scan cost to find the planted point.
             let mut rng = seeded(0x7AB62);
             let inst = planted_sphere_instance(&mut rng, n, d, alpha_max);
-            let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
+            let measure = dsh_index::measures::inner_product();
             let scan = LinearScan::new(inst.points, measure);
             let (_, evals) = scan.find_in_interval(&inst.query, lo, hi);
             evals

@@ -12,7 +12,6 @@ use dsh_core::points::BitVector;
 use dsh_core::BoxedDshFamily;
 use dsh_data::hamming_data;
 use dsh_hamming::{AntiBitSampling, BitSampling};
-use dsh_index::annulus::Measure;
 use dsh_index::range_reporting::RangeReportingIndex;
 use dsh_math::rng::seeded;
 
@@ -25,18 +24,23 @@ fn main() {
     let mut report = Report::new(
         "T7 — range reporting (Thm 6.5): step CPF bounds duplicates per result",
         &[
-            "|S*|", "family", "L", "recall", "reported", "dups/result/L", "retrieved",
+            "|S*|",
+            "family",
+            "L",
+            "recall",
+            "reported",
+            "dups/result/L",
+            "retrieved",
         ],
     );
 
     for &close in &[10usize, 50, 200] {
         for step in [false, true] {
             let k = 10usize;
-            let (fam, f_r, label): (BoxedDshFamily<BitVector>, f64, &str) = if step {
+            let (fam, f_r, label): (BoxedDshFamily<[u64]>, f64, &str) = if step {
                 (
                     Box::new(Concat::new(vec![
-                        Box::new(Power::new(BitSampling::new(d), k))
-                            as BoxedDshFamily<BitVector>,
+                        Box::new(Power::new(BitSampling::new(d), k)) as BoxedDshFamily<[u64]>,
                         Box::new(AntiBitSampling::new(d)),
                     ])),
                     (1.0 - r).powi(k as i32) * r,
@@ -65,16 +69,15 @@ fn main() {
             }
             points.extend(hamming_data::uniform_hamming(&mut rng, far, d));
 
-            let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
-            let idx =
-                RangeReportingIndex::build(&fam, measure, r, r_plus, points, l, &mut rng);
+            let measure = dsh_index::measures::relative_hamming(d);
+            let idx = RangeReportingIndex::build(&fam, measure, r, r_plus, points, l, &mut rng);
             // One query pass serves both the report row and the recall
             // figure (the `recall` helper would re-run the whole query).
             let (out, stats) = idx.query(&q);
             let recall =
                 truth.iter().filter(|i| out.contains(i)).count() as f64 / truth.len() as f64;
-            let dup_norm = stats.duplicates as f64
-                / (out.len().max(1) as f64 * idx.repetitions() as f64);
+            let dup_norm =
+                stats.duplicates as f64 / (out.len().max(1) as f64 * idx.repetitions() as f64);
             report.row(vec![
                 close.to_string(),
                 label.to_string(),

@@ -23,7 +23,13 @@ fn main() {
     let mut report = Report::new(
         "T8 — §6.4 protocol: measured error rates and leakage",
         &[
-            "family", "c", "N", "eps target", "eps_hat", "delta_hat", "mean |I| @r",
+            "family",
+            "c",
+            "N",
+            "eps target",
+            "eps_hat",
+            "delta_hat",
+            "mean |I| @r",
             "mean leak bits",
         ],
     );
@@ -42,13 +48,9 @@ fn main() {
         let mut leak = 0.0;
         for _ in 0..runs {
             let x = BitVector::random(&mut rng, d);
-            let close =
-                hamming_data::point_at_distance(&mut rng, &x, (r_rel * d as f64) as usize);
-            let far = hamming_data::point_at_distance(
-                &mut rng,
-                &x,
-                (c * r_rel * d as f64) as usize,
-            );
+            let close = hamming_data::point_at_distance(&mut rng, &x, (r_rel * d as f64) as usize);
+            let far =
+                hamming_data::point_at_distance(&mut rng, &x, (c * r_rel * d as f64) as usize);
             let out_close = proto.run(&x, &close);
             if !out_close.answer {
                 false_neg += 1;
@@ -80,8 +82,8 @@ fn main() {
     let n_hashes = 2000;
     let mut rng = seeded(0x7AB82);
     let plain = Power::new(BitSampling::new(d), k);
-    let step: Concat<BitVector> = Concat::new(vec![
-        Box::new(Power::new(BitSampling::new(d), k)) as BoxedDshFamily<BitVector>,
+    let step: Concat<[u64]> = Concat::new(vec![
+        Box::new(Power::new(BitSampling::new(d), k)) as BoxedDshFamily<[u64]>,
         Box::new(AntiBitSampling::new(d)),
     ]);
     let proto_plain = DistanceEstimationProtocol::new(&plain, n_hashes, 16, &mut rng);
@@ -91,8 +93,11 @@ fn main() {
         let mut sizes = [0usize; 3];
         for _ in 0..runs {
             let x = BitVector::random(&mut rng, d);
-            for (j, dist) in [0usize, (r_rel * d as f64 / 2.0) as usize,
-                (r_rel * d as f64) as usize]
+            for (j, dist) in [
+                0usize,
+                (r_rel * d as f64 / 2.0) as usize,
+                (r_rel * d as f64) as usize,
+            ]
             .into_iter()
             .enumerate()
             {

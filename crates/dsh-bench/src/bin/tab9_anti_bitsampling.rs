@@ -12,7 +12,15 @@ use dsh_hamming::AntiBitSampling;
 fn main() {
     let mut report = Report::new(
         "T9 — anti bit-sampling rho (Theta(1/ln c)) vs sphere-route rho (~1/c), small r",
-        &["r", "c", "rho anti", "rho sphere", "anti/sphere", "1/ln c", "1/c"],
+        &[
+            "r",
+            "c",
+            "rho anti",
+            "rho sphere",
+            "anti/sphere",
+            "1/ln c",
+            "1/c",
+        ],
     );
     for &r in &[0.01f64, 0.001] {
         for &c in &[2.0f64, 4.0, 8.0, 16.0, 32.0] {
@@ -39,6 +47,8 @@ fn main() {
         }
     }
     report.note("rho smaller = better separation; the sphere route wins at every c and r");
-    report.note("rho_anti tracks 1/ln c while rho_sphere tracks 1/c — the §4.1 'perhaps surprising' gap");
+    report.note(
+        "rho_anti tracks 1/ln c while rho_sphere tracks 1/c — the §4.1 'perhaps surprising' gap",
+    );
     report.emit("tab9_anti_bitsampling");
 }

@@ -15,6 +15,7 @@
 
 use crate::family::{BoxedDshFamily, DshFamily, HasherPair};
 use crate::hash::{combine, combine_iter};
+use crate::points::AsRow;
 use rand::Rng;
 
 /// Concatenation (Lemma 1.4(a)): collides iff all parts collide, so the
@@ -30,7 +31,7 @@ use rand::Rng;
 ///     Box::new(NeverCollide),
 /// ]);
 /// let mut rng = dsh_math::rng::seeded(7);
-/// assert!(!fam.sample(&mut rng).collides(&1, &1));
+/// assert!(!fam.sample(&mut rng).collides(&1u64, &1u64));
 /// ```
 pub struct Concat<P: ?Sized> {
     parts: Vec<BoxedDshFamily<P>>,
@@ -198,12 +199,11 @@ impl<P: ?Sized + 'static> DshFamily<P> for NeverCollide {
 /// Affine CPF rescaling: from a family with CPF `f`, build one with CPF
 /// `a * f + b` (requires `a, b >= 0`, `a + b <= 1`). Realized as the
 /// mixture `a * f + b * Always + (1 - a - b) * Never`.
-pub fn affine<P: ?Sized + 'static>(
-    family: BoxedDshFamily<P>,
-    a: f64,
-    b: f64,
-) -> Mixture<P> {
-    assert!(a >= 0.0 && b >= 0.0 && a + b <= 1.0 + 1e-12, "invalid affine map ({a}, {b})");
+pub fn affine<P: ?Sized + 'static>(family: BoxedDshFamily<P>, a: f64, b: f64) -> Mixture<P> {
+    assert!(
+        a >= 0.0 && b >= 0.0 && a + b <= 1.0 + 1e-12,
+        "invalid affine map ({a}, {b})"
+    );
     let rest = (1.0 - a - b).max(0.0);
     Mixture::new(vec![
         (a, family),
@@ -268,8 +268,8 @@ impl<F, M1, M2> MapPointsAsym<F, M1, M2> {
 impl<P, Q, F, M> DshFamily<P> for MapPoints<F, M>
 where
     P: ?Sized + 'static,
-    Q: 'static,
-    F: DshFamily<Q>,
+    Q: AsRow + 'static,
+    F: DshFamily<Q::Row>,
     M: Fn(&P) -> Q + Send + Sync + 'static,
 {
     fn sample(&self, rng: &mut dyn Rng) -> HasherPair<P> {
@@ -278,8 +278,8 @@ where
         let md = self.map.clone();
         let mq = self.map.clone();
         HasherPair::from_fns(
-            move |x: &P| d.hash(&md(x)),
-            move |y: &P| q.hash(&mq(y)),
+            move |x: &P| d.hash(md(x).as_row()),
+            move |y: &P| q.hash(mq(y).as_row()),
         )
     }
 
@@ -291,8 +291,8 @@ where
 impl<P, Q, F, M1, M2> DshFamily<P> for MapPointsAsym<F, M1, M2>
 where
     P: ?Sized + 'static,
-    Q: 'static,
-    F: DshFamily<Q>,
+    Q: AsRow + 'static,
+    F: DshFamily<Q::Row>,
     M1: Fn(&P) -> Q + Send + Sync + 'static,
     M2: Fn(&P) -> Q + Send + Sync + 'static,
 {
@@ -302,8 +302,8 @@ where
         let md = self.map_data.clone();
         let mq = self.map_query.clone();
         HasherPair::from_fns(
-            move |x: &P| d.hash(&md(x)),
-            move |y: &P| q.hash(&mq(y)),
+            move |x: &P| d.hash(md(x).as_row()),
+            move |y: &P| q.hash(mq(y).as_row()),
         )
     }
 
@@ -319,11 +319,12 @@ mod tests {
     use crate::family::SymmetricFamily;
     use crate::points::BitVector;
 
-    /// Bit-sampling on `{0,1}^d`: CPF `1 - t` in relative Hamming distance.
-    fn bit_sampling(d: usize) -> impl DshFamily<BitVector> {
+    /// Bit-sampling on `{0,1}^d` rows: CPF `1 - t` in relative Hamming
+    /// distance.
+    fn bit_sampling(d: usize) -> impl DshFamily<[u64]> {
         SymmetricFamily::new("bits", move |rng: &mut dyn Rng| {
             let i = rng.random_range(0..d);
-            crate::family::FnHasher(move |x: &BitVector| x.get(i) as u64)
+            crate::family::FnHasher(move |x: &[u64]| crate::points::get_bit(x, i) as u64)
         })
     }
 
@@ -342,7 +343,13 @@ mod tests {
         let fam = Concat::new(vec![Box::new(bit_sampling(d)), Box::new(bit_sampling(d))]);
         let (x, y) = test_points(d, 30); // f = 0.7 each, product 0.49
         let est = CpfEstimator::new(40_000, 1234).estimate_pair(&fam, &x, &y);
-        assert!(est.contains(0.49), "got {} in [{},{}]", est.estimate, est.lo, est.hi);
+        assert!(
+            est.contains(0.49),
+            "got {} in [{},{}]",
+            est.estimate,
+            est.lo,
+            est.hi
+        );
     }
 
     #[test]
@@ -359,7 +366,7 @@ mod tests {
     fn mixture_averages() {
         let d = 100;
         let fam = Mixture::new(vec![
-            (0.5, Box::new(bit_sampling(d)) as BoxedDshFamily<BitVector>),
+            (0.5, Box::new(bit_sampling(d)) as BoxedDshFamily<[u64]>),
             (0.5, Box::new(NeverCollide)),
         ]);
         let (x, y) = test_points(d, 40); // 0.5 * 0.6 = 0.3
@@ -372,12 +379,15 @@ mod tests {
         let d = 10;
         let (x, y) = test_points(d, 5);
         let mut rng = dsh_math::rng::seeded(1);
-        let a = DshFamily::<BitVector>::sample(&AlwaysCollide, &mut rng);
+        let a = DshFamily::<[u64]>::sample(&AlwaysCollide, &mut rng);
         assert!(a.collides(&x, &y));
         assert!(a.collides(&x, &x));
-        let n = DshFamily::<BitVector>::sample(&NeverCollide, &mut rng);
+        let n = DshFamily::<[u64]>::sample(&NeverCollide, &mut rng);
         assert!(!n.collides(&x, &y));
-        assert!(!n.collides(&x, &x), "NeverCollide must not collide even at distance 0");
+        assert!(
+            !n.collides(&x, &x),
+            "NeverCollide must not collide even at distance 0"
+        );
     }
 
     #[test]
@@ -402,8 +412,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn mixture_rejects_bad_weights() {
-        let _ = Mixture::<BitVector>::new(vec![
-            (0.5, Box::new(AlwaysCollide) as BoxedDshFamily<BitVector>),
+        let _ = Mixture::<[u64]>::new(vec![
+            (0.5, Box::new(AlwaysCollide) as BoxedDshFamily<[u64]>),
             (0.2, Box::new(NeverCollide)),
         ]);
     }
@@ -411,19 +421,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one part")]
     fn concat_rejects_empty() {
-        let _ = Concat::<BitVector>::new(vec![]);
+        let _ = Concat::<[u64]>::new(vec![]);
     }
 
     #[test]
     fn names_are_descriptive() {
         let d = 10;
         let c = Concat::new(vec![
-            Box::new(bit_sampling(d)) as BoxedDshFamily<BitVector>,
+            Box::new(bit_sampling(d)) as BoxedDshFamily<[u64]>,
             Box::new(AlwaysCollide),
         ]);
         assert_eq!(c.name(), "Concat[bits, Always]");
         assert_eq!(c.arity(), 2);
         let p = Power::new(bit_sampling(d), 4);
-        assert_eq!(DshFamily::<BitVector>::name(&p), "bits^4");
+        assert_eq!(DshFamily::<[u64]>::name(&p), "bits^4");
     }
 }

@@ -52,7 +52,10 @@ pub fn alpha_to_euclidean(alpha: f64) -> f64 {
 /// Euclidean distance between unit vectors -> inner product:
 /// `alpha = 1 - tau^2 / 2`.
 pub fn euclidean_to_alpha(tau: f64) -> f64 {
-    assert!((0.0..=2.0).contains(&tau), "unit-sphere distances lie in [0,2]");
+    assert!(
+        (0.0..=2.0).contains(&tau),
+        "unit-sphere distances lie in [0,2]"
+    );
     1.0 - tau * tau / 2.0
 }
 
@@ -149,9 +152,7 @@ mod tests {
         let e2 = DenseVector::new(vec![0.0, 1.0]);
         assert!((angular_distance(&e1, &e2) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
         assert!(angular_distance(&e1, &e1).abs() < 1e-6);
-        assert!(
-            (angular_distance(&e1, &e1.negated()) - std::f64::consts::PI).abs() < 1e-6
-        );
+        assert!((angular_distance(&e1, &e1.negated()) - std::f64::consts::PI).abs() < 1e-6);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! with ad-hoc tolerances.
 
 use crate::family::DshFamily;
+use crate::points::AsRow;
 use dsh_math::rng::{child, derive_seed};
 use dsh_math::stats::Proportion;
 use rand::Rng;
@@ -39,13 +40,19 @@ impl CpfEstimator {
         self
     }
 
-    /// Estimate `Pr[h(x) = g(y)]` for one fixed pair of points.
-    pub fn estimate_pair<P: ?Sized>(
+    /// Estimate `Pr[h(x) = g(y)]` for one fixed pair of points. The
+    /// family hashes rows; `x` and `y` may be owned points, row views, or
+    /// raw rows (anything with [`AsRow`]).
+    pub fn estimate_pair<P: ?Sized, X, Y>(
         &self,
         family: &(impl DshFamily<P> + ?Sized),
-        x: &P,
-        y: &P,
-    ) -> Proportion {
+        x: &X,
+        y: &Y,
+    ) -> Proportion
+    where
+        X: AsRow<Row = P> + ?Sized,
+        Y: AsRow<Row = P> + ?Sized,
+    {
         let mut hits = 0u64;
         let mut rng = child(self.seed, 0);
         for _ in 0..self.trials {
@@ -61,10 +68,10 @@ impl CpfEstimator {
     /// curve when sampling a function is expensive (e.g. cross-polytope
     /// rotations); estimates at different pairs share randomness but each
     /// is individually unbiased.
-    pub fn estimate_curve<P>(
+    pub fn estimate_curve<P: ?Sized, Q: AsRow<Row = P>>(
         &self,
         family: &(impl DshFamily<P> + ?Sized),
-        pairs: &[(P, P)],
+        pairs: &[(Q, Q)],
     ) -> Vec<Proportion> {
         let mut hits = vec![0u64; pairs.len()];
         let mut rng = child(self.seed, 0);
@@ -84,13 +91,13 @@ impl CpfEstimator {
     /// Estimate the *probabilistic CPF* of Definition 3.3: both the pair
     /// `(h, g)` and the point pair `(x, y)` are redrawn every trial, with
     /// `(x, y)` produced by `gen` (e.g. randomly alpha-correlated points).
-    pub fn estimate_probabilistic<P, G>(
+    pub fn estimate_probabilistic<P: ?Sized, Q: AsRow<Row = P>, G>(
         &self,
         family: &(impl DshFamily<P> + ?Sized),
         mut gen: G,
     ) -> Proportion
     where
-        G: FnMut(&mut dyn Rng) -> (P, P),
+        G: FnMut(&mut dyn Rng) -> (Q, Q),
     {
         let mut hits = 0u64;
         for t in 0..self.trials {
@@ -105,13 +112,17 @@ impl CpfEstimator {
 }
 
 /// One-shot convenience wrapper around [`CpfEstimator::estimate_pair`].
-pub fn estimate_collision_probability<P: ?Sized>(
+pub fn estimate_collision_probability<P: ?Sized, X, Y>(
     family: &(impl DshFamily<P> + ?Sized),
-    x: &P,
-    y: &P,
+    x: &X,
+    y: &Y,
     trials: u64,
     seed: u64,
-) -> Proportion {
+) -> Proportion
+where
+    X: AsRow<Row = P> + ?Sized,
+    Y: AsRow<Row = P> + ?Sized,
+{
     CpfEstimator::new(trials, seed).estimate_pair(family, x, y)
 }
 

@@ -5,6 +5,7 @@
 //! with `g`; the scheme's behaviour is entirely described by its collision
 //! probability function `f(dist(x, y)) = Pr[h(x) = g(y)]`.
 
+use crate::points::AsRow;
 use rand::Rng;
 use std::sync::Arc;
 
@@ -39,10 +40,7 @@ pub struct HasherPair<P: ?Sized> {
 
 impl<P: ?Sized> HasherPair<P> {
     /// Build from two hashers.
-    pub fn new(
-        data: impl PointHasher<P> + 'static,
-        query: impl PointHasher<P> + 'static,
-    ) -> Self {
+    pub fn new(data: impl PointHasher<P> + 'static, query: impl PointHasher<P> + 'static) -> Self {
         HasherPair {
             data: Arc::new(data),
             query: Arc::new(query),
@@ -67,8 +65,16 @@ impl<P: ?Sized> HasherPair<P> {
     }
 
     /// Whether data point `x` and query point `y` collide: `h(x) == g(y)`.
-    pub fn collides(&self, x: &P, y: &P) -> bool {
-        self.data.hash(x) == self.query.hash(y)
+    ///
+    /// Accepts anything whose [`AsRow`] row is `P`: owned points
+    /// ([`crate::points::BitVector`] / [`crate::points::DenseVector`]),
+    /// store row views, or raw rows themselves.
+    pub fn collides<X, Y>(&self, x: &X, y: &Y) -> bool
+    where
+        X: AsRow<Row = P> + ?Sized,
+        Y: AsRow<Row = P> + ?Sized,
+    {
+        self.data.hash(x.as_row()) == self.query.hash(y.as_row())
     }
 
     /// Swap the roles of `h` and `g`. If the original family has CPF
@@ -103,7 +109,7 @@ impl<P: ?Sized> HasherPair<P> {
 ///
 /// let mut rng = dsh_math::rng::seeded(1);
 /// let pair = ModFamily.sample(&mut rng);
-/// assert!(pair.collides(&12, &12));
+/// assert!(pair.collides(&12u64, &12u64));
 /// ```
 pub trait DshFamily<P: ?Sized>: Send + Sync {
     /// Draw one `(h, g)` pair.
@@ -194,8 +200,8 @@ mod tests {
     #[test]
     fn hasher_pair_collides() {
         let pair = HasherPair::new(ParityHasher, ParityHasher);
-        assert!(pair.collides(&2, &4));
-        assert!(!pair.collides(&2, &3));
+        assert!(pair.collides(&2u64, &4u64));
+        assert!(!pair.collides(&2u64, &3u64));
     }
 
     #[test]
@@ -208,20 +214,17 @@ mod tests {
     fn from_fns_and_swapped() {
         let pair = HasherPair::<u64>::from_fns(|x| *x, |x| x + 1);
         // h(x) = x, g(y) = y + 1: x collides with y iff x = y + 1.
-        assert!(pair.collides(&5, &4));
-        assert!(!pair.collides(&5, &5));
+        assert!(pair.collides(&5u64, &4u64));
+        assert!(!pair.collides(&5u64, &5u64));
         let sw = pair.swapped();
-        assert!(sw.collides(&4, &5));
+        assert!(sw.collides(&4u64, &5u64));
     }
 
     struct RandomSignFamily;
     impl DshFamily<u64> for RandomSignFamily {
         fn sample(&self, rng: &mut dyn Rng) -> HasherPair<u64> {
             let flip: bool = rng.random_bool(0.5);
-            HasherPair::from_fns(
-                move |x| x ^ (flip as u64),
-                |y| *y,
-            )
+            HasherPair::from_fns(move |x| x ^ (flip as u64), |y| *y)
         }
     }
 
@@ -232,7 +235,7 @@ mod tests {
         let mut outcomes = std::collections::HashSet::new();
         for _ in 0..32 {
             let pair = fam.sample(&mut rng);
-            outcomes.insert(pair.collides(&0, &0));
+            outcomes.insert(pair.collides(&0u64, &0u64));
         }
         // Both collide and non-collide outcomes occur.
         assert_eq!(outcomes.len(), 2);
@@ -251,7 +254,7 @@ mod tests {
         let fam = SymmetricFamily::new("parity", |_rng: &mut dyn Rng| ParityHasher);
         let mut rng = StdRng::seed_from_u64(1);
         let pair = fam.sample(&mut rng);
-        assert!(pair.collides(&2, &2));
+        assert!(pair.collides(&2u64, &2u64));
         assert_eq!(DshFamily::<u64>::name(&fam), "parity");
     }
 }

@@ -18,7 +18,10 @@
 //! * [`family::DshFamily`] — the distribution over `(h, g)` pairs, sampled
 //!   with an explicit RNG so everything is reproducible;
 //! * [`points`] — packed [`points::BitVector`] for Hamming space and
-//!   [`points::DenseVector`] for `R^d`;
+//!   [`points::DenseVector`] for `R^d`, plus the flat storage layer
+//!   ([`points::DenseStore`] / [`points::BitStore`] with the
+//!   [`points::PointStore`] trait and slice distance kernels) that the
+//!   index substrate hashes and verifies against;
 //! * [`distance`] — the distance/similarity measures used throughout the
 //!   paper, including the `simH` similarity of §3;
 //! * [`combinators`] — Lemma 1.4: concatenation/powering (CPF product) and
@@ -43,4 +46,6 @@ pub mod points;
 pub use cpf::AnalyticCpf;
 pub use family::{BoxedDshFamily, DshFamily, HasherPair, PointHasher};
 pub use minhash::{MinHash, TokenSet};
-pub use points::{BitVector, DenseVector};
+pub use points::{
+    AsRow, BitRef, BitStore, BitVector, DenseRef, DenseStore, DenseVector, PointStore,
+};

@@ -1,4 +1,4 @@
-//! Min-wise hashing over token sets (Broder [15, 16] in the paper's
+//! Min-wise hashing over token sets (Broder \[15, 16\] in the paper's
 //! bibliography) — the classical symmetric LSH for Jaccard similarity,
 //! and the mechanism §1.2 cites for converting locality-sensitive *maps*
 //! into asymmetric LSH families ([21, Theorem 1.4]).
@@ -10,6 +10,7 @@
 
 use crate::family::{DshFamily, HasherPair};
 use crate::hash::mix64;
+use crate::points::AsRow;
 use rand::Rng;
 
 /// A set of 64-bit tokens (e.g. shingle fingerprints of a document),
@@ -93,6 +94,15 @@ impl TokenSet {
             })
             .collect();
         TokenSet::new(tokens)
+    }
+}
+
+impl AsRow for TokenSet {
+    /// Token sets are their own row: there is no flat multi-set store, so
+    /// hashing and estimation operate on the owned representation.
+    type Row = TokenSet;
+    fn as_row(&self) -> &TokenSet {
+        self
     }
 }
 

@@ -1,5 +1,20 @@
-//! Point types: packed bit vectors for Hamming space `{0,1}^d` and dense
-//! vectors for `R^d` / the unit sphere `S^{d-1}`.
+//! Point types and the flat point-storage layer.
+//!
+//! Two owned point types — packed [`BitVector`] for Hamming space
+//! `{0,1}^d` and [`DenseVector`] for `R^d` / the unit sphere `S^{d-1}` —
+//! plus the contiguous stores the index substrate is built on:
+//!
+//! * slice **kernels** ([`dot`], [`euclidean`], [`hamming`]) operating on
+//!   raw rows (`[f64]` / `[u64]`), with blocked batch variants
+//!   ([`DenseStore::dot_many`], [`BitStore::hamming_many`]) that verify a
+//!   whole candidate list against contiguous rows in one pass;
+//! * the [`AsRow`] bridge from owned points to their borrowed row type;
+//! * the [`PointStore`] trait over row-addressable point collections, with
+//!   [`DenseStore`] (row-major `Vec<f64>`) and [`BitStore`] (contiguous
+//!   `Vec<u64>` blocks) as the flat implementations and `Vec<P>` kept as
+//!   the pointer-per-point compatibility implementation;
+//! * zero-copy row views [`DenseRef`] / [`BitRef`] carrying the dimension
+//!   for ergonomic distance evaluation.
 
 use rand::Rng;
 
@@ -73,13 +88,21 @@ impl BitVector {
 
     /// Get bit `i`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (d = {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (d = {})",
+            self.len
+        );
         (self.blocks[i / 64] >> (i % 64)) & 1 == 1
     }
 
     /// Set bit `i`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (d = {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (d = {})",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.blocks[i / 64] |= mask;
@@ -90,7 +113,11 @@ impl BitVector {
 
     /// Flip bit `i`.
     pub fn flip(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range (d = {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (d = {})",
+            self.len
+        );
         self.blocks[i / 64] ^= 1u64 << (i % 64);
     }
 
@@ -99,14 +126,27 @@ impl BitVector {
         self.blocks.iter().map(|b| b.count_ones() as u64).sum()
     }
 
+    /// The packed blocks (the vector's row in a [`BitStore`]-compatible
+    /// layout): bit `i` is `blocks[i / 64] >> (i % 64) & 1`, tail bits
+    /// beyond `len` are zero.
+    pub fn as_blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Rebuild from packed blocks (the inverse of
+    /// [`BitVector::as_blocks`]). Tail bits beyond `len` are masked to
+    /// zero; `blocks.len()` must be exactly `len.div_ceil(64)`.
+    pub fn from_blocks(blocks: Vec<u64>, len: usize) -> Self {
+        assert_eq!(blocks.len(), len.div_ceil(64), "block count mismatch");
+        let mut v = BitVector { blocks, len };
+        v.mask_tail();
+        v
+    }
+
     /// Hamming distance `||x - y||_1` to another vector of equal dimension.
     pub fn hamming(&self, other: &BitVector) -> u64 {
         assert_eq!(self.len, other.len, "dimension mismatch");
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| (a ^ b).count_ones() as u64)
-            .sum()
+        hamming(&self.blocks, &other.blocks)
     }
 
     /// Relative Hamming distance `||x - y||_1 / d` in `[0, 1]`.
@@ -180,14 +220,11 @@ impl DenseVector {
         &self.components
     }
 
-    /// Inner product with another vector of equal dimension.
+    /// Inner product with another vector of equal dimension. Delegates to
+    /// the slice kernel [`dot`], so owned vectors and store rows produce
+    /// bit-identical values.
     pub fn dot(&self, other: &DenseVector) -> f64 {
-        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        self.components
-            .iter()
-            .zip(&other.components)
-            .map(|(a, b)| a * b)
-            .sum()
+        dot(&self.components, &other.components)
     }
 
     /// Euclidean norm.
@@ -195,15 +232,10 @@ impl DenseVector {
         self.dot(self).sqrt()
     }
 
-    /// Euclidean distance to another vector.
+    /// Euclidean distance to another vector. Delegates to the slice kernel
+    /// [`euclidean`].
     pub fn euclidean(&self, other: &DenseVector) -> f64 {
-        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        self.components
-            .iter()
-            .zip(&other.components)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        euclidean(&self.components, &other.components)
     }
 
     /// Scale by a constant.
@@ -264,6 +296,570 @@ impl DenseVector {
                 .map(|_| if rng.random_bool(0.5) { s } else { -s })
                 .collect(),
         )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice kernels
+// ---------------------------------------------------------------------------
+
+/// Read bit `i` of a packed `[u64]` row (a [`BitStore`] row or
+/// [`BitVector::as_blocks`]).
+#[inline]
+pub fn get_bit(blocks: &[u64], i: usize) -> bool {
+    (blocks[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Inner product of two equal-length rows.
+///
+/// Evaluated with four independent accumulators so the compiler can keep
+/// four multiply-adds in flight instead of serializing on one running sum
+/// (a sequential `iter().sum()` is a single floating-point dependency
+/// chain the compiler may not reassociate). The summation order differs
+/// from a left-to-right fold by O(eps) reassociation error only.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut acc = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (pa, pb) in (&mut ca).zip(&mut cb) {
+        acc[0] += pa[0] * pb[0];
+        acc[1] += pa[1] * pb[1];
+        acc[2] += pa[2] * pb[2];
+        acc[3] += pa[3] * pb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Euclidean distance between two equal-length rows (same blocked
+/// evaluation as [`dot`]).
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut acc = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (pa, pb) in (&mut ca).zip(&mut cb) {
+        let d0 = pa[0] - pb[0];
+        let d1 = pa[1] - pb[1];
+        let d2 = pa[2] - pb[2];
+        let d3 = pa[3] - pb[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += (x - y) * (x - y);
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3]) + tail).sqrt()
+}
+
+/// Hamming distance between two equal-length packed rows (xor-popcount
+/// over the blocks; tail bits beyond the dimension must be zero, which
+/// every [`BitVector`]/[`BitStore`] constructor guarantees).
+pub fn hamming(a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x ^ y).count_ones() as u64)
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// Owned point -> borrowed row bridge
+// ---------------------------------------------------------------------------
+
+/// Types that expose a borrowed row — the bridge between owned points and
+/// the slice-based hashing/verification layer.
+///
+/// Hash families and measures operate on the row type (`[f64]` for dense
+/// points, `[u64]` for packed bit points); owned [`DenseVector`] /
+/// [`BitVector`] values, store row views, and rows themselves all
+/// implement `AsRow`, so query APIs accept any of them interchangeably.
+pub trait AsRow {
+    /// The borrowed row type (`[f64]`, `[u64]`, or `Self` for point types
+    /// that are their own row, e.g. scalars).
+    type Row: ?Sized + 'static;
+
+    /// Borrow the row.
+    fn as_row(&self) -> &Self::Row;
+}
+
+impl AsRow for DenseVector {
+    type Row = [f64];
+    fn as_row(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl AsRow for BitVector {
+    type Row = [u64];
+    fn as_row(&self) -> &[u64] {
+        self.as_blocks()
+    }
+}
+
+impl AsRow for [f64] {
+    type Row = [f64];
+    fn as_row(&self) -> &[f64] {
+        self
+    }
+}
+
+impl AsRow for [u64] {
+    type Row = [u64];
+    fn as_row(&self) -> &[u64] {
+        self
+    }
+}
+
+/// Scalar (and other self-describing) point types are their own row.
+macro_rules! self_row {
+    ($($t:ty),*) => {$(
+        impl AsRow for $t {
+            type Row = $t;
+            fn as_row(&self) -> &$t {
+                self
+            }
+        }
+    )*};
+}
+self_row!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+// ---------------------------------------------------------------------------
+// Point stores
+// ---------------------------------------------------------------------------
+
+/// A row-addressable collection of points, the storage abstraction the
+/// index layer builds from and verifies against.
+///
+/// The flat implementations are [`DenseStore`] and [`BitStore`]; `Vec<P>`
+/// (one heap allocation per point) is kept as the compatibility
+/// implementation so existing call sites keep working and so store-built
+/// indexes can be checked query-for-query against Vec-built ones.
+pub trait PointStore: Send + Sync {
+    /// The borrowed row type handed to hash functions and measures.
+    type Row: ?Sized + 'static;
+
+    /// Number of stored points.
+    fn len(&self) -> usize;
+
+    /// True when no points are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow row `i`.
+    fn row(&self, i: usize) -> &Self::Row;
+}
+
+impl<P: AsRow + Send + Sync> PointStore for Vec<P> {
+    type Row = P::Row;
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+    fn row(&self, i: usize) -> &P::Row {
+        self[i].as_row()
+    }
+}
+
+impl<P: AsRow + Send + Sync> PointStore for [P] {
+    type Row = P::Row;
+    fn len(&self) -> usize {
+        <[P]>::len(self)
+    }
+    fn row(&self, i: usize) -> &P::Row {
+        self[i].as_row()
+    }
+}
+
+/// Row-major contiguous storage for `n` points of `R^d`: one `Vec<f64>`
+/// of length `n * d` instead of `n` separately allocated vectors, so
+/// hashing and candidate verification stream rows at memory bandwidth.
+///
+/// ```
+/// use dsh_core::points::{DenseStore, PointStore};
+/// let mut store = DenseStore::with_dim(3);
+/// store.push(&[1.0, 0.0, 0.0]);
+/// store.push(&[0.0, 1.0, 0.0]);
+/// assert_eq!(store.len(), 2);
+/// assert_eq!(store.row(1), &[0.0, 1.0, 0.0]);
+/// assert_eq!(store.row_ref(0).dot(store.row_ref(1)), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseStore {
+    data: Vec<f64>,
+    dim: usize,
+    n: usize,
+}
+
+impl DenseStore {
+    /// An empty store for points of dimension `dim`.
+    pub fn with_dim(dim: usize) -> Self {
+        DenseStore {
+            data: Vec::new(),
+            dim,
+            n: 0,
+        }
+    }
+
+    /// Build from a flat row-major buffer (`data.len()` must be a multiple
+    /// of `dim`).
+    pub fn from_flat(data: Vec<f64>, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "flat buffer not a multiple of dim"
+        );
+        let n = data.len() / dim;
+        DenseStore { data, dim, n }
+    }
+
+    /// Append one point.
+    pub fn push(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dim, "dimension mismatch");
+        self.data.extend_from_slice(row);
+        self.n += 1;
+    }
+
+    /// Dimension `d` of the stored points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Borrow row `i` as a raw slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Borrow row `i` as a typed view.
+    #[inline]
+    pub fn row_ref(&self, i: usize) -> DenseRef<'_> {
+        DenseRef {
+            components: self.row(i),
+        }
+    }
+
+    /// Iterate over all rows in storage order.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        (0..self.n).map(move |i| self.row(i))
+    }
+
+    /// The underlying flat row-major buffer.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Blocked batch kernel: inner products of rows `ids` with `q`,
+    /// appended to `out` (cleared first) in `ids` order — the
+    /// candidate-verification pass of the index layer as one contiguous
+    /// sweep instead of per-pair boxed-closure calls.
+    pub fn dot_many(&self, ids: &[usize], q: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(q.len(), self.dim, "dimension mismatch");
+        out.clear();
+        out.reserve(ids.len());
+        for &i in ids {
+            out.push(dot(self.row(i), q));
+        }
+    }
+
+    /// Blocked batch kernel: Euclidean distances of rows `ids` to `q`
+    /// (same contract as [`DenseStore::dot_many`]).
+    pub fn euclidean_many(&self, ids: &[usize], q: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(q.len(), self.dim, "dimension mismatch");
+        out.clear();
+        out.reserve(ids.len());
+        for &i in ids {
+            out.push(euclidean(self.row(i), q));
+        }
+    }
+}
+
+impl From<Vec<DenseVector>> for DenseStore {
+    /// Thin conversion flattening owned vectors into one buffer. All
+    /// points must share one dimension; an empty input yields an empty
+    /// store of dimension 0.
+    fn from(points: Vec<DenseVector>) -> Self {
+        let dim = points.first().map_or(0, |p| p.dim());
+        let mut data = Vec::with_capacity(points.len() * dim);
+        for p in &points {
+            assert_eq!(p.dim(), dim, "mixed dimensions");
+            data.extend_from_slice(p.as_slice());
+        }
+        DenseStore {
+            data,
+            dim,
+            n: points.len(),
+        }
+    }
+}
+
+impl PointStore for DenseStore {
+    type Row = [f64];
+    fn len(&self) -> usize {
+        self.n
+    }
+    fn row(&self, i: usize) -> &[f64] {
+        DenseStore::row(self, i)
+    }
+}
+
+/// Zero-copy view of one [`DenseStore`] row (or any `[f64]` row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DenseRef<'a> {
+    components: &'a [f64],
+}
+
+impl<'a> DenseRef<'a> {
+    /// View a raw row.
+    pub fn new(components: &'a [f64]) -> Self {
+        DenseRef { components }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.components
+    }
+
+    /// Inner product with another row view.
+    pub fn dot(&self, other: DenseRef<'_>) -> f64 {
+        dot(self.components, other.components)
+    }
+
+    /// Euclidean distance to another row view.
+    pub fn euclidean(&self, other: DenseRef<'_>) -> f64 {
+        euclidean(self.components, other.components)
+    }
+
+    /// Copy into an owned [`DenseVector`].
+    pub fn to_owned(&self) -> DenseVector {
+        DenseVector::new(self.components.to_vec())
+    }
+}
+
+impl AsRow for DenseRef<'_> {
+    type Row = [f64];
+    fn as_row(&self) -> &[f64] {
+        self.components
+    }
+}
+
+/// Contiguous storage for `n` points of `{0,1}^d`: all rows bit-packed
+/// into one `Vec<u64>`, `d.div_ceil(64)` blocks per row, tail bits zero.
+///
+/// ```
+/// use dsh_core::points::{BitStore, BitVector, PointStore};
+/// let mut store = BitStore::with_dim(70);
+/// store.push(&BitVector::ones(70));
+/// store.push(&BitVector::zeros(70));
+/// assert_eq!(store.len(), 2);
+/// assert_eq!(store.row_ref(0).hamming(store.row_ref(1)), 70);
+/// assert!(store.row_ref(0).get(69));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitStore {
+    blocks: Vec<u64>,
+    dim: usize,
+    blocks_per_row: usize,
+    n: usize,
+}
+
+impl BitStore {
+    /// An empty store for points of dimension `dim`.
+    pub fn with_dim(dim: usize) -> Self {
+        BitStore {
+            blocks: Vec::new(),
+            dim,
+            blocks_per_row: dim.div_ceil(64),
+            n: 0,
+        }
+    }
+
+    /// Append one point (must match the store dimension).
+    pub fn push(&mut self, v: &BitVector) {
+        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        self.blocks.extend_from_slice(v.as_blocks());
+        self.n += 1;
+    }
+
+    /// Append a uniformly random point, drawing the same RNG stream as
+    /// [`BitVector::random`] (so generators can fill a store directly and
+    /// still produce bit-identical data to the `Vec<BitVector>` path).
+    pub fn push_random(&mut self, rng: &mut dyn Rng) {
+        let start = self.blocks.len();
+        for _ in 0..self.blocks_per_row {
+            self.blocks.push(rng.next_u64());
+        }
+        let rem = self.dim % 64;
+        if rem != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        debug_assert_eq!(self.blocks.len(), start + self.blocks_per_row);
+        self.n += 1;
+    }
+
+    /// Dimension `d` of the stored points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Packed blocks per row (`d.div_ceil(64)`).
+    pub fn blocks_per_row(&self) -> usize {
+        self.blocks_per_row
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Borrow row `i` as its packed blocks.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.blocks[i * self.blocks_per_row..(i + 1) * self.blocks_per_row]
+    }
+
+    /// Borrow row `i` as a typed view carrying the dimension.
+    #[inline]
+    pub fn row_ref(&self, i: usize) -> BitRef<'_> {
+        BitRef {
+            blocks: self.row(i),
+            len: self.dim,
+        }
+    }
+
+    /// Iterate over all rows in storage order.
+    pub fn rows(&self) -> impl Iterator<Item = &[u64]> {
+        (0..self.n).map(move |i| self.row(i))
+    }
+
+    /// Blocked batch kernel: Hamming distances of rows `ids` to `q`,
+    /// appended to `out` (cleared first) in `ids` order.
+    pub fn hamming_many(&self, ids: &[usize], q: &[u64], out: &mut Vec<u64>) {
+        assert_eq!(q.len(), self.blocks_per_row, "dimension mismatch");
+        out.clear();
+        out.reserve(ids.len());
+        for &i in ids {
+            out.push(hamming(self.row(i), q));
+        }
+    }
+}
+
+impl From<Vec<BitVector>> for BitStore {
+    /// Thin conversion packing owned vectors into one block buffer. All
+    /// points must share one dimension; an empty input yields an empty
+    /// store of dimension 0.
+    fn from(points: Vec<BitVector>) -> Self {
+        let dim = points.first().map_or(0, |p| p.len());
+        let mut store = BitStore::with_dim(dim);
+        store.blocks.reserve(points.len() * store.blocks_per_row);
+        for p in &points {
+            store.push(p);
+        }
+        store
+    }
+}
+
+impl PointStore for BitStore {
+    type Row = [u64];
+    fn len(&self) -> usize {
+        self.n
+    }
+    fn row(&self, i: usize) -> &[u64] {
+        BitStore::row(self, i)
+    }
+}
+
+/// Zero-copy view of one [`BitStore`] row, carrying the bit dimension
+/// (which the raw `[u64]` row cannot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitRef<'a> {
+    blocks: &'a [u64],
+    len: usize,
+}
+
+impl<'a> BitRef<'a> {
+    /// View a packed row of dimension `len`.
+    pub fn new(blocks: &'a [u64], len: usize) -> Self {
+        assert_eq!(blocks.len(), len.div_ceil(64), "block count mismatch");
+        BitRef { blocks, len }
+    }
+
+    /// Dimension `d`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff `d == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed blocks.
+    pub fn as_blocks(&self) -> &'a [u64] {
+        self.blocks
+    }
+
+    /// Read bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (d = {})",
+            self.len
+        );
+        get_bit(self.blocks, i)
+    }
+
+    /// Hamming distance to another row view of equal dimension.
+    pub fn hamming(&self, other: BitRef<'_>) -> u64 {
+        assert_eq!(self.len, other.len, "dimension mismatch");
+        hamming(self.blocks, other.blocks)
+    }
+
+    /// Relative Hamming distance in `[0, 1]`.
+    pub fn relative_hamming(&self, other: BitRef<'_>) -> f64 {
+        assert!(self.len > 0, "relative distance undefined in dimension 0");
+        self.hamming(other) as f64 / self.len as f64
+    }
+
+    /// Copy into an owned [`BitVector`].
+    pub fn to_owned(&self) -> BitVector {
+        BitVector::from_blocks(self.blocks.to_vec(), self.len)
+    }
+}
+
+impl AsRow for BitRef<'_> {
+    type Row = [u64];
+    fn as_row(&self) -> &[u64] {
+        self.blocks
     }
 }
 
@@ -429,6 +1025,178 @@ mod tests {
     #[should_panic(expected = "cannot normalize")]
     fn normalize_zero_panics() {
         let _ = DenseVector::zeros(3).normalized();
+    }
+}
+
+#[cfg(test)]
+mod store_tests {
+    use super::*;
+    use dsh_math::rng::seeded;
+
+    #[test]
+    fn kernels_match_owned_point_methods() {
+        let mut rng = seeded(0x570);
+        for d in [1usize, 3, 4, 7, 16, 33] {
+            let a = DenseVector::gaussian(&mut rng, d);
+            let b = DenseVector::gaussian(&mut rng, d);
+            assert_eq!(dot(a.as_slice(), b.as_slice()), a.dot(&b));
+            assert_eq!(euclidean(a.as_slice(), b.as_slice()), a.euclidean(&b));
+        }
+        for d in [1usize, 63, 64, 65, 130] {
+            let x = BitVector::random(&mut rng, d);
+            let y = BitVector::random(&mut rng, d);
+            assert_eq!(hamming(x.as_blocks(), y.as_blocks()), x.hamming(&y));
+            for i in 0..d {
+                assert_eq!(get_bit(x.as_blocks(), i), x.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_dot_agrees_with_sequential_fold() {
+        // Reassociation moves the result by O(eps), never more.
+        let mut rng = seeded(0x571);
+        for d in [5usize, 17, 64, 101] {
+            let a = DenseVector::gaussian(&mut rng, d);
+            let b = DenseVector::gaussian(&mut rng, d);
+            let seq: f64 = a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| x * y)
+                .sum();
+            assert!((dot(a.as_slice(), b.as_slice()) - seq).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_store_round_trips_vec() {
+        let mut rng = seeded(0x572);
+        let points: Vec<DenseVector> = (0..9).map(|_| DenseVector::gaussian(&mut rng, 5)).collect();
+        let store = DenseStore::from(points.clone());
+        assert_eq!(store.len(), 9);
+        assert_eq!(store.dim(), 5);
+        assert_eq!(store.as_flat().len(), 45);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(store.row(i), p.as_slice());
+            assert_eq!(PointStore::row(&store, i), PointStore::row(&points, i));
+            assert_eq!(store.row_ref(i).to_owned(), *p);
+        }
+    }
+
+    #[test]
+    fn bit_store_round_trips_vec() {
+        let mut rng = seeded(0x573);
+        for d in [1usize, 64, 65, 130] {
+            let points: Vec<BitVector> = (0..7).map(|_| BitVector::random(&mut rng, d)).collect();
+            let store = BitStore::from(points.clone());
+            assert_eq!(store.len(), 7);
+            assert_eq!(store.dim(), d);
+            assert_eq!(store.blocks_per_row(), d.div_ceil(64));
+            for (i, p) in points.iter().enumerate() {
+                assert_eq!(store.row(i), p.as_blocks());
+                assert_eq!(store.row_ref(i).to_owned(), *p);
+                assert_eq!(store.row_ref(i).len(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn push_random_matches_bitvector_random_stream() {
+        for d in [1usize, 63, 64, 65, 200] {
+            let mut store = BitStore::with_dim(d);
+            let mut rng = seeded(0x574);
+            for _ in 0..5 {
+                store.push_random(&mut rng);
+            }
+            let mut rng = seeded(0x574);
+            let owned: Vec<BitVector> = (0..5).map(|_| BitVector::random(&mut rng, d)).collect();
+            assert_eq!(store, BitStore::from(owned), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn batch_kernels_verify_candidate_lists() {
+        let mut rng = seeded(0x575);
+        let dense: Vec<DenseVector> = (0..20)
+            .map(|_| DenseVector::gaussian(&mut rng, 8))
+            .collect();
+        let q = DenseVector::gaussian(&mut rng, 8);
+        let store = DenseStore::from(dense.clone());
+        let ids = [3usize, 17, 0, 3, 9];
+        let mut out = Vec::new();
+        store.dot_many(&ids, q.as_slice(), &mut out);
+        let want: Vec<f64> = ids.iter().map(|&i| dense[i].dot(&q)).collect();
+        assert_eq!(out, want);
+        store.euclidean_many(&ids, q.as_slice(), &mut out);
+        let want: Vec<f64> = ids.iter().map(|&i| dense[i].euclidean(&q)).collect();
+        assert_eq!(out, want);
+
+        let bits: Vec<BitVector> = (0..20).map(|_| BitVector::random(&mut rng, 90)).collect();
+        let bq = BitVector::random(&mut rng, 90);
+        let bstore = BitStore::from(bits.clone());
+        let mut bout = Vec::new();
+        bstore.hamming_many(&ids, bq.as_blocks(), &mut bout);
+        let want: Vec<u64> = ids.iter().map(|&i| bits[i].hamming(&bq)).collect();
+        assert_eq!(bout, want);
+    }
+
+    #[test]
+    fn vec_and_slice_are_stores() {
+        let points = vec![BitVector::zeros(10), BitVector::ones(10)];
+        assert_eq!(PointStore::len(&points), 2);
+        assert_eq!(PointStore::row(&points, 1), points[1].as_blocks());
+        let slice: &[BitVector] = &points;
+        assert_eq!(PointStore::len(slice), 2);
+        assert!(!PointStore::is_empty(&points));
+    }
+
+    #[test]
+    fn as_row_reflexivity_and_views() {
+        let v = DenseVector::new(vec![1.0, 2.0]);
+        assert_eq!(v.as_row(), v.as_slice());
+        assert_eq!(v.as_slice().as_row(), v.as_slice());
+        assert_eq!(7u64.as_row(), &7u64);
+        let b = BitVector::ones(3);
+        let r = BitRef::new(b.as_blocks(), 3);
+        assert_eq!(r.as_row(), b.as_row());
+        assert!(r.get(2) && !r.is_empty());
+        assert_eq!(r.relative_hamming(BitRef::new(b.as_blocks(), 3)), 0.0);
+        let dr = DenseRef::new(v.as_slice());
+        assert_eq!(dr.dim(), 2);
+        assert_eq!(dr.as_row(), v.as_slice());
+        assert_eq!(dr.euclidean(dr), 0.0);
+    }
+
+    #[test]
+    fn empty_and_flat_constructors() {
+        let empty = DenseStore::from(Vec::<DenseVector>::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.dim(), 0);
+        let flat = DenseStore::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.row(1), &[3.0, 4.0]);
+        assert_eq!(flat.rows().count(), 2);
+        let bempty = BitStore::from(Vec::<BitVector>::new());
+        assert!(bempty.is_empty());
+        assert_eq!(bempty.rows().count(), 0);
+        let mut ds = DenseStore::with_dim(2);
+        ds.push(&[5.0, 6.0]);
+        assert_eq!(ds.row_ref(0).as_slice(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dense_store_rejects_wrong_dim_push() {
+        let mut s = DenseStore::with_dim(3);
+        s.push(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn bit_store_rejects_wrong_dim_push() {
+        let mut s = BitStore::with_dim(65);
+        s.push(&BitVector::zeros(64));
     }
 }
 

@@ -68,8 +68,7 @@ mod tests {
     fn cloud_has_requested_scale() {
         let mut rng = seeded(221);
         let pts = gaussian_cloud(&mut rng, 200, 10, 2.0);
-        let mean_sq: f64 =
-            pts.iter().map(|p| p.norm().powi(2)).sum::<f64>() / pts.len() as f64;
+        let mean_sq: f64 = pts.iter().map(|p| p.norm().powi(2)).sum::<f64>() / pts.len() as f64;
         // E||x||^2 = sigma^2 d = 40.
         assert!((mean_sq - 40.0).abs() < 4.0, "mean sq {mean_sq}");
     }
@@ -89,9 +88,7 @@ mod tests {
         let mut rng = seeded(223);
         let inst = planted_euclidean_instance(&mut rng, 25, 16, 1.0, 4.0);
         assert_eq!(inst.points.len(), 25);
-        assert!(
-            (inst.query.euclidean(&inst.points[inst.planted_index]) - 1.0).abs() < 1e-10
-        );
+        assert!((inst.query.euclidean(&inst.points[inst.planted_index]) - 1.0).abs() < 1e-10);
         for (i, p) in inst.points.iter().enumerate() {
             if i != inst.planted_index {
                 assert!(inst.query.euclidean(p) >= 4.0);

@@ -1,12 +1,23 @@
 //! Hamming-cube datasets: uniform points, alpha-correlated pairs
 //! (Definition 3.1), and planted fixed-distance instances.
 
-use dsh_core::points::BitVector;
+use dsh_core::points::{BitStore, BitVector};
 use rand::Rng;
 
 /// `n` uniformly random points of `{0,1}^d`.
 pub fn uniform_hamming(rng: &mut dyn Rng, n: usize, d: usize) -> Vec<BitVector> {
     (0..n).map(|_| BitVector::random(rng, d)).collect()
+}
+
+/// [`uniform_hamming`] written directly into a flat [`BitStore`]: no
+/// per-point allocation, and bit-identical data to the `Vec` generator
+/// for the same RNG stream (the stores consume randomness the same way).
+pub fn uniform_hamming_store(rng: &mut dyn Rng, n: usize, d: usize) -> BitStore {
+    let mut store = BitStore::with_dim(d);
+    for _ in 0..n {
+        store.push_random(rng);
+    }
+    store
 }
 
 /// A randomly alpha-correlated pair (Definition 3.1): `x` uniform, each
@@ -111,14 +122,21 @@ mod tests {
     }
 
     #[test]
+    fn store_generator_matches_vec_generator() {
+        use dsh_core::points::BitStore;
+        for d in [1usize, 64, 100, 130] {
+            let store = uniform_hamming_store(&mut seeded(215), 25, d);
+            let owned = uniform_hamming(&mut seeded(215), 25, d);
+            assert_eq!(store, BitStore::from(owned), "d = {d}");
+        }
+    }
+
+    #[test]
     fn planted_instance_structure() {
         let mut rng = seeded(214);
         let inst = planted_hamming_instance(&mut rng, 30, 256, 10);
         assert_eq!(inst.points.len(), 30);
-        assert_eq!(
-            inst.query.hamming(&inst.points[inst.planted_index]),
-            10
-        );
+        assert_eq!(inst.query.hamming(&inst.points[inst.planted_index]), 10);
         // Background concentrates near d/2 = 128.
         for (i, p) in inst.points.iter().enumerate() {
             if i != inst.planted_index {

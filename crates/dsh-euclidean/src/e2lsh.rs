@@ -10,7 +10,7 @@
 
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{DshFamily, HasherPair};
-use dsh_core::points::DenseVector;
+use dsh_core::points::{self, DenseVector};
 use dsh_math::{normal, rng};
 use rand::Rng;
 
@@ -35,15 +35,15 @@ impl EuclideanLsh {
     }
 }
 
-impl DshFamily<DenseVector> for EuclideanLsh {
-    fn sample(&self, rng_in: &mut dyn Rng) -> HasherPair<DenseVector> {
+impl DshFamily<[f64]> for EuclideanLsh {
+    fn sample(&self, rng_in: &mut dyn Rng) -> HasherPair<[f64]> {
         let a = DenseVector::gaussian(rng_in, self.d);
         let b = rng::uniform(rng_in, self.w);
         let w = self.w;
         let a2 = a.clone();
         HasherPair::from_fns(
-            move |x: &DenseVector| ((a.dot(x) + b) / w).floor() as i64 as u64,
-            move |y: &DenseVector| ((a2.dot(y) + b) / w).floor() as i64 as u64,
+            move |x: &[f64]| ((points::dot(a.as_slice(), x) + b) / w).floor() as i64 as u64,
+            move |y: &[f64]| ((points::dot(a2.as_slice(), y) + b) / w).floor() as i64 as u64,
         )
     }
 
@@ -61,8 +61,7 @@ impl AnalyticCpf for EuclideanLsh {
         }
         let r = self.w / delta;
         1.0 - 2.0 * normal::cdf(-r)
-            - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r)
-                * (1.0 - (-r * r / 2.0).exp())
+            - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r) * (1.0 - (-r * r / 2.0).exp())
     }
 }
 
@@ -72,7 +71,11 @@ mod tests {
     use dsh_core::estimate::CpfEstimator;
     use dsh_math::rng::seeded;
 
-    fn pair_at_distance(rng: &mut dyn rand::Rng, d: usize, delta: f64) -> (DenseVector, DenseVector) {
+    fn pair_at_distance(
+        rng: &mut dyn rand::Rng,
+        d: usize,
+        delta: f64,
+    ) -> (DenseVector, DenseVector) {
         let x = DenseVector::gaussian(rng, d);
         let dir = DenseVector::random_unit(rng, d);
         let y = x.add(&dir.scaled(delta));

@@ -20,7 +20,7 @@
 
 use dsh_core::combinators::MapPoints;
 use dsh_core::family::DshFamily;
-use dsh_core::points::DenseVector;
+use dsh_core::points::{self, DenseVector};
 use dsh_math::{rng as drng, stable};
 use rand::Rng;
 use std::sync::Arc;
@@ -63,12 +63,17 @@ impl FourierEmbedding {
 
     /// Apply the embedding (normalized onto the unit sphere).
     pub fn embed(&self, x: &DenseVector) -> DenseVector {
-        assert_eq!(x.dim(), self.d, "dimension mismatch");
+        self.embed_row(x.as_slice())
+    }
+
+    /// [`FourierEmbedding::embed`] on a raw row.
+    pub fn embed_row(&self, x: &[f64]) -> DenseVector {
+        assert_eq!(x.len(), self.d, "dimension mismatch");
         let scale = (2.0 / self.projections.len() as f64).sqrt();
         let raw = DenseVector::new(
             self.projections
                 .iter()
-                .map(|(w, b)| scale * (w.dot(x) + b).cos())
+                .map(|(w, b)| scale * (points::dot(w.as_slice(), x) + b).cos())
                 .collect(),
         );
         raw.normalized()
@@ -116,13 +121,11 @@ impl<F> KernelizedFamily<F> {
     }
 }
 
-impl<F: DshFamily<DenseVector> + Clone + 'static> DshFamily<DenseVector>
-    for KernelizedFamily<F>
-{
-    fn sample(&self, rng: &mut dyn Rng) -> dsh_core::family::HasherPair<DenseVector> {
+impl<F: DshFamily<[f64]> + Clone + 'static> DshFamily<[f64]> for KernelizedFamily<F> {
+    fn sample(&self, rng: &mut dyn Rng) -> dsh_core::family::HasherPair<[f64]> {
         let embedding = FourierEmbedding::sample(rng, self.d, self.features, self.s, self.gamma);
-        let mapped = MapPoints::new("fourier", self.inner.clone(), move |x: &DenseVector| {
-            embedding.embed(x)
+        let mapped = MapPoints::new("fourier", self.inner.clone(), move |x: &[f64]| {
+            embedding.embed_row(x)
         });
         mapped.sample(rng)
     }
@@ -238,13 +241,7 @@ mod tests {
         use dsh_sphere::FilterDshMinus;
         let d = 6;
         let features = 256;
-        let fam = KernelizedFamily::new(
-            FilterDshMinus::new(features, 1.0),
-            d,
-            features,
-            2.0,
-            0.4,
-        );
+        let fam = KernelizedFamily::new(FilterDshMinus::new(features, 1.0), d, features, 2.0, 0.4);
         let mut rng = seeded(0xF06);
         let mut prev = -1.0;
         for &delta in &[0.3f64, 1.5, 4.0] {
@@ -257,6 +254,9 @@ mod tests {
             );
             prev = est.estimate;
         }
-        assert!(prev > 0.03, "far points should collide noticeably, got {prev}");
+        assert!(
+            prev > 0.03,
+            "far points should collide noticeably, got {prev}"
+        );
     }
 }

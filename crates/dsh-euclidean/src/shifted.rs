@@ -22,7 +22,7 @@
 
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{DshFamily, HasherPair};
-use dsh_core::points::DenseVector;
+use dsh_core::points::{self, DenseVector};
 use dsh_math::{normal, rng};
 use rand::Rng;
 
@@ -94,8 +94,7 @@ impl ShiftedEuclideanDsh {
                 let tent = (1.0 - (s / w - 1.0).abs()).max(0.0);
                 tent * (-(u + s * s / (2.0 * delta * delta))).exp()
             };
-            let rough =
-                dsh_math::integrate::adaptive_simpson(integrand, 0.0, u_max, 1e-14);
+            let rough = dsh_math::integrate::adaptive_simpson(integrand, 0.0, u_max, 1e-14);
             let tol = (rough * 1e-11).max(1e-300);
             (
                 dsh_math::integrate::adaptive_simpson(integrand, 0.0, u_max, tol),
@@ -106,8 +105,7 @@ impl ShiftedEuclideanDsh {
                 let tent = (1.0 - (s / w - 1.0).abs()).max(0.0);
                 tent * (-(rate * s + s * s / (2.0 * delta * delta))).exp()
             };
-            let rough =
-                dsh_math::integrate::adaptive_simpson(integrand, 0.0, 2.0 * w, 1e-14);
+            let rough = dsh_math::integrate::adaptive_simpson(integrand, 0.0, 2.0 * w, 1e-14);
             let tol = (rough * 1e-11).max(1e-300);
             (
                 dsh_math::integrate::adaptive_simpson(integrand, 0.0, 2.0 * w, tol),
@@ -119,16 +117,18 @@ impl ShiftedEuclideanDsh {
     }
 }
 
-impl DshFamily<DenseVector> for ShiftedEuclideanDsh {
-    fn sample(&self, rng_in: &mut dyn Rng) -> HasherPair<DenseVector> {
+impl DshFamily<[f64]> for ShiftedEuclideanDsh {
+    fn sample(&self, rng_in: &mut dyn Rng) -> HasherPair<[f64]> {
         let a = DenseVector::gaussian(rng_in, self.d);
         let b = rng::uniform(rng_in, self.w);
         let w = self.w;
         let k = self.k as i64;
         let a2 = a.clone();
         HasherPair::from_fns(
-            move |x: &DenseVector| ((a.dot(x) + b) / w).floor() as i64 as u64,
-            move |y: &DenseVector| (((a2.dot(y) + b) / w).floor() as i64).wrapping_add(k) as u64,
+            move |x: &[f64]| ((points::dot(a.as_slice(), x) + b) / w).floor() as i64 as u64,
+            move |y: &[f64]| {
+                (((points::dot(a2.as_slice(), y) + b) / w).floor() as i64).wrapping_add(k) as u64
+            },
         )
     }
 
@@ -148,7 +148,7 @@ impl AnalyticCpf for ShiftedEuclideanDsh {
         let w = self.w;
         let k = self.k as f64;
         let s = |u: f64| u * w / delta; // standardized boundary
-        // piece1: t in [(k-1)w, kw], weight t/w - (k-1).
+                                        // piece1: t in [(k-1)w, kw], weight t/w - (k-1).
         let p1 = delta / w * (normal::pdf(s(k - 1.0)) - normal::pdf(s(k)))
             - (k - 1.0) * (normal::cdf(s(k)) - normal::cdf(s(k - 1.0)));
         // piece2: t in [kw, (k+1)w], weight (k+1) - t/w.
@@ -184,9 +184,7 @@ mod tests {
             let w = 1.0;
             let k = 3.0;
             let num = adaptive_simpson(
-                |t| {
-                    (1.0 - (t / w - k).abs()).max(0.0) * normal::pdf(t / delta) / delta
-                },
+                |t| (1.0 - (t / w - k).abs()).max(0.0) * normal::pdf(t / delta) / delta,
                 (k - 1.0) * w,
                 (k + 1.0) * w,
                 1e-13,
@@ -273,11 +271,7 @@ mod tests {
         // At k = 32 the product rho * c^2 is within ~20% of 1.
         let fam = ShiftedEuclideanDsh::new(4, 32, w);
         let rho = fam.rho_minus(1.0, c);
-        assert!(
-            (rho * c * c - 1.0).abs() < 0.2,
-            "rho c^2 = {}",
-            rho * c * c
-        );
+        assert!((rho * c * c - 1.0).abs() < 0.2, "rho c^2 = {}", rho * c * c);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{DshFamily, HasherPair};
-use dsh_core::points::BitVector;
+use dsh_core::points::get_bit;
 use rand::Rng;
 
 /// Classical bit-sampling LSH; CPF `f(t) = 1 - t` in relative Hamming
@@ -41,12 +41,12 @@ impl BitSampling {
     }
 }
 
-impl DshFamily<BitVector> for BitSampling {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+impl DshFamily<[u64]> for BitSampling {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[u64]> {
         let i = rng.random_range(0..self.d);
         HasherPair::from_fns(
-            move |x: &BitVector| x.get(i) as u64,
-            move |y: &BitVector| y.get(i) as u64,
+            move |x: &[u64]| get_bit(x, i) as u64,
+            move |y: &[u64]| get_bit(y, i) as u64,
         )
     }
 
@@ -92,12 +92,12 @@ impl AntiBitSampling {
     }
 }
 
-impl DshFamily<BitVector> for AntiBitSampling {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+impl DshFamily<[u64]> for AntiBitSampling {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[u64]> {
         let i = rng.random_range(0..self.d);
         HasherPair::from_fns(
-            move |x: &BitVector| x.get(i) as u64,
-            move |y: &BitVector| !y.get(i) as u64,
+            move |x: &[u64]| get_bit(x, i) as u64,
+            move |y: &[u64]| !get_bit(y, i) as u64,
         )
     }
 
@@ -119,6 +119,7 @@ mod tests {
     use super::*;
     use dsh_core::combinators::{Concat, Power};
     use dsh_core::estimate::CpfEstimator;
+    use dsh_core::points::BitVector;
     use dsh_math::rng::seeded;
 
     fn points_at_distance(d: usize, k: usize) -> (BitVector, BitVector) {
@@ -193,7 +194,7 @@ mod tests {
         let k1 = 3usize;
         let k2 = 3usize;
         let fam = Concat::new(vec![
-            Box::new(Power::new(BitSampling::new(d), k1)) as dsh_core::BoxedDshFamily<BitVector>,
+            Box::new(Power::new(BitSampling::new(d), k1)) as dsh_core::BoxedDshFamily<[u64]>,
             Box::new(Power::new(AntiBitSampling::new(d), k2)),
         ]);
         // CPF at t: (1-t)^3 t^3; peak value at t=0.5 is (1/2)^6.
@@ -204,7 +205,12 @@ mod tests {
         let (x0, y0) = points_at_distance(d, 5);
         let est0 = CpfEstimator::new(60_000, 8).estimate_pair(&fam, &x0, &y0);
         let expect0 = 0.95f64.powi(3) * 0.05f64.powi(3);
-        assert!(est0.contains(expect0), "got {} want {}", est0.estimate, expect0);
+        assert!(
+            est0.contains(expect0),
+            "got {} want {}",
+            est0.estimate,
+            expect0
+        );
     }
 
     #[test]
@@ -217,8 +223,7 @@ mod tests {
         assert!((v2 - (0.01f64.ln() / 0.005f64.ln())).abs() < 1e-12);
         assert!(v8 < v2, "rho_minus must shrink with c");
         // Inverse-log shape: v(c) ~ 1 / (1 + ln c / ln(1/r)).
-        let predict =
-            |c: f64| 1.0 / (1.0 + c.ln() / (1.0 / r).ln());
+        let predict = |c: f64| 1.0 / (1.0 + c.ln() / (1.0 / r).ln());
         assert!((v2 - predict(2.0)).abs() < 1e-9);
         assert!((v8 - predict(8.0)).abs() < 1e-9);
     }

@@ -23,7 +23,7 @@
 
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{DshFamily, HasherPair};
-use dsh_core::points::BitVector;
+use dsh_core::points::get_bit;
 use dsh_math::special::binomial;
 use rand::Rng;
 
@@ -48,7 +48,9 @@ impl MultiProbeBitSampling {
 
     /// Number of probe buckets `L = sum_{i<=w} C(k, i)`.
     pub fn probe_count(&self) -> u64 {
-        (0..=self.w).map(|i| binomial(self.k as u64, i as u64) as u64).sum()
+        (0..=self.w)
+            .map(|i| binomial(self.k as u64, i as u64) as u64)
+            .sum()
     }
 
     /// Signature width.
@@ -99,23 +101,23 @@ fn unrank_mask(k: usize, mut rank: u64) -> u64 {
     mask
 }
 
-impl DshFamily<BitVector> for MultiProbeBitSampling {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+impl DshFamily<[u64]> for MultiProbeBitSampling {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[u64]> {
         let coords: Vec<usize> = (0..self.k).map(|_| rng.random_range(0..self.d)).collect();
         let l = self.probe_count();
         let probe_rank = rng.random_range(0..l);
         let probe_mask = unrank_mask(self.k, probe_rank);
         let coords2 = coords.clone();
-        let signature = move |x: &BitVector, coords: &[usize]| -> u64 {
+        let signature = move |x: &[u64], coords: &[usize]| -> u64 {
             coords
                 .iter()
                 .enumerate()
-                .fold(0u64, |acc, (j, &c)| acc | ((x.get(c) as u64) << j))
+                .fold(0u64, |acc, (j, &c)| acc | ((get_bit(x, c) as u64) << j))
         };
         let sig1 = signature;
         HasherPair::from_fns(
-            move |x: &BitVector| sig1(x, &coords),
-            move |y: &BitVector| signature(y, &coords2) ^ probe_mask,
+            move |x: &[u64]| sig1(x, &coords),
+            move |y: &[u64]| signature(y, &coords2) ^ probe_mask,
         )
     }
 
@@ -148,6 +150,7 @@ impl AnalyticCpf for MultiProbeBitSampling {
 mod tests {
     use super::*;
     use dsh_core::estimate::CpfEstimator;
+    use dsh_core::points::BitVector;
     use dsh_math::rng::seeded;
 
     #[test]
@@ -244,9 +247,7 @@ mod proptests {
     #[test]
     fn unrank_is_injective_and_weight_ordered() {
         for k in 1usize..12 {
-            let total: u64 = (0..=k as u64)
-                .map(|i| binomial(k as u64, i) as u64)
-                .sum();
+            let total: u64 = (0..=k as u64).map(|i| binomial(k as u64, i) as u64).sum();
             let masks: Vec<u64> = (0..total).map(|r| unrank_mask(k, r)).collect();
             // Injective.
             let mut sorted = masks.clone();

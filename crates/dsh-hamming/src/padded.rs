@@ -24,7 +24,10 @@ impl<F> PaddedFamily<F> {
     /// Wrap `inner` (a family over `{0,1}^d_inner`), exposing a family
     /// over `{0,1}^d_outer` with `d_outer <= d_inner`.
     pub fn new(inner: F, d_inner: usize, d_outer: usize) -> Self {
-        assert!(d_outer >= 1 && d_outer <= d_inner, "need 1 <= d_outer <= d_inner");
+        assert!(
+            d_outer >= 1 && d_outer <= d_inner,
+            "need 1 <= d_outer <= d_inner"
+        );
         PaddedFamily {
             inner,
             d_inner,
@@ -43,8 +46,8 @@ impl<F> PaddedFamily<F> {
     }
 }
 
-impl<F: DshFamily<BitVector>> DshFamily<BitVector> for PaddedFamily<F> {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+impl<F: DshFamily<[u64]>> DshFamily<[u64]> for PaddedFamily<F> {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[u64]> {
         let pair = self.inner.sample(rng);
         let (h, g) = (pair.data, pair.query);
         let this_h = PadSpec {
@@ -53,8 +56,8 @@ impl<F: DshFamily<BitVector>> DshFamily<BitVector> for PaddedFamily<F> {
         };
         let this_g = this_h;
         HasherPair::from_fns(
-            move |x: &BitVector| h.hash(&this_h.pad(x)),
-            move |y: &BitVector| g.hash(&this_g.pad(y)),
+            move |x: &[u64]| h.hash(this_h.pad(x).as_blocks()),
+            move |y: &[u64]| g.hash(this_g.pad(y).as_blocks()),
         )
     }
 
@@ -76,11 +79,28 @@ struct PadSpec {
 }
 
 impl PadSpec {
-    fn pad(&self, x: &BitVector) -> BitVector {
-        assert_eq!(x.len(), self.d_outer, "point dimension mismatch");
+    fn pad(&self, x: &[u64]) -> BitVector {
+        // Rows carry only their block count, so the exact-bit-length check
+        // of the owned-point era degrades to block granularity — recover
+        // most of it by also rejecting rows with bits set beyond d_outer
+        // (a longer point's payload would otherwise be silently dropped).
+        assert_eq!(
+            x.len(),
+            self.d_outer.div_ceil(64),
+            "point dimension mismatch"
+        );
+        let rem = self.d_outer % 64;
+        if rem != 0 {
+            assert_eq!(
+                x[x.len() - 1] >> rem,
+                0,
+                "point dimension mismatch: bits set beyond d_outer = {}",
+                self.d_outer
+            );
+        }
         let mut out = BitVector::ones(self.d_inner);
         for i in 0..self.d_outer {
-            out.set(i, x.get(i));
+            out.set(i, dsh_core::points::get_bit(x, i));
         }
         out
     }
@@ -142,6 +162,6 @@ mod tests {
         let mut rng = seeded(11);
         let pair = fam.sample(&mut rng);
         let wrong = BitVector::zeros(100);
-        let _ = pair.data.hash(&wrong);
+        let _ = pair.data.hash(wrong.as_blocks());
     }
 }

@@ -31,7 +31,6 @@
 use dsh_core::combinators::{scaled, AlwaysCollide, Concat, Mixture, NeverCollide, Power};
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{BoxedDshFamily, DshFamily, HasherPair};
-use dsh_core::points::BitVector;
 use dsh_math::roots::{find_roots, group_roots};
 use dsh_math::{Complex, Polynomial};
 use rand::Rng;
@@ -82,14 +81,14 @@ pub struct PolynomialHammingDsh {
     poly: Polynomial,
     scaled_poly: Polynomial,
     delta: f64,
-    family: Concat<BitVector>,
+    family: Concat<[u64]>,
     piece_names: Vec<String>,
 }
 
 /// One per-root sub-family together with its exact CPF polynomial and its
 /// contribution to `Delta`.
 struct Piece {
-    family: BoxedDshFamily<BitVector>,
+    family: BoxedDshFamily<[u64]>,
     cpf_poly: Polynomial,
     delta: f64,
     name: String,
@@ -193,7 +192,7 @@ impl PolynomialHammingDsh {
     pub fn from_nonnegative_coefficients(
         d: usize,
         p: &Polynomial,
-    ) -> Result<Mixture<BitVector>, PolyDshError> {
+    ) -> Result<Mixture<[u64]>, PolyDshError> {
         if p.degree().is_none() {
             return Err(PolyDshError::DegenerateDegree);
         }
@@ -261,8 +260,8 @@ impl std::fmt::Debug for PolynomialHammingDsh {
     }
 }
 
-impl DshFamily<BitVector> for PolynomialHammingDsh {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+impl DshFamily<[u64]> for PolynomialHammingDsh {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[u64]> {
         self.family.sample(rng)
     }
 
@@ -283,17 +282,20 @@ impl AnalyticCpf for PolynomialHammingDsh {
 /// Realize a polynomial CPF with nonnegative coefficients summing to <= 1
 /// as a mixture of `Always` (for `t^0`) and powers of anti bit-sampling
 /// (CPF `t^i`), padded with `Never`.
-fn monomial_mixture(d: usize, coeffs: &[f64]) -> Mixture<BitVector> {
-    let mut items: Vec<(f64, BoxedDshFamily<BitVector>)> = Vec::new();
+fn monomial_mixture(d: usize, coeffs: &[f64]) -> Mixture<[u64]> {
+    let mut items: Vec<(f64, BoxedDshFamily<[u64]>)> = Vec::new();
     let mut total = 0.0;
     for (i, &c) in coeffs.iter().enumerate() {
-        assert!(c >= -1e-12, "monomial mixture needs nonnegative coefficients");
+        assert!(
+            c >= -1e-12,
+            "monomial mixture needs nonnegative coefficients"
+        );
         let c = c.max(0.0);
         if c == 0.0 {
             continue;
         }
         total += c;
-        let fam: BoxedDshFamily<BitVector> = if i == 0 {
+        let fam: BoxedDshFamily<[u64]> = if i == 0 {
             Box::new(AlwaysCollide)
         } else {
             Box::new(Power::new(AntiBitSampling::new(d), i))
@@ -355,7 +357,10 @@ fn real_root_piece(d: usize, z: f64) -> Result<Piece, PolyDshError> {
 /// `t^2 - 2 a t + a^2 + b^2` up to the stated scaling.
 fn complex_pair_piece(d: usize, z: Complex) -> Result<Piece, PolyDshError> {
     let (a, b) = (z.re, z.im);
-    assert!(b > 0.0, "representative of a conjugate pair must have im > 0");
+    assert!(
+        b > 0.0,
+        "representative of a conjugate pair must have im > 0"
+    );
     let n = a * a + b * b;
     if a < -1.0 {
         // S4: factor = 4n * [ b^2/(4n) + (a^2/n) ((t/(2|a|) + 1/2))^2 ].
@@ -367,7 +372,7 @@ fn complex_pair_piece(d: usize, z: Complex) -> Result<Piece, PolyDshError> {
         let fam = Mixture::new(vec![
             (
                 b * b / n,
-                Box::new(scaled(Box::new(AlwaysCollide), 0.25)) as BoxedDshFamily<BitVector>,
+                Box::new(scaled(Box::new(AlwaysCollide), 0.25)) as BoxedDshFamily<[u64]>,
             ),
             (a * a / n, Box::new(Power::new(inner, 2))),
         ]);
@@ -385,7 +390,7 @@ fn complex_pair_piece(d: usize, z: Complex) -> Result<Piece, PolyDshError> {
         // S5: factor = n * [ b^2/n + (a^2/n) (1 - t/a)^2 ].
         let inner = ScaledBitSampling::new(d, 1.0 / a);
         let fam = Mixture::new(vec![
-            (b * b / n, Box::new(AlwaysCollide) as BoxedDshFamily<BitVector>),
+            (b * b / n, Box::new(AlwaysCollide) as BoxedDshFamily<[u64]>),
             (a * a / n, Box::new(Power::new(inner, 2))),
         ]);
         let lin = Polynomial::new(vec![1.0, -1.0 / a]);
@@ -420,6 +425,7 @@ fn complex_pair_piece(d: usize, z: Complex) -> Result<Piece, PolyDshError> {
 mod tests {
     use super::*;
     use dsh_core::estimate::CpfEstimator;
+    use dsh_core::points::BitVector;
     use dsh_math::rng::seeded;
 
     fn points_at_distance(d: usize, k: usize) -> (BitVector, BitVector) {

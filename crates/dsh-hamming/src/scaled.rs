@@ -12,7 +12,7 @@
 
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{DshFamily, HasherPair};
-use dsh_core::points::BitVector;
+use dsh_core::points::get_bit;
 use rand::Rng;
 
 /// Bit-sampling with scaling factor `alpha in [0, 1]`; CPF
@@ -37,18 +37,18 @@ impl ScaledBitSampling {
     }
 }
 
-impl DshFamily<BitVector> for ScaledBitSampling {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+impl DshFamily<[u64]> for ScaledBitSampling {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[u64]> {
         let keep = rng.random_bool(self.alpha);
         let i = rng.random_range(0..self.d);
         if keep {
             HasherPair::from_fns(
-                move |x: &BitVector| x.get(i) as u64,
-                move |y: &BitVector| y.get(i) as u64,
+                move |x: &[u64]| get_bit(x, i) as u64,
+                move |y: &[u64]| get_bit(y, i) as u64,
             )
         } else {
             // Bit zeroed on both sides: everything collides.
-            HasherPair::from_fns(|_x: &BitVector| 0, |_y: &BitVector| 0)
+            HasherPair::from_fns(|_x: &[u64]| 0, |_y: &[u64]| 0)
         }
     }
 
@@ -94,28 +94,25 @@ impl ScaledBiasedAntiBitSampling {
     }
 }
 
-impl DshFamily<BitVector> for ScaledBiasedAntiBitSampling {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<BitVector> {
+impl DshFamily<[u64]> for ScaledBiasedAntiBitSampling {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[u64]> {
         if rng.random_bool(0.5) {
             // Constant scheme colliding with probability beta: data point
             // maps to 0; query maps to 0 with probability beta, else 1.
             let collide = rng.random_bool(self.beta);
-            HasherPair::from_fns(
-                |_x: &BitVector| 0,
-                move |_y: &BitVector| !collide as u64,
-            )
+            HasherPair::from_fns(|_x: &[u64]| 0, move |_y: &[u64]| !collide as u64)
         } else {
             let keep = rng.random_bool(self.alpha);
             let i = rng.random_range(0..self.d);
             if keep {
                 HasherPair::from_fns(
-                    move |x: &BitVector| x.get(i) as u64,
-                    move |y: &BitVector| !y.get(i) as u64,
+                    move |x: &[u64]| get_bit(x, i) as u64,
+                    move |y: &[u64]| !get_bit(y, i) as u64,
                 )
             } else {
                 // Bit zeroed on both sides: h = 0, g = 1 - 0 = 1, never
                 // collides.
-                HasherPair::from_fns(|_x: &BitVector| 0, |_y: &BitVector| 1)
+                HasherPair::from_fns(|_x: &[u64]| 0, |_y: &[u64]| 1)
             }
         }
     }
@@ -140,6 +137,7 @@ impl AnalyticCpf for ScaledBiasedAntiBitSampling {
 mod tests {
     use super::*;
     use dsh_core::estimate::CpfEstimator;
+    use dsh_core::points::BitVector;
     use dsh_math::rng::seeded;
 
     fn points_at_distance(d: usize, k: usize) -> (BitVector, BitVector) {

@@ -17,6 +17,7 @@ use crate::parallel;
 use crate::table::{HashTableIndex, QueryStats};
 use dsh_core::combinators::Power;
 use dsh_core::family::DshFamily;
+use dsh_core::points::{AsRow, PointStore};
 use rand::Rng;
 
 /// Hard ceiling on the repetition count `L` any parameter derivation in
@@ -84,22 +85,22 @@ pub fn ann_params(n: usize, p1: f64, p2: f64, factor: f64) -> AnnParams {
 
 /// `(r1, r2)`-near-neighbor index: if some point is within `r1` of the
 /// query, returns (w.c.p.) a point within `r2`.
-pub struct NearNeighborIndex<P> {
-    index: HashTableIndex<P>,
-    measure: Measure<P>,
+pub struct NearNeighborIndex<S: PointStore> {
+    index: HashTableIndex<S>,
+    measure: Measure<S::Row>,
     r2: f64,
     params: AnnParams,
 }
 
-impl<P: Sync + 'static> NearNeighborIndex<P> {
+impl<S: PointStore> NearNeighborIndex<S> {
     /// Build over `points` with the base (width-1) family `family` and the
     /// CPF values `p1 >= f(r1)`, `p2 <= f(r2)` at the target radii.
     #[allow(clippy::too_many_arguments)] // mirrors the theorem's parameter list
     pub fn build(
-        family: &(impl DshFamily<P> + ?Sized),
-        measure: Measure<P>,
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        measure: Measure<S::Row>,
         r2: f64,
-        points: Vec<P>,
+        points: S,
         p1: f64,
         p2: f64,
         factor: f64,
@@ -130,8 +131,16 @@ impl<P: Sync + 'static> NearNeighborIndex<P> {
 
     /// Return the first retrieved candidate within distance `r2`, stopping
     /// early after `3L` retrieved entries (the standard Markov cutoff).
-    pub fn query(&self, q: &P) -> (Option<usize>, QueryStats) {
-        let (cands, mut stats) = self.index.candidates(q, Some(self.retrieval_limit()));
+    pub fn query<Q>(&self, q: &Q) -> (Option<usize>, QueryStats)
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        let q = q.as_row();
+        let (cands, mut stats) = self.index.candidates_row(
+            q,
+            Some(self.retrieval_limit()),
+            &mut self.index.new_scratch(),
+        );
         let hit = self.verify(cands, q, &mut stats);
         (hit, stats)
     }
@@ -139,28 +148,34 @@ impl<P: Sync + 'static> NearNeighborIndex<P> {
     /// Run [`NearNeighborIndex::query`] for a batch of queries, fanned out
     /// across worker threads with scratch reuse. Results line up with
     /// `queries` and are identical to a query-at-a-time loop.
-    pub fn query_batch(&self, queries: &[P]) -> Vec<(Option<usize>, QueryStats)> {
+    pub fn query_batch<QS>(&self, queries: &QS) -> Vec<(Option<usize>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
         self.query_batch_with_threads(queries, parallel::available_threads())
     }
 
     /// [`NearNeighborIndex::query_batch`] with an explicit worker-thread
     /// count (the output does not depend on it; the count is capped so
     /// each worker serves several queries per scratch buffer).
-    pub fn query_batch_with_threads(
+    pub fn query_batch_with_threads<QS>(
         &self,
-        queries: &[P],
+        queries: &QS,
         threads: usize,
-    ) -> Vec<(Option<usize>, QueryStats)> {
+    ) -> Vec<(Option<usize>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
         let limit = self.retrieval_limit();
         let threads =
             parallel::capped_threads(queries.len(), threads, crate::table::MIN_QUERIES_PER_WORKER);
-        parallel::map_chunks(queries, threads, |_, chunk| {
+        parallel::map_index_chunks(queries.len(), threads, |range| {
             let mut scratch = self.index.new_scratch();
-            chunk
-                .iter()
-                .map(|q| {
+            range
+                .map(|i| {
+                    let q = queries.row(i);
                     let (cands, mut stats) =
-                        self.index.candidates_with(q, Some(limit), &mut scratch);
+                        self.index.candidates_row(q, Some(limit), &mut scratch);
                     let hit = self.verify(cands, q, &mut stats);
                     (hit, stats)
                 })
@@ -172,7 +187,7 @@ impl<P: Sync + 'static> NearNeighborIndex<P> {
         3 * self.index.repetitions()
     }
 
-    fn verify(&self, cands: Vec<usize>, q: &P, stats: &mut QueryStats) -> Option<usize> {
+    fn verify(&self, cands: Vec<usize>, q: &S::Row, stats: &mut QueryStats) -> Option<usize> {
         for i in cands {
             stats.distance_computations += 1;
             if (self.measure)(self.index.point(i), q) <= self.r2 {
@@ -262,7 +277,7 @@ mod tests {
                 d,
                 (r1_rel * d as f64) as usize,
             );
-            let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+            let measure = crate::measures::relative_hamming(d);
             let idx = NearNeighborIndex::build(
                 &BitSampling::new(d),
                 measure,
@@ -274,7 +289,10 @@ mod tests {
                 &mut rng,
             );
             if let (Some(i), _) = idx.query(&inst.query) {
-                assert!(idx.index.point(i).relative_hamming(&inst.query) <= r2_rel);
+                let t = dsh_core::points::hamming(idx.index.point(i), inst.query.as_blocks())
+                    as f64
+                    / d as f64;
+                assert!(t <= r2_rel);
                 hits += 1;
             }
         }
@@ -288,7 +306,7 @@ mod tests {
         let mut rng = seeded(0xA229);
         let points: Vec<BitVector> = (0..500).map(|_| BitVector::zeros(d)).collect();
         let q = BitVector::ones(d);
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(d);
         let idx = NearNeighborIndex::build(
             &BitSampling::new(d),
             measure,
@@ -310,7 +328,7 @@ mod tests {
         let mut rng = seeded(0xA230);
         let inst = hamming_data::planted_hamming_instance(&mut rng, 200, d, 6);
         let queries: Vec<BitVector> = (0..12).map(|_| BitVector::random(&mut rng, d)).collect();
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(d);
         let idx = NearNeighborIndex::build(
             &BitSampling::new(d),
             measure,
@@ -334,12 +352,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty point set")]
     fn build_rejects_empty_points() {
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(8);
         let _ = NearNeighborIndex::build(
             &BitSampling::new(8),
             measure,
             0.1,
-            Vec::new(),
+            Vec::<BitVector>::new(),
             0.9,
             0.5,
             1.0,
@@ -350,7 +368,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be finite")]
     fn build_rejects_non_finite_radius() {
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(8);
         let _ = NearNeighborIndex::build(
             &BitSampling::new(8),
             measure,

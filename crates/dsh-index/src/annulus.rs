@@ -12,18 +12,22 @@ use crate::ann::repetition_count;
 use crate::parallel;
 use crate::table::{HashTableIndex, QueryStats};
 use dsh_core::family::DshFamily;
+use dsh_core::points::{AsRow, PointStore};
 use rand::Rng;
 
-/// A pairwise measure (distance or similarity — the structure is agnostic)
-/// used to verify candidates exactly.
-pub type Measure<P> = Box<dyn Fn(&P, &P) -> f64 + Send + Sync>;
+/// A pairwise measure (distance or similarity — the structure is
+/// agnostic) over borrowed rows, used to verify candidates exactly.
+/// Operating on rows (not owned points) is what lets the verification
+/// pass stream a flat store's contiguous rows; see [`crate::measures`]
+/// for the stock kernels.
+pub type Measure<R> = Box<dyn Fn(&R, &R) -> f64 + Send + Sync>;
 
 /// Annulus-search data structure: report a point whose measure to the
 /// query lies in `[report_lo, report_hi]`, given that one exists in the
 /// narrower planted interval.
-pub struct AnnulusIndex<P> {
-    index: HashTableIndex<P>,
-    measure: Measure<P>,
+pub struct AnnulusIndex<S: PointStore> {
+    index: HashTableIndex<S>,
+    measure: Measure<S::Row>,
     report_lo: f64,
     report_hi: f64,
 }
@@ -37,7 +41,7 @@ pub struct AnnulusMatch {
     pub value: f64,
 }
 
-impl<P: Sync + 'static> AnnulusIndex<P> {
+impl<S: PointStore> AnnulusIndex<S> {
     /// Build with `l` repetitions of `family`. Per Theorem 6.1,
     /// `l ~ 1/f(r)` repetitions recover a point at the peak measure `r`
     /// with constant probability.
@@ -45,14 +49,17 @@ impl<P: Sync + 'static> AnnulusIndex<P> {
     /// Validates its inputs up front: `l >= 1`, a non-empty point set, and
     /// a finite, non-empty reporting interval.
     pub fn build(
-        family: &(impl DshFamily<P> + ?Sized),
-        measure: Measure<P>,
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        measure: Measure<S::Row>,
         report_interval: (f64, f64),
-        points: Vec<P>,
+        points: S,
         l: usize,
         rng: &mut dyn Rng,
     ) -> Self {
-        assert!(l >= 1, "AnnulusIndex: need at least one repetition (l >= 1)");
+        assert!(
+            l >= 1,
+            "AnnulusIndex: need at least one repetition (l >= 1)"
+        );
         assert!(
             !points.is_empty(),
             "AnnulusIndex: cannot build over an empty point set"
@@ -83,8 +90,19 @@ impl<P: Sync + 'static> AnnulusIndex<P> {
     /// Query: return the first retrieved candidate whose measure lies in
     /// the reporting interval, giving up after `8L` retrieved entries
     /// (the Theorem 6.1 termination rule).
-    pub fn query(&self, q: &P) -> (Option<AnnulusMatch>, QueryStats) {
-        let (cands, mut stats) = self.index.candidates(q, Some(self.retrieval_limit()));
+    pub fn query<Q>(&self, q: &Q) -> (Option<AnnulusMatch>, QueryStats)
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.query_row(q.as_row())
+    }
+
+    fn query_row(&self, q: &S::Row) -> (Option<AnnulusMatch>, QueryStats) {
+        let (cands, mut stats) = self.index.candidates_row(
+            q,
+            Some(self.retrieval_limit()),
+            &mut self.index.new_scratch(),
+        );
         let hit = self.verify(cands, q, &mut stats);
         (hit, stats)
     }
@@ -93,28 +111,34 @@ impl<P: Sync + 'static> AnnulusIndex<P> {
     /// across worker threads with one reusable scratch buffer per worker.
     /// Results line up with `queries` and are identical to a
     /// query-at-a-time loop.
-    pub fn query_batch(&self, queries: &[P]) -> Vec<(Option<AnnulusMatch>, QueryStats)> {
+    pub fn query_batch<QS>(&self, queries: &QS) -> Vec<(Option<AnnulusMatch>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
         self.query_batch_with_threads(queries, parallel::available_threads())
     }
 
     /// [`AnnulusIndex::query_batch`] with an explicit worker-thread count
     /// (the output does not depend on it; the count is capped so each
     /// worker serves several queries per scratch buffer).
-    pub fn query_batch_with_threads(
+    pub fn query_batch_with_threads<QS>(
         &self,
-        queries: &[P],
+        queries: &QS,
         threads: usize,
-    ) -> Vec<(Option<AnnulusMatch>, QueryStats)> {
+    ) -> Vec<(Option<AnnulusMatch>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
         let limit = self.retrieval_limit();
         let threads =
             parallel::capped_threads(queries.len(), threads, crate::table::MIN_QUERIES_PER_WORKER);
-        parallel::map_chunks(queries, threads, |_, chunk| {
+        parallel::map_index_chunks(queries.len(), threads, |range| {
             let mut scratch = self.index.new_scratch();
-            chunk
-                .iter()
-                .map(|q| {
+            range
+                .map(|i| {
+                    let q = queries.row(i);
                     let (cands, mut stats) =
-                        self.index.candidates_with(q, Some(limit), &mut scratch);
+                        self.index.candidates_row(q, Some(limit), &mut scratch);
                     let hit = self.verify(cands, q, &mut stats);
                     (hit, stats)
                 })
@@ -127,7 +151,10 @@ impl<P: Sync + 'static> AnnulusIndex<P> {
     /// the success count — used by the experiments to measure the success
     /// probability guarantee (>= 1/2 in Theorem 6.1). Runs the batched
     /// query path under the hood.
-    pub fn success_rate(&self, queries: &[P]) -> f64 {
+    pub fn success_rate<QS>(&self, queries: &QS) -> f64
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
         assert!(!queries.is_empty());
         let hits = self
             .query_batch(queries)
@@ -141,7 +168,12 @@ impl<P: Sync + 'static> AnnulusIndex<P> {
         8 * self.index.repetitions()
     }
 
-    fn verify(&self, cands: Vec<usize>, q: &P, stats: &mut QueryStats) -> Option<AnnulusMatch> {
+    fn verify(
+        &self,
+        cands: Vec<usize>,
+        q: &S::Row,
+        stats: &mut QueryStats,
+    ) -> Option<AnnulusMatch> {
         for i in cands {
             stats.distance_computations += 1;
             let v = (self.measure)(self.index.point(i), q);
@@ -178,7 +210,7 @@ pub fn powering_parameters(n: usize, f_peak: f64, f_out: f64, factor: f64) -> (u
 mod tests {
     use super::*;
     use dsh_core::combinators::{Concat, Power};
-    use dsh_core::points::{BitVector, DenseVector};
+    use dsh_core::points::BitVector;
     use dsh_core::AnalyticCpf;
     use dsh_data::hamming_data;
     use dsh_data::sphere_data;
@@ -196,8 +228,7 @@ mod tests {
         let n = 400;
         let (k1, k2) = (9usize, 3usize);
         let fam = Concat::new(vec![
-            Box::new(Power::new(BitSampling::new(d), k1))
-                as dsh_core::BoxedDshFamily<BitVector>,
+            Box::new(Power::new(BitSampling::new(d), k1)) as dsh_core::BoxedDshFamily<[u64]>,
             Box::new(Power::new(AntiBitSampling::new(d), k2)),
         ]);
         let peak = 0.25f64;
@@ -206,15 +237,8 @@ mod tests {
 
         let mut rng = seeded(311);
         let inst = hamming_data::planted_hamming_instance(&mut rng, n, d, 64); // t = 0.25
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
-        let idx = AnnulusIndex::build(
-            &fam,
-            measure,
-            (0.15, 0.35),
-            inst.points,
-            l,
-            &mut rng,
-        );
+        let measure = crate::measures::relative_hamming(d);
+        let idx = AnnulusIndex::build(&fam, measure, (0.15, 0.35), inst.points, l, &mut rng);
         let (hit, stats) = idx.query(&inst.query);
         let m = hit.expect("planted point at the peak should be found");
         assert!((0.15..=0.35).contains(&m.value));
@@ -233,7 +257,7 @@ mod tests {
 
         let mut rng = seeded(312);
         let inst = sphere_data::planted_sphere_instance(&mut rng, n, d, alpha_max);
-        let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
+        let measure = crate::measures::inner_product();
         let idx = AnnulusIndex::build(&fam, measure, (lo, hi), inst.points, l, &mut rng);
         // Success probability is >= 1/2 per query; amplify by retrying the
         // query a few times (fresh randomness lives in the index build, so
@@ -254,8 +278,7 @@ mod tests {
         let d = 256;
         let (k1, k2) = (6usize, 2usize);
         let fam = Concat::new(vec![
-            Box::new(Power::new(BitSampling::new(d), k1))
-                as dsh_core::BoxedDshFamily<BitVector>,
+            Box::new(Power::new(BitSampling::new(d), k1)) as dsh_core::BoxedDshFamily<[u64]>,
             Box::new(Power::new(AntiBitSampling::new(d), k2)),
         ]);
         let peak = 0.25f64;
@@ -267,9 +290,8 @@ mod tests {
         for run in 0..runs {
             let mut rng = seeded(313 + run);
             let inst = hamming_data::planted_hamming_instance(&mut rng, 150, d, 64);
-            let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
-            let idx =
-                AnnulusIndex::build(&fam, measure, (0.1, 0.4), inst.points, l, &mut rng);
+            let measure = crate::measures::relative_hamming(d);
+            let idx = AnnulusIndex::build(&fam, measure, (0.1, 0.4), inst.points, l, &mut rng);
             if idx.query(&inst.query).0.is_some() {
                 successes += 1;
             }
@@ -288,7 +310,7 @@ mod tests {
         // All points are far (t ~ 0.5); ask for an annulus around 0.1.
         let points = hamming_data::uniform_hamming(&mut rng, 100, d);
         let q = BitVector::random(&mut rng, d);
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(d);
         let idx = AnnulusIndex::build(&fam, measure, (0.05, 0.15), points, 20, &mut rng);
         let (hit, _) = idx.query(&q);
         assert!(hit.is_none());
@@ -323,7 +345,7 @@ mod tests {
     #[should_panic(expected = "at least one repetition")]
     fn build_rejects_zero_repetitions() {
         let d = 16;
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(d);
         let _ = AnnulusIndex::build(
             &BitSampling::new(d),
             measure,
@@ -337,12 +359,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty point set")]
     fn build_rejects_empty_points() {
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(16);
         let _ = AnnulusIndex::build(
             &BitSampling::new(16),
             measure,
             (0.0, 0.5),
-            Vec::new(),
+            Vec::<BitVector>::new(),
             4,
             &mut seeded(2),
         );
@@ -351,7 +373,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be finite")]
     fn build_rejects_non_finite_interval() {
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(16);
         let _ = AnnulusIndex::build(
             &BitSampling::new(16),
             measure,
@@ -368,7 +390,7 @@ mod tests {
         let mut rng = seeded(316);
         let points = hamming_data::uniform_hamming(&mut rng, 120, d);
         let queries: Vec<BitVector> = points[..30].to_vec();
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(d);
         let idx = AnnulusIndex::build(&fam_for_batch(d), measure, (0.0, 0.2), points, 12, &mut rng);
         let sequential: Vec<_> = queries.iter().map(|q| idx.query(q)).collect();
         for threads in [1usize, 2, 7] {
@@ -397,7 +419,7 @@ mod tests {
         // has too-high outside collision probability.
         let d = 256;
         let base = Concat::new(vec![
-            Box::new(BitSampling::new(d)) as dsh_core::BoxedDshFamily<BitVector>,
+            Box::new(BitSampling::new(d)) as dsh_core::BoxedDshFamily<[u64]>,
             Box::new(AntiBitSampling::new(d)),
         ]); // CPF (1-t) t, peak 1/4 at t = 1/2
         let n = 200;
@@ -408,7 +430,7 @@ mod tests {
 
         let mut rng = seeded(0x991);
         let inst = dsh_data::hamming_data::planted_hamming_instance(&mut rng, n, d, d / 2);
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(d);
         let idx = AnnulusIndex::build(&fam, measure, (0.4, 0.6), inst.points, l, &mut rng);
         // The planted point sits at the peak; over a few rebuilds it is
         // found at least once (each attempt succeeds w.p. >= 1/2).
@@ -426,7 +448,7 @@ mod tests {
         let mut rng = seeded(315);
         let points = hamming_data::uniform_hamming(&mut rng, 50, d);
         let queries: Vec<BitVector> = points[..10].to_vec();
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(d);
         let idx = AnnulusIndex::build(&fam, measure, (0.0, 0.0), points, 10, &mut rng);
         // Identical points always within [0,0] and symmetric family
         // retrieves them easily with L=10.

@@ -9,25 +9,26 @@
 
 use crate::ann::repetition_count;
 use crate::annulus::{AnnulusIndex, AnnulusMatch, Measure};
+use crate::measures;
 use crate::table::QueryStats;
-use dsh_core::points::DenseVector;
+use dsh_core::points::{AsRow, PointStore};
 use dsh_core::AnalyticCpf;
-use rand::Rng;
 use dsh_sphere::UnimodalFilterDsh;
+use rand::Rng;
 
-/// Hyperplane-query index over unit vectors: reports a point with
-/// `|<x, q>| <= alpha_report`.
-pub struct HyperplaneIndex {
-    inner: AnnulusIndex<DenseVector>,
+/// Hyperplane-query index over unit vectors (any dense store backend):
+/// reports a point with `|<x, q>| <= alpha_report`.
+pub struct HyperplaneIndex<S: PointStore<Row = [f64]>> {
+    inner: AnnulusIndex<S>,
     alpha_report: f64,
 }
 
-impl HyperplaneIndex {
+impl<S: PointStore<Row = [f64]>> HyperplaneIndex<S> {
     /// Build over `points` (unit vectors in `R^d`) with filter scale `t`
     /// and reporting bound `alpha_report`. The repetition count is chosen
     /// as `ceil(repetition_factor / f(0))` where `f` is the family's CPF.
     pub fn build(
-        points: Vec<DenseVector>,
+        points: S,
         d: usize,
         t: f64,
         alpha_report: f64,
@@ -44,7 +45,7 @@ impl HyperplaneIndex {
         let f0 = family.cpf(0.0);
         assert!(f0 > 0.0, "degenerate CPF at the peak");
         let l = repetition_count(repetition_factor, f0.min(1.0), 1);
-        let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
+        let measure: Measure<[f64]> = measures::inner_product();
         let inner = AnnulusIndex::build(
             &family,
             measure,
@@ -71,22 +72,28 @@ impl HyperplaneIndex {
 
     /// Report a point with `|<x, q>| <= alpha_report`, if the query finds
     /// one.
-    pub fn query(&self, q: &DenseVector) -> (Option<AnnulusMatch>, QueryStats) {
+    pub fn query<Q>(&self, q: &Q) -> (Option<AnnulusMatch>, QueryStats)
+    where
+        Q: AsRow<Row = [f64]> + ?Sized,
+    {
         self.inner.query(q)
     }
 
     /// Batched [`HyperplaneIndex::query`]: fans queries out across worker
     /// threads with scratch reuse; identical to a query-at-a-time loop.
-    pub fn query_batch(&self, queries: &[DenseVector]) -> Vec<(Option<AnnulusMatch>, QueryStats)> {
+    pub fn query_batch<QS>(&self, queries: &QS) -> Vec<(Option<AnnulusMatch>, QueryStats)>
+    where
+        QS: PointStore<Row = [f64]> + ?Sized,
+    {
         self.inner.query_batch(queries)
     }
+}
 
-    /// The §6.1 query exponent for guarantee `alpha`:
-    /// `rho = (1 - alpha^2) / (1 + alpha^2)`.
-    pub fn theoretical_rho(alpha: f64) -> f64 {
-        assert!(alpha > 0.0 && alpha < 1.0);
-        (1.0 - alpha * alpha) / (1.0 + alpha * alpha)
-    }
+/// The §6.1 query exponent for guarantee `alpha`:
+/// `rho = (1 - alpha^2) / (1 + alpha^2)`.
+pub fn theoretical_rho(alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0);
+    (1.0 - alpha * alpha) / (1.0 + alpha * alpha)
 }
 
 #[cfg(test)]
@@ -103,8 +110,7 @@ mod tests {
         for run in 0..runs {
             let mut rng = seeded(321 + run);
             let inst = sphere_data::planted_sphere_instance(&mut rng, 200, d, 0.0);
-            let idx =
-                HyperplaneIndex::build(inst.points, d, 1.4, 0.4, 1.5, &mut rng);
+            let idx = HyperplaneIndex::build(inst.points, d, 1.4, 0.4, 1.5, &mut rng);
             if let (Some(m), _) = idx.query(&inst.query) {
                 assert!(m.value.abs() <= 0.4, "reported alpha {}", m.value);
                 successes += 1;
@@ -119,10 +125,10 @@ mod tests {
     #[test]
     fn theoretical_rho_shape() {
         // rho -> 1 as alpha -> 0 (hard) and -> 0 as alpha -> 1 (easy).
-        assert!(HyperplaneIndex::theoretical_rho(0.05) > 0.99);
-        assert!(HyperplaneIndex::theoretical_rho(0.95) < 0.1);
-        let r1 = HyperplaneIndex::theoretical_rho(0.3);
-        let r2 = HyperplaneIndex::theoretical_rho(0.6);
+        assert!(theoretical_rho(0.05) > 0.99);
+        assert!(theoretical_rho(0.95) < 0.1);
+        let r1 = theoretical_rho(0.3);
+        let r2 = theoretical_rho(0.6);
         assert!(r1 > r2, "rho must decrease with the guarantee bound");
     }
 

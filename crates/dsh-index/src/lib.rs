@@ -20,6 +20,14 @@
 //! `query_batch` variant that amortizes scratch buffers and fans queries
 //! out across threads. Batched results are always identical to a
 //! query-at-a-time loop, for every thread count.
+//!
+//! Points live in a [`dsh_core::points::PointStore`]: the flat
+//! [`dsh_core::points::BitStore`] / [`dsh_core::points::DenseStore`]
+//! (contiguous rows — hashing and candidate verification at memory
+//! bandwidth) or a plain `Vec` of owned points. Indexes built over either
+//! backend from the same RNG stream are query-for-query identical;
+//! candidate verification goes through row-based [`annulus::Measure`]s
+//! (see [`measures`] for the stock kernels).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -28,6 +36,7 @@ pub mod ann;
 pub mod annulus;
 pub mod hyperplane;
 pub mod linear_scan;
+pub mod measures;
 pub mod parallel;
 pub mod range_reporting;
 pub mod sphere_annulus;

@@ -6,16 +6,18 @@
 //! apples-to-apples (the paper's structures win when `n^rho << n`).
 
 use crate::annulus::Measure;
+use dsh_core::points::{AsRow, PointStore};
 
-/// Exact scan over an owned point set.
-pub struct LinearScan<P> {
-    points: Vec<P>,
-    measure: Measure<P>,
+/// Exact scan over any point store (flat stores stream their rows at
+/// memory bandwidth; `Vec<P>` remains supported).
+pub struct LinearScan<S: PointStore> {
+    points: S,
+    measure: Measure<S::Row>,
 }
 
-impl<P> LinearScan<P> {
+impl<S: PointStore> LinearScan<S> {
     /// Build from points and a measure.
-    pub fn new(points: Vec<P>, measure: Measure<P>) -> Self {
+    pub fn new(points: S, measure: Measure<S::Row>) -> Self {
         LinearScan { points, measure }
     }
 
@@ -31,9 +33,13 @@ impl<P> LinearScan<P> {
 
     /// First point whose measure to `q` lies in `[lo, hi]`, with the
     /// number of measure evaluations performed.
-    pub fn find_in_interval(&self, q: &P, lo: f64, hi: f64) -> (Option<usize>, usize) {
-        for (i, p) in self.points.iter().enumerate() {
-            let v = (self.measure)(p, q);
+    pub fn find_in_interval<Q>(&self, q: &Q, lo: f64, hi: f64) -> (Option<usize>, usize)
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        let q = q.as_row();
+        for i in 0..self.points.len() {
+            let v = (self.measure)(self.points.row(i), q);
             if v >= lo && v <= hi {
                 return (Some(i), i + 1);
             }
@@ -43,28 +49,36 @@ impl<P> LinearScan<P> {
 
     /// All points whose measure lies in `[lo, hi]` (always `n` measure
     /// evaluations).
-    pub fn all_in_interval(&self, q: &P, lo: f64, hi: f64) -> (Vec<usize>, usize) {
-        let out = self
-            .points
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| {
-                let v = (self.measure)(p, q);
+    pub fn all_in_interval<Q>(&self, q: &Q, lo: f64, hi: f64) -> (Vec<usize>, usize)
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        let q = q.as_row();
+        let out = (0..self.points.len())
+            .filter(|&i| {
+                let v = (self.measure)(self.points.row(i), q);
                 v >= lo && v <= hi
             })
-            .map(|(i, _)| i)
             .collect();
         (out, self.points.len())
     }
 
     /// The point minimizing the measure (e.g. nearest neighbor for a
     /// distance measure).
-    pub fn argmin(&self, q: &P) -> Option<(usize, f64)> {
-        self.points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i, (self.measure)(p, q)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    ///
+    /// Comparison uses [`f64::total_cmp`], a total order in which NaN
+    /// sorts above every real value: a measure that returns NaN for some
+    /// pair (0/0 on degenerate data, an uninitialized coordinate) can no
+    /// longer panic the scan — the argmin is the smallest non-NaN value,
+    /// and NaN is returned only when every evaluation is NaN.
+    pub fn argmin<Q>(&self, q: &Q) -> Option<(usize, f64)>
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        let q = q.as_row();
+        (0..self.points.len())
+            .map(|i| (i, (self.measure)(self.points.row(i), q)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 
@@ -75,12 +89,12 @@ mod tests {
     use dsh_data::hamming_data;
     use dsh_math::rng::seeded;
 
-    fn scan(seed: u64, n: usize, d: usize) -> (LinearScan<BitVector>, BitVector) {
+    fn scan(seed: u64, n: usize, d: usize) -> (LinearScan<Vec<BitVector>>, BitVector) {
         let mut rng = seeded(seed);
         let points = hamming_data::uniform_hamming(&mut rng, n, d);
         let q = BitVector::random(&mut rng, d);
         (
-            LinearScan::new(points, Box::new(|x, y| x.relative_hamming(y))),
+            LinearScan::new(points, crate::measures::relative_hamming(d)),
             q,
         )
     }
@@ -121,5 +135,58 @@ mod tests {
         let (scan, _) = scan(344, 10, 32);
         assert_eq!(scan.len(), 10);
         assert!(!scan.is_empty());
+    }
+
+    #[test]
+    fn argmin_skips_nan_measures() {
+        // Regression: the seed's `partial_cmp().unwrap()` panicked the
+        // moment any measure evaluation produced NaN. With total-order
+        // comparison, NaN sorts above every real value, so the argmin is
+        // the smallest real measure.
+        use dsh_core::points::DenseVector;
+        let points = vec![
+            DenseVector::new(vec![-1.0, 5.0]), // measure -> NaN
+            DenseVector::new(vec![1.0, 3.0]),  // distance 3 to q
+            DenseVector::new(vec![1.0, 1.0]),  // distance 1 to q (argmin)
+            DenseVector::new(vec![-2.0, 0.0]), // measure -> NaN
+        ];
+        let measure: crate::annulus::Measure<[f64]> = Box::new(|x, q| {
+            if x[0] < 0.0 {
+                f64::NAN
+            } else {
+                dsh_core::points::euclidean(x, q)
+            }
+        });
+        let scan = LinearScan::new(points, measure);
+        let q = DenseVector::new(vec![1.0, 0.0]);
+        let (i, v) = scan.argmin(&q).expect("non-empty scan");
+        assert_eq!(i, 2);
+        assert_eq!(v, 1.0);
+        // All-NaN degenerate case: no panic, the NaN value is surfaced.
+        let all_nan: crate::annulus::Measure<[f64]> = Box::new(|_, _| f64::NAN);
+        let scan = LinearScan::new(vec![DenseVector::zeros(2)], all_nan);
+        let (_, v) = scan.argmin(&q).expect("non-empty scan");
+        assert!(v.is_nan());
+    }
+
+    #[test]
+    fn store_backed_scan_matches_vec_backed() {
+        use dsh_core::points::BitStore;
+        let mut rng = seeded(345);
+        let d = 96;
+        let points = hamming_data::uniform_hamming(&mut rng, 40, d);
+        let q = BitVector::random(&mut rng, d);
+        let vec_scan = LinearScan::new(points.clone(), crate::measures::relative_hamming(d));
+        let store_scan =
+            LinearScan::new(BitStore::from(points), crate::measures::relative_hamming(d));
+        assert_eq!(
+            vec_scan.all_in_interval(&q, 0.3, 0.7),
+            store_scan.all_in_interval(&q, 0.3, 0.7)
+        );
+        assert_eq!(vec_scan.argmin(&q), store_scan.argmin(&q));
+        assert_eq!(
+            vec_scan.find_in_interval(&q, 0.0, 1.0),
+            store_scan.find_in_interval(&q, 0.0, 1.0)
+        );
     }
 }

@@ -1,0 +1,88 @@
+//! Stock [`Measure`]s over store rows.
+//!
+//! Measures operate on borrowed rows (`[f64]` / `[u64]`) so candidate
+//! verification streams a store's contiguous rows through the slice
+//! kernels of [`dsh_core::points`] instead of chasing one heap pointer
+//! per candidate. These constructors cover the measures every experiment
+//! in the workspace uses; ad-hoc measures are ordinary boxed closures.
+//!
+//! ```
+//! use dsh_core::points::BitVector;
+//! use dsh_index::measures;
+//! let m = measures::relative_hamming(8);
+//! let x = BitVector::zeros(8);
+//! let y = BitVector::ones(8);
+//! assert_eq!(m(x.as_blocks(), y.as_blocks()), 1.0);
+//! ```
+
+use crate::annulus::Measure;
+use dsh_core::points;
+
+/// Inner product `<x, y>` on dense rows (the sphere similarity).
+pub fn inner_product() -> Measure<[f64]> {
+    Box::new(points::dot)
+}
+
+/// Euclidean distance `||x - y||_2` on dense rows.
+pub fn euclidean() -> Measure<[f64]> {
+    Box::new(points::euclidean)
+}
+
+/// Absolute Hamming distance on packed bit rows.
+pub fn hamming() -> Measure<[u64]> {
+    Box::new(|x, y| points::hamming(x, y) as f64)
+}
+
+/// Relative Hamming distance `||x - y||_1 / d` on packed bit rows of
+/// dimension `d` (the row itself only knows its block count, so the
+/// dimension is captured here). Each evaluation asserts the rows span
+/// `d.div_ceil(64)` blocks, so a measure built for the wrong dimension
+/// fails loudly instead of silently rescaling every distance.
+pub fn relative_hamming(d: usize) -> Measure<[u64]> {
+    assert!(d > 0, "relative distance undefined in dimension 0");
+    Box::new(move |x, y| {
+        assert_eq!(
+            x.len(),
+            d.div_ceil(64),
+            "row has {} blocks but the measure was built for d = {d}",
+            x.len()
+        );
+        points::hamming(x, y) as f64 / d as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::points::{AsRow, BitVector, DenseVector};
+    use dsh_math::rng::seeded;
+
+    #[test]
+    fn measures_match_owned_point_methods() {
+        let mut rng = seeded(0x3EA);
+        let a = DenseVector::gaussian(&mut rng, 9);
+        let b = DenseVector::gaussian(&mut rng, 9);
+        assert_eq!(inner_product()(a.as_row(), b.as_row()), a.dot(&b));
+        assert_eq!(euclidean()(a.as_row(), b.as_row()), a.euclidean(&b));
+        let x = BitVector::random(&mut rng, 70);
+        let y = BitVector::random(&mut rng, 70);
+        assert_eq!(hamming()(x.as_row(), y.as_row()), x.hamming(&y) as f64);
+        assert_eq!(
+            relative_hamming(70)(x.as_row(), y.as_row()),
+            x.relative_hamming(&y)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension 0")]
+    fn zero_dimension_rejected() {
+        let _ = relative_hamming(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "built for d = 16")]
+    fn mismatched_dimension_rejected_at_evaluation() {
+        let x = BitVector::zeros(128);
+        let _ = relative_hamming(16)(x.as_row(), x.as_row());
+    }
+}

@@ -34,6 +34,61 @@ pub fn capped_threads(items: usize, threads: usize, min_per_worker: usize) -> us
     threads.min(items.div_ceil(min_per_worker)).max(1)
 }
 
+/// Map `f` over contiguous index ranges of `0..n` using up to `threads`
+/// scoped threads — the storage-agnostic fan-out shape: callers index
+/// into whatever row-addressable structure they hold (a slice, a
+/// [`dsh_core::points::PointStore`]) instead of the fan-out requiring a
+/// materialized `&[T]`.
+///
+/// `f` receives a half-open index range and must return exactly one
+/// output per index, in index order; results are concatenated in input
+/// order, so the output is identical for every `threads >= 1`.
+///
+/// Panics if `threads == 0` or if `f` returns a result of the wrong
+/// length for some range.
+pub fn map_index_chunks<U, F>(n: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<U> + Sync,
+{
+    assert!(threads >= 1, "need at least one worker thread");
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk_size = n.div_ceil(threads.min(n));
+    if chunk_size >= n {
+        let out = f(0..n);
+        assert_eq!(out.len(), n, "chunk result length mismatch");
+        return out;
+    }
+
+    let starts: Vec<usize> = (0..n).step_by(chunk_size).collect();
+    let mut per_chunk: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = starts
+            .iter()
+            .skip(1)
+            .map(|&start| scope.spawn(move || f(start..(start + chunk_size).min(n))))
+            .collect();
+        per_chunk.push(f(0..chunk_size));
+        for h in handles {
+            per_chunk.push(h.join().expect("index worker thread panicked"));
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for (c, (&start, result)) in starts.iter().zip(per_chunk).enumerate() {
+        assert_eq!(
+            result.len(),
+            (start + chunk_size).min(n) - start,
+            "chunk {c} result length mismatch"
+        );
+        out.extend(result);
+    }
+    out
+}
+
 /// Map `f` over contiguous chunks of `items` using up to `threads` scoped
 /// threads.
 ///
@@ -50,42 +105,7 @@ where
     U: Send,
     F: Fn(usize, &[T]) -> Vec<U> + Sync,
 {
-    assert!(threads >= 1, "need at least one worker thread");
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let chunk_size = items.len().div_ceil(threads.min(items.len()));
-    if chunk_size >= items.len() {
-        let out = f(0, items);
-        assert_eq!(out.len(), items.len(), "chunk result length mismatch");
-        return out;
-    }
-
-    let mut per_chunk: Vec<Vec<U>> = Vec::new();
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = items
-            .chunks(chunk_size)
-            .enumerate()
-            .skip(1)
-            .map(|(c, chunk)| scope.spawn(move || f(c * chunk_size, chunk)))
-            .collect();
-        per_chunk.push(f(0, &items[..chunk_size]));
-        for h in handles {
-            per_chunk.push(h.join().expect("index worker thread panicked"));
-        }
-    });
-
-    let mut out = Vec::with_capacity(items.len());
-    for (c, (chunk, result)) in items.chunks(chunk_size).zip(per_chunk).enumerate() {
-        assert_eq!(
-            result.len(),
-            chunk.len(),
-            "chunk {c} result length mismatch"
-        );
-        out.extend(result);
-    }
-    out
+    map_index_chunks(items.len(), threads, |range| f(range.start, &items[range]))
 }
 
 /// Item-wise convenience over [`map_chunks`]: `f` receives each item's
@@ -130,6 +150,17 @@ mod tests {
             chunk.iter().enumerate().map(|(i, _)| start + i).collect()
         });
         assert_eq!(got, items);
+    }
+
+    #[test]
+    fn map_index_chunks_covers_every_index_in_order() {
+        for n in [0usize, 1, 7, 50, 97] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let got = map_index_chunks(n, threads, |r| r.collect());
+                let want: Vec<usize> = (0..n).collect();
+                assert_eq!(got, want, "n = {n}, threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -11,30 +11,31 @@ use crate::annulus::Measure;
 use crate::parallel;
 use crate::table::{HashTableIndex, QueryStats};
 use dsh_core::family::DshFamily;
+use dsh_core::points::{AsRow, PointStore};
 use rand::Rng;
 
 /// Range-reporting index: returns points with `dist <= r_plus`, and each
 /// point with `dist <= r` is reported with probability at least
 /// `1 - (1 - f_min)^L` (>= 1/2 for `L >= 1/f_min`).
-pub struct RangeReportingIndex<P> {
-    index: HashTableIndex<P>,
-    measure: Measure<P>,
+pub struct RangeReportingIndex<S: PointStore> {
+    index: HashTableIndex<S>,
+    measure: Measure<S::Row>,
     r: f64,
     r_plus: f64,
 }
 
-impl<P: Sync + 'static> RangeReportingIndex<P> {
+impl<S: PointStore> RangeReportingIndex<S> {
     /// Build with `l` repetitions; `measure` must be the *distance* the
     /// radii refer to.
     ///
     /// Validates its inputs up front: `l >= 1`, a non-empty point set, and
     /// finite, ordered, non-negative radii.
     pub fn build(
-        family: &(impl DshFamily<P> + ?Sized),
-        measure: Measure<P>,
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        measure: Measure<S::Row>,
         r: f64,
         r_plus: f64,
-        points: Vec<P>,
+        points: S,
         l: usize,
         rng: &mut dyn Rng,
     ) -> Self {
@@ -77,8 +78,14 @@ impl<P: Sync + 'static> RangeReportingIndex<P> {
     /// Report all retrieved candidates within `r_plus`. The stats expose
     /// the duplicate count, whose ratio to the output size is the
     /// output-sensitivity overhead bounded by `f_max / f_min`.
-    pub fn query(&self, q: &P) -> (Vec<usize>, QueryStats) {
-        let (cands, mut stats) = self.index.candidates(q, None);
+    pub fn query<Q>(&self, q: &Q) -> (Vec<usize>, QueryStats)
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        let q = q.as_row();
+        let (cands, mut stats) = self
+            .index
+            .candidates_row(q, None, &mut self.index.new_scratch());
         let out = self.verify(cands, q, &mut stats);
         (out, stats)
     }
@@ -87,26 +94,32 @@ impl<P: Sync + 'static> RangeReportingIndex<P> {
     /// out across worker threads with one reusable scratch buffer per
     /// worker. Results line up with `queries` and are identical to a
     /// query-at-a-time loop.
-    pub fn query_batch(&self, queries: &[P]) -> Vec<(Vec<usize>, QueryStats)> {
+    pub fn query_batch<QS>(&self, queries: &QS) -> Vec<(Vec<usize>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
         self.query_batch_with_threads(queries, parallel::available_threads())
     }
 
     /// [`RangeReportingIndex::query_batch`] with an explicit worker-thread
     /// count (the output does not depend on it; the count is capped so
     /// each worker serves several queries per scratch buffer).
-    pub fn query_batch_with_threads(
+    pub fn query_batch_with_threads<QS>(
         &self,
-        queries: &[P],
+        queries: &QS,
         threads: usize,
-    ) -> Vec<(Vec<usize>, QueryStats)> {
+    ) -> Vec<(Vec<usize>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
         let threads =
             parallel::capped_threads(queries.len(), threads, crate::table::MIN_QUERIES_PER_WORKER);
-        parallel::map_chunks(queries, threads, |_, chunk| {
+        parallel::map_index_chunks(queries.len(), threads, |range| {
             let mut scratch = self.index.new_scratch();
-            chunk
-                .iter()
-                .map(|q| {
-                    let (cands, mut stats) = self.index.candidates_with(q, None, &mut scratch);
+            range
+                .map(|i| {
+                    let q = queries.row(i);
+                    let (cands, mut stats) = self.index.candidates_row(q, None, &mut scratch);
                     let out = self.verify(cands, q, &mut stats);
                     (out, stats)
                 })
@@ -114,7 +127,7 @@ impl<P: Sync + 'static> RangeReportingIndex<P> {
         })
     }
 
-    fn verify(&self, cands: Vec<usize>, q: &P, stats: &mut QueryStats) -> Vec<usize> {
+    fn verify(&self, cands: Vec<usize>, q: &S::Row, stats: &mut QueryStats) -> Vec<usize> {
         let mut out = Vec::new();
         for i in cands {
             stats.distance_computations += 1;
@@ -127,7 +140,10 @@ impl<P: Sync + 'static> RangeReportingIndex<P> {
 
     /// Recall against a ground-truth set of indices within distance `r`
     /// (fraction of them reported).
-    pub fn recall(&self, q: &P, truth: &[usize]) -> f64 {
+    pub fn recall<Q>(&self, q: &Q, truth: &[usize]) -> f64
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
         if truth.is_empty() {
             return 1.0;
         }
@@ -178,14 +194,15 @@ mod tests {
         let f_close = 0.95f64.powi(k as i32);
         let l = (3.0 / f_close).ceil() as usize;
         let mut rng = seeded(332);
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(d);
         let idx = RangeReportingIndex::build(&fam, measure, 0.05, 0.2, points, l, &mut rng);
         let rec = idx.recall(&q, &truth);
         assert!(rec > 0.9, "recall {rec}");
         // Nothing reported beyond r_plus.
         let (found, _) = idx.query(&q);
         for i in found {
-            assert!(idx.index.point(i).relative_hamming(&q) <= 0.2);
+            let t = dsh_core::points::hamming(idx.index.point(i), q.as_blocks()) as f64 / d as f64;
+            assert!(t <= 0.2);
         }
     }
 
@@ -207,19 +224,18 @@ mod tests {
         // (1-t)^k * t has f(0) = 0 yet f(0.05) comparable — flat-ish over
         // the close range relative to its max.
         let step = Concat::new(vec![
-            Box::new(Power::new(BitSampling::new(d), k)) as BoxedDshFamily<BitVector>,
+            Box::new(Power::new(BitSampling::new(d), k)) as BoxedDshFamily<[u64]>,
             Box::new(AntiBitSampling::new(d)),
         ]);
         let f_r_step = 0.95f64.powi(k as i32) * 0.05;
         let l_step = (2.0 / f_r_step).ceil() as usize;
 
         let mut rng = seeded(334);
-        let m1: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
-        let m2: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let m1 = crate::measures::relative_hamming(d);
+        let m2 = crate::measures::relative_hamming(d);
         let idx_plain =
             RangeReportingIndex::build(&plain, m1, 0.05, 0.2, points.clone(), l_plain, &mut rng);
-        let idx_step =
-            RangeReportingIndex::build(&step, m2, 0.05, 0.2, points, l_step, &mut rng);
+        let idx_step = RangeReportingIndex::build(&step, m2, 0.05, 0.2, points, l_step, &mut rng);
 
         let (out_p, st_p) = idx_plain.query(&q);
         let (out_s, st_s) = idx_step.query(&q);
@@ -250,7 +266,7 @@ mod tests {
             .chain((0..15).map(|_| BitVector::random(&mut rng, d)))
             .collect();
         let fam = Power::new(BitSampling::new(d), 8);
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(d);
         let idx = RangeReportingIndex::build(&fam, measure, 0.05, 0.2, points, 40, &mut rng);
         let sequential: Vec<_> = queries.iter().map(|q| idx.query(q)).collect();
         for threads in [1usize, 4, 9] {
@@ -265,7 +281,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one repetition")]
     fn build_rejects_zero_repetitions() {
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(16);
         let _ = RangeReportingIndex::build(
             &BitSampling::new(16),
             measure,
@@ -280,13 +296,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty point set")]
     fn build_rejects_empty_points() {
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(16);
         let _ = RangeReportingIndex::build(
             &BitSampling::new(16),
             measure,
             0.1,
             0.2,
-            Vec::new(),
+            Vec::<BitVector>::new(),
             4,
             &mut seeded(2),
         );
@@ -295,7 +311,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite and non-negative")]
     fn build_rejects_non_finite_radius() {
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(16);
         let _ = RangeReportingIndex::build(
             &BitSampling::new(16),
             measure,
@@ -313,7 +329,7 @@ mod tests {
         let mut rng = seeded(335);
         let points = hamming_data::uniform_hamming(&mut rng, 20, d);
         let q = BitVector::random(&mut rng, d);
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = crate::measures::relative_hamming(d);
         let idx = RangeReportingIndex::build(
             &BitSampling::new(d),
             measure,

@@ -12,9 +12,10 @@
 
 use crate::ann::repetition_count;
 use crate::annulus::{AnnulusIndex, AnnulusMatch, Measure};
+use crate::measures;
 use crate::table::QueryStats;
 use dsh_core::distance::{alpha_from_ratio, alpha_ratio};
-use dsh_core::points::DenseVector;
+use dsh_core::points::{AsRow, PointStore};
 use dsh_core::AnalyticCpf;
 use dsh_sphere::unimodal::{annulus_rho, UnimodalFilterDsh};
 use rand::Rng;
@@ -56,18 +57,19 @@ impl AnnulusSpec {
     }
 }
 
-/// Theorem 6.4 data structure over unit vectors.
-pub struct SphereAnnulusIndex {
-    inner: AnnulusIndex<DenseVector>,
+/// Theorem 6.4 data structure over unit vectors (any dense store
+/// backend).
+pub struct SphereAnnulusIndex<S: PointStore<Row = [f64]>> {
+    inner: AnnulusIndex<S>,
     spec: AnnulusSpec,
 }
 
-impl SphereAnnulusIndex {
+impl<S: PointStore<Row = [f64]>> SphereAnnulusIndex<S> {
     /// Build over `points` with filter scale `t` (larger `t` = sharper
     /// family = fewer false candidates, more repetitions) and repetition
     /// factor `>= 1`.
     pub fn build(
-        points: Vec<DenseVector>,
+        points: S,
         d: usize,
         spec: AnnulusSpec,
         t: f64,
@@ -84,7 +86,7 @@ impl SphereAnnulusIndex {
         let f_promise = family.cpf(spec.alpha.0).min(family.cpf(spec.alpha.1));
         assert!(f_promise > 0.0, "degenerate CPF over the promise interval");
         let l = repetition_count(repetition_factor, f_promise.min(1.0), 1);
-        let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
+        let measure: Measure<[f64]> = measures::inner_product();
         SphereAnnulusIndex {
             inner: AnnulusIndex::build(&family, measure, spec.beta, points, l, rng),
             spec,
@@ -104,14 +106,20 @@ impl SphereAnnulusIndex {
     /// Query per Definition 6.3: returns a point with inner product in
     /// `[beta_-, beta_+]` if one with inner product in
     /// `[alpha_-, alpha_+]` exists (success probability >= 1/2).
-    pub fn query(&self, q: &DenseVector) -> (Option<AnnulusMatch>, QueryStats) {
+    pub fn query<Q>(&self, q: &Q) -> (Option<AnnulusMatch>, QueryStats)
+    where
+        Q: AsRow<Row = [f64]> + ?Sized,
+    {
         self.inner.query(q)
     }
 
     /// Batched [`SphereAnnulusIndex::query`]: fans queries out across
     /// worker threads with scratch reuse; identical to a query-at-a-time
     /// loop.
-    pub fn query_batch(&self, queries: &[DenseVector]) -> Vec<(Option<AnnulusMatch>, QueryStats)> {
+    pub fn query_batch<QS>(&self, queries: &QS) -> Vec<(Option<AnnulusMatch>, QueryStats)>
+    where
+        QS: PointStore<Row = [f64]> + ?Sized,
+    {
         self.inner.query_batch(queries)
     }
 }

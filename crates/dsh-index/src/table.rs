@@ -32,6 +32,7 @@
 
 use crate::parallel;
 use dsh_core::family::{DshFamily, HasherPair, PointHasher};
+use dsh_core::points::{AsRow, PointStore};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -198,13 +199,19 @@ impl QueryScratch {
     }
 }
 
-/// An `L`-repetition DSH hash table over owned points.
-pub struct HashTableIndex<P> {
-    tables: Vec<Table<P>>,
-    points: Vec<P>,
+/// An `L`-repetition DSH hash table over a [`PointStore`].
+///
+/// `S` is the storage backend: the flat [`dsh_core::points::BitStore`] /
+/// [`dsh_core::points::DenseStore`] for contiguous rows, or `Vec<P>` for
+/// the classic pointer-per-point layout. Hash functions and queries
+/// operate on the store's row type, so the same sampled family builds a
+/// bit-identical index over either backend.
+pub struct HashTableIndex<S: PointStore> {
+    tables: Vec<Table<S::Row>>,
+    points: S,
 }
 
-impl<P> HashTableIndex<P> {
+impl<S: PointStore> HashTableIndex<S> {
     /// Number of repetitions `L`.
     pub fn repetitions(&self) -> usize {
         self.tables.len()
@@ -220,9 +227,14 @@ impl<P> HashTableIndex<P> {
         self.points.is_empty()
     }
 
-    /// Access an indexed point.
-    pub fn point(&self, i: usize) -> &P {
-        &self.points[i]
+    /// Borrow the row of indexed point `i`.
+    pub fn point(&self, i: usize) -> &S::Row {
+        self.points.row(i)
+    }
+
+    /// The underlying point store.
+    pub fn store(&self) -> &S {
+        &self.points
     }
 
     /// A query scratch buffer sized for this index, for use with
@@ -230,14 +242,12 @@ impl<P> HashTableIndex<P> {
     pub fn new_scratch(&self) -> QueryScratch {
         QueryScratch::new(self.points.len())
     }
-}
 
-impl<P: Sync + 'static> HashTableIndex<P> {
     /// Build with `l` independently sampled `(h, g)` pairs, fanning table
     /// construction out over [`parallel::available_threads`] workers.
     pub fn build(
-        family: &(impl DshFamily<P> + ?Sized),
-        points: Vec<P>,
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        points: S,
         l: usize,
         rng: &mut dyn Rng,
     ) -> Self {
@@ -249,10 +259,11 @@ impl<P: Sync + 'static> HashTableIndex<P> {
     /// Deterministic in `threads`: all `l` pairs are sampled sequentially
     /// from `rng` before any worker starts, and workers only evaluate the
     /// already-sampled hash functions, so the same `rng` stream yields the
-    /// same index on every machine.
+    /// same index on every machine — and the same index for every storage
+    /// backend, since hashing reads rows either way.
     pub fn build_with_threads(
-        family: &(impl DshFamily<P> + ?Sized),
-        points: Vec<P>,
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        points: S,
         l: usize,
         rng: &mut dyn Rng,
         threads: usize,
@@ -262,10 +273,12 @@ impl<P: Sync + 'static> HashTableIndex<P> {
             points.len() < u32::MAX as usize,
             "point count exceeds index capacity"
         );
-        let pairs: Vec<HasherPair<P>> = (0..l).map(|_| family.sample(rng)).collect();
+        let pairs: Vec<HasherPair<S::Row>> = (0..l).map(|_| family.sample(rng)).collect();
         let points_ref = &points;
         let tables = parallel::map_items(&pairs, threads, |_, pair| {
-            let hashes: Vec<u64> = points_ref.iter().map(|p| pair.data.hash(p)).collect();
+            let hashes: Vec<u64> = (0..points_ref.len())
+                .map(|i| pair.data.hash(points_ref.row(i)))
+                .collect();
             Table {
                 data_fn: Arc::clone(&pair.data),
                 query_fn: Arc::clone(&pair.query),
@@ -278,8 +291,12 @@ impl<P: Sync + 'static> HashTableIndex<P> {
     /// Retrieve query candidates table-by-table, stopping once
     /// `retrieval_limit` raw entries have been pulled (the `8L`
     /// early-termination device from the proof of Theorem 6.1).
-    /// Returns distinct candidate indices in retrieval order.
-    pub fn candidates(&self, q: &P, retrieval_limit: Option<usize>) -> (Vec<usize>, QueryStats) {
+    /// Returns distinct candidate indices in retrieval order. The query
+    /// may be an owned point, a store row view, or a raw row.
+    pub fn candidates<Q>(&self, q: &Q, retrieval_limit: Option<usize>) -> (Vec<usize>, QueryStats)
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
         self.candidates_with(q, retrieval_limit, &mut self.new_scratch())
     }
 
@@ -287,9 +304,21 @@ impl<P: Sync + 'static> HashTableIndex<P> {
     /// buffer, letting tight query loops skip the per-query O(n)
     /// allocation. The scratch must come from this index's
     /// [`HashTableIndex::new_scratch`] (or one of identical size).
-    pub fn candidates_with(
+    pub fn candidates_with<Q>(
         &self,
-        q: &P,
+        q: &Q,
+        retrieval_limit: Option<usize>,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<usize>, QueryStats)
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.candidates_row(q.as_row(), retrieval_limit, scratch)
+    }
+
+    pub(crate) fn candidates_row(
+        &self,
+        q: &S::Row,
         retrieval_limit: Option<usize>,
         scratch: &mut QueryScratch,
     ) -> (Vec<usize>, QueryStats) {
@@ -329,13 +358,17 @@ impl<P: Sync + 'static> HashTableIndex<P> {
 
     /// Run [`HashTableIndex::candidates`] for a batch of queries, fanned
     /// out across [`parallel::available_threads`] workers with one scratch
-    /// buffer per worker. Results line up with `queries` and are identical
-    /// to a query-at-a-time loop.
-    pub fn candidates_batch(
+    /// buffer per worker. The batch may be any store over the same row
+    /// type (a `Vec` of owned points or a flat store). Results line up
+    /// with `queries` and are identical to a query-at-a-time loop.
+    pub fn candidates_batch<QS>(
         &self,
-        queries: &[P],
+        queries: &QS,
         retrieval_limit: Option<usize>,
-    ) -> Vec<(Vec<usize>, QueryStats)> {
+    ) -> Vec<(Vec<usize>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
         self.candidates_batch_with_threads(queries, retrieval_limit, parallel::available_threads())
     }
 
@@ -344,27 +377,32 @@ impl<P: Sync + 'static> HashTableIndex<P> {
     /// every worker serves at least a handful of queries — one worker per
     /// query would pay a thread spawn and an O(n) scratch allocation per
     /// single query.
-    pub fn candidates_batch_with_threads(
+    pub fn candidates_batch_with_threads<QS>(
         &self,
-        queries: &[P],
+        queries: &QS,
         retrieval_limit: Option<usize>,
         threads: usize,
-    ) -> Vec<(Vec<usize>, QueryStats)> {
+    ) -> Vec<(Vec<usize>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
         let threads = parallel::capped_threads(queries.len(), threads, MIN_QUERIES_PER_WORKER);
-        parallel::map_chunks(queries, threads, |_, chunk| {
+        parallel::map_index_chunks(queries.len(), threads, |range| {
             let mut scratch = self.new_scratch();
-            chunk
-                .iter()
-                .map(|q| self.candidates_with(q, retrieval_limit, &mut scratch))
+            range
+                .map(|i| self.candidates_row(queries.row(i), retrieval_limit, &mut scratch))
                 .collect()
         })
     }
 
     /// Whether data point `i` and the query collide in table `j`
     /// (diagnostic helper for tests).
-    pub fn collides_in_table(&self, j: usize, i: usize, q: &P) -> bool {
+    pub fn collides_in_table<Q>(&self, j: usize, i: usize, q: &Q) -> bool
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
         let t = &self.tables[j];
-        t.data_fn.hash(&self.points[i]) == t.query_fn.hash(q)
+        t.data_fn.hash(self.points.row(i)) == t.query_fn.hash(q.as_row())
     }
 }
 
@@ -388,7 +426,10 @@ mod tests {
         let mut rng = seeded(302);
         let idx = HashTableIndex::build(&BitSampling::new(d), points, 8, &mut rng);
         let (cands, stats) = idx.candidates(&q, None);
-        assert!(cands.contains(&17), "identical point must collide somewhere");
+        assert!(
+            cands.contains(&17),
+            "identical point must collide somewhere"
+        );
         assert_eq!(stats.tables_probed, 8);
         assert_eq!(
             stats.distinct_candidates + stats.duplicates,
@@ -406,7 +447,10 @@ mod tests {
         let mut rng = seeded(303);
         let idx = HashTableIndex::build(&AntiBitSampling::new(d), points, 16, &mut rng);
         let (cands, _) = idx.candidates(&q, None);
-        assert!(!cands.contains(&3), "anti family must not retrieve the query itself");
+        assert!(
+            !cands.contains(&3),
+            "anti family must not retrieve the query itself"
+        );
     }
 
     #[test]
@@ -435,7 +479,7 @@ mod tests {
         assert_eq!(idx.repetitions(), 3);
         assert_eq!(idx.len(), 5);
         assert!(!idx.is_empty());
-        assert_eq!(idx.point(0), &p0);
+        assert_eq!(idx.point(0), p0.as_blocks());
     }
 
     #[test]
@@ -502,7 +546,10 @@ mod tests {
             let sequential: Vec<_> = queries.iter().map(|q| idx.candidates(q, limit)).collect();
             for threads in [1usize, 3, 8] {
                 let batched = idx.candidates_batch_with_threads(&queries, limit, threads);
-                assert_eq!(sequential, batched, "threads = {threads}, limit = {limit:?}");
+                assert_eq!(
+                    sequential, batched,
+                    "threads = {threads}, limit = {limit:?}"
+                );
             }
         }
     }

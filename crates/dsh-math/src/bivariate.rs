@@ -23,7 +23,10 @@ use crate::normal;
 /// `d/d rho Pr[X>=h, Y>=k] = bivariate_density(h, k; rho)`, integrating the
 /// density from the independent case `rho = 0`.
 pub fn orthant(h: f64, k: f64, rho: f64) -> f64 {
-    assert!((-1.0..=1.0).contains(&rho), "rho must be in [-1,1], got {rho}");
+    assert!(
+        (-1.0..=1.0).contains(&rho),
+        "rho must be in [-1,1], got {rho}"
+    );
     if rho == 1.0 {
         // Comonotone: X = Y.
         return normal::tail(h.max(k));
@@ -53,8 +56,7 @@ pub fn orthant(h: f64, k: f64, rho: f64) -> f64 {
     //   Pr[X>=h, Y>=k] = phi(h) * int_0^inf e^{-hs - s^2/2}
     //                      * Pr[Z >= (k - rho (h+s)) / sqrt(1-rho^2)] ds.
     let s1 = (1.0 - rho * rho).sqrt();
-    let integrand =
-        |s: f64| (-h * s - 0.5 * s * s).exp() * normal::tail((k - rho * (h + s)) / s1);
+    let integrand = |s: f64| (-h * s - 0.5 * s * s).exp() * normal::tail((k - rho * (h + s)) / s1);
     // Two-stage tolerance so the result is accurate *relative* to its own
     // (possibly tiny) magnitude.
     let rough = integrate_to_infinity(integrand, 0.0, 1e-15);
@@ -105,7 +107,8 @@ pub fn savage_lower(t: f64, alpha: f64) -> f64 {
 /// Natural log of the Savage upper bound, stable for large `t`.
 pub fn ln_savage_upper(t: f64, alpha: f64) -> f64 {
     let a = alpha;
-    2.0 * (1.0 + a).ln() - 0.5 * (1.0 - a * a).ln()
+    2.0 * (1.0 + a).ln()
+        - 0.5 * (1.0 - a * a).ln()
         - (2.0 * std::f64::consts::PI * t * t).ln()
         - t * t / (1.0 + a)
 }
@@ -166,8 +169,14 @@ mod tests {
                 let exact = same_orthant(t, alpha);
                 let hi = savage_upper(t, alpha);
                 let lo = savage_lower(t, alpha);
-                assert!(exact < hi * (1.0 + 1e-9), "alpha={alpha} t={t}: {exact} !< {hi}");
-                assert!(exact >= lo * (1.0 - 1e-9), "alpha={alpha} t={t}: {exact} !>= {lo}");
+                assert!(
+                    exact < hi * (1.0 + 1e-9),
+                    "alpha={alpha} t={t}: {exact} !< {hi}"
+                );
+                assert!(
+                    exact >= lo * (1.0 - 1e-9),
+                    "alpha={alpha} t={t}: {exact} !>= {lo}"
+                );
             }
         }
     }

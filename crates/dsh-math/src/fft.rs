@@ -10,7 +10,10 @@ use crate::complex::Complex;
 /// `inverse` selects the inverse transform (including the `1/n` scaling).
 pub fn fft(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -90,6 +93,30 @@ pub fn circular_convolution_many(seqs: &[Vec<f64>]) -> Vec<f64> {
     acc.into_iter().map(|z| z.re).collect()
 }
 
+/// [`circular_convolution_many`] over rows stored row-major in one flat
+/// buffer (`flat.len()` a multiple of the power-of-two row length `m`):
+/// the allocation-lean form for callers that assemble their inputs in a
+/// single scratch buffer instead of a `Vec<Vec<f64>>`.
+pub fn circular_convolution_rows(flat: &[f64], m: usize) -> Vec<f64> {
+    assert!(m.is_power_of_two(), "row length must be a power of two");
+    assert!(
+        !flat.is_empty() && flat.len().is_multiple_of(m),
+        "flat buffer not a multiple of m"
+    );
+    let mut acc: Vec<Complex> = vec![Complex::ONE; m];
+    let mut f: Vec<Complex> = Vec::with_capacity(m);
+    for row in flat.chunks_exact(m) {
+        f.clear();
+        f.extend(row.iter().map(|&x| Complex::from_real(x)));
+        fft(&mut f, false);
+        for (a, b) in acc.iter_mut().zip(&f) {
+            *a *= *b;
+        }
+    }
+    fft(&mut acc, true);
+    acc.into_iter().map(|z| z.re).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +180,17 @@ mod tests {
         for (x, y) in pairwise.iter().zip(&many) {
             assert!((x - y).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn convolution_rows_matches_many() {
+        let a = vec![1.0, 0.5, 2.0, -1.0];
+        let b = vec![0.0, 1.0, 0.25, 0.0];
+        let c = vec![3.0, 0.0, -2.0, 1.0];
+        let flat: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let many = circular_convolution_many(&[a, b, c]);
+        let rows = circular_convolution_rows(&flat, 4);
+        assert_eq!(many, rows, "flat rows must reproduce the Vec-of-Vec path");
     }
 
     #[test]

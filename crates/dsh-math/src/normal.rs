@@ -57,10 +57,7 @@ pub fn tail_upper_bound(t: f64) -> f64 {
 /// with one step of Halley's method against the accurate [`cdf`], giving
 /// close to machine precision across `(0, 1)`.
 pub fn inv_cdf(p: f64) -> f64 {
-    assert!(
-        p > 0.0 && p < 1.0,
-        "inv_cdf requires p in (0,1), got {p}"
-    );
+    assert!(p > 0.0 && p < 1.0, "inv_cdf requires p in (0,1), got {p}");
     // Acklam coefficients.
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,

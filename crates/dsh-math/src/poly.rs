@@ -270,20 +270,14 @@ mod tests {
     #[test]
     fn from_roots_real() {
         // (t-1)(t-2) = t^2 - 3t + 2
-        let p = Polynomial::from_roots(
-            1.0,
-            &[Complex::from_real(1.0), Complex::from_real(2.0)],
-        );
+        let p = Polynomial::from_roots(1.0, &[Complex::from_real(1.0), Complex::from_real(2.0)]);
         assert_eq!(p.coeffs(), &[2.0, -3.0, 1.0]);
     }
 
     #[test]
     fn from_roots_conjugate_pair() {
         // (t - (1+i))(t - (1-i)) = t^2 - 2t + 2
-        let p = Polynomial::from_roots(
-            2.0,
-            &[Complex::new(1.0, 1.0), Complex::new(1.0, -1.0)],
-        );
+        let p = Polynomial::from_roots(2.0, &[Complex::new(1.0, 1.0), Complex::new(1.0, -1.0)]);
         assert_eq!(p.coeffs(), &[4.0, -4.0, 2.0]);
     }
 

@@ -17,8 +17,7 @@ pub fn seeded(seed: u64) -> StdRng {
 /// SplitMix64 — so experiment repetitions get independent, reproducible
 /// streams.
 pub fn derive_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -177,9 +176,8 @@ mod tests {
     #[test]
     fn child_streams_are_independent_and_reproducible() {
         // Children of the same master at different stream indices differ...
-        let take = |mut r: rand::rngs::StdRng| -> Vec<u64> {
-            (0..32).map(|_| r.next_u64()).collect()
-        };
+        let take =
+            |mut r: rand::rngs::StdRng| -> Vec<u64> { (0..32).map(|_| r.next_u64()).collect() };
         let c0 = take(child(42, 0));
         let c1 = take(child(42, 1));
         assert_ne!(c0, c1);

@@ -20,7 +20,9 @@ use crate::poly::Polynomial;
 /// iteration fails to converge (which does not happen for the well-scaled
 /// polynomials the library produces; degree is asserted `<= 64`).
 pub fn find_roots(p: &Polynomial) -> Vec<Complex> {
-    let deg = p.degree().expect("zero polynomial has every number as root");
+    let deg = p
+        .degree()
+        .expect("zero polynomial has every number as root");
     assert!(deg >= 1, "constant polynomial has no roots");
     assert!(deg <= 64, "root finder intended for moderate degrees");
 
@@ -67,7 +69,11 @@ fn aberth(p: &Polynomial) -> Vec<Complex> {
                 continue;
             }
             let dpz = dp.eval_complex(z[i]);
-            let newton = if dpz.abs() > 0.0 { pz / dpz } else { Complex::new(1e-6, 1e-6) };
+            let newton = if dpz.abs() > 0.0 {
+                pz / dpz
+            } else {
+                Complex::new(1e-6, 1e-6)
+            };
             let mut repulsion = Complex::ZERO;
             for (j, &zj) in z.iter().enumerate() {
                 if j != i {
@@ -81,7 +87,11 @@ fn aberth(p: &Polynomial) -> Vec<Complex> {
                 }
             }
             let denom = Complex::ONE - newton * repulsion;
-            let step = if denom.abs() > 1e-30 { newton / denom } else { newton };
+            let step = if denom.abs() > 1e-30 {
+                newton / denom
+            } else {
+                newton
+            };
             z[i] -= step;
             max_step = max_step.max(step.abs());
         }
@@ -173,7 +183,10 @@ pub fn group_roots(roots: &[Complex]) -> GroupedRoots {
             complex_pairs.push(r);
         }
     }
-    GroupedRoots { real, complex_pairs }
+    GroupedRoots {
+        real,
+        complex_pairs,
+    }
 }
 
 #[cfg(test)]
@@ -298,8 +311,7 @@ mod proptests {
         let mut cases = 0;
         while cases < 64 {
             let len = rng.random_range(2usize..7);
-            let coeffs: Vec<f64> =
-                (0..len).map(|_| rng.random_range(-5.0f64..5.0)).collect();
+            let coeffs: Vec<f64> = (0..len).map(|_| rng.random_range(-5.0f64..5.0)).collect();
             // proptest's prop_filter: leading coefficient bounded away
             // from zero so deflation is well-conditioned.
             if coeffs.last().map(|&l| l.abs() > 0.1) != Some(true) {

@@ -26,7 +26,8 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     if x < 0.5 {
         // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
-        return std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln()
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
             - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
@@ -165,8 +166,7 @@ pub fn binomial(n: u64, k: u64) -> f64 {
         }
         (num / den) as f64
     } else {
-        (ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0))
-            .exp()
+        (ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)).exp()
     }
 }
 
@@ -203,7 +203,11 @@ mod tests {
         // Γ(1/2) = sqrt(pi)
         close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
         // Γ(3/2) = sqrt(pi)/2
-        close(ln_gamma(1.5), (std::f64::consts::PI.sqrt() / 2.0).ln(), 1e-12);
+        close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
     }
 
     #[test]

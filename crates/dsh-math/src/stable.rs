@@ -51,7 +51,10 @@ mod tests {
     /// vanishes by symmetry).
     fn empirical_cf(s: f64, u: f64, n: usize, seed: u64) -> f64 {
         let mut rng = seeded(seed);
-        (0..n).map(|_| (u * sample_stable(&mut rng, s)).cos()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| (u * sample_stable(&mut rng, s)).cos())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]

@@ -57,7 +57,11 @@ impl Proportion {
         let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
         // At the boundary counts the Wilson endpoints are exactly 0 / 1
         // algebraically; avoid float roundoff excluding the true value.
-        let lo = if successes == 0 { 0.0 } else { (center - half).max(0.0) };
+        let lo = if successes == 0 {
+            0.0
+        } else {
+            (center - half).max(0.0)
+        };
         let hi = if successes == trials {
             1.0
         } else {
@@ -113,7 +117,10 @@ pub fn rho(p: f64, q: f64) -> Option<f64> {
 /// Geometric mean of strictly positive values.
 pub fn geometric_mean(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty());
-    assert!(xs.iter().all(|&x| x > 0.0), "geometric mean needs positives");
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "geometric mean needs positives"
+    );
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 

@@ -1,4 +1,4 @@
-//! The triangulation attack of Riazi et al. [45] and the flat-CPF defence
+//! The triangulation attack of Riazi et al. \[45\] and the flat-CPF defence
 //! (§6.4's closing discussion).
 //!
 //! An adversary who sees the PSI transcript learns the intersection size.
@@ -13,6 +13,7 @@
 //! distinguish them from the intersection size alone.
 
 use crate::protocol::DistanceEstimationProtocol;
+use dsh_core::points::AsRow;
 use rand::Rng;
 
 /// Empirical distribution of intersection sizes at one distance.
@@ -40,7 +41,7 @@ impl SignalProfile {
 ///
 /// `make_pair(rng, dist)` must produce an `(x, q)` pair at the requested
 /// distance; `runs` transcripts are simulated per distance.
-pub fn profile_signal<P, G>(
+pub fn profile_signal<P: ?Sized, Q, G>(
     protocol: &DistanceEstimationProtocol<P>,
     distances: &[f64],
     runs: usize,
@@ -48,7 +49,8 @@ pub fn profile_signal<P, G>(
     mut make_pair: G,
 ) -> SignalProfile
 where
-    G: FnMut(&mut dyn Rng, f64) -> (P, P),
+    Q: AsRow<Row = P>,
+    G: FnMut(&mut dyn Rng, f64) -> (Q, Q),
 {
     assert!(!distances.is_empty() && runs > 0);
     let mut mean_sizes = Vec::with_capacity(distances.len());
@@ -97,8 +99,8 @@ mod tests {
         let plain = Power::new(BitSampling::new(d), k);
         let proto_plain = DistanceEstimationProtocol::new(&plain, n_hashes, 16, &mut rng);
 
-        let step: Concat<BitVector> = Concat::new(vec![
-            Box::new(Power::new(BitSampling::new(d), k)) as BoxedDshFamily<BitVector>,
+        let step: Concat<[u64]> = Concat::new(vec![
+            Box::new(Power::new(BitSampling::new(d), k)) as BoxedDshFamily<[u64]>,
             Box::new(AntiBitSampling::new(d)),
         ]);
         let proto_step = DistanceEstimationProtocol::new(&step, n_hashes, 16, &mut rng);
@@ -106,14 +108,12 @@ mod tests {
         // Distances within the sensitive range [0, 0.1 d].
         let distances = [0.0, 6.0, 13.0, 26.0];
         let runs = 40;
-        let plain_profile =
-            profile_signal(&proto_plain, &distances, runs, &mut rng, |r, dist| {
-                pair_at(r, d, dist)
-            });
-        let step_profile =
-            profile_signal(&proto_step, &distances, runs, &mut rng, |r, dist| {
-                pair_at(r, d, dist)
-            });
+        let plain_profile = profile_signal(&proto_plain, &distances, runs, &mut rng, |r, dist| {
+            pair_at(r, d, dist)
+        });
+        let step_profile = profile_signal(&proto_step, &distances, runs, &mut rng, |r, dist| {
+            pair_at(r, d, dist)
+        });
 
         // The plain LSH signal collapses steeply: dist 0 vs dist 26 is
         // many noise standard deviations apart.

@@ -17,10 +17,11 @@
 //! t^{1/rho})`; and — the privacy point — because the CPF is *flat* on
 //! `[0, r]`, the intersection size does not reveal how close the points
 //! are, unlike a standard LSH whose collision counts grow sharply as
-//! `dist -> 0` (the triangulation attack of [45]).
+//! `dist -> 0` (the triangulation attack of \[45\]).
 
 use crate::psi::{digest, PsiTranscript};
 use dsh_core::family::{DshFamily, HasherPair};
+use dsh_core::points::AsRow;
 use rand::Rng;
 
 /// Outcome of one protocol execution.
@@ -37,12 +38,12 @@ pub struct ProtocolOutcome {
 /// A configured instance of the distance-estimation protocol for points of
 /// type `P`. Sampling the hash pairs at construction models the shared
 /// public randomness.
-pub struct DistanceEstimationProtocol<P> {
+pub struct DistanceEstimationProtocol<P: ?Sized> {
     pairs: Vec<HasherPair<P>>,
     digest_bits: u32,
 }
 
-impl<P> DistanceEstimationProtocol<P> {
+impl<P: ?Sized> DistanceEstimationProtocol<P> {
     /// Instantiate with `num_hashes` shared pairs from `family` and
     /// digests of `digest_bits` bits.
     pub fn new(
@@ -83,24 +84,35 @@ impl<P> DistanceEstimationProtocol<P> {
         self.pairs.len()
     }
 
-    /// The server's digest vector for its point `x`.
-    pub fn server_digests(&self, x: &P) -> Vec<u64> {
+    /// The server's digest vector for its point `x` (an owned point, a
+    /// store row view, or a raw row).
+    pub fn server_digests<X>(&self, x: &X) -> Vec<u64>
+    where
+        X: AsRow<Row = P> + ?Sized,
+    {
         self.pairs
             .iter()
-            .map(|p| digest(p.data.hash(x), self.digest_bits))
+            .map(|p| digest(p.data.hash(x.as_row()), self.digest_bits))
             .collect()
     }
 
     /// The client's digest vector for its query `q`.
-    pub fn client_digests(&self, q: &P) -> Vec<u64> {
+    pub fn client_digests<Q>(&self, q: &Q) -> Vec<u64>
+    where
+        Q: AsRow<Row = P> + ?Sized,
+    {
         self.pairs
             .iter()
-            .map(|p| digest(p.query.hash(q), self.digest_bits))
+            .map(|p| digest(p.query.hash(q.as_row()), self.digest_bits))
             .collect()
     }
 
     /// Execute the protocol end-to-end through the ideal PSI.
-    pub fn run(&self, x: &P, q: &P) -> ProtocolOutcome {
+    pub fn run<X, Q>(&self, x: &X, q: &Q) -> ProtocolOutcome
+    where
+        X: AsRow<Row = P> + ?Sized,
+        Q: AsRow<Row = P> + ?Sized,
+    {
         let transcript = PsiTranscript::run(
             &self.server_digests(x),
             &self.client_digests(q),
@@ -136,7 +148,7 @@ mod tests {
         let k = 10;
         let fam = close_family(d, k);
         let f_min = 0.95f64.powi(k as i32); // CPF at relative distance 0.05
-        let n_hashes = DistanceEstimationProtocol::<BitVector>::required_hashes(f_min, 0.05);
+        let n_hashes = DistanceEstimationProtocol::<[u64]>::required_hashes(f_min, 0.05);
         let mut rng = seeded(401);
         let proto = DistanceEstimationProtocol::new(&fam, n_hashes, 16, &mut rng);
 
@@ -158,7 +170,7 @@ mod tests {
         let k = 30; // sharp decay: f(0.5) = 2^-30
         let fam = close_family(d, k);
         let f_min = 0.95f64.powi(k as i32);
-        let n_hashes = DistanceEstimationProtocol::<BitVector>::required_hashes(f_min, 0.1);
+        let n_hashes = DistanceEstimationProtocol::<[u64]>::required_hashes(f_min, 0.1);
         let mut rng = seeded(402);
         let proto = DistanceEstimationProtocol::new(&fam, n_hashes, 24, &mut rng);
 
@@ -183,8 +195,8 @@ mod tests {
         let d = 256;
         let k = 10;
         let plain = close_family(d, k);
-        let step: Concat<BitVector> = Concat::new(vec![
-            Box::new(close_family(d, k)) as BoxedDshFamily<BitVector>,
+        let step: Concat<[u64]> = Concat::new(vec![
+            Box::new(close_family(d, k)) as BoxedDshFamily<[u64]>,
             Box::new(AntiBitSampling::new(d)),
         ]);
         let mut rng = seeded(403);
@@ -204,8 +216,15 @@ mod tests {
         // point is indistinguishable-or-smaller, not a blaring signal.
         let s0 = proto_step.run(&x, &identical).intersection_size as f64;
         let sr = proto_step.run(&x, &at_r).intersection_size as f64;
-        assert!(p0 / pr.max(1.0) > 2.5, "plain ratio {} too small for the test", p0 / pr.max(1.0));
-        assert!(s0 <= sr, "step family must not spike at distance 0 ({s0} vs {sr})");
+        assert!(
+            p0 / pr.max(1.0) > 2.5,
+            "plain ratio {} too small for the test",
+            p0 / pr.max(1.0)
+        );
+        assert!(
+            s0 <= sr,
+            "step family must not spike at distance 0 ({s0} vs {sr})"
+        );
     }
 
     #[test]
@@ -226,14 +245,14 @@ mod tests {
     fn parameter_rules() {
         // required_hashes: ceil(ln(1/eps)/f_min).
         assert_eq!(
-            DistanceEstimationProtocol::<BitVector>::required_hashes(0.1, 0.05),
+            DistanceEstimationProtocol::<[u64]>::required_hashes(0.1, 0.05),
             ((1.0f64 / 0.05).ln() / 0.1).ceil() as usize
         );
         // suggested_t is monotone decreasing in delta and increasing in rho.
-        let t1 = DistanceEstimationProtocol::<BitVector>::suggested_t(0.01, 0.5);
-        let t2 = DistanceEstimationProtocol::<BitVector>::suggested_t(0.001, 0.5);
+        let t1 = DistanceEstimationProtocol::<[u64]>::suggested_t(0.01, 0.5);
+        let t2 = DistanceEstimationProtocol::<[u64]>::suggested_t(0.001, 0.5);
         assert!(t2 > t1);
-        let t3 = DistanceEstimationProtocol::<BitVector>::suggested_t(0.01, 0.25);
+        let t3 = DistanceEstimationProtocol::<[u64]>::suggested_t(0.01, 0.25);
         assert!(t3 < t1);
         // rho = 1/2: t = (1/delta)^1.
         assert!((t1 - 100.0).abs() < 1e-9);

@@ -2,7 +2,7 @@
 //!
 //! The paper reduces private distance estimation to PSI of the vectors
 //! `(h_1(x), h_2(x), ...)` and `(g_1(q), g_2(q), ...)` and cites
-//! linear-complexity PSI protocols [24, 26] as a black box. We model the
+//! linear-complexity PSI protocols \[24, 26\] as a black box. We model the
 //! PSI as an ideal functionality: an honest dealer that reveals *only* the
 //! component-wise intersection (positions and matching digests) and
 //! nothing else. What the library evaluates — and what the paper's §6.4
@@ -66,8 +66,7 @@ impl PsiTranscript {
         if self.length <= 1 {
             return self.positions.len() as f64 * self.digest_bits as f64;
         }
-        self.positions.len() as f64
-            * (self.digest_bits as f64 + (self.length as f64).log2())
+        self.positions.len() as f64 * (self.digest_bits as f64 + (self.length as f64).log2())
     }
 }
 

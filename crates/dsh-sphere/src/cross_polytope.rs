@@ -3,7 +3,7 @@
 //! `CP+` (Andoni, Indyk, Laarhoven, Razenshteyn, Schmidt): apply a random
 //! Gaussian matrix `A` and hash `x` to the closest signed standard basis
 //! vector of `A x` — i.e. the coordinate of maximum absolute value,
-//! together with its sign. Theorem 2.1 (reproduced from [8]):
+//! together with its sign. Theorem 2.1 (reproduced from \[8\]):
 //!
 //! ```text
 //! ln(1/f(alpha)) = ((1 - alpha)/(1 + alpha)) ln d + O_alpha(ln ln d).
@@ -16,7 +16,7 @@
 
 use crate::geometry::GaussianMatrix;
 use dsh_core::family::{DshFamily, HasherPair};
-use dsh_core::points::DenseVector;
+
 use rand::Rng;
 
 /// Hash a rotated vector to its closest signed basis vector:
@@ -59,13 +59,13 @@ impl CrossPolytopeLsh {
     }
 }
 
-impl DshFamily<DenseVector> for CrossPolytopeLsh {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<DenseVector> {
+impl DshFamily<[f64]> for CrossPolytopeLsh {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[f64]> {
         let a = GaussianMatrix::sample(rng, self.d, self.d);
         let b = a.clone();
         HasherPair::from_fns(
-            move |x: &DenseVector| closest_polytope_vertex(&a.apply(x)),
-            move |y: &DenseVector| closest_polytope_vertex(&b.apply(y)),
+            move |x: &[f64]| closest_polytope_vertex(&a.apply(x)),
+            move |y: &[f64]| closest_polytope_vertex(&b.apply(y)),
         )
     }
 
@@ -103,13 +103,16 @@ impl CrossPolytopeAnti {
     }
 }
 
-impl DshFamily<DenseVector> for CrossPolytopeAnti {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<DenseVector> {
+impl DshFamily<[f64]> for CrossPolytopeAnti {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[f64]> {
         let a = GaussianMatrix::sample(rng, self.d, self.d);
         let b = a.clone();
         HasherPair::from_fns(
-            move |x: &DenseVector| closest_polytope_vertex(&a.apply(x)),
-            move |y: &DenseVector| closest_polytope_vertex(&b.apply(&y.negated())),
+            move |x: &[f64]| closest_polytope_vertex(&a.apply(x)),
+            move |y: &[f64]| {
+                let neg: Vec<f64> = y.iter().map(|c| -c).collect();
+                closest_polytope_vertex(&b.apply(&neg))
+            },
         )
     }
 
@@ -123,6 +126,7 @@ mod tests {
     use super::*;
     use crate::geometry::pair_with_inner_product;
     use dsh_core::estimate::CpfEstimator;
+    use dsh_core::points::DenseVector;
     use dsh_math::rng::seeded;
 
     #[test]
@@ -189,8 +193,7 @@ mod tests {
         let (x, y) = pair_with_inner_product(&mut rng, d, 0.5);
         let (u, v) = pair_with_inner_product(&mut rng, d, -0.5);
         let plus = CpfEstimator::new(40_000, 98).estimate_pair(&CrossPolytopeLsh::new(d), &u, &v);
-        let minus =
-            CpfEstimator::new(40_000, 99).estimate_pair(&CrossPolytopeAnti::new(d), &x, &y);
+        let minus = CpfEstimator::new(40_000, 99).estimate_pair(&CrossPolytopeAnti::new(d), &x, &y);
         // Same distribution: intervals overlap generously.
         assert!(
             minus.lo <= plus.hi + 0.01 && plus.lo <= minus.hi + 0.01,
@@ -228,8 +231,6 @@ mod tests {
             assert!((plus - minus).abs() < 1e-12);
         }
         // At alpha = 0 both are ln d.
-        assert!(
-            (CrossPolytopeLsh::theoretical_ln_inv_cpf(d, 0.0) - (d as f64).ln()).abs() < 1e-12
-        );
+        assert!((CrossPolytopeLsh::theoretical_ln_inv_cpf(d, 0.0) - (d as f64).ln()).abs() < 1e-12);
     }
 }

@@ -28,7 +28,6 @@
 
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{DshFamily, HasherPair, PointHasher};
-use dsh_core::points::DenseVector;
 use dsh_math::{bivariate, normal, rng};
 use rand::Rng;
 
@@ -58,16 +57,19 @@ struct FilterHasher {
     sentinel: u64,
 }
 
-impl PointHasher<DenseVector> for FilterHasher {
-    fn hash(&self, x: &DenseVector) -> u64 {
-        let xs = x.as_slice();
+impl PointHasher<[f64]> for FilterHasher {
+    fn hash(&self, xs: &[f64]) -> u64 {
         for i in 0..self.m {
             let mut cap = rng::GaussianStream::new(rng::derive_seed(self.seed, i as u64));
             let mut dot = 0.0;
             for &c in xs {
                 dot += c * cap.next();
             }
-            let hit = if self.negate { dot <= -self.t } else { dot >= self.t };
+            let hit = if self.negate {
+                dot <= -self.t
+            } else {
+                dot >= self.t
+            };
             if hit {
                 return i as u64;
             }
@@ -199,8 +201,7 @@ fn first_hit_cpf(p_and: f64, p_single: f64, m: usize) -> f64 {
 /// ((1+alpha)^2 / sqrt(1-alpha^2)) exp(-((1-alpha)/(1+alpha)) t^2/2)`.
 fn lemma_a5_upper(t: f64, alpha: f64) -> f64 {
     assert!(alpha > -1.0 && alpha < 1.0);
-    (t + 1.0) / (t * t) / (2.0 * std::f64::consts::PI).sqrt()
-        * (1.0 + alpha).powi(2)
+    (t + 1.0) / (t * t) / (2.0 * std::f64::consts::PI).sqrt() * (1.0 + alpha).powi(2)
         / (1.0 - alpha * alpha).sqrt()
         * (-(1.0 - alpha) / (1.0 + alpha) * t * t / 2.0).exp()
 }
@@ -219,13 +220,12 @@ fn lemma_a5_upper(t: f64, alpha: f64) -> f64 {
 /// Theorem 1.2 is unaffected (the factor 2 is absorbed by `Theta(log t)`).
 fn lemma_a5_lower(t: f64, alpha: f64) -> f64 {
     let correction = 1.0 - (2.0 - alpha) * (1.0 + alpha) / ((1.0 - alpha) * t * t);
-    (0.5 * correction * t / (t + 1.0) * lemma_a5_upper(t, alpha)
-        - 2.0 * (-t.powi(3)).exp())
-    .max(0.0)
+    (0.5 * correction * t / (t + 1.0) * lemma_a5_upper(t, alpha) - 2.0 * (-t.powi(3)).exp())
+        .max(0.0)
 }
 
-impl DshFamily<DenseVector> for FilterDshPlus {
-    fn sample(&self, rng_in: &mut dyn Rng) -> HasherPair<DenseVector> {
+impl DshFamily<[f64]> for FilterDshPlus {
+    fn sample(&self, rng_in: &mut dyn Rng) -> HasherPair<[f64]> {
         let seed = rng_in.next_u64();
         HasherPair::new(
             FilterHasher {
@@ -250,8 +250,8 @@ impl DshFamily<DenseVector> for FilterDshPlus {
     }
 }
 
-impl DshFamily<DenseVector> for FilterDshMinus {
-    fn sample(&self, rng_in: &mut dyn Rng) -> HasherPair<DenseVector> {
+impl DshFamily<[f64]> for FilterDshMinus {
+    fn sample(&self, rng_in: &mut dyn Rng) -> HasherPair<[f64]> {
         let seed = rng_in.next_u64();
         HasherPair::new(
             FilterHasher {
@@ -301,6 +301,7 @@ mod tests {
     use super::*;
     use crate::geometry::pair_with_inner_product;
     use dsh_core::estimate::CpfEstimator;
+    use dsh_core::points::DenseVector;
     use dsh_math::rng::seeded;
 
     #[test]
@@ -397,8 +398,14 @@ mod tests {
                 let exact = fam.cpf(alpha);
                 let hi = fam.cpf_upper_bound(alpha);
                 let lo = fam.cpf_lower_bound(alpha);
-                assert!(exact <= hi * (1.0 + 1e-9), "t={t} a={alpha}: {exact} > {hi}");
-                assert!(exact >= lo * (1.0 - 1e-9), "t={t} a={alpha}: {exact} < {lo}");
+                assert!(
+                    exact <= hi * (1.0 + 1e-9),
+                    "t={t} a={alpha}: {exact} > {hi}"
+                );
+                assert!(
+                    exact >= lo * (1.0 - 1e-9),
+                    "t={t} a={alpha}: {exact} < {lo}"
+                );
             }
         }
     }
@@ -442,8 +449,8 @@ mod tests {
         let mut rng = seeded(115);
         let pair = fam.sample(&mut rng);
         let x = DenseVector::random_unit(&mut rng, 6);
-        assert_eq!(pair.data.hash(&x), pair.data.hash(&x));
-        assert_eq!(pair.query.hash(&x), pair.query.hash(&x));
+        assert_eq!(pair.data.hash(x.as_slice()), pair.data.hash(x.as_slice()));
+        assert_eq!(pair.query.hash(x.as_slice()), pair.query.hash(x.as_slice()));
     }
 
     #[test]
@@ -455,8 +462,8 @@ mod tests {
         let (x, y) = pair_with_inner_product(&mut rng, 6, 0.9);
         for _ in 0..200 {
             let pair = fam.sample(&mut rng);
-            let hx = pair.data.hash(&x);
-            let gy = pair.query.hash(&y);
+            let hx = pair.data.hash(x.as_slice());
+            let gy = pair.query.hash(y.as_slice());
             if hx >= 2 && gy >= 2 {
                 assert_ne!(hx, gy);
             }

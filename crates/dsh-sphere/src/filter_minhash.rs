@@ -22,12 +22,14 @@
 //! `benches/` and the tests below confirm the CPFs coincide.
 
 use crate::filter::suggested_filter_count;
+use crate::geometry::GaussianMatrix;
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{DshFamily, HasherPair, PointHasher};
 use dsh_core::hash::mix64;
-use dsh_core::points::DenseVector;
-use dsh_math::{bivariate, normal, rng};
+use dsh_core::points;
+use dsh_math::{bivariate, normal};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Anti-LSH filter family realized through min-wise hashing instead of
 /// first-index selection. CPF equals [`crate::filter::FilterDshMinus`].
@@ -39,24 +41,29 @@ pub struct FilterMinHashDsh {
 }
 
 struct MinHasher {
+    /// All `m` caps, materialized as one flat matrix: unlike the
+    /// first-index filter hasher (which stops at the first hit and
+    /// therefore generates caps lazily), min-wise hashing always scans
+    /// every cap, so the contiguous rows are pure win. Row `i` equals the
+    /// seeded Gaussian stream the lazy hasher would generate for cap `i`.
+    caps: Arc<GaussianMatrix>,
     seed: u64,
     t: f64,
-    m: usize,
     negate: bool,
     sentinel: u64,
 }
 
-impl PointHasher<DenseVector> for MinHasher {
-    fn hash(&self, x: &DenseVector) -> u64 {
-        let xs = x.as_slice();
+impl PointHasher<[f64]> for MinHasher {
+    fn hash(&self, xs: &[f64]) -> u64 {
+        let m = self.caps.rows();
         let mut best: Option<(u64, u64)> = None; // (priority, index)
-        for i in 0..self.m {
-            let mut cap = rng::GaussianStream::new(rng::derive_seed(self.seed, i as u64));
-            let mut dot = 0.0;
-            for &c in xs {
-                dot += c * cap.next();
-            }
-            let hit = if self.negate { dot <= -self.t } else { dot >= self.t };
+        for i in 0..m {
+            let dot = points::dot(self.caps.row(i), xs);
+            let hit = if self.negate {
+                dot <= -self.t
+            } else {
+                dot >= self.t
+            };
             if hit {
                 let priority = mix64(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
                 if best.is_none_or(|(bp, _)| priority < bp) {
@@ -66,7 +73,7 @@ impl PointHasher<DenseVector> for MinHasher {
         }
         match best {
             Some((_, i)) => i,
-            None => self.m as u64 + self.sentinel,
+            None => m as u64 + self.sentinel,
         }
     }
 }
@@ -96,21 +103,22 @@ impl FilterMinHashDsh {
     }
 }
 
-impl DshFamily<DenseVector> for FilterMinHashDsh {
-    fn sample(&self, rng_in: &mut dyn Rng) -> HasherPair<DenseVector> {
+impl DshFamily<[f64]> for FilterMinHashDsh {
+    fn sample(&self, rng_in: &mut dyn Rng) -> HasherPair<[f64]> {
         let seed = rng_in.next_u64();
+        let caps = Arc::new(GaussianMatrix::from_seeded_rows(seed, self.m, self.d));
         HasherPair::new(
             MinHasher {
+                caps: Arc::clone(&caps),
                 seed,
                 t: self.t,
-                m: self.m,
                 negate: false,
                 sentinel: 1,
             },
             MinHasher {
+                caps,
                 seed,
                 t: self.t,
-                m: self.m,
                 negate: true,
                 sentinel: 2,
             },
@@ -143,6 +151,7 @@ mod tests {
     use crate::filter::FilterDshMinus;
     use crate::geometry::pair_with_inner_product;
     use dsh_core::estimate::CpfEstimator;
+    use dsh_core::points::DenseVector;
     use dsh_math::rng::seeded;
 
     #[test]
@@ -204,6 +213,6 @@ mod tests {
         let mut rng = seeded(0x3C6);
         let pair = fam.sample(&mut rng);
         let x = DenseVector::random_unit(&mut rng, 6);
-        assert_eq!(pair.data.hash(&x), pair.data.hash(&x));
+        assert_eq!(pair.data.hash(x.as_slice()), pair.data.hash(x.as_slice()));
     }
 }

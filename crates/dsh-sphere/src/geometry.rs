@@ -1,7 +1,7 @@
 //! Unit-sphere geometry helpers: controlled-inner-product pairs,
 //! alpha-correlated hypercube corners, Gaussian projections.
 
-use dsh_core::points::DenseVector;
+use dsh_core::points::{self, DenseVector};
 use rand::Rng;
 
 /// Produce a pair of unit vectors with inner product exactly `alpha`
@@ -53,34 +53,83 @@ pub fn correlated_corner_pair(
     (DenseVector::new(xs), DenseVector::new(ys))
 }
 
-/// A set of `m` i.i.d. Gaussian projection vectors (rows), as used by the
-/// filter families and cross-polytope rotations.
+/// A set of `m` i.i.d. Gaussian projection vectors, stored as one
+/// contiguous row-major `m x d` buffer (one allocation instead of one per
+/// row), as used by the cross-polytope rotations and the min-wise filter
+/// hasher.
 #[derive(Debug, Clone)]
 pub struct GaussianMatrix {
-    rows: Vec<DenseVector>,
+    data: Vec<f64>,
+    m: usize,
+    d: usize,
 }
 
 impl GaussianMatrix {
-    /// Sample an `m x d` matrix with i.i.d. `N(0,1)` entries.
+    /// Sample an `m x d` matrix with i.i.d. `N(0,1)` entries (entries are
+    /// drawn row-major, the same stream order as sampling `m` separate
+    /// Gaussian vectors).
     pub fn sample(rng: &mut dyn Rng, m: usize, d: usize) -> Self {
-        GaussianMatrix {
-            rows: (0..m).map(|_| DenseVector::gaussian(rng, d)).collect(),
+        assert!(d > 0, "row dimension must be positive");
+        let mut data = Vec::with_capacity(m * d);
+        for _ in 0..m * d {
+            data.push(dsh_math::normal::sample(rng));
         }
+        GaussianMatrix { data, m, d }
+    }
+
+    /// Materialize `m` rows from per-row seeded Gaussian streams: row `i`
+    /// holds the first `d` values of the stream seeded with
+    /// `derive_seed(seed, i)` — the cap-generation scheme of the filter
+    /// hashers, so a matrix built this way reproduces their projections
+    /// exactly.
+    pub fn from_seeded_rows(seed: u64, m: usize, d: usize) -> Self {
+        assert!(d > 0, "row dimension must be positive");
+        let mut data = Vec::with_capacity(m * d);
+        for i in 0..m {
+            let mut stream =
+                dsh_math::rng::GaussianStream::new(dsh_math::rng::derive_seed(seed, i as u64));
+            for _ in 0..d {
+                data.push(stream.next());
+            }
+        }
+        GaussianMatrix { data, m, d }
     }
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.rows.len()
+        self.m
     }
 
-    /// Apply to a vector: returns the `m` projections `<z_i, x>`.
-    pub fn apply(&self, x: &DenseVector) -> Vec<f64> {
-        self.rows.iter().map(|r| r.dot(x)).collect()
+    /// Row dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Apply to a row: returns the `m` projections `<z_i, x>`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.m];
+        self.apply_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free [`GaussianMatrix::apply`]: write the `m`
+    /// projections into a caller-provided buffer of length `m`, streaming
+    /// the flat matrix once.
+    pub fn apply_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.d, "dimension mismatch");
+        assert_eq!(
+            out.len(),
+            self.m,
+            "output buffer must have one slot per row"
+        );
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.d)) {
+            *o = points::dot(row, x);
+        }
     }
 
     /// Row access.
-    pub fn row(&self, i: usize) -> &DenseVector {
-        &self.rows[i]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.d..(i + 1) * self.d]
     }
 }
 
@@ -130,9 +179,33 @@ mod tests {
         let m = GaussianMatrix::sample(&mut rng, 5, 8);
         assert_eq!(m.rows(), 5);
         let x = DenseVector::random_unit(&mut rng, 8);
-        let p = m.apply(&x);
+        let p = m.apply(x.as_slice());
         assert_eq!(p.len(), 5);
-        assert!((p[2] - m.row(2).dot(&x)).abs() < 1e-15);
+        assert!((p[2] - points::dot(m.row(2), x.as_slice())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn apply_into_matches_apply_without_allocating_result() {
+        let mut rng = seeded(76);
+        let m = GaussianMatrix::sample(&mut rng, 7, 12);
+        let x = DenseVector::random_unit(&mut rng, 12);
+        let mut out = vec![f64::NAN; 7];
+        m.apply_into(x.as_slice(), &mut out);
+        assert_eq!(out, m.apply(x.as_slice()));
+    }
+
+    #[test]
+    fn seeded_rows_reproduce_gaussian_streams() {
+        use dsh_math::rng::{derive_seed, GaussianStream};
+        let m = GaussianMatrix::from_seeded_rows(0xCAFE, 4, 6);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.dim(), 6);
+        for i in 0..4 {
+            let mut stream = GaussianStream::new(derive_seed(0xCAFE, i as u64));
+            for &v in m.row(i) {
+                assert_eq!(v, stream.next(), "row {i} diverged from its stream");
+            }
+        }
     }
 
     #[test]
@@ -141,7 +214,7 @@ mod tests {
         let mut rng = seeded(75);
         let x = DenseVector::random_unit(&mut rng, 16);
         let m = GaussianMatrix::sample(&mut rng, 20_000, 16);
-        let p = m.apply(&x);
+        let p = m.apply(x.as_slice());
         let var = p.iter().map(|v| v * v).sum::<f64>() / p.len() as f64;
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

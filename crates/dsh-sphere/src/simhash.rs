@@ -6,7 +6,7 @@
 
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{DshFamily, HasherPair};
-use dsh_core::points::DenseVector;
+use dsh_core::points::{self, DenseVector};
 use rand::Rng;
 
 /// SimHash on `S^{d-1}`: sample `a ~ N(0, I_d)` and hash to the sign of
@@ -34,13 +34,13 @@ impl SimHash {
     }
 }
 
-impl DshFamily<DenseVector> for SimHash {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<DenseVector> {
+impl DshFamily<[f64]> for SimHash {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[f64]> {
         let a = DenseVector::gaussian(rng, self.d);
         let b = a.clone();
         HasherPair::from_fns(
-            move |x: &DenseVector| (a.dot(x) >= 0.0) as u64,
-            move |y: &DenseVector| (b.dot(y) >= 0.0) as u64,
+            move |x: &[f64]| (points::dot(a.as_slice(), x) >= 0.0) as u64,
+            move |y: &[f64]| (points::dot(b.as_slice(), y) >= 0.0) as u64,
         )
     }
 

@@ -9,8 +9,7 @@
 
 use dsh_core::cpf::AnalyticCpf;
 use dsh_core::family::{DshFamily, HasherPair};
-use dsh_core::points::DenseVector;
-use dsh_math::fft::circular_convolution_many;
+use dsh_math::fft::circular_convolution_rows;
 use dsh_math::Polynomial;
 use rand::Rng;
 
@@ -42,12 +41,20 @@ impl CountSketch {
 
     /// Apply to a vector.
     pub fn apply(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.buckets.len(), "dimension mismatch");
         let mut out = vec![0.0; self.m];
+        self.apply_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free [`CountSketch::apply`]: accumulate into a zeroed
+    /// caller-provided buffer of length `m`.
+    pub fn apply_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.buckets.len(), "dimension mismatch");
+        assert_eq!(out.len(), self.m, "output buffer must have length m");
+        out.fill(0.0);
         for (j, &v) in x.iter().enumerate() {
             out[self.buckets[j]] += self.signs[j] * v;
         }
-        out
     }
 }
 
@@ -75,12 +82,19 @@ impl TensorSketch {
     }
 
     /// Sketch a vector: approximates the flattened tensor power `x^{(k)}`.
+    ///
+    /// The `k` CountSketches are written into one flat `k * m` scratch
+    /// buffer and combined by FFT convolution over its rows — one
+    /// allocation instead of the former per-call `Vec<Vec<f64>>`.
     pub fn apply(&self, x: &[f64]) -> Vec<f64> {
         if self.sketches.len() == 1 {
             return self.sketches[0].apply(x);
         }
-        let parts: Vec<Vec<f64>> = self.sketches.iter().map(|cs| cs.apply(x)).collect();
-        circular_convolution_many(&parts)
+        let mut scratch = vec![0.0; self.sketches.len() * self.m];
+        for (cs, row) in self.sketches.iter().zip(scratch.chunks_exact_mut(self.m)) {
+            cs.apply_into(x, row);
+        }
+        circular_convolution_rows(&scratch, self.m)
     }
 
     /// Sketch dimension `m`.
@@ -124,8 +138,8 @@ impl SketchedPolynomialSphereDsh {
     }
 }
 
-impl DshFamily<DenseVector> for SketchedPolynomialSphereDsh {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<DenseVector> {
+impl DshFamily<[f64]> for SketchedPolynomialSphereDsh {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[f64]> {
         // One TensorSketch per active monomial degree (shared between the
         // two sides so that inner products are preserved).
         let mut sketches: Vec<(usize, f64, TensorSketch)> = Vec::new();
@@ -148,27 +162,27 @@ impl DshFamily<DenseVector> for SketchedPolynomialSphereDsh {
         let sk2 = sketches;
         let (c1, c2) = (constant, constant);
         HasherPair::from_fns(
-            move |x: &DenseVector| {
+            move |x: &[f64]| {
                 let mut v = Vec::new();
                 if let Some(a) = c1 {
                     v.push(a.abs().sqrt());
                 }
                 for (_, a, ts) in sk1.iter() {
                     let w = a.abs().sqrt();
-                    v.extend(ts.apply(x.as_slice()).into_iter().map(|u| u * w));
+                    v.extend(ts.apply(x).into_iter().map(|u| u * w));
                 }
-                s_data.hash(&DenseVector::new(v))
+                s_data.hash(&v)
             },
-            move |y: &DenseVector| {
+            move |y: &[f64]| {
                 let mut v = Vec::new();
                 if let Some(a) = c2 {
                     v.push(a / a.abs().sqrt());
                 }
                 for (_, a, ts) in sk2.iter() {
                     let w = a / a.abs().sqrt();
-                    v.extend(ts.apply(y.as_slice()).into_iter().map(|u| u * w));
+                    v.extend(ts.apply(y).into_iter().map(|u| u * w));
                 }
-                s_query.hash(&DenseVector::new(v))
+                s_query.hash(&v)
             },
         )
     }
@@ -191,6 +205,7 @@ mod tests {
     use super::*;
     use crate::geometry::pair_with_inner_product;
     use dsh_core::estimate::CpfEstimator;
+    use dsh_core::points::DenseVector;
     use dsh_math::rng::seeded;
     use dsh_math::stats::mean;
 
@@ -208,7 +223,11 @@ mod tests {
                     .dot(&DenseVector::new(cs.apply(y.as_slice())))
             })
             .collect();
-        assert!((mean(&samples) - want).abs() < 0.05, "{} vs {want}", mean(&samples));
+        assert!(
+            (mean(&samples) - want).abs() < 0.05,
+            "{} vs {want}",
+            mean(&samples)
+        );
     }
 
     #[test]

@@ -22,7 +22,6 @@ use dsh_core::cpf::AnalyticCpf;
 use dsh_core::distance::{alpha_from_ratio, alpha_ratio};
 use dsh_core::family::{DshFamily, HasherPair};
 use dsh_core::hash::combine;
-use dsh_core::points::DenseVector;
 use rand::Rng;
 
 /// Unimodal DSH family on `S^{d-1}` peaking at a chosen inner product
@@ -84,22 +83,19 @@ impl UnimodalFilterDsh {
     }
 }
 
-impl DshFamily<DenseVector> for UnimodalFilterDsh {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<DenseVector> {
+impl DshFamily<[f64]> for UnimodalFilterDsh {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[f64]> {
         let p = self.plus.sample(rng);
         let m = self.minus.sample(rng);
         let (pd, pq, md, mq) = (p.data, p.query, m.data, m.query);
         HasherPair::from_fns(
-            move |x: &DenseVector| combine(pd.hash(x), md.hash(x)),
-            move |y: &DenseVector| combine(pq.hash(y), mq.hash(y)),
+            move |x: &[f64]| combine(pd.hash(x), md.hash(x)),
+            move |y: &[f64]| combine(pq.hash(y), mq.hash(y)),
         )
     }
 
     fn name(&self) -> String {
-        format!(
-            "Unimodal(alpha_max={:.2}, t={:.2})",
-            self.alpha_max, self.t
-        )
+        format!("Unimodal(alpha_max={:.2}, t={:.2})", self.alpha_max, self.t)
     }
 }
 
@@ -140,12 +136,7 @@ pub fn interval_c_value(alpha_minus: f64, alpha_plus: f64) -> f64 {
 /// Requires the compatibility condition
 /// `a(alpha_-) a(alpha_+) = a(beta_-) a(beta_+)` (both intervals centered
 /// on the same peak), asserted up to 1e-9.
-pub fn annulus_rho(
-    alpha_minus: f64,
-    alpha_plus: f64,
-    beta_minus: f64,
-    beta_plus: f64,
-) -> f64 {
+pub fn annulus_rho(alpha_minus: f64, alpha_plus: f64, beta_minus: f64, beta_plus: f64) -> f64 {
     let prod_a = alpha_ratio(alpha_minus) * alpha_ratio(alpha_plus);
     let prod_b = alpha_ratio(beta_minus) * alpha_ratio(beta_plus);
     assert!(

@@ -97,23 +97,33 @@ impl ValiantEmbedding {
 
     /// Data-side map `phi_1`.
     pub fn phi1(&self, x: &DenseVector) -> DenseVector {
-        self.embed(x, |a| a.abs().sqrt())
+        self.embed(x.as_slice(), |a| a.abs().sqrt())
     }
 
     /// Query-side map `phi_2` (carries the coefficient signs).
     pub fn phi2(&self, y: &DenseVector) -> DenseVector {
+        self.embed(y.as_slice(), |a| a / a.abs().sqrt())
+    }
+
+    /// [`ValiantEmbedding::phi1`] on a raw row.
+    pub fn phi1_row(&self, x: &[f64]) -> DenseVector {
+        self.embed(x, |a| a.abs().sqrt())
+    }
+
+    /// [`ValiantEmbedding::phi2`] on a raw row.
+    pub fn phi2_row(&self, y: &[f64]) -> DenseVector {
         self.embed(y, |a| a / a.abs().sqrt())
     }
 
-    fn embed(&self, x: &DenseVector, weight: impl Fn(f64) -> f64) -> DenseVector {
-        assert_eq!(x.dim(), self.d, "dimension mismatch");
+    fn embed(&self, x: &[f64], weight: impl Fn(f64) -> f64) -> DenseVector {
+        assert_eq!(x.len(), self.d, "dimension mismatch");
         let mut out = Vec::with_capacity(self.embedded_dim);
         for (i, &a) in self.poly.coeffs().iter().enumerate() {
             if a == 0.0 {
                 continue;
             }
             let w = weight(a);
-            out.extend(tensor_power(x.as_slice(), i).into_iter().map(|v| v * w));
+            out.extend(tensor_power(x, i).into_iter().map(|v| v * w));
         }
         DenseVector::new(out)
     }
@@ -141,15 +151,15 @@ impl PolynomialSphereDsh {
     }
 }
 
-impl DshFamily<DenseVector> for PolynomialSphereDsh {
-    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<DenseVector> {
+impl DshFamily<[f64]> for PolynomialSphereDsh {
+    fn sample(&self, rng: &mut dyn Rng) -> HasherPair<[f64]> {
         let pair = self.inner.sample(rng);
         let (s_data, s_query) = (pair.data, pair.query);
         let e1 = self.embedding.clone();
         let e2 = self.embedding.clone();
         HasherPair::from_fns(
-            move |x: &DenseVector| s_data.hash(&e1.phi1(x)),
-            move |y: &DenseVector| s_query.hash(&e2.phi2(y)),
+            move |x: &[f64]| s_data.hash(e1.phi1_row(x).as_slice()),
+            move |y: &[f64]| s_query.hash(e2.phi2_row(y).as_slice()),
         )
     }
 
@@ -238,10 +248,7 @@ mod tests {
                 let (x, y) = pair_with_inner_product(&mut rng, d, alpha);
                 let got = emb.phi1(&x).dot(&emb.phi2(&y));
                 let want = p.eval(x.dot(&y));
-                assert!(
-                    (got - want).abs() < 1e-10,
-                    "{name}: got {got}, want {want}"
-                );
+                assert!((got - want).abs() < 1e-10, "{name}: got {got}, want {want}");
             }
         }
         fn rngless_alpha(rng: &mut dyn rand::Rng) -> f64 {

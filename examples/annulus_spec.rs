@@ -19,8 +19,14 @@ fn main() {
     // narrow enough that background points (alpha ~ N(0, 1/sqrt(d)))
     // essentially never qualify.
     let spec = AnnulusSpec::widened(0.55, 0.65, 1.5);
-    println!("promise interval  [alpha-, alpha+] = [{:.3}, {:.3}]", spec.alpha.0, spec.alpha.1);
-    println!("reporting interval [beta-,  beta+] = [{:.3}, {:.3}]", spec.beta.0, spec.beta.1);
+    println!(
+        "promise interval  [alpha-, alpha+] = [{:.3}, {:.3}]",
+        spec.alpha.0, spec.alpha.1
+    );
+    println!(
+        "reporting interval [beta-,  beta+] = [{:.3}, {:.3}]",
+        spec.beta.0, spec.beta.1
+    );
     println!("peak inner product = {:.3}", spec.peak());
     println!("Theorem 6.4 query exponent rho = {:.3}\n", spec.rho());
 

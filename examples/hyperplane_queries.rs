@@ -37,7 +37,7 @@ fn main() {
     );
     println!(
         "theoretical query exponent rho = {:.3} (§6.1: (1 - a^2)/(1 + a^2))\n",
-        HyperplaneIndex::theoretical_rho(alpha_report)
+        dsh_index::hyperplane::theoretical_rho(alpha_report)
     );
 
     match index.query(&query) {

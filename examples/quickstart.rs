@@ -55,7 +55,7 @@ fn main() {
     // 3. Combinators (Lemma 1.4): (1-t)^3 * t^3 is a *unimodal* CPF
     //    peaking at t = 1/2 — the building block for annulus search.
     let unimodal = Concat::new(vec![
-        Box::new(Power::new(BitSampling::new(d), 3)) as BoxedDshFamily<BitVector>,
+        Box::new(Power::new(BitSampling::new(d), 3)) as BoxedDshFamily<[u64]>,
         Box::new(Power::new(AntiBitSampling::new(d), 3)),
     ]);
     println!("\nunimodal CPF (1-t)^3 t^3 across distances:");

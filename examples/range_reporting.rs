@@ -10,7 +10,6 @@ use dsh_core::points::BitVector;
 use dsh_core::BoxedDshFamily;
 use dsh_data::hamming_data::{point_at_distance, uniform_hamming};
 use dsh_hamming::{AntiBitSampling, BitSampling};
-use dsh_index::annulus::Measure;
 use dsh_index::RangeReportingIndex;
 use dsh_math::rng::seeded;
 
@@ -34,21 +33,22 @@ fn main() {
     // fast decay beyond. Bounded duplication per Theorem 6.5.
     let k = 10;
     let family = Concat::new(vec![
-        Box::new(Power::new(BitSampling::new(d), k)) as BoxedDshFamily<BitVector>,
+        Box::new(Power::new(BitSampling::new(d), k)) as BoxedDshFamily<[u64]>,
         Box::new(AntiBitSampling::new(d)),
     ]);
     let f_r = (1.0 - r).powi(k as i32) * r;
     let l = (2.5 / f_r).ceil() as usize;
 
-    let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+    let measure = dsh_index::measures::relative_hamming(d);
     let index = RangeReportingIndex::build(&family, measure, r, r_plus, points, l, &mut rng);
-    println!(
-        "dataset: {close} points at distance {r}d + {far} background; L = {l} repetitions"
-    );
+    println!("dataset: {close} points at distance {r}d + {far} background; L = {l} repetitions");
 
     let (reported, stats) = index.query(&q);
     let recall = index.recall(&q, &truth);
-    println!("\nreported {} points; recall of the true r-ball: {recall:.2}", reported.len());
+    println!(
+        "\nreported {} points; recall of the true r-ball: {recall:.2}",
+        reported.len()
+    );
     println!(
         "work: {} retrieved ({} duplicates), {} exact distance checks",
         stats.candidates_retrieved, stats.duplicates, stats.distance_computations
@@ -66,10 +66,7 @@ fn main() {
         .collect();
     let answers = index.query_batch(&batch);
     let total_reported: usize = answers.iter().map(|(out, _)| out.len()).sum();
-    let total_work: usize = answers
-        .iter()
-        .map(|(_, s)| s.candidates_retrieved)
-        .sum();
+    let total_work: usize = answers.iter().map(|(_, s)| s.candidates_retrieved).sum();
     println!(
         "\nbatched: {} queries -> {} points reported, {} candidates retrieved total",
         batch.len(),

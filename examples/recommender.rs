@@ -14,7 +14,7 @@
 use dsh_core::points::DenseVector;
 use dsh_core::AnalyticCpf;
 use dsh_data::sphere_data::{clustered_sphere, plant_at_alpha};
-use dsh_index::annulus::{AnnulusIndex, Measure};
+use dsh_index::annulus::AnnulusIndex;
 use dsh_index::linear_scan::LinearScan;
 use dsh_math::rng::seeded;
 use dsh_sphere::unimodal::{annulus_interval, UnimodalFilterDsh};
@@ -50,7 +50,7 @@ fn main() {
         family.cpf(0.0)
     );
 
-    let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
+    let measure = dsh_index::measures::inner_product();
     let index = AnnulusIndex::build(&family, measure, (lo, hi), corpus.clone(), l, &mut rng);
 
     match index.query(&query) {
@@ -100,7 +100,7 @@ fn main() {
     // Baseline: what the naive nearest-neighbor recommender would return.
     let scan = LinearScan::new(
         corpus,
-        Box::new(|x: &DenseVector, y: &DenseVector| -(x.dot(y))),
+        Box::new(|x: &[f64], y: &[f64]| -dsh_core::points::dot(x, y)),
     );
     if let Some((i, neg_alpha)) = scan.argmin(&query) {
         println!(

@@ -6,7 +6,7 @@ use dsh::prelude::*;
 use dsh_core::AnalyticCpf;
 use dsh_data::{hamming_data, sphere_data};
 use dsh_hamming::{AntiBitSampling, BitSampling};
-use dsh_index::annulus::{AnnulusIndex, Measure};
+use dsh_index::annulus::AnnulusIndex;
 use dsh_sphere::unimodal::{annulus_interval, UnimodalFilterDsh};
 
 #[test]
@@ -14,7 +14,7 @@ fn hamming_annulus_succeeds_with_probability_half() {
     let d = 256;
     let (k1, k2) = (9usize, 3usize);
     let fam = Concat::new(vec![
-        Box::new(Power::new(BitSampling::new(d), k1)) as BoxedDshFamily<BitVector>,
+        Box::new(Power::new(BitSampling::new(d), k1)) as BoxedDshFamily<[u64]>,
         Box::new(Power::new(AntiBitSampling::new(d), k2)),
     ]);
     let peak = 0.25f64;
@@ -26,16 +26,22 @@ fn hamming_annulus_succeeds_with_probability_half() {
     for run in 0..runs {
         let mut rng = dsh_math::rng::seeded(0x1E5720 + run);
         let inst = hamming_data::planted_hamming_instance(&mut rng, 300, d, 64);
-        let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+        let measure = dsh_index::measures::relative_hamming(d);
         let idx = AnnulusIndex::build(&fam, measure, (0.15, 0.35), inst.points, l, &mut rng);
         let (hit, stats) = idx.query(&inst.query);
-        assert!(stats.candidates_retrieved <= 8 * l, "8L termination violated");
+        assert!(
+            stats.candidates_retrieved <= 8 * l,
+            "8L termination violated"
+        );
         if let Some(m) = hit {
             assert!((0.15..=0.35).contains(&m.value));
             hits += 1;
         }
     }
-    assert!(hits * 2 >= runs, "success {hits}/{runs} below the Thm 6.1 guarantee");
+    assert!(
+        hits * 2 >= runs,
+        "success {hits}/{runs} below the Thm 6.1 guarantee"
+    );
 }
 
 #[test]
@@ -51,10 +57,14 @@ fn sphere_annulus_succeeds_and_respects_interval() {
     for run in 0..runs {
         let mut rng = dsh_math::rng::seeded(0x1E5730 + run);
         let inst = sphere_data::planted_sphere_instance(&mut rng, 250, d, alpha_max);
-        let measure: Measure<DenseVector> = Box::new(|x, y| x.dot(y));
+        let measure = dsh_index::measures::inner_product();
         let idx = AnnulusIndex::build(&fam, measure, (lo, hi), inst.points, l, &mut rng);
         if let (Some(m), _) = idx.query(&inst.query) {
-            assert!((lo..=hi).contains(&m.value), "reported {} outside window", m.value);
+            assert!(
+                (lo..=hi).contains(&m.value),
+                "reported {} outside window",
+                m.value
+            );
             hits += 1;
         }
     }
@@ -69,7 +79,7 @@ fn annulus_never_reports_outside_window() {
     let mut rng = dsh_math::rng::seeded(0x1E5740);
     let points = dsh_data::hamming_data::uniform_hamming(&mut rng, 200, d);
     let q = BitVector::random(&mut rng, d);
-    let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+    let measure = dsh_index::measures::relative_hamming(d);
     let idx = AnnulusIndex::build(&fam, measure, (0.45, 0.55), points, 15, &mut rng);
     if let (Some(m), _) = idx.query(&q) {
         assert!((0.45..=0.55).contains(&m.value));

@@ -18,7 +18,7 @@ fn hamming_points_through_sphere_family() {
     let fam = MapPoints::new(
         "simhash-on-hypercube",
         SimHash::new(d),
-        |x: &BitVector| x.to_unit_vector(),
+        move |x: &[u64]| BitVector::from_blocks(x.to_vec(), d).to_unit_vector(),
     );
     let mut rng = seeded(0x1E5750);
     let x = BitVector::random(&mut rng, d);
@@ -48,10 +48,10 @@ fn concat_across_different_construction_crates() {
     let sphere_part = MapPoints::new(
         "simhash-on-hypercube",
         SimHash::new(d),
-        |x: &BitVector| x.to_unit_vector(),
+        move |x: &[u64]| BitVector::from_blocks(x.to_vec(), d).to_unit_vector(),
     );
     let fam = Concat::new(vec![
-        Box::new(BitSampling::new(d)) as BoxedDshFamily<BitVector>,
+        Box::new(BitSampling::new(d)) as BoxedDshFamily<[u64]>,
         Box::new(sphere_part),
     ]);
     let mut rng = seeded(0x1E5760);
@@ -72,7 +72,7 @@ fn mixture_of_shifted_euclidean_is_average_of_cpfs() {
     let c1 = ShiftedEuclideanDsh::new(d, 1, 1.5);
     let c2 = ShiftedEuclideanDsh::new(d, 3, 1.5);
     let fam = Mixture::new(vec![
-        (0.25, Box::new(c1) as BoxedDshFamily<DenseVector>),
+        (0.25, Box::new(c1) as BoxedDshFamily<[f64]>),
         (0.75, Box::new(c2)),
     ]);
     let mut rng = seeded(0x1E5770);

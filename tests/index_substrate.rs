@@ -6,7 +6,6 @@
 use dsh_core::points::{BitVector, DenseVector};
 use dsh_data::{hamming_data, sphere_data};
 use dsh_hamming::BitSampling;
-use dsh_index::annulus::Measure;
 use dsh_index::{AnnulusIndex, HashTableIndex, NearNeighborIndex, RangeReportingIndex};
 use dsh_index::{AnnulusSpec, SphereAnnulusIndex};
 use dsh_math::rng::seeded;
@@ -86,7 +85,7 @@ fn annulus_front_end_batch_parity() {
     let d = 128;
     let (points, queries) = hamming_workload(0x5B5B, 250, 20, d);
     let mut rng = seeded(0x5B5C);
-    let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+    let measure = dsh_index::measures::relative_hamming(d);
     let idx = AnnulusIndex::build(
         &BitSampling::new(d),
         measure,
@@ -109,7 +108,7 @@ fn near_neighbor_front_end_batch_parity() {
     let queries: Vec<BitVector> = std::iter::once(inst.query.clone())
         .chain((0..15).map(|_| BitVector::random(&mut rng, d)))
         .collect();
-    let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+    let measure = dsh_index::measures::relative_hamming(d);
     let idx = NearNeighborIndex::build(
         &BitSampling::new(d),
         measure,
@@ -139,7 +138,7 @@ fn range_reporting_front_end_batch_parity() {
         .chain((0..11).map(|_| BitVector::random(&mut rng, d)))
         .collect();
     let fam = dsh_core::combinators::Power::new(BitSampling::new(d), 8);
-    let measure: Measure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+    let measure = dsh_index::measures::relative_hamming(d);
     let idx = RangeReportingIndex::build(&fam, measure, 0.05, 0.2, points, 30, &mut rng);
     let sequential: Vec<_> = queries.iter().map(|q| idx.query(q)).collect();
     for threads in [1usize, 3, 5] {

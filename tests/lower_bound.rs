@@ -14,12 +14,16 @@ use dsh_data::hamming_data::correlated_pair;
 use dsh_hamming::{AntiBitSampling, BitSampling, PolynomialHammingDsh, ScaledBitSampling};
 use dsh_math::Polynomial;
 
-fn assert_bound<F: DshFamily<BitVector>>(family: &F, d: usize, alphas: &[f64], slack: f64) {
+fn assert_bound<F: DshFamily<[u64]>>(family: &F, d: usize, alphas: &[f64], slack: f64) {
     let est = CpfEstimator::new(40_000, 0x1E571);
     let f0 = est
         .estimate_probabilistic(family, |rng| correlated_pair(rng, d, 0.0))
         .estimate;
-    assert!(f0 > 0.0 && f0 < 1.0, "degenerate f^(0) = {f0} for {}", family.name());
+    assert!(
+        f0 > 0.0 && f0 < 1.0,
+        "degenerate f^(0) = {f0} for {}",
+        family.name()
+    );
     for &alpha in alphas {
         let fa = est
             .estimate_probabilistic(family, |rng| correlated_pair(rng, d, alpha))
@@ -53,8 +57,7 @@ fn polynomial_family_respects_theorem_1_3() {
     let d = 256;
     // Unimodal CPF t(1-t).
     let fam =
-        PolynomialHammingDsh::from_polynomial(d, &Polynomial::new(vec![0.0, 1.0, -1.0]))
-            .unwrap();
+        PolynomialHammingDsh::from_polynomial(d, &Polynomial::new(vec![0.0, 1.0, -1.0])).unwrap();
     assert_bound(&fam, d, &[0.2, 0.5], 0.15);
 }
 

@@ -75,5 +75,8 @@ fn digest_truncation_does_not_change_answers_materially() {
             disagreements += 1;
         }
     }
-    assert!(disagreements <= 60, "digest width changed outcomes too often");
+    assert!(
+        disagreements <= 60,
+        "digest width changed outcomes too often"
+    );
 }

@@ -74,12 +74,22 @@ fn monte_carlo_agrees_with_analytic_across_the_stack() {
     let fam = FilterDshMinus::new(10, 1.3);
     let (x, y) = dsh_sphere::geometry::pair_with_inner_product(&mut rng, 10, 0.4);
     let est = CpfEstimator::new(6000, 1).estimate_pair(&fam, &x, &y);
-    assert!(est.contains(fam.cpf(0.4)), "filter: {} vs {}", est.estimate, fam.cpf(0.4));
+    assert!(
+        est.contains(fam.cpf(0.4)),
+        "filter: {} vs {}",
+        est.estimate,
+        fam.cpf(0.4)
+    );
 
     // Euclidean: shifted family.
     let fam = ShiftedEuclideanDsh::new(5, 2, 1.0);
     let p = DenseVector::gaussian(&mut rng, 5);
     let q = p.add(&DenseVector::random_unit(&mut rng, 5).scaled(2.0));
     let est = CpfEstimator::new(40_000, 2).estimate_pair(&fam, &p, &q);
-    assert!(est.contains(fam.cpf(2.0)), "shifted: {} vs {}", est.estimate, fam.cpf(2.0));
+    assert!(
+        est.contains(fam.cpf(2.0)),
+        "shifted: {} vs {}",
+        est.estimate,
+        fam.cpf(2.0)
+    );
 }

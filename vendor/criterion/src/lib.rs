@@ -197,7 +197,11 @@ fn run_benchmark(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
         return;
     }
     let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
-    println!("{name: <50} {:>12}/iter ({} iters)", format_ns(ns), bencher.iters);
+    println!(
+        "{name: <50} {:>12}/iter ({} iters)",
+        format_ns(ns),
+        bencher.iters
+    );
 }
 
 fn format_ns(ns: f64) -> String {

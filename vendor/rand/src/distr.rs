@@ -1,4 +1,4 @@
-//! Distribution plumbing behind [`Rng::random`] and [`Rng::random_range`].
+//! Distribution plumbing behind `Rng::random` and `Rng::random_range`.
 
 use crate::Rng;
 use std::ops::{Range, RangeInclusive};
@@ -83,7 +83,7 @@ fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
     }
 }
 
-/// Range types [`Rng::random_range`] accepts.
+/// Range types `Rng::random_range` accepts.
 pub trait SampleRange<T> {
     /// Draw one value uniformly from `self`. Panics on an empty range.
     fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
@@ -119,8 +119,16 @@ macro_rules! impl_range_int {
 }
 
 impl_range_int!(
-    u8 as u64, u16 as u64, u32 as u64, u64 as u64, usize as u64,
-    i8 as i64, i16 as i64, i32 as i64, i64 as i64, isize as i64,
+    u8 as u64,
+    u16 as u64,
+    u32 as u64,
+    u64 as u64,
+    usize as u64,
+    i8 as i64,
+    i16 as i64,
+    i32 as i64,
+    i64 as i64,
+    isize as i64,
 );
 
 macro_rules! impl_range_float {
