@@ -1,0 +1,180 @@
+//! The mutable segmented index against the static CSR build: insert
+//! throughput, query latency as the delta segment fills, and the cost of
+//! compaction itself.
+//!
+//! The questions this answers:
+//!
+//! * **Insert throughput** — a delta insert costs `L` hash evaluations
+//!   plus `HashMap` pushes; how does ingesting `n` points online compare
+//!   to one static bulk build of the same `n`?
+//! * **Query latency vs delta fill** — the delta's `HashMap` buckets are
+//!   slower to probe than a sealed CSR segment; how much latency does a
+//!   0% / 10% / 50% delta fill add to a batched query workload, and how
+//!   much of it does compaction win back?
+//! * **Compaction cost** — the merge is re-hash-free (keys are recovered
+//!   from segment directories), so a full compact should cost a sort and
+//!   sweep, not a rebuild's hashing bill.
+//!
+//! Parity is asserted during setup: after compaction the dynamic index
+//! must answer the benchmark queries bit-identically to the static CSR
+//! build (ids and stats) — a benchmark of a wrong index is worthless.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsh_core::combinators::Power;
+use dsh_core::points::{BitStore, BitVector};
+use dsh_hamming::BitSampling;
+use dsh_index::{DynamicIndex, HashTableIndex};
+use dsh_math::rng::seeded;
+use std::hint::black_box;
+
+const D: usize = 128;
+const K: usize = 16;
+const L: usize = 16;
+const N: usize = 60_000;
+const N_QUERIES: usize = 256;
+
+fn family() -> Power<BitSampling> {
+    Power::new(BitSampling::new(D), K)
+}
+
+fn dataset(seed: u64, n: usize) -> BitStore {
+    let mut rng = seeded(seed);
+    let mut store = BitStore::with_dim(D);
+    for _ in 0..n {
+        store.push_random(&mut rng);
+    }
+    store
+}
+
+fn queries(seed: u64) -> Vec<BitVector> {
+    let mut rng = seeded(seed);
+    (0..N_QUERIES)
+        .map(|_| BitVector::random(&mut rng, D))
+        .collect()
+}
+
+/// Static bulk build vs growing the same point set through the delta
+/// segment (insert-only, no compaction), vs insert + final compact.
+fn bench_ingest(c: &mut Criterion) {
+    let points = dataset(0xBE1, N);
+    let mut group = c.benchmark_group("dynamic_ingest");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("static_build", N), |b| {
+        b.iter(|| HashTableIndex::build(&family(), points.clone(), L, &mut seeded(0xBE2)))
+    });
+
+    group.bench_function(BenchmarkId::new("dynamic_insert", N), |b| {
+        b.iter(|| {
+            let mut idx =
+                DynamicIndex::build(&family(), BitStore::with_dim(D), L, &mut seeded(0xBE2));
+            for i in 0..points.len() {
+                idx.insert(points.row(i));
+            }
+            idx
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("dynamic_insert_compact", N), |b| {
+        b.iter(|| {
+            let mut idx =
+                DynamicIndex::build(&family(), BitStore::with_dim(D), L, &mut seeded(0xBE2));
+            for i in 0..points.len() {
+                idx.insert(points.row(i));
+            }
+            idx.compact();
+            idx
+        })
+    });
+
+    group.finish();
+}
+
+/// Batched query latency with 0% / 10% / 50% of the points sitting in
+/// the delta segment, plus the post-compaction layout.
+fn bench_query_vs_delta_fill(c: &mut Criterion) {
+    let points = dataset(0xBE3, N);
+    let qs = queries(0xBE4);
+    let mut group = c.benchmark_group("dynamic_query_delta_fill");
+    group.sample_size(10);
+
+    for fill_pct in [0usize, 10, 50] {
+        let base = N - N * fill_pct / 100;
+        let mut initial = BitStore::with_dim(D);
+        for i in 0..base {
+            initial.push_row(points.row(i));
+        }
+        let mut idx = DynamicIndex::build(&family(), initial, L, &mut seeded(0xBE5));
+        for i in base..N {
+            idx.insert(points.row(i));
+        }
+        assert_eq!(idx.delta_rows(), N - base);
+        group.bench_function(BenchmarkId::new("delta_fill_pct", fill_pct), |b| {
+            b.iter(|| black_box(idx.candidates_batch(&qs, Some(8 * L))))
+        });
+    }
+
+    // Fully compacted layout, with parity asserted against the static
+    // CSR build: same candidates, same stats, query for query.
+    let mut idx = DynamicIndex::build(&family(), BitStore::with_dim(D), L, &mut seeded(0xBE5));
+    for i in 0..N {
+        idx.insert(points.row(i));
+    }
+    idx.compact();
+    let static_idx = HashTableIndex::build(&family(), points.clone(), L, &mut seeded(0xBE5));
+    assert_eq!(
+        static_idx.candidates_batch(&qs, Some(8 * L)),
+        idx.candidates_batch(&qs, Some(8 * L)),
+        "compacted dynamic index diverged from the static build"
+    );
+    group.bench_function(BenchmarkId::new("delta_fill_pct", "compacted"), |b| {
+        b.iter(|| black_box(idx.candidates_batch(&qs, Some(8 * L))))
+    });
+
+    group.finish();
+}
+
+/// Cost of one full compaction (2 sealed segments + a half-full delta),
+/// isolated from queries.
+fn bench_compaction(c: &mut Criterion) {
+    let points = dataset(0xBE6, N);
+    let mut group = c.benchmark_group("dynamic_compaction");
+    group.sample_size(10);
+
+    let mut initial = BitStore::with_dim(D);
+    for i in 0..N / 2 {
+        initial.push_row(points.row(i));
+    }
+    let mut idx = DynamicIndex::build(&family(), initial, L, &mut seeded(0xBE7));
+    for i in N / 2..3 * N / 4 {
+        idx.insert(points.row(i));
+    }
+    idx.seal();
+    for i in 3 * N / 4..N {
+        idx.insert(points.row(i));
+    }
+    for id in (0..N).step_by(16) {
+        idx.remove(id);
+    }
+
+    // Each iteration clones the 3-segment snapshot and compacts the
+    // clone; the clone is a flat memcpy of the segment arrays, far below
+    // the sort-and-sweep being measured.
+    group.bench_function(BenchmarkId::new("compact", N), |b| {
+        b.iter(|| {
+            let mut snapshot = idx.clone();
+            snapshot.compact();
+            snapshot
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_query_vs_delta_fill,
+    bench_compaction
+);
+criterion_main!(benches);

@@ -30,12 +30,23 @@ impl<P: ?Sized, F: Fn(&P) -> u64 + Send + Sync> PointHasher<P> for FnHasher<F> {
 
 /// A sampled `(h, g)` pair. `data` plays the role of `h` (applied to data
 /// set points), `query` the role of `g` (applied to query points).
-#[derive(Clone)]
 pub struct HasherPair<P: ?Sized> {
     /// The data-side function `h`.
     pub data: Arc<dyn PointHasher<P>>,
     /// The query-side function `g`.
     pub query: Arc<dyn PointHasher<P>>,
+}
+
+// Manual impl: `derive(Clone)` would demand `P: Clone`, but cloning only
+// bumps the two `Arc`s — row types like `[u64]` are unsized and must not
+// be required to be `Clone`.
+impl<P: ?Sized> Clone for HasherPair<P> {
+    fn clone(&self) -> Self {
+        HasherPair {
+            data: Arc::clone(&self.data),
+            query: Arc::clone(&self.query),
+        }
+    }
 }
 
 impl<P: ?Sized> HasherPair<P> {

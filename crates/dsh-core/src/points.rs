@@ -13,6 +13,8 @@
 //!   [`DenseStore`] (row-major `Vec<f64>`) and [`BitStore`] (contiguous
 //!   `Vec<u64>` blocks) as the flat implementations and `Vec<P>` kept as
 //!   the pointer-per-point compatibility implementation;
+//! * the [`AppendStore`] extension for stores that grow one row at a
+//!   time — the contract the mutable (segmented) index layer builds on;
 //! * zero-copy row views [`DenseRef`] / [`BitRef`] carrying the dimension
 //!   for ergonomic distance evaluation.
 
@@ -458,6 +460,51 @@ pub trait PointStore: Send + Sync {
     fn row(&self, i: usize) -> &Self::Row;
 }
 
+/// A [`PointStore`] that can grow one row at a time — the storage
+/// contract of the mutable index layer (`dsh-index`'s `DynamicIndex`
+/// appends every inserted point to its backing store).
+///
+/// Appending is already natural for the flat stores: [`DenseStore`] is
+/// row-major (`push_row` is one `extend_from_slice`) and [`BitStore`] is
+/// bit-packed with a fixed block count per row. `Vec<DenseVector>` is
+/// supported for the pointer-per-point compatibility path; `Vec<BitVector>`
+/// is not, because a raw `[u64]` row does not carry the bit dimension an
+/// owned [`BitVector`] needs.
+///
+/// ```
+/// use dsh_core::points::{AppendStore, BitStore, BitVector, PointStore};
+/// let mut store = BitStore::with_dim(70);
+/// let p = BitVector::ones(70);
+/// store.push_row(p.as_blocks());
+/// assert_eq!(store.len(), 1);
+/// assert_eq!(store.row(0), p.as_blocks());
+/// ```
+pub trait AppendStore: PointStore {
+    /// Append one row (must match the store's row shape).
+    fn push_row(&mut self, row: &Self::Row);
+}
+
+impl AppendStore for DenseStore {
+    fn push_row(&mut self, row: &[f64]) {
+        self.push(row);
+    }
+}
+
+impl AppendStore for BitStore {
+    fn push_row(&mut self, row: &[u64]) {
+        BitStore::push_row(self, row);
+    }
+}
+
+impl AppendStore for Vec<DenseVector> {
+    fn push_row(&mut self, row: &[f64]) {
+        if let Some(first) = self.first() {
+            assert_eq!(row.len(), first.dim(), "dimension mismatch");
+        }
+        self.push(DenseVector::new(row.to_vec()));
+    }
+}
+
 impl<P: AsRow + Send + Sync> PointStore for Vec<P> {
     type Row = P::Row;
     fn len(&self) -> usize {
@@ -700,6 +747,22 @@ impl BitStore {
     pub fn push(&mut self, v: &BitVector) {
         assert_eq!(v.len(), self.dim, "dimension mismatch");
         self.blocks.extend_from_slice(v.as_blocks());
+        self.n += 1;
+    }
+
+    /// Append one point given as its packed row (`d.div_ceil(64)` blocks,
+    /// e.g. another store's row or [`BitVector::as_blocks`]). Tail bits
+    /// beyond the dimension are masked to zero on copy, so a sloppy source
+    /// row cannot corrupt the store's Hamming/equality invariant.
+    pub fn push_row(&mut self, row: &[u64]) {
+        assert_eq!(row.len(), self.blocks_per_row, "block count mismatch");
+        self.blocks.extend_from_slice(row);
+        let rem = self.dim % 64;
+        if rem != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
         self.n += 1;
     }
 
@@ -1183,6 +1246,55 @@ mod store_tests {
         let mut ds = DenseStore::with_dim(2);
         ds.push(&[5.0, 6.0]);
         assert_eq!(ds.row_ref(0).as_slice(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn append_store_rows_round_trip() {
+        let mut rng = seeded(0x576);
+        // BitStore: push_row from another store's rows and from owned
+        // points must be bit-identical to the push(&BitVector) path.
+        for d in [1usize, 63, 64, 65, 130] {
+            let points: Vec<BitVector> = (0..6).map(|_| BitVector::random(&mut rng, d)).collect();
+            let whole = BitStore::from(points.clone());
+            let mut grown = BitStore::with_dim(d);
+            for p in &points {
+                AppendStore::push_row(&mut grown, p.as_blocks());
+            }
+            assert_eq!(grown, whole, "d = {d}");
+            let mut copied = BitStore::with_dim(d);
+            for i in 0..whole.len() {
+                copied.push_row(whole.row(i));
+            }
+            assert_eq!(copied, whole, "d = {d}");
+        }
+        // DenseStore and Vec<DenseVector> append the same rows.
+        let points: Vec<DenseVector> = (0..5).map(|_| DenseVector::gaussian(&mut rng, 7)).collect();
+        let mut dense = DenseStore::with_dim(7);
+        let mut vec_store: Vec<DenseVector> = Vec::new();
+        for p in &points {
+            AppendStore::push_row(&mut dense, p.as_slice());
+            AppendStore::push_row(&mut vec_store, p.as_slice());
+        }
+        assert_eq!(dense, DenseStore::from(points.clone()));
+        assert_eq!(vec_store, points);
+    }
+
+    #[test]
+    fn bit_store_push_row_masks_tail_bits() {
+        // A dirty source row (tail bits set beyond the dimension) must not
+        // corrupt the store's zero-tail invariant.
+        let mut store = BitStore::with_dim(70);
+        store.push_row(&[!0u64, !0u64]);
+        let expected = BitVector::ones(70);
+        assert_eq!(store.row(0), expected.as_blocks());
+        assert_eq!(store.row_ref(0).to_owned(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "block count mismatch")]
+    fn bit_store_push_row_rejects_wrong_block_count() {
+        let mut store = BitStore::with_dim(70);
+        store.push_row(&[0u64]);
     }
 
     #[test]

@@ -13,11 +13,12 @@
 //! `HashTableIndex` substrate with a symmetric family.
 
 use crate::annulus::Measure;
+use crate::dynamic::DynamicIndex;
 use crate::parallel;
-use crate::table::{HashTableIndex, QueryStats};
+use crate::table::{CandidateBackend, HashTableIndex, QueryStats};
 use dsh_core::combinators::Power;
 use dsh_core::family::DshFamily;
-use dsh_core::points::{AsRow, PointStore};
+use dsh_core::points::{AppendStore, AsRow, PointStore};
 use rand::Rng;
 
 /// Hard ceiling on the repetition count `L` any parameter derivation in
@@ -85,8 +86,12 @@ pub fn ann_params(n: usize, p1: f64, p2: f64, factor: f64) -> AnnParams {
 
 /// `(r1, r2)`-near-neighbor index: if some point is within `r1` of the
 /// query, returns (w.c.p.) a point within `r2`.
-pub struct NearNeighborIndex<S: PointStore> {
-    index: HashTableIndex<S>,
+///
+/// Generic over the candidate backend `B`: the static
+/// [`HashTableIndex`] (the default) or the segmented [`DynamicIndex`]
+/// (via [`NearNeighborIndex::build_dynamic`]) for online insert/remove.
+pub struct NearNeighborIndex<S: PointStore, B: CandidateBackend<Row = S::Row> = HashTableIndex<S>> {
+    index: B,
     measure: Measure<S::Row>,
     r2: f64,
     params: AnnParams,
@@ -123,10 +128,83 @@ impl<S: PointStore> NearNeighborIndex<S> {
             params,
         }
     }
+}
 
+impl<S: AppendStore> NearNeighborIndex<S, DynamicIndex<S>> {
+    /// Build over a [`DynamicIndex`] backend: same parameters as
+    /// [`NearNeighborIndex::build`], except the `(k, L)` derivation uses
+    /// `expected_n` (the anticipated live set size — a dynamic index may
+    /// start empty, so the derivation cannot read `points.len()`). The
+    /// returned index supports [`NearNeighborIndex::insert`] /
+    /// [`NearNeighborIndex::remove`] / [`NearNeighborIndex::compact`];
+    /// grown-then-compacted indexes answer queries identically to a
+    /// static build over the same final point set.
+    #[allow(clippy::too_many_arguments)] // mirrors the theorem's parameter list
+    pub fn build_dynamic(
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        measure: Measure<S::Row>,
+        r2: f64,
+        points: S,
+        expected_n: usize,
+        p1: f64,
+        p2: f64,
+        factor: f64,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(
+            r2.is_finite() && r2 >= 0.0,
+            "NearNeighborIndex: target radius r2 = {r2} must be finite and non-negative"
+        );
+        let params = ann_params(expected_n.max(2), p1, p2, factor);
+        let powered = Power::new(family, params.k);
+        NearNeighborIndex {
+            index: DynamicIndex::build(&powered, points, params.l, rng),
+            measure,
+            r2,
+            params,
+        }
+    }
+
+    /// Insert a point into the backing [`DynamicIndex`], returning its id.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.index.insert(p)
+    }
+
+    /// Remove point `id` (tombstone; reclaimed at the next compaction).
+    pub fn remove(&mut self, id: usize) -> bool {
+        self.index.remove(id)
+    }
+
+    /// Freeze the delta segment; see [`DynamicIndex::seal`].
+    pub fn seal(&mut self) {
+        self.index.seal();
+    }
+
+    /// Merge all segments, dropping tombstones; see
+    /// [`DynamicIndex::compact`].
+    pub fn compact(&mut self) {
+        self.index.compact();
+    }
+}
+
+impl<S: PointStore, B: CandidateBackend<Row = S::Row>> NearNeighborIndex<S, B> {
     /// The derived `(k, L, rho)`.
     pub fn params(&self) -> AnnParams {
         self.params
+    }
+
+    /// The candidate backend (e.g. to inspect a [`DynamicIndex`]'s
+    /// segment layout or live count).
+    pub fn backend(&self) -> &B {
+        &self.index
+    }
+
+    /// Mutable access to the candidate backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.index
     }
 
     /// Return the first retrieved candidate within distance `r2`, stopping

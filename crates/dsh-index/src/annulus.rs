@@ -9,10 +9,11 @@
 //! `O(L)` regardless of how adversarial the data is.
 
 use crate::ann::repetition_count;
+use crate::dynamic::DynamicIndex;
 use crate::parallel;
-use crate::table::{HashTableIndex, QueryStats};
+use crate::table::{CandidateBackend, HashTableIndex, QueryStats};
 use dsh_core::family::DshFamily;
-use dsh_core::points::{AsRow, PointStore};
+use dsh_core::points::{AppendStore, AsRow, PointStore};
 use rand::Rng;
 
 /// A pairwise measure (distance or similarity — the structure is
@@ -25,8 +26,13 @@ pub type Measure<R> = Box<dyn Fn(&R, &R) -> f64 + Send + Sync>;
 /// Annulus-search data structure: report a point whose measure to the
 /// query lies in `[report_lo, report_hi]`, given that one exists in the
 /// narrower planted interval.
-pub struct AnnulusIndex<S: PointStore> {
-    index: HashTableIndex<S>,
+///
+/// Generic over the candidate backend `B`: the static
+/// [`HashTableIndex`] (the default, built once over a fixed point set)
+/// or the segmented [`DynamicIndex`] (built with
+/// [`AnnulusIndex::build_dynamic`], grown and shrunk online).
+pub struct AnnulusIndex<S: PointStore, B: CandidateBackend<Row = S::Row> = HashTableIndex<S>> {
+    index: B,
     measure: Measure<S::Row>,
     report_lo: f64,
     report_hi: f64,
@@ -81,10 +87,81 @@ impl<S: PointStore> AnnulusIndex<S> {
             report_hi: report_interval.1,
         }
     }
+}
 
+impl<S: AppendStore> AnnulusIndex<S, DynamicIndex<S>> {
+    /// Build over a [`DynamicIndex`] backend: same parameters as
+    /// [`AnnulusIndex::build`], but the point set may start empty and the
+    /// returned index supports [`AnnulusIndex::insert`] /
+    /// [`AnnulusIndex::remove`] / [`AnnulusIndex::compact`]. An index
+    /// grown by inserts and compacted answers queries identically to a
+    /// static build over the same final point set.
+    pub fn build_dynamic(
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        measure: Measure<S::Row>,
+        report_interval: (f64, f64),
+        points: S,
+        l: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(
+            report_interval.0.is_finite() && report_interval.1.is_finite(),
+            "AnnulusIndex: reporting interval ({}, {}) must be finite",
+            report_interval.0,
+            report_interval.1
+        );
+        assert!(
+            report_interval.0 <= report_interval.1,
+            "empty reporting interval"
+        );
+        AnnulusIndex {
+            index: DynamicIndex::build(family, points, l, rng),
+            measure,
+            report_lo: report_interval.0,
+            report_hi: report_interval.1,
+        }
+    }
+
+    /// Insert a point into the backing [`DynamicIndex`], returning its id.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.index.insert(p)
+    }
+
+    /// Remove point `id` (tombstone; reclaimed at the next compaction).
+    pub fn remove(&mut self, id: usize) -> bool {
+        self.index.remove(id)
+    }
+
+    /// Freeze the delta segment; see [`DynamicIndex::seal`].
+    pub fn seal(&mut self) {
+        self.index.seal();
+    }
+
+    /// Merge all segments, dropping tombstones; see
+    /// [`DynamicIndex::compact`].
+    pub fn compact(&mut self) {
+        self.index.compact();
+    }
+}
+
+impl<S: PointStore, B: CandidateBackend<Row = S::Row>> AnnulusIndex<S, B> {
     /// Number of repetitions `L`.
     pub fn repetitions(&self) -> usize {
         self.index.repetitions()
+    }
+
+    /// The candidate backend (e.g. to inspect a [`DynamicIndex`]'s
+    /// segment layout or live count).
+    pub fn backend(&self) -> &B {
+        &self.index
+    }
+
+    /// Mutable access to the candidate backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.index
     }
 
     /// Query: return the first retrieved candidate whose measure lies in

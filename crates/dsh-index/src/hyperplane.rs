@@ -9,17 +9,25 @@
 
 use crate::ann::repetition_count;
 use crate::annulus::{AnnulusIndex, AnnulusMatch, Measure};
+use crate::dynamic::DynamicIndex;
 use crate::measures;
-use crate::table::QueryStats;
-use dsh_core::points::{AsRow, PointStore};
+use crate::table::{CandidateBackend, HashTableIndex, QueryStats};
+use dsh_core::points::{AppendStore, AsRow, PointStore};
 use dsh_core::AnalyticCpf;
 use dsh_sphere::UnimodalFilterDsh;
 use rand::Rng;
 
 /// Hyperplane-query index over unit vectors (any dense store backend):
 /// reports a point with `|<x, q>| <= alpha_report`.
-pub struct HyperplaneIndex<S: PointStore<Row = [f64]>> {
-    inner: AnnulusIndex<S>,
+///
+/// Generic over the candidate backend `B`: the static
+/// [`HashTableIndex`] (the default) or the segmented [`DynamicIndex`]
+/// (via [`HyperplaneIndex::build_dynamic`]) for online insert/remove.
+pub struct HyperplaneIndex<
+    S: PointStore<Row = [f64]>,
+    B: CandidateBackend<Row = [f64]> = HashTableIndex<S>,
+> {
+    inner: AnnulusIndex<S, B>,
     alpha_report: f64,
 }
 
@@ -59,10 +67,81 @@ impl<S: PointStore<Row = [f64]>> HyperplaneIndex<S> {
             alpha_report,
         }
     }
+}
 
+impl<S: AppendStore + PointStore<Row = [f64]>> HyperplaneIndex<S, DynamicIndex<S>> {
+    /// Build over a [`DynamicIndex`] backend: same parameters as
+    /// [`HyperplaneIndex::build`], but the point set may start empty and
+    /// the returned index supports [`HyperplaneIndex::insert`] /
+    /// [`HyperplaneIndex::remove`] / [`HyperplaneIndex::compact`].
+    pub fn build_dynamic(
+        points: S,
+        d: usize,
+        t: f64,
+        alpha_report: f64,
+        repetition_factor: f64,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(alpha_report > 0.0 && alpha_report < 1.0);
+        assert!(repetition_factor > 0.0);
+        let family = UnimodalFilterDsh::new(d, 0.0, t);
+        let f0 = family.cpf(0.0);
+        assert!(f0 > 0.0, "degenerate CPF at the peak");
+        let l = repetition_count(repetition_factor, f0.min(1.0), 1);
+        let measure: Measure<[f64]> = measures::inner_product();
+        let inner = AnnulusIndex::build_dynamic(
+            &family,
+            measure,
+            (-alpha_report, alpha_report),
+            points,
+            l,
+            rng,
+        );
+        HyperplaneIndex {
+            inner,
+            alpha_report,
+        }
+    }
+
+    /// Insert a point into the backing [`DynamicIndex`], returning its id.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = [f64]> + ?Sized,
+    {
+        self.inner.insert(p)
+    }
+
+    /// Remove point `id` (tombstone; reclaimed at the next compaction).
+    pub fn remove(&mut self, id: usize) -> bool {
+        self.inner.remove(id)
+    }
+
+    /// Freeze the delta segment; see [`DynamicIndex::seal`].
+    pub fn seal(&mut self) {
+        self.inner.seal();
+    }
+
+    /// Merge all segments, dropping tombstones; see
+    /// [`DynamicIndex::compact`].
+    pub fn compact(&mut self) {
+        self.inner.compact();
+    }
+}
+
+impl<S: PointStore<Row = [f64]>, B: CandidateBackend<Row = [f64]>> HyperplaneIndex<S, B> {
     /// The reporting bound `alpha`.
     pub fn alpha_report(&self) -> f64 {
         self.alpha_report
+    }
+
+    /// The candidate backend of the underlying annulus structure.
+    pub fn backend(&self) -> &B {
+        self.inner.backend()
+    }
+
+    /// Mutable access to the candidate backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        self.inner.backend_mut()
     }
 
     /// Number of repetitions used.

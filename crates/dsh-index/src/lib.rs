@@ -11,7 +11,10 @@
 //! * [`range_reporting`] — approximate spherical range reporting with
 //!   step-function CPFs (Theorem 6.5) and output-sensitivity accounting;
 //! * [`linear_scan`] — the exact baseline every experiment compares
-//!   against;
+//!   against (including the dynamic path: it supports insert/remove);
+//! * [`dynamic`] — the mutable segmented index: sealed CSR segments plus
+//!   a `HashMap` delta segment and tombstones, with online
+//!   insert/remove and re-hash-free compaction;
 //! * [`parallel`] — the scoped-thread fan-out used for parallel table
 //!   builds and batched queries.
 //!
@@ -20,6 +23,13 @@
 //! `query_batch` variant that amortizes scratch buffers and fans queries
 //! out across threads. Batched results are always identical to a
 //! query-at-a-time loop, for every thread count.
+//!
+//! Every front-end is generic over a [`table::CandidateBackend`] — the
+//! static [`HashTableIndex`] by default, or the segmented
+//! [`DynamicIndex`] (via the `build_dynamic` constructors) when points
+//! must be inserted and retired online. A dynamic index grown by inserts
+//! and then compacted answers queries bit-identically to a static build
+//! over the same final point set.
 //!
 //! Points live in a [`dsh_core::points::PointStore`]: the flat
 //! [`dsh_core::points::BitStore`] / [`dsh_core::points::DenseStore`]
@@ -34,6 +44,7 @@
 
 pub mod ann;
 pub mod annulus;
+pub mod dynamic;
 pub mod hyperplane;
 pub mod linear_scan;
 pub mod measures;
@@ -44,8 +55,9 @@ pub mod table;
 
 pub use ann::{ann_params, AnnParams, NearNeighborIndex, MAX_REPETITIONS};
 pub use annulus::AnnulusIndex;
+pub use dynamic::DynamicIndex;
 pub use hyperplane::HyperplaneIndex;
 pub use linear_scan::LinearScan;
 pub use range_reporting::RangeReportingIndex;
 pub use sphere_annulus::{AnnulusSpec, SphereAnnulusIndex};
-pub use table::{HashTableIndex, QueryScratch, QueryStats};
+pub use table::{CandidateBackend, HashTableIndex, QueryScratch, QueryStats};

@@ -6,49 +6,85 @@
 //! apples-to-apples (the paper's structures win when `n^rho << n`).
 
 use crate::annulus::Measure;
-use dsh_core::points::{AsRow, PointStore};
+use crate::dynamic::Tombstones;
+use dsh_core::points::{AppendStore, AsRow, PointStore};
 
 /// Exact scan over any point store (flat stores stream their rows at
 /// memory bandwidth; `Vec<P>` remains supported).
+///
+/// The scan doubles as the exact baseline for the *dynamic* index path:
+/// over an [`AppendStore`] it supports [`LinearScan::insert`], and
+/// removal tombstones an id so every scan skips it — mirroring
+/// [`crate::DynamicIndex`]'s id semantics (ids are stable handles, rows
+/// are append-only).
 pub struct LinearScan<S: PointStore> {
     points: S,
     measure: Measure<S::Row>,
+    tombstones: Tombstones,
 }
 
 impl<S: PointStore> LinearScan<S> {
     /// Build from points and a measure.
     pub fn new(points: S, measure: Measure<S::Row>) -> Self {
-        LinearScan { points, measure }
+        LinearScan {
+            points,
+            measure,
+            tombstones: Tombstones::new(),
+        }
     }
 
-    /// Number of points.
+    /// Number of live points (inserted or initial, not removed).
     pub fn len(&self) -> usize {
+        self.points.len() - self.tombstones.dead()
+    }
+
+    /// True when no live points remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One past the largest id ever assigned (removed ids keep their
+    /// slot).
+    pub fn id_bound(&self) -> usize {
         self.points.len()
     }
 
-    /// True when empty.
-    pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+    /// Whether `id` refers to a live point.
+    pub fn is_live(&self, id: usize) -> bool {
+        id < self.points.len() && !self.tombstones.is_dead(id)
     }
 
-    /// First point whose measure to `q` lies in `[lo, hi]`, with the
-    /// number of measure evaluations performed.
+    /// Remove point `id` from every future scan (tombstone; the row
+    /// itself is retained). Returns `false` when already removed.
+    pub fn remove(&mut self, id: usize) -> bool {
+        assert!(id < self.points.len(), "id {id} was never inserted");
+        self.tombstones.kill(id)
+    }
+
+    /// First live point whose measure to `q` lies in `[lo, hi]`, with the
+    /// number of measure evaluations performed (tombstoned points are
+    /// skipped without an evaluation).
     pub fn find_in_interval<Q>(&self, q: &Q, lo: f64, hi: f64) -> (Option<usize>, usize)
     where
         Q: AsRow<Row = S::Row> + ?Sized,
     {
         let q = q.as_row();
+        let mut evals = 0;
         for i in 0..self.points.len() {
+            if self.tombstones.is_dead(i) {
+                continue;
+            }
+            evals += 1;
             let v = (self.measure)(self.points.row(i), q);
             if v >= lo && v <= hi {
-                return (Some(i), i + 1);
+                return (Some(i), evals);
             }
         }
-        (None, self.points.len())
+        (None, evals)
     }
 
-    /// All points whose measure lies in `[lo, hi]` (always `n` measure
-    /// evaluations).
+    /// All live points whose measure lies in `[lo, hi]` (always one
+    /// measure evaluation per live point).
     pub fn all_in_interval<Q>(&self, q: &Q, lo: f64, hi: f64) -> (Vec<usize>, usize)
     where
         Q: AsRow<Row = S::Row> + ?Sized,
@@ -56,11 +92,14 @@ impl<S: PointStore> LinearScan<S> {
         let q = q.as_row();
         let out = (0..self.points.len())
             .filter(|&i| {
+                if self.tombstones.is_dead(i) {
+                    return false;
+                }
                 let v = (self.measure)(self.points.row(i), q);
                 v >= lo && v <= hi
             })
             .collect();
-        (out, self.points.len())
+        (out, self.len())
     }
 
     /// The point minimizing the measure (e.g. nearest neighbor for a
@@ -77,8 +116,23 @@ impl<S: PointStore> LinearScan<S> {
     {
         let q = q.as_row();
         (0..self.points.len())
+            .filter(|&i| !self.tombstones.is_dead(i))
             .map(|i| (i, (self.measure)(self.points.row(i), q)))
             .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+impl<S: AppendStore> LinearScan<S> {
+    /// Append a point (an owned point, a store row view, or a raw row),
+    /// returning its id — the dynamic counterpart of building the scan
+    /// from a full point set up front.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        let id = self.points.len();
+        self.points.push_row(p.as_row());
+        id
     }
 }
 
@@ -167,6 +221,43 @@ mod tests {
         let scan = LinearScan::new(vec![DenseVector::zeros(2)], all_nan);
         let (_, v) = scan.argmin(&q).expect("non-empty scan");
         assert!(v.is_nan());
+    }
+
+    #[test]
+    fn insert_and_remove_drive_the_scan() {
+        use dsh_core::points::BitStore;
+        let d = 64;
+        let mut rng = seeded(346);
+        let points = hamming_data::uniform_hamming(&mut rng, 30, d);
+        let q = BitVector::random(&mut rng, d);
+        let mut grown =
+            LinearScan::new(BitStore::with_dim(d), crate::measures::relative_hamming(d));
+        assert!(grown.is_empty());
+        let ids: Vec<usize> = points.iter().map(|p| grown.insert(p)).collect();
+        assert_eq!(ids, (0..30).collect::<Vec<_>>());
+        assert_eq!(grown.len(), 30);
+        // Grown scan matches a scan built from the full set up front.
+        let whole = LinearScan::new(points.clone(), crate::measures::relative_hamming(d));
+        assert_eq!(grown.argmin(&q), whole.argmin(&q));
+        assert_eq!(
+            grown.all_in_interval(&q, 0.3, 0.7),
+            whole.all_in_interval(&q, 0.3, 0.7)
+        );
+        // Removing the argmin changes the answer to the runner-up, and
+        // evaluation counts drop to the live count.
+        let (best, _) = grown.argmin(&q).unwrap();
+        assert!(grown.remove(best));
+        assert!(!grown.remove(best));
+        assert!(!grown.is_live(best));
+        assert_eq!(grown.len(), 29);
+        assert_eq!(grown.id_bound(), 30);
+        let (second, _) = grown.argmin(&q).unwrap();
+        assert_ne!(second, best);
+        let (inside, evals) = grown.all_in_interval(&q, 0.0, 1.0);
+        assert_eq!(evals, 29);
+        assert!(!inside.contains(&best));
+        let (_, evals) = grown.find_in_interval(&q, 2.0, 3.0);
+        assert_eq!(evals, 29, "tombstoned point must not be evaluated");
     }
 
     #[test]

@@ -8,17 +8,24 @@
 //! (Theorem 6.5's `O(d n^rho + d |S| f_max / f_min)` query time).
 
 use crate::annulus::Measure;
+use crate::dynamic::DynamicIndex;
 use crate::parallel;
-use crate::table::{HashTableIndex, QueryStats};
+use crate::table::{CandidateBackend, HashTableIndex, QueryStats};
 use dsh_core::family::DshFamily;
-use dsh_core::points::{AsRow, PointStore};
+use dsh_core::points::{AppendStore, AsRow, PointStore};
 use rand::Rng;
 
 /// Range-reporting index: returns points with `dist <= r_plus`, and each
 /// point with `dist <= r` is reported with probability at least
 /// `1 - (1 - f_min)^L` (>= 1/2 for `L >= 1/f_min`).
-pub struct RangeReportingIndex<S: PointStore> {
-    index: HashTableIndex<S>,
+///
+/// Generic over the candidate backend `B`: the static
+/// [`HashTableIndex`] (the default) or the segmented [`DynamicIndex`]
+/// (via [`RangeReportingIndex::build_dynamic`]) for online
+/// insert/remove.
+pub struct RangeReportingIndex<S: PointStore, B: CandidateBackend<Row = S::Row> = HashTableIndex<S>>
+{
+    index: B,
     measure: Measure<S::Row>,
     r: f64,
     r_plus: f64,
@@ -59,10 +66,78 @@ impl<S: PointStore> RangeReportingIndex<S> {
             r_plus,
         }
     }
+}
 
+impl<S: AppendStore> RangeReportingIndex<S, DynamicIndex<S>> {
+    /// Build over a [`DynamicIndex`] backend: same parameters as
+    /// [`RangeReportingIndex::build`], but the point set may start empty
+    /// and the returned index supports [`RangeReportingIndex::insert`] /
+    /// [`RangeReportingIndex::remove`] /
+    /// [`RangeReportingIndex::compact`]. Grown-then-compacted indexes
+    /// report identically to a static build over the same final point
+    /// set.
+    pub fn build_dynamic(
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        measure: Measure<S::Row>,
+        r: f64,
+        r_plus: f64,
+        points: S,
+        l: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(
+            r.is_finite() && r_plus.is_finite() && r >= 0.0,
+            "RangeReportingIndex: radii r = {r}, r_plus = {r_plus} must be finite and non-negative"
+        );
+        assert!(r <= r_plus, "need r <= r_plus");
+        RangeReportingIndex {
+            index: DynamicIndex::build(family, points, l, rng),
+            measure,
+            r,
+            r_plus,
+        }
+    }
+
+    /// Insert a point into the backing [`DynamicIndex`], returning its id.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.index.insert(p)
+    }
+
+    /// Remove point `id` (tombstone; reclaimed at the next compaction).
+    pub fn remove(&mut self, id: usize) -> bool {
+        self.index.remove(id)
+    }
+
+    /// Freeze the delta segment; see [`DynamicIndex::seal`].
+    pub fn seal(&mut self) {
+        self.index.seal();
+    }
+
+    /// Merge all segments, dropping tombstones; see
+    /// [`DynamicIndex::compact`].
+    pub fn compact(&mut self) {
+        self.index.compact();
+    }
+}
+
+impl<S: PointStore, B: CandidateBackend<Row = S::Row>> RangeReportingIndex<S, B> {
     /// Inner radius `r` (the recall target).
     pub fn radius(&self) -> f64 {
         self.r
+    }
+
+    /// The candidate backend (e.g. to inspect a [`DynamicIndex`]'s
+    /// segment layout or live count).
+    pub fn backend(&self) -> &B {
+        &self.index
+    }
+
+    /// Mutable access to the candidate backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.index
     }
 
     /// Outer radius `r_plus` (the reporting slack).

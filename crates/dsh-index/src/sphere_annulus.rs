@@ -12,10 +12,11 @@
 
 use crate::ann::repetition_count;
 use crate::annulus::{AnnulusIndex, AnnulusMatch, Measure};
+use crate::dynamic::DynamicIndex;
 use crate::measures;
-use crate::table::QueryStats;
+use crate::table::{CandidateBackend, HashTableIndex, QueryStats};
 use dsh_core::distance::{alpha_from_ratio, alpha_ratio};
-use dsh_core::points::{AsRow, PointStore};
+use dsh_core::points::{AppendStore, AsRow, PointStore};
 use dsh_core::AnalyticCpf;
 use dsh_sphere::unimodal::{annulus_rho, UnimodalFilterDsh};
 use rand::Rng;
@@ -59,8 +60,16 @@ impl AnnulusSpec {
 
 /// Theorem 6.4 data structure over unit vectors (any dense store
 /// backend).
-pub struct SphereAnnulusIndex<S: PointStore<Row = [f64]>> {
-    inner: AnnulusIndex<S>,
+///
+/// Generic over the candidate backend `B`: the static
+/// [`HashTableIndex`] (the default) or the segmented [`DynamicIndex`]
+/// (via [`SphereAnnulusIndex::build_dynamic`]) for online
+/// insert/remove.
+pub struct SphereAnnulusIndex<
+    S: PointStore<Row = [f64]>,
+    B: CandidateBackend<Row = [f64]> = HashTableIndex<S>,
+> {
+    inner: AnnulusIndex<S, B>,
     spec: AnnulusSpec,
 }
 
@@ -92,10 +101,72 @@ impl<S: PointStore<Row = [f64]>> SphereAnnulusIndex<S> {
             spec,
         }
     }
+}
 
+impl<S: AppendStore + PointStore<Row = [f64]>> SphereAnnulusIndex<S, DynamicIndex<S>> {
+    /// Build over a [`DynamicIndex`] backend: same parameters as
+    /// [`SphereAnnulusIndex::build`], but the point set may start empty
+    /// and the returned index supports [`SphereAnnulusIndex::insert`] /
+    /// [`SphereAnnulusIndex::remove`] / [`SphereAnnulusIndex::compact`].
+    pub fn build_dynamic(
+        points: S,
+        d: usize,
+        spec: AnnulusSpec,
+        t: f64,
+        repetition_factor: f64,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(repetition_factor >= 1.0);
+        let family = UnimodalFilterDsh::new(d, spec.peak(), t);
+        let f_promise = family.cpf(spec.alpha.0).min(family.cpf(spec.alpha.1));
+        assert!(f_promise > 0.0, "degenerate CPF over the promise interval");
+        let l = repetition_count(repetition_factor, f_promise.min(1.0), 1);
+        let measure: Measure<[f64]> = measures::inner_product();
+        SphereAnnulusIndex {
+            inner: AnnulusIndex::build_dynamic(&family, measure, spec.beta, points, l, rng),
+            spec,
+        }
+    }
+
+    /// Insert a point into the backing [`DynamicIndex`], returning its id.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = [f64]> + ?Sized,
+    {
+        self.inner.insert(p)
+    }
+
+    /// Remove point `id` (tombstone; reclaimed at the next compaction).
+    pub fn remove(&mut self, id: usize) -> bool {
+        self.inner.remove(id)
+    }
+
+    /// Freeze the delta segment; see [`DynamicIndex::seal`].
+    pub fn seal(&mut self) {
+        self.inner.seal();
+    }
+
+    /// Merge all segments, dropping tombstones; see
+    /// [`DynamicIndex::compact`].
+    pub fn compact(&mut self) {
+        self.inner.compact();
+    }
+}
+
+impl<S: PointStore<Row = [f64]>, B: CandidateBackend<Row = [f64]>> SphereAnnulusIndex<S, B> {
     /// The instance specification.
     pub fn spec(&self) -> AnnulusSpec {
         self.spec
+    }
+
+    /// The candidate backend of the underlying annulus structure.
+    pub fn backend(&self) -> &B {
+        self.inner.backend()
+    }
+
+    /// Mutable access to the candidate backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        self.inner.backend_mut()
     }
 
     /// Number of repetitions.

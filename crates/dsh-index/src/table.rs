@@ -52,6 +52,27 @@ pub struct QueryStats {
     pub distance_computations: usize,
 }
 
+impl QueryStats {
+    /// Sum the additive counters of `other` into `self`: probes, retrieved
+    /// entries, duplicates, and distance computations.
+    ///
+    /// `distinct_candidates` is deliberately **not** summed. Distinctness
+    /// is a property of the whole query, not of one probe: a point
+    /// retrieved from two segments (or two tables) is one distinct
+    /// candidate, so per-segment partial stats each reporting it as
+    /// distinct would double-count it. Callers that merge per-segment
+    /// partials — the segmented [`crate::dynamic::DynamicIndex`] query
+    /// path — must set `distinct_candidates` from the deduplicated output
+    /// once, after all partials are merged. The regression tests in
+    /// `tests/dynamic_parity.rs` pin the summed totals.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.tables_probed += other.tables_probed;
+        self.candidates_retrieved += other.candidates_retrieved;
+        self.duplicates += other.duplicates;
+        self.distance_computations += other.distance_computations;
+    }
+}
+
 /// Flat CSR bucket storage for one table: a sorted `(key, offset)`
 /// directory plus one contiguous `Vec<u32>` of point ids grouped by key
 /// (increasing within a bucket). Bucket `b` spans
@@ -66,7 +87,8 @@ pub struct QueryStats {
 /// number of directory keys with prefix `< p`, so a probe binary-searches
 /// only the handful of directory entries sharing the query key's prefix
 /// instead of the whole directory.
-struct CsrBuckets {
+#[derive(Clone)]
+pub(crate) struct CsrBuckets {
     /// Sorted `(key, ids-offset)` pairs, terminated by the sentinel.
     dir: Vec<(u64, u32)>,
     ids: Vec<u32>,
@@ -90,13 +112,22 @@ impl CsrBuckets {
     /// sort `(key, id)` pairs (ids ascending within equal keys — the same
     /// per-bucket order the seed's `HashMap` push produced), then sweep
     /// once to emit the directory, grouped ids, and the prefix counts.
-    fn build(hashes: &[u64]) -> Self {
+    pub(crate) fn build(hashes: &[u64]) -> Self {
         debug_assert!(hashes.len() < u32::MAX as usize);
-        let mut order: Vec<(u64, u32)> = hashes
+        let order: Vec<(u64, u32)> = hashes
             .iter()
             .enumerate()
             .map(|(i, &h)| (h, i as u32))
             .collect();
+        Self::build_from_pairs(order)
+    }
+
+    /// Construction from explicit `(key, id)` pairs — the compaction path
+    /// of the segmented index, where keys are recovered from existing
+    /// segment directories instead of re-hashing every row and ids are
+    /// global (not positional). Pairs are sorted, so the result is
+    /// independent of the input order; ids must be distinct.
+    pub(crate) fn build_from_pairs(mut order: Vec<(u64, u32)>) -> Self {
         order.sort_unstable();
 
         let mut dir: Vec<(u64, u32)> = Vec::new();
@@ -142,9 +173,25 @@ impl CsrBuckets {
         }
     }
 
+    /// Total bucket entries (one per indexed id).
+    pub(crate) fn num_ids(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Iterate over the non-empty buckets in key order, yielding each
+    /// distinct key with its grouped ids — the scan the segmented index's
+    /// compaction uses to recover `(key, id)` pairs without re-hashing.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (u64, &[u32])> {
+        let distinct = self.dir.len() - 1; // drop the sentinel
+        self.dir[..distinct]
+            .iter()
+            .enumerate()
+            .map(move |(b, e)| (e.0, &self.ids[e.1 as usize..self.dir[b + 1].1 as usize]))
+    }
+
     /// The bucket for `key` (empty slice when no data point hashed to it).
     #[inline]
-    fn bucket(&self, key: u64) -> &[u32] {
+    pub(crate) fn bucket(&self, key: u64) -> &[u32] {
         let p = Self::prefix_of(key, self.prefix_bits) as usize;
         let lo = self.prefix_starts[p] as usize;
         let hi = self.prefix_starts[p + 1] as usize;
@@ -180,7 +227,7 @@ pub struct QueryScratch {
 }
 
 impl QueryScratch {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         QueryScratch {
             stamps: vec![0; n],
             generation: 0,
@@ -189,13 +236,30 @@ impl QueryScratch {
 
     /// Start a new query: bump the generation, resetting the stamps on the
     /// (once per 255 queries) wrap-around.
-    fn begin(&mut self) -> u8 {
+    pub(crate) fn begin(&mut self) -> u8 {
         if self.generation == u8::MAX {
             self.stamps.fill(0);
             self.generation = 0;
         }
         self.generation += 1;
         self.generation
+    }
+
+    /// Mark point `i` visited in the query of `generation`; returns `true`
+    /// on the first visit, `false` for a duplicate.
+    #[inline]
+    pub(crate) fn visit(&mut self, i: usize, generation: u8) -> bool {
+        if self.stamps[i] == generation {
+            false
+        } else {
+            self.stamps[i] = generation;
+            true
+        }
+    }
+
+    /// Number of id slots (the indexed id-space size this scratch serves).
+    pub(crate) fn len(&self) -> usize {
+        self.stamps.len()
     }
 }
 
@@ -323,7 +387,7 @@ impl<S: PointStore> HashTableIndex<S> {
         scratch: &mut QueryScratch,
     ) -> (Vec<usize>, QueryStats) {
         assert_eq!(
-            scratch.stamps.len(),
+            scratch.len(),
             self.points.len(),
             "scratch buffer sized for a different index"
         );
@@ -340,11 +404,10 @@ impl<S: PointStore> HashTableIndex<S> {
             let take = bucket.len().min(limit - stats.candidates_retrieved);
             for &i in &bucket[..take] {
                 let i = i as usize;
-                if scratch.stamps[i] == generation {
-                    stats.duplicates += 1;
-                } else {
-                    scratch.stamps[i] = generation;
+                if scratch.visit(i, generation) {
                     out.push(i);
+                } else {
+                    stats.duplicates += 1;
                 }
             }
             stats.candidates_retrieved += take;
@@ -403,6 +466,74 @@ impl<S: PointStore> HashTableIndex<S> {
     {
         let t = &self.tables[j];
         t.data_fn.hash(self.points.row(i)) == t.query_fn.hash(q.as_row())
+    }
+}
+
+/// A bucket-candidate backend the query front-ends can verify against:
+/// either the static [`HashTableIndex`] or the mutable segmented
+/// [`crate::dynamic::DynamicIndex`].
+///
+/// Every front-end (`NearNeighborIndex`, `AnnulusIndex`,
+/// `RangeReportingIndex`, and the sphere wrappers built on them) is
+/// generic over this trait with `HashTableIndex` as the default, so the
+/// same verification logic serves both a build-once index and one that is
+/// grown online — and a dynamically grown index answers queries exactly
+/// like a static one built from the same final point set (pinned by
+/// `tests/dynamic_parity.rs`).
+pub trait CandidateBackend: Send + Sync {
+    /// The borrowed row type stored points and queries share.
+    type Row: ?Sized + 'static;
+
+    /// Number of repetitions `L` (each query probes `L` logical tables).
+    fn repetitions(&self) -> usize;
+
+    /// Size of the id space candidate ids are drawn from (for a static
+    /// index the point count; for a segmented index all ids ever
+    /// inserted, live or not).
+    fn indexed_len(&self) -> usize;
+
+    /// Borrow the row of indexed point `i`.
+    fn point(&self, i: usize) -> &Self::Row;
+
+    /// A query scratch buffer sized for this backend.
+    fn new_scratch(&self) -> QueryScratch;
+
+    /// Retrieve distinct candidate ids for query row `q`, stopping once
+    /// `retrieval_limit` raw bucket entries have been pulled.
+    fn candidates_row(
+        &self,
+        q: &Self::Row,
+        retrieval_limit: Option<usize>,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<usize>, QueryStats);
+}
+
+impl<S: PointStore> CandidateBackend for HashTableIndex<S> {
+    type Row = S::Row;
+
+    fn repetitions(&self) -> usize {
+        HashTableIndex::repetitions(self)
+    }
+
+    fn indexed_len(&self) -> usize {
+        self.len()
+    }
+
+    fn point(&self, i: usize) -> &S::Row {
+        HashTableIndex::point(self, i)
+    }
+
+    fn new_scratch(&self) -> QueryScratch {
+        HashTableIndex::new_scratch(self)
+    }
+
+    fn candidates_row(
+        &self,
+        q: &S::Row,
+        retrieval_limit: Option<usize>,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<usize>, QueryStats) {
+        HashTableIndex::candidates_row(self, q, retrieval_limit, scratch)
     }
 }
 

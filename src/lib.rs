@@ -24,5 +24,7 @@ pub mod prelude {
     pub use dsh_core::distance::*;
     pub use dsh_core::estimate::{estimate_collision_probability, CpfEstimator};
     pub use dsh_core::family::{BoxedDshFamily, DshFamily, HasherPair, PointHasher};
-    pub use dsh_core::points::{BitVector, DenseVector};
+    pub use dsh_core::points::{
+        AppendStore, BitStore, BitVector, DenseStore, DenseVector, PointStore,
+    };
 }

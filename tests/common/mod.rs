@@ -1,0 +1,88 @@
+//! Shared statistical test harnesses for the integration suite.
+//!
+//! The recall harness runs a seeded sweep of planted-neighbor instances
+//! and reports the fraction of runs in which the index under test
+//! returned a point within the target radius — the average-based style
+//! the repo uses for every probabilistic guarantee (a single run of a
+//! constant-success-probability structure proves nothing; two dozen
+//! seeded runs pin the success rate without flakiness).
+
+#![allow(dead_code)] // each integration-test binary uses a subset
+
+use dsh_core::points::hamming;
+use dsh_data::hamming_data::{planted_hamming_instance, PlantedHammingInstance};
+use dsh_math::rng::seeded;
+use rand::Rng;
+
+/// Parameters of one recall@1 sweep over planted Hamming instances.
+pub struct RecallSweep {
+    /// Base RNG seed; run `i` uses `seed + i`.
+    pub seed: u64,
+    /// Number of independent instances.
+    pub runs: u64,
+    /// Points per instance.
+    pub n: usize,
+    /// Hamming dimension.
+    pub d: usize,
+    /// Planted neighbor distance (absolute bits).
+    pub r_planted: usize,
+    /// Reporting radius `r2` (relative), the recall target.
+    pub r2_rel: f64,
+}
+
+impl RecallSweep {
+    /// The standard sweep: a planted neighbor at relative distance 0.05
+    /// in `d = 256`, reported within `r2 = 0.25`, over 20 seeded runs.
+    pub fn standard() -> Self {
+        RecallSweep {
+            seed: 0x4eca11,
+            runs: 20,
+            n: 250,
+            d: 256,
+            r_planted: 12,
+            r2_rel: 0.25,
+        }
+    }
+
+    /// CPF value at the planted distance for a bit-sampling family
+    /// (`p1 = 1 - r1`), the value index builds derive `L` from.
+    pub fn p1(&self) -> f64 {
+        1.0 - self.r_planted as f64 / self.d as f64
+    }
+
+    /// CPF value at the reporting radius (`p2 = 1 - r2`).
+    pub fn p2(&self) -> f64 {
+        1.0 - self.r2_rel
+    }
+}
+
+/// Run the sweep: `build_and_query` receives each planted instance plus
+/// the run's RNG (positioned right after instance generation, so index
+/// builds in static and dynamic harness closures consume identical
+/// randomness), and returns the reported point id, if any.
+///
+/// Every reported point is checked against the reporting radius (a
+/// violation fails the test immediately); the returned recall@1 is the
+/// fraction of runs that reported a valid point.
+pub fn recall_at_1<F>(sweep: &RecallSweep, mut build_and_query: F) -> f64
+where
+    F: FnMut(&PlantedHammingInstance, &mut dyn Rng) -> Option<usize>,
+{
+    assert!(sweep.runs > 0);
+    let mut hits = 0u64;
+    for run in 0..sweep.runs {
+        let mut rng = seeded(sweep.seed + run);
+        let inst = planted_hamming_instance(&mut rng, sweep.n, sweep.d, sweep.r_planted);
+        if let Some(i) = build_and_query(&inst, &mut rng) {
+            let rel =
+                hamming(inst.points[i].as_blocks(), inst.query.as_blocks()) as f64 / sweep.d as f64;
+            assert!(
+                rel <= sweep.r2_rel,
+                "run {run}: reported point at relative distance {rel} > r2 = {}",
+                sweep.r2_rel
+            );
+            hits += 1;
+        }
+    }
+    hits as f64 / sweep.runs as f64
+}

@@ -1,0 +1,571 @@
+//! Integration parity suite for the mutable segmented index: an index
+//! grown online (insert / remove / seal / compact in any order) must
+//! answer queries exactly like a static index built from the same final
+//! live point set — on both flat store backends, for multiple build,
+//! compaction, and batch-query thread counts.
+//!
+//! Identity is checked at two strengths:
+//!
+//! * **after a final compaction** the dynamic index probes one CSR
+//!   segment per table, so candidates *and the full `QueryStats`* must be
+//!   bit-identical to the static build (ids mapped through the live-rank
+//!   order, which is monotone, hence order-preserving);
+//! * **before compaction** (multiple sealed segments + delta +
+//!   tombstones) candidate lists are still identical modulo the id
+//!   mapping — per table, segment buckets partition the live ids in
+//!   ascending order — but `tables_probed` legitimately counts one probe
+//!   per physical segment table, so only the other counters are compared.
+//!
+//! The pinned-totals tests at the bottom are the regression suite for
+//! per-segment `QueryStats` accounting (`QueryStats::merge` sums the
+//! additive counters; distinctness is computed once per query from the
+//! deduplicated output).
+
+use dsh_core::family::DshFamily;
+use dsh_core::points::{AppendStore, AsRow, BitStore, BitVector, DenseStore, DenseVector};
+use dsh_data::{hamming_data, sphere_data};
+use dsh_hamming::BitSampling;
+use dsh_index::{
+    measures, AnnulusIndex, AnnulusSpec, DynamicIndex, HashTableIndex, HyperplaneIndex,
+    NearNeighborIndex, QueryStats, RangeReportingIndex, SphereAnnulusIndex,
+};
+use dsh_math::rng::seeded;
+use dsh_sphere::UnimodalFilterDsh;
+
+const BUILD_THREADS: [usize; 3] = [1, 2, 8];
+const BATCH_THREADS: [usize; 3] = [1, 3, 8];
+
+fn bit_points(seed: u64, n: usize, d: usize) -> Vec<BitVector> {
+    hamming_data::uniform_hamming(&mut seeded(seed), n, d)
+}
+
+fn dense_points(seed: u64, n: usize, d: usize) -> Vec<DenseVector> {
+    sphere_data::uniform_sphere(&mut seeded(seed), n, d)
+}
+
+/// Rank of each dynamic id in the ascending live-id order — the id an
+/// equivalent static build over the live rows assigns to the same point.
+fn rank_of(live: &[usize], id: usize) -> usize {
+    live.binary_search(&id).expect("candidate id must be live")
+}
+
+/// Map a dynamic candidate list onto static ids.
+fn mapped(cands: &[usize], live: &[usize]) -> Vec<usize> {
+    cands.iter().map(|&i| rank_of(live, i)).collect()
+}
+
+/// Copy the live rows of a dynamic index into a fresh store, in live-id
+/// order (the order the static rebuild indexes them in).
+fn live_rows<S: AppendStore>(idx: &DynamicIndex<S>, mut empty: S) -> (S, Vec<usize>) {
+    let live: Vec<usize> = idx.live_ids().collect();
+    for &id in &live {
+        empty.push_row(idx.point(id));
+    }
+    (empty, live)
+}
+
+/// Grow a dynamic index through a seeded interleaved schedule of
+/// insert / remove / seal / compact.
+fn drive_schedule<S, P>(idx: &mut DynamicIndex<S>, points: &[P], schedule_seed: u64)
+where
+    S: AppendStore,
+    P: AsRow<Row = S::Row>,
+{
+    let mut rng = seeded(schedule_seed);
+    for (i, p) in points.iter().enumerate() {
+        idx.insert(p);
+        if rng.random_bool(0.15) {
+            let live: Vec<usize> = idx.live_ids().collect();
+            let victim = live[dsh_math::rng::index(&mut rng, live.len())];
+            idx.remove(victim);
+        }
+        if (i + 1) % 23 == 0 {
+            idx.seal();
+        }
+        if (i + 1) % 57 == 0 {
+            idx.compact();
+        }
+    }
+}
+
+/// Assert every counter except `tables_probed` matches (the pre-compact
+/// comparison: physical probe counts differ across segment layouts, the
+/// retrieved/dedup accounting must not).
+fn assert_stats_match_modulo_probes(a: &QueryStats, b: &QueryStats, ctx: &str) {
+    assert_eq!(a.candidates_retrieved, b.candidates_retrieved, "{ctx}");
+    assert_eq!(a.distinct_candidates, b.distinct_candidates, "{ctx}");
+    assert_eq!(a.duplicates, b.duplicates, "{ctx}");
+    assert_eq!(a.distance_computations, b.distance_computations, "{ctx}");
+}
+
+/// The core sweep, generic over the store backend and family: insert all
+/// points (no removals), compact, and demand bit-identical candidates and
+/// stats against the static build — across build threads, batch threads,
+/// and retrieval limits.
+fn insert_then_compact_sweep<S, P>(
+    family: &(impl DshFamily<S::Row> + ?Sized),
+    empty: impl Fn() -> S,
+    points: &[P],
+    queries: &[P],
+    l: usize,
+    seed: u64,
+) where
+    S: AppendStore + Clone,
+    P: AsRow<Row = S::Row> + Clone + Send + Sync,
+{
+    for &build_threads in &BUILD_THREADS {
+        let mut full = empty();
+        for p in points {
+            full.push_row(p.as_row());
+        }
+        let static_idx =
+            HashTableIndex::build_with_threads(family, full, l, &mut seeded(seed), build_threads);
+        let mut dyn_idx =
+            DynamicIndex::build_with_threads(family, empty(), l, &mut seeded(seed), build_threads);
+        for p in points {
+            dyn_idx.insert(p);
+        }
+        dyn_idx.compact_with_threads(build_threads);
+        assert_eq!(dyn_idx.sealed_segments(), 1);
+
+        for limit in [None, Some(2 * l)] {
+            let want: Vec<_> = queries
+                .iter()
+                .map(|q| static_idx.candidates(q, limit))
+                .collect();
+            let got: Vec<_> = queries
+                .iter()
+                .map(|q| dyn_idx.candidates(q, limit))
+                .collect();
+            assert_eq!(
+                want, got,
+                "post-compact parity (build_threads {build_threads}, limit {limit:?})"
+            );
+            let query_store: Vec<P> = queries.to_vec();
+            for &batch_threads in &BATCH_THREADS {
+                let batched =
+                    dyn_idx.candidates_batch_with_threads(&query_store, limit, batch_threads);
+                assert_eq!(
+                    want, batched,
+                    "batched parity (batch_threads {batch_threads}, limit {limit:?})"
+                );
+            }
+        }
+    }
+}
+
+/// The interleaved sweep: a schedule of insert/remove/seal/compact, then
+/// a final compact, compared against a static rebuild over the live rows.
+fn interleaved_schedule_sweep<S, P>(
+    family: &(impl DshFamily<S::Row> + ?Sized),
+    empty: impl Fn() -> S,
+    points: &[P],
+    queries: &[P],
+    l: usize,
+    seed: u64,
+) where
+    S: AppendStore + Clone,
+    P: AsRow<Row = S::Row> + Clone + Send + Sync,
+{
+    let mut dyn_idx = DynamicIndex::build(family, empty(), l, &mut seeded(seed));
+    drive_schedule(&mut dyn_idx, points, seed ^ 0x5EED);
+    assert!(dyn_idx.removed() > 0, "schedule must exercise removals");
+
+    let (live_store, live) = live_rows(&dyn_idx, empty());
+    let static_idx = HashTableIndex::build(family, live_store, l, &mut seeded(seed));
+
+    // Before the final compaction: same candidates modulo the id mapping,
+    // same retrieval accounting, physical probe counts may differ.
+    for (qi, q) in queries.iter().enumerate() {
+        let (want, want_stats) = static_idx.candidates(q, None);
+        let (got, got_stats) = dyn_idx.candidates(q, None);
+        assert_eq!(want, mapped(&got, &live), "pre-compact, query {qi}");
+        assert_stats_match_modulo_probes(&want_stats, &got_stats, "pre-compact stats");
+    }
+
+    // After it: bit-identical stats too, for every thread count.
+    for &threads in &BUILD_THREADS {
+        let mut compacted = DynamicIndex::build(family, empty(), l, &mut seeded(seed));
+        drive_schedule(&mut compacted, points, seed ^ 0x5EED);
+        compacted.compact_with_threads(threads);
+        assert_eq!(compacted.sealed_segments(), 1);
+        assert_eq!(compacted.delta_rows(), 0);
+        for limit in [None, Some(3 * l)] {
+            for (qi, q) in queries.iter().enumerate() {
+                let (want, want_stats) = static_idx.candidates(q, limit);
+                let (got, got_stats) = compacted.candidates(q, limit);
+                assert_eq!(
+                    want,
+                    mapped(&got, &live),
+                    "post-compact, threads {threads}, limit {limit:?}, query {qi}"
+                );
+                assert_eq!(
+                    want_stats, got_stats,
+                    "post-compact stats, threads {threads}, limit {limit:?}, query {qi}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_store_insert_then_compact_is_bit_identical_to_static_build() {
+    let d = 128;
+    let points = bit_points(0xB17A, 260, d);
+    let queries = bit_points(0xB17B, 18, d);
+    insert_then_compact_sweep(
+        &BitSampling::new(d),
+        || BitStore::with_dim(d),
+        &points,
+        &queries,
+        12,
+        0xB17C,
+    );
+}
+
+#[test]
+fn dense_store_insert_then_compact_is_bit_identical_to_static_build() {
+    let d = 24;
+    let points = dense_points(0xDE5A, 220, d);
+    let queries = dense_points(0xDE5B, 16, d);
+    insert_then_compact_sweep(
+        &UnimodalFilterDsh::new(d, 0.4, 1.3),
+        || DenseStore::with_dim(d),
+        &points,
+        &queries,
+        10,
+        0xDE5C,
+    );
+}
+
+#[test]
+fn bit_store_interleaved_schedule_matches_static_rebuild() {
+    let d = 128;
+    let points = bit_points(0x11A0, 240, d);
+    let queries = bit_points(0x11A1, 14, d);
+    interleaved_schedule_sweep(
+        &BitSampling::new(d),
+        || BitStore::with_dim(d),
+        &points,
+        &queries,
+        10,
+        0x11A2,
+    );
+}
+
+#[test]
+fn dense_store_interleaved_schedule_matches_static_rebuild() {
+    let d = 24;
+    let points = dense_points(0x11B0, 200, d);
+    let queries = dense_points(0x11B1, 12, d);
+    interleaved_schedule_sweep(
+        &UnimodalFilterDsh::new(d, 0.4, 1.3),
+        || DenseStore::with_dim(d),
+        &points,
+        &queries,
+        8,
+        0x11B2,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Front-end parity: every wrapper answers identically through the
+// dynamic backend after insert + compact.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hamming_front_ends_dynamic_equals_static_after_compact() {
+    let d = 128;
+    let seed = 0xF0A1;
+    let points = bit_points(seed, 200, d);
+    let queries: Vec<BitVector> = points[..10]
+        .iter()
+        .cloned()
+        .chain(bit_points(seed + 1, 10, d))
+        .collect();
+
+    // NearNeighborIndex.
+    let static_nn = NearNeighborIndex::build(
+        &BitSampling::new(d),
+        measures::relative_hamming(d),
+        0.25,
+        BitStore::from(points.clone()),
+        0.95,
+        0.75,
+        2.0,
+        &mut seeded(seed + 2),
+    );
+    let mut dyn_nn = NearNeighborIndex::build_dynamic(
+        &BitSampling::new(d),
+        measures::relative_hamming(d),
+        0.25,
+        BitStore::with_dim(d),
+        points.len(),
+        0.95,
+        0.75,
+        2.0,
+        &mut seeded(seed + 2),
+    );
+    assert_eq!(static_nn.params(), dyn_nn.params());
+    for p in &points {
+        dyn_nn.insert(p);
+    }
+    dyn_nn.compact();
+    let want: Vec<_> = queries.iter().map(|q| static_nn.query(q)).collect();
+    let got: Vec<_> = queries.iter().map(|q| dyn_nn.query(q)).collect();
+    assert_eq!(want, got, "NearNeighborIndex dynamic/static divergence");
+    for threads in [1usize, 4] {
+        assert_eq!(
+            want,
+            dyn_nn.query_batch_with_threads(&queries, threads),
+            "NearNeighborIndex batched (threads {threads})"
+        );
+    }
+
+    // AnnulusIndex.
+    let fam = BitSampling::new(d);
+    let static_an = AnnulusIndex::build(
+        &fam,
+        measures::relative_hamming(d),
+        (0.0, 0.2),
+        BitStore::from(points.clone()),
+        12,
+        &mut seeded(seed + 3),
+    );
+    let mut dyn_an = AnnulusIndex::build_dynamic(
+        &fam,
+        measures::relative_hamming(d),
+        (0.0, 0.2),
+        BitStore::with_dim(d),
+        12,
+        &mut seeded(seed + 3),
+    );
+    for p in &points {
+        dyn_an.insert(p);
+    }
+    dyn_an.compact();
+    let want: Vec<_> = queries.iter().map(|q| static_an.query(q)).collect();
+    let got: Vec<_> = queries.iter().map(|q| dyn_an.query(q)).collect();
+    assert_eq!(want, got, "AnnulusIndex dynamic/static divergence");
+    assert_eq!(want, dyn_an.query_batch(&queries), "AnnulusIndex batched");
+
+    // RangeReportingIndex.
+    let static_rr = RangeReportingIndex::build(
+        &fam,
+        measures::relative_hamming(d),
+        0.05,
+        0.2,
+        BitStore::from(points.clone()),
+        20,
+        &mut seeded(seed + 4),
+    );
+    let mut dyn_rr = RangeReportingIndex::build_dynamic(
+        &fam,
+        measures::relative_hamming(d),
+        0.05,
+        0.2,
+        BitStore::with_dim(d),
+        20,
+        &mut seeded(seed + 4),
+    );
+    for p in &points {
+        dyn_rr.insert(p);
+    }
+    dyn_rr.compact();
+    let want: Vec<_> = queries.iter().map(|q| static_rr.query(q)).collect();
+    let got: Vec<_> = queries.iter().map(|q| dyn_rr.query(q)).collect();
+    assert_eq!(want, got, "RangeReportingIndex dynamic/static divergence");
+    assert_eq!(
+        want,
+        dyn_rr.query_batch(&queries),
+        "RangeReportingIndex batched"
+    );
+}
+
+#[test]
+fn sphere_front_ends_dynamic_equals_static_after_compact() {
+    let d = 24;
+    let seed = 0xF0B1;
+    let points = dense_points(seed, 180, d);
+    let queries = dense_points(seed + 1, 12, d);
+
+    // HyperplaneIndex.
+    let static_hp = HyperplaneIndex::build(
+        DenseStore::from(points.clone()),
+        d,
+        1.4,
+        0.4,
+        1.5,
+        &mut seeded(seed + 2),
+    );
+    let mut dyn_hp = HyperplaneIndex::build_dynamic(
+        DenseStore::with_dim(d),
+        d,
+        1.4,
+        0.4,
+        1.5,
+        &mut seeded(seed + 2),
+    );
+    for p in &points {
+        dyn_hp.insert(p);
+    }
+    dyn_hp.compact();
+    assert_eq!(static_hp.repetitions(), dyn_hp.repetitions());
+    let want: Vec<_> = queries.iter().map(|q| static_hp.query(q)).collect();
+    let got: Vec<_> = queries.iter().map(|q| dyn_hp.query(q)).collect();
+    assert_eq!(want, got, "HyperplaneIndex dynamic/static divergence");
+    assert_eq!(
+        want,
+        dyn_hp.query_batch(&queries),
+        "HyperplaneIndex batched"
+    );
+
+    // SphereAnnulusIndex.
+    let spec = AnnulusSpec::widened(0.35, 0.5, 2.5);
+    let static_sa = SphereAnnulusIndex::build(
+        DenseStore::from(points.clone()),
+        d,
+        spec,
+        1.4,
+        1.5,
+        &mut seeded(seed + 3),
+    );
+    let mut dyn_sa = SphereAnnulusIndex::build_dynamic(
+        DenseStore::with_dim(d),
+        d,
+        spec,
+        1.4,
+        1.5,
+        &mut seeded(seed + 3),
+    );
+    for p in &points {
+        dyn_sa.insert(p);
+    }
+    dyn_sa.compact();
+    let want: Vec<_> = queries.iter().map(|q| static_sa.query(q)).collect();
+    let got: Vec<_> = queries.iter().map(|q| dyn_sa.query(q)).collect();
+    assert_eq!(want, got, "SphereAnnulusIndex dynamic/static divergence");
+    assert_eq!(
+        want,
+        dyn_sa.query_batch(&queries),
+        "SphereAnnulusIndex batched"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// QueryStats accounting regression: per-segment probes/candidates must
+// sum correctly, sequentially and batched. Identical points make every
+// count exactly predictable.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn query_stats_merge_sums_additive_counters_only() {
+    let mut a = QueryStats {
+        tables_probed: 2,
+        candidates_retrieved: 5,
+        distinct_candidates: 4,
+        duplicates: 1,
+        distance_computations: 3,
+    };
+    let b = QueryStats {
+        tables_probed: 1,
+        candidates_retrieved: 2,
+        distinct_candidates: 2,
+        duplicates: 0,
+        distance_computations: 7,
+    };
+    a.merge(&b);
+    // distinct_candidates is a whole-query property: merging per-segment
+    // partials must not sum it (a point seen from two segments is one
+    // candidate) — callers recompute it from the deduplicated output.
+    assert_eq!(
+        a,
+        QueryStats {
+            tables_probed: 3,
+            candidates_retrieved: 7,
+            distinct_candidates: 4,
+            duplicates: 1,
+            distance_computations: 10,
+        }
+    );
+}
+
+#[test]
+fn per_segment_query_stats_totals_are_pinned() {
+    let d = 32;
+    let l = 6;
+    let zero = BitVector::zeros(d);
+    // Segment layout: 10 ids in the initial sealed segment, 7 in a second
+    // sealed segment, 5 in the delta — all identical points, so every
+    // table has exactly one bucket holding everything.
+    let mut initial = BitStore::with_dim(d);
+    for _ in 0..10 {
+        initial.push(&zero);
+    }
+    let mut idx = DynamicIndex::build(&BitSampling::new(d), initial, l, &mut seeded(0x57A7));
+    for _ in 0..7 {
+        idx.insert(&zero);
+    }
+    idx.seal();
+    for _ in 0..5 {
+        idx.insert(&zero);
+    }
+    assert_eq!(idx.sealed_segments(), 2);
+    assert_eq!(idx.delta_rows(), 5);
+
+    let (cands, stats) = idx.candidates(&zero, None);
+    assert_eq!(stats.tables_probed, 3 * l, "2 sealed + 1 delta per table");
+    assert_eq!(stats.candidates_retrieved, 22 * l);
+    assert_eq!(stats.distinct_candidates, 22);
+    assert_eq!(cands.len(), 22);
+    assert_eq!(stats.duplicates, 22 * l - 22);
+    assert_eq!(
+        stats.distinct_candidates + stats.duplicates,
+        stats.candidates_retrieved,
+        "dedup accounting must balance across segments"
+    );
+
+    // Tombstoned ids — one per region — are skipped without counting.
+    for id in [0usize, 12, 18] {
+        assert!(idx.remove(id));
+    }
+    let (cands, stats) = idx.candidates(&zero, None);
+    assert_eq!(stats.tables_probed, 3 * l);
+    assert_eq!(stats.candidates_retrieved, 19 * l);
+    assert_eq!(stats.distinct_candidates, 19);
+    assert_eq!(cands.len(), 19);
+    assert_eq!(stats.duplicates, 19 * l - 19);
+
+    // Batched queries must report the same per-query stats, so the batch
+    // totals are exact multiples.
+    let queries: Vec<BitVector> = (0..9).map(|_| zero.clone()).collect();
+    for threads in [1usize, 4] {
+        let batch = idx.candidates_batch_with_threads(&queries, None, threads);
+        assert_eq!(batch.len(), 9);
+        for (got_cands, got_stats) in &batch {
+            assert_eq!(got_cands, &cands, "threads {threads}");
+            assert_eq!(got_stats, &stats, "threads {threads}");
+        }
+        let total: usize = batch.iter().map(|(_, s)| s.candidates_retrieved).sum();
+        assert_eq!(total, 9 * 19 * l, "threads {threads}");
+        let probes: usize = batch.iter().map(|(_, s)| s.tables_probed).sum();
+        assert_eq!(probes, 9 * 3 * l, "threads {threads}");
+    }
+
+    // A retrieval limit truncates exactly, wherever it lands.
+    let (_, limited) = idx.candidates(&zero, Some(25));
+    assert_eq!(limited.candidates_retrieved, 25);
+    assert_eq!(
+        limited.distinct_candidates + limited.duplicates,
+        limited.candidates_retrieved
+    );
+
+    // After compaction the layout is one segment per table: the exact
+    // accounting of a static build over the 19 live points.
+    idx.compact();
+    let (_, stats) = idx.candidates(&zero, None);
+    assert_eq!(stats.tables_probed, l);
+    assert_eq!(stats.candidates_retrieved, 19 * l);
+    assert_eq!(stats.distinct_candidates, 19);
+    assert_eq!(stats.duplicates, 19 * l - 19);
+}

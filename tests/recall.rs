@@ -1,0 +1,98 @@
+//! Statistical recall@1 checks for [`NearNeighborIndex`] on
+//! planted-neighbor data, run through the shared `tests/common` harness
+//! against both the static and the dynamic (insert-then-compact) build
+//! paths.
+//!
+//! Both paths consume identical randomness, so beyond clearing the
+//! recall bar the dynamic path must reproduce the static path's answers
+//! run for run.
+
+mod common;
+
+use common::{recall_at_1, RecallSweep};
+use dsh_core::points::BitStore;
+use dsh_hamming::BitSampling;
+use dsh_index::{measures, NearNeighborIndex};
+
+const FACTOR: f64 = 2.0;
+
+/// Minimum acceptable recall@1: each run succeeds with constant
+/// probability well above 1/2 (factor 2.0 boosts the standard guarantee),
+/// so 60% over 20 runs leaves a wide flake margin while still catching a
+/// broken index, which lands near zero.
+const MIN_RECALL: f64 = 0.6;
+
+#[test]
+fn static_near_neighbor_recall_clears_the_bar() {
+    let sweep = RecallSweep::standard();
+    let recall = recall_at_1(&sweep, |inst, rng| {
+        let idx = NearNeighborIndex::build(
+            &BitSampling::new(sweep.d),
+            measures::relative_hamming(sweep.d),
+            sweep.r2_rel,
+            BitStore::from(inst.points.clone()),
+            sweep.p1(),
+            sweep.p2(),
+            FACTOR,
+            rng,
+        );
+        idx.query(&inst.query).0
+    });
+    assert!(recall >= MIN_RECALL, "static recall@1 = {recall}");
+}
+
+#[test]
+fn dynamic_near_neighbor_recall_matches_static_run_for_run() {
+    let sweep = RecallSweep::standard();
+    let mut static_answers = Vec::new();
+    let static_recall = recall_at_1(&sweep, |inst, rng| {
+        let idx = NearNeighborIndex::build(
+            &BitSampling::new(sweep.d),
+            measures::relative_hamming(sweep.d),
+            sweep.r2_rel,
+            BitStore::from(inst.points.clone()),
+            sweep.p1(),
+            sweep.p2(),
+            FACTOR,
+            rng,
+        );
+        let hit = idx.query(&inst.query).0;
+        static_answers.push(hit);
+        hit
+    });
+
+    let mut run = 0;
+    let dynamic_recall = recall_at_1(&sweep, |inst, rng| {
+        let mut idx = NearNeighborIndex::build_dynamic(
+            &BitSampling::new(sweep.d),
+            measures::relative_hamming(sweep.d),
+            sweep.r2_rel,
+            BitStore::with_dim(sweep.d),
+            inst.points.len(),
+            sweep.p1(),
+            sweep.p2(),
+            FACTOR,
+            rng,
+        );
+        for p in &inst.points {
+            idx.insert(p);
+        }
+        idx.compact();
+        let hit = idx.query(&inst.query).0;
+        assert_eq!(
+            hit, static_answers[run],
+            "run {run}: dynamic path diverged from the static build"
+        );
+        run += 1;
+        hit
+    });
+
+    assert!(
+        dynamic_recall >= MIN_RECALL,
+        "dynamic recall@1 = {dynamic_recall}"
+    );
+    assert_eq!(
+        dynamic_recall, static_recall,
+        "identical randomness must give identical recall"
+    );
+}
