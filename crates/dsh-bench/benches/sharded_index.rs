@@ -1,0 +1,233 @@
+//! The sharded serving layer against the unsharded mutable index: what
+//! does snapshot publication cost, and what does it buy?
+//!
+//! The questions this answers:
+//!
+//! * **Batched query latency vs shard count** — the cross-shard k-way
+//!   bucket merge answers bit-identically to the unsharded index; how
+//!   much per-query overhead do 1/2/4/8 shards add on a compacted
+//!   layout?
+//! * **Ingest under concurrent readers** — every write publishes a fresh
+//!   immutable state (copy-on-write of the written shard's delta), so
+//!   readers never block. How much slower is publishing ingest than the
+//!   unsharded in-place ingest, and how many snapshot queries do readers
+//!   sustain while it runs?
+//! * **Compaction publication pause** — compaction rebuilds segments on
+//!   worker threads off the publication path and swaps one `Arc` at the
+//!   end; snapshot acquisition must stay O(1) while it runs.
+//!
+//! Parity is asserted during setup, like `dynamic_index.rs`: a benchmark
+//! of a wrong index is worthless.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsh_core::combinators::Power;
+use dsh_core::points::{BitStore, BitVector};
+use dsh_hamming::BitSampling;
+use dsh_index::{DynamicIndex, ShardedIndex};
+use dsh_math::rng::seeded;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+const D: usize = 128;
+const K: usize = 16;
+const L: usize = 12;
+const N: usize = 40_000;
+const N_INGEST: usize = 20_000;
+const N_QUERIES: usize = 256;
+const SEAL_EVERY: usize = 256;
+
+fn family() -> Power<BitSampling> {
+    Power::new(BitSampling::new(D), K)
+}
+
+fn dataset(seed: u64, n: usize) -> BitStore {
+    let mut rng = seeded(seed);
+    let mut store = BitStore::with_dim(D);
+    for _ in 0..n {
+        store.push_random(&mut rng);
+    }
+    store
+}
+
+fn queries(seed: u64) -> Vec<BitVector> {
+    let mut rng = seeded(seed);
+    (0..N_QUERIES)
+        .map(|_| BitVector::random(&mut rng, D))
+        .collect()
+}
+
+/// Batched query latency on a compacted layout, by shard count, with the
+/// unsharded dynamic index as the baseline — parity asserted first.
+fn bench_query_vs_shard_count(c: &mut Criterion) {
+    let points = dataset(0x5B1, N);
+    let qs = queries(0x5B2);
+    let mut group = c.benchmark_group("sharded_query");
+    group.sample_size(10);
+
+    let mut dynamic = DynamicIndex::build(&family(), points.clone(), L, &mut seeded(0x5B3));
+    dynamic.compact();
+    let want = dynamic.candidates_batch(&qs, Some(8 * L));
+    group.bench_function(BenchmarkId::new("shards", "unsharded"), |b| {
+        b.iter(|| black_box(dynamic.candidates_batch(&qs, Some(8 * L))))
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        let mut idx = ShardedIndex::build(&family(), points.clone(), L, shards, &mut seeded(0x5B3));
+        idx.compact();
+        assert_eq!(
+            want,
+            idx.candidates_batch(&qs, Some(8 * L)),
+            "sharded index ({shards} shards) diverged from the unsharded build"
+        );
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| black_box(idx.candidates_batch(&qs, Some(8 * L))))
+        });
+    }
+
+    group.finish();
+}
+
+/// Publishing ingest (every insert produces a fresh immutable state)
+/// against the unsharded in-place ingest, alone and with reader threads
+/// hammering snapshots throughout.
+fn bench_ingest(c: &mut Criterion) {
+    let points = dataset(0x5B4, N_INGEST);
+    let qs: Vec<BitVector> = queries(0x5B5)[..32].to_vec();
+    let mut group = c.benchmark_group("sharded_ingest");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("dynamic_insert", N_INGEST), |b| {
+        b.iter(|| {
+            let mut idx =
+                DynamicIndex::build(&family(), BitStore::with_dim(D), L, &mut seeded(0x5B6));
+            for i in 0..points.len() {
+                idx.insert(points.row(i));
+                if (i + 1) % SEAL_EVERY == 0 {
+                    idx.seal();
+                }
+            }
+            idx
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("sharded_insert", N_INGEST), |b| {
+        b.iter(|| {
+            let mut idx =
+                ShardedIndex::build(&family(), BitStore::with_dim(D), L, 4, &mut seeded(0x5B6));
+            for i in 0..points.len() {
+                idx.insert(points.row(i));
+                if (i + 1) % SEAL_EVERY == 0 {
+                    idx.seal();
+                }
+            }
+            idx
+        })
+    });
+
+    // Same ingest with 3 reader threads taking snapshots and querying
+    // until the writer finishes. The queries-served count is the
+    // concurrent-read throughput (printed once, outside the timing loop).
+    let served_total = AtomicUsize::new(0);
+    let iters = AtomicUsize::new(0);
+    group.bench_function(
+        BenchmarkId::new("sharded_insert_3_readers", N_INGEST),
+        |b| {
+            b.iter(|| {
+                let mut idx =
+                    ShardedIndex::build(&family(), BitStore::with_dim(D), L, 4, &mut seeded(0x5B6));
+                let handle = idx.reader_handle();
+                let done = AtomicBool::new(false);
+                let served = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    let (done, served, qs) = (&done, &served, &qs);
+                    for _ in 0..3 {
+                        let handle = handle.clone();
+                        scope.spawn(move || {
+                            while !done.load(Ordering::Acquire) {
+                                let snapshot = handle.snapshot();
+                                let answers =
+                                    snapshot.candidates_batch_with_threads(qs, Some(8 * L), 1);
+                                served.fetch_add(answers.len(), Ordering::Relaxed);
+                                black_box(answers);
+                            }
+                        });
+                    }
+                    for i in 0..points.len() {
+                        idx.insert(points.row(i));
+                        if (i + 1) % SEAL_EVERY == 0 {
+                            idx.seal();
+                        }
+                    }
+                    done.store(true, Ordering::Release);
+                });
+                served_total.fetch_add(served.load(Ordering::Relaxed), Ordering::Relaxed);
+                iters.fetch_add(1, Ordering::Relaxed);
+                idx
+            })
+        },
+    );
+    let iters = iters.load(Ordering::Relaxed).max(1);
+    println!(
+        "sharded_ingest/concurrent_reads: ~{} snapshot queries served per ingest of {N_INGEST} points",
+        served_total.load(Ordering::Relaxed) / iters
+    );
+
+    group.finish();
+}
+
+/// Snapshot acquisition while a compaction storm runs in the background:
+/// the publication pause readers actually observe.
+fn bench_compaction_publication_pause(c: &mut Criterion) {
+    let points = dataset(0x5B7, N);
+    let mut group = c.benchmark_group("sharded_compaction");
+    group.sample_size(10);
+
+    // A multi-segment index with tombstones: the compaction workload.
+    let build = || {
+        let mut idx =
+            ShardedIndex::build(&family(), BitStore::with_dim(D), L, 4, &mut seeded(0x5B8));
+        for i in 0..N {
+            idx.insert(points.row(i));
+            if (i + 1) % (N / 3) == 0 {
+                idx.seal();
+            }
+        }
+        for id in (0..N).step_by(16) {
+            idx.remove(id);
+        }
+        idx
+    };
+
+    let mut idx = build();
+    group.bench_function(BenchmarkId::new("compact", N), |b| {
+        // Re-compacting a compacted index re-merges every segment entry:
+        // each iteration measures a full merge-and-publish.
+        b.iter(|| idx.compact())
+    });
+
+    let mut idx = build();
+    let handle = idx.reader_handle();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let done = &done;
+        scope.spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                idx.compact();
+            }
+        });
+        group.bench_function(BenchmarkId::new("snapshot_during_compact", N), |b| {
+            b.iter(|| black_box(handle.snapshot().epoch()))
+        });
+        done.store(true, Ordering::Release);
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_vs_shard_count,
+    bench_ingest,
+    bench_compaction_publication_pause
+);
+criterion_main!(benches);

@@ -15,10 +15,15 @@
 //!   the pointer-per-point compatibility implementation;
 //! * the [`AppendStore`] extension for stores that grow one row at a
 //!   time — the contract the mutable (segmented) index layer builds on;
+//! * the snapshot-friendly [`ChunkedStore`] wrapper: frozen `Arc`-shared
+//!   chunks plus a small mutable tail, so cloning a store for an
+//!   immutable snapshot costs the tail, not the dataset — the storage
+//!   contract of the concurrent sharded serving layer;
 //! * zero-copy row views [`DenseRef`] / [`BitRef`] carrying the dimension
 //!   for ergonomic distance evaluation.
 
 use rand::Rng;
+use std::sync::Arc;
 
 /// A point of `{0,1}^d`, bit-packed into 64-bit blocks.
 ///
@@ -482,17 +487,33 @@ pub trait PointStore: Send + Sync {
 pub trait AppendStore: PointStore {
     /// Append one row (must match the store's row shape).
     fn push_row(&mut self, row: &Self::Row);
+
+    /// A fresh empty store of the same row shape (same dimension /
+    /// block count), ready to receive rows of this store. This is what
+    /// lets generic code split one store into shards, or freeze a write
+    /// head and start a new one, without knowing the concrete backend.
+    fn empty_like(&self) -> Self
+    where
+        Self: Sized;
 }
 
 impl AppendStore for DenseStore {
     fn push_row(&mut self, row: &[f64]) {
         self.push(row);
     }
+
+    fn empty_like(&self) -> Self {
+        DenseStore::with_dim(self.dim())
+    }
 }
 
 impl AppendStore for BitStore {
     fn push_row(&mut self, row: &[u64]) {
         BitStore::push_row(self, row);
+    }
+
+    fn empty_like(&self) -> Self {
+        BitStore::with_dim(self.dim())
     }
 }
 
@@ -502,6 +523,10 @@ impl AppendStore for Vec<DenseVector> {
             assert_eq!(row.len(), first.dim(), "dimension mismatch");
         }
         self.push(DenseVector::new(row.to_vec()));
+    }
+
+    fn empty_like(&self) -> Self {
+        Vec::new()
     }
 }
 
@@ -923,6 +948,150 @@ impl AsRow for BitRef<'_> {
     type Row = [u64];
     fn as_row(&self) -> &[u64] {
         self.blocks
+    }
+}
+
+/// A snapshot-friendly append-only store: a list of **frozen** chunks
+/// shared behind [`Arc`], plus one small mutable **tail** absorbing
+/// appends.
+///
+/// Row ids and contents are identical to the flat backend `S` the rows
+/// would otherwise live in — the chunking is invisible to readers. What
+/// changes is the cost of [`Clone`]: frozen chunks are shared by
+/// reference-count bump, so cloning the store for an immutable snapshot
+/// copies only the tail. [`ChunkedStore::freeze_tail`] moves the current
+/// tail behind an `Arc` (a natural fit for the segmented index's `seal`,
+/// which also retires its write head), keeping every subsequent clone
+/// cheap; [`ChunkedStore::consolidate`] merges all chunks back into one
+/// for dense sequential reads after a compaction.
+///
+/// Frozen chunks are never mutated — a clone taken at any point keeps
+/// reading exactly the rows it saw, while the original keeps growing.
+/// This is the storage contract the concurrent sharded serving layer
+/// (`dsh-index`'s `ShardedIndex`) publishes its snapshots on.
+///
+/// ```
+/// use dsh_core::points::{AppendStore, BitStore, BitVector, ChunkedStore, PointStore};
+/// let mut store = ChunkedStore::new(BitStore::with_dim(70));
+/// let p = BitVector::ones(70);
+/// store.push_row(p.as_blocks());
+/// store.freeze_tail();
+/// let snapshot = store.clone(); // shares the frozen chunk
+/// store.push_row(BitVector::zeros(70).as_blocks());
+/// assert_eq!(store.len(), 2);
+/// assert_eq!(snapshot.len(), 1);
+/// assert_eq!(snapshot.row(0), p.as_blocks());
+/// ```
+#[derive(Debug)]
+pub struct ChunkedStore<S> {
+    chunks: Vec<Arc<S>>,
+    /// Cumulative first-row index of each chunk (`starts[c]` is the
+    /// global id of `chunks[c]`'s row 0).
+    starts: Vec<usize>,
+    tail: S,
+    tail_start: usize,
+}
+
+impl<S: Clone> Clone for ChunkedStore<S> {
+    fn clone(&self) -> Self {
+        ChunkedStore {
+            chunks: self.chunks.clone(),
+            starts: self.starts.clone(),
+            tail: self.tail.clone(),
+            tail_start: self.tail_start,
+        }
+    }
+}
+
+impl<S: AppendStore> ChunkedStore<S> {
+    /// Start from an empty tail store (which fixes the row shape —
+    /// dimension, block count — of everything appended later).
+    pub fn new(empty: S) -> Self {
+        assert!(empty.is_empty(), "ChunkedStore::new takes an empty store");
+        ChunkedStore {
+            chunks: Vec::new(),
+            starts: Vec::new(),
+            tail: empty,
+            tail_start: 0,
+        }
+    }
+
+    /// Wrap an existing store, freezing its rows as the first chunk.
+    pub fn from_store(store: S) -> Self {
+        let tail = store.empty_like();
+        let mut chunked = ChunkedStore::new(tail);
+        if store.len() > 0 {
+            chunked.starts.push(0);
+            chunked.tail_start = store.len();
+            chunked.chunks.push(Arc::new(store));
+        }
+        chunked
+    }
+
+    /// Number of frozen chunks currently held.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Rows sitting in the mutable tail (copied by every clone — callers
+    /// bound it by freezing periodically).
+    pub fn tail_rows(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Freeze the tail into a new shared chunk and start an empty one.
+    /// No-op when the tail is empty. Row ids and contents are unchanged.
+    pub fn freeze_tail(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let fresh = self.tail.empty_like();
+        let full = std::mem::replace(&mut self.tail, fresh);
+        self.starts.push(self.tail_start);
+        self.tail_start += full.len();
+        self.chunks.push(Arc::new(full));
+    }
+
+    /// Rebuild as a single frozen chunk (plus an empty tail): one
+    /// contiguous row range for dense sequential reads. Copies every row
+    /// once; row ids and contents are unchanged.
+    pub fn consolidate(&mut self) {
+        if self.chunks.len() <= 1 && self.tail.is_empty() {
+            return;
+        }
+        let mut merged = self.tail.empty_like();
+        for i in 0..self.len() {
+            merged.push_row(self.row(i));
+        }
+        *self = ChunkedStore::from_store(merged);
+    }
+}
+
+impl<S: AppendStore> PointStore for ChunkedStore<S> {
+    type Row = S::Row;
+
+    fn len(&self) -> usize {
+        self.tail_start + self.tail.len()
+    }
+
+    fn row(&self, i: usize) -> &S::Row {
+        if i >= self.tail_start {
+            return self.tail.row(i - self.tail_start);
+        }
+        // partition_point returns the first chunk starting past `i`;
+        // its predecessor is the chunk holding row `i`.
+        let c = self.starts.partition_point(|&s| s <= i) - 1;
+        self.chunks[c].row(i - self.starts[c])
+    }
+}
+
+impl<S: AppendStore> AppendStore for ChunkedStore<S> {
+    fn push_row(&mut self, row: &S::Row) {
+        self.tail.push_row(row);
+    }
+
+    fn empty_like(&self) -> Self {
+        ChunkedStore::new(self.tail.empty_like())
     }
 }
 
@@ -1384,5 +1553,107 @@ mod proptests {
             let z = DenseVector::zeros(n);
             assert!(x.euclidean(&y) <= x.euclidean(&z) + z.euclidean(&y) + 1e-9);
         }
+    }
+
+    #[test]
+    fn empty_like_preserves_row_shape() {
+        let mut rng = seeded(0xC01);
+        let mut bits = BitStore::with_dim(70);
+        bits.push(&BitVector::random(&mut rng, 70));
+        let fresh = bits.empty_like();
+        assert_eq!(fresh.dim(), 70);
+        assert!(fresh.is_empty());
+
+        let mut dense = DenseStore::with_dim(5);
+        dense.push(&[1.0; 5]);
+        let fresh = dense.empty_like();
+        assert_eq!(fresh.dim(), 5);
+        assert!(fresh.is_empty());
+
+        let vecs = vec![DenseVector::zeros(3)];
+        assert!(AppendStore::empty_like(&vecs).is_empty());
+    }
+
+    #[test]
+    fn chunked_store_rows_match_flat_store_across_freezes() {
+        let mut rng = seeded(0xC02);
+        let d = 130;
+        let mut flat = BitStore::with_dim(d);
+        let mut chunked = ChunkedStore::new(BitStore::with_dim(d));
+        for i in 0..50 {
+            let p = BitVector::random(&mut rng, d);
+            flat.push(&p);
+            chunked.push_row(p.as_blocks());
+            if i % 7 == 6 {
+                chunked.freeze_tail();
+            }
+        }
+        assert_eq!(chunked.len(), flat.len());
+        assert_eq!(chunked.num_chunks(), 7);
+        assert_eq!(chunked.tail_rows(), 1);
+        for i in 0..flat.len() {
+            assert_eq!(chunked.row(i), flat.row(i), "row {i}");
+        }
+        // Consolidation changes the chunk layout, not the rows.
+        chunked.consolidate();
+        assert_eq!(chunked.num_chunks(), 1);
+        assert_eq!(chunked.tail_rows(), 0);
+        for i in 0..flat.len() {
+            assert_eq!(chunked.row(i), flat.row(i), "row {i} post-consolidate");
+        }
+    }
+
+    #[test]
+    fn chunked_store_from_store_freezes_initial_rows() {
+        let mut dense = DenseStore::with_dim(3);
+        dense.push(&[1.0, 2.0, 3.0]);
+        dense.push(&[4.0, 5.0, 6.0]);
+        let mut chunked = ChunkedStore::from_store(dense);
+        assert_eq!(chunked.len(), 2);
+        assert_eq!(chunked.num_chunks(), 1);
+        assert_eq!(chunked.tail_rows(), 0);
+        chunked.push_row(&[7.0, 8.0, 9.0]);
+        assert_eq!(chunked.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(chunked.row(2), &[7.0, 8.0, 9.0]);
+        // Empty initial store: no chunk at all.
+        let empty = ChunkedStore::from_store(DenseStore::with_dim(3));
+        assert_eq!(empty.num_chunks(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn chunked_store_clone_is_a_frozen_snapshot() {
+        let d = 64;
+        let mut rng = seeded(0xC03);
+        let rows: Vec<BitVector> = (0..12).map(|_| BitVector::random(&mut rng, d)).collect();
+        let mut store = ChunkedStore::new(BitStore::with_dim(d));
+        for p in &rows[..8] {
+            store.push_row(p.as_blocks());
+        }
+        store.freeze_tail();
+        for p in &rows[8..10] {
+            store.push_row(p.as_blocks());
+        }
+        let snapshot = store.clone();
+        // The original keeps growing, freezing, consolidating...
+        for p in &rows[10..] {
+            store.push_row(p.as_blocks());
+        }
+        store.freeze_tail();
+        store.consolidate();
+        assert_eq!(store.len(), 12);
+        // ...while the snapshot still reads exactly the rows it saw.
+        assert_eq!(snapshot.len(), 10);
+        for (i, p) in rows[..10].iter().enumerate() {
+            assert_eq!(snapshot.row(i), p.as_blocks(), "snapshot row {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty store")]
+    fn chunked_store_new_rejects_non_empty_tail() {
+        let mut dense = DenseStore::with_dim(2);
+        dense.push(&[1.0, 2.0]);
+        let _ = ChunkedStore::new(dense);
     }
 }

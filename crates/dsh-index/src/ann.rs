@@ -15,6 +15,7 @@
 use crate::annulus::Measure;
 use crate::dynamic::DynamicIndex;
 use crate::parallel;
+use crate::shard::ShardedIndex;
 use crate::table::{CandidateBackend, HashTableIndex, QueryStats};
 use dsh_core::combinators::Power;
 use dsh_core::family::DshFamily;
@@ -185,6 +186,66 @@ impl<S: AppendStore> NearNeighborIndex<S, DynamicIndex<S>> {
 
     /// Merge all segments, dropping tombstones; see
     /// [`DynamicIndex::compact`].
+    pub fn compact(&mut self) {
+        self.index.compact();
+    }
+}
+
+impl<S: AppendStore + Clone> NearNeighborIndex<S, ShardedIndex<S>> {
+    /// Build over a [`ShardedIndex`] backend: same parameters as
+    /// [`NearNeighborIndex::build_dynamic`] plus the shard count. Queries
+    /// fan out across shards and answer bit-identically to the
+    /// [`DynamicIndex`]-backed build; the backend (via
+    /// [`NearNeighborIndex::backend`]) additionally hands out wait-free
+    /// snapshots for readers concurrent with writes.
+    #[allow(clippy::too_many_arguments)] // mirrors the theorem's parameter list
+    pub fn build_sharded(
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        measure: Measure<S::Row>,
+        r2: f64,
+        points: S,
+        num_shards: usize,
+        expected_n: usize,
+        p1: f64,
+        p2: f64,
+        factor: f64,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(
+            r2.is_finite() && r2 >= 0.0,
+            "NearNeighborIndex: target radius r2 = {r2} must be finite and non-negative"
+        );
+        let params = ann_params(expected_n.max(2), p1, p2, factor);
+        let powered = Power::new(family, params.k);
+        NearNeighborIndex {
+            index: ShardedIndex::build(&powered, points, params.l, num_shards, rng),
+            measure,
+            r2,
+            params,
+        }
+    }
+
+    /// Insert a point into the backing [`ShardedIndex`], returning its
+    /// global id.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.index.insert(p)
+    }
+
+    /// Remove point `id` (tombstone; reclaimed at the next compaction).
+    pub fn remove(&mut self, id: usize) -> bool {
+        self.index.remove(id)
+    }
+
+    /// Freeze every shard's delta segment; see [`ShardedIndex::seal`].
+    pub fn seal(&mut self) {
+        self.index.seal();
+    }
+
+    /// Compact every shard, dropping tombstones; see
+    /// [`ShardedIndex::compact`].
     pub fn compact(&mut self) {
         self.index.compact();
     }

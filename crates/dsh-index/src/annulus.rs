@@ -11,6 +11,7 @@
 use crate::ann::repetition_count;
 use crate::dynamic::DynamicIndex;
 use crate::parallel;
+use crate::shard::ShardedIndex;
 use crate::table::{CandidateBackend, HashTableIndex, QueryStats};
 use dsh_core::family::DshFamily;
 use dsh_core::points::{AppendStore, AsRow, PointStore};
@@ -142,6 +143,64 @@ impl<S: AppendStore> AnnulusIndex<S, DynamicIndex<S>> {
 
     /// Merge all segments, dropping tombstones; see
     /// [`DynamicIndex::compact`].
+    pub fn compact(&mut self) {
+        self.index.compact();
+    }
+}
+
+impl<S: AppendStore + Clone> AnnulusIndex<S, ShardedIndex<S>> {
+    /// Build over a [`ShardedIndex`] backend: same parameters as
+    /// [`AnnulusIndex::build_dynamic`] plus the shard count. Queries fan
+    /// out across shards and answer bit-identically to the
+    /// [`DynamicIndex`]-backed build.
+    pub fn build_sharded(
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        measure: Measure<S::Row>,
+        report_interval: (f64, f64),
+        points: S,
+        l: usize,
+        num_shards: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(
+            report_interval.0.is_finite() && report_interval.1.is_finite(),
+            "AnnulusIndex: reporting interval ({}, {}) must be finite",
+            report_interval.0,
+            report_interval.1
+        );
+        assert!(
+            report_interval.0 <= report_interval.1,
+            "empty reporting interval"
+        );
+        AnnulusIndex {
+            index: ShardedIndex::build(family, points, l, num_shards, rng),
+            measure,
+            report_lo: report_interval.0,
+            report_hi: report_interval.1,
+        }
+    }
+
+    /// Insert a point into the backing [`ShardedIndex`], returning its
+    /// global id.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.index.insert(p)
+    }
+
+    /// Remove point `id` (tombstone; reclaimed at the next compaction).
+    pub fn remove(&mut self, id: usize) -> bool {
+        self.index.remove(id)
+    }
+
+    /// Freeze every shard's delta segment; see [`ShardedIndex::seal`].
+    pub fn seal(&mut self) {
+        self.index.seal();
+    }
+
+    /// Compact every shard, dropping tombstones; see
+    /// [`ShardedIndex::compact`].
     pub fn compact(&mut self) {
         self.index.compact();
     }

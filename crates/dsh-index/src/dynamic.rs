@@ -49,10 +49,12 @@ use dsh_core::family::{DshFamily, HasherPair};
 use dsh_core::points::{AppendStore, AsRow, PointStore};
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One immutable segment: a CSR bucket table per repetition, all covering
-/// the same id set.
-#[derive(Clone)]
+/// the same id set. Shared behind [`Arc`] so that cloning an index for an
+/// immutable snapshot (the sharded serving layer's publication step)
+/// bumps a reference count instead of copying bucket arrays.
 struct SealedSegment {
     tables: Vec<CsrBuckets>,
 }
@@ -158,7 +160,7 @@ impl Tombstones {
 /// ```
 pub struct DynamicIndex<S: AppendStore> {
     pairs: Vec<HasherPair<S::Row>>,
-    sealed: Vec<SealedSegment>,
+    sealed: Vec<Arc<SealedSegment>>,
     delta: DeltaSegment,
     store: S,
     tombstones: Tombstones,
@@ -205,11 +207,20 @@ impl<S: AppendStore> DynamicIndex<S> {
         threads: usize,
     ) -> Self {
         assert!(l >= 1, "need at least one repetition");
+        let pairs: Vec<HasherPair<S::Row>> = (0..l).map(|_| family.sample(rng)).collect();
+        Self::with_pairs(pairs, points, threads)
+    }
+
+    /// Build over already-sampled `(h, g)` pairs — the seam the sharded
+    /// serving layer uses to give every shard the *same* hash functions
+    /// (one sequential sampling pass, `N` shard indexes), which is what
+    /// makes a sharded index bit-compatible with an unsharded one.
+    pub(crate) fn with_pairs(pairs: Vec<HasherPair<S::Row>>, points: S, threads: usize) -> Self {
+        assert!(!pairs.is_empty(), "need at least one repetition");
         assert!(
             points.len() < u32::MAX as usize,
             "point count exceeds index capacity"
         );
-        let pairs: Vec<HasherPair<S::Row>> = (0..l).map(|_| family.sample(rng)).collect();
         let sealed = if points.is_empty() {
             Vec::new()
         } else {
@@ -220,7 +231,7 @@ impl<S: AppendStore> DynamicIndex<S> {
                     .collect();
                 CsrBuckets::build(&hashes)
             });
-            vec![SealedSegment { tables }]
+            vec![Arc::new(SealedSegment { tables })]
         };
         DynamicIndex {
             delta: DeltaSegment::new(pairs.len()),
@@ -355,7 +366,7 @@ impl<S: AppendStore> DynamicIndex<S> {
             CsrBuckets::build_from_pairs(pairs)
         });
         if tables.first().map_or(0, CsrBuckets::num_ids) > 0 {
-            self.sealed.push(SealedSegment { tables });
+            self.sealed.push(Arc::new(SealedSegment { tables }));
         }
         self.delta.clear();
     }
@@ -404,9 +415,44 @@ impl<S: AppendStore> DynamicIndex<S> {
         self.sealed = if tables.first().map_or(0, CsrBuckets::num_ids) == 0 {
             Vec::new()
         } else {
-            vec![SealedSegment { tables }]
+            vec![Arc::new(SealedSegment { tables })]
         };
         self.delta.clear();
+    }
+
+    // -----------------------------------------------------------------
+    // Crate-internal seams for the sharded serving layer (`crate::shard`):
+    // the sharded query path probes each shard's physical buckets itself
+    // so it can merge entries across shards in ascending-global-id order
+    // (reproducing the unsharded bucket exactly).
+    // -----------------------------------------------------------------
+
+    /// The sampled `(h, g)` pairs, in repetition order.
+    pub(crate) fn pairs(&self) -> &[HasherPair<S::Row>] {
+        &self.pairs
+    }
+
+    /// The bucket of sealed segment `seg`, table `j`, under `key`.
+    pub(crate) fn sealed_bucket(&self, seg: usize, j: usize, key: u64) -> &[u32] {
+        self.sealed[seg].tables[j].bucket(key)
+    }
+
+    /// The delta-segment bucket of table `j` under `key`.
+    pub(crate) fn delta_bucket(&self, j: usize, key: u64) -> &[u32] {
+        self.delta.tables[j].get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether the delta segment holds at least one live (non-tombstoned)
+    /// row — i.e. whether [`DynamicIndex::seal`] would publish a segment.
+    pub(crate) fn delta_has_live_rows(&self) -> bool {
+        let bound = self.store.len();
+        (bound - self.delta.rows..bound).any(|id| !self.tombstones.is_dead(id))
+    }
+
+    /// Mutable access to the backing store (the sharded layer freezes a
+    /// `ChunkedStore` tail after sealing, so snapshots stay cheap).
+    pub(crate) fn store_mut(&mut self) -> &mut S {
+        &mut self.store
     }
 
     /// Retrieve query candidates, fanning each of the `L` tables out
@@ -467,11 +513,8 @@ impl<S: AppendStore> DynamicIndex<S> {
                 }
             }
             if self.delta.rows > 0 {
-                let bucket = self.delta.tables[j]
-                    .get(&key)
-                    .map_or(&[] as &[u32], Vec::as_slice);
                 let part = self.consume_bucket(
-                    bucket,
+                    self.delta_bucket(j, key),
                     limit - stats.candidates_retrieved,
                     scratch,
                     generation,

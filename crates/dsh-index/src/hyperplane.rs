@@ -11,6 +11,7 @@ use crate::ann::repetition_count;
 use crate::annulus::{AnnulusIndex, AnnulusMatch, Measure};
 use crate::dynamic::DynamicIndex;
 use crate::measures;
+use crate::shard::ShardedIndex;
 use crate::table::{CandidateBackend, HashTableIndex, QueryStats};
 use dsh_core::points::{AppendStore, AsRow, PointStore};
 use dsh_core::AnalyticCpf;
@@ -123,6 +124,68 @@ impl<S: AppendStore + PointStore<Row = [f64]>> HyperplaneIndex<S, DynamicIndex<S
 
     /// Merge all segments, dropping tombstones; see
     /// [`DynamicIndex::compact`].
+    pub fn compact(&mut self) {
+        self.inner.compact();
+    }
+}
+
+impl<S: AppendStore + PointStore<Row = [f64]> + Clone> HyperplaneIndex<S, ShardedIndex<S>> {
+    /// Build over a [`ShardedIndex`] backend: same parameters as
+    /// [`HyperplaneIndex::build_dynamic`] plus the shard count. Queries
+    /// fan out across shards and answer bit-identically to the
+    /// [`DynamicIndex`]-backed build.
+    pub fn build_sharded(
+        points: S,
+        d: usize,
+        t: f64,
+        alpha_report: f64,
+        repetition_factor: f64,
+        num_shards: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(alpha_report > 0.0 && alpha_report < 1.0);
+        assert!(repetition_factor > 0.0);
+        let family = UnimodalFilterDsh::new(d, 0.0, t);
+        let f0 = family.cpf(0.0);
+        assert!(f0 > 0.0, "degenerate CPF at the peak");
+        let l = repetition_count(repetition_factor, f0.min(1.0), 1);
+        let measure: Measure<[f64]> = measures::inner_product();
+        let inner = AnnulusIndex::build_sharded(
+            &family,
+            measure,
+            (-alpha_report, alpha_report),
+            points,
+            l,
+            num_shards,
+            rng,
+        );
+        HyperplaneIndex {
+            inner,
+            alpha_report,
+        }
+    }
+
+    /// Insert a point into the backing [`ShardedIndex`], returning its
+    /// global id.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = [f64]> + ?Sized,
+    {
+        self.inner.insert(p)
+    }
+
+    /// Remove point `id` (tombstone; reclaimed at the next compaction).
+    pub fn remove(&mut self, id: usize) -> bool {
+        self.inner.remove(id)
+    }
+
+    /// Freeze every shard's delta segment; see [`ShardedIndex::seal`].
+    pub fn seal(&mut self) {
+        self.inner.seal();
+    }
+
+    /// Compact every shard, dropping tombstones; see
+    /// [`ShardedIndex::compact`].
     pub fn compact(&mut self) {
         self.inner.compact();
     }

@@ -15,6 +15,10 @@
 //! * [`dynamic`] — the mutable segmented index: sealed CSR segments plus
 //!   a `HashMap` delta segment and tombstones, with online
 //!   insert/remove and re-hash-free compaction;
+//! * [`shard`] — the concurrent serving layer: points partitioned across
+//!   shards of [`DynamicIndex`]es behind epoch-stamped `Arc`-swap
+//!   snapshots, so readers answer — bit-identically to the unsharded
+//!   index — while writers insert, remove, seal, and compact;
 //! * [`parallel`] — the scoped-thread fan-out used for parallel table
 //!   builds and batched queries.
 //!
@@ -50,6 +54,7 @@ pub mod linear_scan;
 pub mod measures;
 pub mod parallel;
 pub mod range_reporting;
+pub mod shard;
 pub mod sphere_annulus;
 pub mod table;
 
@@ -59,5 +64,6 @@ pub use dynamic::DynamicIndex;
 pub use hyperplane::HyperplaneIndex;
 pub use linear_scan::LinearScan;
 pub use range_reporting::RangeReportingIndex;
+pub use shard::{ReaderHandle, ShardedIndex, Snapshot};
 pub use sphere_annulus::{AnnulusSpec, SphereAnnulusIndex};
 pub use table::{CandidateBackend, HashTableIndex, QueryScratch, QueryStats};

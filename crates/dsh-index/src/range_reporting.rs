@@ -10,6 +10,7 @@
 use crate::annulus::Measure;
 use crate::dynamic::DynamicIndex;
 use crate::parallel;
+use crate::shard::ShardedIndex;
 use crate::table::{CandidateBackend, HashTableIndex, QueryStats};
 use dsh_core::family::DshFamily;
 use dsh_core::points::{AppendStore, AsRow, PointStore};
@@ -118,6 +119,61 @@ impl<S: AppendStore> RangeReportingIndex<S, DynamicIndex<S>> {
 
     /// Merge all segments, dropping tombstones; see
     /// [`DynamicIndex::compact`].
+    pub fn compact(&mut self) {
+        self.index.compact();
+    }
+}
+
+impl<S: AppendStore + Clone> RangeReportingIndex<S, ShardedIndex<S>> {
+    /// Build over a [`ShardedIndex`] backend: same parameters as
+    /// [`RangeReportingIndex::build_dynamic`] plus the shard count.
+    /// Queries fan out across shards and report bit-identically to the
+    /// [`DynamicIndex`]-backed build.
+    #[allow(clippy::too_many_arguments)] // mirrors the theorem's parameter list
+    pub fn build_sharded(
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        measure: Measure<S::Row>,
+        r: f64,
+        r_plus: f64,
+        points: S,
+        l: usize,
+        num_shards: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(
+            r.is_finite() && r_plus.is_finite() && r >= 0.0,
+            "RangeReportingIndex: radii r = {r}, r_plus = {r_plus} must be finite and non-negative"
+        );
+        assert!(r <= r_plus, "need r <= r_plus");
+        RangeReportingIndex {
+            index: ShardedIndex::build(family, points, l, num_shards, rng),
+            measure,
+            r,
+            r_plus,
+        }
+    }
+
+    /// Insert a point into the backing [`ShardedIndex`], returning its
+    /// global id.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.index.insert(p)
+    }
+
+    /// Remove point `id` (tombstone; reclaimed at the next compaction).
+    pub fn remove(&mut self, id: usize) -> bool {
+        self.index.remove(id)
+    }
+
+    /// Freeze every shard's delta segment; see [`ShardedIndex::seal`].
+    pub fn seal(&mut self) {
+        self.index.seal();
+    }
+
+    /// Compact every shard, dropping tombstones; see
+    /// [`ShardedIndex::compact`].
     pub fn compact(&mut self) {
         self.index.compact();
     }

@@ -1,0 +1,1118 @@
+//! Sharded concurrent serving layer: snapshot reads under live writes.
+//!
+//! Every index in this crate so far is owned by one thread. A serving
+//! system needs the opposite: queries answered *while* inserts, removals,
+//! and compactions happen. [`ShardedIndex`] provides that on top of the
+//! existing substrate:
+//!
+//! * points are partitioned across `N` **shards** by the stable mapping
+//!   `shard = id % N` (ids are assigned in insertion order, exactly like
+//!   the unsharded [`DynamicIndex`]); each shard is a `DynamicIndex` over
+//!   a snapshot-friendly [`ChunkedStore`];
+//! * the whole index state is an **immutable value** behind an [`Arc`].
+//!   Writers (`&mut self`) build the next state by copy-on-write — only
+//!   the written shard's small mutable parts (delta segment, store tail,
+//!   tombstones) are copied; sealed segments and frozen store chunks are
+//!   shared by reference count — and publish it with one `Arc` swap into
+//!   an epoch-stamped cell;
+//! * readers never block: [`ShardedIndex::reader`] (or a cloneable
+//!   [`ReaderHandle`], for reader threads that outlive the writer borrow)
+//!   hands out an immutable [`Snapshot`] that keeps answering from its
+//!   frozen state no matter what writers do afterwards. [`Snapshot`]
+//!   acquisition is a reference-count bump behind a briefly-held lock —
+//!   it stays O(1) even while a compaction is running, because
+//!   [`ShardedIndex::compact`] builds the new segment set on scoped
+//!   worker threads *off* the publication path and swaps it in atomically
+//!   at the end.
+//!
+//! # Exactness
+//!
+//! A sharded index is not an approximation of the unsharded one — it is
+//! bit-identical to it (ids, order, full [`QueryStats`]), for every shard
+//! count and at *any* insert/remove/seal/compact interleaving point.
+//! Three properties make that work:
+//!
+//! 1. all shards share one `L`-tuple of `(h, g)` pairs, sampled
+//!    sequentially from the caller's RNG exactly like
+//!    [`DynamicIndex::build`] samples its own;
+//! 2. the query path merges each logical bucket's per-shard entries in
+//!    ascending **global id** order. Per-shard buckets hold ascending
+//!    local ids, and `global = local * N + shard` is monotone per shard,
+//!    so the k-way merge reproduces the unsharded CSR bucket exactly —
+//!    including where a retrieval limit truncates;
+//! 3. a **logical segment map** aligns shard segments with the segments
+//!    an unsharded index driven through the same schedule would hold
+//!    (a shard whose delta had no live rows at `seal` time contributes no
+//!    physical segment, but the logical segment still exists if any shard
+//!    sealed one), so `tables_probed` counts logical probes and matches
+//!    the unsharded accounting.
+//!
+//! `distinct_candidates` is computed once per query from the deduplicated
+//! output, per the [`QueryStats::merge`] rule. The parity sweep in
+//! `tests/shard_parity.rs` pins all of this; `tests/shard_concurrency.rs`
+//! is the concurrency soak (snapshots held across concurrent writes keep
+//! answering from their frozen state).
+
+use crate::dynamic::DynamicIndex;
+use crate::parallel;
+use crate::table::{CandidateBackend, QueryScratch, QueryStats, MIN_QUERIES_PER_WORKER};
+use dsh_core::family::{DshFamily, HasherPair};
+use dsh_core::points::{AppendStore, AsRow, ChunkedStore, PointStore};
+use rand::Rng;
+use std::sync::{Arc, RwLock};
+
+/// The immutable state one epoch of a [`ShardedIndex`] publishes: the
+/// shard indexes plus the logical-segment alignment map.
+struct ShardedState<S: AppendStore + Clone> {
+    shards: Vec<Arc<DynamicIndex<ChunkedStore<S>>>>,
+    /// One entry per **logical** sealed segment (the segment an unsharded
+    /// index driven through the same schedule would hold), mapping each
+    /// shard to its physical segment index — `None` when that shard
+    /// contributed no live rows at the corresponding seal.
+    segments: Vec<Vec<Option<usize>>>,
+    /// One past the largest global id ever assigned.
+    total_rows: usize,
+    /// Number of state publications since the build (each write bumps it).
+    epoch: u64,
+}
+
+impl<S: AppendStore + Clone> Clone for ShardedState<S> {
+    fn clone(&self) -> Self {
+        ShardedState {
+            shards: self.shards.clone(),
+            segments: self.segments.clone(),
+            total_rows: self.total_rows,
+            epoch: self.epoch,
+        }
+    }
+}
+
+impl<S: AppendStore + Clone> ShardedState<S> {
+    fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn repetitions(&self) -> usize {
+        self.shards[0].repetitions()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|sh| sh.len()).sum()
+    }
+
+    fn removed(&self) -> usize {
+        self.shards.iter().map(|sh| sh.removed()).sum()
+    }
+
+    fn delta_rows(&self) -> usize {
+        self.shards.iter().map(|sh| sh.delta_rows()).sum()
+    }
+
+    fn is_live(&self, id: usize) -> bool {
+        id < self.total_rows && self.shards[id % self.num_shards()].is_live(id / self.num_shards())
+    }
+
+    fn point(&self, id: usize) -> &S::Row {
+        self.shards[id % self.num_shards()].point(id / self.num_shards())
+    }
+
+    fn new_scratch(&self) -> QueryScratch {
+        QueryScratch::new(self.total_rows)
+    }
+
+    /// The sharded mirror of `DynamicIndex::candidates_row`: identical
+    /// probe order (tables outermost, then logical segments in creation
+    /// order, then the delta), identical per-entry accounting, with each
+    /// logical bucket's entries drawn from the shard buckets in ascending
+    /// global-id order.
+    fn candidates_row(
+        &self,
+        q: &S::Row,
+        retrieval_limit: Option<usize>,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<usize>, QueryStats) {
+        assert_eq!(
+            scratch.len(),
+            self.total_rows,
+            "scratch buffer sized for a different index"
+        );
+        let generation = scratch.begin();
+        let limit = retrieval_limit.unwrap_or(usize::MAX);
+        let mut stats = QueryStats::default();
+        let mut out = Vec::new();
+        // (shard, bucket, cursor) triples of the logical bucket currently
+        // being merged; reused across probes to avoid per-probe allocation.
+        let mut probe: Vec<(usize, &[u32], usize)> = Vec::with_capacity(self.num_shards());
+        let probe_delta = self.shards.iter().any(|sh| sh.delta_rows() > 0);
+        'tables: for (j, pair) in self.shards[0].pairs().iter().enumerate() {
+            let key = pair.query.hash(q);
+            for seg_map in &self.segments {
+                probe.clear();
+                for (s, phys) in seg_map.iter().enumerate() {
+                    if let Some(p) = phys {
+                        probe.push((s, self.shards[s].sealed_bucket(*p, j, key), 0));
+                    }
+                }
+                let part = self.consume_merged(
+                    &mut probe,
+                    limit - stats.candidates_retrieved,
+                    scratch,
+                    generation,
+                    &mut out,
+                );
+                stats.merge(&part);
+                if stats.candidates_retrieved >= limit {
+                    break 'tables;
+                }
+            }
+            if probe_delta {
+                probe.clear();
+                for (s, sh) in self.shards.iter().enumerate() {
+                    if sh.delta_rows() > 0 {
+                        probe.push((s, sh.delta_bucket(j, key), 0));
+                    }
+                }
+                let part = self.consume_merged(
+                    &mut probe,
+                    limit - stats.candidates_retrieved,
+                    scratch,
+                    generation,
+                    &mut out,
+                );
+                stats.merge(&part);
+                if stats.candidates_retrieved >= limit {
+                    break 'tables;
+                }
+            }
+        }
+        stats.distinct_candidates = out.len();
+        (out, stats)
+    }
+
+    /// Pull up to `remaining` live entries from one logical bucket by
+    /// k-way-merging the shard buckets in ascending global-id order —
+    /// the exact entry sequence the unsharded bucket holds. Tombstoned
+    /// entries are skipped without counting, like the unsharded path.
+    fn consume_merged(
+        &self,
+        probe: &mut [(usize, &[u32], usize)],
+        remaining: usize,
+        scratch: &mut QueryScratch,
+        generation: u8,
+        out: &mut Vec<usize>,
+    ) -> QueryStats {
+        let n = self.num_shards();
+        let mut part = QueryStats {
+            tables_probed: 1,
+            ..QueryStats::default()
+        };
+        loop {
+            if part.candidates_retrieved >= remaining {
+                break;
+            }
+            let mut best: Option<(usize, usize)> = None; // (global id, slot)
+            for (slot, &(shard, bucket, cursor)) in probe.iter().enumerate() {
+                if let Some(&local) = bucket.get(cursor) {
+                    let global = local as usize * n + shard;
+                    if best.is_none_or(|(g, _)| global < g) {
+                        best = Some((global, slot));
+                    }
+                }
+            }
+            let Some((global, slot)) = best else { break };
+            probe[slot].2 += 1;
+            if !self.shards[probe[slot].0].is_live(global / n) {
+                continue;
+            }
+            if scratch.visit(global, generation) {
+                out.push(global);
+            } else {
+                part.duplicates += 1;
+            }
+            part.candidates_retrieved += 1;
+        }
+        part
+    }
+
+    fn candidates_batch_with_threads<QS>(
+        &self,
+        queries: &QS,
+        retrieval_limit: Option<usize>,
+        threads: usize,
+    ) -> Vec<(Vec<usize>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
+        let threads = parallel::capped_threads(queries.len(), threads, MIN_QUERIES_PER_WORKER);
+        parallel::map_index_chunks(queries.len(), threads, |range| {
+            let mut scratch = self.new_scratch();
+            range
+                .map(|i| self.candidates_row(queries.row(i), retrieval_limit, &mut scratch))
+                .collect()
+        })
+    }
+}
+
+/// A mutable index partitioned across `N` shards, publishing an immutable
+/// epoch-stamped snapshot of itself after every write.
+///
+/// The writer side is `&mut self` ([`ShardedIndex::insert`] /
+/// [`ShardedIndex::remove`] / [`ShardedIndex::seal`] /
+/// [`ShardedIndex::compact`]); the reader side is wait-free snapshots —
+/// take one directly with [`ShardedIndex::reader`], or hand reader
+/// threads a [`ReaderHandle`] so they can keep taking fresh snapshots
+/// while the writer holds the index mutably.
+///
+/// Queries through the index itself ([`ShardedIndex::candidates`], or a
+/// front-end built with its `build_sharded` constructor) read the
+/// writer's current state; queries through a [`Snapshot`] read that
+/// snapshot's frozen state. Both answer bit-identically to an unsharded
+/// [`DynamicIndex`] at the same schedule point (see the module docs).
+///
+/// ```
+/// use dsh_core::points::{BitStore, BitVector};
+/// use dsh_hamming::BitSampling;
+/// use dsh_index::ShardedIndex;
+/// use dsh_math::rng::seeded;
+///
+/// let d = 64;
+/// let mut rng = seeded(7);
+/// let mut idx = ShardedIndex::build(&BitSampling::new(d), BitStore::with_dim(d), 8, 4, &mut rng);
+/// let p = BitVector::random(&mut rng, d);
+/// let id = idx.insert(&p);
+///
+/// let snapshot = idx.reader(); // frozen at 1 point
+/// idx.remove(id);
+/// assert!(!idx.candidates(&p, None).0.contains(&id));
+/// assert!(snapshot.candidates(&p, None).0.contains(&id)); // still pre-remove
+/// ```
+pub struct ShardedIndex<S: AppendStore + Clone> {
+    /// The writer's current state (always equal to the published cell).
+    state: Arc<ShardedState<S>>,
+    /// The shared publication cell reader handles clone snapshots from.
+    published: Arc<RwLock<Arc<ShardedState<S>>>>,
+}
+
+impl<S: AppendStore + Clone> ShardedIndex<S> {
+    /// Build with `l` sampled `(h, g)` pairs over `num_shards` shards and
+    /// an initial point set (which may be empty). The RNG stream consumed
+    /// is identical to [`DynamicIndex::build`], and all shards share the
+    /// sampled pairs — the root of sharded/unsharded bit-parity.
+    pub fn build(
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        points: S,
+        l: usize,
+        num_shards: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        Self::build_with_threads(
+            family,
+            points,
+            l,
+            num_shards,
+            rng,
+            parallel::available_threads(),
+        )
+    }
+
+    /// [`ShardedIndex::build`] with an explicit worker-thread count (the
+    /// built index does not depend on it).
+    pub fn build_with_threads(
+        family: &(impl DshFamily<S::Row> + ?Sized),
+        points: S,
+        l: usize,
+        num_shards: usize,
+        rng: &mut dyn Rng,
+        threads: usize,
+    ) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        assert!(l >= 1, "need at least one repetition");
+        assert!(
+            points.len() < u32::MAX as usize,
+            "point count exceeds index capacity"
+        );
+        let pairs: Vec<HasherPair<S::Row>> = (0..l).map(|_| family.sample(rng)).collect();
+        let mut shard_rows: Vec<S> = (0..num_shards).map(|_| points.empty_like()).collect();
+        for i in 0..points.len() {
+            shard_rows[i % num_shards].push_row(points.row(i));
+        }
+        let shards: Vec<Arc<DynamicIndex<ChunkedStore<S>>>> = shard_rows
+            .into_iter()
+            .map(|rows| {
+                Arc::new(DynamicIndex::with_pairs(
+                    pairs.clone(),
+                    ChunkedStore::from_store(rows),
+                    threads,
+                ))
+            })
+            .collect();
+        let segments = if points.is_empty() {
+            Vec::new()
+        } else {
+            vec![Self::single_segment_map(&shards)]
+        };
+        let state = Arc::new(ShardedState {
+            shards,
+            segments,
+            total_rows: points.len(),
+            epoch: 0,
+        });
+        ShardedIndex {
+            published: Arc::new(RwLock::new(Arc::clone(&state))),
+            state,
+        }
+    }
+
+    /// The logical map of a one-segment-per-shard layout (initial bulk
+    /// build, or right after a compaction).
+    fn single_segment_map(shards: &[Arc<DynamicIndex<ChunkedStore<S>>>]) -> Vec<Option<usize>> {
+        shards
+            .iter()
+            .map(|sh| (sh.sealed_segments() > 0).then_some(0))
+            .collect()
+    }
+
+    fn fork(&self) -> ShardedState<S> {
+        (*self.state).clone()
+    }
+
+    fn publish(&mut self, mut next: ShardedState<S>) {
+        next.epoch = self.state.epoch + 1;
+        let next = Arc::new(next);
+        self.state = Arc::clone(&next);
+        *self.published.write().expect("publication cell poisoned") = next;
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.state.num_shards()
+    }
+
+    /// Number of repetitions `L`.
+    pub fn repetitions(&self) -> usize {
+        self.state.repetitions()
+    }
+
+    /// Number of live points across all shards.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True when no live points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One past the largest global id ever assigned.
+    pub fn id_bound(&self) -> usize {
+        self.state.total_rows
+    }
+
+    /// Whether global id `id` has been inserted and not removed.
+    pub fn is_live(&self, id: usize) -> bool {
+        self.state.is_live(id)
+    }
+
+    /// Iterate over the live global ids in increasing order.
+    pub fn live_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.state.total_rows).filter(|&id| self.state.is_live(id))
+    }
+
+    /// Number of removed (tombstoned) ids not yet reclaimed.
+    pub fn removed(&self) -> usize {
+        self.state.removed()
+    }
+
+    /// Total points sitting in the shards' delta segments.
+    pub fn delta_rows(&self) -> usize {
+        self.state.delta_rows()
+    }
+
+    /// Number of **logical** sealed segments (what an unsharded index
+    /// driven through the same schedule would report).
+    pub fn sealed_segments(&self) -> usize {
+        self.state.segments.len()
+    }
+
+    /// Number of state publications since the build.
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch
+    }
+
+    /// Borrow the row of point `id` (rows remain addressable after
+    /// removal; stores are append-only).
+    pub fn point(&self, id: usize) -> &S::Row {
+        self.state.point(id)
+    }
+
+    /// An immutable snapshot of the current state. Stays valid — and
+    /// keeps answering identically — no matter what writers do next.
+    pub fn reader(&self) -> Snapshot<S> {
+        Snapshot {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// A cloneable, `Send` handle other threads use to take fresh
+    /// snapshots while this index is being written through `&mut self`.
+    pub fn reader_handle(&self) -> ReaderHandle<S> {
+        ReaderHandle {
+            cell: Arc::clone(&self.published),
+        }
+    }
+
+    /// Insert a point, returning its global id. The point lands in shard
+    /// `id % num_shards()`; the new state is published before returning.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        let mut next = self.fork();
+        let id = next.total_rows;
+        assert!(id < u32::MAX as usize, "point count exceeds index capacity");
+        let n = next.num_shards();
+        let local = Arc::make_mut(&mut next.shards[id % n]).insert(p);
+        debug_assert_eq!(local, id / n);
+        next.total_rows += 1;
+        self.publish(next);
+        id
+    }
+
+    /// Remove global id `id` (tombstone; reclaimed at the next
+    /// compaction). Returns `false` when already removed.
+    pub fn remove(&mut self, id: usize) -> bool {
+        assert!(id < self.state.total_rows, "id {id} was never inserted");
+        let mut next = self.fork();
+        let n = next.num_shards();
+        let removed = Arc::make_mut(&mut next.shards[id % n]).remove(id / n);
+        self.publish(next);
+        removed
+    }
+
+    /// Freeze every shard's delta segment into a sealed CSR segment and
+    /// publish once. A new logical segment is recorded iff any shard's
+    /// delta held a live row — exactly when an unsharded
+    /// [`DynamicIndex::seal`] over the union delta would have sealed one.
+    pub fn seal(&mut self) {
+        self.seal_with_threads(parallel::available_threads());
+    }
+
+    /// [`ShardedIndex::seal`] with an explicit worker-thread count.
+    pub fn seal_with_threads(&mut self, threads: usize) {
+        let mut next = self.fork();
+        let will_seal: Vec<bool> = next
+            .shards
+            .iter()
+            .map(|sh| sh.delta_rows() > 0 && sh.delta_has_live_rows())
+            .collect();
+        for shard in next.shards.iter_mut() {
+            if shard.delta_rows() == 0 {
+                continue;
+            }
+            let sh = Arc::make_mut(shard);
+            sh.seal_with_threads(threads);
+            // Retire the store's write head alongside the delta, so every
+            // future snapshot clone shares these rows instead of copying.
+            sh.store_mut().freeze_tail();
+        }
+        if will_seal.iter().any(|&w| w) {
+            let map = next
+                .shards
+                .iter()
+                .zip(&will_seal)
+                .map(|(sh, &w)| w.then(|| sh.sealed_segments() - 1))
+                .collect();
+            next.segments.push(map);
+        }
+        self.publish(next);
+    }
+
+    /// Compact every shard down to one sealed segment, dropping
+    /// tombstones. The per-shard merges fan out across scoped worker
+    /// threads **off the publication path** — readers keep taking
+    /// snapshots of the old state throughout — and the new segment set is
+    /// published with one atomic swap at the end.
+    pub fn compact(&mut self) {
+        self.compact_with_threads(parallel::available_threads());
+    }
+
+    /// [`ShardedIndex::compact`] with an explicit worker-thread count
+    /// (the resulting layout does not depend on it).
+    pub fn compact_with_threads(&mut self, threads: usize) {
+        let mut next = self.fork();
+        let per_shard = (threads / next.num_shards()).max(1);
+        next.shards = parallel::map_items(&next.shards, threads, |_, shard| {
+            let mut sh = (**shard).clone();
+            sh.compact_with_threads(per_shard);
+            sh.store_mut().consolidate();
+            Arc::new(sh)
+        });
+        next.segments = if next.shards.iter().any(|sh| sh.sealed_segments() > 0) {
+            vec![Self::single_segment_map(&next.shards)]
+        } else {
+            Vec::new()
+        };
+        self.publish(next);
+    }
+
+    /// A query scratch buffer sized for the current id space (see
+    /// [`DynamicIndex::new_scratch`] for the staleness contract).
+    pub fn new_scratch(&self) -> QueryScratch {
+        self.state.new_scratch()
+    }
+
+    /// Retrieve distinct live candidate ids for `q` in retrieval order,
+    /// bit-identically to the equivalent unsharded
+    /// [`DynamicIndex::candidates`].
+    pub fn candidates<Q>(&self, q: &Q, retrieval_limit: Option<usize>) -> (Vec<usize>, QueryStats)
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.state
+            .candidates_row(q.as_row(), retrieval_limit, &mut self.new_scratch())
+    }
+
+    /// [`ShardedIndex::candidates`] against a caller-provided scratch.
+    pub fn candidates_with<Q>(
+        &self,
+        q: &Q,
+        retrieval_limit: Option<usize>,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<usize>, QueryStats)
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.state
+            .candidates_row(q.as_row(), retrieval_limit, scratch)
+    }
+
+    /// Batched [`ShardedIndex::candidates`], fanned out across worker
+    /// threads with one scratch per worker; identical to a
+    /// query-at-a-time loop.
+    pub fn candidates_batch<QS>(
+        &self,
+        queries: &QS,
+        retrieval_limit: Option<usize>,
+    ) -> Vec<(Vec<usize>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
+        self.candidates_batch_with_threads(queries, retrieval_limit, parallel::available_threads())
+    }
+
+    /// [`ShardedIndex::candidates_batch`] with an explicit worker-thread
+    /// count (the output does not depend on it).
+    pub fn candidates_batch_with_threads<QS>(
+        &self,
+        queries: &QS,
+        retrieval_limit: Option<usize>,
+        threads: usize,
+    ) -> Vec<(Vec<usize>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
+        self.state
+            .candidates_batch_with_threads(queries, retrieval_limit, threads)
+    }
+}
+
+impl<S: AppendStore + Clone> CandidateBackend for ShardedIndex<S> {
+    type Row = S::Row;
+
+    fn repetitions(&self) -> usize {
+        ShardedIndex::repetitions(self)
+    }
+
+    fn indexed_len(&self) -> usize {
+        self.id_bound()
+    }
+
+    fn point(&self, i: usize) -> &S::Row {
+        ShardedIndex::point(self, i)
+    }
+
+    fn new_scratch(&self) -> QueryScratch {
+        ShardedIndex::new_scratch(self)
+    }
+
+    fn candidates_row(
+        &self,
+        q: &S::Row,
+        retrieval_limit: Option<usize>,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<usize>, QueryStats) {
+        self.state.candidates_row(q, retrieval_limit, scratch)
+    }
+}
+
+/// An immutable view of a [`ShardedIndex`] at one publication epoch.
+///
+/// Holding a snapshot never blocks writers, and no writer activity —
+/// inserts, removals, seals, compactions — changes what it answers: its
+/// candidate lists, stats, live-id set, and rows are frozen at
+/// acquisition time. Cloning is a reference-count bump.
+pub struct Snapshot<S: AppendStore + Clone> {
+    state: Arc<ShardedState<S>>,
+}
+
+impl<S: AppendStore + Clone> Clone for Snapshot<S> {
+    fn clone(&self) -> Self {
+        Snapshot {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<S: AppendStore + Clone> Snapshot<S> {
+    /// The publication epoch this snapshot was taken at (the number of
+    /// writes applied before it).
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.state.num_shards()
+    }
+
+    /// Number of repetitions `L`.
+    pub fn repetitions(&self) -> usize {
+        self.state.repetitions()
+    }
+
+    /// Number of live points at this epoch.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True when no live points were indexed at this epoch.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One past the largest global id assigned at this epoch.
+    pub fn id_bound(&self) -> usize {
+        self.state.total_rows
+    }
+
+    /// Whether `id` was live at this epoch.
+    pub fn is_live(&self, id: usize) -> bool {
+        self.state.is_live(id)
+    }
+
+    /// Iterate over the ids live at this epoch, in increasing order.
+    pub fn live_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.state.total_rows).filter(|&id| self.state.is_live(id))
+    }
+
+    /// Borrow the row of point `id` as stored at this epoch.
+    pub fn point(&self, id: usize) -> &S::Row {
+        self.state.point(id)
+    }
+
+    /// A query scratch buffer sized for this snapshot's id space.
+    pub fn new_scratch(&self) -> QueryScratch {
+        self.state.new_scratch()
+    }
+
+    /// Retrieve distinct candidate ids exactly as the index answered at
+    /// this snapshot's epoch.
+    pub fn candidates<Q>(&self, q: &Q, retrieval_limit: Option<usize>) -> (Vec<usize>, QueryStats)
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.state
+            .candidates_row(q.as_row(), retrieval_limit, &mut self.new_scratch())
+    }
+
+    /// [`Snapshot::candidates`] against a caller-provided scratch.
+    pub fn candidates_with<Q>(
+        &self,
+        q: &Q,
+        retrieval_limit: Option<usize>,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<usize>, QueryStats)
+    where
+        Q: AsRow<Row = S::Row> + ?Sized,
+    {
+        self.state
+            .candidates_row(q.as_row(), retrieval_limit, scratch)
+    }
+
+    /// Batched [`Snapshot::candidates`] with worker-thread fan-out.
+    pub fn candidates_batch<QS>(
+        &self,
+        queries: &QS,
+        retrieval_limit: Option<usize>,
+    ) -> Vec<(Vec<usize>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
+        self.state.candidates_batch_with_threads(
+            queries,
+            retrieval_limit,
+            parallel::available_threads(),
+        )
+    }
+
+    /// [`Snapshot::candidates_batch`] with an explicit worker-thread
+    /// count (the output does not depend on it).
+    pub fn candidates_batch_with_threads<QS>(
+        &self,
+        queries: &QS,
+        retrieval_limit: Option<usize>,
+        threads: usize,
+    ) -> Vec<(Vec<usize>, QueryStats)>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
+        self.state
+            .candidates_batch_with_threads(queries, retrieval_limit, threads)
+    }
+}
+
+impl<S: AppendStore + Clone> CandidateBackend for Snapshot<S> {
+    type Row = S::Row;
+
+    fn repetitions(&self) -> usize {
+        Snapshot::repetitions(self)
+    }
+
+    fn indexed_len(&self) -> usize {
+        self.id_bound()
+    }
+
+    fn point(&self, i: usize) -> &S::Row {
+        Snapshot::point(self, i)
+    }
+
+    fn new_scratch(&self) -> QueryScratch {
+        Snapshot::new_scratch(self)
+    }
+
+    fn candidates_row(
+        &self,
+        q: &S::Row,
+        retrieval_limit: Option<usize>,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<usize>, QueryStats) {
+        self.state.candidates_row(q, retrieval_limit, scratch)
+    }
+}
+
+/// A cloneable, thread-safe source of fresh [`Snapshot`]s.
+///
+/// Reader threads hold one of these while the writer thread holds the
+/// [`ShardedIndex`] itself (`&mut`); each [`ReaderHandle::snapshot`] call
+/// observes the latest published epoch. Acquisition cost is one
+/// briefly-held read lock plus an `Arc` clone — constant even while a
+/// compaction is rebuilding segments on other threads.
+pub struct ReaderHandle<S: AppendStore + Clone> {
+    cell: Arc<RwLock<Arc<ShardedState<S>>>>,
+}
+
+impl<S: AppendStore + Clone> Clone for ReaderHandle<S> {
+    fn clone(&self) -> Self {
+        ReaderHandle {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+}
+
+impl<S: AppendStore + Clone> ReaderHandle<S> {
+    /// The latest published snapshot.
+    pub fn snapshot(&self) -> Snapshot<S> {
+        Snapshot {
+            state: Arc::clone(&self.cell.read().expect("publication cell poisoned")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::points::{BitStore, BitVector};
+    use dsh_hamming::BitSampling;
+    use dsh_math::rng::seeded;
+
+    fn dataset(seed: u64, d: usize, n: usize) -> Vec<BitVector> {
+        let mut rng = seeded(seed);
+        (0..n).map(|_| BitVector::random(&mut rng, d)).collect()
+    }
+
+    fn store_of(points: &[BitVector], d: usize) -> BitStore {
+        let mut s = BitStore::with_dim(d);
+        for p in points {
+            s.push(p);
+        }
+        s
+    }
+
+    /// Sharded and unsharded indexes driven through the same schedule
+    /// must agree bit-for-bit, at every checkpoint, for every shard
+    /// count. (The full sweep lives in `tests/shard_parity.rs`; this is
+    /// the module-level smoke version.)
+    #[test]
+    fn matches_unsharded_dynamic_index_through_a_schedule() {
+        let d = 64;
+        let points = dataset(0x5A01, d, 120);
+        let queries = dataset(0x5A02, d, 8);
+        let l = 8;
+        for shards in [1usize, 2, 8] {
+            let mut dynamic = DynamicIndex::build(
+                &BitSampling::new(d),
+                BitStore::with_dim(d),
+                l,
+                &mut seeded(0x5A03),
+            );
+            let mut sharded = ShardedIndex::build(
+                &BitSampling::new(d),
+                BitStore::with_dim(d),
+                l,
+                shards,
+                &mut seeded(0x5A03),
+            );
+            for (i, p) in points.iter().enumerate() {
+                assert_eq!(dynamic.insert(p), sharded.insert(p));
+                if i % 9 == 4 {
+                    dynamic.remove(i);
+                    sharded.remove(i);
+                }
+                if i % 31 == 30 {
+                    dynamic.seal();
+                    sharded.seal();
+                }
+                if i % 67 == 66 {
+                    dynamic.compact();
+                    sharded.compact();
+                }
+                if i % 17 == 0 {
+                    for q in &queries {
+                        for limit in [None, Some(3 * l)] {
+                            assert_eq!(
+                                dynamic.candidates(q, limit),
+                                sharded.candidates(q, limit),
+                                "shards {shards}, step {i}, limit {limit:?}"
+                            );
+                        }
+                    }
+                }
+            }
+            assert_eq!(dynamic.sealed_segments(), sharded.sealed_segments());
+            assert_eq!(dynamic.delta_rows(), sharded.delta_rows());
+            assert_eq!(dynamic.len(), sharded.len());
+        }
+    }
+
+    #[test]
+    fn initial_bulk_build_matches_unsharded() {
+        let d = 64;
+        let points = dataset(0x5A10, d, 90);
+        let queries = dataset(0x5A11, d, 6);
+        let dynamic = DynamicIndex::build(
+            &BitSampling::new(d),
+            store_of(&points, d),
+            6,
+            &mut seeded(0x5A12),
+        );
+        for shards in [1usize, 2, 8] {
+            let sharded = ShardedIndex::build(
+                &BitSampling::new(d),
+                store_of(&points, d),
+                6,
+                shards,
+                &mut seeded(0x5A12),
+            );
+            assert_eq!(sharded.sealed_segments(), 1);
+            for q in &queries {
+                assert_eq!(
+                    dynamic.candidates(q, None),
+                    sharded.candidates(q, None),
+                    "shards {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_freeze_their_state_across_every_write_kind() {
+        let d = 64;
+        let points = dataset(0x5A20, d, 60);
+        let queries = dataset(0x5A21, d, 5);
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            6,
+            4,
+            &mut seeded(0x5A22),
+        );
+        for p in &points[..40] {
+            idx.insert(p);
+        }
+        let snapshot = idx.reader();
+        let frozen: Vec<_> = queries
+            .iter()
+            .map(|q| snapshot.candidates(q, None))
+            .collect();
+        let frozen_live: Vec<usize> = snapshot.live_ids().collect();
+        assert_eq!(snapshot.epoch(), 40);
+
+        // Every kind of write, including segment-layout changes.
+        for p in &points[40..] {
+            idx.insert(p);
+        }
+        idx.remove(3);
+        idx.remove(17);
+        idx.seal();
+        idx.compact();
+        assert!(idx.epoch() > snapshot.epoch());
+
+        let after: Vec<_> = queries
+            .iter()
+            .map(|q| snapshot.candidates(q, None))
+            .collect();
+        assert_eq!(frozen, after, "snapshot answers changed under writes");
+        assert_eq!(frozen_live, snapshot.live_ids().collect::<Vec<_>>());
+        assert_eq!(snapshot.id_bound(), 40);
+        // The writer's view did move on.
+        assert_eq!(idx.id_bound(), 60);
+        assert!(!idx.is_live(3));
+        assert!(snapshot.is_live(3));
+    }
+
+    #[test]
+    fn reader_handle_sees_each_published_epoch() {
+        let d = 32;
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            4,
+            2,
+            &mut seeded(0x5A30),
+        );
+        let handle = idx.reader_handle();
+        assert_eq!(handle.snapshot().epoch(), 0);
+        let p = BitVector::random(&mut seeded(0x5A31), d);
+        idx.insert(&p);
+        assert_eq!(handle.snapshot().epoch(), 1);
+        assert_eq!(handle.snapshot().len(), 1);
+        idx.remove(0);
+        let snap = handle.snapshot();
+        assert_eq!(snap.epoch(), 2);
+        assert_eq!(snap.len(), 0);
+        idx.seal();
+        idx.compact();
+        assert_eq!(handle.snapshot().epoch(), 4);
+    }
+
+    #[test]
+    fn batch_matches_sequential_queries() {
+        let d = 64;
+        let points = dataset(0x5A40, d, 100);
+        let queries = dataset(0x5A41, d, 21);
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            7,
+            3,
+            &mut seeded(0x5A42),
+        );
+        for (i, p) in points.iter().enumerate() {
+            idx.insert(p);
+            if i == 49 {
+                idx.seal();
+            }
+            if i % 7 == 3 {
+                idx.remove(i);
+            }
+        }
+        for limit in [None, Some(13)] {
+            let sequential: Vec<_> = queries.iter().map(|q| idx.candidates(q, limit)).collect();
+            for threads in [1usize, 3, 8] {
+                assert_eq!(
+                    sequential,
+                    idx.candidates_batch_with_threads(&queries, limit, threads),
+                    "threads {threads}, limit {limit:?}"
+                );
+            }
+            assert_eq!(
+                sequential,
+                idx.reader().candidates_batch(&queries, limit),
+                "snapshot batch, limit {limit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_index_answers_and_compacts() {
+        let d = 32;
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            4,
+            8,
+            &mut seeded(0x5A50),
+        );
+        assert!(idx.is_empty());
+        assert_eq!(idx.sealed_segments(), 0);
+        let q = BitVector::random(&mut seeded(0x5A51), d);
+        let (cands, stats) = idx.candidates(&q, None);
+        assert!(cands.is_empty());
+        assert_eq!(stats, QueryStats::default());
+        idx.seal();
+        idx.compact();
+        assert!(idx.is_empty());
+        // Insert into a single shard, remove it, compact: all segments drop.
+        let id = idx.insert(&q);
+        idx.seal();
+        assert_eq!(idx.sealed_segments(), 1);
+        idx.remove(id);
+        idx.compact();
+        assert_eq!(idx.sealed_segments(), 0);
+        assert_eq!(idx.id_bound(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never inserted")]
+    fn remove_of_unknown_id_panics() {
+        let d = 32;
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            2,
+            2,
+            &mut seeded(0x5A60),
+        );
+        idx.remove(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let d = 32;
+        let _ = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            2,
+            0,
+            &mut seeded(0x5A61),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for a different index")]
+    fn stale_scratch_after_insert_rejected() {
+        let d = 32;
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            2,
+            2,
+            &mut seeded(0x5A62),
+        );
+        let q = BitVector::random(&mut seeded(0x5A63), d);
+        let mut scratch = idx.new_scratch();
+        idx.insert(&q);
+        let _ = idx.candidates_with(&q, None, &mut scratch);
+    }
+}

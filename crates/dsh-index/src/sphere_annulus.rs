@@ -14,6 +14,7 @@ use crate::ann::repetition_count;
 use crate::annulus::{AnnulusIndex, AnnulusMatch, Measure};
 use crate::dynamic::DynamicIndex;
 use crate::measures;
+use crate::shard::ShardedIndex;
 use crate::table::{CandidateBackend, HashTableIndex, QueryStats};
 use dsh_core::distance::{alpha_from_ratio, alpha_ratio};
 use dsh_core::points::{AppendStore, AsRow, PointStore};
@@ -148,6 +149,60 @@ impl<S: AppendStore + PointStore<Row = [f64]>> SphereAnnulusIndex<S, DynamicInde
 
     /// Merge all segments, dropping tombstones; see
     /// [`DynamicIndex::compact`].
+    pub fn compact(&mut self) {
+        self.inner.compact();
+    }
+}
+
+impl<S: AppendStore + PointStore<Row = [f64]> + Clone> SphereAnnulusIndex<S, ShardedIndex<S>> {
+    /// Build over a [`ShardedIndex`] backend: same parameters as
+    /// [`SphereAnnulusIndex::build_dynamic`] plus the shard count.
+    /// Queries fan out across shards and answer bit-identically to the
+    /// [`DynamicIndex`]-backed build.
+    pub fn build_sharded(
+        points: S,
+        d: usize,
+        spec: AnnulusSpec,
+        t: f64,
+        repetition_factor: f64,
+        num_shards: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(repetition_factor >= 1.0);
+        let family = UnimodalFilterDsh::new(d, spec.peak(), t);
+        let f_promise = family.cpf(spec.alpha.0).min(family.cpf(spec.alpha.1));
+        assert!(f_promise > 0.0, "degenerate CPF over the promise interval");
+        let l = repetition_count(repetition_factor, f_promise.min(1.0), 1);
+        let measure: Measure<[f64]> = measures::inner_product();
+        SphereAnnulusIndex {
+            inner: AnnulusIndex::build_sharded(
+                &family, measure, spec.beta, points, l, num_shards, rng,
+            ),
+            spec,
+        }
+    }
+
+    /// Insert a point into the backing [`ShardedIndex`], returning its
+    /// global id.
+    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    where
+        Q: AsRow<Row = [f64]> + ?Sized,
+    {
+        self.inner.insert(p)
+    }
+
+    /// Remove point `id` (tombstone; reclaimed at the next compaction).
+    pub fn remove(&mut self, id: usize) -> bool {
+        self.inner.remove(id)
+    }
+
+    /// Freeze every shard's delta segment; see [`ShardedIndex::seal`].
+    pub fn seal(&mut self) {
+        self.inner.seal();
+    }
+
+    /// Compact every shard, dropping tombstones; see
+    /// [`ShardedIndex::compact`].
     pub fn compact(&mut self) {
         self.inner.compact();
     }

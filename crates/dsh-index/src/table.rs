@@ -60,11 +60,13 @@ impl QueryStats {
     /// is a property of the whole query, not of one probe: a point
     /// retrieved from two segments (or two tables) is one distinct
     /// candidate, so per-segment partial stats each reporting it as
-    /// distinct would double-count it. Callers that merge per-segment
+    /// distinct would double-count it. Callers that merge per-probe
     /// partials — the segmented [`crate::dynamic::DynamicIndex`] query
-    /// path — must set `distinct_candidates` from the deduplicated output
-    /// once, after all partials are merged. The regression tests in
-    /// `tests/dynamic_parity.rs` pin the summed totals.
+    /// path and the cross-shard merge in [`crate::shard::ShardedIndex`] —
+    /// must set `distinct_candidates` from the deduplicated output once,
+    /// after all partials are merged. The regression tests in
+    /// `tests/dynamic_parity.rs` and `tests/shard_parity.rs` pin the
+    /// summed totals.
     pub fn merge(&mut self, other: &QueryStats) {
         self.tables_probed += other.tables_probed;
         self.candidates_retrieved += other.candidates_retrieved;
@@ -470,16 +472,19 @@ impl<S: PointStore> HashTableIndex<S> {
 }
 
 /// A bucket-candidate backend the query front-ends can verify against:
-/// either the static [`HashTableIndex`] or the mutable segmented
-/// [`crate::dynamic::DynamicIndex`].
+/// the static [`HashTableIndex`], the mutable segmented
+/// [`crate::dynamic::DynamicIndex`], or the concurrent sharded
+/// [`crate::shard::ShardedIndex`] (and its frozen
+/// [`crate::shard::Snapshot`]s).
 ///
 /// Every front-end (`NearNeighborIndex`, `AnnulusIndex`,
 /// `RangeReportingIndex`, and the sphere wrappers built on them) is
 /// generic over this trait with `HashTableIndex` as the default, so the
-/// same verification logic serves both a build-once index and one that is
-/// grown online — and a dynamically grown index answers queries exactly
-/// like a static one built from the same final point set (pinned by
-/// `tests/dynamic_parity.rs`).
+/// same verification logic serves a build-once index, one grown online
+/// (`build_dynamic`), and one sharded for concurrent serving
+/// (`build_sharded`) — and all of them answer queries exactly alike over
+/// the same live point set (pinned by `tests/dynamic_parity.rs` and
+/// `tests/shard_parity.rs`).
 pub trait CandidateBackend: Send + Sync {
     /// The borrowed row type stored points and queries share.
     type Row: ?Sized + 'static;

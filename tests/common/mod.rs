@@ -6,6 +6,13 @@
 //! the repo uses for every probabilistic guarantee (a single run of a
 //! constant-success-probability structure proves nothing; two dozen
 //! seeded runs pin the success rate without flakiness).
+//!
+//! The same harness serves every build path — static, dynamic
+//! (insert-then-compact), and sharded — because the closure receives the
+//! run's RNG positioned right after instance generation: paths that
+//! consume identical randomness (they all sample their `(h, g)` pairs
+//! the same way) must reproduce each other's answers run for run, which
+//! `tests/recall.rs` asserts on top of the recall bar itself.
 
 #![allow(dead_code)] // each integration-test binary uses a subset
 

@@ -569,3 +569,140 @@ fn per_segment_query_stats_totals_are_pinned() {
     assert_eq!(stats.distinct_candidates, 19);
     assert_eq!(stats.duplicates, 19 * l - 19);
 }
+
+// ---------------------------------------------------------------------------
+// Edge-case regressions: the exact behaviors the sharded serving layer
+// builds on (a shard routinely sees empty deltas, all-tombstoned deltas,
+// and all-tombstoned segments that the sibling shards do not).
+// ---------------------------------------------------------------------------
+
+fn small_index(seed: u64, d: usize) -> DynamicIndex<BitStore> {
+    DynamicIndex::build(
+        &BitSampling::new(d),
+        BitStore::with_dim(d),
+        5,
+        &mut seeded(seed),
+    )
+}
+
+#[test]
+#[should_panic(expected = "id 4 was never inserted")]
+fn remove_of_never_inserted_id_panics_with_the_id() {
+    let d = 32;
+    let mut idx = small_index(0xE501, d);
+    for p in &bit_points(0xE502, 4, d) {
+        idx.insert(p);
+    }
+    idx.remove(4);
+}
+
+#[test]
+fn remove_of_already_tombstoned_id_reports_false_at_every_layout() {
+    let d = 32;
+    let mut idx = small_index(0xE503, d);
+    for p in &bit_points(0xE504, 10, d) {
+        idx.insert(p);
+    }
+    assert!(idx.remove(3));
+    assert!(!idx.remove(3), "double remove in the delta");
+    idx.seal();
+    assert!(!idx.remove(3), "double remove after seal");
+    idx.compact();
+    // The tombstone outlives compaction (the row slot is retired, not
+    // recycled), so a third remove still reports false rather than
+    // resurrecting the id.
+    assert!(!idx.remove(3), "double remove after compact");
+    assert_eq!(idx.len(), 9);
+    assert_eq!(idx.removed(), 1);
+}
+
+#[test]
+fn seal_on_empty_delta_is_a_no_op() {
+    let d = 32;
+    let points = bit_points(0xE505, 12, d);
+    let queries = bit_points(0xE506, 4, d);
+    let mut idx = small_index(0xE507, d);
+    idx.seal(); // nothing inserted yet
+    assert_eq!(idx.sealed_segments(), 0);
+    for p in &points {
+        idx.insert(p);
+    }
+    idx.seal();
+    assert_eq!(idx.sealed_segments(), 1);
+    let want: Vec<_> = queries.iter().map(|q| idx.candidates(q, None)).collect();
+    // Sealing again with an empty delta changes neither the layout nor
+    // any answer or stat.
+    idx.seal();
+    idx.seal();
+    assert_eq!(idx.sealed_segments(), 1);
+    assert_eq!(idx.delta_rows(), 0);
+    let got: Vec<_> = queries.iter().map(|q| idx.candidates(q, None)).collect();
+    assert_eq!(want, got);
+}
+
+#[test]
+fn seal_of_all_tombstoned_delta_clears_it_without_a_segment() {
+    let d = 32;
+    let mut idx = small_index(0xE508, d);
+    let ids: Vec<usize> = bit_points(0xE509, 6, d)
+        .iter()
+        .map(|p| idx.insert(p))
+        .collect();
+    for &id in &ids {
+        idx.remove(id);
+    }
+    assert_eq!(idx.delta_rows(), 6);
+    idx.seal();
+    // All six rows were dead: no segment may be published, but the delta
+    // must still be retired (its HashMap buckets would otherwise keep
+    // resurfacing the dead ids to every probe).
+    assert_eq!(idx.sealed_segments(), 0);
+    assert_eq!(idx.delta_rows(), 0);
+    assert!(idx.is_empty());
+    assert_eq!(idx.id_bound(), 6);
+    // The index keeps working afterwards.
+    let p = BitVector::random(&mut seeded(0xE50A), d);
+    let id = idx.insert(&p);
+    assert_eq!(id, 6);
+    assert!(idx.candidates(&p, None).0.contains(&id));
+}
+
+#[test]
+fn compact_of_all_tombstoned_segments_drops_every_segment() {
+    let d = 32;
+    let points = bit_points(0xE50B, 15, d);
+    let mut idx = small_index(0xE50C, d);
+    let ids: Vec<usize> = points.iter().map(|p| idx.insert(p)).collect();
+    idx.seal();
+    for &id in &ids[..10] {
+        idx.insert(&points[id]); // fresh copies, landing in the delta
+    }
+    for &id in &ids {
+        idx.remove(id);
+    }
+    for id in 15..25 {
+        idx.remove(id);
+    }
+    assert!(idx.is_empty());
+    idx.compact();
+    assert_eq!(idx.sealed_segments(), 0);
+    assert_eq!(idx.delta_rows(), 0);
+    assert_eq!(idx.id_bound(), 25, "dead ids keep their slots");
+    let q = &points[0];
+    let (cands, stats) = idx.candidates(q, None);
+    assert!(cands.is_empty());
+    assert_eq!(stats, QueryStats::default());
+    // Growing again after a to-zero compaction assigns fresh ids and
+    // matches a static build over just the new rows (modulo the id
+    // offset of the retired slots).
+    let fresh = bit_points(0xE50D, 8, d);
+    for p in &fresh {
+        idx.insert(p);
+    }
+    for (i, p) in fresh.iter().enumerate() {
+        assert!(
+            idx.candidates(p, None).0.contains(&(25 + i)),
+            "re-grown point {i} must be retrievable"
+        );
+    }
+}

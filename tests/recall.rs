@@ -1,11 +1,11 @@
 //! Statistical recall@1 checks for [`NearNeighborIndex`] on
 //! planted-neighbor data, run through the shared `tests/common` harness
-//! against both the static and the dynamic (insert-then-compact) build
+//! against the static, dynamic (insert-then-compact), and sharded build
 //! paths.
 //!
-//! Both paths consume identical randomness, so beyond clearing the
-//! recall bar the dynamic path must reproduce the static path's answers
-//! run for run.
+//! All paths consume identical randomness, so beyond clearing the recall
+//! bar the dynamic and sharded paths must reproduce the static path's
+//! answers run for run — for the sharded path, at every shard count.
 
 mod common;
 
@@ -95,4 +95,69 @@ fn dynamic_near_neighbor_recall_matches_static_run_for_run() {
         dynamic_recall, static_recall,
         "identical randomness must give identical recall"
     );
+}
+
+#[test]
+fn sharded_near_neighbor_recall_matches_static_run_for_run() {
+    let sweep = RecallSweep::standard();
+    let mut static_answers = Vec::new();
+    let static_recall = recall_at_1(&sweep, |inst, rng| {
+        let idx = NearNeighborIndex::build(
+            &BitSampling::new(sweep.d),
+            measures::relative_hamming(sweep.d),
+            sweep.r2_rel,
+            BitStore::from(inst.points.clone()),
+            sweep.p1(),
+            sweep.p2(),
+            FACTOR,
+            rng,
+        );
+        let hit = idx.query(&inst.query).0;
+        static_answers.push(hit);
+        hit
+    });
+    assert!(
+        static_recall >= MIN_RECALL,
+        "static recall@1 = {static_recall}"
+    );
+
+    // The sharded path is grown online (insert + seal + compact) across
+    // 1/2/8 shards; every run must report the same point as the static
+    // build, so the recall is run-for-run identical — not merely equal in
+    // aggregate.
+    for shards in [1usize, 2, 8] {
+        let mut run = 0;
+        let sharded_recall = recall_at_1(&sweep, |inst, rng| {
+            let mut idx = NearNeighborIndex::build_sharded(
+                &BitSampling::new(sweep.d),
+                measures::relative_hamming(sweep.d),
+                sweep.r2_rel,
+                BitStore::with_dim(sweep.d),
+                shards,
+                inst.points.len(),
+                sweep.p1(),
+                sweep.p2(),
+                FACTOR,
+                rng,
+            );
+            for (i, p) in inst.points.iter().enumerate() {
+                idx.insert(p);
+                if (i + 1) % 100 == 0 {
+                    idx.seal();
+                }
+            }
+            idx.compact();
+            let hit = idx.query(&inst.query).0;
+            assert_eq!(
+                hit, static_answers[run],
+                "run {run}: sharded path ({shards} shards) diverged from the static build"
+            );
+            run += 1;
+            hit
+        });
+        assert_eq!(
+            sharded_recall, static_recall,
+            "identical randomness must give identical recall ({shards} shards)"
+        );
+    }
 }

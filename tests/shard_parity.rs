@@ -1,0 +1,533 @@
+//! Parity sweep for the sharded serving layer: a `ShardedIndex` driven
+//! through any insert/remove/seal/compact schedule must answer queries
+//! **bit-identically** — ids, order, full `QueryStats` — to an unsharded
+//! `DynamicIndex` driven through the same schedule, for shard counts
+//! 1/2/8, on both flat store backends, at every interleaving checkpoint;
+//! and, after a final compaction, to a static `HashTableIndex` rebuild
+//! over the live rows (ids mapped through live-rank order, like
+//! `tests/dynamic_parity.rs`).
+//!
+//! The pinned-totals test at the bottom is the per-logical-segment
+//! `QueryStats` accounting regression for the cross-shard merge (the
+//! sharded mirror of the dynamic-index pins in `tests/dynamic_parity.rs`).
+
+use dsh_core::family::DshFamily;
+use dsh_core::points::{AppendStore, AsRow, BitStore, BitVector, DenseStore, DenseVector};
+use dsh_data::{hamming_data, sphere_data};
+use dsh_hamming::BitSampling;
+use dsh_index::{
+    measures, AnnulusIndex, AnnulusSpec, DynamicIndex, HashTableIndex, HyperplaneIndex,
+    NearNeighborIndex, RangeReportingIndex, ShardedIndex, SphereAnnulusIndex,
+};
+use dsh_math::rng::seeded;
+use dsh_sphere::UnimodalFilterDsh;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn bit_points(seed: u64, n: usize, d: usize) -> Vec<BitVector> {
+    hamming_data::uniform_hamming(&mut seeded(seed), n, d)
+}
+
+fn dense_points(seed: u64, n: usize, d: usize) -> Vec<DenseVector> {
+    sphere_data::uniform_sphere(&mut seeded(seed), n, d)
+}
+
+/// Map a sharded candidate list (global ids) onto the ids a static
+/// rebuild over the live rows assigns (live-rank order).
+fn mapped(cands: &[usize], live: &[usize]) -> Vec<usize> {
+    cands
+        .iter()
+        .map(|&i| live.binary_search(&i).expect("candidate id must be live"))
+        .collect()
+}
+
+/// Drive the same seeded interleaved schedule against both indexes,
+/// checking full bit-parity (ids, order, stats) at every step boundary
+/// where the schedule performed a structural operation.
+fn interleaved_parity_sweep<S, P>(
+    family: &(impl DshFamily<S::Row> + ?Sized),
+    empty: impl Fn() -> S,
+    points: &[P],
+    queries: &[P],
+    l: usize,
+    seed: u64,
+) where
+    S: AppendStore + Clone,
+    P: AsRow<Row = S::Row> + Clone + Send + Sync,
+{
+    for &shards in &SHARD_COUNTS {
+        let mut dynamic = DynamicIndex::build(family, empty(), l, &mut seeded(seed));
+        let mut sharded = ShardedIndex::build(family, empty(), l, shards, &mut seeded(seed));
+        let mut schedule = seeded(seed ^ 0x5AD);
+        let mut removed_any = false;
+        let check = |dynamic: &DynamicIndex<S>, sharded: &ShardedIndex<S>, ctx: &str| {
+            for (qi, q) in queries.iter().enumerate() {
+                for limit in [None, Some(2 * l)] {
+                    assert_eq!(
+                        dynamic.candidates(q, limit),
+                        sharded.candidates(q, limit),
+                        "{ctx}, shards {shards}, query {qi}, limit {limit:?}"
+                    );
+                }
+            }
+        };
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(dynamic.insert(p), sharded.insert(p));
+            if schedule.random_bool(0.15) {
+                let live: Vec<usize> = dynamic.live_ids().collect();
+                let victim = live[dsh_math::rng::index(&mut schedule, live.len())];
+                assert_eq!(dynamic.remove(victim), sharded.remove(victim));
+                removed_any = true;
+                check(&dynamic, &sharded, "post-remove");
+            }
+            if (i + 1) % 23 == 0 {
+                dynamic.seal();
+                sharded.seal();
+                assert_eq!(dynamic.sealed_segments(), sharded.sealed_segments());
+                check(&dynamic, &sharded, "post-seal");
+            }
+            if (i + 1) % 57 == 0 {
+                dynamic.compact();
+                sharded.compact();
+                assert_eq!(sharded.sealed_segments(), 1);
+                check(&dynamic, &sharded, "post-compact");
+            }
+        }
+        assert!(removed_any, "schedule must exercise removals");
+        check(&dynamic, &sharded, "end of schedule");
+        assert_eq!(dynamic.len(), sharded.len());
+        assert_eq!(dynamic.delta_rows(), sharded.delta_rows());
+        assert_eq!(dynamic.removed(), sharded.removed());
+        assert_eq!(
+            dynamic.live_ids().collect::<Vec<_>>(),
+            sharded.live_ids().collect::<Vec<_>>()
+        );
+
+        // Batched queries agree with the unsharded sequential loop for
+        // every thread count.
+        let query_store: Vec<P> = queries.to_vec();
+        let want: Vec<_> = queries
+            .iter()
+            .map(|q| dynamic.candidates(q, None))
+            .collect();
+        for threads in [1usize, 3, 8] {
+            assert_eq!(
+                want,
+                sharded.candidates_batch_with_threads(&query_store, None, threads),
+                "batched parity, shards {shards}, threads {threads}"
+            );
+        }
+
+        // Final compaction: parity against a static rebuild over the live
+        // rows (ids mapped through live-rank order), stats included.
+        let live: Vec<usize> = sharded.live_ids().collect();
+        let mut live_store = empty();
+        for &id in &live {
+            live_store.push_row(sharded.point(id));
+        }
+        let static_idx = HashTableIndex::build(family, live_store, l, &mut seeded(seed));
+        sharded.compact();
+        dynamic.compact();
+        check(&dynamic, &sharded, "after final compact");
+        for (qi, q) in queries.iter().enumerate() {
+            let (want, want_stats) = static_idx.candidates(q, None);
+            let (got, got_stats) = sharded.candidates(q, None);
+            assert_eq!(
+                want,
+                mapped(&got, &live),
+                "static parity, shards {shards}, query {qi}"
+            );
+            assert_eq!(
+                want_stats, got_stats,
+                "static stats parity, shards {shards}, query {qi}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bit_store_sharded_matches_unsharded_at_every_interleaving() {
+    let d = 128;
+    let points = bit_points(0x5D01, 240, d);
+    let queries = bit_points(0x5D02, 12, d);
+    interleaved_parity_sweep(
+        &BitSampling::new(d),
+        || BitStore::with_dim(d),
+        &points,
+        &queries,
+        10,
+        0x5D03,
+    );
+}
+
+#[test]
+fn dense_store_sharded_matches_unsharded_at_every_interleaving() {
+    let d = 24;
+    let points = dense_points(0x5D11, 200, d);
+    let queries = dense_points(0x5D12, 10, d);
+    interleaved_parity_sweep(
+        &UnimodalFilterDsh::new(d, 0.4, 1.3),
+        || DenseStore::with_dim(d),
+        &points,
+        &queries,
+        8,
+        0x5D13,
+    );
+}
+
+/// A snapshot taken mid-schedule answers from its frozen state forever:
+/// identical to a pristine clone of the unsharded index kept at the same
+/// point, no matter how far the writer advances.
+#[test]
+fn snapshots_keep_answering_from_their_frozen_state() {
+    let d = 128;
+    let points = bit_points(0x5D21, 180, d);
+    let queries = bit_points(0x5D22, 10, d);
+    let l = 10;
+    for &shards in &SHARD_COUNTS {
+        let mut dynamic = DynamicIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            l,
+            &mut seeded(0x5D23),
+        );
+        let mut sharded = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            l,
+            shards,
+            &mut seeded(0x5D23),
+        );
+        let mut frozen = Vec::new(); // (snapshot, pinned unsharded clone)
+        for (i, p) in points.iter().enumerate() {
+            dynamic.insert(p);
+            sharded.insert(p);
+            if i % 11 == 5 {
+                dynamic.remove(i);
+                sharded.remove(i);
+            }
+            if i % 31 == 30 {
+                dynamic.seal();
+                sharded.seal();
+            }
+            if i % 59 == 58 {
+                dynamic.compact();
+                sharded.compact();
+            }
+            if i % 37 == 36 {
+                frozen.push((sharded.reader(), dynamic.clone()));
+            }
+        }
+        assert!(frozen.len() >= 4);
+        for (si, (snapshot, pinned)) in frozen.iter().enumerate() {
+            for (qi, q) in queries.iter().enumerate() {
+                assert_eq!(
+                    pinned.candidates(q, None),
+                    snapshot.candidates(q, None),
+                    "shards {shards}, snapshot {si}, query {qi}"
+                );
+            }
+            assert_eq!(
+                pinned.live_ids().collect::<Vec<_>>(),
+                snapshot.live_ids().collect::<Vec<_>>(),
+                "shards {shards}, snapshot {si} live set"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Front-end parity: every wrapper's build_sharded answers identically to
+// its build_dynamic twin over the same schedule — same RNG stream, same
+// inserts, same compaction — for shard counts 1/2/8.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hamming_front_ends_sharded_equals_dynamic() {
+    let d = 128;
+    let seed = 0x5DF1;
+    let points = bit_points(seed, 160, d);
+    let queries: Vec<BitVector> = points[..8]
+        .iter()
+        .cloned()
+        .chain(bit_points(seed + 1, 8, d))
+        .collect();
+
+    for &shards in &SHARD_COUNTS {
+        // NearNeighborIndex.
+        let mut dyn_nn = NearNeighborIndex::build_dynamic(
+            &BitSampling::new(d),
+            measures::relative_hamming(d),
+            0.25,
+            BitStore::with_dim(d),
+            points.len(),
+            0.95,
+            0.75,
+            2.0,
+            &mut seeded(seed + 2),
+        );
+        let mut sh_nn = NearNeighborIndex::build_sharded(
+            &BitSampling::new(d),
+            measures::relative_hamming(d),
+            0.25,
+            BitStore::with_dim(d),
+            shards,
+            points.len(),
+            0.95,
+            0.75,
+            2.0,
+            &mut seeded(seed + 2),
+        );
+        assert_eq!(dyn_nn.params(), sh_nn.params());
+        for (i, p) in points.iter().enumerate() {
+            dyn_nn.insert(p);
+            sh_nn.insert(p);
+            if i % 41 == 40 {
+                dyn_nn.seal();
+                sh_nn.seal();
+            }
+        }
+        dyn_nn.remove(7);
+        sh_nn.remove(7);
+        let want: Vec<_> = queries.iter().map(|q| dyn_nn.query(q)).collect();
+        let got: Vec<_> = queries.iter().map(|q| sh_nn.query(q)).collect();
+        assert_eq!(want, got, "NearNeighborIndex (shards {shards})");
+        for threads in [1usize, 4] {
+            assert_eq!(
+                want,
+                sh_nn.query_batch_with_threads(&queries, threads),
+                "NearNeighborIndex batched (shards {shards}, threads {threads})"
+            );
+        }
+        dyn_nn.compact();
+        sh_nn.compact();
+        assert_eq!(
+            queries.iter().map(|q| dyn_nn.query(q)).collect::<Vec<_>>(),
+            queries.iter().map(|q| sh_nn.query(q)).collect::<Vec<_>>(),
+            "NearNeighborIndex post-compact (shards {shards})"
+        );
+
+        // AnnulusIndex.
+        let fam = BitSampling::new(d);
+        let mut dyn_an = AnnulusIndex::build_dynamic(
+            &fam,
+            measures::relative_hamming(d),
+            (0.0, 0.2),
+            BitStore::with_dim(d),
+            12,
+            &mut seeded(seed + 3),
+        );
+        let mut sh_an = AnnulusIndex::build_sharded(
+            &fam,
+            measures::relative_hamming(d),
+            (0.0, 0.2),
+            BitStore::with_dim(d),
+            12,
+            shards,
+            &mut seeded(seed + 3),
+        );
+        for p in &points {
+            dyn_an.insert(p);
+            sh_an.insert(p);
+        }
+        dyn_an.seal();
+        sh_an.seal();
+        let want: Vec<_> = queries.iter().map(|q| dyn_an.query(q)).collect();
+        let got: Vec<_> = queries.iter().map(|q| sh_an.query(q)).collect();
+        assert_eq!(want, got, "AnnulusIndex (shards {shards})");
+        assert_eq!(
+            want,
+            sh_an.query_batch(&queries),
+            "AnnulusIndex batched (shards {shards})"
+        );
+
+        // RangeReportingIndex.
+        let mut dyn_rr = RangeReportingIndex::build_dynamic(
+            &fam,
+            measures::relative_hamming(d),
+            0.05,
+            0.2,
+            BitStore::with_dim(d),
+            20,
+            &mut seeded(seed + 4),
+        );
+        let mut sh_rr = RangeReportingIndex::build_sharded(
+            &fam,
+            measures::relative_hamming(d),
+            0.05,
+            0.2,
+            BitStore::with_dim(d),
+            20,
+            shards,
+            &mut seeded(seed + 4),
+        );
+        for p in &points {
+            dyn_rr.insert(p);
+            sh_rr.insert(p);
+        }
+        dyn_rr.compact();
+        sh_rr.compact();
+        let want: Vec<_> = queries.iter().map(|q| dyn_rr.query(q)).collect();
+        let got: Vec<_> = queries.iter().map(|q| sh_rr.query(q)).collect();
+        assert_eq!(want, got, "RangeReportingIndex (shards {shards})");
+        assert_eq!(
+            want,
+            sh_rr.query_batch(&queries),
+            "RangeReportingIndex batched (shards {shards})"
+        );
+    }
+}
+
+#[test]
+fn sphere_front_ends_sharded_equals_dynamic() {
+    let d = 24;
+    let seed = 0x5DF9;
+    let points = dense_points(seed, 150, d);
+    let queries = dense_points(seed + 1, 10, d);
+
+    for &shards in &SHARD_COUNTS {
+        // HyperplaneIndex.
+        let mut dyn_hp = HyperplaneIndex::build_dynamic(
+            DenseStore::with_dim(d),
+            d,
+            1.4,
+            0.4,
+            1.5,
+            &mut seeded(seed + 2),
+        );
+        let mut sh_hp = HyperplaneIndex::build_sharded(
+            DenseStore::with_dim(d),
+            d,
+            1.4,
+            0.4,
+            1.5,
+            shards,
+            &mut seeded(seed + 2),
+        );
+        assert_eq!(dyn_hp.repetitions(), sh_hp.repetitions());
+        for p in &points {
+            dyn_hp.insert(p);
+            sh_hp.insert(p);
+        }
+        dyn_hp.seal();
+        sh_hp.seal();
+        dyn_hp.remove(3);
+        sh_hp.remove(3);
+        let want: Vec<_> = queries.iter().map(|q| dyn_hp.query(q)).collect();
+        let got: Vec<_> = queries.iter().map(|q| sh_hp.query(q)).collect();
+        assert_eq!(want, got, "HyperplaneIndex (shards {shards})");
+        assert_eq!(
+            want,
+            sh_hp.query_batch(&queries),
+            "HyperplaneIndex batched (shards {shards})"
+        );
+
+        // SphereAnnulusIndex.
+        let spec = AnnulusSpec::widened(0.35, 0.5, 2.5);
+        let mut dyn_sa = SphereAnnulusIndex::build_dynamic(
+            DenseStore::with_dim(d),
+            d,
+            spec,
+            1.4,
+            1.5,
+            &mut seeded(seed + 3),
+        );
+        let mut sh_sa = SphereAnnulusIndex::build_sharded(
+            DenseStore::with_dim(d),
+            d,
+            spec,
+            1.4,
+            1.5,
+            shards,
+            &mut seeded(seed + 3),
+        );
+        for p in &points {
+            dyn_sa.insert(p);
+            sh_sa.insert(p);
+        }
+        dyn_sa.compact();
+        sh_sa.compact();
+        let want: Vec<_> = queries.iter().map(|q| dyn_sa.query(q)).collect();
+        let got: Vec<_> = queries.iter().map(|q| sh_sa.query(q)).collect();
+        assert_eq!(want, got, "SphereAnnulusIndex (shards {shards})");
+        assert_eq!(
+            want,
+            sh_sa.query_batch(&queries),
+            "SphereAnnulusIndex batched (shards {shards})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned QueryStats totals through the cross-shard merge: identical
+// points make every counter exactly predictable, and the totals must
+// match the unsharded pins in tests/dynamic_parity.rs verbatim.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn per_logical_segment_query_stats_totals_are_pinned() {
+    let d = 32;
+    let l = 6;
+    let zero = BitVector::zeros(d);
+    for &shards in &SHARD_COUNTS {
+        // Layout: 10 ids in the initial bulk segment, 7 in a second
+        // sealed segment, 5 in the deltas — identical points, so every
+        // logical table has exactly one bucket holding everything.
+        let mut initial = BitStore::with_dim(d);
+        for _ in 0..10 {
+            initial.push(&zero);
+        }
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            initial,
+            l,
+            shards,
+            &mut seeded(0x57A8),
+        );
+        for _ in 0..7 {
+            idx.insert(&zero);
+        }
+        idx.seal();
+        for _ in 0..5 {
+            idx.insert(&zero);
+        }
+        assert_eq!(idx.sealed_segments(), 2, "shards {shards}");
+        assert_eq!(idx.delta_rows(), 5, "shards {shards}");
+
+        let (cands, stats) = idx.candidates(&zero, None);
+        assert_eq!(stats.tables_probed, 3 * l, "2 sealed + 1 delta per table");
+        assert_eq!(stats.candidates_retrieved, 22 * l);
+        assert_eq!(stats.distinct_candidates, 22);
+        assert_eq!(cands.len(), 22);
+        assert_eq!(stats.duplicates, 22 * l - 22);
+        // Retrieval order: ascending id within each logical bucket.
+        assert_eq!(cands[..10], (0..10).collect::<Vec<_>>()[..]);
+
+        // Tombstoned ids — one per region — skipped without counting.
+        for id in [0usize, 12, 18] {
+            assert!(idx.remove(id));
+        }
+        let (cands, stats) = idx.candidates(&zero, None);
+        assert_eq!(stats.tables_probed, 3 * l);
+        assert_eq!(stats.candidates_retrieved, 19 * l);
+        assert_eq!(stats.distinct_candidates, 19);
+        assert_eq!(cands.len(), 19);
+        assert_eq!(stats.duplicates, 19 * l - 19);
+
+        // A retrieval limit truncates exactly, wherever it lands.
+        let (_, limited) = idx.candidates(&zero, Some(25));
+        assert_eq!(limited.candidates_retrieved, 25);
+        assert_eq!(
+            limited.distinct_candidates + limited.duplicates,
+            limited.candidates_retrieved
+        );
+
+        // Post-compaction: one logical segment — static-build accounting.
+        idx.compact();
+        let (_, stats) = idx.candidates(&zero, None);
+        assert_eq!(stats.tables_probed, l);
+        assert_eq!(stats.candidates_retrieved, 19 * l);
+        assert_eq!(stats.distinct_candidates, 19);
+        assert_eq!(stats.duplicates, 19 * l - 19);
+    }
+}
