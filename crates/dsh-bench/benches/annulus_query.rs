@@ -32,10 +32,10 @@ fn bench_sphere_annulus(c: &mut Criterion) {
     let scan = LinearScan::new(inst.points, dsh_index::measures::inner_product());
 
     group.bench_function("dsh_index", |b| {
-        b.iter(|| black_box(idx.query(black_box(&inst.query))))
+        b.iter(|| black_box(idx.query(black_box(&inst.query))));
     });
     group.bench_function("linear_scan", |b| {
-        b.iter(|| black_box(scan.find_in_interval(black_box(&inst.query), lo, hi)))
+        b.iter(|| black_box(scan.find_in_interval(black_box(&inst.query), lo, hi)));
     });
     group.finish();
 
@@ -51,7 +51,7 @@ fn bench_sphere_annulus(c: &mut Criterion) {
         b.iter(|| {
             let hits = queries.iter().filter(|&q| idx.query(q).0.is_some()).count();
             black_box(hits)
-        })
+        });
     });
     group.bench_function("query_batch", |b| {
         b.iter(|| {
@@ -61,7 +61,7 @@ fn bench_sphere_annulus(c: &mut Criterion) {
                 .filter(|(hit, _)| hit.is_some())
                 .count();
             black_box(hits)
-        })
+        });
     });
     group.finish();
 }
@@ -86,7 +86,7 @@ fn bench_hamming_powering_ablation(c: &mut Criterion) {
     let idx = AnnulusIndex::build(&fam, measure, (0.15, 0.35), inst.points, l, &mut rng);
 
     group.bench_function("powered_bitsampling_query", |b| {
-        b.iter(|| black_box(idx.query(black_box(&inst.query))))
+        b.iter(|| black_box(idx.query(black_box(&inst.query))));
     });
     group.finish();
 }

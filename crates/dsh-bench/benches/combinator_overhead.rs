@@ -18,7 +18,7 @@ fn bench_power_depth(c: &mut Criterion) {
     for &k in &[1usize, 4, 16, 64] {
         let pair = Power::new(BitSampling::new(d), k).sample(&mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| black_box(pair.data.hash(black_box(x.as_blocks()))))
+            b.iter(|| black_box(pair.data.hash(black_box(x.as_blocks()))));
         });
     }
     group.finish();
@@ -41,13 +41,13 @@ fn bench_affine_vs_direct(c: &mut Criterion) {
         b.iter(|| {
             let p = direct.sample(&mut rng);
             black_box(p.data.hash(black_box(x.as_blocks())))
-        })
+        });
     });
     group.bench_function("generic_mixture_sample+eval", |b| {
         b.iter(|| {
             let p = generic.sample(&mut rng);
             black_box(p.data.hash(black_box(x.as_blocks())))
-        })
+        });
     });
     group.finish();
 }

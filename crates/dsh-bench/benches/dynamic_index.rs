@@ -61,7 +61,7 @@ fn bench_ingest(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function(BenchmarkId::new("static_build", N), |b| {
-        b.iter(|| HashTableIndex::build(&family(), points.clone(), L, &mut seeded(0xBE2)))
+        b.iter(|| HashTableIndex::build(&family(), points.clone(), L, &mut seeded(0xBE2)));
     });
 
     group.bench_function(BenchmarkId::new("dynamic_insert", N), |b| {
@@ -72,7 +72,7 @@ fn bench_ingest(c: &mut Criterion) {
                 idx.insert(points.row(i));
             }
             idx
-        })
+        });
     });
 
     group.bench_function(BenchmarkId::new("dynamic_insert_compact", N), |b| {
@@ -84,7 +84,7 @@ fn bench_ingest(c: &mut Criterion) {
             }
             idx.compact();
             idx
-        })
+        });
     });
 
     group.finish();
@@ -110,7 +110,7 @@ fn bench_query_vs_delta_fill(c: &mut Criterion) {
         }
         assert_eq!(idx.delta_rows(), N - base);
         group.bench_function(BenchmarkId::new("delta_fill_pct", fill_pct), |b| {
-            b.iter(|| black_box(idx.candidates_batch(&qs, Some(8 * L))))
+            b.iter(|| black_box(idx.candidates_batch(&qs, Some(8 * L))));
         });
     }
 
@@ -128,7 +128,7 @@ fn bench_query_vs_delta_fill(c: &mut Criterion) {
         "compacted dynamic index diverged from the static build"
     );
     group.bench_function(BenchmarkId::new("delta_fill_pct", "compacted"), |b| {
-        b.iter(|| black_box(idx.candidates_batch(&qs, Some(8 * L))))
+        b.iter(|| black_box(idx.candidates_batch(&qs, Some(8 * L))));
     });
 
     group.finish();
@@ -165,7 +165,7 @@ fn bench_compaction(c: &mut Criterion) {
             let mut snapshot = idx.clone();
             snapshot.compact();
             snapshot
-        })
+        });
     });
 
     group.finish();

@@ -17,7 +17,7 @@ fn bench_filter_scaling(c: &mut Criterion) {
     for &t in &[1.0f64, 1.5, 2.0, 2.5] {
         let pair = FilterDshMinus::new(d, t).sample(&mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
-            b.iter(|| black_box(pair.data.hash(black_box(x.as_slice()))))
+            b.iter(|| black_box(pair.data.hash(black_box(x.as_slice()))));
         });
     }
     group.finish();

@@ -21,39 +21,39 @@ fn bench_hash_eval(c: &mut Criterion) {
 
     let bs_pair = BitSampling::new(d).sample(&mut rng);
     group.bench_function("bit_sampling", |b| {
-        b.iter(|| black_box(bs_pair.data.hash(black_box(bits.as_blocks()))))
+        b.iter(|| black_box(bs_pair.data.hash(black_box(bits.as_blocks()))));
     });
 
     let anti_pair = AntiBitSampling::new(d).sample(&mut rng);
     group.bench_function("anti_bit_sampling", |b| {
-        b.iter(|| black_box(anti_pair.query.hash(black_box(bits.as_blocks()))))
+        b.iter(|| black_box(anti_pair.query.hash(black_box(bits.as_blocks()))));
     });
 
     let poly =
         PolynomialHammingDsh::from_polynomial(d, &Polynomial::new(vec![0.0, 1.0, -1.0])).unwrap();
     let poly_pair = poly.sample(&mut rng);
     group.bench_function("poly_dsh_t(1-t)", |b| {
-        b.iter(|| black_box(poly_pair.data.hash(black_box(bits.as_blocks()))))
+        b.iter(|| black_box(poly_pair.data.hash(black_box(bits.as_blocks()))));
     });
 
     let sim_pair = SimHash::new(d).sample(&mut rng);
     group.bench_function("simhash", |b| {
-        b.iter(|| black_box(sim_pair.data.hash(black_box(unit.as_slice()))))
+        b.iter(|| black_box(sim_pair.data.hash(black_box(unit.as_slice()))));
     });
 
     let cp_pair = CrossPolytopeAnti::new(d).sample(&mut rng);
     group.bench_function("cross_polytope_anti", |b| {
-        b.iter(|| black_box(cp_pair.query.hash(black_box(unit.as_slice()))))
+        b.iter(|| black_box(cp_pair.query.hash(black_box(unit.as_slice()))));
     });
 
     let filter_pair = FilterDshMinus::new(d, 1.5).sample(&mut rng);
     group.bench_function("filter_minus_t1.5", |b| {
-        b.iter(|| black_box(filter_pair.data.hash(black_box(unit.as_slice()))))
+        b.iter(|| black_box(filter_pair.data.hash(black_box(unit.as_slice()))));
     });
 
     let e2_pair = ShiftedEuclideanDsh::new(d, 3, 1.0).sample(&mut rng);
     group.bench_function("shifted_euclidean", |b| {
-        b.iter(|| black_box(e2_pair.data.hash(black_box(unit.as_slice()))))
+        b.iter(|| black_box(e2_pair.data.hash(black_box(unit.as_slice()))));
     });
 
     group.finish();

@@ -51,6 +51,7 @@ struct HashMapIndex {
 impl HashMapIndex {
     /// Same owned-`Vec` contract as the seed's `HashTableIndex::build`, so
     /// both sides of the build benchmark pay the identical clone cost.
+    #[allow(clippy::needless_pass_by_value)] // owned-Vec contract is the point
     fn build(
         family: &impl DshFamily<[u64]>,
         points: Vec<BitVector>,
@@ -145,8 +146,8 @@ fn bench_index_layouts(c: &mut Criterion) {
                 points.clone(),
                 BUILD_L,
                 &mut seeded(0x1D9),
-            ))
-        })
+            ));
+        });
     });
     group.bench_function("csr_parallel", |b| {
         b.iter(|| {
@@ -155,8 +156,8 @@ fn bench_index_layouts(c: &mut Criterion) {
                 points.clone(),
                 BUILD_L,
                 &mut seeded(0x1D9),
-            ))
-        })
+            ));
+        });
     });
     group.finish();
     drop(points);
@@ -179,13 +180,13 @@ fn bench_index_layouts(c: &mut Criterion) {
                 .map(|q| baseline.candidates(q, None))
                 .collect();
             black_box(results.iter().map(|(cands, _)| cands.len()).sum::<usize>())
-        })
+        });
     });
     group.bench_function("csr_batched", |b| {
         b.iter(|| {
             let results = csr.candidates_batch(&queries, None);
             black_box(results.iter().map(|(cands, _)| cands.len()).sum::<usize>())
-        })
+        });
     });
     group.finish();
 }

@@ -61,14 +61,14 @@ fn bench_dense_verification(c: &mut Criterion) {
                 acc += measure(&points[i], &q);
             }
             black_box(acc)
-        })
+        });
     });
     let mut out = Vec::with_capacity(ids.len());
     group.bench_function("store_batched", |b| {
         b.iter(|| {
             store.dot_many(&ids, q.as_slice(), &mut out);
             black_box(out.iter().sum::<f64>())
-        })
+        });
     });
     group.finish();
 }
@@ -81,7 +81,7 @@ fn bench_bit_verification(c: &mut Criterion) {
     let store = BitStore::from(points.clone());
     let q = BitVector::random(&mut rng, BIT_D);
     let ids = candidate_ids(&mut rng, VERIFY_N, N_CANDIDATES);
-    let measure: OwnedMeasure<BitVector> = Box::new(|x, y| x.relative_hamming(y));
+    let measure: OwnedMeasure<BitVector> = Box::new(dsh_core::BitVector::relative_hamming);
 
     let mut group = c.benchmark_group(format!("bit_verify_n{VERIFY_N}_c{N_CANDIDATES}"));
     group.bench_function("vec_per_point", |b| {
@@ -91,14 +91,14 @@ fn bench_bit_verification(c: &mut Criterion) {
                 acc += measure(&points[i], &q);
             }
             black_box(acc)
-        })
+        });
     });
     let mut out = Vec::with_capacity(ids.len());
     group.bench_function("store_batched", |b| {
         b.iter(|| {
             store.hamming_many(&ids, q.as_blocks(), &mut out);
             black_box(out.iter().sum::<u64>() as f64 / BIT_D as f64)
-        })
+        });
     });
     group.finish();
 }
@@ -133,7 +133,7 @@ fn bench_index_build(c: &mut Criterion) {
                 BUILD_L,
                 &mut seeded(0x57B5),
             ))
-        })
+        });
     });
     group.bench_function("from_bit_store", |b| {
         b.iter(|| {
@@ -143,7 +143,7 @@ fn bench_index_build(c: &mut Criterion) {
                 BUILD_L,
                 &mut seeded(0x57B5),
             ))
-        })
+        });
     });
     group.finish();
 }

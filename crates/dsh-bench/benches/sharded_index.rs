@@ -68,7 +68,7 @@ fn bench_query_vs_shard_count(c: &mut Criterion) {
     dynamic.compact();
     let want = dynamic.candidates_batch(&qs, Some(8 * L));
     group.bench_function(BenchmarkId::new("shards", "unsharded"), |b| {
-        b.iter(|| black_box(dynamic.candidates_batch(&qs, Some(8 * L))))
+        b.iter(|| black_box(dynamic.candidates_batch(&qs, Some(8 * L))));
     });
 
     for shards in [1usize, 2, 4, 8] {
@@ -80,7 +80,7 @@ fn bench_query_vs_shard_count(c: &mut Criterion) {
             "sharded index ({shards} shards) diverged from the unsharded build"
         );
         group.bench_function(BenchmarkId::new("shards", shards), |b| {
-            b.iter(|| black_box(idx.candidates_batch(&qs, Some(8 * L))))
+            b.iter(|| black_box(idx.candidates_batch(&qs, Some(8 * L))));
         });
     }
 
@@ -107,7 +107,7 @@ fn bench_ingest(c: &mut Criterion) {
                 }
             }
             idx
-        })
+        });
     });
 
     group.bench_function(BenchmarkId::new("sharded_insert", N_INGEST), |b| {
@@ -121,7 +121,7 @@ fn bench_ingest(c: &mut Criterion) {
                 }
             }
             idx
-        })
+        });
     });
 
     // Same ingest with 3 reader threads taking snapshots and querying
@@ -163,7 +163,7 @@ fn bench_ingest(c: &mut Criterion) {
                 served_total.fetch_add(served.load(Ordering::Relaxed), Ordering::Relaxed);
                 iters.fetch_add(1, Ordering::Relaxed);
                 idx
-            })
+            });
         },
     );
     let iters = iters.load(Ordering::Relaxed).max(1);
@@ -202,7 +202,7 @@ fn bench_compaction_publication_pause(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("compact", N), |b| {
         // Re-compacting a compacted index re-merges every segment entry:
         // each iteration measures a full merge-and-publish.
-        b.iter(|| idx.compact())
+        b.iter(|| idx.compact());
     });
 
     let mut idx = build();
@@ -216,7 +216,7 @@ fn bench_compaction_publication_pause(c: &mut Criterion) {
             }
         });
         group.bench_function(BenchmarkId::new("snapshot_during_compact", N), |b| {
-            b.iter(|| black_box(handle.snapshot().epoch()))
+            b.iter(|| black_box(handle.snapshot().epoch()));
         });
         done.store(true, Ordering::Release);
     });

@@ -22,13 +22,13 @@ fn bench_exact_vs_sketch(c: &mut Criterion) {
         let exact = PolynomialSphereDsh::new(d, &p);
         let exact_pair = exact.sample(&mut rng);
         group.bench_with_input(BenchmarkId::new("exact", d), &d, |b, _| {
-            b.iter(|| black_box(exact_pair.data.hash(black_box(x.as_slice()))))
+            b.iter(|| black_box(exact_pair.data.hash(black_box(x.as_slice()))));
         });
 
         let sketched = SketchedPolynomialSphereDsh::new(d, &p, 1024);
         let sketch_pair = sketched.sample(&mut rng);
         group.bench_with_input(BenchmarkId::new("tensorsketch_m1024", d), &d, |b, _| {
-            b.iter(|| black_box(sketch_pair.data.hash(black_box(x.as_slice()))))
+            b.iter(|| black_box(sketch_pair.data.hash(black_box(x.as_slice()))));
         });
     }
     group.finish();

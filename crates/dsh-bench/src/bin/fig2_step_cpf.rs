@@ -50,7 +50,7 @@ fn main() {
     headers.extend(widths.iter().map(|w| format!("f_w={w}")));
     headers.push("mixture".into());
     headers.push("monte-carlo".into());
-    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let header_refs: Vec<&str> = headers.iter().map(std::string::String::as_str).collect();
     let mut report = Report::new(
         "Figure 2 — unimodal CPFs (left) mixed into a step-function CPF (right)",
         &header_refs,

@@ -102,8 +102,7 @@ fn main() {
         let rho = fam.cpf(0.0).ln() / fam.cpf(alpha).ln();
         let bound = (1.0 - alpha) / (1.0 + alpha);
         report.note(format!(
-            "tightness of rho-: filter t={t} at alpha={alpha}: rho = {:.3} vs lower bound {:.3}",
-            rho, bound
+            "tightness of rho-: filter t={t} at alpha={alpha}: rho = {rho:.3} vs lower bound {bound:.3}"
         ));
     }
     report.emit("tab3_lower_bound");

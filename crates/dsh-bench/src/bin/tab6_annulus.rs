@@ -38,8 +38,7 @@ fn main() {
         ],
     );
     report.note(format!(
-        "alpha_max = {alpha_max}, reporting interval [{:.3}, {:.3}], Thm 6.4 rho = {:.3}",
-        lo, hi, rho
+        "alpha_max = {alpha_max}, reporting interval [{lo:.3}, {hi:.3}], Thm 6.4 rho = {rho:.3}"
     ));
 
     for &(n, t) in &[(500usize, 1.3f64), (2000, 1.5), (8000, 1.7)] {

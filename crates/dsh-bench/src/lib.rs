@@ -25,7 +25,7 @@ impl Report {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         Report {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
         }
@@ -44,7 +44,7 @@ impl Report {
 
     /// Render the aligned table.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, c) in widths.iter_mut().zip(row) {
                 *w = (*w).max(c.len());

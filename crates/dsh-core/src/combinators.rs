@@ -66,7 +66,7 @@ impl<P: ?Sized + 'static> DshFamily<P> for Concat<P> {
             "Concat[{}]",
             self.parts
                 .iter()
-                .map(|p| p.name())
+                .map(|p| DshFamily::name(p))
                 .collect::<Vec<_>>()
                 .join(", ")
         )

@@ -75,7 +75,7 @@ impl BitVector {
     /// A uniformly random point of `{0,1}^d`.
     pub fn random(rng: &mut dyn Rng, d: usize) -> Self {
         let mut blocks = vec![0u64; d.div_ceil(64)];
-        for b in blocks.iter_mut() {
+        for b in &mut blocks {
             *b = rng.next_u64();
         }
         let mut v = BitVector { blocks, len: d };
@@ -324,6 +324,7 @@ pub fn get_bit(blocks: &[u64], i: usize) -> bool {
 /// (a sequential `iter().sum()` is a single floating-point dependency
 /// chain the compiler may not reassociate). The summation order differs
 /// from a left-to-right fold by O(eps) reassociation error only.
+// lint: hot
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
     let mut acc = [0.0f64; 4];
@@ -344,6 +345,7 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 /// Euclidean distance between two equal-length rows (same blocked
 /// evaluation as [`dot`]).
+// lint: hot
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
     let mut acc = [0.0f64; 4];
@@ -369,6 +371,7 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 /// Hamming distance between two equal-length packed rows (xor-popcount
 /// over the blocks; tail bits beyond the dimension must be zero, which
 /// every [`BitVector`]/[`BitStore`] constructor guarantees).
+// lint: hot
 pub fn hamming(a: &[u64], b: &[u64]) -> u64 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
     a.iter()
@@ -642,6 +645,7 @@ impl DenseStore {
     /// appended to `out` (cleared first) in `ids` order — the
     /// candidate-verification pass of the index layer as one contiguous
     /// sweep instead of per-pair boxed-closure calls.
+    // lint: hot
     pub fn dot_many(&self, ids: &[usize], q: &[f64], out: &mut Vec<f64>) {
         assert_eq!(q.len(), self.dim, "dimension mismatch");
         out.clear();
@@ -653,6 +657,7 @@ impl DenseStore {
 
     /// Blocked batch kernel: Euclidean distances of rows `ids` to `q`
     /// (same contract as [`DenseStore::dot_many`]).
+    // lint: hot
     pub fn euclidean_many(&self, ids: &[usize], q: &[f64], out: &mut Vec<f64>) {
         assert_eq!(q.len(), self.dim, "dimension mismatch");
         out.clear();
@@ -668,7 +673,7 @@ impl From<Vec<DenseVector>> for DenseStore {
     /// points must share one dimension; an empty input yields an empty
     /// store of dimension 0.
     fn from(points: Vec<DenseVector>) -> Self {
-        let dim = points.first().map_or(0, |p| p.dim());
+        let dim = points.first().map_or(0, DenseVector::dim);
         let mut data = Vec::with_capacity(points.len() * dim);
         for p in &points {
             assert_eq!(p.dim(), dim, "mixed dimensions");
@@ -851,6 +856,7 @@ impl BitStore {
 
     /// Blocked batch kernel: Hamming distances of rows `ids` to `q`,
     /// appended to `out` (cleared first) in `ids` order.
+    // lint: hot
     pub fn hamming_many(&self, ids: &[usize], q: &[u64], out: &mut Vec<u64>) {
         assert_eq!(q.len(), self.blocks_per_row, "dimension mismatch");
         out.clear();
@@ -866,7 +872,7 @@ impl From<Vec<BitVector>> for BitStore {
     /// points must share one dimension; an empty input yields an empty
     /// store of dimension 0.
     fn from(points: Vec<BitVector>) -> Self {
-        let dim = points.first().map_or(0, |p| p.len());
+        let dim = points.first().map_or(0, BitVector::len);
         let mut store = BitStore::with_dim(dim);
         store.blocks.reserve(points.len() * store.blocks_per_row);
         for p in &points {

@@ -307,7 +307,7 @@ fn monomial_mixture(d: usize, coeffs: &[f64]) -> Mixture<[u64]> {
     items.push((pad, Box::new(NeverCollide)));
     // Renormalize away accumulated float error so Mixture's sum check holds.
     let s: f64 = items.iter().map(|(p, _)| p).sum();
-    for (p, _) in items.iter_mut() {
+    for (p, _) in &mut items {
         *p /= s;
     }
     Mixture::new(items)

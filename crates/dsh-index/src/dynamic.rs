@@ -206,6 +206,7 @@ impl<S: AppendStore> DynamicIndex<S> {
         rng: &mut dyn Rng,
         threads: usize,
     ) -> Self {
+        // lint: allow(panic) — build-time parameter validation, not on the query path
         assert!(l >= 1, "need at least one repetition");
         let pairs: Vec<HasherPair<S::Row>> = (0..l).map(|_| family.sample(rng)).collect();
         Self::with_pairs(pairs, points, threads)
@@ -216,7 +217,9 @@ impl<S: AppendStore> DynamicIndex<S> {
     /// (one sequential sampling pass, `N` shard indexes), which is what
     /// makes a sharded index bit-compatible with an unsharded one.
     pub(crate) fn with_pairs(pairs: Vec<HasherPair<S::Row>>, points: S, threads: usize) -> Self {
+        // lint: allow(panic) — build-time parameter validation, not on the query path
         assert!(!pairs.is_empty(), "need at least one repetition");
+        // lint: allow(panic) — build-time capacity check, not on the query path
         assert!(
             points.len() < u32::MAX as usize,
             "point count exceeds index capacity"
@@ -315,6 +318,7 @@ impl<S: AppendStore> DynamicIndex<S> {
         Q: AsRow<Row = S::Row> + ?Sized,
     {
         let id = self.store.len();
+        // lint: allow(panic) — contract: u32 slot ids cap the index at 4B points
         assert!(id < u32::MAX as usize, "point count exceeds index capacity");
         self.store.push_row(p.as_row());
         let row = self.store.row(id);
@@ -333,6 +337,7 @@ impl<S: AppendStore> DynamicIndex<S> {
     /// reclaimed by the next [`DynamicIndex::compact`]. Returns `false`
     /// when `id` was already removed.
     pub fn remove(&mut self, id: usize) -> bool {
+        // lint: allow(panic) — contract: removing a never-inserted id is a caller bug
         assert!(id < self.store.len(), "id {id} was never inserted");
         self.tombstones.kill(id)
     }
@@ -488,6 +493,7 @@ impl<S: AppendStore> DynamicIndex<S> {
         retrieval_limit: Option<usize>,
         scratch: &mut QueryScratch,
     ) -> (Vec<usize>, QueryStats) {
+        // lint: allow(panic) — contract: scratch must come from this index's new_scratch
         assert_eq!(
             scratch.len(),
             self.store.len(),
@@ -534,6 +540,7 @@ impl<S: AppendStore> DynamicIndex<S> {
     /// returning the per-probe partial stats (merged by the caller — see
     /// [`QueryStats::merge`] for why `distinct_candidates` is left to the
     /// end of the whole query).
+    // lint: hot
     fn consume_bucket(
         &self,
         bucket: &[u32],

@@ -131,6 +131,7 @@ impl<S: AppendStore + Clone> ShardedState<S> {
         retrieval_limit: Option<usize>,
         scratch: &mut QueryScratch,
     ) -> (Vec<usize>, QueryStats) {
+        // lint: allow(panic) — contract: scratch must come from this index's make_scratch
         assert_eq!(
             scratch.len(),
             self.total_rows,
@@ -193,6 +194,7 @@ impl<S: AppendStore + Clone> ShardedState<S> {
     /// k-way-merging the shard buckets in ascending global-id order —
     /// the exact entry sequence the unsharded bucket holds. Tombstoned
     /// entries are skipped without counting, like the unsharded path.
+    // lint: hot
     fn consume_merged(
         &self,
         probe: &mut [(usize, &[u32], usize)],
@@ -206,6 +208,8 @@ impl<S: AppendStore + Clone> ShardedState<S> {
             tables_probed: 1,
             ..QueryStats::default()
         };
+        #[cfg(debug_assertions)]
+        let mut prev_global: Option<usize> = None;
         loop {
             if part.candidates_retrieved >= remaining {
                 break;
@@ -220,6 +224,18 @@ impl<S: AppendStore + Clone> ShardedState<S> {
                 }
             }
             let Some((global, slot)) = best else { break };
+            // Dynamic complement to dsh-lint: the merge must emit globals
+            // in strictly ascending order (each shard bucket is ascending
+            // and shards partition ids by residue), or parity with the
+            // unsharded entry sequence is silently lost.
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(
+                    prev_global.is_none_or(|p| p < global),
+                    "k-way merge emitted global {global} after {prev_global:?}"
+                );
+                prev_global = Some(global);
+            }
             probe[slot].2 += 1;
             if !self.shards[probe[slot].0].is_live(global / n) {
                 continue;
@@ -317,6 +333,9 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
 
     /// [`ShardedIndex::build`] with an explicit worker-thread count (the
     /// built index does not depend on it).
+    // `points` is taken by value to match every other build front-end,
+    // even though sharding copies rows out instead of consuming the store.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn build_with_threads(
         family: &(impl DshFamily<S::Row> + ?Sized),
         points: S,
@@ -325,8 +344,11 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
         rng: &mut dyn Rng,
         threads: usize,
     ) -> Self {
+        // lint: allow(panic) — build-time parameter validation, not on the query path
         assert!(num_shards >= 1, "need at least one shard");
+        // lint: allow(panic) — build-time parameter validation, not on the query path
         assert!(l >= 1, "need at least one repetition");
+        // lint: allow(panic) — build-time capacity check, not on the query path
         assert!(
             points.len() < u32::MAX as usize,
             "point count exceeds index capacity"
@@ -380,7 +402,16 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
         next.epoch = self.state.epoch + 1;
         let next = Arc::new(next);
         self.state = Arc::clone(&next);
-        *self.published.write().expect("publication cell poisoned") = next;
+        // Poisoning policy: the cell only ever holds a fully-formed
+        // `Arc<ShardedState>` and the critical section is a single pointer
+        // swap, so a panic while the lock is held cannot leave a torn
+        // value — the last published epoch stays consistent. Recover the
+        // guard instead of propagating the poison, which would otherwise
+        // take down every wait-free reader forever after one writer panic.
+        *self
+            .published
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = next;
     }
 
     /// Number of shards.
@@ -469,6 +500,7 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
     {
         let mut next = self.fork();
         let id = next.total_rows;
+        // lint: allow(panic) — contract: u32 slot ids cap the index at 4B points
         assert!(id < u32::MAX as usize, "point count exceeds index capacity");
         let n = next.num_shards();
         let local = Arc::make_mut(&mut next.shards[id % n]).insert(p);
@@ -481,6 +513,7 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
     /// Remove global id `id` (tombstone; reclaimed at the next
     /// compaction). Returns `false` when already removed.
     pub fn remove(&mut self, id: usize) -> bool {
+        // lint: allow(panic) — contract: removing a never-inserted id is a caller bug
         assert!(id < self.state.total_rows, "id {id} was never inserted");
         let mut next = self.fork();
         let n = next.num_shards();
@@ -505,7 +538,7 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
             .iter()
             .map(|sh| sh.delta_rows() > 0 && sh.delta_has_live_rows())
             .collect();
-        for shard in next.shards.iter_mut() {
+        for shard in &mut next.shards {
             if shard.delta_rows() == 0 {
                 continue;
             }
@@ -821,9 +854,20 @@ impl<S: AppendStore + Clone> Clone for ReaderHandle<S> {
 
 impl<S: AppendStore + Clone> ReaderHandle<S> {
     /// The latest published snapshot.
+    ///
+    /// Survives a poisoned cell: publication is a single pointer swap of a
+    /// fully-formed `Arc`, so even if a writer panicked mid-publish the
+    /// cell still holds a consistent epoch (see the poisoning policy on
+    /// `ShardedIndex::publish`). Readers must never be taken down by a
+    /// writer-side panic.
     pub fn snapshot(&self) -> Snapshot<S> {
         Snapshot {
-            state: Arc::clone(&self.cell.read().expect("publication cell poisoned")),
+            state: Arc::clone(
+                &self
+                    .cell
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            ),
         }
     }
 }
@@ -1003,6 +1047,42 @@ mod tests {
         idx.seal();
         idx.compact();
         assert_eq!(handle.snapshot().epoch(), 4);
+    }
+
+    #[test]
+    fn readers_and_writers_survive_a_poisoned_publication_cell() {
+        let d = 32;
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            4,
+            2,
+            &mut seeded(0x5A35),
+        );
+        let p = BitVector::random(&mut seeded(0x5A36), d);
+        idx.insert(&p);
+        let handle = idx.reader_handle();
+        assert_eq!(handle.snapshot().epoch(), 1);
+
+        // Poison the publication cell: a thread panics while holding the
+        // write guard, exactly what a panicking writer mid-publish does.
+        let cell = Arc::clone(&idx.published);
+        let t = std::thread::spawn(move || {
+            let _guard = cell.write().unwrap();
+            panic!("writer dies while holding the publication lock");
+        });
+        assert!(t.join().is_err(), "thread must have panicked");
+
+        // Readers still observe the last published epoch (the cell always
+        // holds a fully-formed Arc; see the poisoning policy on publish)...
+        let snap = handle.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.len(), 1);
+        // ...and the writer can keep publishing through the poisoned cell.
+        let q = BitVector::random(&mut seeded(0x5A37), d);
+        idx.insert(&q);
+        assert_eq!(handle.snapshot().epoch(), 2);
+        assert_eq!(handle.snapshot().len(), 2);
     }
 
     #[test]

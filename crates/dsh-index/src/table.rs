@@ -158,6 +158,19 @@ impl CsrBuckets {
             prefix_starts[p] = prefix_starts[p].max(prefix_starts[p - 1]);
         }
 
+        // Dynamic complement to dsh-lint: `bucket`'s binary search and the
+        // prefix table are only correct over a strictly ascending directory
+        // with monotone offsets. The sentinel entry is excluded — a real
+        // u64::MAX key may legitimately share its key value.
+        debug_assert!(
+            dir[..distinct].windows(2).all(|w| w[0].0 < w[1].0),
+            "CSR directory keys must be strictly increasing"
+        );
+        debug_assert!(
+            dir.windows(2).all(|w| w[0].1 <= w[1].1),
+            "CSR directory offsets must be non-decreasing"
+        );
+
         CsrBuckets {
             dir,
             ids,
@@ -166,6 +179,7 @@ impl CsrBuckets {
         }
     }
 
+    // lint: hot
     #[inline]
     fn prefix_of(key: u64, bits: u32) -> u64 {
         if bits == 0 {
@@ -192,6 +206,7 @@ impl CsrBuckets {
     }
 
     /// The bucket for `key` (empty slice when no data point hashed to it).
+    // lint: hot
     #[inline]
     pub(crate) fn bucket(&self, key: u64) -> &[u32] {
         let p = Self::prefix_of(key, self.prefix_bits) as usize;
@@ -238,6 +253,7 @@ impl QueryScratch {
 
     /// Start a new query: bump the generation, resetting the stamps on the
     /// (once per 255 queries) wrap-around.
+    // lint: hot
     pub(crate) fn begin(&mut self) -> u8 {
         if self.generation == u8::MAX {
             self.stamps.fill(0);
@@ -249,6 +265,7 @@ impl QueryScratch {
 
     /// Mark point `i` visited in the query of `generation`; returns `true`
     /// on the first visit, `false` for a duplicate.
+    // lint: hot
     #[inline]
     pub(crate) fn visit(&mut self, i: usize, generation: u8) -> bool {
         if self.stamps[i] == generation {
@@ -334,7 +351,9 @@ impl<S: PointStore> HashTableIndex<S> {
         rng: &mut dyn Rng,
         threads: usize,
     ) -> Self {
+        // lint: allow(panic) — build-time parameter validation, not on the query path
         assert!(l >= 1, "need at least one repetition");
+        // lint: allow(panic) — build-time capacity check, not on the query path
         assert!(
             points.len() < u32::MAX as usize,
             "point count exceeds index capacity"
@@ -388,6 +407,7 @@ impl<S: PointStore> HashTableIndex<S> {
         retrieval_limit: Option<usize>,
         scratch: &mut QueryScratch,
     ) -> (Vec<usize>, QueryStats) {
+        // lint: allow(panic) — contract: scratch must come from this index's new_scratch
         assert_eq!(
             scratch.len(),
             self.points.len(),

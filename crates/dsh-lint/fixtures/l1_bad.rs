@@ -1,0 +1,17 @@
+// L1 fixture: panic-shaped calls on the serving path, no annotations.
+// Expected findings: unwrap (line 7), expect (line 8), panic (line 10),
+// todo (line 12), assert (line 14).
+pub struct Q;
+impl Q {
+    pub fn probe(&self, v: Option<u32>) -> u32 {
+        let a = v.unwrap();
+        let b = v.expect("present");
+        if a > b {
+            panic!("impossible");
+        } else if a == b {
+            todo!()
+        }
+        assert!(a < b);
+        a
+    }
+}

@@ -1,0 +1,27 @@
+// L1 fixture: the same shapes made acceptable — annotated contract
+// panics, debug_assert, infallible patterns, and panic-looking tokens
+// hidden in strings, comments, and test code. Expected findings: none.
+pub struct Q;
+impl Q {
+    pub fn probe(&self, v: Option<u32>) -> u32 {
+        // lint: allow(panic) — contract: caller must pass Some, checked upstream
+        let a = v.unwrap();
+        let b = v.unwrap_or(0); // infallible: not an unwrap() call
+        debug_assert!(a >= b, "debug-only invariant is fine");
+        // The banned names inside a string literal are data, not calls:
+        let _msg = "never call .unwrap() or panic!() here";
+        let _raw = r#"an .expect("x") inside a raw string"#;
+        // and commented-out code is not code: x.unwrap(); panic!("no");
+        a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        v.expect("tests are exempt");
+    }
+}

@@ -1,0 +1,18 @@
+// L2 fixture: allocation-shaped calls inside a `// lint: hot` kernel.
+// Expected findings: one per line 7-14 (Vec::new, vec!, .to_vec,
+// .collect, .clone, format!, Box::new, String::from), plus a dangling
+// marker on line 18.
+// lint: hot
+pub fn kernel(a: &[f64]) -> f64 {
+    let mut buf: Vec<f64> = Vec::new();
+    let lit = vec![0.0f64; 4];
+    let copy = a.to_vec();
+    let doubled: Vec<f64> = a.iter().map(|x| x * 2.0).collect();
+    let again = copy.clone();
+    let label = format!("{}", a.len());
+    let boxed = Box::new(a.len());
+    let owned = String::from(label.as_str());
+    buf.extend(lit);
+    doubled.len() as f64 + again.len() as f64 + *boxed as f64 + owned.len() as f64
+}
+// lint: hot

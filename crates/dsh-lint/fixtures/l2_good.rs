@@ -1,0 +1,30 @@
+// L2 fixture: a hot kernel that only reuses caller-provided buffers,
+// plus allocation-looking tokens that must not trip the lint (path-form
+// Arc::clone, strings, allocation in a non-hot neighbor, an annotated
+// one-time allocation). Expected findings: none.
+use std::sync::Arc;
+
+// lint: hot
+pub fn kernel(ids: &[usize], q: &[f64], out: &mut Vec<f64>) {
+    out.clear(); // clearing and pushing into the caller's buffer is fine
+    for &i in ids {
+        out.push(q[i % q.len()]);
+    }
+    let _msg = "calling .collect() or vec![] in a string is data";
+    // commented-out code is not code: let v = q.to_vec();
+}
+
+// lint: hot
+pub fn shares(handle: &Arc<Vec<f64>>) -> Arc<Vec<f64>> {
+    // Path-form Arc::clone is a refcount bump, not an allocation.
+    let shared = Arc::clone(handle);
+    // lint: allow(alloc) — one-time growth amortized across the batch
+    let grown = handle.to_vec();
+    drop(grown);
+    shared
+}
+
+pub fn cold_neighbor(a: &[f64]) -> Vec<f64> {
+    // Not marked hot: allocate freely.
+    a.to_vec()
+}

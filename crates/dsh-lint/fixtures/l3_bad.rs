@@ -1,0 +1,35 @@
+// L3 fixture: publication-discipline violations on a ShardedIndex-shaped
+// type. Expected findings: `forget_to_publish` never reaches publish
+// (line 15), early `return` in a publishing method (line 21), and a
+// let-bound publication-cell guard live across a compact call (line 31).
+pub struct ShardedIndex {
+    published: u64,
+    state: u64,
+}
+
+impl ShardedIndex {
+    fn publish(&mut self, next: u64) {
+        self.state = next;
+    }
+
+    pub fn forget_to_publish(&mut self, next: u64) {
+        self.state = next;
+    }
+
+    pub fn bail_early(&mut self, next: u64) -> bool {
+        if next == 0 {
+            return false;
+        }
+        self.publish(next);
+        true
+    }
+
+    fn compact(&mut self) {}
+
+    pub fn guard_across_compact(&mut self) {
+        let guard = self.published.read();
+        self.compact();
+        drop(guard);
+        self.publish(1);
+    }
+}

@@ -1,0 +1,49 @@
+// L3 fixture: the publication protocol done right — direct publishes,
+// transitive publishes through a same-type method, `&self` accessors and
+// private helpers exempt, a statement-scoped temporary guard, and an
+// annotated read-only method. Expected findings: none.
+pub struct ShardedIndex {
+    published: u64,
+    state: u64,
+}
+
+impl ShardedIndex {
+    fn publish(&mut self, next: u64) {
+        // A temporary guard dies at the end of this statement, before any
+        // clone/compact could run.
+        self.published.write().store(next);
+        self.state = next;
+    }
+
+    pub fn insert(&mut self, next: u64) {
+        self.publish(next);
+    }
+
+    pub fn seal(&mut self) {
+        self.seal_with_threads(4);
+    }
+
+    pub fn seal_with_threads(&mut self, _threads: usize) {
+        self.publish(self.state + 1);
+    }
+
+    // lint: allow(publish) — read-only maintenance: rebuilds caches, state unchanged
+    pub fn warm_caches(&mut self) {
+        self.state = self.state;
+    }
+
+    pub fn len(&self) -> u64 {
+        // &self methods are not write methods; no publish required.
+        self.state
+    }
+
+    fn compact(&mut self) {
+        // Private helpers may skip publishing; their public callers publish.
+        self.state += 1;
+    }
+
+    pub fn compact_and_publish(&mut self) {
+        self.compact();
+        self.publish(self.state);
+    }
+}

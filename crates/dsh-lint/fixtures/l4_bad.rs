@@ -1,0 +1,8 @@
+// L4 fixture: a crate root missing `#![forbid(unsafe_code)]` with a bare
+// `unsafe` block. Expected findings: missing forbid attribute (line 1),
+// unannotated unsafe (line 6).
+pub fn peek(v: &[u8]) -> u8 {
+    // An unsafe block with no SAFETY comment anywhere near it.
+    let first = unsafe { *v.as_ptr() };
+    first
+}

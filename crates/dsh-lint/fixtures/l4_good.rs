@@ -1,0 +1,11 @@
+// L4 fixture: forbid attribute present, and the only `unsafe` token is
+// covered by a SAFETY comment. Expected findings: none.
+#![forbid(unsafe_code)]
+
+pub fn peek(v: &[u8]) -> u8 {
+    // SAFETY: v is non-empty by the caller's contract; as_ptr of a live
+    // slice is valid to read for len bytes.
+    let first = unsafe { *v.as_ptr() };
+    let _decoy = "the word unsafe in a string is data";
+    first
+}

@@ -1,0 +1,20 @@
+// Lexer stress fixture on a serving path: every banned name appears only
+// inside strings, raw strings, comments, byte strings, or as a raw
+// identifier — plus lifetimes, char literals with braces, and nested
+// block comments. Expected findings: none.
+pub fn tricky<'a>(input: &'a str) -> &'a str {
+    let _s = "x.unwrap() and panic!(\"quoted\")";
+    let _r = r#"y.expect("fenced") inside r#..# with a " inside"#;
+    let _rr = r##"nested "#..."# fence with .collect() text"##;
+    let _b = b"bytes with unwrap() text";
+    let _c = '{'; // a brace char must not unbalance scopes
+    let _c2 = '}';
+    let _esc = '\u{1F600}';
+    /* block comment with panic!() and /* a nested comment: todo!() */ still closed */
+    // commented-out code: input.to_string().unwrap();
+    fn r#unwrap(x: &str) -> &str {
+        // A raw identifier named unwrap is not the method.
+        x
+    }
+    r#unwrap(input)
+}

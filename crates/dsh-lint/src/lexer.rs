@@ -1,0 +1,594 @@
+//! A hand-rolled Rust lexer sufficient for token-level lint analysis.
+//!
+//! This is deliberately **not** a full Rust lexer — it is the minimal
+//! tokenizer that makes the lint passes in [`crate::lints`] sound against
+//! the constructs that defeat naive `grep`-style scanning:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//!   kept as [`TokenKind::Comment`] tokens so marker/annotation comments
+//!   (`// lint: hot`, `// lint: allow(...)`, `// SAFETY:`) stay addressable;
+//! * string literals with escapes, raw strings with arbitrary `#` fences
+//!   (`r"…"`, `r#"…"#`, `br##"…"##`), byte strings, and char literals —
+//!   so `".unwrap()"` inside a string, or a `'{'` char literal, can never
+//!   produce a phantom token or desynchronize brace matching;
+//! * lifetimes vs char literals (`'a` vs `'a'`), including escaped chars;
+//! * raw identifiers (`r#fn` lexes as the identifier `fn` flagged raw,
+//!   never as the keyword).
+//!
+//! Numbers, identifiers, and punctuation are tokenized coarsely (one
+//! punct char per token); the scope parser in [`crate::scope`] works on
+//! that granularity.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `self`, ...). Raw
+    /// identifiers (`r#type`) are lexed as `Ident` with `raw = true`.
+    Ident,
+    /// A lifetime (`'a`, `'static`), text without the leading quote.
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+    /// One punctuation character (`.`, `!`, `&`, `:`, `#`, ...).
+    Punct,
+    /// `{`
+    OpenBrace,
+    /// `}`
+    CloseBrace,
+    /// `(`
+    OpenParen,
+    /// `)`
+    CloseParen,
+    /// `[`
+    OpenBracket,
+    /// `]`
+    CloseBracket,
+    /// A whole comment, text included (`// ...` or `/* ... */`).
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The token text. For comments this is the full comment including
+    /// delimiters; for string/char literals it includes the quotes; for
+    /// lifetimes it excludes the leading `'`.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// True for raw identifiers (`r#ident`).
+    pub raw: bool,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: impl Into<String>, line: u32) -> Self {
+        Token {
+            kind,
+            text: text.into(),
+            line,
+            raw: false,
+        }
+    }
+
+    /// True when the token is the identifier `name` (raw or not).
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Character cursor with line tracking.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex `src` into a token stream. Never fails: malformed input (e.g. an
+/// unterminated string at EOF) produces a best-effort literal token so
+/// the lint pass can still run over the rest of the workspace.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek_at(1) == Some('/') => {
+                out.push(Token::new(TokenKind::Comment, line_comment(&mut cur), line));
+            }
+            '/' if cur.peek_at(1) == Some('*') => {
+                out.push(Token::new(
+                    TokenKind::Comment,
+                    block_comment(&mut cur),
+                    line,
+                ));
+            }
+            '"' => out.push(Token::new(
+                TokenKind::Literal,
+                string_literal(&mut cur),
+                line,
+            )),
+            '\'' => out.push(char_or_lifetime(&mut cur, line)),
+            'r' | 'b' => out.push(r_or_b_prefixed(&mut cur, line)),
+            c if c.is_ascii_digit() => {
+                out.push(Token::new(TokenKind::Literal, number(&mut cur), line));
+            }
+            c if is_ident_start(c) => {
+                out.push(Token::new(TokenKind::Ident, ident(&mut cur), line));
+            }
+            '{' => {
+                cur.bump();
+                out.push(Token::new(TokenKind::OpenBrace, "{", line));
+            }
+            '}' => {
+                cur.bump();
+                out.push(Token::new(TokenKind::CloseBrace, "}", line));
+            }
+            '(' => {
+                cur.bump();
+                out.push(Token::new(TokenKind::OpenParen, "(", line));
+            }
+            ')' => {
+                cur.bump();
+                out.push(Token::new(TokenKind::CloseParen, ")", line));
+            }
+            '[' => {
+                cur.bump();
+                out.push(Token::new(TokenKind::OpenBracket, "[", line));
+            }
+            ']' => {
+                cur.bump();
+                out.push(Token::new(TokenKind::CloseBracket, "]", line));
+            }
+            c => {
+                cur.bump();
+                out.push(Token::new(TokenKind::Punct, c.to_string(), line));
+            }
+        }
+    }
+    out
+}
+
+fn line_comment(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        s.push(c);
+        cur.bump();
+    }
+    s
+}
+
+fn block_comment(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    // Consume the opening `/*`.
+    s.push(cur.bump().unwrap_or_default());
+    s.push(cur.bump().unwrap_or_default());
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                s.push(cur.bump().unwrap_or_default());
+                s.push(cur.bump().unwrap_or_default());
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                s.push(cur.bump().unwrap_or_default());
+                s.push(cur.bump().unwrap_or_default());
+            }
+            (Some(c), _) => {
+                s.push(c);
+                cur.bump();
+            }
+            (None, _) => break, // unterminated at EOF: tolerate
+        }
+    }
+    s
+}
+
+/// A `"…"` string with `\` escapes; the cursor sits on the opening quote.
+fn string_literal(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    s.push(cur.bump().unwrap_or_default()); // opening "
+    while let Some(c) = cur.bump() {
+        s.push(c);
+        match c {
+            '\\' => {
+                if let Some(e) = cur.bump() {
+                    s.push(e);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    s
+}
+
+/// A raw string; the cursor sits on the first `#` or `"` after the `r`
+/// prefix (already consumed into `prefix`).
+fn raw_string(cur: &mut Cursor, mut prefix: String) -> String {
+    let mut hashes = 0usize;
+    while cur.eat('#') {
+        prefix.push('#');
+        hashes += 1;
+    }
+    if !cur.eat('"') {
+        return prefix; // not actually a raw string; tolerate
+    }
+    prefix.push('"');
+    loop {
+        match cur.bump() {
+            None => break, // unterminated at EOF: tolerate
+            Some('"') => {
+                prefix.push('"');
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    prefix.push('#');
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(c) => prefix.push(c),
+        }
+    }
+    prefix
+}
+
+/// Disambiguate `'a` (lifetime) from `'a'` / `'\n'` / `'{'` (char).
+fn char_or_lifetime(cur: &mut Cursor, line: u32) -> Token {
+    cur.bump(); // the opening '
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume through the closing quote.
+            let mut s = String::from("'");
+            while let Some(c) = cur.bump() {
+                s.push(c);
+                if c == '\\' {
+                    if let Some(e) = cur.bump() {
+                        s.push(e);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            Token::new(TokenKind::Literal, s, line)
+        }
+        Some(c) if is_ident_start(c) => {
+            // Could be `'a'` (char) or `'abc` (lifetime): consume the
+            // ident run, then look for a closing quote.
+            let mut name = String::new();
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    name.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if cur.eat('\'') {
+                Token::new(TokenKind::Literal, format!("'{name}'"), line)
+            } else {
+                Token::new(TokenKind::Lifetime, name, line)
+            }
+        }
+        Some(c) => {
+            // Non-ident char literal: `'{'`, `'3'`, `' '`, ...
+            cur.bump();
+            let closed = cur.eat('\'');
+            let mut s = format!("'{c}");
+            if closed {
+                s.push('\'');
+            }
+            Token::new(TokenKind::Literal, s, line)
+        }
+        None => Token::new(TokenKind::Punct, "'", line),
+    }
+}
+
+/// Tokens starting with `r` or `b`: raw strings, byte strings, byte
+/// chars, raw identifiers, or plain identifiers starting with r/b.
+fn r_or_b_prefixed(cur: &mut Cursor, line: u32) -> Token {
+    let c0 = cur.peek().unwrap_or_default();
+    let c1 = cur.peek_at(1);
+    match (c0, c1) {
+        // r"..." or r#"..."#
+        ('r', Some('"')) => {
+            cur.bump();
+            Token::new(TokenKind::Literal, raw_string(cur, "r".into()), line)
+        }
+        ('r', Some('#')) => {
+            // r#"..."# (raw string) vs r#ident (raw identifier).
+            if cur.peek_at(2).is_some_and(|c| c == '"' || c == '#') {
+                cur.bump();
+                Token::new(TokenKind::Literal, raw_string(cur, "r".into()), line)
+            } else {
+                cur.bump(); // r
+                cur.bump(); // #
+                let mut t = Token::new(TokenKind::Ident, ident(cur), line);
+                t.raw = true;
+                t
+            }
+        }
+        // b"..." / b'x' / br"..." / br#"..."#
+        ('b', Some('"')) => {
+            cur.bump();
+            cur.bump();
+            let mut s = string_literal_tail(cur);
+            s.insert_str(0, "b\"");
+            Token::new(TokenKind::Literal, s, line)
+        }
+        ('b', Some('\'')) => {
+            cur.bump();
+            let t = char_or_lifetime(cur, line);
+            Token::new(TokenKind::Literal, format!("b{}", t.text), line)
+        }
+        ('b', Some('r')) if matches!(cur.peek_at(2), Some('"') | Some('#')) => {
+            cur.bump();
+            cur.bump();
+            Token::new(TokenKind::Literal, raw_string(cur, "br".into()), line)
+        }
+        _ => Token::new(TokenKind::Ident, ident(cur), line),
+    }
+}
+
+/// The tail of a `"…"` string after the opening quote has been consumed.
+fn string_literal_tail(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.bump() {
+        s.push(c);
+        match c {
+            '\\' => {
+                if let Some(e) = cur.bump() {
+                    s.push(e);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    s
+}
+
+fn ident(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            s.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// A numeric literal, coarsely: digits, `_`, type suffixes, hex/oct/bin
+/// bodies, a fraction only when `.` is followed by a digit (so `0..n`
+/// range syntax stays two punct tokens), and signed exponents.
+fn number(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            s.push(c);
+            cur.bump();
+            // Signed exponent: `1e-5`, `2.5E+10`.
+            if (c == 'e' || c == 'E')
+                && matches!(cur.peek(), Some('+') | Some('-'))
+                && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                && !s.starts_with("0x")
+                && !s.starts_with("0b")
+                && !s.starts_with("0o")
+            {
+                s.push(cur.bump().unwrap_or_default());
+            }
+        } else if c == '.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) && !s.contains('.')
+        {
+            s.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `.unwrap()` inside a string must not produce ident tokens.
+        assert_eq!(idents(r#"let s = "x.unwrap()";"#), vec!["let", "s"]);
+        // Escaped quotes do not terminate early.
+        assert_eq!(
+            idents(r#"let s = "a\".unwrap()\"b"; y"#),
+            vec!["let", "s", "y"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r#"contains "quotes" and .unwrap()"#; tail"####;
+        assert_eq!(idents(src), vec!["let", "s", "tail"]);
+        let src2 = "let s = r\"plain raw .unwrap()\"; tail";
+        assert_eq!(idents(src2), vec!["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        assert_eq!(
+            idents(r#"let s = b"unwrap"; let c = b'u'; tail"#),
+            vec!["let", "s", "let", "c", "tail"]
+        );
+        let src = r###"let s = br#"raw bytes"#; tail"###;
+        assert_eq!(idents(src), vec!["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let toks = lex("// x.unwrap()\nlet y = 1; /* panic!() */ z");
+        let comment_count = toks.iter().filter(|t| t.kind == TokenKind::Comment).count();
+        assert_eq!(comment_count, 2);
+        assert_eq!(
+            idents("// x.unwrap()\nlet y = 1; /* panic!() */ z"),
+            vec!["let", "y", "z"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(
+            idents("/* outer /* inner */ still comment */ code"),
+            vec!["code"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let b = '{'; let s = 'static_life; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static_life"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal && t.text.starts_with('\''))
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'{'"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        assert_eq!(
+            idents(r"let c = '\n'; let q = '\''; let u = '\u{1F600}'; tail"),
+            vec!["let", "c", "let", "q", "let", "u", "tail"]
+        );
+    }
+
+    #[test]
+    fn brace_chars_do_not_unbalance() {
+        // One open + one close from code; the literals contribute none.
+        let toks = lex("{ let a = '{'; let b = \"}}}\"; }");
+        let opens = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::OpenBrace)
+            .count();
+        let closes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::CloseBrace)
+            .count();
+        assert_eq!((opens, closes), (1, 1));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = lex("let r#fn = 1; r#unwrap");
+        let raws: Vec<_> = toks
+            .iter()
+            .filter(|t| t.raw)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(raws, vec!["fn", "unwrap"]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        // `0..n` must not swallow the range dots as a fraction.
+        let k = kinds("for i in 0..n {}");
+        assert!(k.contains(&(TokenKind::Punct, ".".into())));
+        assert_eq!(
+            idents("let x = 1.5e-3f64; let y = 0xFF_u8;"),
+            vec!["let", "x", "let", "y"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        let _ = lex("let s = \"unterminated");
+        let _ = lex("let s = r#\"unterminated");
+        let _ = lex("/* unterminated");
+        let _ = lex("let c = '");
+    }
+}

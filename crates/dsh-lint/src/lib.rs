@@ -1,0 +1,186 @@
+//! `dsh-lint` — repo-specific static analysis for the dsh workspace.
+//!
+//! A pure-`std`, zero-dependency lint pass (no `syn`, no registry crates —
+//! the build environment is offline) built from a hand-rolled Rust lexer
+//! ([`lexer`]) and a lightweight brace/function-scope parser ([`scope`]).
+//! It mechanically enforces the invariants that PRs 4–5 documented only in
+//! comments:
+//!
+//! | id | lint | escape hatch |
+//! |----|------|--------------|
+//! | L1 | panic-freedom on serving-path modules (`shard.rs`, `table.rs`, `dynamic.rs`, `parallel.rs`): no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`unreachable!`/`assert!` family outside tests | `// lint: allow(panic) — <reason>` |
+//! | L2 | no allocation-shaped calls inside functions marked `// lint: hot` | `// lint: allow(alloc) — <reason>` |
+//! | L3 | every public `&mut self` method on `ShardedIndex` reaches `publish` on all return paths, and no publication-cell `.read()`/`.write()` guard is live across a shard clone / seal / compact | `// lint: allow(publish)` / `// lint: allow(guard)` |
+//! | L4 | crate roots carry `#![forbid(unsafe_code)]`; any `unsafe` token needs a `// SAFETY:` comment within 3 lines | the `SAFETY:` comment itself |
+//! | M1 | `lint:` comment that parses as neither `hot` nor `allow(<id>) — <reason>` | fix the marker |
+//!
+//! Run it over the workspace with `cargo run -p dsh-lint -- check`; output
+//! is machine-readable, one finding per line: `<file>:<line>: <lint-id>
+//! <message>`. Exit code 0 = clean, 1 = findings, 2 = usage error.
+//!
+//! `debug_assert!` is deliberately *not* flagged by L1: the debug asserts
+//! are the dynamic complement to this static pass and compile out of
+//! release serving builds.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod lints;
+pub mod scope;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding. Renders as `<file>:<line>: <lint> <message>`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(file: &str, line: u32, lint: &'static str, message: String) -> Self {
+        Finding {
+            file: file.to_string(),
+            line,
+            lint,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Where the publication-discipline lint (L3) applies.
+pub struct PublicationSpec {
+    /// Path suffix of the file holding the publication protocol.
+    pub file_suffix: String,
+    /// Self type whose public `&mut self` methods must publish.
+    pub type_name: String,
+    /// The method every write path must reach.
+    pub publish_method: String,
+    /// Field names of the publication cell (`.read()`/`.write()` on a
+    /// chain mentioning one of these is treated as a cell guard).
+    pub cell_fields: Vec<String>,
+}
+
+/// Lint configuration. [`Config::repo_default`] encodes this repository's
+/// serving-path layout; tests construct custom configs to aim the lints at
+/// fixture paths.
+pub struct Config {
+    /// Path suffixes of serving-path modules subject to L1.
+    pub serving_suffixes: Vec<String>,
+    /// L3 target, or `None` to disable the publication lint.
+    pub publication: Option<PublicationSpec>,
+}
+
+impl Config {
+    /// The configuration for this repository: L1 over the dsh-index
+    /// serving modules, L3 over `ShardedIndex` in `shard.rs`.
+    pub fn repo_default() -> Self {
+        Config {
+            serving_suffixes: vec![
+                "crates/dsh-index/src/shard.rs".to_string(),
+                "crates/dsh-index/src/table.rs".to_string(),
+                "crates/dsh-index/src/dynamic.rs".to_string(),
+                "crates/dsh-index/src/parallel.rs".to_string(),
+            ],
+            publication: Some(PublicationSpec {
+                file_suffix: "crates/dsh-index/src/shard.rs".to_string(),
+                type_name: "ShardedIndex".to_string(),
+                publish_method: "publish".to_string(),
+                cell_fields: vec!["published".to_string(), "cell".to_string()],
+            }),
+        }
+    }
+}
+
+/// Lint one file's source text. `rel_path` selects which lints apply
+/// (serving-path membership, crate-root checks) — pass repo-relative
+/// paths with forward slashes.
+pub fn check_file_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let scope = scope::FileScope::parse(source);
+    let mut findings = lints::check_file(rel_path, &scope, cfg);
+    findings.sort();
+    findings
+}
+
+/// Walk a workspace root and lint every `.rs` file under `src/`,
+/// `crates/`, `tests/`, and `examples/`, skipping `target/`, `vendor/`
+/// (API-subset shims, out of scope), and lint fixture corpora. Findings
+/// come back sorted by (file, line).
+pub fn check_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
+    let mut files = BTreeSet::new();
+    for top in ["src", "crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = rel_path(root, &path);
+        let source = fs::read_to_string(&path)?;
+        findings.extend(check_file_source(&rel, &source, cfg));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+fn walk(dir: &Path, out: &mut BTreeSet<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor" | "fixtures" | ".git") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.insert(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_display_is_machine_readable() {
+        let f = Finding::new("crates/x/src/lib.rs", 12, "L1", "boom".to_string());
+        assert_eq!(f.to_string(), "crates/x/src/lib.rs:12: L1 boom");
+    }
+
+    #[test]
+    fn rel_path_uses_forward_slashes() {
+        let root = Path::new("/a/b");
+        let p = Path::new("/a/b/crates/x/src/lib.rs");
+        assert_eq!(rel_path(root, p), "crates/x/src/lib.rs");
+    }
+}

@@ -1,0 +1,557 @@
+//! The lint passes. Each operates on the token stream + scope structure
+//! of one file ([`FileScope`]) and emits [`Finding`]s.
+//!
+//! Lint ids:
+//!
+//! * **L1** — panic-freedom on serving-path modules: no `unwrap`/`expect`
+//!   method calls and no `panic!`/`todo!`/`unimplemented!`/`unreachable!`/
+//!   `assert!`-family macros outside test code. Escape hatch:
+//!   `// lint: allow(panic) — <reason>` on the same or previous line.
+//!   (`debug_assert!` is deliberately permitted — it is the dynamic
+//!   complement to these lints and compiles out of release serving builds.)
+//! * **L2** — no-alloc hot kernels: a function preceded by `// lint: hot`
+//!   must not contain allocation-shaped calls (`Vec::new`, `vec![`,
+//!   `.to_vec()`, `.collect()`, `.clone()`, `format!`, `Box::new`,
+//!   `String::from`, ...). Escape: `// lint: allow(alloc) — <reason>`.
+//! * **L3** — publication discipline on the sharded index: every public
+//!   `&mut self` method on the configured type must reach the `publish`
+//!   method (directly or via other methods of the same type) and must not
+//!   bail early (`return` / `?`); and no `.read()`/`.write()` guard on the
+//!   publication cell may be live across a shard clone, seal, or compact.
+//!   Escapes: `allow(publish)`, `allow(guard)`.
+//! * **L4** — unsafe hygiene: every crate root carries
+//!   `#![forbid(unsafe_code)]`, and any `unsafe` token needs a `// SAFETY:`
+//!   comment on the same line or within the three lines above.
+//! * **M1** — a comment contains `lint:` but parses as neither `hot` nor
+//!   a well-formed `allow(<id>) — <reason>`.
+
+use crate::lexer::TokenKind;
+use crate::scope::{FileScope, Function, Receiver};
+use crate::{Config, Finding};
+use std::collections::HashSet;
+
+/// Run every applicable pass over one parsed file.
+pub fn check_file(rel: &str, scope: &FileScope, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Indexes of non-comment tokens: pattern matching happens over this
+    // view so interleaved comments never split a `.unwrap()` sequence.
+    let view: Vec<usize> = scope
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind != TokenKind::Comment)
+        .map(|(i, _)| i)
+        .collect();
+
+    for (line, raw) in &scope.malformed_markers {
+        out.push(Finding::new(
+            rel,
+            *line,
+            "M1",
+            format!("malformed `lint:` marker {raw:?}; expected `lint: hot` or `lint: allow(<id>) — <reason>`"),
+        ));
+    }
+
+    let test_path = is_test_path(rel);
+    if !test_path {
+        if cfg
+            .serving_suffixes
+            .iter()
+            .any(|s| rel.ends_with(s.as_str()))
+        {
+            l1_panic_freedom(rel, scope, &view, &mut out);
+        }
+        l2_hot_kernels(rel, scope, &view, &mut out);
+        if let Some(spec) = &cfg.publication {
+            if rel.ends_with(spec.file_suffix.as_str()) {
+                l3_publication(rel, scope, &view, spec, &mut out);
+                l3_guard_scope(rel, scope, &view, spec, &mut out);
+            }
+        }
+    }
+
+    l4_unsafe_tokens(rel, scope, &view, &mut out);
+    if !test_path && (rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs")) {
+        l4_forbid_attr(rel, scope, &view, &mut out);
+    }
+
+    out
+}
+
+/// Integration-test / bench / example sources are exempt from the
+/// serving-path lints (only the `unsafe` scan still applies).
+fn is_test_path(rel: &str) -> bool {
+    ["tests/", "benches/", "examples/"]
+        .iter()
+        .any(|d| rel.starts_with(d) || rel.contains(&format!("/{d}")))
+}
+
+// ---------------------------------------------------------------------------
+// L1
+// ---------------------------------------------------------------------------
+
+const L1_METHODS: [&str; 2] = ["unwrap", "expect"];
+const L1_MACROS: [&str; 7] = [
+    "panic",
+    "todo",
+    "unimplemented",
+    "unreachable",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+fn l1_panic_freedom(rel: &str, scope: &FileScope, view: &[usize], out: &mut Vec<Finding>) {
+    for w in view.windows(3) {
+        let (a, b, c) = (
+            &scope.tokens[w[0]],
+            &scope.tokens[w[1]],
+            &scope.tokens[w[2]],
+        );
+        if scope.in_test[w[0]] {
+            continue;
+        }
+        // Method form: `.unwrap(` / `.expect(`
+        if a.is_punct('.')
+            && b.kind == TokenKind::Ident
+            && !b.raw
+            && L1_METHODS.contains(&b.text.as_str())
+            && c.kind == TokenKind::OpenParen
+            && !scope.is_allowed("panic", b.line)
+        {
+            out.push(Finding::new(
+                rel,
+                b.line,
+                "L1",
+                format!(
+                    "`.{}()` on serving path; make it infallible or annotate `// lint: allow(panic) — <reason>`",
+                    b.text
+                ),
+            ));
+        }
+        // Macro form: `panic!` etc.
+        if a.kind == TokenKind::Ident
+            && !a.raw
+            && L1_MACROS.contains(&a.text.as_str())
+            && b.is_punct('!')
+            && !scope.is_allowed("panic", a.line)
+        {
+            out.push(Finding::new(
+                rel,
+                a.line,
+                "L1",
+                format!(
+                    "`{}!` on serving path; use `debug_assert!` or annotate `// lint: allow(panic) — <reason>`",
+                    a.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L2
+// ---------------------------------------------------------------------------
+
+const L2_METHODS: [&str; 5] = ["to_vec", "collect", "clone", "to_string", "to_owned"];
+const L2_MACROS: [&str; 2] = ["vec", "format"];
+const L2_TYPES: [&str; 5] = ["Vec", "Box", "String", "HashMap", "BTreeMap"];
+const L2_CTORS: [&str; 4] = ["new", "with_capacity", "from", "from_iter"];
+
+fn l2_hot_kernels(rel: &str, scope: &FileScope, view: &[usize], out: &mut Vec<Finding>) {
+    for (marker_line, bound) in &scope.hot_markers {
+        let func = bound.and_then(|fi| scope.functions.iter().find(|f| f.fn_idx == fi));
+        let Some(f) = func else {
+            out.push(Finding::new(
+                rel,
+                *marker_line,
+                "L2",
+                "dangling `// lint: hot` marker: no function definition follows".to_string(),
+            ));
+            continue;
+        };
+        let Some((open, close)) = f.body else {
+            out.push(Finding::new(
+                rel,
+                *marker_line,
+                "L2",
+                format!("`// lint: hot` marker on bodiless declaration `{}`", f.name),
+            ));
+            continue;
+        };
+        if f.is_test {
+            continue;
+        }
+        l2_scan_body(rel, scope, view, open, close, &f.name, out);
+    }
+}
+
+fn l2_scan_body(
+    rel: &str,
+    scope: &FileScope,
+    view: &[usize],
+    open: usize,
+    close: usize,
+    fn_name: &str,
+    out: &mut Vec<Finding>,
+) {
+    let body: Vec<usize> = view
+        .iter()
+        .copied()
+        .filter(|&i| i > open && i < close)
+        .collect();
+    let mut flag = |line: u32, what: &str| {
+        if !scope.is_allowed("alloc", line) {
+            out.push(Finding::new(
+                rel,
+                line,
+                "L2",
+                format!(
+                    "{what} in hot kernel `{fn_name}`; hoist the allocation to the caller or annotate `// lint: allow(alloc) — <reason>`"
+                ),
+            ));
+        }
+    };
+    for (k, &i) in body.iter().enumerate() {
+        let t = &scope.tokens[i];
+        let next = body.get(k + 1).map(|&j| &scope.tokens[j]);
+        // Macro form: `vec![` / `format!(`
+        if t.kind == TokenKind::Ident
+            && !t.raw
+            && L2_MACROS.contains(&t.text.as_str())
+            && next.is_some_and(|n| n.is_punct('!'))
+        {
+            flag(t.line, &format!("`{}!` allocation", t.text));
+        }
+        // Method form: `.collect(` / `.clone(` / ... (path form such as
+        // `Arc::clone(&...)` has no leading dot and is not flagged here).
+        if t.is_punct('.') {
+            if let (Some(n1), Some(n2)) = (next, body.get(k + 2).map(|&j| &scope.tokens[j])) {
+                if n1.kind == TokenKind::Ident
+                    && !n1.raw
+                    && L2_METHODS.contains(&n1.text.as_str())
+                    && n2.kind == TokenKind::OpenParen
+                {
+                    flag(n1.line, &format!("`.{}()` call", n1.text));
+                }
+            }
+        }
+        // Path form: `Vec::new(` / `Box::new(` / `String::from(` / ...
+        if t.kind == TokenKind::Ident && !t.raw && L2_TYPES.contains(&t.text.as_str()) {
+            let rest: Vec<&crate::lexer::Token> = (k + 1..(k + 5).min(body.len()))
+                .map(|m| &scope.tokens[body[m]])
+                .collect();
+            if rest.len() == 4
+                && rest[0].is_punct(':')
+                && rest[1].is_punct(':')
+                && rest[2].kind == TokenKind::Ident
+                && L2_CTORS.contains(&rest[2].text.as_str())
+                && rest[3].kind == TokenKind::OpenParen
+            {
+                flag(
+                    t.line,
+                    &format!("`{}::{}()` allocation", t.text, rest[2].text),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L3 — publication discipline
+// ---------------------------------------------------------------------------
+
+fn l3_publication(
+    rel: &str,
+    scope: &FileScope,
+    view: &[usize],
+    spec: &crate::PublicationSpec,
+    out: &mut Vec<Finding>,
+) {
+    let methods: Vec<&Function> = scope
+        .functions
+        .iter()
+        .filter(|f| !f.is_trait_impl && f.impl_type.as_deref() == Some(spec.type_name.as_str()))
+        .collect();
+
+    // Fixpoint: a method "publishes" if it calls `self.publish(...)` or any
+    // other already-publishing method of the same type (e.g. `seal()` →
+    // `seal_with_threads()` → `publish()`).
+    let mut publishing: HashSet<&str> = HashSet::new();
+    publishing.insert(spec.publish_method.as_str());
+    loop {
+        let mut changed = false;
+        for m in &methods {
+            if publishing.contains(m.name.as_str()) {
+                continue;
+            }
+            let Some((open, close)) = m.body else {
+                continue;
+            };
+            let calls_publishing = self_calls(scope, view, open, close)
+                .iter()
+                .any(|callee| publishing.contains(callee.as_str()));
+            if calls_publishing {
+                publishing.insert(m.name.as_str());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for m in &methods {
+        if !m.is_pub || m.receiver != Receiver::RefMut || m.is_test {
+            continue;
+        }
+        if !publishing.contains(m.name.as_str()) {
+            if !scope.is_allowed("publish", m.line) {
+                out.push(Finding::new(
+                    rel,
+                    m.line,
+                    "L3",
+                    format!(
+                        "pub `&mut self` method `{}::{}` never reaches `{}`; every write must publish a new epoch (or annotate `// lint: allow(publish) — <reason>`)",
+                        spec.type_name, m.name, spec.publish_method
+                    ),
+                ));
+            }
+            continue;
+        }
+        // The method publishes on its fall-through path; early exits would
+        // skip it, so flag `return` / `?` inside the body.
+        let Some((open, close)) = m.body else {
+            continue;
+        };
+        for &i in view.iter().filter(|&&i| i > open && i < close) {
+            let t = &scope.tokens[i];
+            let early = (t.is_ident("return") && !t.raw) || t.is_punct('?');
+            if early && !scope.is_allowed("publish", t.line) {
+                out.push(Finding::new(
+                    rel,
+                    t.line,
+                    "L3",
+                    format!(
+                        "early exit (`{}`) in publishing method `{}::{}` may skip `{}`; restructure or annotate `// lint: allow(publish) — <reason>`",
+                        t.text, spec.type_name, m.name, spec.publish_method
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Names called as `self.<name>(` within a body token range.
+fn self_calls(scope: &FileScope, view: &[usize], open: usize, close: usize) -> Vec<String> {
+    let body: Vec<usize> = view
+        .iter()
+        .copied()
+        .filter(|&i| i > open && i < close)
+        .collect();
+    let mut calls = Vec::new();
+    for w in body.windows(4) {
+        let (a, b, c, d) = (
+            &scope.tokens[w[0]],
+            &scope.tokens[w[1]],
+            &scope.tokens[w[2]],
+            &scope.tokens[w[3]],
+        );
+        if a.is_ident("self")
+            && b.is_punct('.')
+            && c.kind == TokenKind::Ident
+            && d.kind == TokenKind::OpenParen
+        {
+            calls.push(c.text.clone());
+        }
+    }
+    calls
+}
+
+// ---------------------------------------------------------------------------
+// L3 — guard-scope analysis
+// ---------------------------------------------------------------------------
+
+/// Calls that must never run while a publication-cell guard is live: they
+/// clone shards, rebuild segments, or re-enter the cell and would either
+/// stall wait-free readers or self-deadlock.
+const L3_GUARD_BANNED: [&str; 6] = [
+    "fork",
+    "seal",
+    "seal_with_threads",
+    "compact",
+    "compact_with_threads",
+    "consolidate",
+];
+
+fn l3_guard_scope(
+    rel: &str,
+    scope: &FileScope,
+    view: &[usize],
+    spec: &crate::PublicationSpec,
+    out: &mut Vec<Finding>,
+) {
+    for (k, &i) in view.iter().enumerate() {
+        let t = &scope.tokens[i];
+        if scope.in_test[i] || !t.is_punct('.') {
+            continue;
+        }
+        let Some(&m_idx) = view.get(k + 1) else {
+            continue;
+        };
+        let m = &scope.tokens[m_idx];
+        if !(m.is_ident("read") || m.is_ident("write")) {
+            continue;
+        }
+        if !view
+            .get(k + 2)
+            .is_some_and(|&j| scope.tokens[j].kind == TokenKind::OpenParen)
+        {
+            continue;
+        }
+        // Is the receiver chain the publication cell? Look back a few
+        // tokens for one of the configured field names.
+        let chain_hit = (k.saturating_sub(6)..k).any(|p| {
+            let pt = &scope.tokens[view[p]];
+            pt.kind == TokenKind::Ident && spec.cell_fields.contains(&pt.text)
+        });
+        if !chain_hit {
+            continue;
+        }
+        let guard_line = m.line;
+        if scope.is_allowed("guard", guard_line) {
+            continue;
+        }
+
+        // Liveness range: a let-bound guard lives to the end of the
+        // enclosing block; a temporary guard to the end of the statement.
+        let live_end = if statement_has_let(scope, view, k) {
+            enclosing_block_close(scope, i)
+        } else {
+            statement_end(scope, view, k)
+        };
+
+        for &j in view.iter().filter(|&&j| j > i && j < live_end) {
+            let bt = &scope.tokens[j];
+            let banned = if bt.kind == TokenKind::Ident && !bt.raw {
+                let next_open =
+                    next_view_token(scope, view, j).is_some_and(|n| n.kind == TokenKind::OpenParen);
+                (L3_GUARD_BANNED.contains(&bt.text.as_str()) && next_open)
+                    || (bt.text == "make_mut")
+            } else {
+                false
+            };
+            if banned && !scope.is_allowed("guard", bt.line) {
+                out.push(Finding::new(
+                    rel,
+                    bt.line,
+                    "L3",
+                    format!(
+                        "`{}` while a `.{}()` guard on the publication cell (line {}) is live; drop the guard first (or annotate `// lint: allow(guard) — <reason>`)",
+                        bt.text, m.text, guard_line
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn next_view_token<'a>(
+    scope: &'a FileScope,
+    view: &[usize],
+    after: usize,
+) -> Option<&'a crate::lexer::Token> {
+    view.iter().find(|&&j| j > after).map(|&j| &scope.tokens[j])
+}
+
+/// Whether the statement containing view index `k` starts with `let`
+/// (scan back to the previous `;` / `{` / `}`).
+fn statement_has_let(scope: &FileScope, view: &[usize], k: usize) -> bool {
+    for p in (0..k).rev() {
+        let t = &scope.tokens[view[p]];
+        match t.kind {
+            TokenKind::OpenBrace | TokenKind::CloseBrace => return false,
+            TokenKind::Punct if t.text == ";" => return false,
+            TokenKind::Ident if t.text == "let" && !t.raw => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Token index of the `}` closing the innermost block containing token `i`.
+fn enclosing_block_close(scope: &FileScope, i: usize) -> usize {
+    scope
+        .brace_match
+        .iter()
+        .filter(|(&open, &close)| open < i && i < close)
+        .map(|(_, &close)| close)
+        .min()
+        .unwrap_or(scope.tokens.len())
+}
+
+/// Token index just past the end of the statement containing view index
+/// `k`: the next `;` at the same nesting level.
+fn statement_end(scope: &FileScope, view: &[usize], k: usize) -> usize {
+    let mut depth = 0i32;
+    for &j in &view[k..] {
+        let t = &scope.tokens[j];
+        match t.kind {
+            TokenKind::OpenBrace | TokenKind::OpenParen | TokenKind::OpenBracket => depth += 1,
+            TokenKind::CloseBrace | TokenKind::CloseParen | TokenKind::CloseBracket => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            TokenKind::Punct if t.text == ";" && depth == 0 => return j,
+            _ => {}
+        }
+    }
+    scope.tokens.len()
+}
+
+// ---------------------------------------------------------------------------
+// L4
+// ---------------------------------------------------------------------------
+
+fn l4_unsafe_tokens(rel: &str, scope: &FileScope, view: &[usize], out: &mut Vec<Finding>) {
+    for &i in view {
+        let t = &scope.tokens[i];
+        if t.is_ident("unsafe") && !t.raw {
+            let covered =
+                (t.line.saturating_sub(3)..=t.line).any(|l| scope.safety_lines.contains_key(&l));
+            if !covered {
+                out.push(Finding::new(
+                    rel,
+                    t.line,
+                    "L4",
+                    "`unsafe` without a `// SAFETY:` comment on the same line or within 3 lines above"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+fn l4_forbid_attr(rel: &str, scope: &FileScope, view: &[usize], out: &mut Vec<Finding>) {
+    let has = view.windows(8).any(|w| {
+        let t = |n: usize| &scope.tokens[w[n]];
+        t(0).is_punct('#')
+            && t(1).is_punct('!')
+            && t(2).kind == TokenKind::OpenBracket
+            && t(3).is_ident("forbid")
+            && t(4).kind == TokenKind::OpenParen
+            && t(5).is_ident("unsafe_code")
+            && t(6).kind == TokenKind::CloseParen
+            && t(7).kind == TokenKind::CloseBracket
+    });
+    if !has {
+        out.push(Finding::new(
+            rel,
+            1,
+            "L4",
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+}

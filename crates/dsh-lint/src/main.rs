@@ -1,0 +1,57 @@
+//! CLI for the workspace linter: `cargo run -p dsh-lint -- check [--root PATH]`.
+//!
+//! Exit codes: 0 = clean, 1 = findings printed (one per line, as
+//! `<file>:<line>: <lint-id> <message>`), 2 = usage / IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let Some(cmd) = iter.next() else {
+        return usage("missing subcommand");
+    };
+    if cmd != "check" {
+        return usage(&format!("unknown subcommand `{cmd}`"));
+    }
+    // Default root: the workspace this binary lives in, so `cargo run -p
+    // dsh-lint -- check` works from any directory.
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root requires a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let cfg = dsh_lint::Config::repo_default();
+    match dsh_lint::check_workspace(&root, &cfg) {
+        Ok(findings) if findings.is_empty() => {
+            println!("dsh-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("dsh-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("dsh-lint: error walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("dsh-lint: {err}");
+    eprintln!("usage: dsh-lint check [--root PATH]");
+    ExitCode::from(2)
+}

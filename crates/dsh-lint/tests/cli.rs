@@ -1,0 +1,71 @@
+//! End-to-end exit-code contract of the `dsh-lint` binary — the thing CI
+//! actually gates on: 0 = clean, 1 = findings (one `file:line: LINT
+//! message` per stdout line), 2 = usage error. The fixture tests pin each
+//! lint's behaviour at the library level; this pins the CLI wrapper.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// A throwaway workspace root under the target temp dir, deleted on drop.
+struct TempRoot(PathBuf);
+
+impl TempRoot {
+    fn new(tag: &str, lib_rs: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dsh-lint-cli-{}-{tag}", std::process::id()));
+        let src = dir.join("src");
+        fs::create_dir_all(&src).expect("creating temp workspace");
+        fs::write(src.join("lib.rs"), lib_rs).expect("writing temp lib.rs");
+        TempRoot(dir)
+    }
+}
+
+impl Drop for TempRoot {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dsh-lint"))
+        .args(args)
+        .output()
+        .expect("running dsh-lint binary")
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let root = TempRoot::new(
+        "clean",
+        "#![forbid(unsafe_code)]\n\npub fn id(x: u64) -> u64 {\n    x\n}\n",
+    );
+    let out = run(&["check", "--root", root.0.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {:?}", out.stderr);
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "dsh-lint: clean\n");
+}
+
+#[test]
+fn violating_workspace_exits_one_with_machine_readable_line() {
+    // Crate root missing `#![forbid(unsafe_code)]` — an L4 finding.
+    let root = TempRoot::new("bad", "pub fn id(x: u64) -> u64 {\n    x\n}\n");
+    let out = run(&["check", "--root", root.0.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {:?}", out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("src/lib.rs:1: L4 crate root is missing"),
+        "stdout: {stdout:?}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &[] as &[&str],
+        &["frobnicate"],
+        &["check", "--root"],
+        &["check", "--frobnicate"],
+    ] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixture-driven self-tests: each known-bad fixture must produce exactly
+//! the expected findings (lint id + line), each known-good fixture none.
+//! Fixture sources are lexed/linted as text — they never compile, and the
+//! workspace walk skips `fixtures/` directories.
+
+use dsh_lint::{check_file_source, Config, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Aim the lints at a fixture by giving it a serving-path file name; the
+/// config is the real repo default, so fixtures exercise exactly the
+/// production configuration.
+fn lint(name: &str, as_path: &str) -> Vec<Finding> {
+    check_file_source(as_path, &fixture(name), &Config::repo_default())
+}
+
+const SERVING: &str = "crates/dsh-index/src/table.rs";
+const SHARD: &str = "crates/dsh-index/src/shard.rs";
+const ROOT: &str = "crates/dsh-core/src/lib.rs";
+
+fn ids_and_lines(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.lint, f.line)).collect()
+}
+
+#[test]
+fn l1_bad_flags_every_panic_shape() {
+    let f = lint("l1_bad.rs", SERVING);
+    assert_eq!(
+        ids_and_lines(&f),
+        vec![("L1", 7), ("L1", 8), ("L1", 10), ("L1", 12), ("L1", 14)],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn l1_good_is_clean() {
+    let f = lint("l1_good.rs", SERVING);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn l2_bad_flags_every_allocation_shape() {
+    let f = lint("l2_bad.rs", SERVING);
+    let expected: Vec<(&str, u32)> = (7..=14)
+        .map(|l| ("L2", l))
+        .chain([("L2", 18)]) // dangling marker
+        .collect();
+    assert_eq!(ids_and_lines(&f), expected, "{f:#?}");
+}
+
+#[test]
+fn l2_good_is_clean() {
+    let f = lint("l2_good.rs", SERVING);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn l2_markers_work_outside_serving_modules() {
+    // Hot kernels are checked wherever the marker appears (dsh-core's
+    // distance kernels are not serving-path files).
+    let f = lint("l2_bad.rs", "crates/dsh-core/src/points.rs");
+    assert!(f.iter().all(|x| x.lint == "L2"), "{f:#?}");
+    assert_eq!(f.len(), 9, "{f:#?}");
+}
+
+#[test]
+fn l3_bad_flags_publication_violations() {
+    let f = lint("l3_bad.rs", SHARD);
+    // forget_to_publish (15), early return (21), compact under guard (31)
+    // — plus the same file is a serving module, which is fine: no panic
+    // shapes in it.
+    let l3: Vec<(&str, u32)> = ids_and_lines(&f)
+        .into_iter()
+        .filter(|(id, _)| *id == "L3")
+        .collect();
+    assert_eq!(l3, vec![("L3", 15), ("L3", 21), ("L3", 31)], "{f:#?}");
+    assert_eq!(f.len(), l3.len(), "only L3 findings expected: {f:#?}");
+}
+
+#[test]
+fn l3_good_is_clean() {
+    let f = lint("l3_good.rs", SHARD);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn l3_is_scoped_to_the_shard_file() {
+    // The same violations in a non-publication file are not L3 findings.
+    let f = lint("l3_bad.rs", "crates/dsh-euclidean/src/lib.rs");
+    assert!(f.iter().all(|x| x.lint != "L3"), "{f:#?}");
+}
+
+#[test]
+fn l4_bad_flags_missing_forbid_and_bare_unsafe() {
+    let f = lint("l4_bad.rs", ROOT);
+    assert_eq!(ids_and_lines(&f), vec![("L4", 1), ("L4", 6)], "{f:#?}");
+}
+
+#[test]
+fn l4_good_is_clean() {
+    let f = lint("l4_good.rs", ROOT);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn tricky_tokens_produce_no_findings() {
+    let f = lint("tricky_tokens.rs", SERVING);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn findings_render_machine_readable_lines() {
+    let f = lint("l1_bad.rs", SERVING);
+    let first = f.first().expect("l1_bad has findings").to_string();
+    assert!(
+        first.starts_with("crates/dsh-index/src/table.rs:7: L1 "),
+        "{first}"
+    );
+}

@@ -1,0 +1,38 @@
+//! Meta-test: the workspace itself must be lint-clean. This is the same
+//! check CI runs via `cargo run -p dsh-lint -- check`, kept as a test so
+//! plain `cargo test` catches a regression (a stray unwrap on the serving
+//! path, a lost forbid attribute) without the extra CI job.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = dsh_lint::Config::repo_default();
+    let findings = dsh_lint::check_workspace(&root, &cfg).expect("walking the workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn serving_modules_exist_where_the_config_points() {
+    // Guard against silent rot: if a serving-path module is renamed, the
+    // lint would silently stop covering it. Fail loudly instead.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = dsh_lint::Config::repo_default();
+    for suffix in &cfg.serving_suffixes {
+        assert!(
+            root.join(suffix).is_file(),
+            "serving-path module {suffix} no longer exists; update Config::repo_default"
+        );
+    }
+    let spec = cfg.publication.expect("repo default configures L3");
+    assert!(root.join(&spec.file_suffix).is_file());
+}

@@ -203,16 +203,16 @@ impl std::fmt::Display for Polynomial {
                 0 => write!(f, "{a}")?,
                 1 => {
                     if a == 1.0 {
-                        write!(f, "t")?
+                        write!(f, "t")?;
                     } else {
-                        write!(f, "{a}t")?
+                        write!(f, "{a}t")?;
                     }
                 }
                 _ => {
                     if a == 1.0 {
-                        write!(f, "t^{i}")?
+                        write!(f, "t^{i}")?;
                     } else {
-                        write!(f, "{a}t^{i}")?
+                        write!(f, "{a}t^{i}")?;
                     }
                 }
             }

@@ -174,6 +174,7 @@ fn verify_snapshot<S, P>(
 /// threads snapshot-and-verify until it finishes, each re-verifying its
 /// first-held snapshot at the end.
 #[allow(clippy::too_many_arguments)] // one knob per soak dimension
+#[allow(clippy::needless_pass_by_value)] // owned datasets keep call sites one-liners
 fn soak<S, P, F, M>(
     family: &F,
     empty: impl Fn() -> S + Sync,

@@ -268,7 +268,7 @@ mod tests {
         group.sample_size(10);
         group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
         group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
-            b.iter(|| black_box(x * 2))
+            b.iter(|| black_box(x * 2));
         });
         group.finish();
     }

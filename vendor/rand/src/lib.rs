@@ -81,7 +81,7 @@ impl<R: Rng + ?Sized> Rng for &mut R {
 
     #[inline]
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 
@@ -98,7 +98,7 @@ impl<R: Rng + ?Sized> Rng for Box<R> {
 
     #[inline]
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 
