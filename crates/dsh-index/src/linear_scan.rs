@@ -57,6 +57,7 @@ impl<S: PointStore> LinearScan<S> {
     /// Remove point `id` from every future scan (tombstone; the row
     /// itself is retained). Returns `false` when already removed.
     pub fn remove(&mut self, id: usize) -> bool {
+        // lint: allow(panic) — caller contract: only previously-inserted ids may be removed
         assert!(id < self.points.len(), "id {id} was never inserted");
         self.tombstones.kill(id)
     }

@@ -179,7 +179,6 @@ impl CsrBuckets {
         }
     }
 
-    // lint: hot
     #[inline]
     fn prefix_of(key: u64, bits: u32) -> u64 {
         if bits == 0 {
@@ -265,7 +264,6 @@ impl QueryScratch {
 
     /// Mark point `i` visited in the query of `generation`; returns `true`
     /// on the first visit, `false` for a duplicate.
-    // lint: hot
     #[inline]
     pub(crate) fn visit(&mut self, i: usize, generation: u8) -> bool {
         if self.stamps[i] == generation {

@@ -1,6 +1,8 @@
-// L4 fixture: forbid attribute present, and the only `unsafe` token is
-// covered by a SAFETY comment. Expected findings: none.
-#![forbid(unsafe_code)]
+// L4 fixture, kernel-module regime: this file is listed under
+// `[kernel] modules`, so the crate root may relax `forbid(unsafe_code)`
+// to `deny(unsafe_code)`, and `unsafe` tokens are permitted as long as
+// each carries a SAFETY comment. Expected findings (kernel config): none.
+#![deny(unsafe_code)]
 
 pub fn peek(v: &[u8]) -> u8 {
     // SAFETY: v is non-empty by the caller's contract; as_ptr of a live

@@ -1,7 +1,8 @@
 // Lexer stress fixture on a serving path: every banned name appears only
 // inside strings, raw strings, comments, byte strings, or as a raw
-// identifier — plus lifetimes, char literals with braces, and nested
-// block comments. Expected findings: none.
+// identifier — plus lifetimes, char literals with braces, nested block
+// comments, `>>` generic closes, and labeled-loop lifetimes. Expected
+// findings: none.
 pub fn tricky<'a>(input: &'a str) -> &'a str {
     let _s = "x.unwrap() and panic!(\"quoted\")";
     let _r = r#"y.expect("fenced") inside r#..# with a " inside"#;
@@ -17,4 +18,39 @@ pub fn tricky<'a>(input: &'a str) -> &'a str {
         x
     }
     r#unwrap(input)
+}
+
+/// Double and triple `>` generic closes must lex as single `>` tokens —
+/// a lexer that emits a shift token here would desync the type parser.
+pub fn nested_generics(rows: &[&[u64]], z: Option<Option<Option<u64>>>) -> usize {
+    let depth: usize = match z {
+        Some(Some(Some(_))) => 3,
+        Some(Some(None)) => 2,
+        Some(None) => 1,
+        None => 0,
+    };
+    let shifted = (rows.len() as u64) >> 1; // a REAL shift right next door
+    rows.len() + depth + shifted as usize
+}
+
+/// Labeled loops: `'outer:` is a lifetime-looking label, not a char
+/// literal and not a generic bound; `break 'outer value` must not
+/// confuse statement-boundary detection.
+pub fn labeled_loops(limit: usize) -> usize {
+    let mut count = 0;
+    'outer: loop {
+        'inner: for i in 0..limit {
+            if i == 3 {
+                continue 'inner;
+            }
+            if count >= limit {
+                break 'outer;
+            }
+            count += 1;
+        }
+        if limit == 0 {
+            break 'outer;
+        }
+    }
+    count
 }

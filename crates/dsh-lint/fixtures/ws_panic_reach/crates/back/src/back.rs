@@ -1,0 +1,11 @@
+//! Back-end crate: `decode` is benign, but its private helper unwraps.
+//! The L1' finding must land HERE (on the unwrap line) and carry the
+//! full cross-crate chain front.rs:query → back.rs:decode → back.rs:inner.
+
+pub fn decode(x: Option<u64>) -> u64 {
+    inner(x)
+}
+
+fn inner(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

@@ -1,0 +1,7 @@
+//! Serving front-end: `query` is a public entry point (this file is a
+//! configured serving root). It panics nowhere itself — the violation
+//! lives two calls away in the `back` crate.
+
+pub fn query(x: Option<u64>) -> u64 {
+    decode(x)
+}

@@ -1,0 +1,19 @@
+//! Mutual recursion on the way to a panic: serve → even ⇄ odd → boom.
+//! The analysis must terminate on the cycle and the finding's chain must
+//! still be an acyclic path from the root to the panic.
+
+pub fn serve(n: u64) -> u64 {
+    even(n)
+}
+
+fn even(n: u64) -> u64 {
+    if n == 0 { 0 } else { odd(n - 1) }
+}
+
+fn odd(n: u64) -> u64 {
+    if n == 1 { boom() } else { even(n - 1) }
+}
+
+fn boom() -> u64 {
+    panic!("odd path bottomed out")
+}

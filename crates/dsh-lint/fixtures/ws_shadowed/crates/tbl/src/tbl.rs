@@ -1,0 +1,22 @@
+//! Name shadowing: `Table::get` (clean) vs the free function `get`
+//! (panics, but unreachable). `serve` calls `t.get(i)` on a `&Table`
+//! receiver — the resolver must pick the method, and the workspace must
+//! lint clean.
+
+pub struct Table {
+    n: usize,
+}
+
+impl Table {
+    pub fn get(&self, i: usize) -> usize {
+        i.min(self.n)
+    }
+}
+
+fn get(i: usize) -> usize {
+    panic!("free get({i}) must never be on the serving path")
+}
+
+pub fn serve(t: &Table, i: usize) -> usize {
+    t.get(i)
+}

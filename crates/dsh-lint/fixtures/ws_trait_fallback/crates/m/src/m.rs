@@ -1,0 +1,27 @@
+//! Trait-object dispatch: `serve` calls through `&dyn Measure`. The
+//! resolver cannot know which impl runs, so it must conservatively edge
+//! to BOTH impls — and flag the `expect` inside `Risky::eval`.
+
+pub trait Measure {
+    fn eval(&self, x: u64) -> u64;
+}
+
+pub struct Safe;
+
+impl Measure for Safe {
+    fn eval(&self, x: u64) -> u64 {
+        x
+    }
+}
+
+pub struct Risky;
+
+impl Measure for Risky {
+    fn eval(&self, x: u64) -> u64 {
+        x.checked_mul(2).expect("overflow")
+    }
+}
+
+pub fn serve(m: &dyn Measure, x: u64) -> u64 {
+    m.eval(x)
+}

@@ -1,0 +1,17 @@
+//! Hot kernel whose allocation hides two calls down: `kernel` is marked
+//! hot, calls `mid`, which calls `leaf`, which allocates. The L2' finding
+//! must land on the `to_vec` line with chain kernel → mid → leaf.
+
+// lint: hot
+pub fn kernel(xs: &[f64]) -> f64 {
+    mid(xs)
+}
+
+fn mid(xs: &[f64]) -> f64 {
+    leaf(xs)
+}
+
+fn leaf(xs: &[f64]) -> f64 {
+    let v = xs.to_vec();
+    v[0]
+}

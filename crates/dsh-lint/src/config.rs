@@ -1,0 +1,319 @@
+//! `dsh-lint.toml` — the checked-in lint configuration, and its reader.
+//!
+//! The module sets the lints operate on (serving roots, kernel modules,
+//! extra entry points, the publication spec) live in a `dsh-lint.toml`
+//! at the workspace root instead of hardcoded Rust, so covering a new
+//! crate is a one-line config change. The reader is a tiny hand-rolled
+//! TOML-subset parser in the repo's vendored-shim tradition (offline
+//! build, no registry deps): it accepts exactly `[section]` headers,
+//! `key = "string"`, and `key = ["a", "b", ...]` arrays (single- or
+//! multi-line), with `#` comments. Anything else — and any unknown
+//! section or key — is a hard error, so a typo'd config can never
+//! silently disable a lint.
+//!
+//! Schema:
+//!
+//! ```toml
+//! [serving]
+//! roots = ["crates/dsh-index/src/shard.rs"]   # L1': pub fns here are entry points
+//! entry_points = ["ShardedIndex::query"]      # L1': extra roots by name
+//!
+//! [kernel]
+//! modules = []                                # L5: the only files allowed `unsafe`
+//!
+//! [publication]                               # L3 target (section optional)
+//! file = "crates/dsh-index/src/shard.rs"
+//! type = "ShardedIndex"
+//! method = "publish"
+//! cell_fields = ["published", "cell"]
+//! ```
+//!
+//! Every path named by the config must exist under the workspace root —
+//! [`Config::validate_paths`] fails loudly otherwise, so renaming a
+//! serving module away cannot silently shrink lint coverage.
+
+use std::fmt;
+use std::path::Path;
+
+/// Where the publication-discipline lint (L3) applies.
+#[derive(Debug, Clone)]
+pub struct PublicationSpec {
+    /// Path suffix of the file holding the publication protocol.
+    pub file_suffix: String,
+    /// Self type whose public `&mut self` methods must publish.
+    pub type_name: String,
+    /// The method every write path must reach.
+    pub publish_method: String,
+    /// Field names of the publication cell (`.read()`/`.write()` on a
+    /// chain mentioning one of these is treated as a cell guard).
+    pub cell_fields: Vec<String>,
+}
+
+/// Lint configuration, normally read from `dsh-lint.toml` at the
+/// workspace root. Tests construct custom configs to aim the lints at
+/// fixture paths.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path suffixes of serving-root modules: their public functions are
+    /// the L1' entry points, and the files are subject to the local
+    /// panic-shape scan.
+    pub serving_roots: Vec<String>,
+    /// Extra entry-point functions by name: `"Type::method"` or a free
+    /// `"function"` name, matched anywhere in the workspace.
+    pub entry_points: Vec<String>,
+    /// Path suffixes of kernel modules — the only files permitted to
+    /// contain `unsafe` (L5). Crates containing one must carry
+    /// `#![deny(unsafe_code)]` at the root instead of `forbid`.
+    pub kernel_modules: Vec<String>,
+    /// L3 target, or `None` to disable the publication lint.
+    pub publication: Option<PublicationSpec>,
+}
+
+/// A configuration error: parse failure or a path that no longer exists.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dsh-lint.toml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// The empty configuration: no serving roots, no kernel modules, no
+    /// publication spec. Only the location-independent lints (L4, L5 as
+    /// blanket unsafe rejection, M1, M2 and hot-marker L2) apply.
+    pub fn empty() -> Self {
+        Config::default()
+    }
+
+    /// The checked-in repository configuration (`dsh-lint.toml` at the
+    /// workspace root, embedded at compile time so the code default can
+    /// never drift from the file CI reads).
+    pub fn repo_default() -> Self {
+        Config::from_toml(include_str!("../../../dsh-lint.toml"))
+            .expect("checked-in dsh-lint.toml must parse")
+    }
+
+    /// Parse the TOML-subset configuration text.
+    pub fn from_toml(text: &str) -> Result<Self, ConfigError> {
+        let mut cfg = Config::empty();
+        let mut pub_file = None;
+        let mut pub_type = None;
+        let mut pub_method = None;
+        let mut pub_fields = Vec::new();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((ln, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if !matches!(section.as_str(), "serving" | "kernel" | "publication") {
+                    return Err(err(ln, format!("unknown section `[{section}]`")));
+                }
+                continue;
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(err(ln, format!("expected `key = value`, got {line:?}")));
+            };
+            let key = line[..eq].trim().to_string();
+            let mut value = line[eq + 1..].trim().to_string();
+            // A multi-line array: keep consuming lines until the `]`.
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, more) in lines.by_ref() {
+                    let more = strip_comment(more).trim().to_string();
+                    value.push(' ');
+                    value.push_str(&more);
+                    if more.ends_with(']') {
+                        break;
+                    }
+                }
+                if !value.ends_with(']') {
+                    return Err(err(ln, format!("unterminated array for key `{key}`")));
+                }
+            }
+            match (section.as_str(), key.as_str()) {
+                ("serving", "roots") => cfg.serving_roots = parse_array(ln, &value)?,
+                ("serving", "entry_points") => cfg.entry_points = parse_array(ln, &value)?,
+                ("kernel", "modules") => cfg.kernel_modules = parse_array(ln, &value)?,
+                ("publication", "file") => pub_file = Some(parse_string(ln, &value)?),
+                ("publication", "type") => pub_type = Some(parse_string(ln, &value)?),
+                ("publication", "method") => pub_method = Some(parse_string(ln, &value)?),
+                ("publication", "cell_fields") => pub_fields = parse_array(ln, &value)?,
+                (s, k) => {
+                    return Err(err(ln, format!("unknown key `{k}` in section `[{s}]`")));
+                }
+            }
+        }
+        match (pub_file, pub_type, pub_method) {
+            (None, None, None) => {}
+            (Some(file), Some(ty), Some(method)) => {
+                cfg.publication = Some(PublicationSpec {
+                    file_suffix: file,
+                    type_name: ty,
+                    publish_method: method,
+                    cell_fields: pub_fields,
+                });
+            }
+            _ => {
+                return Err(ConfigError(
+                    "[publication] requires all of `file`, `type`, and `method`".to_string(),
+                ));
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Every module path the config names must exist under `root` —
+    /// renaming a serving or kernel module away must fail loudly, never
+    /// silently shrink coverage.
+    pub fn validate_paths(&self, root: &Path) -> Result<(), ConfigError> {
+        let mut missing = Vec::new();
+        let pub_file = self.publication.iter().map(|p| p.file_suffix.as_str());
+        for rel in self
+            .serving_roots
+            .iter()
+            .chain(self.kernel_modules.iter())
+            .map(String::as_str)
+            .chain(pub_file)
+        {
+            if !root.join(rel).is_file() {
+                missing.push(rel.to_string());
+            }
+        }
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(ConfigError(format!(
+                "configured module(s) do not exist under {}: {}",
+                root.display(),
+                missing.join(", ")
+            )))
+        }
+    }
+}
+
+fn err(ln: usize, msg: String) -> ConfigError {
+    ConfigError(format!("line {}: {msg}", ln + 1))
+}
+
+/// Strip a `#` comment, respecting `"`-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `"a string"`.
+fn parse_string(ln: usize, value: &str) -> Result<String, ConfigError> {
+    let v = value.trim();
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .filter(|s| !s.contains('"') && !s.is_empty())
+        .map(str::to_string)
+        .ok_or_else(|| err(ln, format!("expected a non-empty \"string\", got {v:?}")))
+}
+
+/// Parse `["a", "b", ...]` (trailing comma tolerated).
+fn parse_array(ln: usize, value: &str) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(ln, format!("expected a [\"...\"] array, got {v:?}")))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(ln, item)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_schema() {
+        let cfg = Config::from_toml(
+            r#"
+            # comment
+            [serving]
+            roots = [
+                "crates/a/src/serve.rs",  # inline comment
+                "crates/b/src/serve.rs",
+            ]
+            entry_points = ["T::m", "free"]
+
+            [kernel]
+            modules = ["crates/a/src/simd.rs"]
+
+            [publication]
+            file = "crates/a/src/serve.rs"
+            type = "Srv"
+            method = "publish"
+            cell_fields = ["cell"]
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.serving_roots.len(), 2);
+        assert_eq!(cfg.entry_points, vec!["T::m", "free"]);
+        assert_eq!(cfg.kernel_modules, vec!["crates/a/src/simd.rs"]);
+        let p = cfg.publication.expect("publication parsed");
+        assert_eq!(p.type_name, "Srv");
+        assert_eq!(p.cell_fields, vec!["cell"]);
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_are_errors() {
+        assert!(Config::from_toml("[srving]\nroots = []").is_err());
+        assert!(Config::from_toml("[serving]\nroot = []").is_err());
+        assert!(Config::from_toml("[serving]\nroots = [oops]").is_err());
+        assert!(Config::from_toml("[publication]\nfile = \"x\"").is_err());
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let cfg = Config::from_toml("[serving]\nroots = [\"a#b.rs\"]").expect("parses");
+        assert_eq!(cfg.serving_roots, vec!["a#b.rs"]);
+    }
+
+    #[test]
+    fn validate_paths_reports_every_missing_module() {
+        let cfg =
+            Config::from_toml("[serving]\nroots = [\"no/such/file.rs\", \"also/missing.rs\"]")
+                .expect("parses");
+        let e = cfg
+            .validate_paths(Path::new("/nonexistent-root"))
+            .expect_err("missing modules must fail");
+        assert!(e.0.contains("no/such/file.rs"), "{e}");
+        assert!(e.0.contains("also/missing.rs"), "{e}");
+    }
+
+    #[test]
+    fn repo_default_parses_and_names_the_serving_modules() {
+        let cfg = Config::repo_default();
+        assert!(
+            cfg.serving_roots
+                .iter()
+                .any(|r| r.ends_with("dsh-index/src/shard.rs")),
+            "{:?}",
+            cfg.serving_roots
+        );
+        assert!(cfg.publication.is_some());
+    }
+}

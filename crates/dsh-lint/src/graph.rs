@@ -1,0 +1,147 @@
+//! The workspace call graph and reachability queries over it.
+//!
+//! Built directly from [`crate::resolve::Workspace`] facts: one node per
+//! registered function, one edge per resolved call (or function
+//! reference). Reachability is a multi-root BFS that keeps parent
+//! pointers, so every reached function can report a *shortest* call
+//! chain back to the root that discovered it — that chain is what L1'/
+//! L2' findings print. Recursion cycles need no special handling: the
+//! visited set makes the BFS terminate, and a cycle member's chain is
+//! simply the shortest acyclic path in.
+
+use crate::resolve::{FnId, Workspace};
+use std::collections::VecDeque;
+
+/// Adjacency-list call graph over [`Workspace::fns`].
+pub struct Graph {
+    pub adj: Vec<Vec<FnId>>,
+}
+
+impl Graph {
+    /// Build from the workspace's resolved per-function facts.
+    pub fn build(ws: &Workspace) -> Graph {
+        Graph {
+            adj: ws.facts.iter().map(|f| f.calls.clone()).collect(),
+        }
+    }
+
+    /// Total number of call edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Multi-root BFS. Roots are deduplicated and visited in sorted
+    /// order so chains are deterministic run-to-run.
+    pub fn reach(&self, roots: &[FnId]) -> Reach {
+        let n = self.adj.len();
+        let mut visited = vec![false; n];
+        let mut parent: Vec<Option<FnId>> = vec![None; n];
+        let mut sorted: Vec<FnId> = roots.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for &r in &sorted {
+            if r < n && !visited[r] {
+                visited[r] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if v < n && !visited[v] {
+                    visited[v] = true;
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        Reach { visited, parent }
+    }
+}
+
+/// The result of one reachability query.
+pub struct Reach {
+    /// Per-function: reached from some root?
+    pub visited: Vec<bool>,
+    /// BFS parent (None for roots and unreached nodes).
+    pub parent: Vec<Option<FnId>>,
+}
+
+impl Reach {
+    /// Shortest root-to-`id` call chain (root first, `id` last).
+    /// Returns an empty chain if `id` was not reached.
+    pub fn chain(&self, id: FnId) -> Vec<FnId> {
+        if !self.visited.get(id).copied().unwrap_or(false) {
+            return Vec::new();
+        }
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent[cur] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Render a chain as `shard.rs:query → points.rs:dot`.
+    pub fn chain_display(&self, ws: &Workspace, id: FnId) -> String {
+        self.chain(id)
+            .iter()
+            .map(|&f| ws.chain_label(f))
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::Workspace;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::build(&[("crates/a/src/lib.rs".to_string(), src.to_string())])
+    }
+
+    fn id_of(w: &Workspace, name: &str) -> FnId {
+        w.fns.iter().position(|f| f.func.name == name).unwrap()
+    }
+
+    #[test]
+    fn two_hop_chain_is_recovered() {
+        let w = ws("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n");
+        let g = Graph::build(&w);
+        let (a, b, c) = (id_of(&w, "a"), id_of(&w, "b"), id_of(&w, "c"));
+        let r = g.reach(&[a]);
+        assert!(r.visited[c]);
+        assert_eq!(r.chain(c), vec![a, b, c]);
+        assert_eq!(r.chain_display(&w, c), "lib.rs:a → lib.rs:b → lib.rs:c");
+    }
+
+    #[test]
+    fn recursion_terminates_and_cycle_members_have_chains() {
+        let w = ws("fn a() { b(); }\nfn b() { a(); c(); }\nfn c() { c(); }\n");
+        let g = Graph::build(&w);
+        let (a, c) = (id_of(&w, "a"), id_of(&w, "c"));
+        let r = g.reach(&[a]);
+        assert!(r.visited[c]);
+        assert_eq!(r.chain(c).first(), Some(&a));
+    }
+
+    #[test]
+    fn unreached_nodes_report_empty_chain() {
+        let w = ws("fn a() {}\nfn b() {}\n");
+        let g = Graph::build(&w);
+        let r = g.reach(&[id_of(&w, "a")]);
+        assert!(r.chain(id_of(&w, "b")).is_empty());
+    }
+
+    #[test]
+    fn shortest_chain_wins_with_multiple_roots() {
+        let w = ws("fn r1() { mid(); }\nfn mid() { leaf(); }\nfn r2() { leaf(); }\nfn leaf() {}\n");
+        let g = Graph::build(&w);
+        let (r1, r2, leaf) = (id_of(&w, "r1"), id_of(&w, "r2"), id_of(&w, "leaf"));
+        let r = g.reach(&[r1, r2]);
+        assert_eq!(r.chain(leaf), vec![r2, leaf], "direct root is closer");
+    }
+}

@@ -2,31 +2,40 @@
 //!
 //! A pure-`std`, zero-dependency lint pass (no `syn`, no registry crates —
 //! the build environment is offline) built from a hand-rolled Rust lexer
-//! ([`lexer`]) and a lightweight brace/function-scope parser ([`scope`]).
-//! It mechanically enforces the invariants that PRs 4–5 documented only in
-//! comments:
+//! ([`lexer`]), a brace/function-scope parser ([`scope`]), a
+//! whole-workspace symbol resolver ([`resolve`]), and a call graph
+//! ([`graph`]). The headline lints are interprocedural: panic-freedom and
+//! hot-path allocation-freedom are *reachability* properties proven over
+//! the workspace as one program, not per-file token scans.
 //!
 //! | id | lint | escape hatch |
 //! |----|------|--------------|
-//! | L1 | panic-freedom on serving-path modules (`shard.rs`, `table.rs`, `dynamic.rs`, `parallel.rs`): no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`unreachable!`/`assert!` family outside tests | `// lint: allow(panic) — <reason>` |
-//! | L2 | no allocation-shaped calls inside functions marked `// lint: hot` | `// lint: allow(alloc) — <reason>` |
-//! | L3 | every public `&mut self` method on `ShardedIndex` reaches `publish` on all return paths, and no publication-cell `.read()`/`.write()` guard is live across a shard clone / seal / compact | `// lint: allow(publish)` / `// lint: allow(guard)` |
-//! | L4 | crate roots carry `#![forbid(unsafe_code)]`; any `unsafe` token needs a `// SAFETY:` comment within 3 lines | the `SAFETY:` comment itself |
-//! | M1 | `lint:` comment that parses as neither `hot` nor `allow(<id>) — <reason>` | fix the marker |
+//! | L1 | no serving entry point reaches a panic site (`unwrap`/`expect`/`panic!`/`assert!`-family) on any call path, workspace-wide | `// lint: allow(panic) — <reason>` at the site |
+//! | L2 | nothing reachable from a `// lint: hot` marker allocates; markers on already-hot functions are redundant | `allow(alloc)` at the site, `allow(hot)` on the marker |
+//! | C1 | a macro the resolver cannot see through is reachable from a serving entry or hot root ("cannot prove") | `allow(opaque)` |
+//! | L3 | every public `&mut self` method on the configured index type reaches `publish` on all return paths; no publication-cell guard live across clone/seal/compact | `allow(publish)` / `allow(guard)` |
+//! | L4 | crate roots carry `#![forbid(unsafe_code)]` (`deny` for kernel crates); every `unsafe` token has a `// SAFETY:` comment within 3 lines | the `SAFETY:` comment |
+//! | L5 | `unsafe` only inside modules listed under `[kernel] modules` | `allow(unsafe)` |
+//! | M1 | malformed `lint:` marker | fix the marker |
+//! | M2 | a `lint: allow(...)` that suppresses no finding | remove it |
 //!
-//! Run it over the workspace with `cargo run -p dsh-lint -- check`; output
-//! is machine-readable, one finding per line: `<file>:<line>: <lint-id>
-//! <message>`. Exit code 0 = clean, 1 = findings, 2 = usage error.
-//!
-//! `debug_assert!` is deliberately *not* flagged by L1: the debug asserts
-//! are the dynamic complement to this static pass and compile out of
-//! release serving builds.
+//! Module sets live in `dsh-lint.toml` at the workspace root (see
+//! [`config`]); a configured path that does not exist fails the run
+//! loudly. Run with `cargo run -p dsh-lint -- check [--format
+//! text|json|github]`; text output is one finding per line:
+//! `<file>:<line>: <lint-id> <message>`. Exit 0 = clean, 1 = findings,
+//! 2 = usage/config error.
 
 #![forbid(unsafe_code)]
 
+pub mod config;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod resolve;
 pub mod scope;
+
+pub use config::{Config, ConfigError, PublicationSpec};
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -41,6 +50,11 @@ pub struct Finding {
     pub line: u32,
     pub lint: &'static str,
     pub message: String,
+    /// Stable site descriptor (line-number-free), hashed into [`Finding::id`].
+    pub site: String,
+    /// Call chain for interprocedural findings (`shard.rs:query`, ...);
+    /// empty for file-local ones.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
@@ -50,7 +64,34 @@ impl Finding {
             line,
             lint,
             message,
+            site: String::new(),
+            chain: Vec::new(),
         }
+    }
+
+    /// Stable finding id: FNV-1a over lint, file, and the line-free site
+    /// descriptor (falling back to the message with digits stripped), so
+    /// ids survive unrelated edits that only shift line numbers.
+    pub fn id(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(self.lint.as_bytes());
+        eat(b"|");
+        eat(self.file.as_bytes());
+        eat(b"|");
+        if self.site.is_empty() {
+            for c in self.message.chars().filter(|c| !c.is_ascii_digit()) {
+                eat(c.to_string().as_bytes());
+            }
+        } else {
+            eat(self.site.as_bytes());
+        }
+        format!("{}-{:012x}", self.lint, h & 0xffff_ffff_ffff)
     }
 }
 
@@ -64,65 +105,112 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Where the publication-discipline lint (L3) applies.
-pub struct PublicationSpec {
-    /// Path suffix of the file holding the publication protocol.
-    pub file_suffix: String,
-    /// Self type whose public `&mut self` methods must publish.
-    pub type_name: String,
-    /// The method every write path must reach.
-    pub publish_method: String,
-    /// Field names of the publication cell (`.read()`/`.write()` on a
-    /// chain mentioning one of these is treated as a cell guard).
-    pub cell_fields: Vec<String>,
+/// Workspace-size counters for the stats line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    pub files: usize,
+    pub functions: usize,
+    pub edges: usize,
+    pub findings: usize,
 }
 
-/// Lint configuration. [`Config::repo_default`] encodes this repository's
-/// serving-path layout; tests construct custom configs to aim the lints at
-/// fixture paths.
-pub struct Config {
-    /// Path suffixes of serving-path modules subject to L1.
-    pub serving_suffixes: Vec<String>,
-    /// L3 target, or `None` to disable the publication lint.
-    pub publication: Option<PublicationSpec>,
+/// A full lint run: sorted findings plus workspace stats.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub stats: Stats,
 }
 
-impl Config {
-    /// The configuration for this repository: L1 over the dsh-index
-    /// serving modules, L3 over `ShardedIndex` in `shard.rs`.
-    pub fn repo_default() -> Self {
-        Config {
-            serving_suffixes: vec![
-                "crates/dsh-index/src/shard.rs".to_string(),
-                "crates/dsh-index/src/table.rs".to_string(),
-                "crates/dsh-index/src/dynamic.rs".to_string(),
-                "crates/dsh-index/src/parallel.rs".to_string(),
-            ],
-            publication: Some(PublicationSpec {
-                file_suffix: "crates/dsh-index/src/shard.rs".to_string(),
-                type_name: "ShardedIndex".to_string(),
-                publish_method: "publish".to_string(),
-                cell_fields: vec!["published".to_string(), "cell".to_string()],
-            }),
+impl Report {
+    /// Serialize to JSON (hand-rolled; no serde in the offline build).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"id\":{},\"file\":{},\"line\":{},\"lint\":{},\"message\":{},\"chain\":[{}]}}",
+                json_str(&f.id()),
+                json_str(&f.file),
+                f.line,
+                json_str(f.lint),
+                json_str(&f.message),
+                f.chain
+                    .iter()
+                    .map(|c| json_str(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
         }
+        s.push_str(&format!(
+            "],\"stats\":{{\"files\":{},\"functions\":{},\"edges\":{},\"findings\":{}}}}}",
+            self.stats.files, self.stats.functions, self.stats.edges, self.stats.findings
+        ));
+        s
     }
 }
 
-/// Lint one file's source text. `rel_path` selects which lints apply
-/// (serving-path membership, crate-root checks) — pass repo-relative
-/// paths with forward slashes.
-pub fn check_file_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
-    let scope = scope::FileScope::parse(source);
-    let mut findings = lints::check_file(rel_path, &scope, cfg);
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lint a set of in-memory `(rel_path, source)` files as one workspace.
+pub fn check_sources(sources: &[(String, String)], cfg: &Config) -> Report {
+    let ws = resolve::Workspace::build(sources);
+    let (mut findings, edges) = lints::run(&ws, cfg);
     findings.sort();
-    findings
+    findings.dedup();
+    let stats = Stats {
+        files: ws.files.len(),
+        functions: ws.fns.len(),
+        edges,
+        findings: findings.len(),
+    };
+    Report { findings, stats }
+}
+
+/// Lint one file's source text in isolation. `rel_path` selects which
+/// lints apply (serving-path membership, crate-root checks) — pass
+/// repo-relative paths with forward slashes.
+pub fn check_file_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    check_sources(&[(rel_path.to_string(), source.to_string())], cfg).findings
+}
+
+/// Load `dsh-lint.toml` from `root` (falling back to [`Config::empty`]
+/// when absent) and fail loudly — `InvalidData` — on parse errors or
+/// configured module paths that do not exist under `root`.
+pub fn load_config(root: &Path) -> io::Result<Config> {
+    let path = root.join("dsh-lint.toml");
+    if !path.is_file() {
+        return Ok(Config::empty());
+    }
+    let text = fs::read_to_string(&path)?;
+    let cfg = Config::from_toml(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    cfg.validate_paths(root)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(cfg)
 }
 
 /// Walk a workspace root and lint every `.rs` file under `src/`,
 /// `crates/`, `tests/`, and `examples/`, skipping `target/`, `vendor/`
 /// (API-subset shims, out of scope), and lint fixture corpora. Findings
 /// come back sorted by (file, line).
-pub fn check_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
+pub fn check_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
     let mut files = BTreeSet::new();
     for top in ["src", "crates", "tests", "examples"] {
         let dir = root.join(top);
@@ -130,14 +218,13 @@ pub fn check_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
             walk(&dir, &mut files)?;
         }
     }
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for path in files {
         let rel = rel_path(root, &path);
         let source = fs::read_to_string(&path)?;
-        findings.extend(check_file_source(&rel, &source, cfg));
+        sources.push((rel, source));
     }
-    findings.sort();
-    Ok(findings)
+    Ok(check_sources(&sources, cfg))
 }
 
 fn walk(dir: &Path, out: &mut BTreeSet<PathBuf>) -> io::Result<()> {
@@ -175,6 +262,54 @@ mod tests {
     fn finding_display_is_machine_readable() {
         let f = Finding::new("crates/x/src/lib.rs", 12, "L1", "boom".to_string());
         assert_eq!(f.to_string(), "crates/x/src/lib.rs:12: L1 boom");
+    }
+
+    #[test]
+    fn finding_ids_are_stable_across_line_shifts() {
+        let a = Finding {
+            site: "panic:`.unwrap()`:shard.rs:query".to_string(),
+            ..Finding::new("crates/x/src/lib.rs", 12, "L1", "x at line 12".to_string())
+        };
+        let b = Finding {
+            site: "panic:`.unwrap()`:shard.rs:query".to_string(),
+            ..Finding::new("crates/x/src/lib.rs", 99, "L1", "x at line 99".to_string())
+        };
+        assert_eq!(a.id(), b.id());
+        assert!(a.id().starts_with("L1-"), "{}", a.id());
+    }
+
+    #[test]
+    fn finding_ids_differ_by_site() {
+        let a = Finding {
+            site: "panic:`.unwrap()`:a".to_string(),
+            ..Finding::new("f.rs", 1, "L1", String::new())
+        };
+        let b = Finding {
+            site: "panic:`.expect()`:a".to_string(),
+            ..Finding::new("f.rs", 1, "L1", String::new())
+        };
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let report = Report {
+            findings: vec![Finding {
+                site: "s".to_string(),
+                chain: vec!["a.rs:f".to_string()],
+                ..Finding::new("x.rs", 3, "L1", "say \"hi\"".to_string())
+            }],
+            stats: Stats {
+                files: 1,
+                functions: 2,
+                edges: 3,
+                findings: 1,
+            },
+        };
+        let j = report.to_json();
+        assert!(j.contains("\"say \\\"hi\\\"\""), "{j}");
+        assert!(j.contains("\"chain\":[\"a.rs:f\"]"), "{j}");
+        assert!(j.contains("\"edges\":3"), "{j}");
     }
 
     #[test]

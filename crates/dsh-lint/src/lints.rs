@@ -1,346 +1,730 @@
-//! The lint passes. Each operates on the token stream + scope structure
-//! of one file ([`FileScope`]) and emits [`Finding`]s.
+//! The lint passes, v2: interprocedural where it counts.
 //!
 //! Lint ids:
 //!
-//! * **L1** — panic-freedom on serving-path modules: no `unwrap`/`expect`
-//!   method calls and no `panic!`/`todo!`/`unimplemented!`/`unreachable!`/
-//!   `assert!`-family macros outside test code. Escape hatch:
-//!   `// lint: allow(panic) — <reason>` on the same or previous line.
-//!   (`debug_assert!` is deliberately permitted — it is the dynamic
-//!   complement to these lints and compiles out of release serving builds.)
-//! * **L2** — no-alloc hot kernels: a function preceded by `// lint: hot`
-//!   must not contain allocation-shaped calls (`Vec::new`, `vec![`,
-//!   `.to_vec()`, `.collect()`, `.clone()`, `format!`, `Box::new`,
-//!   `String::from`, ...). Escape: `// lint: allow(alloc) — <reason>`.
-//! * **L3** — publication discipline on the sharded index: every public
-//!   `&mut self` method on the configured type must reach the `publish`
-//!   method (directly or via other methods of the same type) and must not
-//!   bail early (`return` / `?`); and no `.read()`/`.write()` guard on the
-//!   publication cell may be live across a shard clone, seal, or compact.
-//!   Escapes: `allow(publish)`, `allow(guard)`.
-//! * **L4** — unsafe hygiene: every crate root carries
-//!   `#![forbid(unsafe_code)]`, and any `unsafe` token needs a `// SAFETY:`
-//!   comment on the same line or within the three lines above.
-//! * **M1** — a comment contains `lint:` but parses as neither `hot` nor
-//!   a well-formed `allow(<id>) — <reason>`.
+//! * **L1** — transitive panic-freedom: no serving entry point (public
+//!   function of a configured serving root, or a configured
+//!   `entry_points` name) may *reach* a panic site (`unwrap`/`expect`,
+//!   `panic!`/`assert!`-family) anywhere in the workspace, on any call
+//!   path. Findings report the full call chain. Escape:
+//!   `// lint: allow(panic) — <reason>` at the site.
+//! * **L2** — transitive no-alloc hot kernels: `// lint: hot` marks a
+//!   root; allocation shapes (`vec!`, `.collect()`, `Vec::new`, ...) in
+//!   anything it reaches are findings, with the chain. A marker on a
+//!   function already reachable from another marker is itself a finding
+//!   (redundant — the property is inherited). Escapes: `allow(alloc)`
+//!   at the site, `allow(hot)` on the marker.
+//! * **C1** — cannot-prove: an unknown macro invocation reachable from a
+//!   serving entry or hot root. Macro bodies are opaque to the resolver,
+//!   so the lint refuses to claim panic/alloc-freedom past one. Escape:
+//!   `allow(opaque)`.
+//! * **L3** — publication discipline on the configured index type:
+//!   unchanged from v1 (file-local fixpoint + guard-scope analysis).
+//! * **L4** — unsafe hygiene: crate roots carry `#![forbid(unsafe_code)]`
+//!   (`#![deny(unsafe_code)]` for crates with configured kernel
+//!   modules), and every `unsafe` token needs a `// SAFETY:` comment
+//!   within 3 lines.
+//! * **L5** — unsafe boundary: `unsafe` may appear only inside modules
+//!   listed in `[kernel] modules`. Escape: `allow(unsafe)`.
+//! * **M1** — malformed `lint:` marker.
+//! * **M2** — dead allow: a `// lint: allow(...)` that suppressed no
+//!   finding this run (outside test code) is itself a finding.
+//!
+//! `debug_assert!` is deliberately *not* flagged by L1: the debug asserts
+//! are the dynamic complement to this static pass and compile out of
+//! release serving builds.
 
+use crate::config::Config;
+use crate::graph::{Graph, Reach};
 use crate::lexer::TokenKind;
-use crate::scope::{FileScope, Function, Receiver};
-use crate::{Config, Finding};
+use crate::resolve::{FnId, Workspace};
+use crate::scope::{FileScope, Function, Marker, Receiver};
+use crate::Finding;
 use std::collections::HashSet;
 
-/// Run every applicable pass over one parsed file.
-pub fn check_file(rel: &str, scope: &FileScope, cfg: &Config) -> Vec<Finding> {
-    let mut out = Vec::new();
-    // Indexes of non-comment tokens: pattern matching happens over this
-    // view so interleaved comments never split a `.unwrap()` sequence.
-    let view: Vec<usize> = scope
-        .tokens
-        .iter()
-        .enumerate()
-        .filter(|(_, t)| t.kind != TokenKind::Comment)
-        .map(|(i, _)| i)
-        .collect();
+/// Run every pass over a resolved workspace. Returns the findings plus
+/// the call-graph edge count (for the stats line).
+pub fn run(ws: &Workspace, cfg: &Config) -> (Vec<Finding>, usize) {
+    let graph = Graph::build(ws);
+    let mut ctx = Ctx {
+        ws,
+        out: Vec::new(),
+        used: HashSet::new(),
+    };
 
-    for (line, raw) in &scope.malformed_markers {
-        out.push(Finding::new(
-            rel,
-            *line,
-            "M1",
-            format!("malformed `lint:` marker {raw:?}; expected `lint: hot` or `lint: allow(<id>) — <reason>`"),
-        ));
-    }
+    let entry_roots = ctx.entry_roots(cfg);
+    let hot_roots = ctx.hot_roots();
+    let entry_reach = graph.reach(&entry_roots);
+    let hot_ids: Vec<FnId> = hot_roots.iter().map(|h| h.target).collect();
+    let hot_reach = graph.reach(&hot_ids);
+    let combined: Vec<FnId> = entry_roots.iter().chain(hot_ids.iter()).copied().collect();
+    let combined_reach = graph.reach(&combined);
 
-    let test_path = is_test_path(rel);
-    if !test_path {
-        if cfg
-            .serving_suffixes
-            .iter()
-            .any(|s| rel.ends_with(s.as_str()))
-        {
-            l1_panic_freedom(rel, scope, &view, &mut out);
-        }
-        l2_hot_kernels(rel, scope, &view, &mut out);
-        if let Some(spec) = &cfg.publication {
-            if rel.ends_with(spec.file_suffix.as_str()) {
-                l3_publication(rel, scope, &view, spec, &mut out);
-                l3_guard_scope(rel, scope, &view, spec, &mut out);
+    ctx.l1_panic_reach(&entry_reach);
+    ctx.l2_alloc_reach(&hot_reach);
+    ctx.l2_redundant_markers(&graph, &hot_roots);
+    ctx.c1_opaque(&combined_reach);
+    ctx.local_passes(cfg);
+    ctx.m2_dead_allows();
+
+    let edges = graph.edge_count();
+    (ctx.out, edges)
+}
+
+/// A bound `// lint: hot` marker.
+struct HotRoot {
+    file: usize,
+    marker_line: u32,
+    target: FnId,
+}
+
+struct Ctx<'a> {
+    ws: &'a Workspace,
+    out: Vec<Finding>,
+    /// `(file, marker line, lint id)` of every allow that suppressed a
+    /// finding — the complement feeds M2.
+    used: HashSet<(usize, u32, String)>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Whether lint `name` is allowed at `line` of `file` (marker on the
+    /// same line or the line above); records the consumption for M2.
+    fn allowed(&mut self, file: usize, name: &str, line: u32) -> bool {
+        let scope = &self.ws.files[file].scope;
+        for l in [line, line.saturating_sub(1)] {
+            let hit = scope.allows.get(&l).is_some_and(|ms| {
+                ms.iter()
+                    .any(|m| matches!(m, Marker::Allow { lint, .. } if lint == name))
+            });
+            if hit {
+                self.used.insert((file, l, name.to_string()));
+                return true;
             }
         }
+        false
     }
 
-    l4_unsafe_tokens(rel, scope, &view, &mut out);
-    if !test_path && (rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs")) {
-        l4_forbid_attr(rel, scope, &view, &mut out);
+    fn push(&mut self, file: usize, line: u32, lint: &'static str, site: String, message: String) {
+        self.push_chain(file, line, lint, site, message, Vec::new());
     }
 
-    out
-}
-
-/// Integration-test / bench / example sources are exempt from the
-/// serving-path lints (only the `unsafe` scan still applies).
-fn is_test_path(rel: &str) -> bool {
-    ["tests/", "benches/", "examples/"]
-        .iter()
-        .any(|d| rel.starts_with(d) || rel.contains(&format!("/{d}")))
-}
-
-// ---------------------------------------------------------------------------
-// L1
-// ---------------------------------------------------------------------------
-
-const L1_METHODS: [&str; 2] = ["unwrap", "expect"];
-const L1_MACROS: [&str; 7] = [
-    "panic",
-    "todo",
-    "unimplemented",
-    "unreachable",
-    "assert",
-    "assert_eq",
-    "assert_ne",
-];
-
-fn l1_panic_freedom(rel: &str, scope: &FileScope, view: &[usize], out: &mut Vec<Finding>) {
-    for w in view.windows(3) {
-        let (a, b, c) = (
-            &scope.tokens[w[0]],
-            &scope.tokens[w[1]],
-            &scope.tokens[w[2]],
-        );
-        if scope.in_test[w[0]] {
-            continue;
-        }
-        // Method form: `.unwrap(` / `.expect(`
-        if a.is_punct('.')
-            && b.kind == TokenKind::Ident
-            && !b.raw
-            && L1_METHODS.contains(&b.text.as_str())
-            && c.kind == TokenKind::OpenParen
-            && !scope.is_allowed("panic", b.line)
-        {
-            out.push(Finding::new(
-                rel,
-                b.line,
-                "L1",
-                format!(
-                    "`.{}()` on serving path; make it infallible or annotate `// lint: allow(panic) — <reason>`",
-                    b.text
-                ),
-            ));
-        }
-        // Macro form: `panic!` etc.
-        if a.kind == TokenKind::Ident
-            && !a.raw
-            && L1_MACROS.contains(&a.text.as_str())
-            && b.is_punct('!')
-            && !scope.is_allowed("panic", a.line)
-        {
-            out.push(Finding::new(
-                rel,
-                a.line,
-                "L1",
-                format!(
-                    "`{}!` on serving path; use `debug_assert!` or annotate `// lint: allow(panic) — <reason>`",
-                    a.text
-                ),
-            ));
-        }
+    fn push_chain(
+        &mut self,
+        file: usize,
+        line: u32,
+        lint: &'static str,
+        site: String,
+        message: String,
+        chain: Vec<String>,
+    ) {
+        self.out.push(Finding {
+            file: self.ws.files[file].rel.clone(),
+            line,
+            lint,
+            site,
+            message,
+            chain,
+        });
     }
-}
 
-// ---------------------------------------------------------------------------
-// L2
-// ---------------------------------------------------------------------------
-
-const L2_METHODS: [&str; 5] = ["to_vec", "collect", "clone", "to_string", "to_owned"];
-const L2_MACROS: [&str; 2] = ["vec", "format"];
-const L2_TYPES: [&str; 5] = ["Vec", "Box", "String", "HashMap", "BTreeMap"];
-const L2_CTORS: [&str; 4] = ["new", "with_capacity", "from", "from_iter"];
-
-fn l2_hot_kernels(rel: &str, scope: &FileScope, view: &[usize], out: &mut Vec<Finding>) {
-    for (marker_line, bound) in &scope.hot_markers {
-        let func = bound.and_then(|fi| scope.functions.iter().find(|f| f.fn_idx == fi));
-        let Some(f) = func else {
-            out.push(Finding::new(
-                rel,
-                *marker_line,
-                "L2",
-                "dangling `// lint: hot` marker: no function definition follows".to_string(),
-            ));
-            continue;
-        };
-        let Some((open, close)) = f.body else {
-            out.push(Finding::new(
-                rel,
-                *marker_line,
-                "L2",
-                format!("`// lint: hot` marker on bodiless declaration `{}`", f.name),
-            ));
-            continue;
-        };
-        if f.is_test {
-            continue;
-        }
-        l2_scan_body(rel, scope, view, open, close, &f.name, out);
+    /// The call chain to `id` as display labels (`shard.rs:query`, ...).
+    fn chain_of(&self, reach: &Reach, id: FnId) -> Vec<String> {
+        reach
+            .chain(id)
+            .iter()
+            .map(|&f| self.ws.chain_label(f))
+            .collect()
     }
-}
 
-fn l2_scan_body(
-    rel: &str,
-    scope: &FileScope,
-    view: &[usize],
-    open: usize,
-    close: usize,
-    fn_name: &str,
-    out: &mut Vec<Finding>,
-) {
-    let body: Vec<usize> = view
-        .iter()
-        .copied()
-        .filter(|&i| i > open && i < close)
-        .collect();
-    let mut flag = |line: u32, what: &str| {
-        if !scope.is_allowed("alloc", line) {
-            out.push(Finding::new(
-                rel,
-                line,
-                "L2",
-                format!(
-                    "{what} in hot kernel `{fn_name}`; hoist the allocation to the caller or annotate `// lint: allow(alloc) — <reason>`"
-                ),
-            ));
+    // -- roots -------------------------------------------------------------
+
+    /// Public functions of the serving-root files, plus configured
+    /// `entry_points` names.
+    fn entry_roots(&mut self, cfg: &Config) -> Vec<FnId> {
+        let mut roots = Vec::new();
+        let serving_files: Vec<usize> = self
+            .ws
+            .files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                cfg.serving_roots
+                    .iter()
+                    .any(|s| f.rel.ends_with(s.as_str()))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for (id, info) in self.ws.fns.iter().enumerate() {
+            if serving_files.contains(&info.file) && info.func.is_pub && info.func.body.is_some() {
+                roots.push(id);
+            }
         }
-    };
-    for (k, &i) in body.iter().enumerate() {
-        let t = &scope.tokens[i];
-        let next = body.get(k + 1).map(|&j| &scope.tokens[j]);
-        // Macro form: `vec![` / `format!(`
-        if t.kind == TokenKind::Ident
-            && !t.raw
-            && L2_MACROS.contains(&t.text.as_str())
-            && next.is_some_and(|n| n.is_punct('!'))
-        {
-            flag(t.line, &format!("`{}!` allocation", t.text));
+        for name in &cfg.entry_points {
+            let matched: Vec<FnId> = self
+                .ws
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.qual() == *name || f.func.name == *name)
+                .map(|(id, _)| id)
+                .collect();
+            if matched.is_empty() {
+                self.out.push(Finding {
+                    file: "dsh-lint.toml".to_string(),
+                    line: 1,
+                    lint: "L1",
+                    site: format!("entry:{name}"),
+                    message: format!(
+                        "configured entry point `{name}` matches no workspace function"
+                    ),
+                    chain: Vec::new(),
+                });
+            }
+            roots.extend(matched);
         }
-        // Method form: `.collect(` / `.clone(` / ... (path form such as
-        // `Arc::clone(&...)` has no leading dot and is not flagged here).
-        if t.is_punct('.') {
-            if let (Some(n1), Some(n2)) = (next, body.get(k + 2).map(|&j| &scope.tokens[j])) {
-                if n1.kind == TokenKind::Ident
-                    && !n1.raw
-                    && L2_METHODS.contains(&n1.text.as_str())
-                    && n2.kind == TokenKind::OpenParen
-                {
-                    flag(n1.line, &format!("`.{}()` call", n1.text));
+        roots
+    }
+
+    /// Bound `// lint: hot` markers; dangling / bodiless markers become
+    /// findings here.
+    fn hot_roots(&mut self) -> Vec<HotRoot> {
+        let mut roots = Vec::new();
+        for (fi, file) in self.ws.files.iter().enumerate() {
+            if file.is_test_path {
+                continue;
+            }
+            for &(marker_line, bound) in &file.scope.hot_markers {
+                let func =
+                    bound.and_then(|idx| file.scope.functions.iter().find(|f| f.fn_idx == idx));
+                let Some(f) = func else {
+                    self.push(
+                        fi,
+                        marker_line,
+                        "L2",
+                        "dangling-hot".to_string(),
+                        "dangling `// lint: hot` marker: no function definition follows"
+                            .to_string(),
+                    );
+                    continue;
+                };
+                if f.is_test {
+                    continue;
+                }
+                if f.body.is_none() {
+                    self.push(
+                        fi,
+                        marker_line,
+                        "L2",
+                        format!("bodiless-hot:{}", f.name),
+                        format!("`// lint: hot` marker on bodiless declaration `{}`", f.name),
+                    );
+                    continue;
+                }
+                if let Some(id) = self.ws.fn_at(fi, f.fn_idx) {
+                    roots.push(HotRoot {
+                        file: fi,
+                        marker_line,
+                        target: id,
+                    });
                 }
             }
         }
-        // Path form: `Vec::new(` / `Box::new(` / `String::from(` / ...
-        if t.kind == TokenKind::Ident && !t.raw && L2_TYPES.contains(&t.text.as_str()) {
-            let rest: Vec<&crate::lexer::Token> = (k + 1..(k + 5).min(body.len()))
-                .map(|m| &scope.tokens[body[m]])
+        roots
+    }
+
+    // -- graph lints -------------------------------------------------------
+
+    fn l1_panic_reach(&mut self, reach: &Reach) {
+        for id in 0..self.ws.fns.len() {
+            if !reach.visited[id] {
+                continue;
+            }
+            let fi = self.ws.fns[id].file;
+            let sites: Vec<(u32, String)> = self.ws.facts[id]
+                .panics
+                .iter()
+                .map(|s| (s.line, s.what.clone()))
                 .collect();
-            if rest.len() == 4
-                && rest[0].is_punct(':')
-                && rest[1].is_punct(':')
-                && rest[2].kind == TokenKind::Ident
-                && L2_CTORS.contains(&rest[2].text.as_str())
-                && rest[3].kind == TokenKind::OpenParen
-            {
-                flag(
-                    t.line,
-                    &format!("`{}::{}()` allocation", t.text, rest[2].text),
+            for (line, what) in sites {
+                if self.allowed(fi, "panic", line) {
+                    continue;
+                }
+                let chain_v = self.chain_of(reach, id);
+                let chain = chain_v.join(" → ");
+                self.push_chain(
+                    fi,
+                    line,
+                    "L1",
+                    format!("panic:{what}:{chain}"),
+                    format!(
+                        "{what} reachable from a serving entry (path: {chain}); make it infallible or annotate `// lint: allow(panic) — <reason>`"
+                    ),
+                    chain_v,
                 );
             }
         }
     }
-}
 
-// ---------------------------------------------------------------------------
-// L3 — publication discipline
-// ---------------------------------------------------------------------------
-
-fn l3_publication(
-    rel: &str,
-    scope: &FileScope,
-    view: &[usize],
-    spec: &crate::PublicationSpec,
-    out: &mut Vec<Finding>,
-) {
-    let methods: Vec<&Function> = scope
-        .functions
-        .iter()
-        .filter(|f| !f.is_trait_impl && f.impl_type.as_deref() == Some(spec.type_name.as_str()))
-        .collect();
-
-    // Fixpoint: a method "publishes" if it calls `self.publish(...)` or any
-    // other already-publishing method of the same type (e.g. `seal()` →
-    // `seal_with_threads()` → `publish()`).
-    let mut publishing: HashSet<&str> = HashSet::new();
-    publishing.insert(spec.publish_method.as_str());
-    loop {
-        let mut changed = false;
-        for m in &methods {
-            if publishing.contains(m.name.as_str()) {
+    fn l2_alloc_reach(&mut self, reach: &Reach) {
+        for id in 0..self.ws.fns.len() {
+            if !reach.visited[id] {
                 continue;
             }
+            let fi = self.ws.fns[id].file;
+            let qual = self.ws.fns[id].qual();
+            let sites: Vec<(u32, String)> = self.ws.facts[id]
+                .allocs
+                .iter()
+                .map(|s| (s.line, s.what.clone()))
+                .collect();
+            for (line, what) in sites {
+                if self.allowed(fi, "alloc", line) {
+                    continue;
+                }
+                let chain_v = self.chain_of(reach, id);
+                let chain = chain_v.join(" → ");
+                self.push_chain(
+                    fi,
+                    line,
+                    "L2",
+                    format!("alloc:{what}:{chain}"),
+                    format!(
+                        "{what} in hot code `{qual}` (hot via {chain}); hoist the allocation to the caller or annotate `// lint: allow(alloc) — <reason>`"
+                    ),
+                    chain_v,
+                );
+            }
+        }
+    }
+
+    /// Greedy redundant-marker elimination: a marker whose function is
+    /// already reachable from the remaining markers adds nothing — flag
+    /// it. Iterated in (file, line) order with the coverage invariant
+    /// maintained at every step, so cycles of markers keep exactly the
+    /// representatives needed.
+    fn l2_redundant_markers(&mut self, graph: &Graph, hot_roots: &[HotRoot]) {
+        let mut order: Vec<usize> = (0..hot_roots.len()).collect();
+        order.sort_by_key(|&i| (hot_roots[i].file, hot_roots[i].marker_line));
+        let mut active: Vec<bool> = vec![true; hot_roots.len()];
+        for &i in &order {
+            let others: Vec<FnId> = (0..hot_roots.len())
+                .filter(|&j| j != i && active[j])
+                .map(|j| hot_roots[j].target)
+                .collect();
+            let r = graph.reach(&others);
+            let h = &hot_roots[i];
+            if r.visited.get(h.target).copied().unwrap_or(false) {
+                active[i] = false;
+                if self.allowed(h.file, "hot", h.marker_line) {
+                    continue;
+                }
+                let qual = self.ws.fns[h.target].qual();
+                let chain_v = self.chain_of(&r, h.target);
+                let via = chain_v.join(" → ");
+                self.push_chain(
+                    h.file,
+                    h.marker_line,
+                    "L2",
+                    format!("redundant-hot:{qual}"),
+                    format!(
+                        "redundant `// lint: hot` marker on `{qual}` — already hot via {via}; remove the marker (or annotate `// lint: allow(hot) — <reason>`)"
+                    ),
+                    chain_v,
+                );
+            }
+        }
+    }
+
+    fn c1_opaque(&mut self, reach: &Reach) {
+        for id in 0..self.ws.fns.len() {
+            if !reach.visited[id] {
+                continue;
+            }
+            let fi = self.ws.fns[id].file;
+            let qual = self.ws.fns[id].qual();
+            let sites: Vec<(u32, String)> = self.ws.facts[id]
+                .opaques
+                .iter()
+                .map(|s| (s.line, s.what.clone()))
+                .collect();
+            for (line, what) in sites {
+                if self.allowed(fi, "opaque", line) {
+                    continue;
+                }
+                let chain_v = self.chain_of(reach, id);
+                let chain = chain_v.join(" → ");
+                self.push_chain(
+                    fi,
+                    line,
+                    "C1",
+                    format!("opaque:{what}:{qual}"),
+                    format!(
+                        "cannot prove panic/alloc-freedom past unknown macro {what} (reachable via {chain}); expand it or annotate `// lint: allow(opaque) — <reason>`"
+                    ),
+                    chain_v,
+                );
+            }
+        }
+    }
+
+    // -- local (file-at-a-time) passes ------------------------------------
+
+    fn local_passes(&mut self, cfg: &Config) {
+        for fi in 0..self.ws.files.len() {
+            let file = &self.ws.files[fi];
+            let rel = file.rel.clone();
+
+            for (line, raw) in file.scope.malformed_markers.clone() {
+                self.push(
+                    fi,
+                    line,
+                    "M1",
+                    format!("malformed:{raw}"),
+                    format!(
+                        "malformed `lint:` marker {raw:?}; expected `lint: hot` or `lint: allow(<id>) — <reason>`"
+                    ),
+                );
+            }
+
+            let is_kernel = cfg.kernel_modules.iter().any(|k| rel.ends_with(k.as_str()));
+
+            if !file.is_test_path {
+                if let Some(spec) = &cfg.publication {
+                    if rel.ends_with(spec.file_suffix.as_str()) {
+                        self.l3_publication(fi, spec);
+                        self.l3_guard_scope(fi, spec);
+                    }
+                }
+                if !is_kernel {
+                    self.l5_unsafe_boundary(fi);
+                }
+            }
+
+            self.l4_unsafe_tokens(fi);
+            if !file.is_test_path && (rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs")) {
+                self.l4_root_attr(fi, cfg);
+            }
+        }
+    }
+
+    fn l4_unsafe_tokens(&mut self, fi: usize) {
+        let file = &self.ws.files[fi];
+        let mut hits = Vec::new();
+        for &i in &file.view {
+            let t = &file.scope.tokens[i];
+            if t.is_ident("unsafe") && !t.raw {
+                let covered = (t.line.saturating_sub(3)..=t.line)
+                    .any(|l| file.scope.safety_lines.contains_key(&l));
+                if !covered {
+                    hits.push(t.line);
+                }
+            }
+        }
+        for line in hits {
+            self.push(
+                fi,
+                line,
+                "L4",
+                "unsafe-no-safety".to_string(),
+                "`unsafe` without a `// SAFETY:` comment on the same line or within 3 lines above"
+                    .to_string(),
+            );
+        }
+    }
+
+    /// Crate roots must deny unsafe: `forbid` normally, `deny` when the
+    /// crate declares kernel modules (forbid would reject the kernels'
+    /// own `#[allow]`-free unsafe blocks at the crate level).
+    fn l4_root_attr(&mut self, fi: usize, cfg: &Config) {
+        let file = &self.ws.files[fi];
+        let rel = &file.rel;
+        let crate_dir = rel
+            .strip_suffix("src/lib.rs")
+            .or_else(|| rel.strip_suffix("src/main.rs"))
+            .unwrap_or("");
+        let kernel_crate = cfg
+            .kernel_modules
+            .iter()
+            .any(|k| !crate_dir.is_empty() && k.starts_with(crate_dir));
+        let want = if kernel_crate { "deny" } else { "forbid" };
+        let has = file.view.windows(8).any(|w| {
+            let t = |n: usize| &file.scope.tokens[w[n]];
+            t(0).is_punct('#')
+                && t(1).is_punct('!')
+                && t(2).kind == TokenKind::OpenBracket
+                && t(3).is_ident(want)
+                && t(4).kind == TokenKind::OpenParen
+                && t(5).is_ident("unsafe_code")
+                && t(6).kind == TokenKind::CloseParen
+                && t(7).kind == TokenKind::CloseBracket
+        });
+        if !has {
+            let extra = if kernel_crate {
+                " (crate declares kernel modules, so `deny` — not `forbid` — is required)"
+            } else {
+                ""
+            };
+            self.push(
+                fi,
+                1,
+                "L4",
+                format!("root-attr:{want}"),
+                format!("crate root is missing `#![{want}(unsafe_code)]`{extra}"),
+            );
+        }
+    }
+
+    /// L5: `unsafe` only inside configured kernel modules.
+    fn l5_unsafe_boundary(&mut self, fi: usize) {
+        let file = &self.ws.files[fi];
+        let mut hits = Vec::new();
+        for &i in &file.view {
+            let t = &file.scope.tokens[i];
+            if t.is_ident("unsafe") && !t.raw && !file.scope.in_test[i] {
+                hits.push(t.line);
+            }
+        }
+        for line in hits {
+            if self.allowed(fi, "unsafe", line) {
+                continue;
+            }
+            self.push(
+                fi,
+                line,
+                "L5",
+                "unsafe-outside-kernel".to_string(),
+                "`unsafe` outside a kernel module; move it into a file listed under `[kernel] modules` in dsh-lint.toml (or annotate `// lint: allow(unsafe) — <reason>`)"
+                    .to_string(),
+            );
+        }
+    }
+
+    // -- L3 (ported from v1, file-local) -----------------------------------
+
+    fn l3_publication(&mut self, fi: usize, spec: &crate::config::PublicationSpec) {
+        let file = &self.ws.files[fi];
+        let scope = &file.scope;
+        let view = &file.view;
+        let methods: Vec<Function> = scope
+            .functions
+            .iter()
+            .filter(|f| !f.is_trait_impl && f.impl_type.as_deref() == Some(spec.type_name.as_str()))
+            .cloned()
+            .collect();
+
+        // Fixpoint: a method "publishes" if it calls `self.publish(...)`
+        // or any other already-publishing method of the same type.
+        let mut publishing: HashSet<String> = HashSet::new();
+        publishing.insert(spec.publish_method.clone());
+        loop {
+            let mut changed = false;
+            for m in &methods {
+                if publishing.contains(&m.name) {
+                    continue;
+                }
+                let Some((open, close)) = m.body else {
+                    continue;
+                };
+                let calls_publishing = self_calls(scope, view, open, close)
+                    .iter()
+                    .any(|callee| publishing.contains(callee));
+                if calls_publishing {
+                    publishing.insert(m.name.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        for m in &methods {
+            if !m.is_pub || m.receiver != Receiver::RefMut || m.is_test {
+                continue;
+            }
+            if !publishing.contains(&m.name) {
+                if !self.allowed(fi, "publish", m.line) {
+                    self.push(
+                        fi,
+                        m.line,
+                        "L3",
+                        format!("no-publish:{}", m.name),
+                        format!(
+                            "pub `&mut self` method `{}::{}` never reaches `{}`; every write must publish a new epoch (or annotate `// lint: allow(publish) — <reason>`)",
+                            spec.type_name, m.name, spec.publish_method
+                        ),
+                    );
+                }
+                continue;
+            }
+            // The method publishes on its fall-through path; early exits
+            // would skip it, so flag `return` / `?` inside the body.
             let Some((open, close)) = m.body else {
                 continue;
             };
-            let calls_publishing = self_calls(scope, view, open, close)
+            let file = &self.ws.files[fi];
+            let earlies: Vec<(u32, String)> = file
+                .view
                 .iter()
-                .any(|callee| publishing.contains(callee.as_str()));
-            if calls_publishing {
-                publishing.insert(m.name.as_str());
-                changed = true;
+                .filter(|&&i| i > open && i < close)
+                .filter_map(|&i| {
+                    let t = &file.scope.tokens[i];
+                    let early = (t.is_ident("return") && !t.raw) || t.is_punct('?');
+                    early.then(|| (t.line, t.text.clone()))
+                })
+                .collect();
+            for (line, text) in earlies {
+                if !self.allowed(fi, "publish", line) {
+                    self.push(
+                        fi,
+                        line,
+                        "L3",
+                        format!("early-exit:{}:{text}", m.name),
+                        format!(
+                            "early exit (`{text}`) in publishing method `{}::{}` may skip `{}`; restructure or annotate `// lint: allow(publish) — <reason>`",
+                            spec.type_name, m.name, spec.publish_method
+                        ),
+                    );
+                }
             }
-        }
-        if !changed {
-            break;
         }
     }
 
-    for m in &methods {
-        if !m.is_pub || m.receiver != Receiver::RefMut || m.is_test {
-            continue;
-        }
-        if !publishing.contains(m.name.as_str()) {
-            if !scope.is_allowed("publish", m.line) {
-                out.push(Finding::new(
-                    rel,
-                    m.line,
-                    "L3",
-                    format!(
-                        "pub `&mut self` method `{}::{}` never reaches `{}`; every write must publish a new epoch (or annotate `// lint: allow(publish) — <reason>`)",
-                        spec.type_name, m.name, spec.publish_method
-                    ),
-                ));
-            }
-            continue;
-        }
-        // The method publishes on its fall-through path; early exits would
-        // skip it, so flag `return` / `?` inside the body.
-        let Some((open, close)) = m.body else {
-            continue;
-        };
-        for &i in view.iter().filter(|&&i| i > open && i < close) {
+    fn l3_guard_scope(&mut self, fi: usize, spec: &crate::config::PublicationSpec) {
+        let file = &self.ws.files[fi];
+        let scope = &file.scope;
+        let view = &file.view;
+        // Collect candidate violations first (immutable borrow), then
+        // filter through the allow tracker (mutable).
+        let mut candidates: Vec<(u32, String, u32, String)> = Vec::new();
+        for (k, &i) in view.iter().enumerate() {
             let t = &scope.tokens[i];
-            let early = (t.is_ident("return") && !t.raw) || t.is_punct('?');
-            if early && !scope.is_allowed("publish", t.line) {
-                out.push(Finding::new(
-                    rel,
-                    t.line,
-                    "L3",
-                    format!(
-                        "early exit (`{}`) in publishing method `{}::{}` may skip `{}`; restructure or annotate `// lint: allow(publish) — <reason>`",
-                        t.text, spec.type_name, m.name, spec.publish_method
-                    ),
-                ));
+            if scope.in_test[i] || !t.is_punct('.') {
+                continue;
             }
+            let Some(&m_idx) = view.get(k + 1) else {
+                continue;
+            };
+            let m = &scope.tokens[m_idx];
+            if !(m.is_ident("read") || m.is_ident("write")) {
+                continue;
+            }
+            if !view
+                .get(k + 2)
+                .is_some_and(|&j| scope.tokens[j].kind == TokenKind::OpenParen)
+            {
+                continue;
+            }
+            // Is the receiver chain the publication cell? Look back a few
+            // tokens for one of the configured field names.
+            let chain_hit = (k.saturating_sub(6)..k).any(|p| {
+                let pt = &scope.tokens[view[p]];
+                pt.kind == TokenKind::Ident && spec.cell_fields.contains(&pt.text)
+            });
+            if !chain_hit {
+                continue;
+            }
+            let guard_line = m.line;
+
+            // Liveness range: a let-bound guard lives to the end of the
+            // enclosing block; a temporary guard to the end of the
+            // statement.
+            let live_end = if statement_has_let(scope, view, k) {
+                enclosing_block_close(scope, i)
+            } else {
+                statement_end(scope, view, k)
+            };
+
+            for &j in view.iter().filter(|&&j| j > i && j < live_end) {
+                let bt = &scope.tokens[j];
+                let banned = if bt.kind == TokenKind::Ident && !bt.raw {
+                    let next_open = next_view_token(scope, view, j)
+                        .is_some_and(|n| n.kind == TokenKind::OpenParen);
+                    (L3_GUARD_BANNED.contains(&bt.text.as_str()) && next_open)
+                        || (bt.text == "make_mut")
+                } else {
+                    false
+                };
+                if banned {
+                    candidates.push((bt.line, bt.text.clone(), guard_line, m.text.clone()));
+                }
+            }
+        }
+        for (line, text, guard_line, guard_kind) in candidates {
+            if self.allowed(fi, "guard", guard_line) || self.allowed(fi, "guard", line) {
+                continue;
+            }
+            self.push(
+                fi,
+                line,
+                "L3",
+                format!("guard:{text}:{guard_kind}"),
+                format!(
+                    "`{text}` while a `.{guard_kind}()` guard on the publication cell (line {guard_line}) is live; drop the guard first (or annotate `// lint: allow(guard) — <reason>`)"
+                ),
+            );
+        }
+    }
+
+    // -- M2 ----------------------------------------------------------------
+
+    /// Dead allows: an escape hatch that suppressed nothing this run.
+    /// Runs last; allows inside test regions or test-path files are
+    /// exempt (the lints they would suppress never fire there).
+    fn m2_dead_allows(&mut self) {
+        let mut dead: Vec<(usize, u32, String)> = Vec::new();
+        for (fi, file) in self.ws.files.iter().enumerate() {
+            if file.is_test_path {
+                continue;
+            }
+            for (&line, markers) in &file.scope.allows {
+                if file
+                    .scope
+                    .marker_in_test
+                    .get(&line)
+                    .copied()
+                    .unwrap_or(false)
+                {
+                    continue;
+                }
+                for m in markers {
+                    if let Marker::Allow { lint, .. } = m {
+                        if !self.used.contains(&(fi, line, lint.clone())) {
+                            dead.push((fi, line, lint.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        for (fi, line, lint) in dead {
+            self.push(
+                fi,
+                line,
+                "M2",
+                format!("dead-allow:{lint}"),
+                format!(
+                    "dead `// lint: allow({lint})` — it suppresses no finding; remove the stale escape hatch"
+                ),
+            );
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// L3 helpers (unchanged from v1)
+// ---------------------------------------------------------------------------
+
+/// Calls that must never run while a publication-cell guard is live: they
+/// clone shards, rebuild segments, or re-enter the cell and would either
+/// stall wait-free readers or self-deadlock.
+const L3_GUARD_BANNED: [&str; 6] = [
+    "fork",
+    "seal",
+    "seal_with_threads",
+    "compact",
+    "compact_with_threads",
+    "consolidate",
+];
 
 /// Names called as `self.<name>(` within a body token range.
 fn self_calls(scope: &FileScope, view: &[usize], open: usize, close: usize) -> Vec<String> {
@@ -366,94 +750,6 @@ fn self_calls(scope: &FileScope, view: &[usize], open: usize, close: usize) -> V
         }
     }
     calls
-}
-
-// ---------------------------------------------------------------------------
-// L3 — guard-scope analysis
-// ---------------------------------------------------------------------------
-
-/// Calls that must never run while a publication-cell guard is live: they
-/// clone shards, rebuild segments, or re-enter the cell and would either
-/// stall wait-free readers or self-deadlock.
-const L3_GUARD_BANNED: [&str; 6] = [
-    "fork",
-    "seal",
-    "seal_with_threads",
-    "compact",
-    "compact_with_threads",
-    "consolidate",
-];
-
-fn l3_guard_scope(
-    rel: &str,
-    scope: &FileScope,
-    view: &[usize],
-    spec: &crate::PublicationSpec,
-    out: &mut Vec<Finding>,
-) {
-    for (k, &i) in view.iter().enumerate() {
-        let t = &scope.tokens[i];
-        if scope.in_test[i] || !t.is_punct('.') {
-            continue;
-        }
-        let Some(&m_idx) = view.get(k + 1) else {
-            continue;
-        };
-        let m = &scope.tokens[m_idx];
-        if !(m.is_ident("read") || m.is_ident("write")) {
-            continue;
-        }
-        if !view
-            .get(k + 2)
-            .is_some_and(|&j| scope.tokens[j].kind == TokenKind::OpenParen)
-        {
-            continue;
-        }
-        // Is the receiver chain the publication cell? Look back a few
-        // tokens for one of the configured field names.
-        let chain_hit = (k.saturating_sub(6)..k).any(|p| {
-            let pt = &scope.tokens[view[p]];
-            pt.kind == TokenKind::Ident && spec.cell_fields.contains(&pt.text)
-        });
-        if !chain_hit {
-            continue;
-        }
-        let guard_line = m.line;
-        if scope.is_allowed("guard", guard_line) {
-            continue;
-        }
-
-        // Liveness range: a let-bound guard lives to the end of the
-        // enclosing block; a temporary guard to the end of the statement.
-        let live_end = if statement_has_let(scope, view, k) {
-            enclosing_block_close(scope, i)
-        } else {
-            statement_end(scope, view, k)
-        };
-
-        for &j in view.iter().filter(|&&j| j > i && j < live_end) {
-            let bt = &scope.tokens[j];
-            let banned = if bt.kind == TokenKind::Ident && !bt.raw {
-                let next_open =
-                    next_view_token(scope, view, j).is_some_and(|n| n.kind == TokenKind::OpenParen);
-                (L3_GUARD_BANNED.contains(&bt.text.as_str()) && next_open)
-                    || (bt.text == "make_mut")
-            } else {
-                false
-            };
-            if banned && !scope.is_allowed("guard", bt.line) {
-                out.push(Finding::new(
-                    rel,
-                    bt.line,
-                    "L3",
-                    format!(
-                        "`{}` while a `.{}()` guard on the publication cell (line {}) is live; drop the guard first (or annotate `// lint: allow(guard) — <reason>`)",
-                        bt.text, m.text, guard_line
-                    ),
-                ));
-            }
-        }
-    }
 }
 
 fn next_view_token<'a>(
@@ -509,49 +805,4 @@ fn statement_end(scope: &FileScope, view: &[usize], k: usize) -> usize {
         }
     }
     scope.tokens.len()
-}
-
-// ---------------------------------------------------------------------------
-// L4
-// ---------------------------------------------------------------------------
-
-fn l4_unsafe_tokens(rel: &str, scope: &FileScope, view: &[usize], out: &mut Vec<Finding>) {
-    for &i in view {
-        let t = &scope.tokens[i];
-        if t.is_ident("unsafe") && !t.raw {
-            let covered =
-                (t.line.saturating_sub(3)..=t.line).any(|l| scope.safety_lines.contains_key(&l));
-            if !covered {
-                out.push(Finding::new(
-                    rel,
-                    t.line,
-                    "L4",
-                    "`unsafe` without a `// SAFETY:` comment on the same line or within 3 lines above"
-                        .to_string(),
-                ));
-            }
-        }
-    }
-}
-
-fn l4_forbid_attr(rel: &str, scope: &FileScope, view: &[usize], out: &mut Vec<Finding>) {
-    let has = view.windows(8).any(|w| {
-        let t = |n: usize| &scope.tokens[w[n]];
-        t(0).is_punct('#')
-            && t(1).is_punct('!')
-            && t(2).kind == TokenKind::OpenBracket
-            && t(3).is_ident("forbid")
-            && t(4).kind == TokenKind::OpenParen
-            && t(5).is_ident("unsafe_code")
-            && t(6).kind == TokenKind::CloseParen
-            && t(7).kind == TokenKind::CloseBracket
-    });
-    if !has {
-        out.push(Finding::new(
-            rel,
-            1,
-            "L4",
-            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-        ));
-    }
 }

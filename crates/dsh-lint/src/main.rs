@@ -1,12 +1,30 @@
-//! CLI for the workspace linter: `cargo run -p dsh-lint -- check [--root PATH]`.
+//! CLI for the workspace linter:
+//! `cargo run -p dsh-lint -- check [--root PATH] [--format text|json|github]`.
 //!
-//! Exit codes: 0 = clean, 1 = findings printed (one per line, as
-//! `<file>:<line>: <lint-id> <message>`), 2 = usage / IO error.
+//! Reads `dsh-lint.toml` from the root (empty config when absent; exit 2
+//! when it parses badly or names a module that does not exist).
+//!
+//! Formats:
+//! * `text` (default) — one `<file>:<line>: <lint-id> <message>` per
+//!   line, then a one-line files/functions/edges stats summary;
+//! * `github` — GitHub Actions `::error file=...,line=...::` annotations,
+//!   then the stats summary;
+//! * `json` — a single `{"findings":[...],"stats":{...}}` object with
+//!   stable finding ids and call chains.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage / IO / config error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+enum Format {
+    Text,
+    Json,
+    Github,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,38 +38,83 @@ fn main() -> ExitCode {
     // Default root: the workspace this binary lives in, so `cargo run -p
     // dsh-lint -- check` works from any directory.
     let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut format = Format::Text;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--root" => match iter.next() {
                 Some(p) => root = PathBuf::from(p),
                 None => return usage("--root requires a path"),
             },
+            "--format" => match iter.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                Some(other) => return usage(&format!("unknown format `{other}`")),
+                None => return usage("--format requires text|json|github"),
+            },
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
 
-    let cfg = dsh_lint::Config::repo_default();
-    match dsh_lint::check_workspace(&root, &cfg) {
-        Ok(findings) if findings.is_empty() => {
-            println!("dsh-lint: clean");
-            ExitCode::SUCCESS
+    let started = Instant::now();
+    let cfg = match dsh_lint::load_config(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("dsh-lint: {e}");
+            return ExitCode::from(2);
         }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
-            }
-            eprintln!("dsh-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
-        }
+    };
+    let report = match dsh_lint::check_workspace(&root, &cfg) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("dsh-lint: error walking {}: {e}", root.display());
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    let elapsed_ms = started.elapsed().as_millis();
+    let s = report.stats;
+    let stats_line = format!(
+        "dsh-lint: {} finding(s) · {} files · {} functions · {} call edges · {elapsed_ms} ms",
+        s.findings, s.files, s.functions, s.edges
+    );
+
+    match format {
+        Format::Text => {
+            if report.findings.is_empty() {
+                println!("dsh-lint: clean");
+            }
+            for f in &report.findings {
+                println!("{f}");
+            }
+            println!("{stats_line}");
+        }
+        Format::Github => {
+            for f in &report.findings {
+                println!(
+                    "::error file={},line={},title={}::{} {}",
+                    f.file,
+                    f.line,
+                    f.id(),
+                    f.lint,
+                    f.message.replace(['\n', '\r'], " ")
+                );
+            }
+            println!("{stats_line}");
+        }
+        Format::Json => {
+            println!("{}", report.to_json());
+        }
+    }
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("dsh-lint: {err}");
-    eprintln!("usage: dsh-lint check [--root PATH]");
+    eprintln!("usage: dsh-lint check [--root PATH] [--format text|json|github]");
     ExitCode::from(2)
 }

@@ -36,12 +36,21 @@ pub struct Function {
     /// Self-type name of the enclosing inherent `impl` block (`None` for
     /// free functions and for functions inside trait `impl ... for` blocks).
     pub impl_type: Option<String>,
+    /// Self-type name of the enclosing `impl` block, inherent *or* trait
+    /// (`impl Trait for T` yields `T` here) — the receiver type the call
+    /// resolver attributes `self.method()` calls to.
+    pub self_type: Option<String>,
+    /// Name of the trait when inside `impl Trait for T` or a `trait Name`
+    /// declaration block.
+    pub trait_name: Option<String>,
     /// True when the enclosing impl is a trait impl (`impl Trait for T`).
     pub is_trait_impl: bool,
     pub is_pub: bool,
     pub receiver: Receiver,
     /// Token index of the `fn` keyword.
     pub fn_idx: usize,
+    /// Token index of the parameter list's `(`, when found.
+    pub args_open: Option<usize>,
     /// 1-based source line of the `fn` keyword.
     pub line: u32,
     /// Token indexes of the body's `{` and matching `}` (None for
@@ -79,6 +88,9 @@ pub struct FileScope {
     pub malformed_markers: Vec<(u32, String)>,
     /// Source line -> true when a `SAFETY:` comment sits on that line.
     pub safety_lines: HashMap<u32, bool>,
+    /// Marker-comment line -> true when that comment sits inside a test
+    /// region (test-local markers are exempt from the dead-allow lint).
+    pub marker_in_test: HashMap<u32, bool>,
 }
 
 impl FileScope {
@@ -95,7 +107,8 @@ impl FileScope {
                 f
             })
             .collect();
-        let (allows, hot_markers, malformed_markers, safety_lines) = collect_markers(&tokens);
+        let (allows, hot_markers, malformed_markers, safety_lines, marker_in_test) =
+            collect_markers(&tokens, &in_test);
         FileScope {
             tokens,
             functions,
@@ -105,6 +118,7 @@ impl FileScope {
             hot_markers,
             malformed_markers,
             safety_lines,
+            marker_in_test,
         }
     }
 
@@ -320,9 +334,14 @@ fn receiver_of(tokens: &[Token], open: usize) -> Receiver {
     Receiver::None
 }
 
-/// One enclosing impl block, for attributing functions to types.
+/// One enclosing impl or trait block, for attributing functions to types.
 struct ImplCtx {
+    /// The self type: `T` for both `impl T` and `impl Trait for T`
+    /// (`None` for `trait Name` declaration blocks).
     type_name: Option<String>,
+    /// The trait: `Trait` for `impl Trait for T` and for `trait Trait`
+    /// declaration blocks.
+    trait_name: Option<String>,
     is_trait_impl: bool,
     close: usize,
 }
@@ -340,6 +359,13 @@ fn collect_functions(tokens: &[Token], brace_match: &HashMap<usize, usize>) -> V
         }
         if t.text == "impl" {
             if let Some((ctx, body_open)) = parse_impl_header(tokens, i, brace_match) {
+                impls.push(ctx);
+                i = body_open + 1;
+                continue;
+            }
+        }
+        if t.text == "trait" {
+            if let Some((ctx, body_open)) = parse_trait_header(tokens, i, brace_match) {
                 impls.push(ctx);
                 i = body_open + 1;
                 continue;
@@ -363,10 +389,13 @@ fn collect_functions(tokens: &[Token], brace_match: &HashMap<usize, usize>) -> V
                             c.type_name.clone()
                         }
                     }),
+                    self_type: innermost.and_then(|c| c.type_name.clone()),
+                    trait_name: innermost.and_then(|c| c.trait_name.clone()),
                     is_trait_impl: innermost.is_some_and(|c| c.is_trait_impl),
                     is_pub: item_is_pub(tokens, i),
                     receiver: args_open.map_or(Receiver::None, |o| receiver_of(tokens, o)),
                     fn_idx: i,
+                    args_open,
                     line: t.line,
                     body,
                     is_test: attrs.iter().any(|a| a == "test"),
@@ -380,6 +409,48 @@ fn collect_functions(tokens: &[Token], brace_match: &HashMap<usize, usize>) -> V
         i += 1;
     }
     fns
+}
+
+/// Parse a `trait Name ... {` header starting at the `trait` keyword;
+/// returns the block context plus the index of the body `{`.
+fn parse_trait_header(
+    tokens: &[Token],
+    trait_idx: usize,
+    brace_match: &HashMap<usize, usize>,
+) -> Option<(ImplCtx, usize)> {
+    let name_idx = next_code(tokens, trait_idx + 1)?;
+    if tokens[name_idx].kind != TokenKind::Ident {
+        return None;
+    }
+    // Walk to the body `{` (skipping generics, supertrait bounds, and
+    // `where` clauses; angle depth keeps `Bound<{ N }>`-free code honest).
+    let mut angle_depth = 0usize;
+    let mut i = next_code(tokens, name_idx + 1)?;
+    loop {
+        let t = &tokens[i];
+        if t.kind == TokenKind::OpenBrace && angle_depth == 0 {
+            break;
+        }
+        if t.kind == TokenKind::Punct && t.text == ";" && angle_depth == 0 {
+            return None; // trait alias, no body
+        }
+        if t.is_punct('<') {
+            angle_depth += 1;
+        } else if t.is_punct('>') {
+            angle_depth = angle_depth.saturating_sub(1);
+        }
+        i = next_code(tokens, i + 1)?;
+    }
+    let close = *brace_match.get(&i)?;
+    Some((
+        ImplCtx {
+            type_name: None,
+            trait_name: Some(tokens[name_idx].text.clone()),
+            is_trait_impl: false,
+            close,
+        },
+        i,
+    ))
 }
 
 /// Parse an `impl` header starting at token `impl_idx`; returns the impl
@@ -437,8 +508,9 @@ fn parse_impl_header(
             type_name: if seen_for {
                 after_for_ident
             } else {
-                first_ident
+                first_ident.clone()
             },
+            trait_name: if seen_for { first_ident } else { None },
             is_trait_impl: seen_for,
             close,
         },
@@ -540,14 +612,16 @@ type Markers = (
     Vec<(u32, Option<usize>)>,
     Vec<(u32, String)>,
     HashMap<u32, bool>,
+    HashMap<u32, bool>,
 );
 
 /// Scan comments for `lint:` markers and `SAFETY:` annotations.
-fn collect_markers(tokens: &[Token]) -> Markers {
+fn collect_markers(tokens: &[Token], in_test: &[bool]) -> Markers {
     let mut allows: HashMap<u32, Vec<Marker>> = HashMap::new();
     let mut hots = Vec::new();
     let mut malformed = Vec::new();
     let mut safety: HashMap<u32, bool> = HashMap::new();
+    let mut marker_in_test: HashMap<u32, bool> = HashMap::new();
     for (i, t) in tokens.iter().enumerate() {
         if t.kind != TokenKind::Comment {
             continue;
@@ -562,6 +636,7 @@ fn collect_markers(tokens: &[Token]) -> Markers {
             continue;
         };
         let rest = rest.trim();
+        marker_in_test.insert(t.line, in_test.get(i).copied().unwrap_or(false));
         match parse_marker(rest) {
             Some(Marker::Hot) => {
                 let bound =
@@ -572,7 +647,7 @@ fn collect_markers(tokens: &[Token]) -> Markers {
             _ => malformed.push((t.line, t.text.clone())),
         }
     }
-    (allows, hots, malformed, safety)
+    (allows, hots, malformed, safety, marker_in_test)
 }
 
 /// Parse the text after `lint:`. Grammar:

@@ -1,9 +1,13 @@
 //! Fixture-driven self-tests: each known-bad fixture must produce exactly
 //! the expected findings (lint id + line), each known-good fixture none.
-//! Fixture sources are lexed/linted as text — they never compile, and the
+//! Single-file fixtures are lexed/linted as text and never compile; the
+//! `ws_*` directories are miniature multi-crate workspaces (each with its
+//! own `dsh-lint.toml`) that exercise the interprocedural layer through
+//! the same `load_config` + `check_workspace` path the CLI uses. The real
 //! workspace walk skips `fixtures/` directories.
 
-use dsh_lint::{check_file_source, Config, Finding};
+use dsh_lint::{check_file_source, Config, Finding, Report};
+use std::path::PathBuf;
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -15,6 +19,15 @@ fn fixture(name: &str) -> String {
 /// production configuration.
 fn lint(name: &str, as_path: &str) -> Vec<Finding> {
     check_file_source(as_path, &fixture(name), &Config::repo_default())
+}
+
+/// Lint a `ws_*` mini-workspace rooted at its fixture directory, loading
+/// its own `dsh-lint.toml` exactly as the CLI would.
+fn lint_ws(name: &str) -> Report {
+    let root = PathBuf::from(format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR")));
+    let cfg = dsh_lint::load_config(&root)
+        .unwrap_or_else(|e| panic!("loading {name}/dsh-lint.toml: {e}"));
+    dsh_lint::check_workspace(&root, &cfg).unwrap_or_else(|e| panic!("walking {name}: {e}"))
 }
 
 const SERVING: &str = "crates/dsh-index/src/table.rs";
@@ -94,15 +107,37 @@ fn l3_is_scoped_to_the_shard_file() {
 }
 
 #[test]
-fn l4_bad_flags_missing_forbid_and_bare_unsafe() {
+fn l4_bad_flags_missing_forbid_bare_unsafe_and_nonkernel_unsafe() {
     let f = lint("l4_bad.rs", ROOT);
-    assert_eq!(ids_and_lines(&f), vec![("L4", 1), ("L4", 6)], "{f:#?}");
+    // Missing forbid (line 1), unsafe without SAFETY (line 6), and — with
+    // no `[kernel] modules` configured — L5 unsafe outside a kernel
+    // module on the same line.
+    assert_eq!(
+        ids_and_lines(&f),
+        vec![("L4", 1), ("L4", 6), ("L5", 6)],
+        "{f:#?}"
+    );
 }
 
 #[test]
-fn l4_good_is_clean() {
-    let f = lint("l4_good.rs", ROOT);
+fn l4_good_is_clean_under_kernel_config() {
+    // The fixture declares `#![deny(unsafe_code)]` and a SAFETY-annotated
+    // unsafe block — legal exactly when the file is a configured kernel
+    // module (L5 waived, L4 root attribute relaxed to `deny`).
+    let cfg = Config::from_toml(&format!("[kernel]\nmodules = [\"{ROOT}\"]"))
+        .expect("kernel config parses");
+    let f = check_file_source(ROOT, &fixture("l4_good.rs"), &cfg);
     assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn l4_good_violates_the_default_nonkernel_regime() {
+    // The same file under the repo default (no kernel modules) is doubly
+    // wrong: the root wants `forbid` (not `deny`), and the unsafe block
+    // sits outside any kernel module.
+    let f = lint("l4_good.rs", ROOT);
+    let ids: Vec<&str> = f.iter().map(|x| x.lint).collect();
+    assert_eq!(ids, vec!["L4", "L5"], "{f:#?}");
 }
 
 #[test]
@@ -119,4 +154,65 @@ fn findings_render_machine_readable_lines() {
         first.starts_with("crates/dsh-index/src/table.rs:7: L1 "),
         "{first}"
     );
+}
+
+// -- interprocedural mini-workspace fixtures ------------------------------
+
+#[test]
+fn ws_panic_reach_reports_the_cross_crate_chain() {
+    let r = lint_ws("ws_panic_reach");
+    assert_eq!(r.findings.len(), 1, "{:#?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.lint, "L1");
+    assert_eq!(f.file, "crates/back/src/back.rs", "{f:#?}");
+    assert_eq!(
+        f.chain,
+        vec!["front.rs:query", "back.rs:decode", "back.rs:inner"],
+        "{f:#?}"
+    );
+    assert!(f.message.contains("front.rs:query"), "{f:#?}");
+}
+
+#[test]
+fn ws_transitive_alloc_flags_two_hops_below_the_marker() {
+    let r = lint_ws("ws_transitive_alloc");
+    assert_eq!(r.findings.len(), 1, "{:#?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.lint, "L2");
+    assert_eq!(
+        f.chain,
+        vec!["kern.rs:kernel", "kern.rs:mid", "kern.rs:leaf"],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn ws_recursion_terminates_and_chains_through_the_cycle() {
+    let r = lint_ws("ws_recursion");
+    assert_eq!(r.findings.len(), 1, "{:#?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.lint, "L1");
+    assert_eq!(f.chain.first().map(String::as_str), Some("cy.rs:serve"));
+    assert_eq!(f.chain.last().map(String::as_str), Some("cy.rs:boom"));
+    // The chain is an acyclic path, not an unrolled cycle.
+    let mut sorted = f.chain.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), f.chain.len(), "chain repeats a node: {f:#?}");
+}
+
+#[test]
+fn ws_trait_fallback_fans_out_to_the_panicking_impl() {
+    let r = lint_ws("ws_trait_fallback");
+    assert_eq!(r.findings.len(), 1, "{:#?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.lint, "L1");
+    assert_eq!(f.chain.first().map(String::as_str), Some("m.rs:serve"));
+    assert_eq!(f.chain.last().map(String::as_str), Some("m.rs:eval"));
+}
+
+#[test]
+fn ws_shadowed_method_does_not_pull_in_the_free_fn() {
+    let r = lint_ws("ws_shadowed");
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
 }

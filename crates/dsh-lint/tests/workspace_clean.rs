@@ -1,19 +1,24 @@
 //! Meta-test: the workspace itself must be lint-clean. This is the same
 //! check CI runs via `cargo run -p dsh-lint -- check`, kept as a test so
-//! plain `cargo test` catches a regression (a stray unwrap on the serving
-//! path, a lost forbid attribute) without the extra CI job.
+//! plain `cargo test` catches a regression (a stray unwrap reachable from
+//! the serving path, a lost forbid attribute) without the extra CI job.
 
 use std::path::Path;
 
+fn repo_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 #[test]
 fn workspace_has_no_findings() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let cfg = dsh_lint::Config::repo_default();
-    let findings = dsh_lint::check_workspace(&root, &cfg).expect("walking the workspace");
+    let root = repo_root();
+    let cfg = dsh_lint::load_config(&root).expect("dsh-lint.toml must load");
+    let report = dsh_lint::check_workspace(&root, &cfg).expect("walking the workspace");
     assert!(
-        findings.is_empty(),
+        report.findings.is_empty(),
         "workspace is not lint-clean:\n{}",
-        findings
+        report
+            .findings
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
@@ -22,17 +27,38 @@ fn workspace_has_no_findings() {
 }
 
 #[test]
-fn serving_modules_exist_where_the_config_points() {
+fn workspace_call_graph_is_nontrivial() {
+    // The interprocedural layer must actually see the workspace: if the
+    // resolver regressed to finding no functions or no edges, every
+    // reachability lint would pass vacuously. Pin a coarse lower bound.
+    let root = repo_root();
+    let cfg = dsh_lint::load_config(&root).expect("dsh-lint.toml must load");
+    let report = dsh_lint::check_workspace(&root, &cfg).expect("walking the workspace");
+    assert!(
+        report.stats.functions > 300,
+        "suspiciously few functions: {}",
+        report.stats.functions
+    );
+    assert!(
+        report.stats.edges > 1000,
+        "suspiciously few call edges: {}",
+        report.stats.edges
+    );
+}
+
+#[test]
+fn configured_modules_exist_where_the_config_points() {
     // Guard against silent rot: if a serving-path module is renamed, the
-    // lint would silently stop covering it. Fail loudly instead.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let cfg = dsh_lint::Config::repo_default();
-    for suffix in &cfg.serving_suffixes {
-        assert!(
-            root.join(suffix).is_file(),
-            "serving-path module {suffix} no longer exists; update Config::repo_default"
-        );
-    }
-    let spec = cfg.publication.expect("repo default configures L3");
+    // lint would silently stop covering it. `load_config` fails loudly on
+    // any configured path that no longer exists — so loading the real
+    // config IS the rename guard; also pin the publication spec presence.
+    let root = repo_root();
+    let cfg = dsh_lint::load_config(&root)
+        .expect("dsh-lint.toml names a module that no longer exists; update dsh-lint.toml");
+    assert!(
+        !cfg.serving_roots.is_empty(),
+        "repo config must declare serving roots"
+    );
+    let spec = cfg.publication.expect("repo config configures L3");
     assert!(root.join(&spec.file_suffix).is_file());
 }
