@@ -13,7 +13,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dsh_core::combinators::Power;
 use dsh_core::family::{DshFamily, PointHasher};
-use dsh_core::points::BitVector;
+use dsh_core::points::{BitStore, BitVector};
 use dsh_hamming::BitSampling;
 use dsh_index::HashTableIndex;
 use dsh_math::rng::seeded;
@@ -188,6 +188,42 @@ fn bench_index_layouts(c: &mut Criterion) {
             black_box(results.iter().map(|(cands, _)| cands.len()).sum::<usize>())
         });
     });
+    group.finish();
+
+    // --- Candidate verification across dispatch tiers ---------------------
+    // The batched walk's output feeds the Hamming verification gather;
+    // time that gather under every kernel tier the CPU supports. The
+    // candidate lists are collected once outside the timer, so the group
+    // isolates the kernel (and its internal row prefetch) from the walk.
+    let store = BitStore::from(
+        csr.store()
+            .iter()
+            .map(|p| BitVector::from_blocks(p.as_blocks().to_vec(), D))
+            .collect::<Vec<_>>(),
+    );
+    let candidate_lists: Vec<Vec<usize>> =
+        queries.iter().map(|q| csr.candidates(q, None).0).collect();
+    let mut group = c.benchmark_group(format!("index_verify_tiers_n{QUERY_N}_batch{N_QUERIES}"));
+    let mut out = Vec::new();
+    for tier in dsh_core::kernels::implementations() {
+        group.bench_function(tier.name, |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (q, cands) in queries.iter().zip(&candidate_lists) {
+                    out.clear();
+                    (tier.hamming_many)(
+                        store.as_flat(),
+                        store.blocks_per_row(),
+                        cands,
+                        q.as_blocks(),
+                        &mut out,
+                    );
+                    acc += out.iter().sum::<u64>();
+                }
+                black_box(acc)
+            });
+        });
+    }
     group.finish();
 }
 

@@ -148,10 +148,79 @@ fn bench_index_build(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar vs SIMD dispatch tiers on the raw batch kernels: every tier
+/// the CPU supports (via [`dsh_core::kernels::implementations`]), timed
+/// on one flat-store verification workload. Bit-parity against the
+/// scalar oracle is asserted before timing, so a divergent tier fails
+/// the bench instead of producing a fast wrong number.
+fn bench_kernel_tiers(c: &mut Criterion) {
+    use dsh_core::kernels;
+
+    let mut rng = seeded(0x57B6);
+    let dense = DenseStore::from(
+        (0..VERIFY_N)
+            .map(|_| DenseVector::random_unit(&mut rng, DENSE_D))
+            .collect::<Vec<_>>(),
+    );
+    let bits = BitStore::from(
+        (0..VERIFY_N)
+            .map(|_| BitVector::random(&mut rng, BIT_D))
+            .collect::<Vec<_>>(),
+    );
+    let q = DenseVector::random_unit(&mut rng, DENSE_D);
+    let bq = BitVector::random(&mut rng, BIT_D);
+    let ids = candidate_ids(&mut rng, VERIFY_N, N_CANDIDATES);
+
+    let mut oracle = Vec::new();
+    kernels::scalar::dot_many(dense.as_flat(), DENSE_D, &ids, q.as_slice(), &mut oracle);
+    let oracle_bits: Vec<u64> = oracle.iter().map(|x| x.to_bits()).collect();
+
+    let mut group = c.benchmark_group(format!("kernel_tiers_dot_many_c{N_CANDIDATES}"));
+    let mut out = Vec::with_capacity(ids.len());
+    for tier in kernels::implementations() {
+        out.clear();
+        (tier.dot_many)(dense.as_flat(), DENSE_D, &ids, q.as_slice(), &mut out);
+        assert_eq!(
+            out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            oracle_bits,
+            "tier {} diverges from the scalar oracle",
+            tier.name
+        );
+        group.bench_function(tier.name, |b| {
+            b.iter(|| {
+                out.clear();
+                (tier.dot_many)(dense.as_flat(), DENSE_D, &ids, q.as_slice(), &mut out);
+                black_box(out.last().copied())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group(format!("kernel_tiers_hamming_many_c{N_CANDIDATES}"));
+    let mut bout = Vec::with_capacity(ids.len());
+    for tier in kernels::implementations() {
+        group.bench_function(tier.name, |b| {
+            b.iter(|| {
+                bout.clear();
+                (tier.hamming_many)(
+                    bits.as_flat(),
+                    bits.blocks_per_row(),
+                    &ids,
+                    bq.as_blocks(),
+                    &mut bout,
+                );
+                black_box(bout.last().copied())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_dense_verification,
     bench_bit_verification,
-    bench_index_build
+    bench_index_build,
+    bench_kernel_tiers
 );
 criterion_main!(benches);

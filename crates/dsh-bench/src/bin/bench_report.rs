@@ -1,0 +1,324 @@
+//! `bench-report`: the machine-readable kernel perf trajectory.
+//!
+//! Times the runtime-dispatched kernel layer (`dsh_core::kernels`) on
+//! the workloads the serving path actually runs — dense `dot_many` /
+//! `euclidean_many` verification, packed Hamming verification, and the
+//! batched CSR candidate-collection walk — then re-executes itself in a
+//! child process with `DSH_FORCE_SCALAR=1` to time the identical
+//! workloads on the scalar tier with prefetch disabled. Dispatch is
+//! resolved once per process, so the subprocess is the only honest way
+//! to compare both paths end to end (facades, prefetch gating and all).
+//!
+//! Parity is asserted, not assumed: every bench folds its outputs into
+//! an FNV checksum, and the parent fails if any child checksum differs —
+//! the kernels' bit-identity contract, enforced inside the bench run.
+//!
+//! Modes:
+//! - default: full-size workloads; writes `BENCH_kernels.json` at the
+//!   repo root with schema `bench name -> {scalar_ns, simd_ns, speedup,
+//!   n, dim}` (nanoseconds are best-of-reps for the whole workload).
+//! - `--smoke`: small workloads, no file written — a fast CI tripwire
+//!   for dispatch-path divergence.
+
+use dsh_core::combinators::Power;
+use dsh_core::kernels;
+use dsh_core::points::{BitStore, BitVector, DenseStore, DenseVector};
+use dsh_index::HashTableIndex;
+use dsh_math::rng::seeded;
+use dsh_sphere::SimHash;
+use std::time::Instant;
+
+/// Marker the parent sets (alongside `DSH_FORCE_SCALAR=1`) so the child
+/// invocation reports raw measurements instead of recursing.
+const CHILD_MARKER: &str = "DSH_BENCH_REPORT_CHILD";
+
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv(acc: u64, x: u64) -> u64 {
+    x.to_le_bytes().iter().fold(acc, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+/// One measured workload: best-of-reps wall time plus the output
+/// checksum that pins bit-parity across dispatch paths.
+struct Sample {
+    name: &'static str,
+    ns: u128,
+    checksum: u64,
+    n: usize,
+    dim: usize,
+}
+
+/// Workload sizes; `--smoke` shrinks everything so the whole report runs
+/// in seconds while still crossing every kernel path.
+struct Sizes {
+    verify_n: usize,
+    candidates: usize,
+    dense_d: usize,
+    bit_d: usize,
+    csr_n: usize,
+    csr_queries: usize,
+    reps: usize,
+}
+
+const FULL: Sizes = Sizes {
+    verify_n: 200_000,
+    candidates: 50_000,
+    dense_d: 64,
+    bit_d: 256,
+    csr_n: 500_000,
+    csr_queries: 256,
+    reps: 15,
+};
+
+const SMOKE: Sizes = Sizes {
+    verify_n: 20_000,
+    candidates: 5_000,
+    dense_d: 64,
+    bit_d: 256,
+    csr_n: 10_000,
+    csr_queries: 32,
+    reps: 5,
+};
+
+/// Best-of-`reps` wall time of `f`, with one untimed warmup call.
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> (u128, R) {
+    let mut result = f();
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        result = f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    (best, result)
+}
+
+fn run_benches(s: &Sizes) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    let mut rng = seeded(0xB37C);
+
+    // Dense verification: the candidate-row gather the ANN verify loop
+    // performs, through the DenseStore facade (dispatch + prefetch).
+    let mut store = DenseStore::with_dim(s.dense_d);
+    for _ in 0..s.verify_n {
+        let p = DenseVector::random_unit(&mut rng, s.dense_d);
+        store.push(p.as_slice());
+    }
+    let q = DenseVector::random_unit(&mut rng, s.dense_d);
+    let ids: Vec<usize> = (0..s.candidates)
+        .map(|_| rng.random_range(0..s.verify_n))
+        .collect();
+    let mut out = Vec::with_capacity(ids.len());
+    let (ns, ()) = time(s.reps, || {
+        store.dot_many(&ids, q.as_slice(), &mut out);
+    });
+    samples.push(Sample {
+        name: "dense_dot_many_verify",
+        ns,
+        checksum: out.iter().fold(FNV_SEED, |h, x| fnv(h, x.to_bits())),
+        n: s.candidates,
+        dim: s.dense_d,
+    });
+    let (ns, ()) = time(s.reps, || {
+        store.euclidean_many(&ids, q.as_slice(), &mut out);
+    });
+    samples.push(Sample {
+        name: "dense_euclidean_many_verify",
+        ns,
+        checksum: out.iter().fold(FNV_SEED, |h, x| fnv(h, x.to_bits())),
+        n: s.candidates,
+        dim: s.dense_d,
+    });
+
+    // Packed Hamming verification through the BitStore facade.
+    let mut bits = BitStore::with_dim(s.bit_d);
+    for _ in 0..s.verify_n {
+        bits.push_random(&mut rng);
+    }
+    let bq = BitVector::random(&mut rng, s.bit_d);
+    let mut bout = Vec::with_capacity(ids.len());
+    let (ns, ()) = time(s.reps, || {
+        bits.hamming_many(&ids, bq.as_blocks(), &mut bout);
+    });
+    samples.push(Sample {
+        name: "bit_hamming_many_verify",
+        ns,
+        checksum: bout.iter().fold(FNV_SEED, |h, &x| fnv(h, x)),
+        n: s.candidates,
+        dim: s.bit_d,
+    });
+
+    // Batched CSR candidate collection: for each query, the bucket /
+    // id-array walk with visited-stamp dedup (stamp prefetch on the
+    // SIMD tiers) feeding the dense candidate-row verification gather
+    // (`euclidean_many`, row prefetch) — the per-query candidate pass
+    // the ANN serving path runs. The walk-only phase is also reported
+    // separately so the trajectory separates dedup-walk gains from
+    // verification gains.
+    let mut build_rng = seeded(0xB37D);
+    let mut csr_store = DenseStore::with_dim(s.dense_d);
+    for _ in 0..s.csr_n {
+        let p = DenseVector::random_unit(&mut build_rng, s.dense_d);
+        csr_store.push(p.as_slice());
+    }
+    let fam = Power::new(SimHash::new(s.dense_d), 12);
+    let idx = HashTableIndex::build(&fam, csr_store, 8, &mut build_rng);
+    let queries: Vec<DenseVector> = (0..s.csr_queries)
+        .map(|_| DenseVector::random_unit(&mut build_rng, s.dense_d))
+        .collect();
+    let mut scratch = idx.new_scratch();
+    let mut dists = Vec::new();
+    let (ns, checksum) = time(s.reps, || {
+        let mut h = FNV_SEED;
+        for q in &queries {
+            let (cands, _) = idx.candidates_with(q, None, &mut scratch);
+            idx.store().euclidean_many(&cands, q.as_slice(), &mut dists);
+            h = cands.iter().fold(h, |h, &i| fnv(h, i as u64));
+            h = dists.iter().fold(h, |h, x| fnv(h, x.to_bits()));
+        }
+        h
+    });
+    samples.push(Sample {
+        name: "csr_candidate_collect_batch",
+        ns,
+        checksum,
+        n: s.csr_n,
+        dim: s.dense_d,
+    });
+    let (ns, checksum) = time(s.reps, || {
+        let mut h = FNV_SEED;
+        for q in &queries {
+            let (cands, stats) = idx.candidates_with(q, None, &mut scratch);
+            h = cands.iter().fold(h, |h, &i| fnv(h, i as u64));
+            h = fnv(h, stats.candidates_retrieved as u64);
+        }
+        h
+    });
+    samples.push(Sample {
+        name: "csr_bucket_walk_batch",
+        ns,
+        checksum,
+        n: s.csr_n,
+        dim: s.dense_d,
+    });
+
+    samples
+}
+
+/// Child mode: print raw measurements for the parent to merge.
+fn report_child(s: &Sizes) {
+    println!("KERNEL={}", kernels::active().name);
+    for b in run_benches(s) {
+        println!(
+            "BENCH name={} ns={} checksum={:016x} n={} dim={}",
+            b.name, b.ns, b.checksum, b.n, b.dim
+        );
+    }
+}
+
+/// A child `BENCH` line, parsed.
+fn parse_child_line(line: &str) -> Option<(String, u128, u64)> {
+    let mut name = None;
+    let mut ns = None;
+    let mut checksum = None;
+    for field in line.strip_prefix("BENCH ")?.split_whitespace() {
+        let (k, v) = field.split_once('=')?;
+        match k {
+            "name" => name = Some(v.to_string()),
+            "ns" => ns = v.parse::<u128>().ok(),
+            "checksum" => checksum = u64::from_str_radix(v, 16).ok(),
+            _ => {}
+        }
+    }
+    Some((name?, ns?, checksum?))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes = if smoke { &SMOKE } else { &FULL };
+
+    if std::env::var_os(CHILD_MARKER).is_some() {
+        report_child(sizes);
+        return;
+    }
+
+    let tier = kernels::active().name;
+    eprintln!("bench-report: active dispatch tier = {tier}");
+    if tier == "scalar" {
+        eprintln!("bench-report: warning: parent already dispatches scalar; speedups will be ~1.0");
+    }
+
+    let native = run_benches(sizes);
+
+    // Scalar side: same binary, same workloads, dispatch pinned.
+    let exe = std::env::current_exe().expect("own binary path");
+    let mut cmd = std::process::Command::new(exe);
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    let out = cmd
+        .env(CHILD_MARKER, "1")
+        .env("DSH_FORCE_SCALAR", "1")
+        .output()
+        .expect("spawning forced-scalar child");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "scalar child failed:\n{stdout}");
+    assert!(
+        stdout.lines().any(|l| l == "KERNEL=scalar"),
+        "child did not dispatch to the scalar tier:\n{stdout}"
+    );
+    let scalar: Vec<(String, u128, u64)> = stdout.lines().filter_map(parse_child_line).collect();
+    assert_eq!(
+        scalar.len(),
+        native.len(),
+        "child reported {} benches, expected {}:\n{stdout}",
+        scalar.len(),
+        native.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut parity_failures = 0;
+    for (b, (sname, sns, schecksum)) in native.iter().zip(&scalar) {
+        assert_eq!(b.name, sname, "bench order mismatch");
+        if b.checksum != *schecksum {
+            eprintln!(
+                "PARITY FAILURE: {}: {} ({:016x}) != scalar ({:016x})",
+                b.name, tier, b.checksum, schecksum
+            );
+            parity_failures += 1;
+        }
+        let speedup = *sns as f64 / b.ns as f64;
+        println!(
+            "{:<30} scalar {:>12} ns   {} {:>12} ns   speedup {:.2}x",
+            b.name, sns, tier, b.ns, speedup
+        );
+        rows.push(format!(
+            "  \"{}\": {{ \"scalar_ns\": {}, \"simd_ns\": {}, \"speedup\": {:.2}, \"n\": {}, \"dim\": {} }}",
+            b.name, sns, b.ns, speedup, b.n, b.dim
+        ));
+    }
+    assert_eq!(
+        parity_failures, 0,
+        "{parity_failures} bench(es) broke scalar/SIMD bit-parity"
+    );
+    println!(
+        "parity: all {} bench checksums identical under both dispatch paths",
+        rows.len()
+    );
+
+    if smoke {
+        println!("smoke mode: BENCH_kernels.json not written");
+        return;
+    }
+
+    // The workspace root is two levels above this crate's manifest.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let path = root.join("BENCH_kernels.json");
+    let json = format!("{{\n{}\n}}\n", rows.join(",\n"));
+    std::fs::write(&path, json).expect("writing BENCH_kernels.json");
+    println!("wrote {}", path.display());
+}

@@ -7,6 +7,11 @@
 //! terms of `||x - y||_2`. These are all in 1-1 correspondence on the
 //! relevant domains; this module centralizes the conversions so that each
 //! construction can state its CPF in the paper's native parameterization.
+//!
+//! The point-pair measures here are thin names over the owned-point
+//! methods, which in turn call the runtime-dispatched kernels in
+//! [`crate::kernels`] — one implementation per metric in the workspace,
+//! SIMD-accelerated where the CPU supports it.
 
 use crate::points::{BitVector, DenseVector};
 

@@ -1,0 +1,104 @@
+//! The blocked scalar kernels — the always-compiled fallback tier and
+//! the **parity oracle** every SIMD tier is checked against.
+//!
+//! These are the PR 3 four-accumulator kernels, moved here verbatim from
+//! `points.rs` so the scalar implementation exists exactly once in the
+//! workspace. The lane structure is the contract the SIMD tiers must
+//! reproduce for bit-identical `f64` results (see the module docs of
+//! [`crate::kernels`]): accumulator `j` sums the products of elements
+//! `j, j + 4, j + 8, ...` in index order, and the final reduction is
+//! `(acc0 + acc1) + (acc2 + acc3) + tail`.
+//!
+//! Length contract: the dispatching wrappers in [`crate::kernels`] assert
+//! equal slice lengths before calling any tier. Called directly (as the
+//! oracle), mismatched slices truncate to the shorter length like `zip`
+//! — they never panic.
+
+/// Inner product of two equal-length rows; four independent accumulators
+/// so four multiply-adds stay in flight instead of serializing on one
+/// running sum. Summation order differs from a left-to-right fold by
+/// O(eps) reassociation error only — and is reproduced exactly, lane for
+/// lane, by the SIMD tiers.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (pa, pb) in (&mut ca).zip(&mut cb) {
+        acc[0] += pa[0] * pb[0];
+        acc[1] += pa[1] * pb[1];
+        acc[2] += pa[2] * pb[2];
+        acc[3] += pa[3] * pb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Euclidean distance between two equal-length rows (same blocked
+/// evaluation as [`dot`]).
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (pa, pb) in (&mut ca).zip(&mut cb) {
+        let d0 = pa[0] - pb[0];
+        let d1 = pa[1] - pb[1];
+        let d2 = pa[2] - pb[2];
+        let d3 = pa[3] - pb[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += (x - y) * (x - y);
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3]) + tail).sqrt()
+}
+
+/// Hamming distance between two equal-length packed rows (xor-popcount
+/// over the blocks; tail bits beyond the dimension must be zero, which
+/// every `BitVector`/`BitStore` constructor guarantees). Integer
+/// summation is associative, so any tier's reduction order is exact.
+pub fn hamming(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x ^ y).count_ones() as u64)
+        .sum()
+}
+
+/// Batch [`dot`] of rows `ids` of the row-major buffer `flat` (rows of
+/// `dim` values) against `q`, appended to `out` in `ids` order.
+pub fn dot_many(flat: &[f64], dim: usize, ids: &[usize], q: &[f64], out: &mut Vec<f64>) {
+    for &i in ids {
+        out.push(dot(&flat[i * dim..i * dim + dim], q));
+    }
+}
+
+/// Batch [`euclidean`] of rows `ids` of `flat` against `q` (same contract
+/// as [`dot_many`]).
+pub fn euclidean_many(flat: &[f64], dim: usize, ids: &[usize], q: &[f64], out: &mut Vec<f64>) {
+    for &i in ids {
+        out.push(euclidean(&flat[i * dim..i * dim + dim], q));
+    }
+}
+
+/// Batch [`hamming`] of packed rows `ids` of `blocks` (rows of
+/// `blocks_per_row` words) against `q`, appended to `out` in `ids` order.
+pub fn hamming_many(
+    blocks: &[u64],
+    blocks_per_row: usize,
+    ids: &[usize],
+    q: &[u64],
+    out: &mut Vec<u64>,
+) {
+    for &i in ids {
+        out.push(hamming(
+            &blocks[i * blocks_per_row..i * blocks_per_row + blocks_per_row],
+            q,
+        ));
+    }
+}

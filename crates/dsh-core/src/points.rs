@@ -318,66 +318,10 @@ pub fn get_bit(blocks: &[u64], i: usize) -> bool {
     (blocks[i / 64] >> (i % 64)) & 1 == 1
 }
 
-/// Inner product of two equal-length rows.
-///
-/// Evaluated with four independent accumulators so the compiler can keep
-/// four multiply-adds in flight instead of serializing on one running sum
-/// (a sequential `iter().sum()` is a single floating-point dependency
-/// chain the compiler may not reassociate). The summation order differs
-/// from a left-to-right fold by O(eps) reassociation error only.
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    // lint: allow(panic) — kernel contract: equal-length slices, guaranteed by every store row accessor
-    assert_eq!(a.len(), b.len(), "dimension mismatch");
-    let mut acc = [0.0f64; 4];
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    for (pa, pb) in (&mut ca).zip(&mut cb) {
-        acc[0] += pa[0] * pb[0];
-        acc[1] += pa[1] * pb[1];
-        acc[2] += pa[2] * pb[2];
-        acc[3] += pa[3] * pb[3];
-    }
-    let mut tail = 0.0;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += x * y;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
-}
-
-/// Euclidean distance between two equal-length rows (same blocked
-/// evaluation as [`dot`]).
-pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dimension mismatch");
-    let mut acc = [0.0f64; 4];
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    for (pa, pb) in (&mut ca).zip(&mut cb) {
-        let d0 = pa[0] - pb[0];
-        let d1 = pa[1] - pb[1];
-        let d2 = pa[2] - pb[2];
-        let d3 = pa[3] - pb[3];
-        acc[0] += d0 * d0;
-        acc[1] += d1 * d1;
-        acc[2] += d2 * d2;
-        acc[3] += d3 * d3;
-    }
-    let mut tail = 0.0;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += (x - y) * (x - y);
-    }
-    ((acc[0] + acc[1]) + (acc[2] + acc[3]) + tail).sqrt()
-}
-
-/// Hamming distance between two equal-length packed rows (xor-popcount
-/// over the blocks; tail bits beyond the dimension must be zero, which
-/// every [`BitVector`]/[`BitStore`] constructor guarantees).
-pub fn hamming(a: &[u64], b: &[u64]) -> u64 {
-    assert_eq!(a.len(), b.len(), "dimension mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x ^ y).count_ones() as u64)
-        .sum()
-}
+// The pair kernels live in `crate::kernels` (runtime-dispatched over the
+// scalar/SSE2/AVX2 tiers); re-exported here because this module is their
+// historical home and every measure site imports them via `points::`.
+pub use crate::kernels::{dot, euclidean, hamming};
 
 // ---------------------------------------------------------------------------
 // Owned point -> borrowed row bridge
@@ -465,6 +409,16 @@ pub trait PointStore: Send + Sync {
 
     /// Borrow row `i`.
     fn row(&self, i: usize) -> &Self::Row;
+
+    /// Hint that row `i` will be read soon: best-effort software prefetch
+    /// of the row's cache lines. The default is a no-op; the flat stores
+    /// forward to [`crate::kernels::prefetch_span`] (itself a no-op off
+    /// x86_64 and under the scalar dispatch tier). Out-of-bounds indices
+    /// are silently ignored — a hint must never be the bounds check.
+    #[inline]
+    fn prefetch_row(&self, i: usize) {
+        let _ = i;
+    }
 }
 
 /// A [`PointStore`] that can grow one row at a time — the storage
@@ -642,30 +596,24 @@ impl DenseStore {
         &self.data
     }
 
-    /// Blocked batch kernel: inner products of rows `ids` with `q`,
-    /// appended to `out` (cleared first) in `ids` order — the
-    /// candidate-verification pass of the index layer as one contiguous
-    /// sweep instead of per-pair boxed-closure calls.
+    /// Batch kernel: inner products of rows `ids` with `q`, appended to
+    /// `out` (cleared first) in `ids` order — the candidate-verification
+    /// pass of the index layer as one contiguous, prefetched,
+    /// runtime-dispatched sweep instead of per-pair boxed-closure calls.
     // lint: hot
     pub fn dot_many(&self, ids: &[usize], q: &[f64], out: &mut Vec<f64>) {
-        assert_eq!(q.len(), self.dim, "dimension mismatch");
         out.clear();
         out.reserve(ids.len());
-        for &i in ids {
-            out.push(dot(self.row(i), q));
-        }
+        crate::kernels::dot_many(&self.data, self.dim, ids, q, out);
     }
 
-    /// Blocked batch kernel: Euclidean distances of rows `ids` to `q`
-    /// (same contract as [`DenseStore::dot_many`]).
+    /// Batch kernel: Euclidean distances of rows `ids` to `q` (same
+    /// contract as [`DenseStore::dot_many`]).
     // lint: hot
     pub fn euclidean_many(&self, ids: &[usize], q: &[f64], out: &mut Vec<f64>) {
-        assert_eq!(q.len(), self.dim, "dimension mismatch");
         out.clear();
         out.reserve(ids.len());
-        for &i in ids {
-            out.push(euclidean(self.row(i), q));
-        }
+        crate::kernels::euclidean_many(&self.data, self.dim, ids, q, out);
     }
 }
 
@@ -695,6 +643,12 @@ impl PointStore for DenseStore {
     }
     fn row(&self, i: usize) -> &[f64] {
         DenseStore::row(self, i)
+    }
+    #[inline]
+    fn prefetch_row(&self, i: usize) {
+        if let Some(start) = i.checked_mul(self.dim) {
+            crate::kernels::prefetch_span(&self.data, start, self.dim);
+        }
     }
 }
 
@@ -857,16 +811,21 @@ impl BitStore {
         (0..self.n).map(move |i| self.row(i))
     }
 
-    /// Blocked batch kernel: Hamming distances of rows `ids` to `q`,
-    /// appended to `out` (cleared first) in `ids` order.
+    /// Borrow the whole store as one flat row-major block buffer
+    /// (`len() * blocks_per_row()` blocks) — the layout the batch
+    /// kernels in [`crate::kernels`] operate on directly.
+    pub fn as_flat(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Batch kernel: Hamming distances of rows `ids` to `q`, appended to
+    /// `out` (cleared first) in `ids` order (runtime-dispatched, with
+    /// prefetch-ahead on the SIMD tiers).
     // lint: hot
     pub fn hamming_many(&self, ids: &[usize], q: &[u64], out: &mut Vec<u64>) {
-        assert_eq!(q.len(), self.blocks_per_row, "dimension mismatch");
         out.clear();
         out.reserve(ids.len());
-        for &i in ids {
-            out.push(hamming(self.row(i), q));
-        }
+        crate::kernels::hamming_many(&self.blocks, self.blocks_per_row, ids, q, out);
     }
 }
 
@@ -892,6 +851,12 @@ impl PointStore for BitStore {
     }
     fn row(&self, i: usize) -> &[u64] {
         BitStore::row(self, i)
+    }
+    #[inline]
+    fn prefetch_row(&self, i: usize) {
+        if let Some(start) = i.checked_mul(self.blocks_per_row) {
+            crate::kernels::prefetch_span(&self.blocks, start, self.blocks_per_row);
+        }
     }
 }
 
@@ -1093,6 +1058,16 @@ impl<S: AppendStore> PointStore for ChunkedStore<S> {
         // its predecessor is the chunk holding row `i`.
         let c = self.starts.partition_point(|&s| s <= i) - 1;
         self.chunks[c].row(i - self.starts[c])
+    }
+
+    #[inline]
+    fn prefetch_row(&self, i: usize) {
+        if i >= self.tail_start {
+            self.tail.prefetch_row(i - self.tail_start);
+            return;
+        }
+        let c = self.starts.partition_point(|&s| s <= i) - 1;
+        self.chunks[c].prefetch_row(i - self.starts[c]);
     }
 }
 

@@ -280,7 +280,7 @@ impl<S: PointStore, B: CandidateBackend<Row = S::Row>> NearNeighborIndex<S, B> {
             Some(self.retrieval_limit()),
             &mut self.index.new_scratch(),
         );
-        let hit = self.verify(cands, q, &mut stats);
+        let hit = self.verify(&cands, q, &mut stats);
         (hit, stats)
     }
 
@@ -315,7 +315,7 @@ impl<S: PointStore, B: CandidateBackend<Row = S::Row>> NearNeighborIndex<S, B> {
                     let q = queries.row(i);
                     let (cands, mut stats) =
                         self.index.candidates_row(q, Some(limit), &mut scratch);
-                    let hit = self.verify(cands, q, &mut stats);
+                    let hit = self.verify(&cands, q, &mut stats);
                     (hit, stats)
                 })
                 .collect()
@@ -326,8 +326,13 @@ impl<S: PointStore, B: CandidateBackend<Row = S::Row>> NearNeighborIndex<S, B> {
         3 * self.index.repetitions()
     }
 
-    fn verify(&self, cands: Vec<usize>, q: &S::Row, stats: &mut QueryStats) -> Option<usize> {
-        for i in cands {
+    fn verify(&self, cands: &[usize], q: &S::Row, stats: &mut QueryStats) -> Option<usize> {
+        for (j, &i) in cands.iter().enumerate() {
+            // Gather the row a few candidates ahead so its cache misses
+            // overlap this candidate's distance computation.
+            if let Some(&ahead) = cands.get(j + crate::table::ROW_AHEAD) {
+                self.index.prefetch_point(ahead);
+            }
             stats.distance_computations += 1;
             if (self.measure)(self.index.point(i), q) <= self.r2 {
                 return Some(i);

@@ -239,7 +239,7 @@ impl<S: PointStore, B: CandidateBackend<Row = S::Row>> AnnulusIndex<S, B> {
             Some(self.retrieval_limit()),
             &mut self.index.new_scratch(),
         );
-        let hit = self.verify(cands, q, &mut stats);
+        let hit = self.verify(&cands, q, &mut stats);
         (hit, stats)
     }
 
@@ -275,7 +275,7 @@ impl<S: PointStore, B: CandidateBackend<Row = S::Row>> AnnulusIndex<S, B> {
                     let q = queries.row(i);
                     let (cands, mut stats) =
                         self.index.candidates_row(q, Some(limit), &mut scratch);
-                    let hit = self.verify(cands, q, &mut stats);
+                    let hit = self.verify(&cands, q, &mut stats);
                     (hit, stats)
                 })
                 .collect()
@@ -304,13 +304,13 @@ impl<S: PointStore, B: CandidateBackend<Row = S::Row>> AnnulusIndex<S, B> {
         8 * self.index.repetitions()
     }
 
-    fn verify(
-        &self,
-        cands: Vec<usize>,
-        q: &S::Row,
-        stats: &mut QueryStats,
-    ) -> Option<AnnulusMatch> {
-        for i in cands {
+    fn verify(&self, cands: &[usize], q: &S::Row, stats: &mut QueryStats) -> Option<AnnulusMatch> {
+        for (j, &i) in cands.iter().enumerate() {
+            // Gather the row a few candidates ahead so its cache misses
+            // overlap this candidate's distance computation.
+            if let Some(&ahead) = cands.get(j + crate::table::ROW_AHEAD) {
+                self.index.prefetch_point(ahead);
+            }
             stats.distance_computations += 1;
             let v = (self.measure)(self.index.point(i), q);
             if v >= self.report_lo && v <= self.report_hi {

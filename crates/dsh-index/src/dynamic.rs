@@ -553,9 +553,12 @@ impl<S: AppendStore> DynamicIndex<S> {
             tables_probed: 1,
             ..QueryStats::default()
         };
-        for &i in bucket {
+        for (j, &i) in bucket.iter().enumerate() {
             if part.candidates_retrieved >= remaining {
                 break;
+            }
+            if let Some(&ahead) = bucket.get(j + crate::table::STAMP_AHEAD) {
+                scratch.prefetch(ahead as usize);
             }
             let i = i as usize;
             if self.tombstones.is_dead(i) {
@@ -620,6 +623,11 @@ impl<S: AppendStore> CandidateBackend for DynamicIndex<S> {
 
     fn point(&self, i: usize) -> &S::Row {
         DynamicIndex::point(self, i)
+    }
+
+    #[inline]
+    fn prefetch_point(&self, i: usize) {
+        self.store.prefetch_row(i);
     }
 
     fn new_scratch(&self) -> QueryScratch {

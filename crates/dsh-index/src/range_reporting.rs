@@ -217,7 +217,7 @@ impl<S: PointStore, B: CandidateBackend<Row = S::Row>> RangeReportingIndex<S, B>
         let (cands, mut stats) = self
             .index
             .candidates_row(q, None, &mut self.index.new_scratch());
-        let out = self.verify(cands, q, &mut stats);
+        let out = self.verify(&cands, q, &mut stats);
         (out, stats)
     }
 
@@ -251,16 +251,21 @@ impl<S: PointStore, B: CandidateBackend<Row = S::Row>> RangeReportingIndex<S, B>
                 .map(|i| {
                     let q = queries.row(i);
                     let (cands, mut stats) = self.index.candidates_row(q, None, &mut scratch);
-                    let out = self.verify(cands, q, &mut stats);
+                    let out = self.verify(&cands, q, &mut stats);
                     (out, stats)
                 })
                 .collect()
         })
     }
 
-    fn verify(&self, cands: Vec<usize>, q: &S::Row, stats: &mut QueryStats) -> Vec<usize> {
+    fn verify(&self, cands: &[usize], q: &S::Row, stats: &mut QueryStats) -> Vec<usize> {
         let mut out = Vec::new();
-        for i in cands {
+        for (j, &i) in cands.iter().enumerate() {
+            // Gather the row a few candidates ahead so its cache misses
+            // overlap this candidate's distance computation.
+            if let Some(&ahead) = cands.get(j + crate::table::ROW_AHEAD) {
+                self.index.prefetch_point(ahead);
+            }
             stats.distance_computations += 1;
             if (self.measure)(self.index.point(i), q) <= self.r_plus {
                 out.push(i);

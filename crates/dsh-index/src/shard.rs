@@ -116,6 +116,15 @@ impl<S: AppendStore + Clone> ShardedState<S> {
         self.shards[id % self.num_shards()].point(id / self.num_shards())
     }
 
+    fn prefetch_point(&self, id: usize) {
+        if id < self.total_rows {
+            CandidateBackend::prefetch_point(
+                &*self.shards[id % self.num_shards()],
+                id / self.num_shards(),
+            );
+        }
+    }
+
     fn new_scratch(&self) -> QueryScratch {
         QueryScratch::new(self.total_rows)
     }
@@ -237,6 +246,15 @@ impl<S: AppendStore + Clone> ShardedState<S> {
                 prev_global = Some(global);
             }
             probe[slot].2 += 1;
+            {
+                // Hint the visited stamp of the entry this slot will offer
+                // a few merge steps from now (the stamp probe is the one
+                // random access per emitted entry).
+                let (shard, bucket, cursor) = probe[slot];
+                if let Some(&local) = bucket.get(cursor + crate::table::STAMP_AHEAD) {
+                    scratch.prefetch(local as usize * n + shard);
+                }
+            }
             if !self.shards[probe[slot].0].is_live(global / n) {
                 continue;
             }
@@ -664,6 +682,11 @@ impl<S: AppendStore + Clone> CandidateBackend for ShardedIndex<S> {
         ShardedIndex::point(self, i)
     }
 
+    #[inline]
+    fn prefetch_point(&self, i: usize) {
+        self.state.prefetch_point(i);
+    }
+
     fn new_scratch(&self) -> QueryScratch {
         ShardedIndex::new_scratch(self)
     }
@@ -817,6 +840,11 @@ impl<S: AppendStore + Clone> CandidateBackend for Snapshot<S> {
 
     fn point(&self, i: usize) -> &S::Row {
         Snapshot::point(self, i)
+    }
+
+    #[inline]
+    fn prefetch_point(&self, i: usize) {
+        self.state.prefetch_point(i);
     }
 
     fn new_scratch(&self) -> QueryScratch {

@@ -278,7 +278,28 @@ impl QueryScratch {
     pub(crate) fn len(&self) -> usize {
         self.stamps.len()
     }
+
+    /// Best-effort prefetch of id `i`'s visited stamp. The bucket walks
+    /// hint [`STAMP_AHEAD`] entries ahead so the random-access stamp
+    /// probe is already in cache when the walk reaches it. Out-of-range
+    /// ids are silently ignored (it is a hint, not a bounds check).
+    #[inline]
+    pub(crate) fn prefetch(&self, i: usize) {
+        dsh_core::kernels::prefetch_read(&self.stamps, i);
+    }
 }
+
+/// How many id-array entries ahead of the current one the bucket walks
+/// prefetch their visited stamp. The stamp probe is the one random
+/// access per entry (the id array itself streams sequentially), so this
+/// is the distance that hides its latency behind the walk.
+pub(crate) const STAMP_AHEAD: usize = 16;
+
+/// How many candidates ahead of the current one the verification loops
+/// prefetch the point row. One row is several cache lines, so the
+/// distance is shorter than [`STAMP_AHEAD`]: a deeper pipeline of row
+/// prefetches would evict its own oldest lines on wide rows.
+pub(crate) const ROW_AHEAD: usize = 4;
 
 /// An `L`-repetition DSH hash table over a [`PointStore`].
 ///
@@ -422,7 +443,10 @@ impl<S: PointStore> HashTableIndex<S> {
             // Truncate to the retrieval budget up front so the hot loop
             // carries no per-entry limit branch.
             let take = bucket.len().min(limit - stats.candidates_retrieved);
-            for &i in &bucket[..take] {
+            for (j, &i) in bucket[..take].iter().enumerate() {
+                if let Some(&ahead) = bucket.get(j + STAMP_AHEAD) {
+                    scratch.prefetch(ahead as usize);
+                }
                 let i = i as usize;
                 if scratch.visit(i, generation) {
                     out.push(i);
@@ -518,6 +542,15 @@ pub trait CandidateBackend: Send + Sync {
     /// Borrow the row of indexed point `i`.
     fn point(&self, i: usize) -> &Self::Row;
 
+    /// Hint that the row of point `i` will be read soon: best-effort
+    /// software prefetch of the row, used by the verification loops to
+    /// gather candidate rows a few entries ahead of the distance
+    /// computations. Default is a no-op; out-of-range ids are ignored.
+    #[inline]
+    fn prefetch_point(&self, i: usize) {
+        let _ = i;
+    }
+
     /// A query scratch buffer sized for this backend.
     fn new_scratch(&self) -> QueryScratch;
 
@@ -544,6 +577,11 @@ impl<S: PointStore> CandidateBackend for HashTableIndex<S> {
 
     fn point(&self, i: usize) -> &S::Row {
         HashTableIndex::point(self, i)
+    }
+
+    #[inline]
+    fn prefetch_point(&self, i: usize) {
+        self.points.prefetch_row(i);
     }
 
     fn new_scratch(&self) -> QueryScratch {

@@ -1,0 +1,9 @@
+//! NOT a registered kernel module: the unsafe block below is perfectly
+//! annotated, yet it must still be flagged by L5 — unsafe is confined
+//! to the modules named in `[kernel] modules`.
+
+/// Same shape as the kernel module's accessor, wrong file.
+pub fn sneaky_first(row: &[f64; 4]) -> f64 {
+    // SAFETY: in-bounds read of a live reference (satisfies L4 only).
+    unsafe { *row.as_ptr() }
+}

@@ -1,0 +1,9 @@
+//! Registered kernel module: unsafe here is legal (L5 waived) as long
+//! as every block carries a `// SAFETY:` comment (L4).
+
+/// Reads the first lane of a four-lane row.
+pub fn first_lane(row: &[f64; 4]) -> f64 {
+    // SAFETY: the pointer comes from a live `&[f64; 4]`, so reading
+    // element 0 is in bounds for the reference's lifetime.
+    unsafe { *row.as_ptr() }
+}

@@ -198,7 +198,7 @@ impl Config {
     }
 }
 
-fn err(ln: usize, msg: String) -> ConfigError {
+fn err(ln: usize, msg: impl std::fmt::Display) -> ConfigError {
     ConfigError(format!("line {}: {msg}", ln + 1))
 }
 
