@@ -13,17 +13,29 @@
 //! an FNV checksum, and the parent fails if any child checksum differs —
 //! the kernels' bit-identity contract, enforced inside the bench run.
 //!
+//! After the kernel trajectory, the report times the **write path**: the
+//! publishing sharded ingest (`ShardedIndex` + `WriteBatch` group
+//! commits) against the in-place unsharded ingest (`DynamicIndex`,
+//! per-op) over the identical point stream and seal cadence, for a range
+//! of group-commit sizes. Query parity (candidates + `QueryStats`,
+//! FNV-folded) between both indexes is asserted for every batch size, and
+//! the epoch count must equal one per batch plus one per seal — the
+//! group-commit publication contract, enforced inside the bench run.
+//!
 //! Modes:
-//! - default: full-size workloads; writes `BENCH_kernels.json` at the
-//!   repo root with schema `bench name -> {scalar_ns, simd_ns, speedup,
-//!   n, dim}` (nanoseconds are best-of-reps for the whole workload).
-//! - `--smoke`: small workloads, no file written — a fast CI tripwire
-//!   for dispatch-path divergence.
+//! - default: full-size workloads; writes `BENCH_kernels.json` (schema
+//!   `bench name -> {scalar_ns, simd_ns, speedup, n, dim}`) and
+//!   `BENCH_ingest.json` (schema `ingest_batch_B -> {publishing_ns,
+//!   inplace_ns, ratio, n, shards, epochs}`) at the repo root
+//!   (nanoseconds are best-of-reps for the whole workload).
+//! - `--smoke`: small workloads, no files written — a fast CI tripwire
+//!   for dispatch-path divergence and write-path parity.
 
 use dsh_core::combinators::Power;
 use dsh_core::kernels;
 use dsh_core::points::{BitStore, BitVector, DenseStore, DenseVector};
-use dsh_index::HashTableIndex;
+use dsh_hamming::BitSampling;
+use dsh_index::{DynamicIndex, HashTableIndex, QueryStats, ShardedIndex};
 use dsh_math::rng::seeded;
 use dsh_sphere::SimHash;
 use std::time::Instant;
@@ -206,6 +218,144 @@ fn run_benches(s: &Sizes) -> Vec<Sample> {
     samples
 }
 
+/// Group-commit sizes the ingest benchmark sweeps. Every size divides
+/// the seal cadence, so seal boundaries land identically for all of them
+/// (and for the per-op in-place baseline) — a precondition for the
+/// bit-parity assertion.
+const INGEST_BATCHES: [usize; 4] = [1, 8, 64, 256];
+
+/// Workload knobs for the write-path (ingest) benchmark; mirrors the
+/// criterion `sharded_index` ingest workload so the JSON trajectory and
+/// the microbench agree on what "publishing ingest" means.
+struct IngestSizes {
+    n: usize,
+    d: usize,
+    k: usize,
+    l: usize,
+    seal_every: usize,
+    shards: usize,
+    queries: usize,
+    reps: usize,
+}
+
+const INGEST_FULL: IngestSizes = IngestSizes {
+    n: 20_000,
+    d: 128,
+    k: 16,
+    l: 12,
+    seal_every: 256,
+    shards: 4,
+    queries: 64,
+    reps: 3,
+};
+
+const INGEST_SMOKE: IngestSizes = IngestSizes {
+    n: 1_024,
+    d: 128,
+    k: 16,
+    l: 12,
+    seal_every: 256,
+    shards: 4,
+    queries: 16,
+    reps: 2,
+};
+
+/// Fold every query's candidates and full `QueryStats` into one FNV
+/// checksum — the bit-parity fingerprint of an ingested index.
+fn ingest_checksum(
+    queries: &[BitVector],
+    mut candidates: impl FnMut(&BitVector) -> (Vec<usize>, QueryStats),
+) -> u64 {
+    queries.iter().fold(FNV_SEED, |mut h, q| {
+        let (cands, stats) = candidates(q);
+        h = cands.iter().fold(h, |h, &i| fnv(h, i as u64));
+        h = fnv(h, stats.tables_probed as u64);
+        h = fnv(h, stats.candidates_retrieved as u64);
+        h = fnv(h, stats.distinct_candidates as u64);
+        fnv(h, stats.duplicates as u64)
+    })
+}
+
+/// Time the publishing sharded ingest at each group-commit size against
+/// the in-place unsharded baseline, assert query parity and the
+/// one-epoch-per-batch publication contract, and return the JSON rows.
+fn ingest_report(s: &IngestSizes) -> Vec<String> {
+    let mut rng = seeded(0x16E5);
+    let mut points = BitStore::with_dim(s.d);
+    for _ in 0..s.n {
+        points.push_random(&mut rng);
+    }
+    let queries: Vec<BitVector> = (0..s.queries)
+        .map(|_| BitVector::random(&mut rng, s.d))
+        .collect();
+    let fam = Power::new(BitSampling::new(s.d), s.k);
+
+    // In-place baseline: per-op inserts into the unsharded index, sealed
+    // every `seal_every` rows — the write path without publication.
+    let (inplace_ns, inplace) = time(s.reps, || {
+        let mut idx = DynamicIndex::build(&fam, BitStore::with_dim(s.d), s.l, &mut seeded(0x16E6));
+        for i in 0..s.n {
+            idx.insert(points.row(i));
+            if (i + 1) % s.seal_every == 0 {
+                idx.seal();
+            }
+        }
+        idx
+    });
+    let want = ingest_checksum(&queries, |q| inplace.candidates(q, None));
+
+    let mut rows = Vec::new();
+    for &batch in &INGEST_BATCHES {
+        let (ns, idx) = time(s.reps, || {
+            let mut idx = ShardedIndex::build(
+                &fam,
+                BitStore::with_dim(s.d),
+                s.l,
+                s.shards,
+                &mut seeded(0x16E6),
+            );
+            let mut done = 0usize;
+            while done < s.n {
+                let hi = (done + batch).min(s.n);
+                let mut wb = idx.new_batch();
+                for i in done..hi {
+                    wb.insert(points.row(i));
+                }
+                idx.apply_batch(&wb).expect("in-range inserts");
+                done = hi;
+                if done.is_multiple_of(s.seal_every) {
+                    idx.seal();
+                }
+            }
+            idx
+        });
+        let got = ingest_checksum(&queries, |q| idx.candidates(q, None));
+        assert_eq!(
+            got, want,
+            "publishing ingest (batch {batch}) broke query parity with in-place"
+        );
+        let epochs = idx.epoch() as usize;
+        assert_eq!(
+            epochs,
+            s.n.div_ceil(batch) + s.n / s.seal_every,
+            "batch {batch}: expected one epoch per group commit plus one per seal"
+        );
+        let ratio = ns as f64 / inplace_ns as f64;
+        println!(
+            "ingest batch {batch:>4}   publishing {ns:>12} ns   in-place {inplace_ns:>12} ns   ratio {ratio:.2}x   epochs {epochs}"
+        );
+        rows.push(format!(
+            "  \"ingest_batch_{}\": {{ \"publishing_ns\": {}, \"inplace_ns\": {}, \"ratio\": {:.2}, \"n\": {}, \"shards\": {}, \"epochs\": {} }}",
+            batch, ns, inplace_ns, ratio, s.n, s.shards, epochs
+        ));
+    }
+    println!(
+        "ingest parity: all {} batch sizes answer bit-identically to the in-place index",
+        INGEST_BATCHES.len()
+    );
+    rows
+}
+
 /// Child mode: print raw measurements for the parent to merge.
 fn report_child(s: &Sizes) {
     println!("KERNEL={}", kernels::active().name);
@@ -307,8 +457,11 @@ fn main() {
         rows.len()
     );
 
+    // Write path: publishing (group-commit) vs in-place ingest.
+    let ingest_rows = ingest_report(if smoke { &INGEST_SMOKE } else { &INGEST_FULL });
+
     if smoke {
-        println!("smoke mode: BENCH_kernels.json not written");
+        println!("smoke mode: BENCH_kernels.json / BENCH_ingest.json not written");
         return;
     }
 
@@ -320,5 +473,9 @@ fn main() {
     let path = root.join("BENCH_kernels.json");
     let json = format!("{{\n{}\n}}\n", rows.join(",\n"));
     std::fs::write(&path, json).expect("writing BENCH_kernels.json");
+    println!("wrote {}", path.display());
+    let path = root.join("BENCH_ingest.json");
+    let json = format!("{{\n{}\n}}\n", ingest_rows.join(",\n"));
+    std::fs::write(&path, json).expect("writing BENCH_ingest.json");
     println!("wrote {}", path.display());
 }

@@ -444,6 +444,15 @@ pub trait AppendStore: PointStore {
     /// Append one row (must match the store's row shape).
     fn push_row(&mut self, row: &Self::Row);
 
+    /// Pre-allocate for `additional` more rows. A batched write path
+    /// (the index layer's group commits) knows its append count up
+    /// front; reserving once turns the per-row buffer growth into a
+    /// single allocation. The default is a no-op, so stores without a
+    /// useful notion of capacity need not implement it.
+    fn reserve_rows(&mut self, additional: usize) {
+        let _ = additional;
+    }
+
     /// A fresh empty store of the same row shape (same dimension /
     /// block count), ready to receive rows of this store. This is what
     /// lets generic code split one store into shards, or freeze a write
@@ -458,6 +467,10 @@ impl AppendStore for DenseStore {
         self.push(row);
     }
 
+    fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional.saturating_mul(self.dim));
+    }
+
     fn empty_like(&self) -> Self {
         DenseStore::with_dim(self.dim())
     }
@@ -466,6 +479,11 @@ impl AppendStore for DenseStore {
 impl AppendStore for BitStore {
     fn push_row(&mut self, row: &[u64]) {
         BitStore::push_row(self, row);
+    }
+
+    fn reserve_rows(&mut self, additional: usize) {
+        self.blocks
+            .reserve(additional.saturating_mul(self.blocks_per_row));
     }
 
     fn empty_like(&self) -> Self {
@@ -480,6 +498,10 @@ impl AppendStore for Vec<DenseVector> {
             assert_eq!(row.len(), first.dim(), "dimension mismatch");
         }
         self.push(DenseVector::new(row.to_vec()));
+    }
+
+    fn reserve_rows(&mut self, additional: usize) {
+        self.reserve(additional);
     }
 
     fn empty_like(&self) -> Self {
@@ -1015,6 +1037,13 @@ impl<S: AppendStore> ChunkedStore<S> {
         self.tail.len()
     }
 
+    /// A fresh empty store of the **inner** backend type, with this
+    /// store's row shape — the staging buffer a write batch accumulates
+    /// rows in before they are appended across chunked shard stores.
+    pub fn empty_inner(&self) -> S {
+        self.tail.empty_like()
+    }
+
     /// Freeze the tail into a new shared chunk and start an empty one.
     /// No-op when the tail is empty. Row ids and contents are unchanged.
     pub fn freeze_tail(&mut self) {
@@ -1074,6 +1103,10 @@ impl<S: AppendStore> PointStore for ChunkedStore<S> {
 impl<S: AppendStore> AppendStore for ChunkedStore<S> {
     fn push_row(&mut self, row: &S::Row) {
         self.tail.push_row(row);
+    }
+
+    fn reserve_rows(&mut self, additional: usize) {
+        self.tail.reserve_rows(additional);
     }
 
     fn empty_like(&self) -> Self {

@@ -1,0 +1,289 @@
+//! Group-commit write batches: ordered inserts and removes applied —
+//! and published — as one unit.
+//!
+//! The sharded serving layer pays a fixed tax per write: fork the
+//! state, copy the touched shard's mutable parts, publish a fresh
+//! epoch. Per-op ingest pays it once per point. A [`WriteBatch`]
+//! amortizes it: the caller stages any interleaving of inserts and
+//! removes, then `apply_batch` (on `DynamicIndex` or `ShardedIndex`)
+//! validates the **whole** batch up front, applies every operation in
+//! order, and publishes **one** epoch. Results are bit-identical to
+//! replaying the same operations one at a time — same assigned ids,
+//! same candidate lists, same [`crate::QueryStats`] — only the epoch
+//! arithmetic (and the write cost) differs.
+//!
+//! Validation happens before any state is forked or mutated: an
+//! out-of-range remove anywhere in the batch rejects the whole batch
+//! with a descriptive [`BatchError`], never a partial application and
+//! never a serving-path panic. Removes may target ids assigned by
+//! earlier inserts *of the same batch* — the running id bound advances
+//! through the ops exactly as a per-op replay would advance it.
+//!
+//! ```
+//! use dsh_core::points::{BitStore, BitVector};
+//! use dsh_hamming::BitSampling;
+//! use dsh_index::{ShardedIndex, WriteOutcome};
+//! use dsh_math::rng::seeded;
+//!
+//! let d = 64;
+//! let mut rng = seeded(7);
+//! let mut idx = ShardedIndex::build(&BitSampling::new(d), BitStore::with_dim(d), 8, 4, &mut rng);
+//! let p = BitVector::random(&mut rng, d);
+//!
+//! let mut batch = idx.new_batch();
+//! batch.insert(&p);
+//! batch.remove(0); // the id the insert above will be assigned
+//! let outcomes = idx.apply_batch(&batch).unwrap();
+//! assert_eq!(outcomes, vec![WriteOutcome::Inserted(0), WriteOutcome::Removed(true)]);
+//! assert_eq!(idx.epoch(), 1); // one publication for the whole batch
+//! ```
+
+use dsh_core::points::{AppendStore, AsRow};
+
+/// One staged operation of a [`WriteBatch`]: an insert (indexing the
+/// batch's staged row buffer) or a remove of a global id.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BatchOp {
+    /// Insert staged row `.0` (an index into the batch's row store).
+    Insert(u32),
+    /// Remove global id `.0`.
+    Remove(u64),
+}
+
+/// What one batched operation did, in op order — exactly what the
+/// corresponding per-op call would have returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// An insert, with the global id it was assigned.
+    Inserted(usize),
+    /// A remove; `false` when the id was already removed (matching the
+    /// per-op `remove` return).
+    Removed(bool),
+}
+
+/// Why a whole [`WriteBatch`] was rejected — before anything was
+/// forked, mutated, or published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// A remove targeted an id outside the id space as it would stand
+    /// at that point of the batch (the per-op path panics here; the
+    /// batch path must reject without partial application).
+    UnknownId {
+        /// Position of the offending operation within the batch.
+        op_index: usize,
+        /// The id the remove targeted.
+        id: usize,
+        /// The id bound in force at that operation (one past the
+        /// largest assigned id, counting the batch's earlier inserts).
+        bound: usize,
+    },
+    /// An insert would push the id space past the `u32` slot-id
+    /// capacity every bucket layout shares.
+    CapacityExceeded {
+        /// Position of the offending insert within the batch.
+        op_index: usize,
+    },
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BatchError::UnknownId {
+                op_index,
+                id,
+                bound,
+            } => write!(
+                f,
+                "batch op {op_index}: remove of id {id} out of range (id bound at that op: {bound})"
+            ),
+            BatchError::CapacityExceeded { op_index } => write!(
+                f,
+                "batch op {op_index}: insert exceeds the u32 point-id capacity"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// An ordered sequence of inserts and removes, staged for one group
+/// commit. Inserted rows are buffered in an [`AppendStore`] of the
+/// target index's row shape (obtain an empty batch from the index's
+/// `new_batch`); apply with `apply_batch` on [`crate::DynamicIndex`]
+/// or [`crate::ShardedIndex`]. See the module docs for semantics.
+pub struct WriteBatch<BS: AppendStore> {
+    rows: BS,
+    ops: Vec<BatchOp>,
+}
+
+impl<BS: AppendStore> WriteBatch<BS> {
+    /// Start an empty batch staging rows in `rows` (which fixes the row
+    /// shape and must be empty).
+    pub fn new(rows: BS) -> Self {
+        // lint: allow(panic) — constructor contract (empty staging store); violations are build bugs, not data-dependent
+        assert!(rows.is_empty(), "WriteBatch::new takes an empty store");
+        WriteBatch {
+            rows,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Stage an insert. The global id it will receive depends on the
+    /// index the batch is applied to (and on the batch's earlier
+    /// inserts); it is reported by the corresponding
+    /// [`WriteOutcome::Inserted`].
+    pub fn insert<Q>(&mut self, p: &Q)
+    where
+        Q: AsRow<Row = BS::Row> + ?Sized,
+    {
+        let slot = self.rows.len();
+        // lint: allow(panic) — contract: u32 slot ids cap a batch (and the index) at 4B points
+        assert!(slot < u32::MAX as usize, "batch exceeds u32 row capacity");
+        self.rows.push_row(p.as_row());
+        self.ops.push(BatchOp::Insert(slot as u32));
+    }
+
+    /// Stage a remove of global id `id`. The id must be in range when
+    /// the batch is applied (earlier inserts of this batch count);
+    /// otherwise the whole batch is rejected with
+    /// [`BatchError::UnknownId`].
+    pub fn remove(&mut self, id: usize) {
+        self.ops.push(BatchOp::Remove(id as u64));
+    }
+
+    /// Number of staged operations (inserts plus removes).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of staged inserts.
+    pub fn inserts(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The staged operations, in order.
+    pub(crate) fn ops(&self) -> &[BatchOp] {
+        &self.ops
+    }
+
+    /// Borrow staged row `slot`.
+    pub(crate) fn row(&self, slot: u32) -> &BS::Row {
+        self.rows.row(slot as usize)
+    }
+
+    /// Check every operation against the id space of an index whose
+    /// current id bound is `id_bound`, advancing the bound through the
+    /// batch's inserts exactly as application would. `Err` means the
+    /// batch must not be applied at all.
+    pub(crate) fn validate(&self, id_bound: usize) -> Result<(), BatchError> {
+        let mut bound = id_bound;
+        for (op_index, op) in self.ops.iter().enumerate() {
+            match *op {
+                BatchOp::Insert(_) => {
+                    if bound >= u32::MAX as usize {
+                        return Err(BatchError::CapacityExceeded { op_index });
+                    }
+                    bound += 1;
+                }
+                BatchOp::Remove(id) => {
+                    let id = id as usize;
+                    if id >= bound {
+                        return Err(BatchError::UnknownId {
+                            op_index,
+                            id,
+                            bound,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_core::points::{BitStore, BitVector};
+    use dsh_math::rng::seeded;
+
+    #[test]
+    fn staging_tracks_ops_and_rows() {
+        let d = 64;
+        let mut batch = WriteBatch::new(BitStore::with_dim(d));
+        assert!(batch.is_empty());
+        let p = BitVector::random(&mut seeded(1), d);
+        batch.insert(&p);
+        batch.remove(0);
+        batch.insert(&p);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.inserts(), 2);
+        assert_eq!(batch.row(0), p.as_blocks());
+    }
+
+    #[test]
+    fn validate_advances_the_bound_through_inserts() {
+        let d = 32;
+        let mut batch = WriteBatch::new(BitStore::with_dim(d));
+        let p = BitVector::zeros(d);
+        batch.insert(&p); // would get id 5 on a bound-5 index
+        batch.remove(5); // valid: removes the id just inserted
+        assert_eq!(batch.validate(5), Ok(()));
+        // On an empty index the same batch's remove targets id 5 with
+        // only id 0 assigned: rejected, with the running bound reported.
+        assert_eq!(
+            batch.validate(0),
+            Err(BatchError::UnknownId {
+                op_index: 1,
+                id: 5,
+                bound: 1
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_before_bound_not_after() {
+        let d = 32;
+        let mut batch = WriteBatch::new(BitStore::with_dim(d));
+        batch.remove(9);
+        assert!(matches!(
+            batch.validate(9),
+            Err(BatchError::UnknownId {
+                op_index: 0,
+                id: 9,
+                bound: 9
+            })
+        ));
+        assert_eq!(batch.validate(10), Ok(()));
+    }
+
+    #[test]
+    fn errors_render_descriptively() {
+        let e = BatchError::UnknownId {
+            op_index: 3,
+            id: 41,
+            bound: 40,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("op 3") && msg.contains("41") && msg.contains("40"),
+            "{msg}"
+        );
+        let msg = BatchError::CapacityExceeded { op_index: 7 }.to_string();
+        assert!(msg.contains("op 7") && msg.contains("capacity"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty store")]
+    fn new_rejects_nonempty_staging_store() {
+        let d = 32;
+        let mut rows = BitStore::with_dim(d);
+        rows.push(&BitVector::zeros(d));
+        let _ = WriteBatch::new(rows);
+    }
+}

@@ -41,6 +41,7 @@
 //! from the same final point set, on every store backend and thread
 //! count.
 
+use crate::batch::{BatchError, BatchOp, WriteBatch, WriteOutcome};
 use crate::parallel;
 use crate::table::{
     CandidateBackend, CsrBuckets, QueryScratch, QueryStats, MIN_QUERIES_PER_WORKER,
@@ -317,10 +318,17 @@ impl<S: AppendStore> DynamicIndex<S> {
     where
         Q: AsRow<Row = S::Row> + ?Sized,
     {
+        self.insert_row(p.as_row())
+    }
+
+    /// Row-level [`DynamicIndex::insert`] — the seam the batched write
+    /// paths (and the sharded layer) use to insert rows borrowed from
+    /// another store without an `AsRow` detour.
+    pub(crate) fn insert_row(&mut self, row: &S::Row) -> usize {
         let id = self.store.len();
         // lint: allow(panic) — contract: u32 slot ids cap the index at 4B points
         assert!(id < u32::MAX as usize, "point count exceeds index capacity");
-        self.store.push_row(p.as_row());
+        self.store.push_row(row);
         let row = self.store.row(id);
         for (pair, table) in self.pairs.iter().zip(&mut self.delta.tables) {
             table
@@ -340,6 +348,68 @@ impl<S: AppendStore> DynamicIndex<S> {
         // lint: allow(panic) — contract: removing a never-inserted id is a caller bug
         assert!(id < self.store.len(), "id {id} was never inserted");
         self.tombstones.kill(id)
+    }
+
+    /// An empty [`WriteBatch`] staging rows of this index's shape, for
+    /// [`DynamicIndex::apply_batch`].
+    pub fn new_batch(&self) -> WriteBatch<S> {
+        WriteBatch::new(self.store.empty_like())
+    }
+
+    /// Apply a staged batch of inserts and removes in order. The whole
+    /// batch is validated first: an out-of-range remove anywhere in it
+    /// (against the id bound as it would stand at that op) rejects the
+    /// batch with a descriptive [`BatchError`] and leaves the index
+    /// untouched — no partial application. On success the outcomes line
+    /// up with the batch's ops and equal what per-op calls would have
+    /// returned; the resulting index is bit-identical to the per-op
+    /// replay.
+    pub fn apply_batch<BS>(
+        &mut self,
+        batch: &WriteBatch<BS>,
+    ) -> Result<Vec<WriteOutcome>, BatchError>
+    where
+        BS: AppendStore<Row = S::Row>,
+    {
+        batch.validate(self.store.len())?;
+        self.store.reserve_rows(batch.inserts());
+        let mut outcomes = Vec::with_capacity(batch.len());
+        for op in batch.ops() {
+            match *op {
+                BatchOp::Insert(slot) => {
+                    outcomes.push(WriteOutcome::Inserted(self.insert_row(batch.row(slot))));
+                }
+                BatchOp::Remove(id) => {
+                    outcomes.push(WriteOutcome::Removed(self.tombstones.kill(id as usize)));
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Insert every row of `points` in order, returning the assigned
+    /// ids — the batched convenience form of [`DynamicIndex::insert`]
+    /// (one up-front capacity check and store reservation).
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
+        // lint: allow(panic) — contract: u32 slot ids cap the index at 4B points
+        assert!(
+            self.store.len() + points.len() <= u32::MAX as usize,
+            "point count exceeds index capacity"
+        );
+        self.store.reserve_rows(points.len());
+        (0..points.len())
+            .map(|i| self.insert_row(points.row(i)))
+            .collect()
+    }
+
+    /// Remove every id in `ids` in order, returning the per-id results
+    /// ([`DynamicIndex::remove`] semantics, including `false` for
+    /// already-removed ids).
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+        ids.iter().map(|&id| self.remove(id)).collect()
     }
 
     /// Freeze the delta segment into a new sealed CSR segment (tombstoned
@@ -393,6 +463,12 @@ impl<S: AppendStore> DynamicIndex<S> {
     /// [`DynamicIndex::compact`] with an explicit worker-thread count
     /// (the resulting layout does not depend on it).
     pub fn compact_with_threads(&mut self, threads: usize) {
+        // Nothing sealed and nothing buffered: the merge would rebuild
+        // the empty layout it started from. Skip the worker fan-out (and
+        // let the sharded layer skip its publication) instead.
+        if self.sealed.is_empty() && self.delta.rows == 0 {
+            return;
+        }
         let table_ids: Vec<usize> = (0..self.pairs.len()).collect();
         let sealed = &self.sealed;
         let delta = &self.delta;
@@ -933,5 +1009,103 @@ mod tests {
             &mut seeded(0xE8),
         );
         idx.remove(0);
+    }
+
+    /// `apply_batch` equals the per-op replay bit-for-bit; an invalid
+    /// batch is rejected wholly, leaving the index untouched.
+    #[test]
+    fn apply_batch_matches_per_op_replay() {
+        let d = 64;
+        let points = dataset(0xE9, d, 30);
+        let queries = dataset(0xEA, d, 6);
+        let mut batched = DynamicIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            6,
+            &mut seeded(0xEB),
+        );
+        let mut per_op = DynamicIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            6,
+            &mut seeded(0xEB),
+        );
+        let mut batch = batched.new_batch();
+        for p in &points[..12] {
+            batch.insert(p);
+        }
+        batch.remove(4); // id assigned within this very batch
+        batch.remove(4); // double-remove: outcome false
+        for p in &points[12..] {
+            batch.insert(p);
+        }
+        let outcomes = batched.apply_batch(&batch).expect("valid batch");
+
+        let mut want = Vec::new();
+        for p in &points[..12] {
+            want.push(crate::WriteOutcome::Inserted(per_op.insert(p)));
+        }
+        want.push(crate::WriteOutcome::Removed(per_op.remove(4)));
+        want.push(crate::WriteOutcome::Removed(per_op.remove(4)));
+        for p in &points[12..] {
+            want.push(crate::WriteOutcome::Inserted(per_op.insert(p)));
+        }
+        assert_eq!(outcomes, want);
+        for q in &queries {
+            assert_eq!(per_op.candidates(q, None), batched.candidates(q, None));
+        }
+
+        // Rejection path: nothing — not even the leading inserts — lands.
+        let bound = batched.id_bound();
+        let mut bad = batched.new_batch();
+        bad.insert(&points[0]);
+        bad.remove(bound + 1); // one past the running bound
+        let err = batched.apply_batch(&bad).unwrap_err();
+        assert_eq!(
+            err,
+            crate::BatchError::UnknownId {
+                op_index: 1,
+                id: bound + 1,
+                bound: bound + 1
+            }
+        );
+        assert_eq!(batched.id_bound(), bound, "partial application leaked");
+        for q in &queries {
+            assert_eq!(per_op.candidates(q, None), batched.candidates(q, None));
+        }
+    }
+
+    /// The batched convenience wrappers equal their per-op loops.
+    #[test]
+    fn insert_and_remove_batch_match_per_op_loops() {
+        let d = 64;
+        let points = dataset(0xEC, d, 25);
+        let queries = dataset(0xED, d, 5);
+        let mut batched = DynamicIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            5,
+            &mut seeded(0xEE),
+        );
+        let mut per_op = DynamicIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            5,
+            &mut seeded(0xEE),
+        );
+        let ids = batched.insert_batch(&points);
+        let want: Vec<usize> = points.iter().map(|p| per_op.insert(p)).collect();
+        assert_eq!(ids, want);
+        let victims = [2usize, 11, 2, 24];
+        assert_eq!(
+            batched.remove_batch(&victims),
+            victims
+                .iter()
+                .map(|&id| per_op.remove(id))
+                .collect::<Vec<_>>()
+        );
+        for q in &queries {
+            assert_eq!(per_op.candidates(q, None), batched.candidates(q, None));
+        }
     }
 }

@@ -117,6 +117,24 @@ impl<S: AppendStore + PointStore<Row = [f64]>> HyperplaneIndex<S, DynamicIndex<S
         self.inner.remove(id)
     }
 
+    /// Insert every point of `points` as one group commit: ids are
+    /// assigned in insertion order and the backend publishes at most
+    /// one new epoch for the whole batch (see the backend's
+    /// `insert_batch`).
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    where
+        QS: PointStore<Row = [f64]> + ?Sized,
+    {
+        self.inner.insert_batch(points)
+    }
+
+    /// Remove every id of `ids` as one group commit: per-id results in
+    /// order, at most one new epoch for the whole batch (see the
+    /// backend's `remove_batch`).
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+        self.inner.remove_batch(ids)
+    }
+
     /// Freeze the delta segment; see [`DynamicIndex::seal`].
     pub fn seal(&mut self) {
         self.inner.seal();
@@ -177,6 +195,24 @@ impl<S: AppendStore + PointStore<Row = [f64]> + Clone> HyperplaneIndex<S, Sharde
     /// Remove point `id` (tombstone; reclaimed at the next compaction).
     pub fn remove(&mut self, id: usize) -> bool {
         self.inner.remove(id)
+    }
+
+    /// Insert every point of `points` as one group commit: ids are
+    /// assigned in insertion order and the backend publishes at most
+    /// one new epoch for the whole batch (see the backend's
+    /// `insert_batch`).
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    where
+        QS: PointStore<Row = [f64]> + ?Sized,
+    {
+        self.inner.insert_batch(points)
+    }
+
+    /// Remove every id of `ids` as one group commit: per-id results in
+    /// order, at most one new epoch for the whole batch (see the
+    /// backend's `remove_batch`).
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+        self.inner.remove_batch(ids)
     }
 
     /// Freeze every shard's delta segment; see [`ShardedIndex::seal`].

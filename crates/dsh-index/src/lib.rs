@@ -15,6 +15,9 @@
 //! * [`dynamic`] — the mutable segmented index: sealed CSR segments plus
 //!   a `HashMap` delta segment and tombstones, with online
 //!   insert/remove and re-hash-free compaction;
+//! * [`batch`] — group-commit write batches: ordered inserts and removes
+//!   validated up front and applied (and published) as one unit, closing
+//!   the per-write publication tax of the sharded serving layer;
 //! * [`shard`] — the concurrent serving layer: points partitioned across
 //!   shards of [`DynamicIndex`]es behind epoch-stamped `Arc`-swap
 //!   snapshots, so readers answer — bit-identically to the unsharded
@@ -48,6 +51,7 @@
 
 pub mod ann;
 pub mod annulus;
+pub mod batch;
 pub mod dynamic;
 pub mod hyperplane;
 pub mod linear_scan;
@@ -60,6 +64,7 @@ pub mod table;
 
 pub use ann::{ann_params, AnnParams, NearNeighborIndex, MAX_REPETITIONS};
 pub use annulus::AnnulusIndex;
+pub use batch::{BatchError, WriteBatch, WriteOutcome};
 pub use dynamic::DynamicIndex;
 pub use hyperplane::HyperplaneIndex;
 pub use linear_scan::LinearScan;

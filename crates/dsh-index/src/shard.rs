@@ -53,6 +53,7 @@
 //! is the concurrency soak (snapshots held across concurrent writes keep
 //! answering from their frozen state).
 
+use crate::batch::{BatchError, BatchOp, WriteBatch, WriteOutcome};
 use crate::dynamic::DynamicIndex;
 use crate::parallel;
 use crate::table::{CandidateBackend, QueryScratch, QueryStats, MIN_QUERIES_PER_WORKER};
@@ -529,15 +530,177 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
     }
 
     /// Remove global id `id` (tombstone; reclaimed at the next
-    /// compaction). Returns `false` when already removed.
+    /// compaction). Returns `false` when already removed — in that case
+    /// nothing changed, so nothing is forked and **no new epoch is
+    /// published**: readers never observe epoch churn for a no-op write.
     pub fn remove(&mut self, id: usize) -> bool {
         // lint: allow(panic) — contract: removing a never-inserted id is a caller bug
         assert!(id < self.state.total_rows, "id {id} was never inserted");
+        if !self.state.is_live(id) {
+            // lint: allow(publish) — double-remove changes nothing; publishing would be reader-visible epoch churn for a no-op
+            return false;
+        }
         let mut next = self.fork();
         let n = next.num_shards();
         let removed = Arc::make_mut(&mut next.shards[id % n]).remove(id / n);
+        debug_assert!(removed, "liveness was checked before forking");
         self.publish(next);
         removed
+    }
+
+    /// An empty [`WriteBatch`] staging rows of this index's shape, for
+    /// [`ShardedIndex::apply_batch`].
+    pub fn new_batch(&self) -> WriteBatch<S> {
+        WriteBatch::new(self.state.shards[0].store().empty_inner())
+    }
+
+    /// Apply a staged batch of inserts and removes in order as **one
+    /// group commit**: the whole batch is validated up front (an
+    /// out-of-range remove anywhere in it rejects the batch with a
+    /// descriptive [`BatchError`] *before* any fork — no partial
+    /// application, no serving-path panic), each touched shard is forked
+    /// exactly once, every operation is applied to that shard's
+    /// delta/tail, grown write-head tails are frozen once at the end,
+    /// and **one** epoch is published for the entire batch — or none at
+    /// all when the batch changed nothing (empty, or pure
+    /// double-removes).
+    ///
+    /// The resulting index answers bit-identically to the per-op replay
+    /// of the same operations (ids, order, full
+    /// [`crate::QueryStats`]); only the epoch count differs.
+    pub fn apply_batch<BS>(
+        &mut self,
+        batch: &WriteBatch<BS>,
+    ) -> Result<Vec<WriteOutcome>, BatchError>
+    where
+        BS: AppendStore<Row = S::Row>,
+    {
+        // lint: allow(publish) — a rejected batch must leave the index untouched: no fork, no publication
+        batch.validate(self.state.total_rows)?;
+        if batch.is_empty() {
+            // lint: allow(publish) — an empty batch changes nothing; keep the epoch
+            return Ok(Vec::new());
+        }
+        let mut next = self.fork();
+        let n = next.num_shards();
+        let mut touched = vec![false; n];
+        let mut outcomes = Vec::with_capacity(batch.len());
+        let mut changed = false;
+        for op in batch.ops() {
+            match *op {
+                BatchOp::Insert(slot) => {
+                    let id = next.total_rows;
+                    let local = Arc::make_mut(&mut next.shards[id % n]).insert_row(batch.row(slot));
+                    debug_assert_eq!(local, id / n);
+                    next.total_rows += 1;
+                    touched[id % n] = true;
+                    changed = true;
+                    outcomes.push(WriteOutcome::Inserted(id));
+                }
+                BatchOp::Remove(id) => {
+                    let id = id as usize;
+                    let removed = Arc::make_mut(&mut next.shards[id % n]).remove(id / n);
+                    touched[id % n] = true;
+                    changed |= removed;
+                    outcomes.push(WriteOutcome::Removed(removed));
+                }
+            }
+        }
+        if !changed {
+            // lint: allow(publish) — every op was a double-remove: the fork equals the current state, drop it and keep the epoch
+            return Ok(outcomes);
+        }
+        Self::freeze_grown_tails(&mut next, &touched);
+        self.publish(next);
+        Ok(outcomes)
+    }
+
+    /// Insert every row of `points` in order as one group commit,
+    /// returning the assigned global ids. Equivalent to a
+    /// [`WriteBatch`] of pure inserts: each touched shard is forked
+    /// once and **one** epoch is published for the whole batch (none
+    /// for an empty `points`).
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    where
+        QS: PointStore<Row = S::Row> + ?Sized,
+    {
+        if points.is_empty() {
+            // lint: allow(publish) — nothing to insert; keep the epoch
+            return Vec::new();
+        }
+        // lint: allow(panic) — contract: u32 slot ids cap the index at 4B points
+        assert!(
+            self.state.total_rows + points.len() <= u32::MAX as usize,
+            "point count exceeds index capacity"
+        );
+        let mut next = self.fork();
+        let n = next.num_shards();
+        let mut touched = vec![false; n];
+        for j in 0..points.len().min(n) {
+            touched[(next.total_rows + j) % n] = true;
+        }
+        // Reserve each touched shard's tail in one pass before appending.
+        let per_shard = points.len().div_ceil(n);
+        for (shard, &t) in touched.iter().enumerate() {
+            if t {
+                Arc::make_mut(&mut next.shards[shard])
+                    .store_mut()
+                    .reserve_rows(per_shard);
+            }
+        }
+        let mut ids = Vec::with_capacity(points.len());
+        for i in 0..points.len() {
+            let id = next.total_rows;
+            let local = Arc::make_mut(&mut next.shards[id % n]).insert_row(points.row(i));
+            debug_assert_eq!(local, id / n);
+            next.total_rows += 1;
+            ids.push(id);
+        }
+        Self::freeze_grown_tails(&mut next, &touched);
+        self.publish(next);
+        ids
+    }
+
+    /// Remove every id in `ids` in order as one group commit, returning
+    /// the per-id results ([`ShardedIndex::remove`] semantics). One
+    /// epoch is published iff at least one id was actually live; a
+    /// batch of pure double-removes publishes nothing.
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+        for &id in ids {
+            // lint: allow(panic) — contract: removing a never-inserted id is a caller bug
+            assert!(id < self.state.total_rows, "id {id} was never inserted");
+        }
+        if !ids.iter().any(|&id| self.state.is_live(id)) {
+            // lint: allow(publish) — every id is already removed: nothing changes, keep the epoch
+            return vec![false; ids.len()];
+        }
+        let mut next = self.fork();
+        let n = next.num_shards();
+        let out = ids
+            .iter()
+            .map(|&id| Arc::make_mut(&mut next.shards[id % n]).remove(id / n))
+            .collect();
+        self.publish(next);
+        out
+    }
+
+    /// Rows a shard's mutable store tail may accumulate before a batched
+    /// write freezes it into a shared chunk. Per-op writes only freeze at
+    /// [`ShardedIndex::seal`]; batched writes amortize the freeze here so
+    /// the next fork's tail copy stays bounded without creating a chunk
+    /// per tiny batch.
+    const FREEZE_TAIL_ROWS: usize = 64;
+
+    /// Freeze the write-head tail of every shard this batch touched once
+    /// it has grown past [`Self::FREEZE_TAIL_ROWS`]. Chunk layout is not
+    /// query-observable, so this cannot perturb per-op parity.
+    fn freeze_grown_tails(next: &mut ShardedState<S>, touched: &[bool]) {
+        for (shard, &t) in next.shards.iter_mut().zip(touched) {
+            if t && shard.store().tail_rows() >= Self::FREEZE_TAIL_ROWS {
+                // The shard was forked by this batch, so make_mut is free.
+                Arc::make_mut(shard).store_mut().freeze_tail();
+            }
+        }
     }
 
     /// Freeze every shard's delta segment into a sealed CSR segment and
@@ -550,6 +713,14 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
 
     /// [`ShardedIndex::seal`] with an explicit worker-thread count.
     pub fn seal_with_threads(&mut self, threads: usize) {
+        // Every shard's delta is empty: sealing would change nothing
+        // (no delta to clear, no segment to create — exactly when the
+        // unsharded seal is a no-op), so publishing would be pure
+        // reader-visible epoch churn.
+        if self.state.delta_rows() == 0 {
+            // lint: allow(publish) — empty-delta seal is a no-op; keep the epoch
+            return;
+        }
         let mut next = self.fork();
         let will_seal: Vec<bool> = next
             .shards
@@ -590,6 +761,14 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
     /// [`ShardedIndex::compact`] with an explicit worker-thread count
     /// (the resulting layout does not depend on it).
     pub fn compact_with_threads(&mut self, threads: usize) {
+        // Zero sealed segments and an empty delta: the merge would
+        // rebuild the empty layout it started from (tombstone bits are
+        // never cleared by compaction), so skip the fork and keep the
+        // epoch instead of publishing a bit-identical state.
+        if self.state.segments.is_empty() && self.state.delta_rows() == 0 {
+            // lint: allow(publish) — segmentless + empty-delta compact is a no-op; keep the epoch
+            return;
+        }
         let mut next = self.fork();
         let per_shard = (threads / next.num_shards()).max(1);
         next.shards = parallel::map_items(&next.shards, threads, |_, shard| {
@@ -1072,9 +1251,104 @@ mod tests {
         let snap = handle.snapshot();
         assert_eq!(snap.epoch(), 2);
         assert_eq!(snap.len(), 0);
+        // The delta still holds the (tombstoned) row, so sealing clears
+        // it — a real state change, published as epoch 3...
+        idx.seal();
+        assert_eq!(handle.snapshot().epoch(), 3);
+        // ...but it created no segment, so the follow-up compact has
+        // zero segments and an empty delta: a no-op, and no-op writes
+        // publish no epoch.
+        idx.compact();
+        assert_eq!(handle.snapshot().epoch(), 3);
+    }
+
+    /// Satellite regression: a double-remove returns `false` and leaves
+    /// the reader-visible epoch untouched — no fork, no publication.
+    #[test]
+    fn double_remove_publishes_no_epoch() {
+        let d = 32;
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            4,
+            2,
+            &mut seeded(0x5A70),
+        );
+        let handle = idx.reader_handle();
+        let p = BitVector::random(&mut seeded(0x5A71), d);
+        idx.insert(&p);
+        idx.insert(&p);
+        assert!(idx.remove(1));
+        assert_eq!(handle.snapshot().epoch(), 3);
+        assert!(!idx.remove(1), "second remove must report false");
+        assert_eq!(
+            handle.snapshot().epoch(),
+            3,
+            "double-remove must not publish a new epoch"
+        );
+        assert_eq!(idx.epoch(), 3);
+        // The no-op also didn't perturb the state: the next real write
+        // publishes the very next epoch.
+        assert!(idx.remove(0));
+        assert_eq!(handle.snapshot().epoch(), 4);
+    }
+
+    /// Satellite regression: sealing with every delta empty, and
+    /// compacting with zero segments and an empty delta, are no-ops
+    /// without publication — and stay in lockstep with the unsharded
+    /// `DynamicIndex` driven through the same schedule.
+    #[test]
+    fn empty_seal_and_segmentless_compact_publish_no_epoch() {
+        let d = 32;
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            4,
+            2,
+            &mut seeded(0x5A75),
+        );
+        let mut unsharded = DynamicIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            4,
+            &mut seeded(0x5A75),
+        );
+        let handle = idx.reader_handle();
+        let q = BitVector::random(&mut seeded(0x5A76), d);
+
+        // Fresh index: nothing to seal, nothing to compact.
         idx.seal();
         idx.compact();
-        assert_eq!(handle.snapshot().epoch(), 4);
+        unsharded.seal();
+        unsharded.compact();
+        assert_eq!(handle.snapshot().epoch(), 0, "no-op writes published");
+        assert_eq!(idx.sealed_segments(), unsharded.sealed_segments());
+
+        // A real seal publishes exactly one epoch...
+        idx.insert(&q);
+        unsharded.insert(&q);
+        idx.seal();
+        unsharded.seal();
+        assert_eq!(handle.snapshot().epoch(), 2);
+        assert_eq!(idx.sealed_segments(), 1);
+        // ...and re-sealing the now-empty delta publishes nothing.
+        idx.seal();
+        unsharded.seal();
+        assert_eq!(handle.snapshot().epoch(), 2, "empty seal published");
+        assert_eq!(idx.delta_rows(), unsharded.delta_rows());
+        assert_eq!(idx.sealed_segments(), unsharded.sealed_segments());
+
+        // Compact with a segment present is a real write (epoch 3);
+        // compacting the already-empty layout after removing everything
+        // is exercised in `empty_index_answers_and_compacts`.
+        idx.compact();
+        unsharded.compact();
+        assert_eq!(handle.snapshot().epoch(), 3);
+        assert_eq!(
+            idx.candidates(&q, None),
+            unsharded.candidates(&q, None),
+            "no-op suppression broke sharded/unsharded parity"
+        );
     }
 
     #[test]
@@ -1178,6 +1452,222 @@ mod tests {
         idx.compact();
         assert_eq!(idx.sealed_segments(), 0);
         assert_eq!(idx.id_bound(), 1);
+    }
+
+    /// Tentpole smoke: one `apply_batch` call equals the per-op replay
+    /// bit-for-bit (outcomes, candidates, stats, live set) while
+    /// publishing exactly one epoch for the whole batch.
+    #[test]
+    fn apply_batch_matches_per_op_replay_and_publishes_once() {
+        let d = 64;
+        let points = dataset(0x5A80, d, 40);
+        let queries = dataset(0x5A81, d, 6);
+        let l = 6;
+        for shards in [1usize, 2, 8] {
+            let mut batched = ShardedIndex::build(
+                &BitSampling::new(d),
+                BitStore::with_dim(d),
+                l,
+                shards,
+                &mut seeded(0x5A82),
+            );
+            let mut per_op = ShardedIndex::build(
+                &BitSampling::new(d),
+                BitStore::with_dim(d),
+                l,
+                shards,
+                &mut seeded(0x5A82),
+            );
+            // Mixed batch: inserts interleaved with removes, including a
+            // remove of an id inserted earlier in the same batch and a
+            // double-remove (outcome false, but the batch still changes
+            // state through its other ops).
+            let mut batch = batched.new_batch();
+            for p in &points[..10] {
+                batch.insert(p);
+            }
+            batch.remove(3);
+            batch.remove(3);
+            for p in &points[10..20] {
+                batch.insert(p);
+            }
+            batch.remove(15);
+            let outcomes = batched.apply_batch(&batch).expect("valid batch");
+            assert_eq!(batched.epoch(), 1, "one epoch per batch (shards {shards})");
+
+            let mut want = Vec::new();
+            for p in &points[..10] {
+                want.push(WriteOutcome::Inserted(per_op.insert(p)));
+            }
+            want.push(WriteOutcome::Removed(per_op.remove(3)));
+            want.push(WriteOutcome::Removed(per_op.remove(3)));
+            for p in &points[10..20] {
+                want.push(WriteOutcome::Inserted(per_op.insert(p)));
+            }
+            want.push(WriteOutcome::Removed(per_op.remove(15)));
+            assert_eq!(outcomes, want, "shards {shards}");
+
+            assert_eq!(batched.len(), per_op.len());
+            assert_eq!(
+                batched.live_ids().collect::<Vec<_>>(),
+                per_op.live_ids().collect::<Vec<_>>()
+            );
+            for q in &queries {
+                for limit in [None, Some(2 * l)] {
+                    assert_eq!(
+                        per_op.candidates(q, limit),
+                        batched.candidates(q, limit),
+                        "shards {shards}, limit {limit:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Satellite regression: an out-of-range id anywhere in a batch
+    /// rejects the whole batch with a descriptive `Err` before any fork
+    /// — no partial application, no publication, no panic.
+    #[test]
+    fn invalid_batch_is_rejected_wholly_before_any_fork() {
+        let d = 64;
+        let points = dataset(0x5A90, d, 8);
+        let q = &points[0];
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            4,
+            2,
+            &mut seeded(0x5A91),
+        );
+        for p in &points[..4] {
+            idx.insert(p);
+        }
+        let handle = idx.reader_handle();
+        let before_epoch = idx.epoch();
+        let before = idx.candidates(q, None);
+
+        // Ops before the bad remove must NOT be applied.
+        let mut batch = idx.new_batch();
+        batch.insert(&points[4]);
+        batch.insert(&points[5]);
+        batch.remove(6); // bound is 4 + 2 staged inserts = 6: out of range
+        let err = idx.apply_batch(&batch).unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::UnknownId {
+                op_index: 2,
+                id: 6,
+                bound: 6
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("op 2") && msg.contains("id 6"), "{msg}");
+
+        assert_eq!(idx.id_bound(), 4, "partial application leaked");
+        assert_eq!(idx.epoch(), before_epoch, "rejected batch published");
+        assert_eq!(handle.snapshot().epoch(), before_epoch);
+        assert_eq!(idx.candidates(q, None), before);
+
+        // The same ops without the stray remove apply cleanly.
+        let mut batch = idx.new_batch();
+        batch.insert(&points[4]);
+        batch.insert(&points[5]);
+        batch.remove(5);
+        assert!(idx.apply_batch(&batch).is_ok());
+        assert_eq!(idx.id_bound(), 6);
+        assert_eq!(idx.epoch(), before_epoch + 1);
+    }
+
+    /// No-op batches — empty, or made entirely of double-removes —
+    /// publish no epoch.
+    #[test]
+    fn noop_batches_publish_no_epoch() {
+        let d = 32;
+        let points = dataset(0x5AA0, d, 4);
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            4,
+            2,
+            &mut seeded(0x5AA1),
+        );
+        for p in &points {
+            idx.insert(p);
+        }
+        idx.remove(1);
+        idx.remove(2);
+        let epoch = idx.epoch();
+
+        let empty = idx.new_batch();
+        assert_eq!(idx.apply_batch(&empty), Ok(Vec::new()));
+        assert_eq!(idx.epoch(), epoch, "empty batch published");
+
+        let mut dead = idx.new_batch();
+        dead.remove(1);
+        dead.remove(2);
+        dead.remove(1);
+        assert_eq!(
+            idx.apply_batch(&dead),
+            Ok(vec![
+                WriteOutcome::Removed(false),
+                WriteOutcome::Removed(false),
+                WriteOutcome::Removed(false)
+            ])
+        );
+        assert_eq!(idx.epoch(), epoch, "all-double-remove batch published");
+
+        assert_eq!(idx.remove_batch(&[1, 2]), vec![false, false]);
+        assert_eq!(idx.epoch(), epoch, "no-op remove_batch published");
+        assert_eq!(
+            idx.insert_batch(&Vec::<BitVector>::new()),
+            Vec::<usize>::new()
+        );
+        assert_eq!(idx.epoch(), epoch, "empty insert_batch published");
+    }
+
+    /// `insert_batch`/`remove_batch` equal their per-op loops and
+    /// publish one epoch each.
+    #[test]
+    fn insert_and_remove_batch_match_per_op_loops() {
+        let d = 64;
+        let points = dataset(0x5AB0, d, 30);
+        let queries = dataset(0x5AB1, d, 5);
+        let l = 6;
+        for shards in [1usize, 3] {
+            let mut batched = ShardedIndex::build(
+                &BitSampling::new(d),
+                BitStore::with_dim(d),
+                l,
+                shards,
+                &mut seeded(0x5AB2),
+            );
+            let mut per_op = ShardedIndex::build(
+                &BitSampling::new(d),
+                BitStore::with_dim(d),
+                l,
+                shards,
+                &mut seeded(0x5AB2),
+            );
+            let ids = batched.insert_batch(&points);
+            assert_eq!(batched.epoch(), 1);
+            let want: Vec<usize> = points.iter().map(|p| per_op.insert(p)).collect();
+            assert_eq!(ids, want);
+
+            let victims = [0usize, 7, 8, 7, 29];
+            let removed = batched.remove_batch(&victims);
+            assert_eq!(batched.epoch(), 2);
+            let want: Vec<bool> = victims.iter().map(|&id| per_op.remove(id)).collect();
+            assert_eq!(removed, want);
+            assert_eq!(removed, vec![true, true, true, false, true]);
+
+            for q in &queries {
+                assert_eq!(
+                    per_op.candidates(q, None),
+                    batched.candidates(q, None),
+                    "shards {shards}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,9 +19,13 @@
 //! and re-verified at the end: no amount of concurrent writing may change
 //! what it answers.
 //!
-//! Runs across shard counts 1/2/8 and both flat store backends. The
-//! `DSH_SOAK_ITERS` env knob scales the schedule length (CI's release job
-//! sets it; the default keeps debug-mode tier-1 fast).
+//! Runs across shard counts 1/2/8 and both flat store backends, for two
+//! writer styles: per-op writes (one epoch per operation) and group
+//! commits (`WriteBatch` + `apply_batch`, one epoch per batch — readers
+//! replay each batch per-op, pinning the batched/per-op bit-parity under
+//! concurrency). The `DSH_SOAK_ITERS` env knob scales the schedule
+//! length (CI's release job sets it; the default keeps debug-mode tier-1
+//! fast).
 
 use dsh_core::family::DshFamily;
 use dsh_core::points::{AppendStore, AsRow, BitStore, BitVector, DenseStore, DenseVector};
@@ -77,9 +81,71 @@ fn schedule<P: Clone>(points: &[P], seed: u64) -> Vec<Op<P>> {
     ops
 }
 
-/// A reader's private ground truth, replayed op-by-op to each snapshot's
-/// epoch: the unsharded index (bit-parity), the linear scan (exact live
-/// set), and the row log.
+/// One item of a scheduled group commit.
+enum BatchItem<P> {
+    Insert(P),
+    Remove(usize),
+}
+
+/// One write *event* of the batched soak schedule — each publishes
+/// exactly one epoch (the schedule guarantees every event is effectual:
+/// batches lead with an insert, seals and compacts fire only with a
+/// non-empty delta).
+enum BatchedOp<P> {
+    Batch(Vec<BatchItem<P>>),
+    Seal,
+    Compact,
+}
+
+/// Precompute a deterministic group-commit schedule: batch sizes cycle
+/// 1/7/256 (spanning every shard at the larger sizes), every fourth
+/// batch is remove-heavy, and in-batch removes may target ids assigned
+/// by the same batch's earlier inserts.
+fn batched_schedule<P: Clone>(points: &[P], seed: u64) -> Vec<BatchedOp<P>> {
+    let mut rng = seeded(seed);
+    let mut live: Vec<usize> = Vec::new();
+    let mut delta = 0usize; // unsealed rows in the simulated index
+    let mut ops = Vec::new();
+    let sizes = [1usize, 7, 256];
+    let mut next = 0usize;
+    let mut batch_no = 0usize;
+    while next < points.len() {
+        let target = sizes[batch_no % sizes.len()];
+        let remove_prob = if batch_no % 4 == 3 { 0.5 } else { 0.15 };
+        // Lead with an insert so every batch moves the delta.
+        let mut items = vec![BatchItem::Insert(points[next].clone())];
+        live.push(next);
+        next += 1;
+        delta += 1;
+        for _ in 1..target {
+            if !live.is_empty() && rng.random_bool(remove_prob) {
+                let k = dsh_math::rng::index(&mut rng, live.len());
+                items.push(BatchItem::Remove(live.swap_remove(k)));
+            } else if next < points.len() {
+                items.push(BatchItem::Insert(points[next].clone()));
+                live.push(next);
+                next += 1;
+                delta += 1;
+            } else {
+                break;
+            }
+        }
+        ops.push(BatchedOp::Batch(items));
+        if (batch_no + 1).is_multiple_of(7) && delta > 0 {
+            ops.push(BatchedOp::Compact);
+            delta = 0;
+        } else if (batch_no + 1).is_multiple_of(3) && delta > 0 {
+            ops.push(BatchedOp::Seal);
+            delta = 0;
+        }
+        batch_no += 1;
+    }
+    ops
+}
+
+/// A reader's private ground truth, replayed event-by-event to each
+/// snapshot's epoch: the unsharded index (bit-parity), the linear scan
+/// (exact live set), and the row log.
 struct Replica<S: AppendStore, P> {
     index: DynamicIndex<S>,
     scan: LinearScan<S>,
@@ -87,21 +153,98 @@ struct Replica<S: AppendStore, P> {
 }
 
 impl<S: AppendStore + Clone, P: AsRow<Row = S::Row> + Clone> Replica<S, P> {
-    fn advance(&mut self, ops: &[Op<P>]) {
+    fn advance<O: SoakOp<S, P>>(&mut self, ops: &[O]) {
         for op in ops {
-            match op {
-                Op::Insert(p) => {
-                    self.index.insert(p);
-                    self.scan.insert(p);
-                    self.rows.push(p.clone());
-                }
-                Op::Remove(id) => {
-                    assert!(self.index.remove(*id));
-                    assert!(self.scan.remove(*id));
-                }
-                Op::Seal => self.index.seal(),
-                Op::Compact => self.index.compact(),
+            op.replay(self);
+        }
+    }
+
+    fn apply_item(&mut self, item: &BatchItem<P>) {
+        match item {
+            BatchItem::Insert(p) => {
+                self.index.insert(p);
+                self.scan.insert(p);
+                self.rows.push(p.clone());
             }
+            BatchItem::Remove(id) => {
+                assert!(self.index.remove(*id));
+                assert!(self.scan.remove(*id));
+            }
+        }
+    }
+}
+
+/// One write event of a soak schedule: how a reader replays it into its
+/// per-op replica, and how the writer applies it to the sharded index.
+/// Each applied event must publish exactly one epoch — the readers'
+/// prefix replay (`ops[..epoch]`) silently depends on it.
+trait SoakOp<S: AppendStore + Clone, P: AsRow<Row = S::Row> + Clone> {
+    fn replay(&self, replica: &mut Replica<S, P>);
+    fn apply(&self, idx: &mut ShardedIndex<S>);
+}
+
+impl<S, P> SoakOp<S, P> for Op<P>
+where
+    S: AppendStore + Clone,
+    P: AsRow<Row = S::Row> + Clone,
+{
+    fn replay(&self, replica: &mut Replica<S, P>) {
+        match self {
+            Op::Insert(p) => replica.apply_item(&BatchItem::Insert(p.clone())),
+            Op::Remove(id) => replica.apply_item(&BatchItem::Remove(*id)),
+            Op::Seal => replica.index.seal(),
+            Op::Compact => replica.index.compact(),
+        }
+    }
+
+    fn apply(&self, idx: &mut ShardedIndex<S>) {
+        match self {
+            Op::Insert(p) => {
+                idx.insert(p);
+            }
+            Op::Remove(id) => {
+                assert!(idx.remove(*id));
+            }
+            Op::Seal => idx.seal(),
+            Op::Compact => idx.compact(),
+        }
+    }
+}
+
+impl<S, P> SoakOp<S, P> for BatchedOp<P>
+where
+    S: AppendStore + Clone,
+    P: AsRow<Row = S::Row> + Clone,
+{
+    fn replay(&self, replica: &mut Replica<S, P>) {
+        match self {
+            BatchedOp::Batch(items) => {
+                for item in items {
+                    replica.apply_item(item);
+                }
+            }
+            BatchedOp::Seal => replica.index.seal(),
+            BatchedOp::Compact => replica.index.compact(),
+        }
+    }
+
+    fn apply(&self, idx: &mut ShardedIndex<S>) {
+        match self {
+            BatchedOp::Batch(items) => {
+                let mut batch = idx.new_batch();
+                for item in items {
+                    match item {
+                        BatchItem::Insert(p) => batch.insert(p),
+                        BatchItem::Remove(id) => batch.remove(*id),
+                    }
+                }
+                let outcomes = idx
+                    .apply_batch(&batch)
+                    .expect("scheduled batches are valid");
+                assert_eq!(outcomes.len(), items.len());
+            }
+            BatchedOp::Seal => idx.seal(),
+            BatchedOp::Compact => idx.compact(),
         }
     }
 }
@@ -175,11 +318,11 @@ fn verify_snapshot<S, P>(
 /// first-held snapshot at the end.
 #[allow(clippy::too_many_arguments)] // one knob per soak dimension
 #[allow(clippy::needless_pass_by_value)] // owned datasets keep call sites one-liners
-fn soak<S, P, F, M>(
+fn soak<S, P, F, M, O>(
     family: &F,
     empty: impl Fn() -> S + Sync,
     make_measure: M,
-    points: Vec<P>,
+    ops: Vec<O>,
     queries: Vec<P>,
     l: usize,
     seed: u64,
@@ -190,8 +333,8 @@ fn soak<S, P, F, M>(
     P: AsRow<Row = S::Row> + Clone + Send + Sync,
     F: DshFamily<S::Row> + ?Sized + Sync,
     M: Fn() -> Measure<S::Row> + Sync,
+    O: SoakOp<S, P> + Sync,
 {
-    let ops = schedule(&points, seed ^ 0x0C0DE);
     for &shards in &SHARD_COUNTS {
         let mut idx = ShardedIndex::build(family, empty(), l, shards, &mut seeded(seed));
         let handle = idx.reader_handle();
@@ -250,16 +393,7 @@ fn soak<S, P, F, M>(
             scope.spawn(move || {
                 start.wait(); // all readers hold their pre-write snapshot
                 for op in ops {
-                    match op {
-                        Op::Insert(p) => {
-                            idx.insert(p);
-                        }
-                        Op::Remove(id) => {
-                            assert!(idx.remove(*id));
-                        }
-                        Op::Seal => idx.seal(),
-                        Op::Compact => idx.compact(),
-                    }
+                    op.apply(&mut idx);
                     // Give readers a chance to interleave mid-schedule.
                     std::thread::yield_now();
                 }
@@ -279,7 +413,7 @@ fn bit_store_snapshots_stay_exact_under_concurrent_writes() {
         &BitSampling::new(d),
         || BitStore::with_dim(d),
         || measures::relative_hamming(d),
-        points,
+        schedule(&points, 0x50AE ^ 0x0C0DE),
         queries,
         8,
         0x50AE,
@@ -297,10 +431,46 @@ fn dense_store_snapshots_stay_exact_under_concurrent_writes() {
         &UnimodalFilterDsh::new(d, 0.4, 1.3),
         || DenseStore::with_dim(d),
         measures::inner_product,
-        points,
+        schedule(&points, 0x50B2 ^ 0x0C0DE),
         queries,
         7,
         0x50B2,
+        false,
+    );
+}
+
+#[test]
+fn bit_store_snapshots_stay_exact_under_concurrent_group_commits() {
+    let d = 128;
+    let n = 420 * soak_iters();
+    let points = hamming_data::uniform_hamming(&mut seeded(0x50C0), n, d);
+    let queries: Vec<BitVector> = hamming_data::uniform_hamming(&mut seeded(0x50C1), 6, d);
+    soak(
+        &BitSampling::new(d),
+        || BitStore::with_dim(d),
+        || measures::relative_hamming(d),
+        batched_schedule(&points, 0x50C2 ^ 0x0C0DE),
+        queries,
+        8,
+        0x50C2,
+        true,
+    );
+}
+
+#[test]
+fn dense_store_snapshots_stay_exact_under_concurrent_group_commits() {
+    let d = 24;
+    let n = 330 * soak_iters();
+    let points = sphere_data::uniform_sphere(&mut seeded(0x50C4), n, d);
+    let queries: Vec<DenseVector> = sphere_data::uniform_sphere(&mut seeded(0x50C5), 5, d);
+    soak(
+        &UnimodalFilterDsh::new(d, 0.4, 1.3),
+        || DenseStore::with_dim(d),
+        measures::inner_product,
+        batched_schedule(&points, 0x50C6 ^ 0x0C0DE),
+        queries,
+        7,
+        0x50C6,
         false,
     );
 }

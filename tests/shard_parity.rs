@@ -16,8 +16,8 @@ use dsh_core::points::{AppendStore, AsRow, BitStore, BitVector, DenseStore, Dens
 use dsh_data::{hamming_data, sphere_data};
 use dsh_hamming::BitSampling;
 use dsh_index::{
-    measures, AnnulusIndex, AnnulusSpec, DynamicIndex, HashTableIndex, HyperplaneIndex,
-    NearNeighborIndex, RangeReportingIndex, ShardedIndex, SphereAnnulusIndex,
+    measures, AnnulusIndex, AnnulusSpec, BatchError, DynamicIndex, HashTableIndex, HyperplaneIndex,
+    NearNeighborIndex, RangeReportingIndex, ShardedIndex, SphereAnnulusIndex, WriteOutcome,
 };
 use dsh_math::rng::seeded;
 use dsh_sphere::UnimodalFilterDsh;
@@ -143,6 +143,222 @@ fn interleaved_parity_sweep<S, P>(
             );
         }
     }
+}
+
+/// One scheduled group-commit item: an insert of `points[.0]` or a
+/// remove of global id `.0`.
+enum BatchItem {
+    Insert(usize),
+    Remove(usize),
+}
+
+/// Drive a batched writer (`WriteBatch` + `apply_batch`) and a per-op
+/// replay of the same operations in lockstep: outcomes, candidates,
+/// stats, and live sets must be bit-identical at every batch boundary,
+/// while the batched side publishes exactly **one** epoch per effectual
+/// batch. Batch sizes cycle 1/7/256 (spanning every shard at the larger
+/// sizes), every fourth batch is remove-heavy, and removes may target
+/// ids assigned earlier in the same batch.
+fn batched_parity_sweep<S, P>(
+    family: &(impl DshFamily<S::Row> + ?Sized),
+    empty: impl Fn() -> S,
+    points: &[P],
+    queries: &[P],
+    l: usize,
+    seed: u64,
+) where
+    S: AppendStore + Clone,
+    P: AsRow<Row = S::Row> + Clone + Send + Sync,
+{
+    for &shards in &SHARD_COUNTS {
+        let mut batched = ShardedIndex::build(family, empty(), l, shards, &mut seeded(seed));
+        let mut per_op = ShardedIndex::build(family, empty(), l, shards, &mut seeded(seed));
+        let mut dynamic = DynamicIndex::build(family, empty(), l, &mut seeded(seed));
+        let mut schedule = seeded(seed ^ 0xBA7C ^ shards as u64);
+        let check = |dynamic: &DynamicIndex<S>, batched: &ShardedIndex<S>, ctx: &str| {
+            for (qi, q) in queries.iter().enumerate() {
+                for limit in [None, Some(2 * l)] {
+                    assert_eq!(
+                        dynamic.candidates(q, limit),
+                        batched.candidates(q, limit),
+                        "{ctx}, shards {shards}, query {qi}, limit {limit:?}"
+                    );
+                }
+            }
+        };
+
+        let sizes = [1usize, 7, 256];
+        let mut sim_live: Vec<usize> = Vec::new();
+        let mut dead: Vec<usize> = Vec::new();
+        let mut next_point = 0usize;
+        let mut batch_no = 0usize;
+        while next_point < points.len() {
+            let target = sizes[batch_no % sizes.len()];
+            let remove_prob = if batch_no % 4 == 3 { 0.6 } else { 0.2 };
+            let mut items = Vec::new();
+            for _ in 0..target {
+                if !sim_live.is_empty()
+                    && (next_point >= points.len() || schedule.random_bool(remove_prob))
+                {
+                    let k = dsh_math::rng::index(&mut schedule, sim_live.len());
+                    let id = sim_live.swap_remove(k);
+                    dead.push(id);
+                    items.push(BatchItem::Remove(id));
+                } else if next_point < points.len() {
+                    sim_live.push(next_point);
+                    items.push(BatchItem::Insert(next_point));
+                    next_point += 1;
+                } else {
+                    break;
+                }
+            }
+
+            let mut batch = batched.new_batch();
+            for item in &items {
+                match *item {
+                    BatchItem::Insert(pi) => batch.insert(&points[pi]),
+                    BatchItem::Remove(id) => batch.remove(id),
+                }
+            }
+            let before = batched.epoch();
+            let outcomes = batched
+                .apply_batch(&batch)
+                .expect("scheduled batches are valid");
+            assert_eq!(
+                batched.epoch(),
+                before + 1,
+                "one epoch per effectual batch (shards {shards}, batch {batch_no})"
+            );
+
+            let mut want = Vec::with_capacity(items.len());
+            for item in &items {
+                match *item {
+                    BatchItem::Insert(pi) => {
+                        let id = dynamic.insert(&points[pi]);
+                        assert_eq!(id, per_op.insert(&points[pi]));
+                        want.push(WriteOutcome::Inserted(id));
+                    }
+                    BatchItem::Remove(id) => {
+                        let removed = dynamic.remove(id);
+                        assert_eq!(removed, per_op.remove(id));
+                        want.push(WriteOutcome::Removed(removed));
+                    }
+                }
+            }
+            assert_eq!(outcomes, want, "shards {shards}, batch {batch_no}");
+            check(&dynamic, &batched, "post-batch");
+
+            if batch_no % 3 == 2 {
+                dynamic.seal();
+                batched.seal();
+                per_op.seal();
+                assert_eq!(dynamic.sealed_segments(), batched.sealed_segments());
+                check(&dynamic, &batched, "post-seal");
+            }
+            if batch_no % 7 == 6 {
+                dynamic.compact();
+                batched.compact();
+                per_op.compact();
+                check(&dynamic, &batched, "post-compact");
+            }
+            batch_no += 1;
+        }
+
+        // The point of group commits: far fewer publications than the
+        // per-op writer for the same final state.
+        assert!(
+            batched.epoch() < per_op.epoch(),
+            "shards {shards}: batched epoch {} vs per-op {}",
+            batched.epoch(),
+            per_op.epoch()
+        );
+        assert_eq!(
+            dynamic.live_ids().collect::<Vec<_>>(),
+            batched.live_ids().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            per_op.live_ids().collect::<Vec<_>>(),
+            batched.live_ids().collect::<Vec<_>>()
+        );
+        assert_eq!(dynamic.len(), batched.len());
+        assert_eq!(dynamic.delta_rows(), batched.delta_rows());
+        assert_eq!(dynamic.removed(), batched.removed());
+        for (qi, q) in queries.iter().enumerate() {
+            assert_eq!(
+                per_op.candidates(q, None),
+                batched.candidates(q, None),
+                "per-op sharded parity, shards {shards}, query {qi}"
+            );
+        }
+
+        // A batch holding only already-dead removes changes nothing and
+        // publishes nothing.
+        assert!(dead.len() >= 2, "schedule must produce dead ids");
+        let before = batched.epoch();
+        let mut noop = batched.new_batch();
+        noop.remove(dead[0]);
+        noop.remove(dead[1]);
+        assert_eq!(
+            batched.apply_batch(&noop).unwrap(),
+            vec![WriteOutcome::Removed(false); 2]
+        );
+        assert_eq!(
+            batched.epoch(),
+            before,
+            "all-dead batch must keep the epoch"
+        );
+
+        // An out-of-range remove anywhere rejects the whole batch with
+        // nothing applied — the index keeps serving its prior state.
+        let bound = batched.id_bound() + 1; // one staged insert advances the bound by one
+        let mut bad = batched.new_batch();
+        bad.insert(&points[0]);
+        bad.remove(bound);
+        assert_eq!(
+            batched.apply_batch(&bad).unwrap_err(),
+            BatchError::UnknownId {
+                op_index: 1,
+                id: bound,
+                bound,
+            }
+        );
+        assert_eq!(
+            batched.epoch(),
+            before,
+            "rejected batch must keep the epoch"
+        );
+        check(&dynamic, &batched, "post-rejection");
+    }
+}
+
+#[test]
+fn bit_store_batched_writes_match_per_op_replay() {
+    let d = 128;
+    let points = bit_points(0x5DB1, 420, d);
+    let queries = bit_points(0x5DB2, 10, d);
+    batched_parity_sweep(
+        &BitSampling::new(d),
+        || BitStore::with_dim(d),
+        &points,
+        &queries,
+        10,
+        0x5DB3,
+    );
+}
+
+#[test]
+fn dense_store_batched_writes_match_per_op_replay() {
+    let d = 24;
+    let points = dense_points(0x5DB5, 300, d);
+    let queries = dense_points(0x5DB6, 8, d);
+    batched_parity_sweep(
+        &UnimodalFilterDsh::new(d, 0.4, 1.3),
+        || DenseStore::with_dim(d),
+        &points,
+        &queries,
+        8,
+        0x5DB7,
+    );
 }
 
 #[test]
@@ -289,6 +505,21 @@ fn hamming_front_ends_sharded_equals_dynamic() {
         }
         dyn_nn.remove(7);
         sh_nn.remove(7);
+        // Group-commit passthroughs: batched front-end writes agree too.
+        let extra = {
+            let mut s = BitStore::with_dim(d);
+            for p in bit_points(seed + 9, 6, d) {
+                s.push(&p);
+            }
+            s
+        };
+        assert_eq!(dyn_nn.insert_batch(&extra), sh_nn.insert_batch(&extra));
+        let victims = [points.len(), points.len() + 2, 7];
+        assert_eq!(
+            dyn_nn.remove_batch(&victims),
+            sh_nn.remove_batch(&victims),
+            "NearNeighborIndex remove_batch (shards {shards})"
+        );
         let want: Vec<_> = queries.iter().map(|q| dyn_nn.query(q)).collect();
         let got: Vec<_> = queries.iter().map(|q| sh_nn.query(q)).collect();
         assert_eq!(want, got, "NearNeighborIndex (shards {shards})");
@@ -413,6 +644,20 @@ fn sphere_front_ends_sharded_equals_dynamic() {
         sh_hp.seal();
         dyn_hp.remove(3);
         sh_hp.remove(3);
+        // Group-commit passthroughs: batched front-end writes agree too.
+        let extra = {
+            let mut s = DenseStore::with_dim(d);
+            for p in dense_points(seed + 9, 5, d) {
+                s.push_row(p.as_row());
+            }
+            s
+        };
+        assert_eq!(dyn_hp.insert_batch(&extra), sh_hp.insert_batch(&extra));
+        assert_eq!(
+            dyn_hp.remove_batch(&[1, 3]),
+            sh_hp.remove_batch(&[1, 3]),
+            "HyperplaneIndex remove_batch (shards {shards})"
+        );
         let want: Vec<_> = queries.iter().map(|q| dyn_hp.query(q)).collect();
         let got: Vec<_> = queries.iter().map(|q| sh_hp.query(q)).collect();
         assert_eq!(want, got, "HyperplaneIndex (shards {shards})");
