@@ -69,7 +69,7 @@ fn bench_ingest(c: &mut Criterion) {
             let mut idx =
                 DynamicIndex::build(&family(), BitStore::with_dim(D), L, &mut seeded(0xBE2));
             for i in 0..points.len() {
-                idx.insert(points.row(i));
+                idx.insert(points.row(i)).unwrap();
             }
             idx
         });
@@ -80,7 +80,7 @@ fn bench_ingest(c: &mut Criterion) {
             let mut idx =
                 DynamicIndex::build(&family(), BitStore::with_dim(D), L, &mut seeded(0xBE2));
             for i in 0..points.len() {
-                idx.insert(points.row(i));
+                idx.insert(points.row(i)).unwrap();
             }
             idx.compact();
             idx
@@ -106,7 +106,7 @@ fn bench_query_vs_delta_fill(c: &mut Criterion) {
         }
         let mut idx = DynamicIndex::build(&family(), initial, L, &mut seeded(0xBE5));
         for i in base..N {
-            idx.insert(points.row(i));
+            idx.insert(points.row(i)).unwrap();
         }
         assert_eq!(idx.delta_rows(), N - base);
         group.bench_function(BenchmarkId::new("delta_fill_pct", fill_pct), |b| {
@@ -118,7 +118,7 @@ fn bench_query_vs_delta_fill(c: &mut Criterion) {
     // CSR build: same candidates, same stats, query for query.
     let mut idx = DynamicIndex::build(&family(), BitStore::with_dim(D), L, &mut seeded(0xBE5));
     for i in 0..N {
-        idx.insert(points.row(i));
+        idx.insert(points.row(i)).unwrap();
     }
     idx.compact();
     let static_idx = HashTableIndex::build(&family(), points.clone(), L, &mut seeded(0xBE5));
@@ -147,14 +147,14 @@ fn bench_compaction(c: &mut Criterion) {
     }
     let mut idx = DynamicIndex::build(&family(), initial, L, &mut seeded(0xBE7));
     for i in N / 2..3 * N / 4 {
-        idx.insert(points.row(i));
+        idx.insert(points.row(i)).unwrap();
     }
     idx.seal();
     for i in 3 * N / 4..N {
-        idx.insert(points.row(i));
+        idx.insert(points.row(i)).unwrap();
     }
     for id in (0..N).step_by(16) {
-        idx.remove(id);
+        idx.remove(id).unwrap();
     }
 
     // Each iteration clones the 3-segment snapshot and compacts the

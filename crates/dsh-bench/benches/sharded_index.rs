@@ -101,7 +101,7 @@ fn bench_ingest(c: &mut Criterion) {
             let mut idx =
                 DynamicIndex::build(&family(), BitStore::with_dim(D), L, &mut seeded(0x5B6));
             for i in 0..points.len() {
-                idx.insert(points.row(i));
+                idx.insert(points.row(i)).unwrap();
                 if (i + 1) % SEAL_EVERY == 0 {
                     idx.seal();
                 }
@@ -115,7 +115,7 @@ fn bench_ingest(c: &mut Criterion) {
             let mut idx =
                 ShardedIndex::build(&family(), BitStore::with_dim(D), L, 4, &mut seeded(0x5B6));
             for i in 0..points.len() {
-                idx.insert(points.row(i));
+                idx.insert(points.row(i)).unwrap();
                 if (i + 1) % SEAL_EVERY == 0 {
                     idx.seal();
                 }
@@ -153,7 +153,7 @@ fn bench_ingest(c: &mut Criterion) {
                         });
                     }
                     for i in 0..points.len() {
-                        idx.insert(points.row(i));
+                        idx.insert(points.row(i)).unwrap();
                         if (i + 1) % SEAL_EVERY == 0 {
                             idx.seal();
                         }
@@ -187,13 +187,13 @@ fn bench_compaction_publication_pause(c: &mut Criterion) {
         let mut idx =
             ShardedIndex::build(&family(), BitStore::with_dim(D), L, 4, &mut seeded(0x5B8));
         for i in 0..N {
-            idx.insert(points.row(i));
+            idx.insert(points.row(i)).unwrap();
             if (i + 1) % (N / 3) == 0 {
                 idx.seal();
             }
         }
         for id in (0..N).step_by(16) {
-            idx.remove(id);
+            idx.remove(id).unwrap();
         }
         idx
     };

@@ -295,7 +295,7 @@ fn ingest_report(s: &IngestSizes) -> Vec<String> {
     let (inplace_ns, inplace) = time(s.reps, || {
         let mut idx = DynamicIndex::build(&fam, BitStore::with_dim(s.d), s.l, &mut seeded(0x16E6));
         for i in 0..s.n {
-            idx.insert(points.row(i));
+            idx.insert(points.row(i)).unwrap();
             if (i + 1) % s.seal_every == 0 {
                 idx.seal();
             }

@@ -13,6 +13,7 @@
 //! `HashTableIndex` substrate with a symmetric family.
 
 use crate::annulus::Measure;
+use crate::batch::WriteError;
 use crate::dynamic::DynamicIndex;
 use crate::parallel;
 use crate::shard::ShardedIndex;
@@ -166,8 +167,9 @@ impl<S: AppendStore> NearNeighborIndex<S, DynamicIndex<S>> {
         }
     }
 
-    /// Insert a point into the backing [`DynamicIndex`], returning its id.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// Insert a point into the backing [`DynamicIndex`], returning its id
+    /// (a full id space rejects with the backend's [`WriteError`]).
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = S::Row> + ?Sized,
     {
@@ -175,7 +177,9 @@ impl<S: AppendStore> NearNeighborIndex<S, DynamicIndex<S>> {
     }
 
     /// Remove point `id` (tombstone; reclaimed at the next compaction).
-    pub fn remove(&mut self, id: usize) -> bool {
+    /// `Ok(false)` means already removed; a never-assigned id rejects
+    /// with [`WriteError::UnknownId`].
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
         self.index.remove(id)
     }
 
@@ -183,7 +187,7 @@ impl<S: AppendStore> NearNeighborIndex<S, DynamicIndex<S>> {
     /// assigned in insertion order and the backend publishes at most
     /// one new epoch for the whole batch (see the backend's
     /// `insert_batch`).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = S::Row> + ?Sized,
     {
@@ -193,7 +197,7 @@ impl<S: AppendStore> NearNeighborIndex<S, DynamicIndex<S>> {
     /// Remove every id of `ids` as one group commit: per-id results in
     /// order, at most one new epoch for the whole batch (see the
     /// backend's `remove_batch`).
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
         self.index.remove_batch(ids)
     }
 
@@ -244,8 +248,9 @@ impl<S: AppendStore + Clone> NearNeighborIndex<S, ShardedIndex<S>> {
     }
 
     /// Insert a point into the backing [`ShardedIndex`], returning its
-    /// global id.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// global id (a full id space rejects with the backend's
+    /// [`WriteError`]).
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = S::Row> + ?Sized,
     {
@@ -253,7 +258,9 @@ impl<S: AppendStore + Clone> NearNeighborIndex<S, ShardedIndex<S>> {
     }
 
     /// Remove point `id` (tombstone; reclaimed at the next compaction).
-    pub fn remove(&mut self, id: usize) -> bool {
+    /// `Ok(false)` means already removed; a never-assigned id rejects
+    /// with [`WriteError::UnknownId`].
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
         self.index.remove(id)
     }
 
@@ -261,7 +268,7 @@ impl<S: AppendStore + Clone> NearNeighborIndex<S, ShardedIndex<S>> {
     /// assigned in insertion order and the backend publishes at most
     /// one new epoch for the whole batch (see the backend's
     /// `insert_batch`).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = S::Row> + ?Sized,
     {
@@ -271,7 +278,7 @@ impl<S: AppendStore + Clone> NearNeighborIndex<S, ShardedIndex<S>> {
     /// Remove every id of `ids` as one group commit: per-id results in
     /// order, at most one new epoch for the whole batch (see the
     /// backend's `remove_batch`).
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
         self.index.remove_batch(ids)
     }
 

@@ -9,6 +9,7 @@
 //! `O(L)` regardless of how adversarial the data is.
 
 use crate::ann::repetition_count;
+use crate::batch::WriteError;
 use crate::dynamic::DynamicIndex;
 use crate::parallel;
 use crate::shard::ShardedIndex;
@@ -123,8 +124,9 @@ impl<S: AppendStore> AnnulusIndex<S, DynamicIndex<S>> {
         }
     }
 
-    /// Insert a point into the backing [`DynamicIndex`], returning its id.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// Insert a point into the backing [`DynamicIndex`], returning its id
+    /// (a full id space rejects with the backend's [`WriteError`]).
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = S::Row> + ?Sized,
     {
@@ -132,7 +134,9 @@ impl<S: AppendStore> AnnulusIndex<S, DynamicIndex<S>> {
     }
 
     /// Remove point `id` (tombstone; reclaimed at the next compaction).
-    pub fn remove(&mut self, id: usize) -> bool {
+    /// `Ok(false)` means already removed; a never-assigned id rejects
+    /// with [`WriteError::UnknownId`].
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
         self.index.remove(id)
     }
 
@@ -140,7 +144,7 @@ impl<S: AppendStore> AnnulusIndex<S, DynamicIndex<S>> {
     /// assigned in insertion order and the backend publishes at most
     /// one new epoch for the whole batch (see the backend's
     /// `insert_batch`).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = S::Row> + ?Sized,
     {
@@ -150,7 +154,7 @@ impl<S: AppendStore> AnnulusIndex<S, DynamicIndex<S>> {
     /// Remove every id of `ids` as one group commit: per-id results in
     /// order, at most one new epoch for the whole batch (see the
     /// backend's `remove_batch`).
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
         self.index.remove_batch(ids)
     }
 
@@ -199,8 +203,9 @@ impl<S: AppendStore + Clone> AnnulusIndex<S, ShardedIndex<S>> {
     }
 
     /// Insert a point into the backing [`ShardedIndex`], returning its
-    /// global id.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// global id (a full id space rejects with the backend's
+    /// [`WriteError`]).
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = S::Row> + ?Sized,
     {
@@ -208,7 +213,9 @@ impl<S: AppendStore + Clone> AnnulusIndex<S, ShardedIndex<S>> {
     }
 
     /// Remove point `id` (tombstone; reclaimed at the next compaction).
-    pub fn remove(&mut self, id: usize) -> bool {
+    /// `Ok(false)` means already removed; a never-assigned id rejects
+    /// with [`WriteError::UnknownId`].
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
         self.index.remove(id)
     }
 
@@ -216,7 +223,7 @@ impl<S: AppendStore + Clone> AnnulusIndex<S, ShardedIndex<S>> {
     /// assigned in insertion order and the backend publishes at most
     /// one new epoch for the whole batch (see the backend's
     /// `insert_batch`).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = S::Row> + ?Sized,
     {
@@ -226,7 +233,7 @@ impl<S: AppendStore + Clone> AnnulusIndex<S, ShardedIndex<S>> {
     /// Remove every id of `ids` as one group commit: per-id results in
     /// order, at most one new epoch for the whole batch (see the
     /// backend's `remove_batch`).
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
         self.index.remove_batch(ids)
     }
 

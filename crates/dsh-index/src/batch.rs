@@ -40,6 +40,79 @@
 
 use dsh_core::points::{AppendStore, AsRow};
 
+/// Hard cap on the id space every bucket layout shares: slot ids are
+/// `u32`, so an index (or shard family) holds at most `u32::MAX`
+/// points over its lifetime — assigned ids range over
+/// `0..MAX_POINTS`. One bound, used by every write entry point: a
+/// write is accepted iff the id bound after it is `<= MAX_POINTS`.
+pub const MAX_POINTS: usize = u32::MAX as usize;
+
+/// Why a single write operation was rejected — the recoverable
+/// counterpart of what used to be a serving-path panic. Returned by
+/// the per-op `insert`/`remove` (and their `_batch` conveniences) on
+/// [`crate::DynamicIndex`] and [`crate::ShardedIndex`]; group commits
+/// report the same conditions per batch as [`BatchError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteError {
+    /// A remove targeted an id that was never assigned. (A remove of a
+    /// *known* id that was already removed is not an error: it returns
+    /// `Ok(false)`, matching the group-commit surface.)
+    UnknownId {
+        /// The id the remove targeted.
+        id: usize,
+        /// One past the largest assigned id.
+        bound: usize,
+    },
+    /// An insert would push the id space past [`MAX_POINTS`].
+    CapacityExceeded {
+        /// The id bound before the rejected write.
+        id_bound: usize,
+        /// How many ids the rejected write would have assigned.
+        additional: usize,
+    },
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            WriteError::UnknownId { id, bound } => {
+                write!(f, "remove of id {id} out of range (id bound: {bound})")
+            }
+            WriteError::CapacityExceeded {
+                id_bound,
+                additional,
+            } => write!(
+                f,
+                "insert of {additional} point(s) at id bound {id_bound} exceeds \
+                 the u32 point-id capacity ({MAX_POINTS})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// Accept a write assigning `additional` fresh ids on top of
+/// `id_bound` iff the resulting bound stays within [`MAX_POINTS`].
+pub(crate) fn ensure_capacity(id_bound: usize, additional: usize) -> Result<(), WriteError> {
+    match id_bound.checked_add(additional) {
+        Some(total) if total <= MAX_POINTS => Ok(()),
+        _ => Err(WriteError::CapacityExceeded {
+            id_bound,
+            additional,
+        }),
+    }
+}
+
+/// Accept a remove of `id` iff it was ever assigned (`id < bound`).
+pub(crate) fn ensure_known(id: usize, bound: usize) -> Result<(), WriteError> {
+    if id < bound {
+        Ok(())
+    } else {
+        Err(WriteError::UnknownId { id, bound })
+    }
+}
+
 /// One staged operation of a [`WriteBatch`]: an insert (indexing the
 /// batch's staged row buffer) or a remove of a global id.
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +187,11 @@ impl std::error::Error for BatchError {}
 pub struct WriteBatch<BS: AppendStore> {
     rows: BS,
     ops: Vec<BatchOp>,
+    /// Op index of the first insert staged past [`MAX_POINTS`], if any.
+    /// Staging must stay panic-free (it runs on the serving path), so an
+    /// over-capacity insert poisons the batch here instead of asserting;
+    /// `validate` rejects the whole batch with the recorded index.
+    overflowed: Option<usize>,
 }
 
 impl<BS: AppendStore> WriteBatch<BS> {
@@ -125,6 +203,7 @@ impl<BS: AppendStore> WriteBatch<BS> {
         WriteBatch {
             rows,
             ops: Vec::new(),
+            overflowed: None,
         }
     }
 
@@ -132,13 +211,26 @@ impl<BS: AppendStore> WriteBatch<BS> {
     /// index the batch is applied to (and on the batch's earlier
     /// inserts); it is reported by the corresponding
     /// [`WriteOutcome::Inserted`].
+    ///
+    /// Staging more than [`MAX_POINTS`] inserts poisons the batch: the
+    /// over-capacity insert (and everything staged after it) is dropped,
+    /// and applying the batch reports
+    /// [`BatchError::CapacityExceeded`] at that op index. Such a batch
+    /// could never be applied anyway — the id space itself is capped at
+    /// [`MAX_POINTS`] — so the failure is deferred to `validate` rather
+    /// than panicking mid-staging on the serving path.
     pub fn insert<Q>(&mut self, p: &Q)
     where
         Q: AsRow<Row = BS::Row> + ?Sized,
     {
+        if self.overflowed.is_some() {
+            return;
+        }
         let slot = self.rows.len();
-        // lint: allow(panic) — contract: u32 slot ids cap a batch (and the index) at 4B points
-        assert!(slot < u32::MAX as usize, "batch exceeds u32 row capacity");
+        if slot >= MAX_POINTS {
+            self.overflowed = Some(self.ops.len());
+            return;
+        }
         self.rows.push_row(p.as_row());
         self.ops.push(BatchOp::Insert(slot as u32));
     }
@@ -148,6 +240,9 @@ impl<BS: AppendStore> WriteBatch<BS> {
     /// otherwise the whole batch is rejected with
     /// [`BatchError::UnknownId`].
     pub fn remove(&mut self, id: usize) {
+        if self.overflowed.is_some() {
+            return;
+        }
         self.ops.push(BatchOp::Remove(id as u64));
     }
 
@@ -181,11 +276,14 @@ impl<BS: AppendStore> WriteBatch<BS> {
     /// batch's inserts exactly as application would. `Err` means the
     /// batch must not be applied at all.
     pub(crate) fn validate(&self, id_bound: usize) -> Result<(), BatchError> {
+        if let Some(op_index) = self.overflowed {
+            return Err(BatchError::CapacityExceeded { op_index });
+        }
         let mut bound = id_bound;
         for (op_index, op) in self.ops.iter().enumerate() {
             match *op {
                 BatchOp::Insert(_) => {
-                    if bound >= u32::MAX as usize {
+                    if ensure_capacity(bound, 1).is_err() {
                         return Err(BatchError::CapacityExceeded { op_index });
                     }
                     bound += 1;
@@ -276,6 +374,70 @@ mod tests {
         );
         let msg = BatchError::CapacityExceeded { op_index: 7 }.to_string();
         assert!(msg.contains("op 7") && msg.contains("capacity"), "{msg}");
+    }
+
+    #[test]
+    fn capacity_bound_is_inclusive_of_max_points() {
+        // The one bound every entry point shares: a write is fine iff
+        // the id bound after it is <= MAX_POINTS. Filling the id space
+        // exactly is allowed; one past it is not.
+        assert_eq!(ensure_capacity(0, MAX_POINTS), Ok(()));
+        assert_eq!(ensure_capacity(MAX_POINTS - 1, 1), Ok(()));
+        assert_eq!(ensure_capacity(MAX_POINTS, 0), Ok(()));
+        assert_eq!(
+            ensure_capacity(MAX_POINTS, 1),
+            Err(WriteError::CapacityExceeded {
+                id_bound: MAX_POINTS,
+                additional: 1
+            })
+        );
+        assert_eq!(
+            ensure_capacity(1, MAX_POINTS),
+            Err(WriteError::CapacityExceeded {
+                id_bound: 1,
+                additional: MAX_POINTS
+            })
+        );
+        // Overflowing usize arithmetic must reject, not wrap.
+        assert!(ensure_capacity(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn batch_validate_agrees_with_ensure_capacity_at_the_boundary() {
+        let d = 32;
+        let mut batch = WriteBatch::new(BitStore::with_dim(d));
+        batch.insert(&BitVector::zeros(d));
+        // One insert on a bound one shy of the cap lands exactly on it.
+        assert_eq!(batch.validate(MAX_POINTS - 1), Ok(()));
+        // On a full index the same insert is rejected.
+        assert_eq!(
+            batch.validate(MAX_POINTS),
+            Err(BatchError::CapacityExceeded { op_index: 0 })
+        );
+    }
+
+    #[test]
+    fn unknown_id_check_is_strict() {
+        assert_eq!(ensure_known(4, 5), Ok(()));
+        assert_eq!(
+            ensure_known(5, 5),
+            Err(WriteError::UnknownId { id: 5, bound: 5 })
+        );
+    }
+
+    #[test]
+    fn write_errors_render_descriptively() {
+        let msg = WriteError::UnknownId { id: 41, bound: 40 }.to_string();
+        assert!(msg.contains("41") && msg.contains("40"), "{msg}");
+        let msg = WriteError::CapacityExceeded {
+            id_bound: 7,
+            additional: 2,
+        }
+        .to_string();
+        assert!(
+            msg.contains("7") && msg.contains("2") && msg.contains("capacity"),
+            "{msg}"
+        );
     }
 
     #[test]

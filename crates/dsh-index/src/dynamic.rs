@@ -41,7 +41,10 @@
 //! from the same final point set, on every store backend and thread
 //! count.
 
-use crate::batch::{BatchError, BatchOp, WriteBatch, WriteOutcome};
+use crate::batch::{
+    ensure_capacity, ensure_known, BatchError, BatchOp, WriteBatch, WriteError, WriteOutcome,
+    MAX_POINTS,
+};
 use crate::parallel;
 use crate::table::{
     CandidateBackend, CsrBuckets, QueryScratch, QueryStats, MIN_QUERIES_PER_WORKER,
@@ -150,10 +153,10 @@ impl Tombstones {
 /// // first sealed segment in parallel, exactly like the static index).
 /// let mut idx = DynamicIndex::build(&BitSampling::new(d), BitStore::with_dim(d), 8, &mut rng);
 /// let q = BitVector::random(&mut rng, d);
-/// let id = idx.insert(&q);
+/// let id = idx.insert(&q).unwrap();
 /// assert!(idx.candidates(&q, None).0.contains(&id));
 ///
-/// idx.remove(id);
+/// idx.remove(id).unwrap();
 /// assert!(!idx.candidates(&q, None).0.contains(&id));
 ///
 /// idx.compact(); // drop tombstoned ids from the bucket layout
@@ -222,8 +225,8 @@ impl<S: AppendStore> DynamicIndex<S> {
         assert!(!pairs.is_empty(), "need at least one repetition");
         // lint: allow(panic) — build-time capacity check, not on the query path
         assert!(
-            points.len() < u32::MAX as usize,
-            "point count exceeds index capacity"
+            points.len() <= MAX_POINTS,
+            "point count exceeds the u32 point-id capacity"
         );
         let sealed = if points.is_empty() {
             Vec::new()
@@ -313,21 +316,24 @@ impl<S: AppendStore> DynamicIndex<S> {
 
     /// Insert a point (an owned point, a store row view, or a raw row),
     /// returning its global id. Costs one row append plus `L` hash
-    /// evaluations into the delta segment's `HashMap` buckets.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// evaluations into the delta segment's `HashMap` buckets. Rejects
+    /// with [`WriteError::CapacityExceeded`] when the id space is full
+    /// (`id_bound == MAX_POINTS`), leaving the index untouched.
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = S::Row> + ?Sized,
     {
-        self.insert_row(p.as_row())
+        ensure_capacity(self.store.len(), 1)?;
+        Ok(self.insert_row(p.as_row()))
     }
 
     /// Row-level [`DynamicIndex::insert`] — the seam the batched write
-    /// paths (and the sharded layer) use to insert rows borrowed from
-    /// another store without an `AsRow` detour.
+    /// paths (and the sharded layer) use to insert pre-validated rows
+    /// borrowed from another store without an `AsRow` detour. Callers
+    /// must have checked capacity (see `ensure_capacity`).
     pub(crate) fn insert_row(&mut self, row: &S::Row) -> usize {
         let id = self.store.len();
-        // lint: allow(panic) — contract: u32 slot ids cap the index at 4B points
-        assert!(id < u32::MAX as usize, "point count exceeds index capacity");
+        debug_assert!(id < MAX_POINTS, "caller skipped the capacity check");
         self.store.push_row(row);
         let row = self.store.row(id);
         for (pair, table) in self.pairs.iter().zip(&mut self.delta.tables) {
@@ -342,11 +348,20 @@ impl<S: AppendStore> DynamicIndex<S> {
 
     /// Remove point `id`: sets its tombstone bit, so candidate collection
     /// skips it immediately; the bucket entries (and the stored row) are
-    /// reclaimed by the next [`DynamicIndex::compact`]. Returns `false`
-    /// when `id` was already removed.
-    pub fn remove(&mut self, id: usize) -> bool {
-        // lint: allow(panic) — contract: removing a never-inserted id is a caller bug
-        assert!(id < self.store.len(), "id {id} was never inserted");
+    /// reclaimed by the next [`DynamicIndex::compact`]. Returns
+    /// `Ok(false)` when `id` was already removed, and rejects an id that
+    /// was never assigned with [`WriteError::UnknownId`] — the same
+    /// surface the group-commit path reports per batch.
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
+        ensure_known(id, self.store.len())?;
+        Ok(self.tombstones.kill(id))
+    }
+
+    /// [`DynamicIndex::remove`] for ids the caller has already bounds
+    /// checked — the seam the sharded layer uses after validating whole
+    /// batches against its global id space.
+    pub(crate) fn remove_unchecked(&mut self, id: usize) -> bool {
+        debug_assert!(id < self.store.len(), "caller skipped the id check");
         self.tombstones.kill(id)
     }
 
@@ -389,27 +404,31 @@ impl<S: AppendStore> DynamicIndex<S> {
 
     /// Insert every row of `points` in order, returning the assigned
     /// ids — the batched convenience form of [`DynamicIndex::insert`]
-    /// (one up-front capacity check and store reservation).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    /// (one up-front capacity check and store reservation). A batch
+    /// that would overflow the id space is rejected whole with
+    /// [`WriteError::CapacityExceeded`]; nothing is applied.
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = S::Row> + ?Sized,
     {
-        // lint: allow(panic) — contract: u32 slot ids cap the index at 4B points
-        assert!(
-            self.store.len() + points.len() <= u32::MAX as usize,
-            "point count exceeds index capacity"
-        );
+        ensure_capacity(self.store.len(), points.len())?;
         self.store.reserve_rows(points.len());
-        (0..points.len())
+        Ok((0..points.len())
             .map(|i| self.insert_row(points.row(i)))
-            .collect()
+            .collect())
     }
 
     /// Remove every id in `ids` in order, returning the per-id results
     /// ([`DynamicIndex::remove`] semantics, including `false` for
-    /// already-removed ids).
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
-        ids.iter().map(|&id| self.remove(id)).collect()
+    /// already-removed ids). The whole batch is validated first: any
+    /// never-assigned id rejects it with [`WriteError::UnknownId`] and
+    /// nothing is applied.
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
+        let bound = self.store.len();
+        for &id in ids {
+            ensure_known(id, bound)?;
+        }
+        Ok(ids.iter().map(|&id| self.tombstones.kill(id)).collect())
     }
 
     /// Freeze the delta segment into a new sealed CSR segment (tombstoned
@@ -760,7 +779,7 @@ mod tests {
             &mut seeded(0xD3),
         );
         for p in &points {
-            dyn_idx.insert(p);
+            dyn_idx.insert(p).unwrap();
         }
         dyn_idx.compact();
         assert_eq!(dyn_idx.sealed_segments(), 1);
@@ -809,13 +828,16 @@ mod tests {
             8,
             &mut seeded(0xD8),
         );
-        let ids: Vec<usize> = points.iter().map(|p| idx.insert(p)).collect();
+        let ids: Vec<usize> = points.iter().map(|p| idx.insert(p).unwrap()).collect();
         assert_eq!(idx.len(), 40);
         // Identical point always collides under a symmetric family.
         let victim = ids[13];
         assert!(idx.candidates(&points[13], None).0.contains(&victim));
-        assert!(idx.remove(victim));
-        assert!(!idx.remove(victim), "double remove must report false");
+        assert!(idx.remove(victim).unwrap());
+        assert!(
+            !idx.remove(victim).unwrap(),
+            "double remove must report Ok(false)"
+        );
         assert_eq!(idx.len(), 39);
         assert!(!idx.is_live(victim));
         assert!(!idx.candidates(&points[13], None).0.contains(&victim));
@@ -840,7 +862,7 @@ mod tests {
             &mut seeded(0xDA),
         );
         for (i, p) in points.iter().enumerate() {
-            idx.insert(p);
+            idx.insert(p).unwrap();
             if i % 30 == 29 {
                 idx.seal();
             }
@@ -869,7 +891,7 @@ mod tests {
                 &mut seeded(0xDD),
             );
             for (i, p) in points.iter().enumerate() {
-                idx.insert(p);
+                idx.insert(p).unwrap();
                 if (i + 1) % seal_every == 0 {
                     idx.seal();
                 }
@@ -901,12 +923,12 @@ mod tests {
             &mut seeded(0xE0),
         );
         for (i, p) in points.iter().enumerate() {
-            idx.insert(p);
+            idx.insert(p).unwrap();
             if i == 49 {
                 idx.seal();
             }
             if i % 7 == 3 {
-                idx.remove(i);
+                idx.remove(i).unwrap();
             }
         }
         for limit in [None, Some(13)] {
@@ -936,12 +958,12 @@ mod tests {
                 threads,
             );
             for (i, p) in points.iter().enumerate() {
-                idx.insert(p);
+                idx.insert(p).unwrap();
                 if i == 30 {
                     idx.seal();
                 }
             }
-            idx.remove(5);
+            idx.remove(5).unwrap();
             idx.compact_with_threads(threads);
             answers.push(
                 queries
@@ -974,9 +996,9 @@ mod tests {
         idx.compact();
         assert!(idx.is_empty());
         // Remove everything ever inserted: compaction drops the segment.
-        let id = idx.insert(&q);
+        let id = idx.insert(&q).unwrap();
         idx.seal();
-        idx.remove(id);
+        idx.remove(id).unwrap();
         idx.compact();
         assert_eq!(idx.sealed_segments(), 0);
         assert_eq!(idx.id_bound(), 1);
@@ -994,13 +1016,12 @@ mod tests {
         );
         let q = BitVector::random(&mut seeded(0xE7), d);
         let mut scratch = idx.new_scratch();
-        idx.insert(&q);
+        idx.insert(&q).unwrap();
         let _ = idx.candidates_with(&q, None, &mut scratch);
     }
 
     #[test]
-    #[should_panic(expected = "never inserted")]
-    fn remove_of_unknown_id_panics() {
+    fn remove_of_unknown_id_is_a_recoverable_error() {
         let d = 32;
         let mut idx = DynamicIndex::build(
             &BitSampling::new(d),
@@ -1008,7 +1029,110 @@ mod tests {
             2,
             &mut seeded(0xE8),
         );
-        idx.remove(0);
+        assert_eq!(
+            idx.remove(0),
+            Err(WriteError::UnknownId { id: 0, bound: 0 })
+        );
+        // The rejected write leaves the index fully usable.
+        let q = BitVector::random(&mut seeded(0xE8), d);
+        let id = idx.insert(&q).unwrap();
+        assert_eq!(idx.remove(id), Ok(true));
+        assert_eq!(
+            idx.remove(id + 1),
+            Err(WriteError::UnknownId { id: 1, bound: 1 })
+        );
+    }
+
+    /// A test-only store that reports an inflated length without holding
+    /// rows — the only practical way to park an index at the u32 id-space
+    /// boundary without materializing 4B rows. It claims emptiness so the
+    /// bulk build doesn't hash its phantom rows; every row reads as one
+    /// zero block (enough for a `d <= 64` bit family).
+    #[derive(Clone)]
+    struct FakeHugeStore {
+        claimed: usize,
+    }
+
+    impl dsh_core::points::PointStore for FakeHugeStore {
+        type Row = [u64];
+
+        fn len(&self) -> usize {
+            self.claimed
+        }
+
+        fn is_empty(&self) -> bool {
+            true // skip the bulk build over phantom rows
+        }
+
+        fn row(&self, _i: usize) -> &[u64] {
+            &[0]
+        }
+    }
+
+    impl AppendStore for FakeHugeStore {
+        fn push_row(&mut self, _row: &[u64]) {
+            self.claimed += 1;
+        }
+
+        fn empty_like(&self) -> Self {
+            FakeHugeStore { claimed: 0 }
+        }
+    }
+
+    /// The unified capacity bound at the exact boundary: an index may
+    /// fill the id space to `MAX_POINTS`, and the first write past it is
+    /// rejected — identically for `insert` and `insert_batch`.
+    #[test]
+    fn capacity_boundary_is_shared_by_both_insert_entry_points() {
+        let pairs = vec![BitSampling::new(64).sample(&mut seeded(0xEF))];
+        // One shy of the cap: exactly one more insert fits.
+        let mut idx = DynamicIndex::with_pairs(
+            pairs.clone(),
+            FakeHugeStore {
+                claimed: MAX_POINTS - 1,
+            },
+            1,
+        );
+        let row: &[u64] = &[];
+        assert_eq!(idx.insert(row), Ok(MAX_POINTS - 1));
+        assert_eq!(
+            idx.insert(row),
+            Err(WriteError::CapacityExceeded {
+                id_bound: MAX_POINTS,
+                additional: 1
+            })
+        );
+        let two = FakeHugeStore { claimed: 2 };
+        assert_eq!(
+            idx.insert_batch(&two),
+            Err(WriteError::CapacityExceeded {
+                id_bound: MAX_POINTS,
+                additional: 2
+            })
+        );
+        let empty = FakeHugeStore { claimed: 0 };
+        assert_eq!(idx.insert_batch(&empty), Ok(Vec::new()));
+        // insert_batch admits a batch landing exactly on the bound …
+        let mut idx = DynamicIndex::with_pairs(
+            pairs.clone(),
+            FakeHugeStore {
+                claimed: MAX_POINTS - 2,
+            },
+            1,
+        );
+        assert_eq!(
+            idx.insert_batch(&two),
+            Ok(vec![MAX_POINTS - 2, MAX_POINTS - 1])
+        );
+        // … and the bulk build accepts the same count insert_batch does.
+        let idx = DynamicIndex::with_pairs(
+            pairs,
+            FakeHugeStore {
+                claimed: MAX_POINTS,
+            },
+            1,
+        );
+        assert_eq!(idx.id_bound(), MAX_POINTS);
     }
 
     /// `apply_batch` equals the per-op replay bit-for-bit; an invalid
@@ -1043,12 +1167,12 @@ mod tests {
 
         let mut want = Vec::new();
         for p in &points[..12] {
-            want.push(crate::WriteOutcome::Inserted(per_op.insert(p)));
+            want.push(crate::WriteOutcome::Inserted(per_op.insert(p).unwrap()));
         }
-        want.push(crate::WriteOutcome::Removed(per_op.remove(4)));
-        want.push(crate::WriteOutcome::Removed(per_op.remove(4)));
+        want.push(crate::WriteOutcome::Removed(per_op.remove(4).unwrap()));
+        want.push(crate::WriteOutcome::Removed(per_op.remove(4).unwrap()));
         for p in &points[12..] {
-            want.push(crate::WriteOutcome::Inserted(per_op.insert(p)));
+            want.push(crate::WriteOutcome::Inserted(per_op.insert(p).unwrap()));
         }
         assert_eq!(outcomes, want);
         for q in &queries {
@@ -1093,15 +1217,15 @@ mod tests {
             5,
             &mut seeded(0xEE),
         );
-        let ids = batched.insert_batch(&points);
-        let want: Vec<usize> = points.iter().map(|p| per_op.insert(p)).collect();
+        let ids = batched.insert_batch(&points).unwrap();
+        let want: Vec<usize> = points.iter().map(|p| per_op.insert(p).unwrap()).collect();
         assert_eq!(ids, want);
         let victims = [2usize, 11, 2, 24];
         assert_eq!(
-            batched.remove_batch(&victims),
+            batched.remove_batch(&victims).unwrap(),
             victims
                 .iter()
-                .map(|&id| per_op.remove(id))
+                .map(|&id| per_op.remove(id).unwrap())
                 .collect::<Vec<_>>()
         );
         for q in &queries {

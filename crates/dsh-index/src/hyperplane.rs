@@ -9,6 +9,7 @@
 
 use crate::ann::repetition_count;
 use crate::annulus::{AnnulusIndex, AnnulusMatch, Measure};
+use crate::batch::WriteError;
 use crate::dynamic::DynamicIndex;
 use crate::measures;
 use crate::shard::ShardedIndex;
@@ -104,8 +105,9 @@ impl<S: AppendStore + PointStore<Row = [f64]>> HyperplaneIndex<S, DynamicIndex<S
         }
     }
 
-    /// Insert a point into the backing [`DynamicIndex`], returning its id.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// Insert a point into the backing [`DynamicIndex`], returning its id
+    /// (a full id space rejects with the backend's [`WriteError`]).
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = [f64]> + ?Sized,
     {
@@ -113,7 +115,9 @@ impl<S: AppendStore + PointStore<Row = [f64]>> HyperplaneIndex<S, DynamicIndex<S
     }
 
     /// Remove point `id` (tombstone; reclaimed at the next compaction).
-    pub fn remove(&mut self, id: usize) -> bool {
+    /// `Ok(false)` means already removed; a never-assigned id rejects
+    /// with [`WriteError::UnknownId`].
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
         self.inner.remove(id)
     }
 
@@ -121,7 +125,7 @@ impl<S: AppendStore + PointStore<Row = [f64]>> HyperplaneIndex<S, DynamicIndex<S
     /// assigned in insertion order and the backend publishes at most
     /// one new epoch for the whole batch (see the backend's
     /// `insert_batch`).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = [f64]> + ?Sized,
     {
@@ -131,7 +135,7 @@ impl<S: AppendStore + PointStore<Row = [f64]>> HyperplaneIndex<S, DynamicIndex<S
     /// Remove every id of `ids` as one group commit: per-id results in
     /// order, at most one new epoch for the whole batch (see the
     /// backend's `remove_batch`).
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
         self.inner.remove_batch(ids)
     }
 
@@ -184,8 +188,9 @@ impl<S: AppendStore + PointStore<Row = [f64]> + Clone> HyperplaneIndex<S, Sharde
     }
 
     /// Insert a point into the backing [`ShardedIndex`], returning its
-    /// global id.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// global id (a full id space rejects with the backend's
+    /// [`WriteError`]).
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = [f64]> + ?Sized,
     {
@@ -193,7 +198,9 @@ impl<S: AppendStore + PointStore<Row = [f64]> + Clone> HyperplaneIndex<S, Sharde
     }
 
     /// Remove point `id` (tombstone; reclaimed at the next compaction).
-    pub fn remove(&mut self, id: usize) -> bool {
+    /// `Ok(false)` means already removed; a never-assigned id rejects
+    /// with [`WriteError::UnknownId`].
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
         self.inner.remove(id)
     }
 
@@ -201,7 +208,7 @@ impl<S: AppendStore + PointStore<Row = [f64]> + Clone> HyperplaneIndex<S, Sharde
     /// assigned in insertion order and the backend publishes at most
     /// one new epoch for the whole batch (see the backend's
     /// `insert_batch`).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = [f64]> + ?Sized,
     {
@@ -211,7 +218,7 @@ impl<S: AppendStore + PointStore<Row = [f64]> + Clone> HyperplaneIndex<S, Sharde
     /// Remove every id of `ids` as one group commit: per-id results in
     /// order, at most one new epoch for the whole batch (see the
     /// backend's `remove_batch`).
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
         self.inner.remove_batch(ids)
     }
 

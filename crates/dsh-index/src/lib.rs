@@ -64,7 +64,7 @@ pub mod table;
 
 pub use ann::{ann_params, AnnParams, NearNeighborIndex, MAX_REPETITIONS};
 pub use annulus::AnnulusIndex;
-pub use batch::{BatchError, WriteBatch, WriteOutcome};
+pub use batch::{BatchError, WriteBatch, WriteError, WriteOutcome, MAX_POINTS};
 pub use dynamic::DynamicIndex;
 pub use hyperplane::HyperplaneIndex;
 pub use linear_scan::LinearScan;

@@ -6,6 +6,7 @@
 //! apples-to-apples (the paper's structures win when `n^rho << n`).
 
 use crate::annulus::Measure;
+use crate::batch::{ensure_known, WriteError};
 use crate::dynamic::Tombstones;
 use dsh_core::points::{AppendStore, AsRow, PointStore};
 
@@ -55,11 +56,13 @@ impl<S: PointStore> LinearScan<S> {
     }
 
     /// Remove point `id` from every future scan (tombstone; the row
-    /// itself is retained). Returns `false` when already removed.
-    pub fn remove(&mut self, id: usize) -> bool {
-        // lint: allow(panic) — caller contract: only previously-inserted ids may be removed
-        assert!(id < self.points.len(), "id {id} was never inserted");
-        self.tombstones.kill(id)
+    /// itself is retained). Returns `Ok(false)` when already removed,
+    /// and [`WriteError::UnknownId`] for an id never assigned — the same
+    /// recoverable surface as [`crate::DynamicIndex::remove`], so the
+    /// baseline stays a drop-in replica in soak tests.
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
+        ensure_known(id, self.points.len())?;
+        Ok(self.tombstones.kill(id))
     }
 
     /// First live point whose measure to `q` lies in `[lo, hi]`, with the
@@ -247,8 +250,12 @@ mod tests {
         // Removing the argmin changes the answer to the runner-up, and
         // evaluation counts drop to the live count.
         let (best, _) = grown.argmin(&q).unwrap();
-        assert!(grown.remove(best));
-        assert!(!grown.remove(best));
+        assert_eq!(grown.remove(best), Ok(true));
+        assert_eq!(grown.remove(best), Ok(false));
+        assert_eq!(
+            grown.remove(grown.id_bound()),
+            Err(WriteError::UnknownId { id: 30, bound: 30 })
+        );
         assert!(!grown.is_live(best));
         assert_eq!(grown.len(), 29);
         assert_eq!(grown.id_bound(), 30);

@@ -8,6 +8,7 @@
 //! (Theorem 6.5's `O(d n^rho + d |S| f_max / f_min)` query time).
 
 use crate::annulus::Measure;
+use crate::batch::WriteError;
 use crate::dynamic::DynamicIndex;
 use crate::parallel;
 use crate::shard::ShardedIndex;
@@ -99,8 +100,9 @@ impl<S: AppendStore> RangeReportingIndex<S, DynamicIndex<S>> {
         }
     }
 
-    /// Insert a point into the backing [`DynamicIndex`], returning its id.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// Insert a point into the backing [`DynamicIndex`], returning its id
+    /// (a full id space rejects with the backend's [`WriteError`]).
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = S::Row> + ?Sized,
     {
@@ -108,7 +110,9 @@ impl<S: AppendStore> RangeReportingIndex<S, DynamicIndex<S>> {
     }
 
     /// Remove point `id` (tombstone; reclaimed at the next compaction).
-    pub fn remove(&mut self, id: usize) -> bool {
+    /// `Ok(false)` means already removed; a never-assigned id rejects
+    /// with [`WriteError::UnknownId`].
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
         self.index.remove(id)
     }
 
@@ -116,7 +120,7 @@ impl<S: AppendStore> RangeReportingIndex<S, DynamicIndex<S>> {
     /// assigned in insertion order and the backend publishes at most
     /// one new epoch for the whole batch (see the backend's
     /// `insert_batch`).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = S::Row> + ?Sized,
     {
@@ -126,7 +130,7 @@ impl<S: AppendStore> RangeReportingIndex<S, DynamicIndex<S>> {
     /// Remove every id of `ids` as one group commit: per-id results in
     /// order, at most one new epoch for the whole batch (see the
     /// backend's `remove_batch`).
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
         self.index.remove_batch(ids)
     }
 
@@ -172,8 +176,9 @@ impl<S: AppendStore + Clone> RangeReportingIndex<S, ShardedIndex<S>> {
     }
 
     /// Insert a point into the backing [`ShardedIndex`], returning its
-    /// global id.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// global id (a full id space rejects with the backend's
+    /// [`WriteError`]).
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = S::Row> + ?Sized,
     {
@@ -181,7 +186,9 @@ impl<S: AppendStore + Clone> RangeReportingIndex<S, ShardedIndex<S>> {
     }
 
     /// Remove point `id` (tombstone; reclaimed at the next compaction).
-    pub fn remove(&mut self, id: usize) -> bool {
+    /// `Ok(false)` means already removed; a never-assigned id rejects
+    /// with [`WriteError::UnknownId`].
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
         self.index.remove(id)
     }
 
@@ -189,7 +196,7 @@ impl<S: AppendStore + Clone> RangeReportingIndex<S, ShardedIndex<S>> {
     /// assigned in insertion order and the backend publishes at most
     /// one new epoch for the whole batch (see the backend's
     /// `insert_batch`).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = S::Row> + ?Sized,
     {
@@ -199,7 +206,7 @@ impl<S: AppendStore + Clone> RangeReportingIndex<S, ShardedIndex<S>> {
     /// Remove every id of `ids` as one group commit: per-id results in
     /// order, at most one new epoch for the whole batch (see the
     /// backend's `remove_batch`).
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
         self.index.remove_batch(ids)
     }
 

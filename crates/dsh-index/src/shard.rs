@@ -53,7 +53,10 @@
 //! is the concurrency soak (snapshots held across concurrent writes keep
 //! answering from their frozen state).
 
-use crate::batch::{BatchError, BatchOp, WriteBatch, WriteOutcome};
+use crate::batch::{
+    ensure_capacity, ensure_known, BatchError, BatchOp, WriteBatch, WriteError, WriteOutcome,
+    MAX_POINTS,
+};
 use crate::dynamic::DynamicIndex;
 use crate::parallel;
 use crate::table::{CandidateBackend, QueryScratch, QueryStats, MIN_QUERIES_PER_WORKER};
@@ -314,10 +317,10 @@ impl<S: AppendStore + Clone> ShardedState<S> {
 /// let mut rng = seeded(7);
 /// let mut idx = ShardedIndex::build(&BitSampling::new(d), BitStore::with_dim(d), 8, 4, &mut rng);
 /// let p = BitVector::random(&mut rng, d);
-/// let id = idx.insert(&p);
+/// let id = idx.insert(&p).unwrap();
 ///
 /// let snapshot = idx.reader(); // frozen at 1 point
-/// idx.remove(id);
+/// idx.remove(id).unwrap();
 /// assert!(!idx.candidates(&p, None).0.contains(&id));
 /// assert!(snapshot.candidates(&p, None).0.contains(&id)); // still pre-remove
 /// ```
@@ -369,8 +372,8 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
         assert!(l >= 1, "need at least one repetition");
         // lint: allow(panic) — build-time capacity check, not on the query path
         assert!(
-            points.len() < u32::MAX as usize,
-            "point count exceeds index capacity"
+            points.len() <= MAX_POINTS,
+            "point count exceeds the u32 point-id capacity"
         );
         let pairs: Vec<HasherPair<S::Row>> = (0..l).map(|_| family.sample(rng)).collect();
         let mut shard_rows: Vec<S> = (0..num_shards).map(|_| points.empty_like()).collect();
@@ -415,6 +418,16 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
 
     fn fork(&self) -> ShardedState<S> {
         (*self.state).clone()
+    }
+
+    /// Pretend the id space already holds `total` ids — the only
+    /// practical way to park the index at the [`MAX_POINTS`] boundary
+    /// and exercise the rejection paths without 4B real inserts. Writes
+    /// must reject *before* forking, so the (now inconsistent) shard
+    /// contents are never touched.
+    #[cfg(test)]
+    fn force_total_rows(&mut self, total: usize) {
+        Arc::make_mut(&mut self.state).total_rows = total;
     }
 
     fn publish(&mut self, mut next: ShardedState<S>) {
@@ -513,39 +526,44 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
 
     /// Insert a point, returning its global id. The point lands in shard
     /// `id % num_shards()`; the new state is published before returning.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// A full id space ([`MAX_POINTS`]) rejects the insert with
+    /// [`WriteError::CapacityExceeded`] before anything is forked — no
+    /// state change, no publication.
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = S::Row> + ?Sized,
     {
+        // lint: allow(publish) — a rejected insert must leave the index untouched: no fork, no publication
+        ensure_capacity(self.state.total_rows, 1)?;
         let mut next = self.fork();
         let id = next.total_rows;
-        // lint: allow(panic) — contract: u32 slot ids cap the index at 4B points
-        assert!(id < u32::MAX as usize, "point count exceeds index capacity");
         let n = next.num_shards();
-        let local = Arc::make_mut(&mut next.shards[id % n]).insert(p);
+        let local = Arc::make_mut(&mut next.shards[id % n]).insert_row(p.as_row());
         debug_assert_eq!(local, id / n);
         next.total_rows += 1;
         self.publish(next);
-        id
+        Ok(id)
     }
 
     /// Remove global id `id` (tombstone; reclaimed at the next
-    /// compaction). Returns `false` when already removed — in that case
-    /// nothing changed, so nothing is forked and **no new epoch is
+    /// compaction). Returns `Ok(false)` when already removed — in that
+    /// case nothing changed, so nothing is forked and **no new epoch is
     /// published**: readers never observe epoch churn for a no-op write.
-    pub fn remove(&mut self, id: usize) -> bool {
-        // lint: allow(panic) — contract: removing a never-inserted id is a caller bug
-        assert!(id < self.state.total_rows, "id {id} was never inserted");
+    /// An id that was never assigned rejects with
+    /// [`WriteError::UnknownId`], also without fork or publication.
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
+        // lint: allow(publish) — a rejected remove must leave the index untouched: no fork, no publication
+        ensure_known(id, self.state.total_rows)?;
         if !self.state.is_live(id) {
             // lint: allow(publish) — double-remove changes nothing; publishing would be reader-visible epoch churn for a no-op
-            return false;
+            return Ok(false);
         }
         let mut next = self.fork();
         let n = next.num_shards();
-        let removed = Arc::make_mut(&mut next.shards[id % n]).remove(id / n);
+        let removed = Arc::make_mut(&mut next.shards[id % n]).remove_unchecked(id / n);
         debug_assert!(removed, "liveness was checked before forking");
         self.publish(next);
-        removed
+        Ok(removed)
     }
 
     /// An empty [`WriteBatch`] staging rows of this index's shape, for
@@ -599,7 +617,7 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
                 }
                 BatchOp::Remove(id) => {
                     let id = id as usize;
-                    let removed = Arc::make_mut(&mut next.shards[id % n]).remove(id / n);
+                    let removed = Arc::make_mut(&mut next.shards[id % n]).remove_unchecked(id / n);
                     touched[id % n] = true;
                     changed |= removed;
                     outcomes.push(WriteOutcome::Removed(removed));
@@ -619,20 +637,19 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
     /// returning the assigned global ids. Equivalent to a
     /// [`WriteBatch`] of pure inserts: each touched shard is forked
     /// once and **one** epoch is published for the whole batch (none
-    /// for an empty `points`).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    /// for an empty `points`). A batch that would overflow
+    /// [`MAX_POINTS`] is rejected whole with
+    /// [`WriteError::CapacityExceeded`] — no fork, no publication.
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = S::Row> + ?Sized,
     {
+        // lint: allow(publish) — a rejected batch must leave the index untouched: no fork, no publication
+        ensure_capacity(self.state.total_rows, points.len())?;
         if points.is_empty() {
             // lint: allow(publish) — nothing to insert; keep the epoch
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        // lint: allow(panic) — contract: u32 slot ids cap the index at 4B points
-        assert!(
-            self.state.total_rows + points.len() <= u32::MAX as usize,
-            "point count exceeds index capacity"
-        );
         let mut next = self.fork();
         let n = next.num_shards();
         let mut touched = vec![false; n];
@@ -658,30 +675,33 @@ impl<S: AppendStore + Clone> ShardedIndex<S> {
         }
         Self::freeze_grown_tails(&mut next, &touched);
         self.publish(next);
-        ids
+        Ok(ids)
     }
 
     /// Remove every id in `ids` in order as one group commit, returning
-    /// the per-id results ([`ShardedIndex::remove`] semantics). One
-    /// epoch is published iff at least one id was actually live; a
-    /// batch of pure double-removes publishes nothing.
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+    /// the per-id results ([`ShardedIndex::remove`] semantics). The
+    /// whole batch is validated first: any never-assigned id rejects it
+    /// with [`WriteError::UnknownId`] — no fork, no publication, no
+    /// partial application. One epoch is published iff at least one id
+    /// was actually live; a batch of pure double-removes publishes
+    /// nothing.
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
         for &id in ids {
-            // lint: allow(panic) — contract: removing a never-inserted id is a caller bug
-            assert!(id < self.state.total_rows, "id {id} was never inserted");
+            // lint: allow(publish) — a rejected batch must leave the index untouched: no fork, no publication
+            ensure_known(id, self.state.total_rows)?;
         }
         if !ids.iter().any(|&id| self.state.is_live(id)) {
             // lint: allow(publish) — every id is already removed: nothing changes, keep the epoch
-            return vec![false; ids.len()];
+            return Ok(vec![false; ids.len()]);
         }
         let mut next = self.fork();
         let n = next.num_shards();
         let out = ids
             .iter()
-            .map(|&id| Arc::make_mut(&mut next.shards[id % n]).remove(id / n))
+            .map(|&id| Arc::make_mut(&mut next.shards[id % n]).remove_unchecked(id / n))
             .collect();
         self.publish(next);
-        out
+        Ok(out)
     }
 
     /// Rows a shard's mutable store tail may accumulate before a batched
@@ -1126,8 +1146,7 @@ mod tests {
             for (i, p) in points.iter().enumerate() {
                 assert_eq!(dynamic.insert(p), sharded.insert(p));
                 if i % 9 == 4 {
-                    dynamic.remove(i);
-                    sharded.remove(i);
+                    assert_eq!(dynamic.remove(i), sharded.remove(i));
                 }
                 if i % 31 == 30 {
                     dynamic.seal();
@@ -1198,7 +1217,7 @@ mod tests {
             &mut seeded(0x5A22),
         );
         for p in &points[..40] {
-            idx.insert(p);
+            idx.insert(p).unwrap();
         }
         let snapshot = idx.reader();
         let frozen: Vec<_> = queries
@@ -1210,10 +1229,10 @@ mod tests {
 
         // Every kind of write, including segment-layout changes.
         for p in &points[40..] {
-            idx.insert(p);
+            idx.insert(p).unwrap();
         }
-        idx.remove(3);
-        idx.remove(17);
+        idx.remove(3).unwrap();
+        idx.remove(17).unwrap();
         idx.seal();
         idx.compact();
         assert!(idx.epoch() > snapshot.epoch());
@@ -1244,10 +1263,10 @@ mod tests {
         let handle = idx.reader_handle();
         assert_eq!(handle.snapshot().epoch(), 0);
         let p = BitVector::random(&mut seeded(0x5A31), d);
-        idx.insert(&p);
+        idx.insert(&p).unwrap();
         assert_eq!(handle.snapshot().epoch(), 1);
         assert_eq!(handle.snapshot().len(), 1);
-        idx.remove(0);
+        idx.remove(0).unwrap();
         let snap = handle.snapshot();
         assert_eq!(snap.epoch(), 2);
         assert_eq!(snap.len(), 0);
@@ -1276,11 +1295,15 @@ mod tests {
         );
         let handle = idx.reader_handle();
         let p = BitVector::random(&mut seeded(0x5A71), d);
-        idx.insert(&p);
-        idx.insert(&p);
-        assert!(idx.remove(1));
+        idx.insert(&p).unwrap();
+        idx.insert(&p).unwrap();
+        assert_eq!(idx.remove(1), Ok(true));
         assert_eq!(handle.snapshot().epoch(), 3);
-        assert!(!idx.remove(1), "second remove must report false");
+        assert_eq!(
+            idx.remove(1),
+            Ok(false),
+            "second remove must report Ok(false)"
+        );
         assert_eq!(
             handle.snapshot().epoch(),
             3,
@@ -1289,7 +1312,7 @@ mod tests {
         assert_eq!(idx.epoch(), 3);
         // The no-op also didn't perturb the state: the next real write
         // publishes the very next epoch.
-        assert!(idx.remove(0));
+        assert_eq!(idx.remove(0), Ok(true));
         assert_eq!(handle.snapshot().epoch(), 4);
     }
 
@@ -1325,8 +1348,8 @@ mod tests {
         assert_eq!(idx.sealed_segments(), unsharded.sealed_segments());
 
         // A real seal publishes exactly one epoch...
-        idx.insert(&q);
-        unsharded.insert(&q);
+        idx.insert(&q).unwrap();
+        unsharded.insert(&q).unwrap();
         idx.seal();
         unsharded.seal();
         assert_eq!(handle.snapshot().epoch(), 2);
@@ -1362,7 +1385,7 @@ mod tests {
             &mut seeded(0x5A35),
         );
         let p = BitVector::random(&mut seeded(0x5A36), d);
-        idx.insert(&p);
+        idx.insert(&p).unwrap();
         let handle = idx.reader_handle();
         assert_eq!(handle.snapshot().epoch(), 1);
 
@@ -1382,7 +1405,7 @@ mod tests {
         assert_eq!(snap.len(), 1);
         // ...and the writer can keep publishing through the poisoned cell.
         let q = BitVector::random(&mut seeded(0x5A37), d);
-        idx.insert(&q);
+        idx.insert(&q).unwrap();
         assert_eq!(handle.snapshot().epoch(), 2);
         assert_eq!(handle.snapshot().len(), 2);
     }
@@ -1400,12 +1423,12 @@ mod tests {
             &mut seeded(0x5A42),
         );
         for (i, p) in points.iter().enumerate() {
-            idx.insert(p);
+            idx.insert(p).unwrap();
             if i == 49 {
                 idx.seal();
             }
             if i % 7 == 3 {
-                idx.remove(i);
+                idx.remove(i).unwrap();
             }
         }
         for limit in [None, Some(13)] {
@@ -1445,10 +1468,10 @@ mod tests {
         idx.compact();
         assert!(idx.is_empty());
         // Insert into a single shard, remove it, compact: all segments drop.
-        let id = idx.insert(&q);
+        let id = idx.insert(&q).unwrap();
         idx.seal();
         assert_eq!(idx.sealed_segments(), 1);
-        idx.remove(id);
+        idx.remove(id).unwrap();
         idx.compact();
         assert_eq!(idx.sealed_segments(), 0);
         assert_eq!(idx.id_bound(), 1);
@@ -1497,14 +1520,14 @@ mod tests {
 
             let mut want = Vec::new();
             for p in &points[..10] {
-                want.push(WriteOutcome::Inserted(per_op.insert(p)));
+                want.push(WriteOutcome::Inserted(per_op.insert(p).unwrap()));
             }
-            want.push(WriteOutcome::Removed(per_op.remove(3)));
-            want.push(WriteOutcome::Removed(per_op.remove(3)));
+            want.push(WriteOutcome::Removed(per_op.remove(3).unwrap()));
+            want.push(WriteOutcome::Removed(per_op.remove(3).unwrap()));
             for p in &points[10..20] {
-                want.push(WriteOutcome::Inserted(per_op.insert(p)));
+                want.push(WriteOutcome::Inserted(per_op.insert(p).unwrap()));
             }
-            want.push(WriteOutcome::Removed(per_op.remove(15)));
+            want.push(WriteOutcome::Removed(per_op.remove(15).unwrap()));
             assert_eq!(outcomes, want, "shards {shards}");
 
             assert_eq!(batched.len(), per_op.len());
@@ -1540,7 +1563,7 @@ mod tests {
             &mut seeded(0x5A91),
         );
         for p in &points[..4] {
-            idx.insert(p);
+            idx.insert(p).unwrap();
         }
         let handle = idx.reader_handle();
         let before_epoch = idx.epoch();
@@ -1592,10 +1615,10 @@ mod tests {
             &mut seeded(0x5AA1),
         );
         for p in &points {
-            idx.insert(p);
+            idx.insert(p).unwrap();
         }
-        idx.remove(1);
-        idx.remove(2);
+        idx.remove(1).unwrap();
+        idx.remove(2).unwrap();
         let epoch = idx.epoch();
 
         let empty = idx.new_batch();
@@ -1616,12 +1639,9 @@ mod tests {
         );
         assert_eq!(idx.epoch(), epoch, "all-double-remove batch published");
 
-        assert_eq!(idx.remove_batch(&[1, 2]), vec![false, false]);
+        assert_eq!(idx.remove_batch(&[1, 2]), Ok(vec![false, false]));
         assert_eq!(idx.epoch(), epoch, "no-op remove_batch published");
-        assert_eq!(
-            idx.insert_batch(&Vec::<BitVector>::new()),
-            Vec::<usize>::new()
-        );
+        assert_eq!(idx.insert_batch(&Vec::<BitVector>::new()), Ok(Vec::new()));
         assert_eq!(idx.epoch(), epoch, "empty insert_batch published");
     }
 
@@ -1648,15 +1668,18 @@ mod tests {
                 shards,
                 &mut seeded(0x5AB2),
             );
-            let ids = batched.insert_batch(&points);
+            let ids = batched.insert_batch(&points).unwrap();
             assert_eq!(batched.epoch(), 1);
-            let want: Vec<usize> = points.iter().map(|p| per_op.insert(p)).collect();
+            let want: Vec<usize> = points.iter().map(|p| per_op.insert(p).unwrap()).collect();
             assert_eq!(ids, want);
 
             let victims = [0usize, 7, 8, 7, 29];
-            let removed = batched.remove_batch(&victims);
+            let removed = batched.remove_batch(&victims).unwrap();
             assert_eq!(batched.epoch(), 2);
-            let want: Vec<bool> = victims.iter().map(|&id| per_op.remove(id)).collect();
+            let want: Vec<bool> = victims
+                .iter()
+                .map(|&id| per_op.remove(id).unwrap())
+                .collect();
             assert_eq!(removed, want);
             assert_eq!(removed, vec![true, true, true, false, true]);
 
@@ -1670,9 +1693,11 @@ mod tests {
         }
     }
 
+    /// Serving-path regression: a remove of a never-assigned id is a
+    /// recoverable error (not a panic), publishes nothing, and leaves
+    /// the index fully usable — the contract a long-lived server needs.
     #[test]
-    #[should_panic(expected = "never inserted")]
-    fn remove_of_unknown_id_panics() {
+    fn remove_of_unknown_id_is_a_recoverable_error() {
         let d = 32;
         let mut idx = ShardedIndex::build(
             &BitSampling::new(d),
@@ -1681,7 +1706,81 @@ mod tests {
             2,
             &mut seeded(0x5A60),
         );
-        idx.remove(0);
+        let handle = idx.reader_handle();
+        assert_eq!(
+            idx.remove(0),
+            Err(WriteError::UnknownId { id: 0, bound: 0 })
+        );
+        assert_eq!(
+            idx.remove_batch(&[0, 1]),
+            Err(WriteError::UnknownId { id: 0, bound: 0 })
+        );
+        assert_eq!(handle.snapshot().epoch(), 0, "rejected remove published");
+
+        let p = BitVector::random(&mut seeded(0x5A64), d);
+        let id = idx.insert(&p).unwrap();
+        assert_eq!(
+            idx.remove(id + 1),
+            Err(WriteError::UnknownId { id: 1, bound: 1 })
+        );
+        // A batch mixing a live id with an unknown one is rejected whole.
+        assert_eq!(
+            idx.remove_batch(&[id, id + 1]),
+            Err(WriteError::UnknownId { id: 1, bound: 1 })
+        );
+        assert!(idx.is_live(id), "partial application leaked");
+        assert_eq!(idx.remove(id), Ok(true));
+    }
+
+    /// Satellite regression: both insert entry points share one
+    /// capacity bound — the id space may fill to exactly `MAX_POINTS`,
+    /// and the first write past it is rejected without fork,
+    /// publication, or panic. (The index is parked at the boundary via
+    /// a test seam; real inserts would need 4B rows.)
+    #[test]
+    fn capacity_boundary_is_shared_by_both_insert_entry_points() {
+        let d = 32;
+        let mut idx = ShardedIndex::build(
+            &BitSampling::new(d),
+            BitStore::with_dim(d),
+            2,
+            2,
+            &mut seeded(0x5A65),
+        );
+        let p = BitVector::random(&mut seeded(0x5A66), d);
+        idx.force_total_rows(MAX_POINTS);
+        let epoch = idx.epoch();
+        assert_eq!(
+            idx.insert(&p),
+            Err(WriteError::CapacityExceeded {
+                id_bound: MAX_POINTS,
+                additional: 1
+            })
+        );
+        assert_eq!(
+            idx.insert_batch(&vec![p.clone(), p.clone()]),
+            Err(WriteError::CapacityExceeded {
+                id_bound: MAX_POINTS,
+                additional: 2
+            })
+        );
+        let mut batch = idx.new_batch();
+        batch.insert(&p);
+        assert_eq!(
+            idx.apply_batch(&batch),
+            Err(BatchError::CapacityExceeded { op_index: 0 })
+        );
+        assert_eq!(idx.epoch(), epoch, "rejected writes published");
+        // One id below the cap, every entry point admits one more id.
+        idx.force_total_rows(MAX_POINTS - 1);
+        let mut batch = idx.new_batch();
+        batch.remove(MAX_POINTS - 2); // known id: validates against the forced bound
+        assert!(batch.validate(idx.id_bound()).is_ok());
+        assert_eq!(
+            idx.insert_batch(&Vec::<BitVector>::new()),
+            Ok(Vec::new()),
+            "empty batch must pass the capacity check at the boundary"
+        );
     }
 
     #[test]
@@ -1710,7 +1809,7 @@ mod tests {
         );
         let q = BitVector::random(&mut seeded(0x5A63), d);
         let mut scratch = idx.new_scratch();
-        idx.insert(&q);
+        idx.insert(&q).unwrap();
         let _ = idx.candidates_with(&q, None, &mut scratch);
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::ann::repetition_count;
 use crate::annulus::{AnnulusIndex, AnnulusMatch, Measure};
+use crate::batch::WriteError;
 use crate::dynamic::DynamicIndex;
 use crate::measures;
 use crate::shard::ShardedIndex;
@@ -129,8 +130,9 @@ impl<S: AppendStore + PointStore<Row = [f64]>> SphereAnnulusIndex<S, DynamicInde
         }
     }
 
-    /// Insert a point into the backing [`DynamicIndex`], returning its id.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// Insert a point into the backing [`DynamicIndex`], returning its id
+    /// (a full id space rejects with the backend's [`WriteError`]).
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = [f64]> + ?Sized,
     {
@@ -138,7 +140,9 @@ impl<S: AppendStore + PointStore<Row = [f64]>> SphereAnnulusIndex<S, DynamicInde
     }
 
     /// Remove point `id` (tombstone; reclaimed at the next compaction).
-    pub fn remove(&mut self, id: usize) -> bool {
+    /// `Ok(false)` means already removed; a never-assigned id rejects
+    /// with [`WriteError::UnknownId`].
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
         self.inner.remove(id)
     }
 
@@ -146,7 +150,7 @@ impl<S: AppendStore + PointStore<Row = [f64]>> SphereAnnulusIndex<S, DynamicInde
     /// assigned in insertion order and the backend publishes at most
     /// one new epoch for the whole batch (see the backend's
     /// `insert_batch`).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = [f64]> + ?Sized,
     {
@@ -156,7 +160,7 @@ impl<S: AppendStore + PointStore<Row = [f64]>> SphereAnnulusIndex<S, DynamicInde
     /// Remove every id of `ids` as one group commit: per-id results in
     /// order, at most one new epoch for the whole batch (see the
     /// backend's `remove_batch`).
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
         self.inner.remove_batch(ids)
     }
 
@@ -201,8 +205,9 @@ impl<S: AppendStore + PointStore<Row = [f64]> + Clone> SphereAnnulusIndex<S, Sha
     }
 
     /// Insert a point into the backing [`ShardedIndex`], returning its
-    /// global id.
-    pub fn insert<Q>(&mut self, p: &Q) -> usize
+    /// global id (a full id space rejects with the backend's
+    /// [`WriteError`]).
+    pub fn insert<Q>(&mut self, p: &Q) -> Result<usize, WriteError>
     where
         Q: AsRow<Row = [f64]> + ?Sized,
     {
@@ -210,7 +215,9 @@ impl<S: AppendStore + PointStore<Row = [f64]> + Clone> SphereAnnulusIndex<S, Sha
     }
 
     /// Remove point `id` (tombstone; reclaimed at the next compaction).
-    pub fn remove(&mut self, id: usize) -> bool {
+    /// `Ok(false)` means already removed; a never-assigned id rejects
+    /// with [`WriteError::UnknownId`].
+    pub fn remove(&mut self, id: usize) -> Result<bool, WriteError> {
         self.inner.remove(id)
     }
 
@@ -218,7 +225,7 @@ impl<S: AppendStore + PointStore<Row = [f64]> + Clone> SphereAnnulusIndex<S, Sha
     /// assigned in insertion order and the backend publishes at most
     /// one new epoch for the whole batch (see the backend's
     /// `insert_batch`).
-    pub fn insert_batch<QS>(&mut self, points: &QS) -> Vec<usize>
+    pub fn insert_batch<QS>(&mut self, points: &QS) -> Result<Vec<usize>, WriteError>
     where
         QS: PointStore<Row = [f64]> + ?Sized,
     {
@@ -228,7 +235,7 @@ impl<S: AppendStore + PointStore<Row = [f64]> + Clone> SphereAnnulusIndex<S, Sha
     /// Remove every id of `ids` as one group commit: per-id results in
     /// order, at most one new epoch for the whole batch (see the
     /// backend's `remove_batch`).
-    pub fn remove_batch(&mut self, ids: &[usize]) -> Vec<bool> {
+    pub fn remove_batch(&mut self, ids: &[usize]) -> Result<Vec<bool>, WriteError> {
         self.inner.remove_batch(ids)
     }
 

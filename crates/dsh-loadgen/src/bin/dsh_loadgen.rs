@@ -1,0 +1,218 @@
+//! `dsh-loadgen` — open-loop load generation against `dsh-server`,
+//! with answer-parity checking.
+//!
+//! ```text
+//! dsh-loadgen --smoke [--out BENCH_serving.json]
+//! dsh-loadgen --addr HOST:PORT [--dim D] [--l L] [--shards N] [--seed S] ...
+//! ```
+//!
+//! `--smoke` spins up an in-process `dsh-server` on a loopback port and
+//! runs the CI smoke workload against it; `--addr` targets an already
+//! running server, which must have been built with the same
+//! `--dim`/`--l`/`--shards`/`--seed` and still be empty. Either way the
+//! report is written as flat JSON to `--out` and the process exits
+//! nonzero if the wire answers ever diverge from the in-process replay.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dsh_core::points::BitStore;
+use dsh_hamming::BitSampling;
+use dsh_index::ShardedIndex;
+use dsh_loadgen::{run, Report, WorkloadConfig};
+use dsh_math::rng::seeded;
+use dsh_server::server::{spawn, ServerConfig};
+
+struct Args {
+    addr: Option<String>,
+    smoke: bool,
+    out: String,
+    config: WorkloadConfig,
+}
+
+fn usage() -> &'static str {
+    "usage: dsh-loadgen (--smoke | --addr HOST:PORT) [--out FILE]\n       \
+     [--dim D] [--l L] [--shards N] [--seed S] [--load-points N]\n       \
+     [--clients N] [--duration-secs S] [--rate-per-client Q]\n       \
+     [--write-mix F] [--zipf-theta T] [--limit K]"
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{name}: could not parse {s:?}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        smoke: false,
+        out: "BENCH_serving.json".to_string(),
+        config: WorkloadConfig::smoke(),
+    };
+    let c = &mut args.config;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--addr" => args.addr = Some(take("--addr")?),
+            "--out" => args.out = take("--out")?,
+            "--dim" => c.dim = parse_num(&take("--dim")?, "--dim")?,
+            "--l" => c.l = parse_num(&take("--l")?, "--l")?,
+            "--shards" => c.shards = parse_num(&take("--shards")?, "--shards")?,
+            "--seed" => c.seed = parse_num(&take("--seed")?, "--seed")?,
+            "--load-points" => c.load_points = parse_num(&take("--load-points")?, "--load-points")?,
+            "--clients" => c.clients = parse_num(&take("--clients")?, "--clients")?,
+            "--duration-secs" => {
+                c.duration = Duration::from_secs_f64(parse_num(
+                    &take("--duration-secs")?,
+                    "--duration-secs",
+                )?);
+            }
+            "--rate-per-client" => {
+                c.rate_per_client = parse_num(&take("--rate-per-client")?, "--rate-per-client")?;
+            }
+            "--write-mix" => c.write_mix = parse_num(&take("--write-mix")?, "--write-mix")?,
+            "--zipf-theta" => c.zipf_theta = parse_num(&take("--zipf-theta")?, "--zipf-theta")?,
+            "--limit" => c.limit = Some(parse_num(&take("--limit")?, "--limit")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if args.smoke == args.addr.is_some() {
+        return Err(format!("exactly one of --smoke / --addr\n{}", usage()));
+    }
+    if c.dim == 0 || c.l == 0 || c.shards == 0 || c.clients < 2 {
+        return Err("--dim, --l, --shards must be nonzero; --clients at least 2".to_string());
+    }
+    Ok(args)
+}
+
+fn render_json(r: &Report) -> String {
+    let c = &r.config;
+    format!(
+        "{{\n  \"serving_smoke\": {{ \"dim\": {}, \"l\": {}, \"shards\": {}, \"seed\": {}, \
+\"loaded\": {}, \"load_ns\": {}, \"load_points_per_s\": {:.0}, \"clients\": {}, \
+\"zipf_theta\": {:.2}, \"write_mix\": {:.2}, \"run_ns\": {}, \"queries\": {}, \
+\"query_throughput_per_s\": {:.0}, \"query_p50_ns\": {}, \"query_p99_ns\": {}, \
+\"query_p999_ns\": {}, \"write_batches\": {}, \"write_ops\": {}, \"write_p50_ns\": {}, \
+\"write_p99_ns\": {}, \"write_p999_ns\": {}, \"final_epoch\": {}, \"final_len\": {}, \
+\"parity_checksum\": \"{:#018x}\", \"parity\": \"{}\" }}\n}}\n",
+        c.dim,
+        c.l,
+        c.shards,
+        c.seed,
+        c.load_points,
+        r.load_ns,
+        r.load_throughput(),
+        c.clients,
+        c.zipf_theta,
+        c.write_mix,
+        r.run_ns,
+        r.queries,
+        r.query_throughput(),
+        r.query_pcts_ns[0],
+        r.query_pcts_ns[1],
+        r.query_pcts_ns[2],
+        r.write_batches,
+        r.write_ops,
+        r.write_pcts_ns[0],
+        r.write_pcts_ns[1],
+        r.write_pcts_ns[2],
+        r.final_epoch,
+        r.final_len,
+        r.parity_checksum,
+        if r.parity_ok { "ok" } else { "FAILED" },
+    )
+}
+
+fn run_against(addr: SocketAddr, args: &Args) -> std::io::Result<Report> {
+    eprintln!(
+        "dsh-loadgen: dim={} l={} shards={} seed={} load={} clients={} duration={:?} -> {addr}",
+        args.config.dim,
+        args.config.l,
+        args.config.shards,
+        args.config.seed,
+        args.config.load_points,
+        args.config.clients,
+        args.config.duration,
+    );
+    run(addr, &args.config)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = if args.smoke {
+        // In-process server on a loopback port, torn down after the run.
+        let c = &args.config;
+        let index = ShardedIndex::build(
+            &BitSampling::new(c.dim),
+            BitStore::with_dim(c.dim),
+            c.l,
+            c.shards,
+            &mut seeded(c.seed),
+        );
+        let handle = match spawn("127.0.0.1:0", index, ServerConfig::new(c.row_elems())) {
+            Ok(handle) => handle,
+            Err(e) => {
+                eprintln!("spawn server: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = run_against(handle.addr(), &args);
+        if let Err(e) = handle.stop() {
+            eprintln!("server shutdown: {e}");
+            return ExitCode::FAILURE;
+        }
+        report
+    } else {
+        let addr = args.addr.as_deref().unwrap_or_default();
+        match addr.parse::<SocketAddr>() {
+            Ok(addr) => run_against(addr, &args),
+            Err(e) => {
+                eprintln!("--addr {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let report = match report {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let json = render_json(&report);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprint!("{json}");
+    eprintln!(
+        "dsh-loadgen: {} queries ({:.0}/s), p50/p99/p999 = {}/{}/{} us, parity {}",
+        report.queries,
+        report.query_throughput(),
+        report.query_pcts_ns[0] / 1000,
+        report.query_pcts_ns[1] / 1000,
+        report.query_pcts_ns[2] / 1000,
+        if report.parity_ok { "ok" } else { "FAILED" },
+    );
+    if report.parity_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,583 @@
+//! Open-loop load generation against a `dsh-server`, with answer-parity
+//! checking.
+//!
+//! A run has five phases:
+//!
+//! 1. **Load** — insert `load_points` random points over the wire in
+//!    group-commit batches;
+//! 2. **Parity sweep** — replay the whole write log on an in-process
+//!    replica (same family, seed, shard count → bit-identical index) and
+//!    compare an FNV-1a checksum over every sweep query's `(stats, ids)`
+//!    answer, wire vs replica;
+//! 3. **Timed open-loop run** — one writer connection applies mixed
+//!    insert/remove batches while `clients - 1` query connections fire
+//!    Zipfian-skewed queries at scheduled arrival times. Latency is
+//!    measured from the *scheduled* start, so a stalled server keeps
+//!    accumulating debt instead of silently thinning the arrival stream
+//!    (no coordinated omission);
+//! 4. **Quiesce** — writers stop, the log is frozen;
+//! 5. **Final parity** — the sweep re-runs against the final state and
+//!    the served index's `len`/`id bound`/`epoch` must match the
+//!    replica's exactly.
+//!
+//! The replica replays the log with the same group-commit boundaries the
+//! wire used ([`dsh_index::ShardedIndex::apply_batch`] per wire batch),
+//! so epochs must match too, not just answers.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dsh_core::points::{BitStore, BitVector};
+use dsh_hamming::BitSampling;
+use dsh_index::ShardedIndex;
+use dsh_math::rng::seeded;
+use dsh_server::Client;
+use rand::Rng;
+
+/// Everything a run needs. The `dim`/`l`/`shards`/`seed` quadruple must
+/// match the server's build parameters — parity is checked against an
+/// in-process index built from them.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Point dimension (Hamming).
+    pub dim: usize,
+    /// Hash repetitions `L`.
+    pub l: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Index build seed.
+    pub seed: u64,
+    /// Points inserted in the load phase.
+    pub load_points: usize,
+    /// Rows per wire batch during the load phase.
+    pub load_batch: usize,
+    /// Total connections in the timed phase (1 writer + the rest
+    /// query clients); minimum 2.
+    pub clients: usize,
+    /// Timed-phase duration.
+    pub duration: Duration,
+    /// Scheduled query arrivals per second, per query client.
+    pub rate_per_client: f64,
+    /// Fraction of writer ops that are removes (the rest insert).
+    pub write_mix: f64,
+    /// Ops per writer wire batch.
+    pub write_batch: usize,
+    /// Zipfian skew of query-pool picks (0 = uniform).
+    pub zipf_theta: f64,
+    /// Distinct query rows in the pool.
+    pub query_pool: usize,
+    /// Queries per parity sweep.
+    pub sweep_queries: usize,
+    /// Retrieval limit sent with every query.
+    pub limit: Option<usize>,
+}
+
+impl WorkloadConfig {
+    /// The CI smoke workload: small, seconds-long, parity-checked.
+    pub fn smoke() -> Self {
+        WorkloadConfig {
+            dim: 64,
+            l: 8,
+            shards: 4,
+            seed: 42,
+            load_points: 8_000,
+            load_batch: 256,
+            clients: 4,
+            duration: Duration::from_secs(2),
+            rate_per_client: 100.0,
+            write_mix: 0.2,
+            write_batch: 32,
+            zipf_theta: 0.99,
+            query_pool: 512,
+            sweep_queries: 256,
+            limit: None,
+        }
+    }
+
+    /// Elements per wire row for this dimension.
+    pub fn row_elems(&self) -> usize {
+        self.dim.div_ceil(64)
+    }
+}
+
+/// What a run measured; see [`run`]. Latencies in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The workload that produced this report.
+    pub config: WorkloadConfig,
+    /// Load-phase wall time.
+    pub load_ns: u64,
+    /// Queries answered in the timed phase.
+    pub queries: u64,
+    /// Writer batches committed in the timed phase.
+    pub write_batches: u64,
+    /// Writer ops (inserts + removes) in the timed phase.
+    pub write_ops: u64,
+    /// Timed-phase wall time.
+    pub run_ns: u64,
+    /// Query latency percentiles `[p50, p99, p999]`, scheduled-start
+    /// relative (coordinated omission included).
+    pub query_pcts_ns: [u64; 3],
+    /// Writer batch-commit latency percentiles `[p50, p99, p999]`.
+    pub write_pcts_ns: [u64; 3],
+    /// Served index epoch after quiesce.
+    pub final_epoch: u64,
+    /// Live points after quiesce.
+    pub final_len: u64,
+    /// FNV-1a checksum of the final parity sweep (wire side; the
+    /// replica side matched if `parity_ok`).
+    pub parity_checksum: u64,
+    /// Both parity sweeps and the final `len`/`id bound`/`epoch`
+    /// matched the in-process replay.
+    pub parity_ok: bool,
+}
+
+impl Report {
+    /// Timed-phase query throughput, per second.
+    pub fn query_throughput(&self) -> f64 {
+        if self.run_ns == 0 {
+            0.0
+        } else {
+            self.queries as f64 / (self.run_ns as f64 / 1e9)
+        }
+    }
+
+    /// Load-phase ingest throughput, points per second.
+    pub fn load_throughput(&self) -> f64 {
+        if self.load_ns == 0 {
+            0.0
+        } else {
+            self.config.load_points as f64 / (self.load_ns as f64 / 1e9)
+        }
+    }
+}
+
+/// One logical wire write batch, for the in-process replay.
+enum WireOp {
+    /// Flat row-major rows.
+    Insert(Vec<u64>),
+    Remove(Vec<u64>),
+}
+
+/// Zipfian sampler over ranks `0..n` (rank 0 most popular):
+/// `P(i) ∝ 1 / (i + 1)^theta`, sampled by binary search over the
+/// cumulative weights.
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build for `n` ranks with skew `theta` (0 = uniform).
+    pub fn new(n: usize, theta: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draw a rank.
+    pub fn sample(&self, rng: &mut dyn Rng) -> usize {
+        let total = self.cumulative.last().copied().unwrap_or(1.0);
+        let u: f64 = rng.random::<f64>() * total;
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len().saturating_sub(1))
+    }
+}
+
+/// FNV-1a over a stream of `u64`s (little-endian bytes).
+pub fn fnv1a(acc: u64, words: &[u64]) -> u64 {
+    let mut h = acc;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// FNV-1a offset basis.
+pub const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// `[p50, p99, p999]` of `latencies` (sorted in place). Zeros when
+/// empty.
+pub fn percentiles(latencies: &mut [u64]) -> [u64; 3] {
+    if latencies.is_empty() {
+        return [0; 3];
+    }
+    latencies.sort_unstable();
+    let pick = |p: f64| {
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    [pick(0.50), pick(0.99), pick(0.999)]
+}
+
+fn random_rows(rng: &mut dyn Rng, dim: usize, n: usize) -> Vec<u64> {
+    let mut flat = Vec::with_capacity(n * dim.div_ceil(64));
+    for _ in 0..n {
+        flat.extend_from_slice(BitVector::random(&mut *rng, dim).as_blocks());
+    }
+    flat
+}
+
+fn io_err(what: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, what)
+}
+
+/// Sweep the query pool prefix over the wire, folding every answer
+/// `(stats, ids)` into one checksum.
+fn wire_sweep(
+    client: &mut Client,
+    pool: &[u64],
+    row_elems: usize,
+    n: usize,
+    limit: Option<usize>,
+) -> std::io::Result<u64> {
+    let mut h = FNV_SEED;
+    for row in pool.chunks(row_elems).take(n) {
+        let r = client.query(row, limit)?;
+        h = fnv1a(h, &r.stats);
+        h = fnv1a(h, &r.ids);
+    }
+    Ok(h)
+}
+
+/// The same sweep on the in-process replica.
+fn replica_sweep(
+    replica: &ShardedIndex<BitStore>,
+    pool: &[u64],
+    row_elems: usize,
+    n: usize,
+    limit: Option<usize>,
+) -> u64 {
+    let mut h = FNV_SEED;
+    for row in pool.chunks(row_elems).take(n) {
+        let (ids, stats) = replica.candidates(row, limit);
+        h = fnv1a(
+            h,
+            &[
+                stats.tables_probed as u64,
+                stats.candidates_retrieved as u64,
+                stats.distinct_candidates as u64,
+                stats.duplicates as u64,
+                stats.distance_computations as u64,
+            ],
+        );
+        let ids: Vec<u64> = ids.iter().map(|&i| i as u64).collect();
+        h = fnv1a(h, &ids);
+    }
+    h
+}
+
+fn apply_log(replica: &mut ShardedIndex<BitStore>, log: &[WireOp], row_elems: usize) {
+    for op in log {
+        match op {
+            WireOp::Insert(rows) => {
+                let mut batch = replica.new_batch();
+                for row in rows.chunks(row_elems) {
+                    batch.insert(row);
+                }
+                // The server applied this exact batch, so it validates.
+                let _ = replica.apply_batch(&batch);
+            }
+            WireOp::Remove(ids) => {
+                let mut batch = replica.new_batch();
+                for &id in ids {
+                    batch.remove(id as usize);
+                }
+                let _ = replica.apply_batch(&batch);
+            }
+        }
+    }
+}
+
+/// Run the workload against the server at `addr`. The server must have
+/// been built with `config`'s `dim`/`l`/`shards`/`seed` and be empty
+/// (epoch 0) — both are checked before any load is applied.
+pub fn run(addr: SocketAddr, config: &WorkloadConfig) -> std::io::Result<Report> {
+    let row_elems = config.row_elems();
+    let mut control = Client::connect(addr)?;
+    let info = control.info()?;
+    if info.row_elems as usize != row_elems {
+        return Err(io_err(format!(
+            "server row shape {} != expected {row_elems} (wrong --dim?)",
+            info.row_elems
+        )));
+    }
+    if info.num_shards as usize != config.shards || info.repetitions as usize != config.l {
+        return Err(io_err(format!(
+            "server built with shards={} l={}, expected shards={} l={}",
+            info.num_shards, info.repetitions, config.shards, config.l
+        )));
+    }
+    if info.epoch != 0 || info.id_bound != 0 {
+        return Err(io_err(
+            "server is not empty; parity replay needs an epoch-0 start".to_string(),
+        ));
+    }
+
+    let mut rng = seeded(config.seed ^ 0xDA7A);
+    let log = Mutex::new(Vec::<WireOp>::new());
+
+    // Phase 1: load.
+    let load_started = Instant::now();
+    {
+        let mut log = log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut remaining = config.load_points;
+        while remaining > 0 {
+            let n = remaining.min(config.load_batch.max(1));
+            let rows = random_rows(&mut rng, config.dim, n);
+            control.insert_batch(row_elems, &rows)?;
+            log.push(WireOp::Insert(rows));
+            remaining -= n;
+        }
+    }
+    let load_ns = load_started.elapsed().as_nanos() as u64;
+
+    // Phase 2: parity sweep against the loaded state.
+    let pool = random_rows(&mut rng, config.dim, config.query_pool.max(1));
+    let sweep_n = config.sweep_queries.min(config.query_pool.max(1));
+    let mut replica = ShardedIndex::build(
+        &BitSampling::new(config.dim),
+        BitStore::with_dim(config.dim),
+        config.l,
+        config.shards,
+        &mut seeded(config.seed),
+    );
+    {
+        let guard = log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        apply_log(&mut replica, &guard, row_elems);
+    }
+    let wire_sum = wire_sweep(&mut control, &pool, row_elems, sweep_n, config.limit)?;
+    let replica_sum = replica_sweep(&replica, &pool, row_elems, sweep_n, config.limit);
+    let mut parity_ok = wire_sum == replica_sum;
+
+    // Phase 3: timed open-loop run.
+    let zipf = Zipf::new(config.query_pool.max(1), config.zipf_theta);
+    let query_clients = config.clients.saturating_sub(1).max(1);
+    let stop = AtomicBool::new(false);
+    let deadline = config.duration;
+    let run_started = Instant::now();
+    let period = Duration::from_secs_f64(1.0 / config.rate_per_client.max(1.0));
+
+    struct TimedResults {
+        query_lat: Vec<u64>,
+        write_lat: Vec<u64>,
+        write_batches: u64,
+        write_ops: u64,
+    }
+
+    let timed: std::io::Result<TimedResults> = std::thread::scope(|scope| {
+        // Writer connection: paced mixed batches, logged for replay.
+        let writer = scope.spawn(|| -> std::io::Result<(Vec<u64>, u64, u64)> {
+            let mut client = Client::connect(addr)?;
+            let mut rng = seeded(config.seed ^ 0x3217E);
+            let mut live: Vec<u64> = (0..config.load_points as u64).collect();
+            let mut next_id = config.load_points as u64;
+            let mut latencies = Vec::new();
+            let mut batches = 0u64;
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                // Stage one mixed batch.
+                let mut removes: Vec<u64> = Vec::new();
+                let mut insert_rows: Vec<u64> = Vec::new();
+                let mut inserts = 0usize;
+                for _ in 0..config.write_batch.max(1) {
+                    if !live.is_empty() && rng.random_bool(config.write_mix.clamp(0.0, 1.0)) {
+                        let at = rng.random_range(0..live.len());
+                        removes.push(live.swap_remove(at));
+                    } else {
+                        insert_rows.extend(random_rows(&mut rng, config.dim, 1));
+                        inserts += 1;
+                    }
+                }
+                // Wire protocol batches are homogeneous (insert XOR
+                // remove); send removes first so their ids predate the
+                // batch's inserts.
+                if !removes.is_empty() {
+                    let t = Instant::now();
+                    client.remove_batch(&removes)?;
+                    latencies.push(t.elapsed().as_nanos() as u64);
+                    batches += 1;
+                    ops += removes.len() as u64;
+                    log.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(WireOp::Remove(removes));
+                }
+                if inserts > 0 {
+                    let t = Instant::now();
+                    let (_, ids) = client.insert_batch(row_elems, &insert_rows)?;
+                    latencies.push(t.elapsed().as_nanos() as u64);
+                    batches += 1;
+                    ops += inserts as u64;
+                    debug_assert_eq!(ids.first().copied(), Some(next_id));
+                    live.extend(next_id..next_id + inserts as u64);
+                    next_id += inserts as u64;
+                    log.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(WireOp::Insert(insert_rows));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok((latencies, batches, ops))
+        });
+
+        let readers: Vec<_> = (0..query_clients)
+            .map(|t| {
+                let zipf = &zipf;
+                let pool = &pool;
+                let stop = &stop;
+                scope.spawn(move || -> std::io::Result<Vec<u64>> {
+                    let mut client = Client::connect(addr)?;
+                    let mut rng = seeded(config.seed ^ 0xC11E47 ^ (t as u64) << 32);
+                    let started = Instant::now();
+                    let mut latencies = Vec::new();
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        // Open loop: the i-th arrival is *scheduled* at
+                        // i * period; latency runs from the schedule,
+                        // not from the send.
+                        let scheduled = period
+                            .checked_mul(i as u32)
+                            .unwrap_or_else(|| period * u32::MAX);
+                        let now = started.elapsed();
+                        if now < scheduled {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        let rank = zipf.sample(&mut rng);
+                        let row = &pool[rank * row_elems..(rank + 1) * row_elems];
+                        client.query(row, config.limit)?;
+                        latencies
+                            .push(started.elapsed().saturating_sub(scheduled).as_nanos() as u64);
+                        i += 1;
+                    }
+                    Ok(latencies)
+                })
+            })
+            .collect();
+
+        std::thread::sleep(deadline);
+        stop.store(true, Ordering::Release);
+
+        let (write_lat, write_batches, write_ops) = writer
+            .join()
+            .map_err(|_| io_err("writer thread panicked".to_string()))??;
+        let mut query_lat = Vec::new();
+        for r in readers {
+            query_lat.extend(
+                r.join()
+                    .map_err(|_| io_err("query thread panicked".to_string()))??,
+            );
+        }
+        Ok(TimedResults {
+            query_lat,
+            write_lat,
+            write_batches,
+            write_ops,
+        })
+    });
+    let mut timed = timed?;
+    let run_ns = run_started.elapsed().as_nanos() as u64;
+
+    // Phases 4 + 5: quiesce and final parity.
+    let mut replica = ShardedIndex::build(
+        &BitSampling::new(config.dim),
+        BitStore::with_dim(config.dim),
+        config.l,
+        config.shards,
+        &mut seeded(config.seed),
+    );
+    {
+        let guard = log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        apply_log(&mut replica, &guard, row_elems);
+    }
+    let wire_sum = wire_sweep(&mut control, &pool, row_elems, sweep_n, config.limit)?;
+    let replica_sum = replica_sweep(&replica, &pool, row_elems, sweep_n, config.limit);
+    parity_ok &= wire_sum == replica_sum;
+
+    let info = control.info()?;
+    parity_ok &= info.len == replica.len() as u64
+        && info.id_bound == replica.id_bound() as u64
+        && info.epoch == replica.epoch();
+
+    Ok(Report {
+        config: config.clone(),
+        load_ns,
+        queries: timed.query_lat.len() as u64,
+        write_batches: timed.write_batches,
+        write_ops: timed.write_ops,
+        run_ns,
+        query_pcts_ns: percentiles(&mut timed.query_lat),
+        write_pcts_ns: percentiles(&mut timed.write_lat),
+        final_epoch: info.epoch,
+        final_len: info.len,
+        parity_checksum: wire_sum,
+        parity_ok,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks_and_in_range() {
+        let zipf = Zipf::new(100, 0.99);
+        let mut rng = seeded(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            let rank = zipf.sample(&mut rng);
+            assert!(rank < 100);
+            counts[rank] += 1;
+        }
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
+        // Uniform when theta = 0: top rank is no runaway.
+        let flat = Zipf::new(100, 0.0);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[flat.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] < 600, "{}", counts[0]);
+    }
+
+    #[test]
+    fn percentiles_pick_the_right_order_statistics() {
+        let mut lat: Vec<u64> = (1..=1000).rev().collect();
+        // p50 of 1..=1000 lands on index round(999 * 0.5) = 500.
+        assert_eq!(percentiles(&mut lat), [501, 990, 999]);
+        assert_eq!(percentiles(&mut []), [0, 0, 0]);
+    }
+
+    #[test]
+    fn fnv_matches_the_reference_vector() {
+        // FNV-1a of the empty input is the offset basis; of b"a" (as a
+        // u64 word it differs — pin our word-wise convention instead).
+        assert_eq!(fnv1a(FNV_SEED, &[]), FNV_SEED);
+        let h1 = fnv1a(FNV_SEED, &[1]);
+        let h2 = fnv1a(FNV_SEED, &[2]);
+        assert_ne!(h1, h2);
+        // Order sensitivity.
+        assert_ne!(fnv1a(FNV_SEED, &[1, 2]), fnv1a(FNV_SEED, &[2, 1]));
+    }
+}

@@ -1,0 +1,1045 @@
+//! The wire protocol: length-prefixed binary frames over a byte stream.
+//!
+//! # Framing
+//!
+//! Every message — request or response — is one **frame**:
+//!
+//! ```text
+//! [ u32 LE payload length | payload bytes ]
+//! ```
+//!
+//! A length prefix above [`MAX_FRAME`] is rejected before any payload is
+//! read ([`Status::FrameTooLarge`]) — a malicious or corrupt prefix must
+//! not make the server allocate or wait for gigabytes. A stream that ends
+//! mid-frame (client dropped mid-write) is a clean teardown, never a
+//! panic.
+//!
+//! # Requests
+//!
+//! The payload starts with one opcode byte (see [`Opcode`]), followed by
+//! an opcode-specific body. Multi-byte integers are little-endian.
+//! Point rows travel as `u32` element count + that many 8-byte elements
+//! ([`WireElem`]: `u64` bit-blocks or `f64` components, both 8 bytes on
+//! the wire). The element count of every row must match the serving
+//! index's row shape, or the request is [`Status::Malformed`].
+//!
+//! # Responses
+//!
+//! The payload is `status byte, opcode echo, body`. [`Status::Ok`]
+//! carries the opcode-specific result; every other status carries a
+//! UTF-8 diagnostic message. Semantic rejections — unknown id, capacity,
+//! oversized batch — leave the connection open (the index is untouched:
+//! writes are validated before any fork, so a rejected batch publishes
+//! nothing). Protocol violations — malformed body, unknown opcode,
+//! oversized frame — get a response *and then* connection teardown,
+//! because a stream that framed one request wrong can no longer be
+//! trusted to frame the next one right.
+//!
+//! Decoding never panics: every read is cursor-checked, every count is
+//! validated against the bytes actually present before anything is
+//! allocated. The serving-path lint proves this transitively (this file
+//! is a `[serving]` root in `dsh-lint.toml`).
+
+use std::io::{Read, Write};
+
+/// Hard ceiling on a frame payload, requests and responses alike
+/// (16 MiB). Large enough for a [`MAX_BATCH_OPS`]-insert batch of
+/// modest-dimension points; small enough that a corrupt length prefix
+/// cannot make either side allocate unbounded memory.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Most operations (inserts + removes) accepted in one wire batch.
+/// One wire batch is one group commit — one epoch — so this also bounds
+/// writer lock hold time per request.
+pub const MAX_BATCH_OPS: u32 = 1 << 20;
+
+/// Most queries accepted in one `QueryBatch` request.
+pub const MAX_QUERY_BATCH: u32 = 1 << 16;
+
+/// Wire value meaning "no retrieval limit" in query requests.
+pub const NO_LIMIT: u64 = u64::MAX;
+
+/// Request opcodes (first payload byte of a request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Describe the serving index: row shape, shards, repetitions, size.
+    Info = 0x01,
+    /// Insert a batch of rows as one group commit; returns assigned ids.
+    InsertBatch = 0x02,
+    /// Remove a batch of ids as one group commit; returns liveness flags.
+    RemoveBatch = 0x03,
+    /// Retrieve candidates for one query row against a fresh snapshot.
+    Query = 0x04,
+    /// Retrieve candidates for many query rows against one snapshot.
+    QueryBatch = 0x05,
+    /// Seal the delta segment (freeze it for compaction).
+    Seal = 0x06,
+    /// Compact sealed segments into one.
+    Compact = 0x07,
+    /// Stop accepting connections and shut the server down.
+    Shutdown = 0x08,
+}
+
+impl Opcode {
+    /// Decode an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        match b {
+            0x01 => Some(Opcode::Info),
+            0x02 => Some(Opcode::InsertBatch),
+            0x03 => Some(Opcode::RemoveBatch),
+            0x04 => Some(Opcode::Query),
+            0x05 => Some(Opcode::QueryBatch),
+            0x06 => Some(Opcode::Seal),
+            0x07 => Some(Opcode::Compact),
+            0x08 => Some(Opcode::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Response status (first payload byte of a response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Success; the body is the opcode-specific result.
+    Ok = 0,
+    /// The request body did not decode; the connection is torn down.
+    Malformed = 1,
+    /// Unknown opcode byte; the connection is torn down.
+    UnknownOpcode = 2,
+    /// Length prefix above [`MAX_FRAME`]; the connection is torn down.
+    FrameTooLarge = 3,
+    /// A remove referenced an id that was never assigned; the write was
+    /// rejected whole, the connection stays open.
+    UnknownId = 4,
+    /// The insert would exceed the u32 id capacity; the write was
+    /// rejected whole, the connection stays open.
+    Capacity = 5,
+    /// More ops than [`MAX_BATCH_OPS`] (or queries than
+    /// [`MAX_QUERY_BATCH`]) in one request; rejected whole, the
+    /// connection stays open.
+    BatchTooLarge = 6,
+}
+
+impl Status {
+    /// Decode a status byte.
+    pub fn from_u8(b: u8) -> Option<Status> {
+        match b {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Malformed),
+            2 => Some(Status::UnknownOpcode),
+            3 => Some(Status::FrameTooLarge),
+            4 => Some(Status::UnknownId),
+            5 => Some(Status::Capacity),
+            6 => Some(Status::BatchTooLarge),
+            _ => None,
+        }
+    }
+
+    /// True when the server tears the connection down after responding:
+    /// the client violated the protocol, so the stream's framing can no
+    /// longer be trusted.
+    pub fn tears_down(self) -> bool {
+        matches!(
+            self,
+            Status::Malformed | Status::UnknownOpcode | Status::FrameTooLarge
+        )
+    }
+}
+
+/// A point-row element that travels as 8 little-endian bytes: `u64`
+/// bit-blocks (Hamming stores) or `f64` components (dense stores).
+pub trait WireElem: Copy + Send + Sync + 'static {
+    /// The 8 wire bytes, as a `u64` bit pattern.
+    fn to_wire(self) -> u64;
+    /// Rebuild the element from its wire bit pattern.
+    fn from_wire(bits: u64) -> Self;
+}
+
+impl WireElem for u64 {
+    fn to_wire(self) -> u64 {
+        self
+    }
+    fn from_wire(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl WireElem for f64 {
+    fn to_wire(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_wire(bits: u64) -> f64 {
+        f64::from_bits(bits)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checked cursor
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked read cursor over a frame payload. Every accessor
+/// returns `None` past the end instead of panicking — the decode path
+/// must survive any byte sequence a client can send.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Start reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// True when every byte has been consumed.
+    pub fn done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let bytes = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(bytes)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        let b = self.take(1)?;
+        Some(b[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        let arr: [u8; 4] = b.try_into().ok()?;
+        Some(u32::from_le_bytes(arr))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        let arr: [u8; 8] = b.try_into().ok()?;
+        Some(u64::from_le_bytes(arr))
+    }
+
+    /// Read `n` 8-byte elements into `out`. Checks that all `8 * n`
+    /// bytes are present **before** reserving, so a corrupt count can
+    /// never drive allocation past the actual frame size.
+    pub fn elems<E: WireElem>(&mut self, n: usize, out: &mut Vec<E>) -> Option<()> {
+        if self.remaining() / 8 < n {
+            return None;
+        }
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(E::from_wire(self.u64()?));
+        }
+        Some(())
+    }
+}
+
+/// Append a `u32` in wire (little-endian) order.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` in wire (little-endian) order.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Frame IO
+// ---------------------------------------------------------------------------
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload too large")
+    })?;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "frame payload too large",
+        ));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one frame payload into `buf` (blocking; the caller owns timeout
+/// configuration). `Ok(None)` means the peer closed the stream cleanly
+/// *between* frames; a close mid-frame is an `UnexpectedEof` error.
+/// A length prefix above [`MAX_FRAME`] is reported without reading the
+/// payload, so the caller can respond and tear down.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> std::io::Result<Option<FrameIn>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(None)
+            } else {
+                Err(std::io::ErrorKind::UnexpectedEof.into())
+            };
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME {
+        return Ok(Some(FrameIn::TooLarge(len)));
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    Ok(Some(FrameIn::Payload))
+}
+
+/// Outcome of [`read_frame`].
+#[derive(Debug)]
+pub enum FrameIn {
+    /// A complete payload was read into the caller's buffer.
+    Payload,
+    /// The length prefix exceeded [`MAX_FRAME`]; nothing further was
+    /// read from the stream.
+    TooLarge(u32),
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A decoded request, with rows held flat (`count × row_elems`
+/// elements, row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request<E: WireElem> {
+    /// [`Opcode::Info`].
+    Info,
+    /// [`Opcode::InsertBatch`]: `count` rows, flat.
+    InsertBatch {
+        /// Number of rows.
+        count: usize,
+        /// `count * row_elems` elements, row-major.
+        rows: Vec<E>,
+    },
+    /// [`Opcode::RemoveBatch`].
+    RemoveBatch {
+        /// The global ids to remove, in order.
+        ids: Vec<u64>,
+    },
+    /// [`Opcode::Query`].
+    Query {
+        /// The query row.
+        row: Vec<E>,
+        /// Retrieval limit (`None` = exhaustive).
+        limit: Option<usize>,
+    },
+    /// [`Opcode::QueryBatch`]: `count` query rows against one snapshot.
+    QueryBatch {
+        /// Number of query rows.
+        count: usize,
+        /// `count * row_elems` elements, row-major.
+        rows: Vec<E>,
+        /// Retrieval limit applied to every query (`None` = exhaustive).
+        limit: Option<usize>,
+    },
+    /// [`Opcode::Seal`].
+    Seal,
+    /// [`Opcode::Compact`].
+    Compact,
+    /// [`Opcode::Shutdown`].
+    Shutdown,
+}
+
+/// Why a request payload was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Body bytes did not match the opcode's grammar (wrong length,
+    /// wrong row shape, trailing bytes, truncated counts).
+    Malformed(&'static str),
+    /// The first byte is not a known [`Opcode`].
+    UnknownOpcode(u8),
+    /// The op or query count exceeds the per-request ceiling.
+    BatchTooLarge(u64),
+}
+
+impl DecodeError {
+    /// The response status this decode failure maps to.
+    pub fn status(&self) -> Status {
+        match self {
+            DecodeError::Malformed(_) => Status::Malformed,
+            DecodeError::UnknownOpcode(_) => Status::UnknownOpcode,
+            DecodeError::BatchTooLarge(_) => Status::BatchTooLarge,
+        }
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Malformed(what) => write!(f, "malformed request: {what}"),
+            DecodeError::UnknownOpcode(b) => write!(f, "unknown opcode 0x{b:02x}"),
+            DecodeError::BatchTooLarge(n) => write!(
+                f,
+                "batch of {n} ops exceeds the per-request ceiling ({MAX_BATCH_OPS})"
+            ),
+        }
+    }
+}
+
+fn decode_rows<E: WireElem>(
+    c: &mut Cursor<'_>,
+    row_elems: usize,
+    count: usize,
+) -> Result<Vec<E>, DecodeError> {
+    let total = count
+        .checked_mul(row_elems)
+        .ok_or(DecodeError::Malformed("row count overflows"))?;
+    let mut rows = Vec::new();
+    c.elems(total, &mut rows)
+        .ok_or(DecodeError::Malformed("truncated rows"))?;
+    Ok(rows)
+}
+
+fn decode_limit(raw: u64) -> Option<usize> {
+    if raw == NO_LIMIT {
+        None
+    } else {
+        // A limit beyond usize::MAX (32-bit hosts) is indistinguishable
+        // from unlimited anyway.
+        usize::try_from(raw).ok().or(Some(usize::MAX))
+    }
+}
+
+/// Decode a request payload. `row_elems` is the serving index's row
+/// shape (elements per point row); any row of a different shape is
+/// [`DecodeError::Malformed`]. Never panics, for any input bytes.
+pub fn decode_request<E: WireElem>(
+    payload: &[u8],
+    row_elems: usize,
+) -> Result<Request<E>, DecodeError> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8().ok_or(DecodeError::Malformed("empty payload"))?;
+    let op = Opcode::from_u8(op).ok_or(DecodeError::UnknownOpcode(op))?;
+    let req = match op {
+        Opcode::Info => Request::Info,
+        Opcode::InsertBatch => {
+            let shape = c.u32().ok_or(DecodeError::Malformed("missing row shape"))?;
+            if shape as usize != row_elems {
+                return Err(DecodeError::Malformed("row shape mismatch"));
+            }
+            let count = c.u32().ok_or(DecodeError::Malformed("missing row count"))?;
+            if count > MAX_BATCH_OPS {
+                return Err(DecodeError::BatchTooLarge(u64::from(count)));
+            }
+            let rows = decode_rows(&mut c, row_elems, count as usize)?;
+            Request::InsertBatch {
+                count: count as usize,
+                rows,
+            }
+        }
+        Opcode::RemoveBatch => {
+            let count = c.u32().ok_or(DecodeError::Malformed("missing id count"))?;
+            if count > MAX_BATCH_OPS {
+                return Err(DecodeError::BatchTooLarge(u64::from(count)));
+            }
+            let mut ids = Vec::new();
+            c.elems::<u64>(count as usize, &mut ids)
+                .ok_or(DecodeError::Malformed("truncated ids"))?;
+            Request::RemoveBatch { ids }
+        }
+        Opcode::Query => {
+            let shape = c.u32().ok_or(DecodeError::Malformed("missing row shape"))?;
+            if shape as usize != row_elems {
+                return Err(DecodeError::Malformed("row shape mismatch"));
+            }
+            let raw = c
+                .u64()
+                .ok_or(DecodeError::Malformed("missing retrieval limit"))?;
+            let row = decode_rows(&mut c, row_elems, 1)?;
+            Request::Query {
+                row,
+                limit: decode_limit(raw),
+            }
+        }
+        Opcode::QueryBatch => {
+            let shape = c.u32().ok_or(DecodeError::Malformed("missing row shape"))?;
+            if shape as usize != row_elems {
+                return Err(DecodeError::Malformed("row shape mismatch"));
+            }
+            let raw = c
+                .u64()
+                .ok_or(DecodeError::Malformed("missing retrieval limit"))?;
+            let count = c
+                .u32()
+                .ok_or(DecodeError::Malformed("missing query count"))?;
+            if count > MAX_QUERY_BATCH {
+                return Err(DecodeError::BatchTooLarge(u64::from(count)));
+            }
+            let rows = decode_rows(&mut c, row_elems, count as usize)?;
+            Request::QueryBatch {
+                count: count as usize,
+                rows,
+                limit: decode_limit(raw),
+            }
+        }
+        Opcode::Seal => Request::Seal,
+        Opcode::Compact => Request::Compact,
+        Opcode::Shutdown => Request::Shutdown,
+    };
+    if !c.done() {
+        return Err(DecodeError::Malformed("trailing bytes"));
+    }
+    Ok(req)
+}
+
+fn limit_to_wire(limit: Option<usize>) -> u64 {
+    match limit {
+        None => NO_LIMIT,
+        Some(l) => u64::try_from(l).unwrap_or(NO_LIMIT),
+    }
+}
+
+/// Encode an [`Opcode::Info`] request payload.
+pub fn encode_info() -> Vec<u8> {
+    vec![Opcode::Info as u8]
+}
+
+/// Encode an [`Opcode::InsertBatch`] request payload from flat
+/// row-major rows of shape `row_elems`.
+pub fn encode_insert_batch<E: WireElem>(row_elems: usize, rows: &[E]) -> Vec<u8> {
+    let count = rows.len().checked_div(row_elems).unwrap_or(0);
+    let mut p = Vec::with_capacity(9 + rows.len() * 8);
+    p.push(Opcode::InsertBatch as u8);
+    put_u32(&mut p, row_elems as u32);
+    put_u32(&mut p, count as u32);
+    for e in rows {
+        put_u64(&mut p, e.to_wire());
+    }
+    p
+}
+
+/// Encode an [`Opcode::RemoveBatch`] request payload.
+pub fn encode_remove_batch(ids: &[u64]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(5 + ids.len() * 8);
+    p.push(Opcode::RemoveBatch as u8);
+    put_u32(&mut p, ids.len() as u32);
+    for id in ids {
+        put_u64(&mut p, *id);
+    }
+    p
+}
+
+/// Encode an [`Opcode::Query`] request payload.
+pub fn encode_query<E: WireElem>(row: &[E], limit: Option<usize>) -> Vec<u8> {
+    let mut p = Vec::with_capacity(13 + row.len() * 8);
+    p.push(Opcode::Query as u8);
+    put_u32(&mut p, row.len() as u32);
+    put_u64(&mut p, limit_to_wire(limit));
+    for e in row {
+        put_u64(&mut p, e.to_wire());
+    }
+    p
+}
+
+/// Encode an [`Opcode::QueryBatch`] request payload from flat
+/// row-major rows of shape `row_elems`.
+pub fn encode_query_batch<E: WireElem>(
+    row_elems: usize,
+    rows: &[E],
+    limit: Option<usize>,
+) -> Vec<u8> {
+    let count = rows.len().checked_div(row_elems).unwrap_or(0);
+    let mut p = Vec::with_capacity(17 + rows.len() * 8);
+    p.push(Opcode::QueryBatch as u8);
+    put_u32(&mut p, row_elems as u32);
+    put_u64(&mut p, limit_to_wire(limit));
+    put_u32(&mut p, count as u32);
+    for e in rows {
+        put_u64(&mut p, e.to_wire());
+    }
+    p
+}
+
+/// Encode an [`Opcode::Seal`], [`Opcode::Compact`], or
+/// [`Opcode::Shutdown`] request payload (all are bodyless).
+pub fn encode_bodyless(op: Opcode) -> Vec<u8> {
+    vec![op as u8]
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// The `Info` response body: the facts a client needs to talk to (and
+/// replay against) the serving index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Elements per point row (the `row_elems` every request must match).
+    pub row_elems: u32,
+    /// Number of shards.
+    pub num_shards: u32,
+    /// Number of hash repetitions `L`.
+    pub repetitions: u32,
+    /// Live points.
+    pub len: u64,
+    /// Id bound (next id to be assigned).
+    pub id_bound: u64,
+    /// Current published epoch.
+    pub epoch: u64,
+}
+
+/// Per-query result: the snapshot epoch it was answered at, the full
+/// query statistics, and the candidate ids in index order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireQueryResult {
+    /// Epoch of the snapshot that answered this query.
+    pub epoch: u64,
+    /// `[tables_probed, candidates_retrieved, distinct_candidates,
+    /// duplicates, distance_computations]`.
+    pub stats: [u64; 5],
+    /// Candidate ids, ascending.
+    pub ids: Vec<u64>,
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `Info` succeeded.
+    Info(ServerInfo),
+    /// `InsertBatch` succeeded: the epoch published for the batch (0 for
+    /// an empty batch) and the assigned ids, in request order.
+    Inserted {
+        /// Epoch after the commit.
+        epoch: u64,
+        /// Assigned global ids.
+        ids: Vec<u64>,
+    },
+    /// `RemoveBatch` succeeded: per-id liveness at removal time
+    /// (`false` = already dead).
+    Removed {
+        /// Epoch after the commit.
+        epoch: u64,
+        /// Per-id outcome, in request order.
+        removed: Vec<bool>,
+    },
+    /// `Query` succeeded.
+    Query(WireQueryResult),
+    /// `QueryBatch` succeeded; every result carries the same epoch (one
+    /// snapshot answered the whole batch).
+    QueryBatch(Vec<WireQueryResult>),
+    /// `Seal` / `Compact` / `Shutdown` succeeded at this epoch.
+    Done {
+        /// Which bodyless operation completed.
+        op: Opcode,
+        /// Epoch after the operation.
+        epoch: u64,
+    },
+    /// The request was rejected.
+    Error {
+        /// Why.
+        status: Status,
+        /// Opcode the rejection answers (`None` when the opcode itself
+        /// was unreadable).
+        op: Option<Opcode>,
+        /// Human-readable diagnostic.
+        message: String,
+    },
+}
+
+/// Encode an error response payload.
+pub fn encode_error(status: Status, op: Option<Opcode>, message: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(2 + message.len());
+    p.push(status as u8);
+    p.push(op.map_or(0, |o| o as u8));
+    p.extend_from_slice(message.as_bytes());
+    p
+}
+
+/// Encode an `Info` response payload.
+pub fn encode_info_response(info: &ServerInfo) -> Vec<u8> {
+    let mut p = Vec::with_capacity(38);
+    p.push(Status::Ok as u8);
+    p.push(Opcode::Info as u8);
+    put_u32(&mut p, info.row_elems);
+    put_u32(&mut p, info.num_shards);
+    put_u32(&mut p, info.repetitions);
+    put_u64(&mut p, info.len);
+    put_u64(&mut p, info.id_bound);
+    put_u64(&mut p, info.epoch);
+    p
+}
+
+/// Encode an `InsertBatch` success payload.
+pub fn encode_inserted(epoch: u64, ids: &[u64]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(14 + ids.len() * 8);
+    p.push(Status::Ok as u8);
+    p.push(Opcode::InsertBatch as u8);
+    put_u64(&mut p, epoch);
+    put_u32(&mut p, ids.len() as u32);
+    for id in ids {
+        put_u64(&mut p, *id);
+    }
+    p
+}
+
+/// Encode a `RemoveBatch` success payload.
+pub fn encode_removed(epoch: u64, removed: &[bool]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(14 + removed.len());
+    p.push(Status::Ok as u8);
+    p.push(Opcode::RemoveBatch as u8);
+    put_u64(&mut p, epoch);
+    put_u32(&mut p, removed.len() as u32);
+    p.extend(removed.iter().map(|&r| u8::from(r)));
+    p
+}
+
+fn put_query_result(p: &mut Vec<u8>, r: &WireQueryResult) {
+    put_u64(p, r.epoch);
+    for s in r.stats {
+        put_u64(p, s);
+    }
+    put_u32(p, r.ids.len() as u32);
+    for id in &r.ids {
+        put_u64(p, *id);
+    }
+}
+
+/// Encode a `Query` success payload.
+pub fn encode_query_response(r: &WireQueryResult) -> Vec<u8> {
+    let mut p = Vec::with_capacity(54 + r.ids.len() * 8);
+    p.push(Status::Ok as u8);
+    p.push(Opcode::Query as u8);
+    put_query_result(&mut p, r);
+    p
+}
+
+/// Encode a `QueryBatch` success payload.
+pub fn encode_query_batch_response(results: &[WireQueryResult]) -> Vec<u8> {
+    let mut p = Vec::new();
+    p.push(Status::Ok as u8);
+    p.push(Opcode::QueryBatch as u8);
+    put_u32(&mut p, results.len() as u32);
+    for r in results {
+        put_query_result(&mut p, r);
+    }
+    p
+}
+
+/// Encode a bodyless-operation (`Seal`/`Compact`/`Shutdown`) success
+/// payload.
+pub fn encode_done(op: Opcode, epoch: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(10);
+    p.push(Status::Ok as u8);
+    p.push(op as u8);
+    put_u64(&mut p, epoch);
+    p
+}
+
+fn read_query_result(c: &mut Cursor<'_>) -> Option<WireQueryResult> {
+    let epoch = c.u64()?;
+    let mut stats = [0u64; 5];
+    for s in &mut stats {
+        *s = c.u64()?;
+    }
+    let n = c.u32()? as usize;
+    let mut ids = Vec::new();
+    c.elems::<u64>(n, &mut ids)?;
+    Some(WireQueryResult { epoch, stats, ids })
+}
+
+/// Decode a response payload. Returns `None` when the payload does not
+/// parse (a broken or impostor server); never panics.
+pub fn decode_response(payload: &[u8]) -> Option<Response> {
+    let mut c = Cursor::new(payload);
+    let status = Status::from_u8(c.u8()?)?;
+    let op_byte = c.u8()?;
+    if status != Status::Ok {
+        let message = String::from_utf8_lossy(payload.get(2..)?).into_owned();
+        return Some(Response::Error {
+            status,
+            op: Opcode::from_u8(op_byte),
+            message,
+        });
+    }
+    let op = Opcode::from_u8(op_byte)?;
+    let resp = match op {
+        Opcode::Info => Response::Info(ServerInfo {
+            row_elems: c.u32()?,
+            num_shards: c.u32()?,
+            repetitions: c.u32()?,
+            len: c.u64()?,
+            id_bound: c.u64()?,
+            epoch: c.u64()?,
+        }),
+        Opcode::InsertBatch => {
+            let epoch = c.u64()?;
+            let n = c.u32()? as usize;
+            let mut ids = Vec::new();
+            c.elems::<u64>(n, &mut ids)?;
+            Response::Inserted { epoch, ids }
+        }
+        Opcode::RemoveBatch => {
+            let epoch = c.u64()?;
+            let n = c.u32()? as usize;
+            if c.remaining() < n {
+                return None;
+            }
+            let mut removed = Vec::with_capacity(n);
+            for _ in 0..n {
+                removed.push(c.u8()? != 0);
+            }
+            Response::Removed { epoch, removed }
+        }
+        Opcode::Query => Response::Query(read_query_result(&mut c)?),
+        Opcode::QueryBatch => {
+            let n = c.u32()? as usize;
+            let mut results = Vec::new();
+            for _ in 0..n {
+                results.push(read_query_result(&mut c)?);
+            }
+            Response::QueryBatch(results)
+        }
+        Opcode::Seal | Opcode::Compact | Opcode::Shutdown => Response::Done {
+            op,
+            epoch: c.u64()?,
+        },
+    };
+    if !c.done() {
+        return None;
+    }
+    Some(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let rows: Vec<u64> = (0..6).collect();
+        let cases: Vec<(Vec<u8>, Request<u64>)> = vec![
+            (encode_info(), Request::Info),
+            (
+                encode_insert_batch(2, &rows),
+                Request::InsertBatch {
+                    count: 3,
+                    rows: rows.clone(),
+                },
+            ),
+            (
+                encode_remove_batch(&[7, 9]),
+                Request::RemoveBatch { ids: vec![7, 9] },
+            ),
+            (
+                encode_query(&rows[..2], Some(100)),
+                Request::Query {
+                    row: rows[..2].to_vec(),
+                    limit: Some(100),
+                },
+            ),
+            (
+                encode_query(&rows[..2], None),
+                Request::Query {
+                    row: rows[..2].to_vec(),
+                    limit: None,
+                },
+            ),
+            (
+                encode_query_batch(2, &rows, None),
+                Request::QueryBatch {
+                    count: 3,
+                    rows: rows.clone(),
+                    limit: None,
+                },
+            ),
+            (encode_bodyless(Opcode::Seal), Request::Seal),
+            (encode_bodyless(Opcode::Compact), Request::Compact),
+            (encode_bodyless(Opcode::Shutdown), Request::Shutdown),
+        ];
+        for (payload, expect) in cases {
+            assert_eq!(decode_request::<u64>(&payload, 2), Ok(expect));
+        }
+    }
+
+    #[test]
+    fn dense_rows_round_trip_bit_exactly() {
+        let rows: Vec<f64> = vec![0.5, -1.25, f64::MIN_POSITIVE, -0.0];
+        let payload = encode_insert_batch(4, &rows);
+        match decode_request::<f64>(&payload, 4) {
+            Ok(Request::InsertBatch { count, rows: got }) => {
+                assert_eq!(count, 1);
+                let want: Vec<u64> = rows.iter().map(|r| r.to_bits()).collect();
+                let got: Vec<u64> = got.iter().map(|r| r.to_bits()).collect();
+                assert_eq!(got, want);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let info = ServerInfo {
+            row_elems: 2,
+            num_shards: 4,
+            repetitions: 8,
+            len: 100,
+            id_bound: 120,
+            epoch: 77,
+        };
+        let q = WireQueryResult {
+            epoch: 9,
+            stats: [1, 2, 3, 4, 5],
+            ids: vec![0, 5, 11],
+        };
+        let cases: Vec<(Vec<u8>, Response)> = vec![
+            (encode_info_response(&info), Response::Info(info)),
+            (
+                encode_inserted(3, &[10, 11]),
+                Response::Inserted {
+                    epoch: 3,
+                    ids: vec![10, 11],
+                },
+            ),
+            (
+                encode_removed(4, &[true, false]),
+                Response::Removed {
+                    epoch: 4,
+                    removed: vec![true, false],
+                },
+            ),
+            (encode_query_response(&q), Response::Query(q.clone())),
+            (
+                encode_query_batch_response(&[q.clone(), q.clone()]),
+                Response::QueryBatch(vec![q.clone(), q]),
+            ),
+            (
+                encode_done(Opcode::Compact, 12),
+                Response::Done {
+                    op: Opcode::Compact,
+                    epoch: 12,
+                },
+            ),
+            (
+                encode_error(Status::UnknownId, Some(Opcode::RemoveBatch), "id 9 unknown"),
+                Response::Error {
+                    status: Status::UnknownId,
+                    op: Some(Opcode::RemoveBatch),
+                    message: "id 9 unknown".to_string(),
+                },
+            ),
+        ];
+        for (payload, expect) in cases {
+            assert_eq!(decode_response(&payload), Some(expect));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_any_truncation_without_panicking() {
+        let rows: Vec<u64> = (0..4).collect();
+        let full = encode_insert_batch(2, &rows);
+        for cut in 0..full.len() {
+            let got = decode_request::<u64>(&full[..cut], 2);
+            assert!(got.is_err(), "prefix of {cut} bytes decoded: {got:?}");
+        }
+        let resp = encode_inserted(1, &[5, 6]);
+        for cut in 0..resp.len() {
+            assert_eq!(decode_response(&resp[..cut]), None);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes_and_bad_shapes() {
+        let mut p = encode_info();
+        p.push(0);
+        assert_eq!(
+            decode_request::<u64>(&p, 2),
+            Err(DecodeError::Malformed("trailing bytes"))
+        );
+        // Row shape mismatch: encoded for 3-elem rows, server expects 2.
+        let rows: Vec<u64> = (0..3).collect();
+        let p = encode_insert_batch(3, &rows);
+        assert_eq!(
+            decode_request::<u64>(&p, 2),
+            Err(DecodeError::Malformed("row shape mismatch"))
+        );
+        assert_eq!(
+            decode_request::<u64>(&[], 2),
+            Err(DecodeError::Malformed("empty payload"))
+        );
+        assert_eq!(
+            decode_request::<u64>(&[0xAB], 2),
+            Err(DecodeError::UnknownOpcode(0xAB))
+        );
+    }
+
+    #[test]
+    fn corrupt_counts_cannot_drive_allocation() {
+        // A count prefix claiming 4B rows with a 16-byte body must be
+        // rejected before any 4B-element reserve happens.
+        let mut p = vec![Opcode::InsertBatch as u8];
+        put_u32(&mut p, 2); // row shape
+        put_u32(&mut p, MAX_BATCH_OPS); // claimed row count (allowed maximum)
+        put_u64(&mut p, 1);
+        put_u64(&mut p, 2);
+        assert_eq!(
+            decode_request::<u64>(&p, 2),
+            Err(DecodeError::Malformed("truncated rows"))
+        );
+        // Above the ceiling: rejected as too large, also without reading.
+        let mut p = vec![Opcode::RemoveBatch as u8];
+        put_u32(&mut p, MAX_BATCH_OPS + 1);
+        assert_eq!(
+            decode_request::<u64>(&p, 2),
+            Err(DecodeError::BatchTooLarge(u64::from(MAX_BATCH_OPS) + 1))
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"hello").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        let mut r = &stream[..];
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut r, &mut buf),
+            Ok(Some(FrameIn::Payload))
+        ));
+        assert_eq!(buf, b"hello");
+        assert!(matches!(
+            read_frame(&mut r, &mut buf),
+            Ok(Some(FrameIn::Payload))
+        ));
+        assert_eq!(buf, b"");
+        assert!(matches!(read_frame(&mut r, &mut buf), Ok(None)));
+
+        // An oversized length prefix is reported without reading payload.
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut r = &huge[..];
+        assert!(matches!(
+            read_frame(&mut r, &mut buf),
+            Ok(Some(FrameIn::TooLarge(_)))
+        ));
+
+        // A stream cut mid-frame is an UnexpectedEof, not a panic.
+        let mut cut = Vec::new();
+        write_frame(&mut cut, b"abcdef").unwrap();
+        cut.truncate(7);
+        let mut r = &cut[..];
+        let err = read_frame(&mut r, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        // ... and a cut inside the header likewise.
+        let mut r = &cut[..2];
+        let err = read_frame(&mut r, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

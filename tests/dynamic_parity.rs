@@ -27,7 +27,7 @@ use dsh_data::{hamming_data, sphere_data};
 use dsh_hamming::BitSampling;
 use dsh_index::{
     measures, AnnulusIndex, AnnulusSpec, DynamicIndex, HashTableIndex, HyperplaneIndex,
-    NearNeighborIndex, QueryStats, RangeReportingIndex, SphereAnnulusIndex,
+    NearNeighborIndex, QueryStats, RangeReportingIndex, SphereAnnulusIndex, WriteError,
 };
 use dsh_math::rng::seeded;
 use dsh_sphere::UnimodalFilterDsh;
@@ -73,11 +73,11 @@ where
 {
     let mut rng = seeded(schedule_seed);
     for (i, p) in points.iter().enumerate() {
-        idx.insert(p);
+        idx.insert(p).unwrap();
         if rng.random_bool(0.15) {
             let live: Vec<usize> = idx.live_ids().collect();
             let victim = live[dsh_math::rng::index(&mut rng, live.len())];
-            idx.remove(victim);
+            idx.remove(victim).unwrap();
         }
         if (i + 1) % 23 == 0 {
             idx.seal();
@@ -123,7 +123,7 @@ fn insert_then_compact_sweep<S, P>(
         let mut dyn_idx =
             DynamicIndex::build_with_threads(family, empty(), l, &mut seeded(seed), build_threads);
         for p in points {
-            dyn_idx.insert(p);
+            dyn_idx.insert(p).unwrap();
         }
         dyn_idx.compact_with_threads(build_threads);
         assert_eq!(dyn_idx.sealed_segments(), 1);
@@ -308,7 +308,7 @@ fn hamming_front_ends_dynamic_equals_static_after_compact() {
     );
     assert_eq!(static_nn.params(), dyn_nn.params());
     for p in &points {
-        dyn_nn.insert(p);
+        dyn_nn.insert(p).unwrap();
     }
     dyn_nn.compact();
     let want: Vec<_> = queries.iter().map(|q| static_nn.query(q)).collect();
@@ -341,7 +341,7 @@ fn hamming_front_ends_dynamic_equals_static_after_compact() {
         &mut seeded(seed + 3),
     );
     for p in &points {
-        dyn_an.insert(p);
+        dyn_an.insert(p).unwrap();
     }
     dyn_an.compact();
     let want: Vec<_> = queries.iter().map(|q| static_an.query(q)).collect();
@@ -369,7 +369,7 @@ fn hamming_front_ends_dynamic_equals_static_after_compact() {
         &mut seeded(seed + 4),
     );
     for p in &points {
-        dyn_rr.insert(p);
+        dyn_rr.insert(p).unwrap();
     }
     dyn_rr.compact();
     let want: Vec<_> = queries.iter().map(|q| static_rr.query(q)).collect();
@@ -407,7 +407,7 @@ fn sphere_front_ends_dynamic_equals_static_after_compact() {
         &mut seeded(seed + 2),
     );
     for p in &points {
-        dyn_hp.insert(p);
+        dyn_hp.insert(p).unwrap();
     }
     dyn_hp.compact();
     assert_eq!(static_hp.repetitions(), dyn_hp.repetitions());
@@ -439,7 +439,7 @@ fn sphere_front_ends_dynamic_equals_static_after_compact() {
         &mut seeded(seed + 3),
     );
     for p in &points {
-        dyn_sa.insert(p);
+        dyn_sa.insert(p).unwrap();
     }
     dyn_sa.compact();
     let want: Vec<_> = queries.iter().map(|q| static_sa.query(q)).collect();
@@ -504,11 +504,11 @@ fn per_segment_query_stats_totals_are_pinned() {
     }
     let mut idx = DynamicIndex::build(&BitSampling::new(d), initial, l, &mut seeded(0x57A7));
     for _ in 0..7 {
-        idx.insert(&zero);
+        idx.insert(&zero).unwrap();
     }
     idx.seal();
     for _ in 0..5 {
-        idx.insert(&zero);
+        idx.insert(&zero).unwrap();
     }
     assert_eq!(idx.sealed_segments(), 2);
     assert_eq!(idx.delta_rows(), 5);
@@ -527,7 +527,7 @@ fn per_segment_query_stats_totals_are_pinned() {
 
     // Tombstoned ids — one per region — are skipped without counting.
     for id in [0usize, 12, 18] {
-        assert!(idx.remove(id));
+        assert!(idx.remove(id).unwrap());
     }
     let (cands, stats) = idx.candidates(&zero, None);
     assert_eq!(stats.tables_probed, 3 * l);
@@ -586,14 +586,19 @@ fn small_index(seed: u64, d: usize) -> DynamicIndex<BitStore> {
 }
 
 #[test]
-#[should_panic(expected = "id 4 was never inserted")]
-fn remove_of_never_inserted_id_panics_with_the_id() {
+fn remove_of_never_inserted_id_reports_the_id_and_bound() {
     let d = 32;
     let mut idx = small_index(0xE501, d);
     for p in &bit_points(0xE502, 4, d) {
-        idx.insert(p);
+        idx.insert(p).unwrap();
     }
-    idx.remove(4);
+    let err = idx.remove(4).unwrap_err();
+    assert_eq!(err, WriteError::UnknownId { id: 4, bound: 4 });
+    let msg = err.to_string();
+    assert!(msg.contains("id 4") && msg.contains("bound: 4"), "{msg}");
+    // The rejected remove left the index untouched and usable.
+    assert_eq!(idx.len(), 4);
+    assert!(idx.remove(3).unwrap());
 }
 
 #[test]
@@ -601,17 +606,17 @@ fn remove_of_already_tombstoned_id_reports_false_at_every_layout() {
     let d = 32;
     let mut idx = small_index(0xE503, d);
     for p in &bit_points(0xE504, 10, d) {
-        idx.insert(p);
+        idx.insert(p).unwrap();
     }
-    assert!(idx.remove(3));
-    assert!(!idx.remove(3), "double remove in the delta");
+    assert!(idx.remove(3).unwrap());
+    assert!(!idx.remove(3).unwrap(), "double remove in the delta");
     idx.seal();
-    assert!(!idx.remove(3), "double remove after seal");
+    assert!(!idx.remove(3).unwrap(), "double remove after seal");
     idx.compact();
     // The tombstone outlives compaction (the row slot is retired, not
     // recycled), so a third remove still reports false rather than
     // resurrecting the id.
-    assert!(!idx.remove(3), "double remove after compact");
+    assert!(!idx.remove(3).unwrap(), "double remove after compact");
     assert_eq!(idx.len(), 9);
     assert_eq!(idx.removed(), 1);
 }
@@ -625,7 +630,7 @@ fn seal_on_empty_delta_is_a_no_op() {
     idx.seal(); // nothing inserted yet
     assert_eq!(idx.sealed_segments(), 0);
     for p in &points {
-        idx.insert(p);
+        idx.insert(p).unwrap();
     }
     idx.seal();
     assert_eq!(idx.sealed_segments(), 1);
@@ -646,10 +651,10 @@ fn seal_of_all_tombstoned_delta_clears_it_without_a_segment() {
     let mut idx = small_index(0xE508, d);
     let ids: Vec<usize> = bit_points(0xE509, 6, d)
         .iter()
-        .map(|p| idx.insert(p))
+        .map(|p| idx.insert(p).unwrap())
         .collect();
     for &id in &ids {
-        idx.remove(id);
+        idx.remove(id).unwrap();
     }
     assert_eq!(idx.delta_rows(), 6);
     idx.seal();
@@ -662,7 +667,7 @@ fn seal_of_all_tombstoned_delta_clears_it_without_a_segment() {
     assert_eq!(idx.id_bound(), 6);
     // The index keeps working afterwards.
     let p = BitVector::random(&mut seeded(0xE50A), d);
-    let id = idx.insert(&p);
+    let id = idx.insert(&p).unwrap();
     assert_eq!(id, 6);
     assert!(idx.candidates(&p, None).0.contains(&id));
 }
@@ -672,16 +677,16 @@ fn compact_of_all_tombstoned_segments_drops_every_segment() {
     let d = 32;
     let points = bit_points(0xE50B, 15, d);
     let mut idx = small_index(0xE50C, d);
-    let ids: Vec<usize> = points.iter().map(|p| idx.insert(p)).collect();
+    let ids: Vec<usize> = points.iter().map(|p| idx.insert(p).unwrap()).collect();
     idx.seal();
     for &id in &ids[..10] {
-        idx.insert(&points[id]); // fresh copies, landing in the delta
+        idx.insert(&points[id]).unwrap(); // fresh copies, landing in the delta
     }
     for &id in &ids {
-        idx.remove(id);
+        idx.remove(id).unwrap();
     }
     for id in 15..25 {
-        idx.remove(id);
+        idx.remove(id).unwrap();
     }
     assert!(idx.is_empty());
     idx.compact();
@@ -697,7 +702,7 @@ fn compact_of_all_tombstoned_segments_drops_every_segment() {
     // offset of the retired slots).
     let fresh = bit_points(0xE50D, 8, d);
     for p in &fresh {
-        idx.insert(p);
+        idx.insert(p).unwrap();
     }
     for (i, p) in fresh.iter().enumerate() {
         assert!(

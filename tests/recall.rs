@@ -75,7 +75,7 @@ fn dynamic_near_neighbor_recall_matches_static_run_for_run() {
             rng,
         );
         for p in &inst.points {
-            idx.insert(p);
+            idx.insert(p).unwrap();
         }
         idx.compact();
         let hit = idx.query(&inst.query).0;
@@ -141,7 +141,7 @@ fn sharded_near_neighbor_recall_matches_static_run_for_run() {
                 rng,
             );
             for (i, p) in inst.points.iter().enumerate() {
-                idx.insert(p);
+                idx.insert(p).unwrap();
                 if (i + 1) % 100 == 0 {
                     idx.seal();
                 }

@@ -162,13 +162,13 @@ impl<S: AppendStore + Clone, P: AsRow<Row = S::Row> + Clone> Replica<S, P> {
     fn apply_item(&mut self, item: &BatchItem<P>) {
         match item {
             BatchItem::Insert(p) => {
-                self.index.insert(p);
+                self.index.insert(p).unwrap();
                 self.scan.insert(p);
                 self.rows.push(p.clone());
             }
             BatchItem::Remove(id) => {
-                assert!(self.index.remove(*id));
-                assert!(self.scan.remove(*id));
+                assert!(self.index.remove(*id).unwrap());
+                assert!(self.scan.remove(*id).unwrap());
             }
         }
     }
@@ -200,10 +200,10 @@ where
     fn apply(&self, idx: &mut ShardedIndex<S>) {
         match self {
             Op::Insert(p) => {
-                idx.insert(p);
+                idx.insert(p).unwrap();
             }
             Op::Remove(id) => {
-                assert!(idx.remove(*id));
+                assert!(idx.remove(*id).unwrap());
             }
             Op::Seal => idx.seal(),
             Op::Compact => idx.compact(),

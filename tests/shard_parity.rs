@@ -234,13 +234,13 @@ fn batched_parity_sweep<S, P>(
             for item in &items {
                 match *item {
                     BatchItem::Insert(pi) => {
-                        let id = dynamic.insert(&points[pi]);
-                        assert_eq!(id, per_op.insert(&points[pi]));
+                        let id = dynamic.insert(&points[pi]).unwrap();
+                        assert_eq!(id, per_op.insert(&points[pi]).unwrap());
                         want.push(WriteOutcome::Inserted(id));
                     }
                     BatchItem::Remove(id) => {
-                        let removed = dynamic.remove(id);
-                        assert_eq!(removed, per_op.remove(id));
+                        let removed = dynamic.remove(id).unwrap();
+                        assert_eq!(removed, per_op.remove(id).unwrap());
                         want.push(WriteOutcome::Removed(removed));
                     }
                 }
@@ -416,11 +416,11 @@ fn snapshots_keep_answering_from_their_frozen_state() {
         );
         let mut frozen = Vec::new(); // (snapshot, pinned unsharded clone)
         for (i, p) in points.iter().enumerate() {
-            dynamic.insert(p);
-            sharded.insert(p);
+            dynamic.insert(p).unwrap();
+            sharded.insert(p).unwrap();
             if i % 11 == 5 {
-                dynamic.remove(i);
-                sharded.remove(i);
+                dynamic.remove(i).unwrap();
+                sharded.remove(i).unwrap();
             }
             if i % 31 == 30 {
                 dynamic.seal();
@@ -496,15 +496,15 @@ fn hamming_front_ends_sharded_equals_dynamic() {
         );
         assert_eq!(dyn_nn.params(), sh_nn.params());
         for (i, p) in points.iter().enumerate() {
-            dyn_nn.insert(p);
-            sh_nn.insert(p);
+            dyn_nn.insert(p).unwrap();
+            sh_nn.insert(p).unwrap();
             if i % 41 == 40 {
                 dyn_nn.seal();
                 sh_nn.seal();
             }
         }
-        dyn_nn.remove(7);
-        sh_nn.remove(7);
+        dyn_nn.remove(7).unwrap();
+        sh_nn.remove(7).unwrap();
         // Group-commit passthroughs: batched front-end writes agree too.
         let extra = {
             let mut s = BitStore::with_dim(d);
@@ -558,8 +558,8 @@ fn hamming_front_ends_sharded_equals_dynamic() {
             &mut seeded(seed + 3),
         );
         for p in &points {
-            dyn_an.insert(p);
-            sh_an.insert(p);
+            dyn_an.insert(p).unwrap();
+            sh_an.insert(p).unwrap();
         }
         dyn_an.seal();
         sh_an.seal();
@@ -593,8 +593,8 @@ fn hamming_front_ends_sharded_equals_dynamic() {
             &mut seeded(seed + 4),
         );
         for p in &points {
-            dyn_rr.insert(p);
-            sh_rr.insert(p);
+            dyn_rr.insert(p).unwrap();
+            sh_rr.insert(p).unwrap();
         }
         dyn_rr.compact();
         sh_rr.compact();
@@ -637,13 +637,13 @@ fn sphere_front_ends_sharded_equals_dynamic() {
         );
         assert_eq!(dyn_hp.repetitions(), sh_hp.repetitions());
         for p in &points {
-            dyn_hp.insert(p);
-            sh_hp.insert(p);
+            dyn_hp.insert(p).unwrap();
+            sh_hp.insert(p).unwrap();
         }
         dyn_hp.seal();
         sh_hp.seal();
-        dyn_hp.remove(3);
-        sh_hp.remove(3);
+        dyn_hp.remove(3).unwrap();
+        sh_hp.remove(3).unwrap();
         // Group-commit passthroughs: batched front-end writes agree too.
         let extra = {
             let mut s = DenseStore::with_dim(d);
@@ -687,8 +687,8 @@ fn sphere_front_ends_sharded_equals_dynamic() {
             &mut seeded(seed + 3),
         );
         for p in &points {
-            dyn_sa.insert(p);
-            sh_sa.insert(p);
+            dyn_sa.insert(p).unwrap();
+            sh_sa.insert(p).unwrap();
         }
         dyn_sa.compact();
         sh_sa.compact();
@@ -730,11 +730,11 @@ fn per_logical_segment_query_stats_totals_are_pinned() {
             &mut seeded(0x57A8),
         );
         for _ in 0..7 {
-            idx.insert(&zero);
+            idx.insert(&zero).unwrap();
         }
         idx.seal();
         for _ in 0..5 {
-            idx.insert(&zero);
+            idx.insert(&zero).unwrap();
         }
         assert_eq!(idx.sealed_segments(), 2, "shards {shards}");
         assert_eq!(idx.delta_rows(), 5, "shards {shards}");
@@ -750,7 +750,7 @@ fn per_logical_segment_query_stats_totals_are_pinned() {
 
         // Tombstoned ids — one per region — skipped without counting.
         for id in [0usize, 12, 18] {
-            assert!(idx.remove(id));
+            assert_eq!(idx.remove(id), Ok(true));
         }
         let (cands, stats) = idx.candidates(&zero, None);
         assert_eq!(stats.tables_probed, 3 * l);
